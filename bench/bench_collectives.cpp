@@ -1,0 +1,69 @@
+/// Micro-benchmarks for the simulated-cluster collectives (google-benchmark):
+/// the substrate every distributed engine's data movement flows through.
+
+#include <benchmark/benchmark.h>
+
+#include "comm/world.hpp"
+
+namespace orbit::comm {
+namespace {
+
+void BM_AllReduce(benchmark::State& state) {
+  const int world = static_cast<int>(state.range(0));
+  const std::int64_t n = state.range(1);
+  for (auto _ : state) {
+    run_spmd(world, [&](RankContext& ctx) {
+      auto g = ctx.world_group();
+      Tensor t = Tensor::full({n}, static_cast<float>(ctx.rank()));
+      g.all_reduce(t);
+      benchmark::DoNotOptimize(t.data());
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * world * n * 4);
+}
+BENCHMARK(BM_AllReduce)->Args({2, 1 << 12})->Args({4, 1 << 12})->Args({8, 1 << 12});
+
+void BM_AllGather(benchmark::State& state) {
+  const int world = static_cast<int>(state.range(0));
+  const std::int64_t n = state.range(1);
+  for (auto _ : state) {
+    run_spmd(world, [&](RankContext& ctx) {
+      auto g = ctx.world_group();
+      Tensor shard = Tensor::full({n}, 1.0f);
+      Tensor out = Tensor::empty({n * world});
+      g.all_gather(shard, out);
+      benchmark::DoNotOptimize(out.data());
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * world * n * 4);
+}
+BENCHMARK(BM_AllGather)->Args({4, 1 << 12})->Args({8, 1 << 12});
+
+void BM_ReduceScatter(benchmark::State& state) {
+  const int world = static_cast<int>(state.range(0));
+  const std::int64_t n = state.range(1);
+  for (auto _ : state) {
+    run_spmd(world, [&](RankContext& ctx) {
+      auto g = ctx.world_group();
+      Tensor input = Tensor::full({n * world}, 1.0f);
+      Tensor out = Tensor::empty({n});
+      g.reduce_scatter(input, out);
+      benchmark::DoNotOptimize(out.data());
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * world * n * 4);
+}
+BENCHMARK(BM_ReduceScatter)->Args({4, 1 << 12})->Args({8, 1 << 12});
+
+void BM_SpmdLaunch(benchmark::State& state) {
+  const int world = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    run_spmd(world, [](RankContext& ctx) { ctx.world_group().barrier(); });
+  }
+}
+BENCHMARK(BM_SpmdLaunch)->Arg(2)->Arg(8);
+
+}  // namespace
+}  // namespace orbit::comm
+
+BENCHMARK_MAIN();

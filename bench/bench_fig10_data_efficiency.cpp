@@ -1,0 +1,125 @@
+/// Reproduces Fig. 10: the number of fine-tuning samples needed for the
+/// 30-day forecast skill to converge, as a function of model size. The
+/// paper: 115M -> ~76k samples, 1B -> ~47k (-38%), 10B -> ~32.8k (-57%) —
+/// larger models are more data-efficient.
+///
+/// Execution plane: three scaled-down sizes fine-tuned on the synthetic
+/// reanalysis until validation wACC crosses a fixed threshold.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "data/dataset.hpp"
+#include "metrics/metrics.hpp"
+#include "model/vit.hpp"
+#include "train/trainer.hpp"
+
+using namespace orbit;
+
+namespace {
+
+constexpr std::int64_t kGridH = 16, kGridW = 32, kChannels = 4;
+constexpr float kLead = 30.0f;
+constexpr std::int64_t kBatch = 4;
+constexpr int kMaxSteps = 280;
+constexpr int kEvalEvery = 10;
+
+data::ForecastDataset make_split(std::int64_t t0, std::int64_t t1) {
+  data::ClimateFieldConfig c;
+  c.grid_h = kGridH;
+  c.grid_w = kGridW;
+  c.channels = kChannels;
+  c.reanalysis = true;
+  c.seed = 51;
+  data::ClimateFieldGenerator gen(c);
+  data::NormStats stats = data::compute_norm_stats(gen, 16);
+  return data::ForecastDataset(std::move(gen), t0, t1, {kLead},
+                               {0, 1, 2, 3}, std::move(stats));
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "Fig. 10 — fine-tuning samples to convergence vs model size "
+      "(30-day task)",
+      "115M: ~76k samples; 1B: ~47k (-38%); 10B: ~32.8k (-57%)");
+
+  data::ForecastDataset train_ds = make_split(0, 150);
+  data::ForecastDataset val_ds = make_split(180, 220);
+  Tensor clim = data::compute_climatology(train_ds.generator(), 0, 600, 8);
+  data::normalize_inplace(clim, train_ds.stats());
+  const Tensor w = metrics::latitude_weights(kGridH);
+
+  std::vector<std::int64_t> val_idx;
+  for (std::int64_t i = 0; i < val_ds.size(); i += 3) val_idx.push_back(i);
+  train::Batch val_batch = data::collate(
+      [&](std::int64_t i) { return val_ds.at(i); }, val_idx);
+
+  // Threshold: the skill level every size must reach; measured in wACC
+  // averaged over the four outputs.
+  const double kTarget = 0.35;
+
+  std::vector<model::VitConfig> configs = {model::tiny_small(),
+                                           model::tiny_medium(),
+                                           model::tiny_large()};
+  std::printf("%-14s | %-10s | %-18s | %-10s\n", "model", "params",
+              "samples to wACC>=0.35", "final wACC");
+
+  double first_samples = -1;
+  for (auto cfg : configs) {
+    cfg.image_h = kGridH;
+    cfg.image_w = kGridW;
+    cfg.in_channels = kChannels;
+    cfg.out_channels = 4;
+    model::OrbitModel m(cfg);
+    train::TrainerConfig tc;
+    tc.adamw.lr = 2e-3f;
+    tc.schedule = train::LrSchedule(2e-3f, 10, kMaxSteps);
+    train::Trainer trainer(m, tc);
+    data::DataLoader loader(train_ds.size(), kBatch, /*seed=*/61);
+    std::vector<std::int64_t> idx;
+
+    std::int64_t samples = 0, converged_at = -1;
+    double last_acc = 0.0;
+    for (int step = 0; step < kMaxSteps; ++step) {
+      if (!loader.next(idx)) {
+        loader.new_epoch();
+        loader.next(idx);
+      }
+      trainer.train_step(data::collate(
+          [&](std::int64_t i) { return train_ds.at(i); }, idx));
+      samples += static_cast<std::int64_t>(idx.size());
+      if ((step + 1) % kEvalEvery == 0) {
+        Tensor pred = m.forward(val_batch.inputs, val_batch.lead_days);
+        auto accs =
+            metrics::wacc_per_channel(pred, val_batch.targets, clim, w);
+        double mean_acc = 0;
+        for (double a : accs) mean_acc += a;
+        mean_acc /= static_cast<double>(accs.size());
+        last_acc = mean_acc;
+        if (converged_at < 0 && mean_acc >= kTarget) {
+          converged_at = samples;
+          break;  // converged: stop consuming samples
+        }
+      }
+    }
+    char conv[32];
+    if (converged_at >= 0) {
+      if (first_samples < 0) first_samples = static_cast<double>(converged_at);
+      const double rel =
+          (1.0 - static_cast<double>(converged_at) / first_samples) * 100.0;
+      std::snprintf(conv, sizeof(conv), "%lld (%+.0f%%)",
+                    static_cast<long long>(converged_at), -rel);
+    } else {
+      std::snprintf(conv, sizeof(conv), "not reached");
+    }
+    std::printf("%-14s | %-10lld | %-18s | %-10.3f\n", cfg.name.c_str(),
+                static_cast<long long>(m.param_count()), conv, last_acc);
+  }
+
+  std::printf("\nShape check (paper Fig. 10): samples-to-convergence falls\n"
+              "monotonically as the model grows.\n");
+  return 0;
+}

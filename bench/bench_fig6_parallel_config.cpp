@@ -1,0 +1,74 @@
+/// Reproduces Fig. 6: time-to-solution and per-GPU memory for the 113B
+/// model on 512 GPUs across hierarchical-parallelism configurations
+/// (FSDP group size x TP group size, DDP = 1), plus the two degenerate
+/// single-parallelism endpoints that fail.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "perf/perf_model.hpp"
+
+using namespace orbit;
+using namespace orbit::perf;
+
+int main() {
+  bench::header(
+      "Fig. 6 — hierarchical parallelism configuration sweep "
+      "(113B, 512 GPUs, DDP=1)",
+      "fastest 0.33 s/obs at FSDP=64 x TP=8 (batch 3); ~25x slower at "
+      "FSDP=2 x TP=256; pure FSDP and pure TP run out of memory");
+
+  PerfModel pm;
+  const model::VitConfig cfg = model::orbit_113b();
+
+  bench::section("degenerate endpoints (single parallelism)");
+  {
+    ParallelPlan pure_fsdp;
+    pure_fsdp.strategy = Strategy::kFsdpVanilla;
+    pure_fsdp.fsdp = 512;
+    const auto e = pm.step_time(cfg, pure_fsdp);
+    std::printf("FSDP alone (512-way, full gathers): %s\n",
+                e.oom ? e.note.c_str() : "unexpectedly feasible");
+    ParallelPlan pure_tp;
+    pure_tp.strategy = Strategy::kTensorParallel;
+    pure_tp.tp = 512;
+    const auto e2 = pm.step_time(cfg, pure_tp);
+    std::printf("TP alone (512-way, 64 heads):       %s\n",
+                e2.oom ? e2.note.c_str() : "unexpectedly feasible");
+  }
+
+  bench::section("Hybrid-STOP (FSDP x TP) sweep");
+  std::printf("%-12s | %-10s | %-12s | %-10s | %s\n", "FSDP x TP",
+              "time/obs", "micro batch", "mem/GPU", "note");
+  double best = 1e30, worst = 0;
+  for (int tp : {2, 4, 8, 16, 32, 64, 128, 256}) {
+    ParallelPlan plan;
+    plan.strategy = Strategy::kHybridStop;
+    plan.tp = tp;
+    plan.fsdp = 512 / tp;
+    const auto e = pm.step_time(cfg, plan);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%d x %d", plan.fsdp, plan.tp);
+    if (e.oom) {
+      std::printf("%-12s | %-10s | %-12s | %-10s | %s\n", label, "-", "-",
+                  "-", e.note.c_str());
+      continue;
+    }
+    const int micro =
+        static_cast<int>(e.global_batch / plan.data_shards());
+    ParallelPlan mem_plan = plan;
+    mem_plan.micro_batch = micro;
+    const double gb = pm.memory(cfg, mem_plan).total() / 1e9;
+    std::printf("%-12s | %8.3f s | %-12d | %7.1f GB | %s\n", label,
+                e.per_sample, micro, gb,
+                e.tp_comm > e.compute ? "TP-comm bound" : "");
+    best = std::min(best, e.per_sample);
+    worst = std::max(worst, e.per_sample);
+  }
+  std::printf("\nSpread across the sweep: %.1fx (paper: ~25x).\n",
+              worst / best);
+  std::printf("Shape check: configurations keeping TP within one node\n"
+              "(TP <= 8) form the fast plateau; inter-node TP degrades\n"
+              "steeply; memory varies mildly across feasible configs.\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+/// Reproduces Fig. 9: fine-tuned forecast skill (latitude-weighted anomaly
+/// correlation, wACC) for the four output variables at 1, 14, and 30-day
+/// leads, compared against the reference baselines.
+///
+/// The paper compares ORBIT with ClimaX/Stormer/FourCastNet/IFS; those
+/// systems cannot be rebuilt here, so the bracket baselines are
+/// climatology (wACC = 0), persistence, and a fitted damped-anomaly model
+/// (see DESIGN.md §1). The paper's qualitative claims to reproduce:
+/// 1-day skill is high for everything; skill decays with lead; the learned
+/// model beats the statistical baselines at 14 and 30 days.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "data/baselines.hpp"
+#include "data/dataset.hpp"
+#include "metrics/metrics.hpp"
+#include "model/vit.hpp"
+#include "train/trainer.hpp"
+
+using namespace orbit;
+
+namespace {
+
+constexpr std::int64_t kGridH = 16, kGridW = 32, kChannels = 6;
+constexpr float kLeads[] = {1.0f, 14.0f, 30.0f};
+
+data::ForecastDataset make_split(std::int64_t t0, std::int64_t t1,
+                                 std::vector<float> leads) {
+  data::ClimateFieldConfig c;
+  c.grid_h = kGridH;
+  c.grid_w = kGridW;
+  c.channels = kChannels;
+  c.reanalysis = true;
+  c.seed = 31;
+  data::ClimateFieldGenerator gen(c);
+  data::NormStats stats = data::compute_norm_stats(gen, 16);
+  return data::ForecastDataset(std::move(gen), t0, t1, std::move(leads),
+                               {0, 1, 2, 3}, std::move(stats));
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "Fig. 9 — wACC at 1/14/30-day leads (z500-, t850-, t2m-, u10-like "
+      "channels)",
+      "ORBIT matches the references at 1 day and wins at 14/30 days "
+      "(up to +52% over IFS, +166% over Stormer at 14 d; +9% over ClimaX "
+      "at 30 d)");
+
+  // Chronological split as in Weatherbench2: train then evaluate later.
+  data::ForecastDataset train_ds =
+      make_split(0, 160, {kLeads[0], kLeads[1], kLeads[2]});
+  const char* var_names[] = {"z500", "t850", "t2m", "u10"};
+
+  // Normalised climatology over the training period.
+  Tensor clim_all =
+      data::compute_climatology(train_ds.generator(), 0, 640, 8);
+  data::normalize_inplace(clim_all, train_ds.stats());
+  Tensor clim_out = Tensor::empty({4, kGridH, kGridW});
+  for (int c = 0; c < 4; ++c) {
+    std::copy(clim_all.data() + c * kGridH * kGridW,
+              clim_all.data() + (c + 1) * kGridH * kGridW,
+              clim_out.data() + c * kGridH * kGridW);
+  }
+
+  // Fine-tune one lead-conditioned model on all leads jointly — the
+  // paper's single-task setup ("predicting all four atmospheric variables
+  // together as a single task").
+  model::VitConfig cfg = model::tiny_medium();
+  cfg.image_h = kGridH;
+  cfg.image_w = kGridW;
+  cfg.in_channels = kChannels;
+  cfg.out_channels = 4;
+  model::OrbitModel m(cfg);
+  train::TrainerConfig tc;
+  tc.adamw.lr = 3e-3f;
+  const int kSteps = 1000;
+  tc.schedule = train::LrSchedule(3e-3f, 30, kSteps);
+  train::Trainer trainer(m, tc);
+  data::DataLoader loader(train_ds.size(), 4, /*seed=*/41);
+  std::vector<std::int64_t> idx;
+  for (int step = 0; step < kSteps; ++step) {
+    if (!loader.next(idx)) {
+      loader.new_epoch();
+      loader.next(idx);
+    }
+    trainer.train_step(
+        data::collate([&](std::int64_t i) { return train_ds.at(i); }, idx));
+  }
+
+  const Tensor w = metrics::latitude_weights(kGridH);
+  std::printf("%-6s | %-6s", "lead", "var");
+  for (const char* model_name :
+       {"ORBIT(repro)", "persistence", "damped", "climatology"}) {
+    std::printf(" | %-13s", model_name);
+  }
+  std::printf("\n");
+
+  for (const float lead : kLeads) {
+    data::ForecastDataset eval_ds = make_split(200, 260, {lead});
+    data::PersistenceForecast persistence({0, 1, 2, 3});
+    data::DampedAnomalyForecast damped(make_split(0, 160, {lead}), clim_out);
+    data::ClimatologyForecast climatology(clim_out);
+
+    std::vector<std::int64_t> eval_idx;
+    for (std::int64_t i = 0; i < eval_ds.size(); i += 4) {
+      eval_idx.push_back(i);
+    }
+    train::Batch batch = data::collate(
+        [&](std::int64_t i) { return eval_ds.at(i); }, eval_idx);
+
+    Tensor pred_orbit = m.forward(batch.inputs, batch.lead_days);
+    auto acc_orbit =
+        metrics::wacc_per_channel(pred_orbit, batch.targets, clim_out, w);
+    auto acc_pers = metrics::wacc_per_channel(
+        persistence.predict(batch.inputs), batch.targets, clim_out, w);
+    auto acc_damp = metrics::wacc_per_channel(
+        damped.predict(batch.inputs), batch.targets, clim_out, w);
+    auto acc_clim = metrics::wacc_per_channel(
+        climatology.predict(batch.inputs), batch.targets, clim_out, w);
+
+    for (int v = 0; v < 4; ++v) {
+      std::printf("%-6.0f | %-6s | %13.3f | %13.3f | %13.3f | %13.3f\n",
+                  lead, var_names[v], acc_orbit[static_cast<std::size_t>(v)],
+                  acc_pers[static_cast<std::size_t>(v)],
+                  acc_damp[static_cast<std::size_t>(v)],
+                  acc_clim[static_cast<std::size_t>(v)]);
+    }
+  }
+
+  std::printf(
+      "\nShape check (paper Fig. 9): all models score high at 1 day;\n"
+      "skill decays with lead time; the learned model retains the most\n"
+      "skill at 14/30 days while persistence collapses toward zero.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+/// Micro-benchmarks for the tensor kernels behind the training block
+/// (google-benchmark). Context for the execution-plane results: these are
+/// the CPU stand-ins for the MI250X GEMMs the paper's throughput rests on.
+
+#include <benchmark/benchmark.h>
+
+#include "tensor/bf16.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/nn_kernels.hpp"
+#include "tensor/ops.hpp"
+
+namespace orbit {
+namespace {
+
+void BM_Matmul(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulTn(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(2);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul_tn(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulTn)->Arg(128);
+
+void BM_Softmax(benchmark::State& state) {
+  Rng rng(3);
+  Tensor x = Tensor::randn({256, 256}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(softmax_lastdim(x).data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_Softmax);
+
+void BM_LayerNorm(benchmark::State& state) {
+  Rng rng(4);
+  Tensor x = Tensor::randn({512, 256}, rng);
+  Tensor g = Tensor::ones({256});
+  Tensor b = Tensor::zeros({256});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layernorm(x, g, b, nullptr).data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_LayerNorm);
+
+void BM_Gelu(benchmark::State& state) {
+  Rng rng(5);
+  Tensor x = Tensor::randn({1 << 16}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gelu(x).data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_Gelu);
+
+void BM_Bf16Round(benchmark::State& state) {
+  Rng rng(6);
+  Tensor x = Tensor::randn({1 << 16}, rng);
+  for (auto _ : state) {
+    Tensor y = x.clone();
+    bf16_round_inplace(y.span());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_Bf16Round);
+
+void BM_Transpose(benchmark::State& state) {
+  Rng rng(7);
+  Tensor x = Tensor::randn({512, 512}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transpose(x).data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_Transpose);
+
+}  // namespace
+}  // namespace orbit
+
+BENCHMARK_MAIN();

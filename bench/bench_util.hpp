@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+/// \file bench_util.hpp
+/// Shared formatting for the experiment-reproduction benches. Every bench
+/// prints (a) what the paper reports and (b) what this reproduction
+/// measures/models, so EXPERIMENTS.md rows can be regenerated mechanically.
+
+namespace orbit::bench {
+
+inline void header(const std::string& experiment, const std::string& claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Paper: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void section(const std::string& name) {
+  std::printf("\n--- %s ---\n", name.c_str());
+}
+
+/// Engineering formatting: 684 PFLOPS, 1.6 EFLOPS, ...
+inline std::string flops_str(double flops) {
+  char buf[64];
+  if (flops >= 1e18) {
+    std::snprintf(buf, sizeof(buf), "%.2f EFLOPS", flops / 1e18);
+  } else if (flops >= 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f PFLOPS", flops / 1e15);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f TFLOPS", flops / 1e12);
+  }
+  return buf;
+}
+
+inline std::string params_str(double params) {
+  char buf[64];
+  if (params >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.1fB", params / 1e9);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fM", params / 1e6);
+  }
+  return buf;
+}
+
+}  // namespace orbit::bench

@@ -1,0 +1,142 @@
+/// Ensemble forecasting — the use case the paper's introduction motivates:
+/// "simulation of [extreme] events demands a large ensemble size to
+/// accurately represent the diversity of possible scenarios". A fast
+/// learned model makes big ensembles affordable.
+///
+///   ./examples/ensemble_forecast [members]
+///
+/// Trains a small ORBIT model, then forecasts from an ensemble of perturbed
+/// initial conditions and reports:
+///  * the spread/error relation (a calibrated ensemble has spread ~ error),
+///  * whether the ensemble mean beats the deterministic forecast (it
+///    should, by averaging out unpredictable detail),
+///  * the spectral blurring of the ensemble mean (averaging removes
+///    small-scale power — measured with the zonal spectrum diagnostic).
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/spectrum.hpp"
+#include "model/vit.hpp"
+#include "tensor/ops.hpp"
+#include "train/trainer.hpp"
+
+using namespace orbit;
+
+namespace {
+constexpr std::int64_t kH = 16, kW = 32, kC = 4;
+constexpr float kLead = 14.0f;
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int members = argc > 1 ? std::atoi(argv[1]) : 8;
+
+  // Train the forecast model.
+  std::printf("training the forecast model (%d-member ensemble after)...\n",
+              members);
+  data::ForecastDataset train_ds =
+      data::make_era5_finetune(kH, kW, kC, 0, 150, kLead, 19);
+  model::VitConfig cfg = model::tiny_medium();
+  cfg.image_h = kH;
+  cfg.image_w = kW;
+  cfg.in_channels = kC;
+  cfg.out_channels = 4;
+  model::OrbitModel m(cfg);
+  train::TrainerConfig tc;
+  tc.adamw.lr = 3e-3f;
+  tc.schedule = train::LrSchedule(3e-3f, 20, 300);
+  train::Trainer trainer(m, tc);
+  data::DataLoader loader(train_ds.size(), 4, 20);
+  std::vector<std::int64_t> idx;
+  for (int step = 0; step < 300; ++step) {
+    if (!loader.next(idx)) {
+      loader.new_epoch();
+      loader.next(idx);
+    }
+    trainer.train_step(
+        data::collate([&](std::int64_t i) { return train_ds.at(i); }, idx));
+  }
+
+  // Held-out case: one initial state, the verifying truth 14 days later.
+  data::ForecastDataset eval_ds =
+      data::make_era5_finetune(kH, kW, kC, 200, 230, kLead, 19);
+  data::ForecastSample the_case = eval_ds.at(10);
+  Tensor truth = the_case.target.reshape({1, 4, kH, kW});
+  const Tensor lat_w = metrics::latitude_weights(kH);
+
+  // Ensemble: perturb the analysed initial state with small noise,
+  // emulating initial-condition uncertainty.
+  Rng pert_rng(77);
+  const float kPerturbation = 0.05f;  // in normalised units
+  Tensor lead = Tensor::full({1}, kLead);
+  std::vector<Tensor> forecasts;
+  Tensor mean = Tensor::zeros({1, 4, kH, kW});
+  for (int e = 0; e < members; ++e) {
+    Tensor x0 = the_case.input.clone().reshape({1, kC, kH, kW});
+    if (e > 0) {  // member 0 is the unperturbed control
+      Tensor noise = Tensor::randn({1, kC, kH, kW}, pert_rng, kPerturbation);
+      x0.add_(noise);
+    }
+    Tensor f = m.forward(x0, lead);
+    mean.add_(f);
+    forecasts.push_back(std::move(f));
+  }
+  mean.scale_(1.0f / static_cast<float>(members));
+
+  // Spread (stddev around the ensemble mean) vs error (RMSE of the mean).
+  double spread_sq = 0.0;
+  for (const Tensor& f : forecasts) {
+    Tensor d = sub(f, mean);
+    spread_sq += sum_sq(d) / static_cast<double>(d.numel());
+  }
+  spread_sq /= static_cast<double>(members);
+  const double spread = std::sqrt(spread_sq);
+  const double err_mean = std::sqrt(metrics::wmse(mean, truth, lat_w));
+  const double err_control =
+      std::sqrt(metrics::wmse(forecasts[0], truth, lat_w));
+
+  std::printf("\n%d-member, %.0f-day ensemble (perturbation %.2f sigma):\n",
+              members, kLead, kPerturbation);
+  std::printf("  control RMSE        %.4f\n", err_control);
+  std::printf("  ensemble-mean RMSE  %.4f (%s control)\n", err_mean,
+              err_mean <= err_control ? "beats" : "behind");
+  const double ratio = spread / err_mean;
+  std::printf("  ensemble spread     %.4f  -> spread/error %.2f "
+              "(1.0 = calibrated; %s)\n",
+              spread, ratio,
+              ratio < 0.8 ? "under-dispersive: initial-condition noise "
+                            "alone underestimates forecast uncertainty, a "
+                            "well-known property real ensembles correct "
+                            "with model-error perturbations"
+                          : "well dispersed");
+
+  // Spectral blurring of the mean vs a single member vs the truth.
+  auto spec_of = [&](const Tensor& field4d) {
+    Tensor ch0 = Tensor::empty({kH, kW});
+    std::copy(field4d.data(), field4d.data() + kH * kW, ch0.data());
+    return metrics::zonal_power_spectrum(ch0, lat_w);
+  };
+  const std::size_t kMin = 8;
+  const double hf_truth = metrics::high_frequency_fraction(spec_of(truth), kMin);
+  const double hf_member =
+      metrics::high_frequency_fraction(spec_of(forecasts[0]), kMin);
+  const double hf_mean = metrics::high_frequency_fraction(spec_of(mean), kMin);
+  std::printf("\nhigh-wavenumber power fraction (k >= %zu), channel 0:\n",
+              kMin);
+  std::printf("  truth %.3f | single member %.3f | ensemble mean %.3f\n",
+              hf_truth, hf_member, hf_mean);
+  if (hf_member > hf_truth) {
+    std::printf("  (the forecast carries MORE small-scale power than the\n"
+                "   verifying truth: this small model adds grainy detail\n"
+                "   rather than blurring — the spectrum diagnostic flags\n"
+                "   either failure mode)\n");
+  } else {
+    std::printf("  (the forecast is smoother than the truth — the blurring\n"
+                "   typical of data-driven models at long leads)\n");
+  }
+  return 0;
+}

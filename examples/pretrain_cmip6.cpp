@@ -1,0 +1,107 @@
+/// Distributed pre-training with Hybrid-STOP on a simulated 8-GPU cluster.
+///
+///   ./examples/pretrain_cmip6 [ddp] [fsdp] [tp]
+///
+/// Demonstrates the full Sec. III pipeline end to end: the 3-axis process
+/// mesh (Fig. 4), alternating column/row weight shards with just-in-time
+/// gathers (Fig. 3), per-mesh data sharding over the 10-source synthetic
+/// CMIP6 corpus, BF16 mixed precision with dynamic gradient scaling, and
+/// activation checkpointing. Prints per-epoch loss plus the actual
+/// communication traffic each axis generated.
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "comm/world.hpp"
+#include "core/hs_engine.hpp"
+#include "data/dataset.hpp"
+#include "model/vit.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+
+using namespace orbit;
+
+int main(int argc, char** argv) {
+  const int ddp = argc > 1 ? std::atoi(argv[1]) : 2;
+  const int fsdp = argc > 2 ? std::atoi(argv[2]) : 2;
+  const int tp = argc > 3 ? std::atoi(argv[3]) : 2;
+  const int world = ddp * fsdp * tp;
+  std::printf("mesh: ddp=%d x fsdp=%d x tp=%d (%d simulated GPUs)\n", ddp,
+              fsdp, tp, world);
+
+  // Scaled-down ORBIT tower; the distributed engine shards the transformer
+  // training block, the part the paper's parallelism targets.
+  model::VitConfig cfg = model::tiny_medium();
+  const std::int64_t kTokens = 8;
+
+  // 10-source CMIP6-like corpus; each data shard (d, f) trains a disjoint
+  // subset, exactly the Fig. 4 data routing.
+  data::MultiSourceDataset corpus =
+      data::make_cmip6_corpus(16, 32, 4, 0, 60, /*seed=*/3);
+  std::printf("corpus: %lld observations from %lld sources\n",
+              static_cast<long long>(corpus.size()),
+              static_cast<long long>(corpus.source_count()));
+
+  comm::run_spmd(world, [&](comm::RankContext& ctx) {
+    core::HsEngineConfig ecfg;
+    ecfg.ddp = ddp;
+    ecfg.fsdp = fsdp;
+    ecfg.tp = tp;
+    ecfg.mixed_precision = true;
+    ecfg.options.checkpoint_activations = true;
+    ecfg.adamw.lr = 2e-3f;
+    core::HsEngine engine(cfg, ctx, ecfg);
+    const auto& mesh = engine.mesh();
+
+    // Token-space pre-training proxy: denoise/forecast features derived
+    // from the corpus observations, sharded by mesh data coordinate.
+    data::DataLoader loader(corpus.size(), /*batch=*/2, /*seed=*/17,
+                            mesh.num_data_shards(), mesh.data_shard());
+    std::vector<std::int64_t> idx;
+    Rng feature_rng(99);
+    Tensor proj = Tensor::randn({4 * 16 * 32, kTokens * cfg.embed},
+                                feature_rng, 0.05f);
+
+    for (int epoch = 0; epoch < 2; ++epoch) {
+      double loss_sum = 0;
+      int steps = 0;
+      while (loader.next(idx)) {
+        train::Batch b = data::collate(
+            [&](std::int64_t i) { return corpus.at(i); }, idx);
+        // Project fields into the token space the tower consumes.
+        Tensor x = matmul(b.inputs.reshape({b.size(), -1}), proj)
+                       .reshape({b.size(), kTokens, cfg.embed});
+        Tensor t = matmul(b.targets.reshape({b.size(), -1}), proj)
+                       .reshape({b.size(), kTokens, cfg.embed});
+        loss_sum += engine.train_step_mse(x, t);
+        ++steps;
+      }
+      loader.new_epoch();
+      if (ctx.rank() == 0) {
+        std::printf("epoch %d: mean wMSE %.4f over %d steps/shard\n", epoch,
+                    loss_sum / steps, steps);
+      }
+    }
+
+    if (ctx.rank() == 0) {
+      std::printf("\ncommunication per axis (payload bytes, whole run):\n");
+      std::printf("  tensor-parallel  %8.2f MB in %llu collectives\n",
+                  mesh.tp_group.bytes_moved() / 1e6,
+                  static_cast<unsigned long long>(mesh.tp_group.ops_issued()));
+      std::printf("  FSDP             %8.2f MB in %llu collectives\n",
+                  mesh.fsdp_group.bytes_moved() / 1e6,
+                  static_cast<unsigned long long>(
+                      mesh.fsdp_group.ops_issued()));
+      std::printf("  DDP              %8.2f MB in %llu collectives\n",
+                  mesh.ddp_group.bytes_moved() / 1e6,
+                  static_cast<unsigned long long>(mesh.ddp_group.ops_issued()));
+      std::printf("peak materialised parameters per rank: %lld elements\n",
+                  static_cast<long long>(engine.memory().peak));
+      std::printf("grad-scaler: scale %.0f, %lld skipped steps\n",
+                  engine.scaler().scale(),
+                  static_cast<long long>(engine.scaler().skipped_steps()));
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,112 @@
+/// Interactive what-if tool over the calibrated Frontier performance model:
+/// answers "could I train an N-billion-parameter ORBIT on G GPUs with this
+/// parallelism?" the way the paper's Sec. V experiments do.
+///
+///   ./examples/scaling_explorer <params_billions> <gpus> [ddp fsdp tp]
+///
+/// With no mesh given, sweeps the Fig. 6-style configurations and reports
+/// the best. Examples:
+///   ./examples/scaling_explorer 113 512
+///   ./examples/scaling_explorer 10 49152 96 64 8
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "metrics/flops.hpp"
+#include "perf/perf_model.hpp"
+
+using namespace orbit;
+using namespace orbit::perf;
+
+namespace {
+
+void report(const PerfModel& pm, const model::VitConfig& cfg,
+            ParallelPlan plan) {
+  const auto e = pm.step_time(cfg, plan);
+  std::printf("  mesh ddp=%d fsdp=%d tp=%d: ", plan.ddp, plan.fsdp, plan.tp);
+  if (e.oom) {
+    std::printf("%s\n", e.note.c_str());
+    return;
+  }
+  ParallelPlan mem_plan = plan;
+  mem_plan.micro_batch =
+      static_cast<int>(e.global_batch / plan.data_shards());
+  const MemoryEstimate mem = pm.memory(cfg, mem_plan);
+  std::printf("%.4f s/observation (micro batch %d)\n", e.per_sample,
+              mem_plan.micro_batch);
+  std::printf("    memory/GPU: %.1f GB (shards %.1f + gathered %.1f + "
+              "activations %.1f + other %.1f)\n",
+              mem.total() / 1e9, mem.persistent / 1e9, mem.transient / 1e9,
+              mem.activations / 1e9, (mem.inputs + mem.overhead) / 1e9);
+  std::printf("    step: compute %.2f s, exposed comm %.2f s "
+              "(fsdp %.2f, tp %.2f, ddp %.2f)\n",
+              e.compute, e.exposed_comm, e.fsdp_comm, e.tp_comm, e.ddp_comm);
+  const double sustained = metrics::sustained_flops(cfg, e.per_sample);
+  std::printf("    sustained: %.1f PFLOPS over the whole machine\n",
+              sustained / 1e15);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::printf("usage: %s <params_billions> <gpus> [ddp fsdp tp]\n", argv[0]);
+    return 1;
+  }
+  const double params = std::atof(argv[1]) * 1e9;
+  const int gpus = std::atoi(argv[2]);
+
+  PerfModel pm;
+  const model::VitConfig cfg = scaled_config_for_params(params, 48);
+  std::printf("model family member: %s (%lld params, embed %lld, "
+              "layers %lld, heads %lld)\n",
+              cfg.name.c_str(), static_cast<long long>(cfg.param_count()),
+              static_cast<long long>(cfg.embed),
+              static_cast<long long>(cfg.layers),
+              static_cast<long long>(cfg.heads));
+
+  if (argc >= 6) {
+    ParallelPlan plan;
+    plan.strategy = Strategy::kHybridStop;
+    plan.ddp = std::atoi(argv[3]);
+    plan.fsdp = std::atoi(argv[4]);
+    plan.tp = std::atoi(argv[5]);
+    if (plan.gpus() != gpus) {
+      std::printf("error: ddp*fsdp*tp != gpus\n");
+      return 1;
+    }
+    report(pm, cfg, plan);
+    return 0;
+  }
+
+  std::printf("\nHybrid-STOP configurations at %d GPUs:\n", gpus);
+  double best = 1e30;
+  ParallelPlan best_plan;
+  for (int tp = 1; tp <= gpus && tp <= 64; tp *= 2) {
+    for (int fsdp = 1; fsdp * tp <= gpus && fsdp <= 512; fsdp *= 2) {
+      if (gpus % (tp * fsdp) != 0) continue;
+      ParallelPlan plan;
+      plan.strategy = Strategy::kHybridStop;
+      plan.tp = tp;
+      plan.fsdp = fsdp;
+      plan.ddp = gpus / (tp * fsdp);
+      const auto e = pm.step_time(cfg, plan);
+      if (!e.oom && e.per_sample < best) {
+        best = e.per_sample;
+        best_plan = plan;
+      }
+    }
+  }
+  if (best >= 1e30) {
+    std::printf("  no feasible configuration — the model does not fit.\n");
+    std::printf("  (try more GPUs; Fig. 5 gives the capacity frontier)\n");
+    return 0;
+  }
+  std::printf("best configuration found:\n");
+  report(pm, cfg, best_plan);
+
+  std::printf("\nbaseline comparison:\n");
+  report(pm, cfg, pm.default_plan(Strategy::kFsdpVanilla, gpus, cfg));
+  report(pm, cfg, pm.default_plan(Strategy::kTensorParallel, gpus, cfg));
+  return 0;
+}

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+/// \file process_group.hpp
+/// Collective communication over a group of simulated ranks.
+///
+/// This mirrors the RCCL/NCCL process-group model the paper trains with:
+/// Hybrid-STOP's three orthogonal axes (TP, FSDP, DDP — Fig. 4) are each a
+/// set of process groups, and every data movement in the training engines
+/// goes through the collectives below.
+///
+/// Contract (same as MPI/NCCL): collectives are *group-collective* — every
+/// member rank must call the same operation in the same order with
+/// compatible arguments. The simulated implementation moves real bytes
+/// between rank heaps through shared staging pointers, so the distributed
+/// engines are verified by actual data movement, not by analogy.
+
+namespace orbit::comm {
+
+/// Reduction operator for all_reduce / reduce_scatter.
+enum class ReduceOp { kSum, kAvg, kMax };
+
+struct GroupState;  // shared-state implementation detail (world.cpp)
+
+/// Per-rank handle onto one communicator group. Cheap to copy.
+class ProcessGroup {
+ public:
+  ProcessGroup() = default;
+  ProcessGroup(std::shared_ptr<GroupState> state, int group_rank);
+
+  bool valid() const { return state_ != nullptr; }
+  /// Rank of the caller within this group, in [0, size).
+  int rank() const { return group_rank_; }
+  /// Number of member ranks.
+  int size() const;
+  /// Global (world) ranks of the members, in group-rank order.
+  const std::vector<int>& members() const;
+
+  /// Block until every member reaches the barrier.
+  void barrier() const;
+
+  /// Elementwise reduce across members; every member ends with the result.
+  void all_reduce(Tensor& t, ReduceOp op = ReduceOp::kSum) const;
+
+  /// Concatenate equal-size shards in group-rank order.
+  /// `out.numel()` must equal `size() * shard.numel()`.
+  void all_gather(const Tensor& shard, Tensor& out) const;
+
+  /// Reduce `input` elementwise across members, then scatter: member r keeps
+  /// the r-th of `size()` equal segments. `input.numel() == size() * out.numel()`.
+  void reduce_scatter(const Tensor& input, Tensor& out,
+                      ReduceOp op = ReduceOp::kSum) const;
+
+  /// Copy `t` from `root` (group rank) to every member.
+  void broadcast(Tensor& t, int root) const;
+
+  /// Gather equal-size shards to `root` only; `out` is ignored on other
+  /// ranks (may be undefined there).
+  void gather(const Tensor& shard, Tensor& out, int root) const;
+
+  /// Inverse of gather: root's `input` is split into `size()` equal segments,
+  /// member r receives segment r into `out`.
+  void scatter(const Tensor& input, Tensor& out, int root) const;
+
+  /// Point-to-point: post `t` to `dst` (group rank) under `tag`.
+  void send(const Tensor& t, int dst, int tag) const;
+
+  /// Block until a matching message from `src` under `tag` arrives.
+  Tensor recv(int src, int tag) const;
+
+  /// Total payload bytes moved through this group so far (sum over ops,
+  /// counted once per collective, not per rank).
+  std::uint64_t bytes_moved() const;
+  /// Number of collective operations issued on this group.
+  std::uint64_t ops_issued() const;
+
+ private:
+  std::shared_ptr<GroupState> state_;
+  int group_rank_ = -1;
+};
+
+}  // namespace orbit::comm

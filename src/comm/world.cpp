@@ -1,0 +1,302 @@
+#include "comm/world.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <tuple>
+
+#include "comm/process_group.hpp"
+
+namespace orbit::comm {
+
+/// Shared state of one communicator group. One instance per group, shared by
+/// all member ranks; per-rank `ProcessGroup` handles point here.
+struct GroupState {
+  explicit GroupState(std::vector<int> member_ranks)
+      : members(std::move(member_ranks)),
+        bar(static_cast<std::ptrdiff_t>(members.size())),
+        src(members.size(), nullptr) {}
+
+  std::vector<int> members;        ///< global ranks, group-rank order
+  std::barrier<> bar;              ///< reusable sync point for collectives
+  std::vector<const float*> src;   ///< published per-rank source pointers
+
+  std::atomic<std::uint64_t> bytes{0};
+  std::atomic<std::uint64_t> ops{0};
+
+  // Point-to-point mailboxes keyed by (src group rank, dst group rank, tag).
+  std::mutex mail_mu;
+  std::condition_variable mail_cv;
+  std::map<std::tuple<int, int, int>, std::deque<Tensor>> mail;
+
+  void record(std::uint64_t payload_bytes) {
+    bytes.fetch_add(payload_bytes, std::memory_order_relaxed);
+    ops.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+namespace {
+
+float reduce_combine(ReduceOp op, float acc, float v) {
+  switch (op) {
+    case ReduceOp::kSum:
+    case ReduceOp::kAvg:
+      return acc + v;
+    case ReduceOp::kMax:
+      return std::max(acc, v);
+  }
+  return acc;
+}
+
+void reduce_finalise(ReduceOp op, float* data, std::int64_t n, int group_size) {
+  if (op == ReduceOp::kAvg) {
+    const float inv = 1.0f / static_cast<float>(group_size);
+    for (std::int64_t i = 0; i < n; ++i) data[i] *= inv;
+  }
+}
+
+}  // namespace
+
+ProcessGroup::ProcessGroup(std::shared_ptr<GroupState> state, int group_rank)
+    : state_(std::move(state)), group_rank_(group_rank) {}
+
+int ProcessGroup::size() const {
+  return static_cast<int>(state_->members.size());
+}
+
+const std::vector<int>& ProcessGroup::members() const {
+  return state_->members;
+}
+
+void ProcessGroup::barrier() const { state_->bar.arrive_and_wait(); }
+
+void ProcessGroup::all_reduce(Tensor& t, ReduceOp op) const {
+  GroupState& g = *state_;
+  const int p = size();
+  const std::int64_t n = t.numel();
+  g.src[static_cast<std::size_t>(group_rank_)] = t.data();
+  g.bar.arrive_and_wait();
+  // Every rank computes the full reduction locally (simulation of the ring's
+  // end state); reads complete before the second barrier releases writers.
+  std::vector<float> acc(g.src[0], g.src[0] + n);
+  for (int r = 1; r < p; ++r) {
+    const float* s = g.src[static_cast<std::size_t>(r)];
+    for (std::int64_t i = 0; i < n; ++i) {
+      acc[static_cast<std::size_t>(i)] =
+          reduce_combine(op, acc[static_cast<std::size_t>(i)], s[i]);
+    }
+  }
+  reduce_finalise(op, acc.data(), n, p);
+  g.bar.arrive_and_wait();
+  std::memcpy(t.data(), acc.data(), static_cast<std::size_t>(n) * sizeof(float));
+  if (group_rank_ == 0) g.record(static_cast<std::uint64_t>(n) * sizeof(float));
+}
+
+void ProcessGroup::all_gather(const Tensor& shard, Tensor& out) const {
+  GroupState& g = *state_;
+  const int p = size();
+  const std::int64_t n = shard.numel();
+  if (out.numel() != n * p) {
+    throw std::invalid_argument("all_gather: out must hold size() shards");
+  }
+  g.src[static_cast<std::size_t>(group_rank_)] = shard.data();
+  g.bar.arrive_and_wait();
+  float* dst = out.data();
+  for (int r = 0; r < p; ++r) {
+    std::memcpy(dst + static_cast<std::int64_t>(r) * n,
+                g.src[static_cast<std::size_t>(r)],
+                static_cast<std::size_t>(n) * sizeof(float));
+  }
+  g.bar.arrive_and_wait();
+  if (group_rank_ == 0) g.record(static_cast<std::uint64_t>(n) * sizeof(float) * static_cast<std::uint64_t>(p));
+}
+
+void ProcessGroup::reduce_scatter(const Tensor& input, Tensor& out,
+                                  ReduceOp op) const {
+  GroupState& g = *state_;
+  const int p = size();
+  const std::int64_t seg = out.numel();
+  if (input.numel() != seg * p) {
+    throw std::invalid_argument("reduce_scatter: input must hold size() segments");
+  }
+  g.src[static_cast<std::size_t>(group_rank_)] = input.data();
+  g.bar.arrive_and_wait();
+  const std::int64_t off = static_cast<std::int64_t>(group_rank_) * seg;
+  std::vector<float> acc(static_cast<std::size_t>(seg), 0.0f);
+  const float* s0 = g.src[0] + off;
+  for (std::int64_t i = 0; i < seg; ++i) acc[static_cast<std::size_t>(i)] = s0[i];
+  for (int r = 1; r < p; ++r) {
+    const float* s = g.src[static_cast<std::size_t>(r)] + off;
+    for (std::int64_t i = 0; i < seg; ++i) {
+      acc[static_cast<std::size_t>(i)] =
+          reduce_combine(op, acc[static_cast<std::size_t>(i)], s[i]);
+    }
+  }
+  reduce_finalise(op, acc.data(), seg, p);
+  g.bar.arrive_and_wait();
+  std::memcpy(out.data(), acc.data(), static_cast<std::size_t>(seg) * sizeof(float));
+  if (group_rank_ == 0) g.record(static_cast<std::uint64_t>(seg) * sizeof(float) * static_cast<std::uint64_t>(p));
+}
+
+void ProcessGroup::broadcast(Tensor& t, int root) const {
+  GroupState& g = *state_;
+  if (root < 0 || root >= size()) {
+    throw std::invalid_argument("broadcast: bad root");
+  }
+  g.src[static_cast<std::size_t>(group_rank_)] = t.data();
+  g.bar.arrive_and_wait();
+  if (group_rank_ != root) {
+    std::memcpy(t.data(), g.src[static_cast<std::size_t>(root)],
+                static_cast<std::size_t>(t.numel()) * sizeof(float));
+  }
+  g.bar.arrive_and_wait();
+  if (group_rank_ == 0) g.record(static_cast<std::uint64_t>(t.numel()) * sizeof(float));
+}
+
+void ProcessGroup::gather(const Tensor& shard, Tensor& out, int root) const {
+  GroupState& g = *state_;
+  const int p = size();
+  const std::int64_t n = shard.numel();
+  g.src[static_cast<std::size_t>(group_rank_)] = shard.data();
+  g.bar.arrive_and_wait();
+  if (group_rank_ == root) {
+    if (out.numel() != n * p) {
+      throw std::invalid_argument("gather: out must hold size() shards");
+    }
+    float* dst = out.data();
+    for (int r = 0; r < p; ++r) {
+      std::memcpy(dst + static_cast<std::int64_t>(r) * n,
+                  g.src[static_cast<std::size_t>(r)],
+                  static_cast<std::size_t>(n) * sizeof(float));
+    }
+  }
+  g.bar.arrive_and_wait();
+  if (group_rank_ == 0) g.record(static_cast<std::uint64_t>(n) * sizeof(float) * static_cast<std::uint64_t>(p));
+}
+
+void ProcessGroup::scatter(const Tensor& input, Tensor& out, int root) const {
+  GroupState& g = *state_;
+  const int p = size();
+  const std::int64_t seg = out.numel();
+  if (group_rank_ == root && input.numel() != seg * p) {
+    throw std::invalid_argument("scatter: input must hold size() segments");
+  }
+  g.src[static_cast<std::size_t>(group_rank_)] =
+      group_rank_ == root ? input.data() : nullptr;
+  g.bar.arrive_and_wait();
+  const float* base = g.src[static_cast<std::size_t>(root)];
+  std::memcpy(out.data(), base + static_cast<std::int64_t>(group_rank_) * seg,
+              static_cast<std::size_t>(seg) * sizeof(float));
+  g.bar.arrive_and_wait();
+  if (group_rank_ == 0) g.record(static_cast<std::uint64_t>(seg) * sizeof(float) * static_cast<std::uint64_t>(p));
+}
+
+void ProcessGroup::send(const Tensor& t, int dst, int tag) const {
+  GroupState& g = *state_;
+  {
+    std::lock_guard<std::mutex> lk(g.mail_mu);
+    g.mail[{group_rank_, dst, tag}].push_back(t.clone());
+    g.record(static_cast<std::uint64_t>(t.numel()) * sizeof(float));
+  }
+  g.mail_cv.notify_all();
+}
+
+Tensor ProcessGroup::recv(int src, int tag) const {
+  GroupState& g = *state_;
+  std::unique_lock<std::mutex> lk(g.mail_mu);
+  const auto key = std::make_tuple(src, group_rank_, tag);
+  g.mail_cv.wait(lk, [&] {
+    auto it = g.mail.find(key);
+    return it != g.mail.end() && !it->second.empty();
+  });
+  auto& q = g.mail[key];
+  Tensor t = std::move(q.front());
+  q.pop_front();
+  return t;
+}
+
+std::uint64_t ProcessGroup::bytes_moved() const {
+  return state_->bytes.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ProcessGroup::ops_issued() const {
+  return state_->ops.load(std::memory_order_relaxed);
+}
+
+/// Shared registry of groups, indexed by creation order so each rank can
+/// attach to the group its peers created (see RankContext::new_group).
+class World {
+ public:
+  explicit World(int n) : size_(n) {
+    std::vector<int> all(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) all[static_cast<std::size_t>(i)] = i;
+    world_state_ = std::make_shared<GroupState>(std::move(all));
+  }
+
+  int size() const { return size_; }
+  std::shared_ptr<GroupState> world_state() const { return world_state_; }
+
+  std::shared_ptr<GroupState> get_or_create(const std::vector<int>& ranks) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = groups_.find(ranks);
+    if (it == groups_.end()) {
+      it = groups_.emplace(ranks, std::make_shared<GroupState>(ranks)).first;
+    }
+    return it->second;
+  }
+
+ private:
+  int size_;
+  std::shared_ptr<GroupState> world_state_;
+  std::mutex mu_;
+  std::map<std::vector<int>, std::shared_ptr<GroupState>> groups_;
+};
+
+RankContext::RankContext(World* world, int rank) : world_(world), rank_(rank) {}
+
+int RankContext::world_size() const { return world_->size(); }
+
+ProcessGroup RankContext::world_group() const {
+  return ProcessGroup(world_->world_state(), rank_);
+}
+
+ProcessGroup RankContext::new_group(const std::vector<int>& global_ranks) {
+  const auto it =
+      std::find(global_ranks.begin(), global_ranks.end(), rank_);
+  if (it == global_ranks.end()) return {};  // non-members never create state
+  auto state = world_->get_or_create(global_ranks);
+  return ProcessGroup(state,
+                      static_cast<int>(it - global_ranks.begin()));
+}
+
+void run_spmd(int world_size, const std::function<void(RankContext&)>& fn) {
+  if (world_size <= 0) throw std::invalid_argument("run_spmd: world_size <= 0");
+  World world(world_size);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(
+      static_cast<std::size_t>(world_size));
+  threads.reserve(static_cast<std::size_t>(world_size));
+  for (int r = 0; r < world_size; ++r) {
+    threads.emplace_back([&world, &fn, &errors, r] {
+      try {
+        RankContext ctx(&world, r);
+        fn(ctx);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace orbit::comm

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "comm/process_group.hpp"
+
+/// \file world.hpp
+/// SPMD launcher for the simulated cluster.
+///
+/// `run_spmd(n, fn)` starts `n` rank threads, hands each a `RankContext`,
+/// and joins them. Exceptions thrown by any rank are collected and the
+/// first is rethrown after all threads finish (a rank that throws while
+/// peers wait in a collective is a programming error, like MPI).
+
+namespace orbit::comm {
+
+class World;
+
+/// Per-rank view of the simulated cluster, passed to the SPMD function.
+class RankContext {
+ public:
+  RankContext(World* world, int rank);
+
+  /// Global rank in [0, world_size).
+  int rank() const { return rank_; }
+  int world_size() const;
+
+  /// The group containing every rank.
+  ProcessGroup world_group() const;
+
+  /// Create (or attach to) a sub-group identified by its member list.
+  /// Groups are keyed by `global_ranks`: the first caller creates the shared
+  /// state, later callers (and later call sites with the same list) attach
+  /// to it — so each rank only needs to create the groups it belongs to,
+  /// exactly how the Hybrid-STOP engines build their TP/FSDP/DDP axes.
+  /// Non-member callers receive an invalid handle they must not use.
+  ProcessGroup new_group(const std::vector<int>& global_ranks);
+
+ private:
+  World* world_;
+  int rank_;
+};
+
+/// Run `fn` on `world_size` simulated ranks and join.
+void run_spmd(int world_size,
+              const std::function<void(RankContext&)>& fn);
+
+}  // namespace orbit::comm

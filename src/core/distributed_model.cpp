@@ -1,0 +1,137 @@
+#include "core/distributed_model.hpp"
+
+#include <cmath>
+
+#include "metrics/metrics.hpp"
+#include "tensor/ops.hpp"
+
+namespace orbit::core {
+
+DistributedOrbitModel::DistributedOrbitModel(const model::VitConfig& cfg,
+                                             comm::RankContext& ctx,
+                                             DistributedTrainerConfig tcfg)
+    : cfg_(std::move(tcfg)),
+      mesh_(HybridMesh::build(ctx, cfg_.engine.ddp, cfg_.engine.fsdp,
+                              cfg_.engine.tp)),
+      world_(ctx.world_group()),
+      scaler_(cfg_.engine.scaler) {
+  replicated_ = std::make_unique<model::OrbitModel>(cfg);
+  hs_tower_ = std::make_unique<HsTower>(replicated_->tower(), cfg,
+                                        mesh_.tp_group, mesh_.fsdp_group,
+                                        cfg_.engine.options);
+  train::AdamWConfig acfg = cfg_.engine.adamw;
+  acfg.bf16_params = cfg_.engine.mixed_precision;
+  opt_ = std::make_unique<train::AdamW>(all_params(), acfg);
+  lat_weights_ = metrics::latitude_weights(cfg.image_h);
+}
+
+std::vector<model::Param*> DistributedOrbitModel::replicated_params() {
+  std::vector<model::Param*> out;
+  replicated_->patch_embed().collect_params(out);
+  replicated_->aggregation().collect_params(out);
+  replicated_->pos_lead().collect_params(out);
+  replicated_->head().collect_params(out);
+  for (model::Param* p : hs_tower_->replicated_params()) out.push_back(p);
+  return out;
+}
+
+std::vector<model::Param*> DistributedOrbitModel::all_params() {
+  std::vector<model::Param*> out = hs_tower_->shard_params();
+  for (model::Param* p : replicated_params()) out.push_back(p);
+  return out;
+}
+
+Tensor DistributedOrbitModel::forward(const Tensor& x,
+                                      const Tensor& lead_days) {
+  Tensor tokens = replicated_->patch_embed().forward(x);
+  Tensor aggregated = replicated_->aggregation().forward(tokens);
+  Tensor conditioned = replicated_->pos_lead().forward(aggregated, lead_days);
+  Tensor features = hs_tower_->forward(conditioned);
+  return replicated_->head().forward(features);
+}
+
+void DistributedOrbitModel::backward(const Tensor& dy) {
+  Tensor d = replicated_->head().backward(dy);
+  d = hs_tower_->backward(d);
+  d = replicated_->pos_lead().backward(d);
+  d = replicated_->aggregation().backward(d);
+  (void)replicated_->patch_embed().backward(d);
+}
+
+void DistributedOrbitModel::sync_grads() {
+  if (mesh_.ddp_group.valid() && mesh_.ddp_group.size() > 1) {
+    for (model::Param* p : hs_tower_->shard_params()) {
+      mesh_.ddp_group.all_reduce(p->grad, comm::ReduceOp::kAvg);
+    }
+  }
+  if (mesh_.data_group.valid() && mesh_.data_group.size() > 1) {
+    for (model::Param* p : replicated_params()) {
+      mesh_.data_group.all_reduce(p->grad, comm::ReduceOp::kAvg);
+    }
+  }
+}
+
+void DistributedOrbitModel::zero_grad() {
+  hs_tower_->zero_grad();
+  for (model::Param* p : replicated_params()) p->zero_grad();
+}
+
+double DistributedOrbitModel::train_step(const train::Batch& batch) {
+  if (cfg_.schedule) opt_->set_lr(cfg_.schedule->at(step_));
+  zero_grad();
+
+  Tensor pred = forward(batch.inputs, batch.lead_days);
+  const double local_loss = metrics::wmse(pred, batch.targets, lat_weights_);
+
+  Tensor dy = metrics::wmse_grad(pred, batch.targets, lat_weights_);
+  const float s = cfg_.engine.mixed_precision ? scaler_.scale() : 1.0f;
+  if (s != 1.0f) dy.scale_(s);
+  backward(dy);
+  sync_grads();
+
+  bool do_step = true;
+  if (cfg_.engine.mixed_precision) {
+    opt_->scale_grads(1.0f / s);
+    // Overflow skipping must agree on every rank or replicas diverge.
+    Tensor flag = Tensor::full({1}, opt_->grads_nonfinite() ? 1.0f : 0.0f);
+    world_.all_reduce(flag, comm::ReduceOp::kMax);
+    do_step = scaler_.update(flag[0] > 0.5f);
+  }
+  if (do_step) {
+    if (cfg_.clip_norm > 0.0) {
+      // Global-norm clipping: shard squares are disjoint across the
+      // FSDP x TP axes, so summing over both yields the model-wide norm;
+      // replicated params contribute once (identical on every rank).
+      // Every rank derives the same factor, keeping replicas in lockstep.
+      double shard_sq = 0.0;
+      for (model::Param* p : hs_tower_->shard_params()) {
+        shard_sq += sum_sq(p->grad);
+      }
+      Tensor acc = Tensor::full({1}, static_cast<float>(shard_sq));
+      if (mesh_.fsdp_group.valid() && mesh_.fsdp_group.size() > 1) {
+        mesh_.fsdp_group.all_reduce(acc, comm::ReduceOp::kSum);
+      }
+      if (mesh_.tp_group.valid() && mesh_.tp_group.size() > 1) {
+        mesh_.tp_group.all_reduce(acc, comm::ReduceOp::kSum);
+      }
+      double total_sq = acc[0];
+      for (model::Param* p : replicated_params()) total_sq += sum_sq(p->grad);
+      const double norm = std::sqrt(total_sq);
+      if (norm > cfg_.clip_norm && norm > 0.0) {
+        const float scale_factor =
+            static_cast<float>(cfg_.clip_norm / norm);
+        for (model::Param* p : opt_->params()) p->grad.scale_(scale_factor);
+      }
+    }
+    opt_->step();
+  }
+  ++step_;
+
+  Tensor loss_t = Tensor::full({1}, static_cast<float>(local_loss));
+  if (mesh_.data_group.valid() && mesh_.data_group.size() > 1) {
+    mesh_.data_group.all_reduce(loss_t, comm::ReduceOp::kAvg);
+  }
+  return loss_t[0];
+}
+
+}  // namespace orbit::core

@@ -1,0 +1,59 @@
+#include "core/hs_checkpoint.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "model/checkpoint_io.hpp"
+
+namespace orbit::core {
+namespace {
+
+std::string rank_file(const std::string& prefix, const HybridMesh& mesh) {
+  const int rank = (mesh.d * mesh.fsdp_size + mesh.f) * mesh.tp_size + mesh.t;
+  return prefix + ".rank" + std::to_string(rank) + ".bin";
+}
+
+std::string meta_file(const std::string& prefix) { return prefix + ".meta"; }
+
+}  // namespace
+
+void save_sharded_checkpoint(const std::string& prefix,
+                             DistributedOrbitModel& m) {
+  const HybridMesh& mesh = m.mesh();
+  model::save_checkpoint(rank_file(prefix, mesh), m.all_params());
+  if (mesh.d == 0 && mesh.f == 0 && mesh.t == 0) {
+    std::ofstream meta(meta_file(prefix), std::ios::trunc);
+    if (!meta) {
+      throw std::runtime_error("sharded checkpoint: cannot write metadata");
+    }
+    meta << "orbit-sharded-checkpoint v1\n"
+         << "ddp " << mesh.ddp_size << "\nfsdp " << mesh.fsdp_size
+         << "\ntp " << mesh.tp_size << "\n";
+  }
+}
+
+void load_sharded_checkpoint(const std::string& prefix,
+                             DistributedOrbitModel& m) {
+  const HybridMesh& mesh = m.mesh();
+  std::ifstream meta(meta_file(prefix));
+  if (!meta) {
+    throw std::runtime_error("sharded checkpoint: missing metadata file " +
+                             meta_file(prefix));
+  }
+  std::string header, key;
+  std::getline(meta, header);
+  if (header != "orbit-sharded-checkpoint v1") {
+    throw std::runtime_error("sharded checkpoint: bad metadata header");
+  }
+  int ddp = 0, fsdp = 0, tp = 0;
+  meta >> key >> ddp >> key >> fsdp >> key >> tp;
+  if (ddp != mesh.ddp_size || fsdp != mesh.fsdp_size || tp != mesh.tp_size) {
+    throw std::runtime_error(
+        "sharded checkpoint: mesh mismatch — checkpoint was written with "
+        "ddp=" + std::to_string(ddp) + " fsdp=" + std::to_string(fsdp) +
+        " tp=" + std::to_string(tp));
+  }
+  model::load_checkpoint(rank_file(prefix, mesh), m.all_params());
+}
+
+}  // namespace orbit::core

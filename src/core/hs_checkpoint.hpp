@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+#include "core/distributed_model.hpp"
+
+/// \file hs_checkpoint.hpp
+/// Sharded checkpointing for distributed training runs. Each rank writes
+/// its own file (`<prefix>.rank<R>.bin`) containing its parameter shards
+/// and replicated parameters, plus a shared metadata file recording the
+/// mesh — the torch-distributed-checkpoint model: resume requires the same
+/// (ddp, fsdp, tp) factorization, and loading is embarrassingly parallel.
+
+namespace orbit::core {
+
+/// Write this rank's state. Rank 0 additionally writes `<prefix>.meta`.
+/// All ranks must call (collective only in the trivial sense: no
+/// communication happens, but every rank's file must exist for a resume).
+void save_sharded_checkpoint(const std::string& prefix,
+                             DistributedOrbitModel& m);
+
+/// Load this rank's state. Throws std::runtime_error when the metadata
+/// does not match the model's mesh (resuming on a different factorization
+/// is not supported — reshard by going through a serial checkpoint).
+void load_sharded_checkpoint(const std::string& prefix,
+                             DistributedOrbitModel& m);
+
+}  // namespace orbit::core

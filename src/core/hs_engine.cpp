@@ -1,0 +1,83 @@
+#include "core/hs_engine.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace orbit::core {
+
+HsEngine::HsEngine(const model::VitConfig& cfg, comm::RankContext& ctx,
+                   HsEngineConfig engine_cfg)
+    : cfg_(engine_cfg),
+      mesh_(HybridMesh::build(ctx, engine_cfg.ddp, engine_cfg.fsdp,
+                              engine_cfg.tp)),
+      world_(ctx.world_group()),
+      scaler_(engine_cfg.scaler) {
+  tower_ = std::make_unique<HsTower>(cfg, mesh_.tp_group, mesh_.fsdp_group,
+                                     engine_cfg.options);
+  train::AdamWConfig acfg = cfg_.adamw;
+  acfg.bf16_params = cfg_.mixed_precision;
+  opt_ = std::make_unique<train::AdamW>(all_params(), acfg);
+}
+
+std::vector<model::Param*> HsEngine::all_params() {
+  std::vector<model::Param*> out = tower_->shard_params();
+  for (model::Param* p : tower_->replicated_params()) out.push_back(p);
+  return out;
+}
+
+Tensor HsEngine::forward(const Tensor& x) { return tower_->forward(x); }
+
+Tensor HsEngine::backward(const Tensor& dy) { return tower_->backward(dy); }
+
+void HsEngine::sync_grads() {
+  // Shard grads were already FSDP-averaged by the reduce-scatters inside
+  // backward; average over the DDP replicas.
+  if (mesh_.ddp_group.valid() && mesh_.ddp_group.size() > 1) {
+    for (model::Param* p : tower_->shard_params()) {
+      mesh_.ddp_group.all_reduce(p->grad, comm::ReduceOp::kAvg);
+    }
+  }
+  // Replicated params saw only this rank's data shard: average over every
+  // data shard (the f and d axes together).
+  if (mesh_.data_group.valid() && mesh_.data_group.size() > 1) {
+    for (model::Param* p : tower_->replicated_params()) {
+      mesh_.data_group.all_reduce(p->grad, comm::ReduceOp::kAvg);
+    }
+  }
+}
+
+void HsEngine::zero_grad() { tower_->zero_grad(); }
+
+double HsEngine::train_step_mse(const Tensor& x, const Tensor& target) {
+  zero_grad();
+  Tensor y = forward(x);
+  Tensor err = sub(y, target);
+  const double local_loss =
+      sum_sq(err) / static_cast<double>(err.numel());
+
+  Tensor dy = scale(err, 2.0f / static_cast<float>(err.numel()));
+  const float s = cfg_.mixed_precision ? scaler_.scale() : 1.0f;
+  if (s != 1.0f) dy.scale_(s);
+  backward(dy);
+  sync_grads();
+
+  bool do_step = true;
+  if (cfg_.mixed_precision) {
+    opt_->scale_grads(1.0f / s);
+    // Overflow decisions must agree across ranks or shards diverge: reduce
+    // the local flag with MAX over the whole world.
+    Tensor flag = Tensor::full({1}, opt_->grads_nonfinite() ? 1.0f : 0.0f);
+    world_.all_reduce(flag, comm::ReduceOp::kMax);
+    do_step = scaler_.update(flag[0] > 0.5f);
+  }
+  if (do_step) opt_->step();
+
+  // Report the global mean loss for convenience (average across data
+  // shards; identical within a TP group).
+  Tensor loss_t = Tensor::full({1}, static_cast<float>(local_loss));
+  if (mesh_.data_group.valid() && mesh_.data_group.size() > 1) {
+    mesh_.data_group.all_reduce(loss_t, comm::ReduceOp::kAvg);
+  }
+  return loss_t[0];
+}
+
+}  // namespace orbit::core

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/hybrid_stop.hpp"
+#include "core/mesh.hpp"
+#include "train/grad_scaler.hpp"
+#include "train/optimizer.hpp"
+#include "train/schedule.hpp"
+
+/// \file hs_engine.hpp
+/// The distributed training engine: Hybrid-STOP tower + hierarchical
+/// DDP axis + rank-local optimizer (Fig. 4). One HsEngine lives on every
+/// rank of a run_spmd world.
+
+namespace orbit::core {
+
+struct HsEngineConfig {
+  int ddp = 1, fsdp = 1, tp = 1;
+  HsOptions options;
+  train::AdamWConfig adamw;
+  /// BF16 mixed precision: bf16 working shards, f32 masters, dynamic
+  /// gradient scaling with globally-consistent overflow skipping.
+  bool mixed_precision = false;
+  train::GradScalerConfig scaler;
+};
+
+class HsEngine {
+ public:
+  HsEngine(const model::VitConfig& cfg, comm::RankContext& ctx,
+           HsEngineConfig engine_cfg);
+
+  /// x: [B_local, S, D] — this rank's data shard (identical within a TP
+  /// group, distinct across FSDP/DDP coordinates).
+  Tensor forward(const Tensor& x);
+  /// Local backward; leaves unsynchronised grads in engine params.
+  Tensor backward(const Tensor& dy);
+  /// DDP-average shard grads and data-group-average replicated grads.
+  void sync_grads();
+  void zero_grad();
+
+  /// One full training step on a tower-level MSE task; returns the global
+  /// mean loss (averaged across data shards). Used by equivalence tests and
+  /// the pre-training benches.
+  double train_step_mse(const Tensor& x, const Tensor& target);
+
+  HsTower& tower() { return *tower_; }
+  const HybridMesh& mesh() const { return mesh_; }
+  train::AdamW& optimizer() { return *opt_; }
+  train::GradScaler& scaler() { return scaler_; }
+  const MemoryCounter& memory() const { return tower_->memory(); }
+
+  /// All rank-local trainable state (shards + replicated).
+  std::vector<model::Param*> all_params();
+
+ private:
+  HsEngineConfig cfg_;
+  HybridMesh mesh_;
+  comm::ProcessGroup world_;
+  std::unique_ptr<HsTower> tower_;
+  std::unique_ptr<train::AdamW> opt_;
+  train::GradScaler scaler_;
+};
+
+}  // namespace orbit::core

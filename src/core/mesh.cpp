@@ -1,0 +1,51 @@
+#include "core/mesh.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace orbit::core {
+
+HybridMesh HybridMesh::build(comm::RankContext& ctx, int ddp, int fsdp,
+                             int tp) {
+  if (ddp < 1 || fsdp < 1 || tp < 1 ||
+      ddp * fsdp * tp != ctx.world_size()) {
+    throw std::invalid_argument(
+        "HybridMesh: ddp*fsdp*tp must equal world size (" +
+        std::to_string(ctx.world_size()) + ")");
+  }
+  HybridMesh m;
+  m.ddp_size = ddp;
+  m.fsdp_size = fsdp;
+  m.tp_size = tp;
+  const int r = ctx.rank();
+  m.t = r % tp;
+  m.f = (r / tp) % fsdp;
+  m.d = r / (tp * fsdp);
+
+  const auto rank_of = [&](int dd, int ff, int tt) {
+    return (dd * fsdp + ff) * tp + tt;
+  };
+
+  std::vector<int> tp_ranks;
+  for (int tt = 0; tt < tp; ++tt) tp_ranks.push_back(rank_of(m.d, m.f, tt));
+  m.tp_group = ctx.new_group(tp_ranks);
+
+  std::vector<int> fsdp_ranks;
+  for (int ff = 0; ff < fsdp; ++ff) fsdp_ranks.push_back(rank_of(m.d, ff, m.t));
+  m.fsdp_group = ctx.new_group(fsdp_ranks);
+
+  std::vector<int> ddp_ranks;
+  for (int dd = 0; dd < ddp; ++dd) ddp_ranks.push_back(rank_of(dd, m.f, m.t));
+  m.ddp_group = ctx.new_group(ddp_ranks);
+
+  std::vector<int> data_ranks;
+  for (int dd = 0; dd < ddp; ++dd) {
+    for (int ff = 0; ff < fsdp; ++ff) {
+      data_ranks.push_back(rank_of(dd, ff, m.t));
+    }
+  }
+  m.data_group = ctx.new_group(data_ranks);
+  return m;
+}
+
+}  // namespace orbit::core

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "comm/world.hpp"
+
+/// \file mesh.hpp
+/// The three-axis process-group mesh of Hybrid-STOP's hierarchical
+/// parallelism (paper Fig. 4). World size factors as ddp × fsdp × tp with
+/// the tensor-parallel axis innermost (consecutive global ranks — mapped to
+/// GPUs within one Frontier node for its low-latency Infinity Fabric), the
+/// FSDP axis next (across nodes), and the DDP axis outermost (across
+/// sub-clusters).
+///
+/// Global rank of mesh coordinate (d, f, t) = (d·F + f)·T + t.
+
+namespace orbit::core {
+
+struct HybridMesh {
+  int ddp_size = 1, fsdp_size = 1, tp_size = 1;
+  int d = 0, f = 0, t = 0;  ///< this rank's coordinates
+
+  comm::ProcessGroup tp_group;    ///< fixed (d, f): shares data, shards tensors
+  comm::ProcessGroup fsdp_group;  ///< fixed (d, t): shards the TP shard, own data
+  comm::ProcessGroup ddp_group;   ///< fixed (f, t): gradient averaging only
+  /// All ranks with the same t inside one replica set — the group over which
+  /// replicated (non-sharded) parameter gradients must be averaged
+  /// (different data across f and d; identical compute across t).
+  comm::ProcessGroup data_group;
+
+  /// Index of the data shard this rank should train on, in
+  /// [0, num_data_shards): ranks in the same TP group share a shard.
+  int data_shard() const { return d * fsdp_size + f; }
+  int num_data_shards() const { return ddp_size * fsdp_size; }
+
+  /// Build all groups for the calling rank. Throws unless
+  /// ddp*fsdp*tp == world size.
+  static HybridMesh build(comm::RankContext& ctx, int ddp, int fsdp, int tp);
+};
+
+}  // namespace orbit::core

@@ -1,0 +1,112 @@
+#include "data/baselines.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace orbit::data {
+
+ClimatologyForecast::ClimatologyForecast(Tensor climatology)
+    : clim_(std::move(climatology)) {
+  if (clim_.ndim() != 3) {
+    throw std::invalid_argument("ClimatologyForecast: need [C,H,W]");
+  }
+}
+
+Tensor ClimatologyForecast::predict(const Tensor& inputs) const {
+  const std::int64_t b = inputs.dim(0);
+  std::vector<std::int64_t> shape = clim_.shape();
+  shape.insert(shape.begin(), b);
+  Tensor out = Tensor::empty(shape);
+  for (std::int64_t i = 0; i < b; ++i) {
+    std::copy(clim_.data(), clim_.data() + clim_.numel(),
+              out.data() + i * clim_.numel());
+  }
+  return out;
+}
+
+PersistenceForecast::PersistenceForecast(std::vector<std::int64_t> out_channels)
+    : out_(std::move(out_channels)) {
+  if (out_.empty()) throw std::invalid_argument("PersistenceForecast: empty");
+}
+
+Tensor PersistenceForecast::predict(const Tensor& inputs) const {
+  const std::int64_t b = inputs.dim(0), c = inputs.dim(1), h = inputs.dim(2),
+                     w = inputs.dim(3);
+  const std::int64_t hw = h * w;
+  Tensor out =
+      Tensor::empty({b, static_cast<std::int64_t>(out_.size()), h, w});
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::size_t oi = 0; oi < out_.size(); ++oi) {
+      const std::int64_t ci = out_[oi];
+      if (ci >= c) throw std::invalid_argument("PersistenceForecast: channel");
+      std::copy(inputs.data() + (bi * c + ci) * hw,
+                inputs.data() + (bi * c + ci + 1) * hw,
+                out.data() + (bi * static_cast<std::int64_t>(out_.size()) +
+                              static_cast<std::int64_t>(oi)) * hw);
+    }
+  }
+  return out;
+}
+
+DampedAnomalyForecast::DampedAnomalyForecast(const ForecastDataset& train,
+                                             const Tensor& climatology,
+                                             std::int64_t max_samples)
+    : clim_(climatology.clone()), out_(train.out_channels()) {
+  const std::int64_t n_out = static_cast<std::int64_t>(out_.size());
+  if (clim_.ndim() != 3 || clim_.dim(0) != n_out) {
+    throw std::invalid_argument(
+        "DampedAnomalyForecast: climatology must be [C_out,H,W]");
+  }
+  const std::int64_t hw = clim_.dim(1) * clim_.dim(2);
+  std::vector<double> num(static_cast<std::size_t>(n_out), 0.0);
+  std::vector<double> den(static_cast<std::size_t>(n_out), 0.0);
+  const std::int64_t n =
+      std::min<std::int64_t>(max_samples, train.size());
+  const std::int64_t stride = std::max<std::int64_t>(1, train.size() / n);
+  for (std::int64_t i = 0; i < train.size(); i += stride) {
+    ForecastSample s = train.at(i);
+    const std::int64_t c_in = s.input.dim(0);
+    for (std::int64_t oi = 0; oi < n_out; ++oi) {
+      const std::int64_t ci = out_[static_cast<std::size_t>(oi)];
+      if (ci >= c_in) continue;
+      const float* in = s.input.data() + ci * hw;
+      const float* tg = s.target.data() + oi * hw;
+      const float* cl = clim_.data() + oi * hw;
+      for (std::int64_t p = 0; p < hw; ++p) {
+        const double ain = static_cast<double>(in[p]) - cl[p];
+        const double aout = static_cast<double>(tg[p]) - cl[p];
+        num[static_cast<std::size_t>(oi)] += ain * aout;
+        den[static_cast<std::size_t>(oi)] += ain * ain;
+      }
+    }
+  }
+  alphas_.resize(static_cast<std::size_t>(n_out), 0.0);
+  for (std::int64_t oi = 0; oi < n_out; ++oi) {
+    const double d = den[static_cast<std::size_t>(oi)];
+    double a = d > 0.0 ? num[static_cast<std::size_t>(oi)] / d : 0.0;
+    alphas_[static_cast<std::size_t>(oi)] = std::clamp(a, -1.0, 1.0);
+  }
+}
+
+Tensor DampedAnomalyForecast::predict(const Tensor& inputs) const {
+  const std::int64_t b = inputs.dim(0), c = inputs.dim(1);
+  const std::int64_t hw = clim_.dim(1) * clim_.dim(2);
+  const std::int64_t n_out = static_cast<std::int64_t>(out_.size());
+  Tensor out = Tensor::empty({b, n_out, clim_.dim(1), clim_.dim(2)});
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t oi = 0; oi < n_out; ++oi) {
+      const std::int64_t ci = out_[static_cast<std::size_t>(oi)];
+      if (ci >= c) throw std::invalid_argument("DampedAnomalyForecast: channel");
+      const float* in = inputs.data() + (bi * c + ci) * hw;
+      const float* cl = clim_.data() + oi * hw;
+      const float a = static_cast<float>(alphas_[static_cast<std::size_t>(oi)]);
+      float* po = out.data() + (bi * n_out + oi) * hw;
+      for (std::int64_t p = 0; p < hw; ++p) {
+        po[p] = cl[p] + a * (in[p] - cl[p]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace orbit::data

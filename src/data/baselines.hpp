@@ -1,0 +1,63 @@
+#pragma once
+
+#include "data/dataset.hpp"
+
+/// \file baselines.hpp
+/// Reference forecast models for the Fig. 9 skill comparison. The paper
+/// compares against ClimaX/Stormer/FourCastNet/IFS, none of which can be
+/// rebuilt here; these implement the standard meteorological baselines that
+/// bracket the skill range: climatology (wACC == 0 by construction),
+/// persistence (strong at short leads, useless at long leads), and a fitted
+/// damped-anomaly model (an AR(1)-style statistical forecast).
+
+namespace orbit::data {
+
+/// Predicts the climatology regardless of input: the zero-skill anchor.
+class ClimatologyForecast {
+ public:
+  /// `climatology`: [C_out, H, W] in normalised units.
+  explicit ClimatologyForecast(Tensor climatology);
+
+  /// inputs: [B, C_in, H, W] -> [B, C_out, H, W].
+  Tensor predict(const Tensor& inputs) const;
+
+ private:
+  Tensor clim_;
+};
+
+/// Predicts that nothing changes: output channel values = current values.
+class PersistenceForecast {
+ public:
+  /// `out_channels`: indices of the predicted variables within the input.
+  explicit PersistenceForecast(std::vector<std::int64_t> out_channels);
+
+  Tensor predict(const Tensor& inputs) const;
+
+ private:
+  std::vector<std::int64_t> out_;
+};
+
+/// Damped-persistence forecast: anomaly(t + lead) ≈ alpha_c · anomaly(t),
+/// with per-channel damping fitted by least squares on training pairs.
+/// Matches the e-folding behaviour of real atmospheric anomalies and decays
+/// toward climatology at long leads — the behaviour Fig. 9 shows for the
+/// non-AI baselines.
+class DampedAnomalyForecast {
+ public:
+  /// Fit on `train`: uses up to `max_samples` samples.
+  DampedAnomalyForecast(const ForecastDataset& train, const Tensor& climatology,
+                        std::int64_t max_samples = 512);
+
+  Tensor predict(const Tensor& inputs) const;
+
+  /// Fitted damping per output channel (0 = pure climatology, 1 = pure
+  /// persistence).
+  const std::vector<double>& alphas() const { return alphas_; }
+
+ private:
+  Tensor clim_;  ///< [C_out, H, W]
+  std::vector<std::int64_t> out_;
+  std::vector<double> alphas_;
+};
+
+}  // namespace orbit::data

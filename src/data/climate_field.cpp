@@ -1,0 +1,305 @@
+#include "data/climate_field.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "tensor/rng.hpp"
+#include "tensor/threadpool.hpp"
+
+namespace orbit::data {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+constexpr std::int64_t kStepsPerDay = 4;      // 6-hourly observations
+constexpr std::int64_t kStepsPerYear = 1460;  // 365 * 4
+
+/// Integer hash -> [0, 1) float; the primitive behind the value noise.
+float hash01(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return static_cast<float>(x >> 40) * 0x1.0p-24f;
+}
+
+/// Smooth value noise over a coarse lattice in (t, y, x), trilinear blend.
+/// Gives the fields non-periodic "weather" detail while staying a pure
+/// function of the coordinates.
+float value_noise(std::uint64_t seed, std::int64_t t, std::int64_t y,
+                  std::int64_t x, std::int64_t cell_t, std::int64_t cell_s) {
+  const std::int64_t t0 = t / cell_t, y0 = y / cell_s, x0 = x / cell_s;
+  const float ft = static_cast<float>(t % cell_t) / static_cast<float>(cell_t);
+  const float fy = static_cast<float>(y % cell_s) / static_cast<float>(cell_s);
+  const float fx = static_cast<float>(x % cell_s) / static_cast<float>(cell_s);
+  auto corner = [&](std::int64_t dt, std::int64_t dy, std::int64_t dx) {
+    const std::uint64_t key = seed ^
+                              (static_cast<std::uint64_t>(t0 + dt) * 0x9e3779b97f4a7c15ULL) ^
+                              (static_cast<std::uint64_t>(y0 + dy) * 0xbf58476d1ce4e5b9ULL) ^
+                              (static_cast<std::uint64_t>(x0 + dx) * 0x94d049bb133111ebULL);
+    return hash01(key) * 2.0f - 1.0f;
+  };
+  auto smooth = [](float v) { return v * v * (3.0f - 2.0f * v); };
+  const float st = smooth(ft), sy = smooth(fy), sx = smooth(fx);
+  float acc = 0.0f;
+  for (int dt = 0; dt <= 1; ++dt) {
+    for (int dy = 0; dy <= 1; ++dy) {
+      for (int dx = 0; dx <= 1; ++dx) {
+        const float w = (dt ? st : 1 - st) * (dy ? sy : 1 - sy) *
+                        (dx ? sx : 1 - sx);
+        acc += w * corner(dt, dy, dx);
+      }
+    }
+  }
+  return acc;
+}
+
+std::vector<std::string> pressure_level_names(const std::string& var) {
+  // The 17 pressure levels used by ClimaX-style variable sets.
+  static const int levels[17] = {50,  100, 150, 200, 250, 300, 400, 500, 600,
+                                 700, 775, 850, 925, 1000, 70, 125, 175};
+  std::vector<std::string> out;
+  out.reserve(17);
+  for (int l : levels) {
+      out.push_back(std::string(var) + "_" + std::to_string(l));
+    }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& cmip6_source_names() {
+  static const std::vector<std::string> names = {
+      "MPI-ESM", "AWI-ESM", "HAMMOZ", "CMCC", "TAI-ESM",
+      "NOR",     "EC",      "MIRO",   "MRI",  "NESM"};
+  return names;
+}
+
+std::vector<std::string> variable_names_48() {
+  // 3 static + 3 surface + 6 atmospheric vars on 7 levels = 48, matching
+  // the ClimaX variable budget.
+  std::vector<std::string> out = {"lsm",  "orography", "lat2d",
+                                  "t2m",  "u10",       "v10"};
+  static const int levels[7] = {50, 250, 500, 600, 700, 850, 925};
+  for (const char* var : {"z", "t", "q", "u", "v", "rh"}) {
+    for (int l : levels) {
+      out.push_back(std::string(var) + "_" + std::to_string(l));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> variable_names_91() {
+  // 3 static + 3 surface + 5 atmospheric vars x 17 levels = 91 (Sec. IV).
+  std::vector<std::string> out = {"lsm",  "orography", "lat2d",
+                                  "t2m",  "u10",       "v10"};
+  for (const char* var : {"z", "t", "q", "u", "v"}) {
+    const auto lv = pressure_level_names(var);
+    out.insert(out.end(), lv.begin(), lv.end());
+  }
+  return out;
+}
+
+std::int64_t variable_index(const std::vector<std::string>& catalog,
+                            const std::string& name) {
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (catalog[i] == name) return static_cast<std::int64_t>(i);
+  }
+  throw std::invalid_argument("variable_index: unknown variable " + name);
+}
+
+ClimateFieldGenerator::ClimateFieldGenerator(ClimateFieldConfig cfg)
+    : cfg_(cfg) {
+  if (cfg_.source_id < 0 ||
+      cfg_.source_id >= static_cast<int>(cmip6_source_names().size())) {
+    throw std::invalid_argument("ClimateFieldGenerator: source_id out of range");
+  }
+  // All structural randomness is drawn once here from the seed; field
+  // evaluation is afterwards pure arithmetic.
+  Rng rng(cfg_.seed ^ (static_cast<std::uint64_t>(cfg_.source_id) << 32));
+  params_.reserve(static_cast<std::size_t>(cfg_.channels));
+  for (std::int64_t c = 0; c < cfg_.channels; ++c) {
+    ChannelParams p;
+    p.base = static_cast<float>(rng.normal(0.0, 2.0));
+    p.lat_gradient = static_cast<float>(rng.normal(3.0, 1.0));
+    p.jet_strength = static_cast<float>(rng.normal(1.5, 0.5));
+    p.seasonal_amp = static_cast<float>(rng.normal(1.0, 0.3));
+    p.diurnal_amp = static_cast<float>(rng.normal(0.2, 0.1));
+    p.noise_amp = cfg_.reanalysis ? 0.5f : 0.35f;
+    // CMIP6 sources carry systematic model bias; reanalysis does not.
+    p.source_bias =
+        cfg_.reanalysis
+            ? 0.0f
+            : static_cast<float>(rng.normal(0.0, 0.4)) +
+                  0.15f * static_cast<float>(cfg_.source_id);
+    p.noise_seed = rng.next_u64();
+    const int n_waves = 3;
+    for (int w = 0; w < n_waves; ++w) {
+      Wave wave;
+      wave.amplitude = static_cast<float>(rng.normal(0.8, 0.25));
+      wave.zonal_k = static_cast<float>(1 + static_cast<int>(rng.uniform_int(5)));
+      // Planetary waves progress ~ a few degrees per 6 h step.
+      wave.omega = static_cast<float>(rng.normal(0.05, 0.02));
+      wave.phase = static_cast<float>(rng.uniform(0.0, 2.0 * kPi));
+      wave.lat_center = static_cast<float>(rng.uniform(-60.0, 60.0));
+      wave.lat_width = static_cast<float>(rng.uniform(15.0, 40.0));
+      p.waves.push_back(wave);
+    }
+    params_.push_back(std::move(p));
+  }
+}
+
+float ClimateFieldGenerator::value(std::int64_t channel, std::int64_t t,
+                                   std::int64_t y, std::int64_t x) const {
+  const ChannelParams& p = params_[static_cast<std::size_t>(channel)];
+  const double lat =
+      90.0 - (static_cast<double>(y) + 0.5) * 180.0 / static_cast<double>(cfg_.grid_h);
+  const double lon =
+      (static_cast<double>(x) + 0.5) * 2.0 * kPi / static_cast<double>(cfg_.grid_w);
+
+  // Latitudinal gradient (equator-pole contrast) and a mid-latitude jet.
+  float v = p.base + p.lat_gradient *
+                         static_cast<float>(std::cos(lat * kPi / 180.0));
+  const double jet = std::exp(-std::pow((std::fabs(lat) - 45.0) / 12.0, 2.0));
+  v += p.jet_strength * static_cast<float>(jet);
+
+  // Travelling planetary waves confined to latitude bands.
+  for (const Wave& w : p.waves) {
+    const double band =
+        std::exp(-std::pow((lat - w.lat_center) / w.lat_width, 2.0));
+    v += w.amplitude * static_cast<float>(band) *
+         static_cast<float>(std::cos(w.zonal_k * lon -
+                                     w.omega * static_cast<double>(t) +
+                                     w.phase));
+  }
+
+  // Seasonal cycle (hemisphere-antisymmetric) and diurnal cycle
+  // (longitude-locked to local solar time).
+  const double season = 2.0 * kPi * static_cast<double>(t % kStepsPerYear) /
+                        static_cast<double>(kStepsPerYear);
+  v += p.seasonal_amp * static_cast<float>(std::sin(season)) *
+       static_cast<float>(std::sin(lat * kPi / 180.0));
+  const double day_phase =
+      2.0 * kPi * static_cast<double>(t % kStepsPerDay) /
+          static_cast<double>(kStepsPerDay) + lon;
+  v += p.diurnal_amp * static_cast<float>(std::cos(day_phase));
+
+  // Smooth weather noise plus the CMIP6 per-source bias.
+  v += p.noise_amp * value_noise(p.noise_seed, t, y, x,
+                                 /*cell_t=*/8, /*cell_s=*/4);
+  v += p.source_bias;
+  return v;
+}
+
+Tensor ClimateFieldGenerator::channel_field(std::int64_t channel,
+                                            std::int64_t t) const {
+  Tensor out = Tensor::empty({cfg_.grid_h, cfg_.grid_w});
+  float* po = out.data();
+  for (std::int64_t y = 0; y < cfg_.grid_h; ++y) {
+    for (std::int64_t x = 0; x < cfg_.grid_w; ++x) {
+      po[y * cfg_.grid_w + x] = value(channel, t, y, x);
+    }
+  }
+  return out;
+}
+
+Tensor ClimateFieldGenerator::observation(std::int64_t t) const {
+  Tensor out = Tensor::empty({cfg_.channels, cfg_.grid_h, cfg_.grid_w});
+  float* po = out.data();
+  const std::int64_t hw = cfg_.grid_h * cfg_.grid_w;
+  parallel_for(cfg_.channels, 1, [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t c = c0; c < c1; ++c) {
+      for (std::int64_t y = 0; y < cfg_.grid_h; ++y) {
+        for (std::int64_t x = 0; x < cfg_.grid_w; ++x) {
+          po[c * hw + y * cfg_.grid_w + x] = value(c, t, y, x);
+        }
+      }
+    }
+  });
+  return out;
+}
+
+NormStats compute_norm_stats(const ClimateFieldGenerator& gen,
+                             std::int64_t sample_count) {
+  const auto& cfg = gen.config();
+  NormStats stats;
+  stats.mean = Tensor::zeros({cfg.channels});
+  stats.stddev = Tensor::zeros({cfg.channels});
+  std::vector<double> sum(static_cast<std::size_t>(cfg.channels), 0.0);
+  std::vector<double> sumsq(static_cast<std::size_t>(cfg.channels), 0.0);
+  const std::int64_t hw = cfg.grid_h * cfg.grid_w;
+  // Stride through ~a year so seasonality is represented.
+  const std::int64_t stride =
+      std::max<std::int64_t>(1, kStepsPerYear / std::max<std::int64_t>(1, sample_count));
+  std::int64_t n = 0;
+  for (std::int64_t s = 0; s < sample_count; ++s) {
+    Tensor obs = gen.observation(s * stride);
+    const float* po = obs.data();
+    for (std::int64_t c = 0; c < cfg.channels; ++c) {
+      for (std::int64_t i = 0; i < hw; ++i) {
+        const double v = po[c * hw + i];
+        sum[static_cast<std::size_t>(c)] += v;
+        sumsq[static_cast<std::size_t>(c)] += v * v;
+      }
+    }
+    ++n;
+  }
+  const double count = static_cast<double>(n * hw);
+  for (std::int64_t c = 0; c < cfg.channels; ++c) {
+    const double m = sum[static_cast<std::size_t>(c)] / count;
+    const double var = sumsq[static_cast<std::size_t>(c)] / count - m * m;
+    stats.mean[c] = static_cast<float>(m);
+    stats.stddev[c] = static_cast<float>(std::sqrt(std::max(var, 1e-12)));
+  }
+  return stats;
+}
+
+namespace {
+
+void apply_norm(Tensor& fields, const NormStats& stats, bool forward) {
+  const std::int64_t c = stats.mean.numel();
+  if (fields.numel() % (c) != 0) {
+    throw std::invalid_argument("normalize: channel mismatch");
+  }
+  const std::int64_t ndim = fields.ndim();
+  const std::int64_t hw = fields.dim(ndim - 1) * fields.dim(ndim - 2);
+  const std::int64_t batch = fields.numel() / (c * hw);
+  float* p = fields.data();
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      const float m = stats.mean[ci];
+      const float s = stats.stddev[ci];
+      float* base = p + (b * c + ci) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        base[i] = forward ? (base[i] - m) / s : base[i] * s + m;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void normalize_inplace(Tensor& fields, const NormStats& stats) {
+  apply_norm(fields, stats, /*forward=*/true);
+}
+
+void denormalize_inplace(Tensor& fields, const NormStats& stats) {
+  apply_norm(fields, stats, /*forward=*/false);
+}
+
+Tensor compute_climatology(const ClimateFieldGenerator& gen, std::int64_t t0,
+                           std::int64_t t1, std::int64_t stride) {
+  const auto& cfg = gen.config();
+  Tensor clim = Tensor::zeros({cfg.channels, cfg.grid_h, cfg.grid_w});
+  std::int64_t n = 0;
+  for (std::int64_t t = t0; t < t1; t += stride) {
+    clim.add_(gen.observation(t));
+    ++n;
+  }
+  if (n == 0) throw std::invalid_argument("compute_climatology: empty range");
+  clim.scale_(1.0f / static_cast<float>(n));
+  return clim;
+}
+
+}  // namespace orbit::data

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+/// \file climate_field.hpp
+/// Synthetic Earth-system fields standing in for the CMIP6 / ERA5 archives
+/// (see DESIGN.md §1 for the substitution rationale).
+///
+/// Fields are a deterministic function of (seed, source, channel, time,
+/// lat, lon) built from processes with the right qualitative structure:
+/// latitudinal climate gradients, a mid-latitude jet, westward/eastward
+/// travelling planetary waves, seasonal and diurnal cycles, per-source model
+/// bias (the CMIP6 multi-model spread), and smooth value-noise "weather".
+/// Determinism gives random access (no stored archive) and exact
+/// reproducibility across ranks.
+
+namespace orbit::data {
+
+struct ClimateFieldConfig {
+  std::int64_t grid_h = 32;   ///< latitude points (paper: 128)
+  std::int64_t grid_w = 64;   ///< longitude points (paper: 256)
+  std::int64_t channels = 4;  ///< climate variables
+  int source_id = 0;          ///< CMIP6 source index, 0..9
+  bool reanalysis = false;    ///< ERA5 mode: no model bias, finer detail
+  std::uint64_t seed = 2024;
+};
+
+/// The ten CMIP6 sources the paper pre-trains on (Sec. IV).
+const std::vector<std::string>& cmip6_source_names();
+
+/// Channel-name catalogs: the ClimaX 48-variable set and the paper's
+/// 91-variable set (3 static + 3 surface + 85 atmospheric over 17 levels).
+std::vector<std::string> variable_names_48();
+std::vector<std::string> variable_names_91();
+
+/// Index of a named output variable within the 48/91-channel catalogs;
+/// throws for unknown names. The paper's fine-tuning outputs are z500,
+/// t850, t2m, u10.
+std::int64_t variable_index(const std::vector<std::string>& catalog,
+                            const std::string& name);
+
+class ClimateFieldGenerator {
+ public:
+  explicit ClimateFieldGenerator(ClimateFieldConfig cfg);
+
+  const ClimateFieldConfig& config() const { return cfg_; }
+
+  /// Full observation at 6-hourly time index `t`: [C, H, W].
+  Tensor observation(std::int64_t t) const;
+
+  /// One channel at time `t`: [H, W].
+  Tensor channel_field(std::int64_t channel, std::int64_t t) const;
+
+  /// Scalar field value (the primitive everything above is built from).
+  float value(std::int64_t channel, std::int64_t t, std::int64_t y,
+              std::int64_t x) const;
+
+ private:
+  ClimateFieldConfig cfg_;
+  struct Wave {
+    float amplitude, zonal_k, omega, phase, lat_center, lat_width;
+  };
+  struct ChannelParams {
+    float base, lat_gradient, jet_strength, seasonal_amp, diurnal_amp,
+        noise_amp, source_bias;
+    std::vector<Wave> waves;
+    std::uint64_t noise_seed;
+  };
+  std::vector<ChannelParams> params_;
+};
+
+/// Per-channel normalisation statistics (mean/std over a sample of times).
+struct NormStats {
+  Tensor mean;  ///< [C]
+  Tensor stddev;  ///< [C]
+};
+
+/// Estimate stats from `sample_count` observations starting at time 0,
+/// strided to cover seasonal variation.
+NormStats compute_norm_stats(const ClimateFieldGenerator& gen,
+                             std::int64_t sample_count);
+
+/// (x - mean[c]) / std[c] per channel, in place, for [C,H,W] or [B,C,H,W].
+void normalize_inplace(Tensor& fields, const NormStats& stats);
+/// Inverse transform.
+void denormalize_inplace(Tensor& fields, const NormStats& stats);
+
+/// Time-mean field per channel over [t0, t1) with stride: [C, H, W].
+/// This is the climatology wACC anomalies are measured against.
+Tensor compute_climatology(const ClimateFieldGenerator& gen, std::int64_t t0,
+                           std::int64_t t1, std::int64_t stride = 4);
+
+}  // namespace orbit::data

@@ -1,0 +1,226 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace orbit::data {
+
+ForecastDataset::ForecastDataset(ClimateFieldGenerator gen,
+                                 std::int64_t t_begin, std::int64_t t_end,
+                                 std::vector<float> leads_days,
+                                 std::vector<std::int64_t> out_channels,
+                                 NormStats stats)
+    : gen_(std::move(gen)),
+      t_begin_(t_begin),
+      t_end_(t_end),
+      leads_(std::move(leads_days)),
+      out_channels_(std::move(out_channels)),
+      stats_(std::move(stats)) {
+  if (t_end_ <= t_begin_) throw std::invalid_argument("ForecastDataset: empty time range");
+  if (leads_.empty()) throw std::invalid_argument("ForecastDataset: no leads");
+  if (out_channels_.empty()) {
+    for (std::int64_t c = 0; c < gen_.config().channels; ++c) {
+      out_channels_.push_back(c);
+    }
+  }
+  for (std::int64_t c : out_channels_) {
+    if (c < 0 || c >= gen_.config().channels) {
+      throw std::invalid_argument("ForecastDataset: bad output channel");
+    }
+  }
+}
+
+std::int64_t ForecastDataset::size() const {
+  return (t_end_ - t_begin_) * static_cast<std::int64_t>(leads_.size());
+}
+
+ForecastSample ForecastDataset::at(std::int64_t idx) const {
+  if (idx < 0 || idx >= size()) throw std::out_of_range("ForecastDataset::at");
+  const auto n_leads = static_cast<std::int64_t>(leads_.size());
+  const std::int64_t t = t_begin_ + idx / n_leads;
+  const float lead = leads_[static_cast<std::size_t>(idx % n_leads)];
+  const auto lead_steps = static_cast<std::int64_t>(lead * 4.0f);  // 6-hourly
+
+  ForecastSample s;
+  s.lead_days = lead;
+  s.input = gen_.observation(t);
+  normalize_inplace(s.input, stats_);
+
+  Tensor future = gen_.observation(t + lead_steps);
+  normalize_inplace(future, stats_);
+  const auto& cfg = gen_.config();
+  const std::int64_t hw = cfg.grid_h * cfg.grid_w;
+  s.target = Tensor::empty({static_cast<std::int64_t>(out_channels_.size()),
+                            cfg.grid_h, cfg.grid_w});
+  for (std::size_t i = 0; i < out_channels_.size(); ++i) {
+    const std::int64_t c = out_channels_[i];
+    std::copy(future.data() + c * hw, future.data() + (c + 1) * hw,
+              s.target.data() + static_cast<std::int64_t>(i) * hw);
+  }
+  return s;
+}
+
+MultiSourceDataset::MultiSourceDataset(std::vector<ForecastDataset> sources)
+    : sources_(std::move(sources)) {
+  if (sources_.empty()) throw std::invalid_argument("MultiSourceDataset: empty");
+  for (const auto& s : sources_) {
+    offsets_.push_back(total_);
+    total_ += s.size();
+  }
+}
+
+ForecastSample MultiSourceDataset::at(std::int64_t idx) const {
+  const int src = source_of(idx);
+  return sources_[static_cast<std::size_t>(src)].at(
+      idx - offsets_[static_cast<std::size_t>(src)]);
+}
+
+int MultiSourceDataset::source_of(std::int64_t idx) const {
+  if (idx < 0 || idx >= total_) throw std::out_of_range("MultiSourceDataset");
+  auto it = std::upper_bound(offsets_.begin(), offsets_.end(), idx);
+  return static_cast<int>(it - offsets_.begin()) - 1;
+}
+
+DataLoader::DataLoader(std::int64_t dataset_size, std::int64_t batch_size,
+                       std::uint64_t seed, int num_shards, int shard_id,
+                       bool shuffle)
+    : size_(dataset_size),
+      batch_(batch_size),
+      num_shards_(num_shards),
+      shard_id_(shard_id),
+      shuffle_(shuffle),
+      rng_(seed) {
+  if (batch_ <= 0 || size_ <= 0) throw std::invalid_argument("DataLoader: bad sizes");
+  if (shard_id_ < 0 || shard_id_ >= num_shards_) {
+    throw std::invalid_argument("DataLoader: bad shard");
+  }
+  build_order();
+}
+
+void DataLoader::build_order() {
+  // Shared permutation (same seed on every shard), then strided slicing so
+  // shards are disjoint and jointly cover the epoch.
+  std::vector<std::int64_t> perm(static_cast<std::size_t>(size_));
+  for (std::int64_t i = 0; i < size_; ++i) {
+    perm[static_cast<std::size_t>(i)] = i;
+  }
+  if (shuffle_) {
+    for (std::int64_t i = size_ - 1; i > 0; --i) {
+      const auto j = static_cast<std::int64_t>(
+          rng_.uniform_int(static_cast<std::uint64_t>(i + 1)));
+      std::swap(perm[static_cast<std::size_t>(i)],
+                perm[static_cast<std::size_t>(j)]);
+    }
+  }
+  order_.clear();
+  for (std::int64_t i = shard_id_; i < size_; i += num_shards_) {
+    order_.push_back(perm[static_cast<std::size_t>(i)]);
+  }
+  cursor_ = 0;
+}
+
+bool DataLoader::next(std::vector<std::int64_t>& out) {
+  out.clear();
+  if (cursor_ >= static_cast<std::int64_t>(order_.size())) return false;
+  const std::int64_t end =
+      std::min<std::int64_t>(cursor_ + batch_,
+                             static_cast<std::int64_t>(order_.size()));
+  for (std::int64_t i = cursor_; i < end; ++i) {
+    out.push_back(order_[static_cast<std::size_t>(i)]);
+  }
+  cursor_ = end;
+  return !out.empty();
+}
+
+void DataLoader::new_epoch() {
+  ++epoch_;
+  build_order();
+}
+
+std::int64_t DataLoader::batches_per_epoch() const {
+  const auto n = static_cast<std::int64_t>(order_.size());
+  return (n + batch_ - 1) / batch_;
+}
+
+train::Batch collate(const std::function<ForecastSample(std::int64_t)>& fetch,
+                     const std::vector<std::int64_t>& indices) {
+  if (indices.empty()) throw std::invalid_argument("collate: empty batch");
+  ForecastSample first = fetch(indices[0]);
+  const auto b = static_cast<std::int64_t>(indices.size());
+  train::Batch batch;
+  std::vector<std::int64_t> in_shape = first.input.shape();
+  in_shape.insert(in_shape.begin(), b);
+  std::vector<std::int64_t> out_shape = first.target.shape();
+  out_shape.insert(out_shape.begin(), b);
+  batch.inputs = Tensor::empty(in_shape);
+  batch.targets = Tensor::empty(out_shape);
+  batch.lead_days = Tensor::empty({b});
+
+  const std::int64_t in_n = first.input.numel();
+  const std::int64_t out_n = first.target.numel();
+  for (std::int64_t i = 0; i < b; ++i) {
+    ForecastSample s = i == 0 ? std::move(first)
+                              : fetch(indices[static_cast<std::size_t>(i)]);
+    std::copy(s.input.data(), s.input.data() + in_n,
+              batch.inputs.data() + i * in_n);
+    std::copy(s.target.data(), s.target.data() + out_n,
+              batch.targets.data() + i * out_n);
+    batch.lead_days[i] = s.lead_days;
+  }
+  return batch;
+}
+
+MultiSourceDataset make_cmip6_corpus(std::int64_t grid_h, std::int64_t grid_w,
+                                     std::int64_t channels,
+                                     std::int64_t t_begin, std::int64_t t_end,
+                                     std::uint64_t seed) {
+  std::vector<ForecastDataset> sources;
+  const auto n_sources = static_cast<int>(cmip6_source_names().size());
+  for (int s = 0; s < n_sources; ++s) {
+    ClimateFieldConfig cfg;
+    cfg.grid_h = grid_h;
+    cfg.grid_w = grid_w;
+    cfg.channels = channels;
+    cfg.source_id = s;
+    cfg.seed = seed;
+    ClimateFieldGenerator gen(cfg);
+    NormStats stats = compute_norm_stats(gen, 16);
+    // Pre-training: 1-step (6 h) forecast of all channels, ClimaX-style.
+    sources.emplace_back(std::move(gen), t_begin, t_end,
+                         std::vector<float>{0.25f},
+                         std::vector<std::int64_t>{}, std::move(stats));
+  }
+  return MultiSourceDataset(std::move(sources));
+}
+
+ForecastDataset make_era5_finetune(std::int64_t grid_h, std::int64_t grid_w,
+                                   std::int64_t channels, std::int64_t t_begin,
+                                   std::int64_t t_end, float lead_days,
+                                   std::uint64_t seed) {
+  ClimateFieldConfig cfg;
+  cfg.grid_h = grid_h;
+  cfg.grid_w = grid_w;
+  cfg.channels = channels;
+  cfg.source_id = 0;
+  cfg.reanalysis = true;
+  cfg.seed = seed;
+  ClimateFieldGenerator gen(cfg);
+  NormStats stats = compute_norm_stats(gen, 16);
+  // The paper's four outputs. With small synthetic catalogs the named
+  // variables may not exist; fall back to the first four channels.
+  std::vector<std::int64_t> outs;
+  if (channels >= 48) {
+    const auto catalog =
+        channels >= 91 ? variable_names_91() : variable_names_48();
+    outs = {variable_index(catalog, "z_500"), variable_index(catalog, "t_850"),
+            variable_index(catalog, "t2m"), variable_index(catalog, "u10")};
+  } else {
+    for (std::int64_t c = 0; c < std::min<std::int64_t>(4, channels); ++c) {
+      outs.push_back(c);
+    }
+  }
+  return ForecastDataset(std::move(gen), t_begin, t_end, {lead_days},
+                         std::move(outs), std::move(stats));
+}
+
+}  // namespace orbit::data

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "data/climate_field.hpp"
+#include "train/trainer.hpp"
+
+/// \file dataset.hpp
+/// Forecast datasets over the synthetic archives, plus a sharded shuffling
+/// loader. A sample is (state at t, state at t + lead) — the pre-training
+/// task reconstructs/forecasts all variables, the fine-tuning task predicts
+/// the four paper outputs (z500, t850, t2m, u10).
+
+namespace orbit::data {
+
+struct ForecastSample {
+  Tensor input;      ///< [C, H, W], normalised
+  Tensor target;     ///< [C_out, H, W], normalised
+  float lead_days;   ///< forecast lead
+};
+
+/// Samples (time, lead) pairs from one generator. Times advance in
+/// 6-hourly steps; each time yields one sample per configured lead.
+class ForecastDataset {
+ public:
+  /// `out_channels`: indices into the generator's channels to predict;
+  /// empty means all channels (pre-training mode).
+  ForecastDataset(ClimateFieldGenerator gen, std::int64_t t_begin,
+                  std::int64_t t_end, std::vector<float> leads_days,
+                  std::vector<std::int64_t> out_channels, NormStats stats);
+
+  std::int64_t size() const;
+  ForecastSample at(std::int64_t idx) const;
+
+  const ClimateFieldGenerator& generator() const { return gen_; }
+  const NormStats& stats() const { return stats_; }
+  const std::vector<std::int64_t>& out_channels() const {
+    return out_channels_;
+  }
+
+ private:
+  ClimateFieldGenerator gen_;
+  std::int64_t t_begin_, t_end_;
+  std::vector<float> leads_;
+  std::vector<std::int64_t> out_channels_;
+  NormStats stats_;
+};
+
+/// Concatenation of per-source datasets — the CMIP6 multi-source
+/// pre-training corpus (10 sources in the paper).
+class MultiSourceDataset {
+ public:
+  explicit MultiSourceDataset(std::vector<ForecastDataset> sources);
+
+  std::int64_t size() const { return total_; }
+  ForecastSample at(std::int64_t idx) const;
+  int source_of(std::int64_t idx) const;
+  std::int64_t source_count() const {
+    return static_cast<std::int64_t>(sources_.size());
+  }
+
+ private:
+  std::vector<ForecastDataset> sources_;
+  std::vector<std::int64_t> offsets_;
+  std::int64_t total_ = 0;
+};
+
+/// Epoch-shuffled, shard-aware index iterator. Shards partition each
+/// epoch's permutation so DDP/FSDP data shards never overlap (paper Fig. 4:
+/// different data subsets per group).
+class DataLoader {
+ public:
+  DataLoader(std::int64_t dataset_size, std::int64_t batch_size,
+             std::uint64_t seed, int num_shards = 1, int shard_id = 0,
+             bool shuffle = true);
+
+  /// Fill `out` with the next batch of indices; false at epoch end.
+  bool next(std::vector<std::int64_t>& out);
+  /// Start a new epoch (new permutation when shuffling).
+  void new_epoch();
+  std::int64_t batches_per_epoch() const;
+  std::int64_t epoch() const { return epoch_; }
+
+ private:
+  std::int64_t size_, batch_;
+  int num_shards_, shard_id_;
+  bool shuffle_;
+  Rng rng_;
+  std::vector<std::int64_t> order_;
+  std::int64_t cursor_ = 0;
+  std::int64_t epoch_ = 0;
+
+  void build_order();
+};
+
+/// Assemble a training batch from dataset samples.
+train::Batch collate(const std::function<ForecastSample(std::int64_t)>& fetch,
+                     const std::vector<std::int64_t>& indices);
+
+/// Convenience: the standard pre-training corpus (all 10 CMIP6 sources,
+/// all-channel reconstruction at the given leads).
+MultiSourceDataset make_cmip6_corpus(std::int64_t grid_h, std::int64_t grid_w,
+                                     std::int64_t channels,
+                                     std::int64_t t_begin, std::int64_t t_end,
+                                     std::uint64_t seed);
+
+/// Convenience: the ERA5-style fine-tuning dataset predicting the paper's
+/// four outputs at the given lead.
+ForecastDataset make_era5_finetune(std::int64_t grid_h, std::int64_t grid_w,
+                                   std::int64_t channels, std::int64_t t_begin,
+                                   std::int64_t t_end, float lead_days,
+                                   std::uint64_t seed);
+
+}  // namespace orbit::data

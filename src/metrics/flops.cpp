@@ -1,0 +1,30 @@
+#include "metrics/flops.hpp"
+
+namespace orbit::metrics {
+
+FlopsBreakdown vit_train_flops(const model::VitConfig& cfg) {
+  const double d = static_cast<double>(cfg.embed);
+  const double s = static_cast<double>(cfg.tokens());
+  const double l = static_cast<double>(cfg.layers);
+  const double c_in = static_cast<double>(cfg.in_channels);
+  const double c_out = static_cast<double>(cfg.out_channels);
+  const double pp = static_cast<double>(cfg.patch * cfg.patch);
+  constexpr double kTrain = 3.0;  // fwd + ~2x bwd
+  constexpr double kMacs = 2.0;   // FLOPs per multiply-accumulate
+
+  FlopsBreakdown fb;
+  fb.patch_embed = kTrain * kMacs * c_in * s * pp * d;
+  fb.aggregation = kTrain * kMacs * c_in * s * (2.0 * d * d + 2.0 * d);
+  fb.attention = kTrain * kMacs * l * s * (4.0 * d * d + 2.0 * s * d);
+  fb.mlp = kTrain * kMacs * l * s * (8.0 * d * d);
+  fb.head = kTrain * kMacs * s * d * c_out * pp;
+  fb.total = fb.patch_embed + fb.aggregation + fb.attention + fb.mlp + fb.head;
+  return fb;
+}
+
+double sustained_flops(const model::VitConfig& cfg, double sec_per_sample) {
+  if (sec_per_sample <= 0.0) return 0.0;
+  return vit_train_flops(cfg).total / sec_per_sample;
+}
+
+}  // namespace orbit::metrics

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "model/config.hpp"
+
+/// \file flops.hpp
+/// Analytic FLOP accounting for the ViT, equivalent to what the paper
+/// gathers with the DeepSpeed profiler (Sec. IV). All numbers are per
+/// observation data point.
+
+namespace orbit::metrics {
+
+/// Per-component training FLOPs (forward + backward) for one sample.
+struct FlopsBreakdown {
+  double patch_embed = 0.0;   ///< per-channel tokenisation projections
+  double aggregation = 0.0;   ///< cross-attention over channels
+  double attention = 0.0;     ///< self-attention sub-layers (all blocks)
+  double mlp = 0.0;           ///< feed-forward sub-layers (all blocks)
+  double head = 0.0;          ///< prediction head
+  double total = 0.0;         ///< sum of the above
+
+  /// Fraction of total spent in the matrix chains Hybrid-STOP shards.
+  double sharded_fraction() const {
+    return total > 0.0 ? (attention + mlp) / total : 0.0;
+  }
+};
+
+/// Compute the breakdown for a configuration (training = 3x forward).
+FlopsBreakdown vit_train_flops(const model::VitConfig& cfg);
+
+/// Sustained throughput in FLOPS given measured/simulated time per sample
+/// and the number of concurrently-processed samples.
+double sustained_flops(const model::VitConfig& cfg, double sec_per_sample);
+
+}  // namespace orbit::metrics

@@ -1,0 +1,226 @@
+#include "metrics/metrics.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace orbit::metrics {
+namespace {
+
+void check_fields(const Tensor& pred, const Tensor& target,
+                  const Tensor& weights, const char* who) {
+  if (pred.ndim() != 4 || !pred.same_shape(target)) {
+    throw std::invalid_argument(std::string(who) +
+                                ": need matching [B,C,H,W] fields");
+  }
+  if (weights.numel() != pred.dim(2)) {
+    throw std::invalid_argument(std::string(who) + ": weights must be [H]");
+  }
+}
+
+}  // namespace
+
+Tensor latitude_weights(std::int64_t grid_h) {
+  if (grid_h <= 0) throw std::invalid_argument("latitude_weights: H <= 0");
+  Tensor w = Tensor::empty({grid_h});
+  double total = 0.0;
+  for (std::int64_t i = 0; i < grid_h; ++i) {
+    // Cell-centred latitudes from +90 to -90 (north first).
+    const double lat =
+        90.0 - (static_cast<double>(i) + 0.5) * 180.0 / static_cast<double>(grid_h);
+    const double c = std::cos(lat * std::numbers::pi / 180.0);
+    w[i] = static_cast<float>(c);
+    total += c;
+  }
+  // Normalise to mean 1 so wMSE is comparable to plain MSE.
+  const float norm = static_cast<float>(static_cast<double>(grid_h) / total);
+  w.scale_(norm);
+  return w;
+}
+
+double wmse(const Tensor& pred, const Tensor& target, const Tensor& weights) {
+  check_fields(pred, target, weights, "wmse");
+  const std::int64_t b = pred.dim(0), c = pred.dim(1), h = pred.dim(2),
+                     w = pred.dim(3);
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  const float* pw = weights.data();
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < b * c; ++i) {
+    for (std::int64_t y = 0; y < h; ++y) {
+      const float wy = pw[y];
+      const float* prow = pp + (i * h + y) * w;
+      const float* trow = pt + (i * h + y) * w;
+      double row = 0.0;
+      for (std::int64_t x = 0; x < w; ++x) {
+        const double d = static_cast<double>(prow[x]) - trow[x];
+        row += d * d;
+      }
+      acc += wy * row;
+    }
+  }
+  return acc / static_cast<double>(pred.numel());
+}
+
+Tensor wmse_grad(const Tensor& pred, const Tensor& target,
+                 const Tensor& weights) {
+  check_fields(pred, target, weights, "wmse_grad");
+  const std::int64_t b = pred.dim(0), c = pred.dim(1), h = pred.dim(2),
+                     w = pred.dim(3);
+  Tensor out = Tensor::empty(pred.shape());
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  const float* pw = weights.data();
+  float* po = out.data();
+  const float inv_n = 2.0f / static_cast<float>(pred.numel());
+  for (std::int64_t i = 0; i < b * c; ++i) {
+    for (std::int64_t y = 0; y < h; ++y) {
+      const float wy = pw[y] * inv_n;
+      const float* prow = pp + (i * h + y) * w;
+      const float* trow = pt + (i * h + y) * w;
+      float* orow = po + (i * h + y) * w;
+      for (std::int64_t x = 0; x < w; ++x) {
+        orow[x] = wy * (prow[x] - trow[x]);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> wrmse_per_channel(const Tensor& pred, const Tensor& target,
+                                      const Tensor& weights) {
+  check_fields(pred, target, weights, "wrmse");
+  const std::int64_t b = pred.dim(0), c = pred.dim(1), h = pred.dim(2),
+                     w = pred.dim(3);
+  std::vector<double> out(static_cast<std::size_t>(c), 0.0);
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  const float* pw = weights.data();
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      double acc = 0.0;
+      for (std::int64_t y = 0; y < h; ++y) {
+        const float wy = pw[y];
+        const float* prow = pp + ((bi * c + ci) * h + y) * w;
+        const float* trow = pt + ((bi * c + ci) * h + y) * w;
+        for (std::int64_t x = 0; x < w; ++x) {
+          const double d = static_cast<double>(prow[x]) - trow[x];
+          acc += wy * d * d;
+        }
+      }
+      out[static_cast<std::size_t>(ci)] += acc / static_cast<double>(h * w);
+    }
+  }
+  for (auto& v : out) v = std::sqrt(v / static_cast<double>(b));
+  return out;
+}
+
+double wacc(const Tensor& pred, const Tensor& target, const Tensor& climatology,
+            const Tensor& weights) {
+  if (pred.ndim() != 3 || !pred.same_shape(target)) {
+    throw std::invalid_argument("wacc: need matching [B,H,W] fields");
+  }
+  const std::int64_t b = pred.dim(0), h = pred.dim(1), w = pred.dim(2);
+  if (climatology.numel() != h * w || weights.numel() != h) {
+    throw std::invalid_argument("wacc: climatology/weights shape mismatch");
+  }
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  const float* pc = climatology.data();
+  const float* pw = weights.data();
+
+  // Weighted Pearson correlation of the anomalies, centred by the weighted
+  // anomaly means (Weatherbench2 convention).
+  double sum_w = 0.0, mean_pa = 0.0, mean_ta = 0.0;
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t y = 0; y < h; ++y) {
+      const double wy = pw[y];
+      for (std::int64_t x = 0; x < w; ++x) {
+        const std::int64_t i = (bi * h + y) * w + x;
+        const double pa = static_cast<double>(pp[i]) - pc[y * w + x];
+        const double ta = static_cast<double>(pt[i]) - pc[y * w + x];
+        mean_pa += wy * pa;
+        mean_ta += wy * ta;
+        sum_w += wy;
+      }
+    }
+  }
+  mean_pa /= sum_w;
+  mean_ta /= sum_w;
+
+  double cov = 0.0, var_p = 0.0, var_t = 0.0;
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t y = 0; y < h; ++y) {
+      const double wy = pw[y];
+      for (std::int64_t x = 0; x < w; ++x) {
+        const std::int64_t i = (bi * h + y) * w + x;
+        const double pa = static_cast<double>(pp[i]) - pc[y * w + x] - mean_pa;
+        const double ta = static_cast<double>(pt[i]) - pc[y * w + x] - mean_ta;
+        cov += wy * pa * ta;
+        var_p += wy * pa * pa;
+        var_t += wy * ta * ta;
+      }
+    }
+  }
+  const double denom = std::sqrt(var_p * var_t);
+  if (denom <= 0.0) return 0.0;
+  return cov / denom;
+}
+
+std::vector<double> wacc_per_channel(const Tensor& pred, const Tensor& target,
+                                     const Tensor& climatology,
+                                     const Tensor& weights) {
+  if (pred.ndim() != 4 || !pred.same_shape(target)) {
+    throw std::invalid_argument("wacc_per_channel: need [B,C,H,W]");
+  }
+  const std::int64_t b = pred.dim(0), c = pred.dim(1), h = pred.dim(2),
+                     w = pred.dim(3);
+  if (climatology.ndim() != 3 || climatology.dim(0) != c) {
+    throw std::invalid_argument("wacc_per_channel: climatology must be [C,H,W]");
+  }
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(c));
+  for (std::int64_t ci = 0; ci < c; ++ci) {
+    // Extract channel ci as [B, H, W].
+    Tensor pc = Tensor::empty({b, h, w});
+    Tensor tc = Tensor::empty({b, h, w});
+    const std::int64_t hw = h * w;
+    for (std::int64_t bi = 0; bi < b; ++bi) {
+      std::copy(pred.data() + ((bi * c + ci) * hw),
+                pred.data() + ((bi * c + ci + 1) * hw), pc.data() + bi * hw);
+      std::copy(target.data() + ((bi * c + ci) * hw),
+                target.data() + ((bi * c + ci + 1) * hw), tc.data() + bi * hw);
+    }
+    Tensor clim = Tensor::empty({h, w});
+    std::copy(climatology.data() + ci * hw, climatology.data() + (ci + 1) * hw,
+              clim.data());
+    out.push_back(wacc(pc, tc, clim, weights));
+  }
+  return out;
+}
+
+double pearson(const Tensor& a, const Tensor& b) {
+  if (a.numel() != b.numel() || a.numel() == 0) {
+    throw std::invalid_argument("pearson: size mismatch");
+  }
+  const std::int64_t n = a.numel();
+  double ma = 0.0, mb = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double da = a[i] - ma, db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  const double denom = std::sqrt(va * vb);
+  if (denom <= 0.0) return 0.0;
+  return cov / denom;
+}
+
+}  // namespace orbit::metrics

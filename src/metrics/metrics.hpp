@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+/// \file metrics.hpp
+/// Evaluation metrics from Sec. IV "Performance Metrics": latitude-weighted
+/// MSE (the pre-training loss) and the latitude-weighted Anomaly Correlation
+/// Coefficient (wACC) used for fine-tuning skill, plus supporting
+/// statistics. Latitude weighting corrects the equal-area bias of lat-lon
+/// grids (polar cells cover far less area than equatorial ones).
+
+namespace orbit::metrics {
+
+/// Per-latitude-row weights proportional to cos(latitude), normalised to
+/// mean 1 over the grid. Rows follow the data layout: row 0 is the
+/// northernmost latitude band; cell centres avoid the poles.
+Tensor latitude_weights(std::int64_t grid_h);
+
+/// Latitude-weighted mean squared error over [B, C, H, W] fields.
+/// weights: [H] from latitude_weights.
+double wmse(const Tensor& pred, const Tensor& target, const Tensor& weights);
+
+/// Gradient of `wmse` w.r.t. `pred` (matching the mean over B*C*H*W).
+Tensor wmse_grad(const Tensor& pred, const Tensor& target,
+                 const Tensor& weights);
+
+/// Latitude-weighted RMSE per channel; returns [C].
+std::vector<double> wrmse_per_channel(const Tensor& pred, const Tensor& target,
+                                      const Tensor& weights);
+
+/// Latitude-weighted anomaly correlation coefficient for one channel.
+/// Anomalies are deviations from `climatology` [H, W]; pred/target are
+/// [B, H, W] fields for that channel. Range [-1, 1]; 0 == climatology skill.
+double wacc(const Tensor& pred, const Tensor& target, const Tensor& climatology,
+            const Tensor& weights);
+
+/// wacc for every channel of [B, C, H, W] against per-channel climatology
+/// [C, H, W]; returns [C].
+std::vector<double> wacc_per_channel(const Tensor& pred, const Tensor& target,
+                                     const Tensor& climatology,
+                                     const Tensor& weights);
+
+/// Plain Pearson correlation between two equal-size tensors.
+double pearson(const Tensor& a, const Tensor& b);
+
+}  // namespace orbit::metrics

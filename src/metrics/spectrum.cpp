@@ -1,0 +1,61 @@
+#include "metrics/spectrum.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace orbit::metrics {
+
+std::vector<double> zonal_power_spectrum(const Tensor& field,
+                                         const Tensor& lat_weights) {
+  if (field.ndim() != 2) {
+    throw std::invalid_argument("zonal_power_spectrum: need [H, W]");
+  }
+  const std::int64_t h = field.dim(0), w = field.dim(1);
+  if (lat_weights.numel() != h) {
+    throw std::invalid_argument("zonal_power_spectrum: weights must be [H]");
+  }
+  const std::size_t n_modes = static_cast<std::size_t>(w / 2 + 1);
+  std::vector<double> power(n_modes, 0.0);
+  double weight_sum = 0.0;
+
+  // Naive DFT per latitude row; W <= a few hundred in this library, so the
+  // O(H W^2) cost is negligible next to a model forward.
+  for (std::int64_t y = 0; y < h; ++y) {
+    const float* row = field.data() + y * w;
+    const double wy = lat_weights[y];
+    weight_sum += wy;
+    for (std::size_t k = 0; k < n_modes; ++k) {
+      double re = 0.0, im = 0.0;
+      for (std::int64_t x = 0; x < w; ++x) {
+        const double phase = -2.0 * std::numbers::pi *
+                             static_cast<double>(k) * static_cast<double>(x) /
+                             static_cast<double>(w);
+        re += row[x] * std::cos(phase);
+        im += row[x] * std::sin(phase);
+      }
+      // One-sided spectrum normalisation: interior modes count twice.
+      const double scale =
+          (k == 0 || (w % 2 == 0 && k == n_modes - 1)) ? 1.0 : 2.0;
+      power[k] += wy * scale * (re * re + im * im) /
+                  static_cast<double>(w) / static_cast<double>(w);
+    }
+  }
+  for (double& p : power) p /= weight_sum;
+  return power;
+}
+
+double high_frequency_fraction(const std::vector<double>& spectrum,
+                               std::size_t k_min) {
+  if (spectrum.size() < 2 || k_min < 1 || k_min >= spectrum.size()) {
+    throw std::invalid_argument("high_frequency_fraction: bad arguments");
+  }
+  double total = 0.0, high = 0.0;
+  for (std::size_t k = 1; k < spectrum.size(); ++k) {  // skip the mean
+    total += spectrum[k];
+    if (k >= k_min) high += spectrum[k];
+  }
+  return total > 0.0 ? high / total : 0.0;
+}
+
+}  // namespace orbit::metrics

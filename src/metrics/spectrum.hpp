@@ -1,0 +1,28 @@
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+/// \file spectrum.hpp
+/// Zonal (along-longitude) power spectra — the standard diagnostic for
+/// whether a forecast keeps the right spatial variance distribution. Data-
+/// driven weather models are known to blur small scales at long leads;
+/// comparing predicted and true spectra quantifies it.
+
+namespace orbit::metrics {
+
+/// Mean zonal power spectrum of a [H, W] field: for each latitude row, the
+/// squared magnitudes of the discrete Fourier coefficients over longitude
+/// (wavenumbers 0..W/2), averaged across rows with the given latitude
+/// weights ([H]; pass ones for unweighted). Entry k is the power at zonal
+/// wavenumber k.
+std::vector<double> zonal_power_spectrum(const Tensor& field,
+                                         const Tensor& lat_weights);
+
+/// Fraction of total (non-mean) power above wavenumber `k_min`. A blurred
+/// forecast has a smaller high-frequency fraction than the truth.
+double high_frequency_fraction(const std::vector<double>& spectrum,
+                               std::size_t k_min);
+
+}  // namespace orbit::metrics

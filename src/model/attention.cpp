@@ -1,0 +1,106 @@
+#include "model/attention.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+
+namespace orbit::model {
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(std::string name,
+                                               std::int64_t embed,
+                                               std::int64_t heads,
+                                               bool qk_layernorm, Rng& rng)
+    : embed_(embed), heads_(heads), head_dim_(embed / heads) {
+  if (embed % heads != 0) {
+    throw std::invalid_argument("attention: embed must divide by heads");
+  }
+  scale_ = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  wq_ = std::make_unique<Linear>(name + ".wq", embed, embed, rng);
+  wk_ = std::make_unique<Linear>(name + ".wk", embed, embed, rng);
+  wv_ = std::make_unique<Linear>(name + ".wv", embed, embed, rng);
+  wo_ = std::make_unique<Linear>(name + ".wo", embed, embed, rng);
+  if (qk_layernorm) {
+    qk_ln_q_ = std::make_unique<LayerNormLayer>(name + ".q_ln", head_dim_);
+    qk_ln_k_ = std::make_unique<LayerNormLayer>(name + ".k_ln", head_dim_);
+  }
+}
+
+Tensor MultiHeadSelfAttention::split_heads(const Tensor& x) const {
+  Tensor x4 = x.reshape({b_, s_, heads_, head_dim_});
+  return permute(x4, {0, 2, 1, 3}).reshape({b_ * heads_, s_, head_dim_});
+}
+
+Tensor MultiHeadSelfAttention::merge_heads(const Tensor& x) const {
+  Tensor x4 = x.reshape({b_, heads_, s_, head_dim_});
+  return permute(x4, {0, 2, 1, 3}).reshape({b_, s_, embed_});
+}
+
+Tensor MultiHeadSelfAttention::forward(const Tensor& x) {
+  if (x.ndim() != 3 || x.dim(2) != embed_) {
+    throw std::invalid_argument("attention: expected [B, S, " +
+                                std::to_string(embed_) + "], got " +
+                                x.shape_str());
+  }
+  b_ = x.dim(0);
+  s_ = x.dim(1);
+
+  Tensor q = split_heads(wq_->forward(x));
+  Tensor k = split_heads(wk_->forward(x));
+  Tensor v = split_heads(wv_->forward(x));
+  if (qk_ln_q_) {
+    q = qk_ln_q_->forward(q);
+    k = qk_ln_k_->forward(k);
+  }
+  cached_q_ = q;
+  cached_k_ = k;
+  cached_v_ = v;
+
+  Tensor logits = matmul_nt_batched(q, k);
+  logits.scale_(scale_);
+  last_max_logit_ = max_abs(logits);
+  cached_probs_ = softmax_lastdim(logits);
+  Tensor ctx = merge_heads(matmul_batched(cached_probs_, v));
+  cached_ctx_ = ctx;
+  return wo_->forward(ctx);
+}
+
+Tensor MultiHeadSelfAttention::backward(const Tensor& dy) {
+  if (!cached_probs_.defined()) {
+    throw std::logic_error("attention: backward before forward");
+  }
+  Tensor dctx = wo_->backward(dy);
+  Tensor dctx_h = split_heads(dctx);
+
+  Tensor dprobs = matmul_nt_batched(dctx_h, cached_v_);
+  Tensor dv = matmul_tn_batched(cached_probs_, dctx_h);
+
+  Tensor dlogits = softmax_lastdim_backward(cached_probs_, dprobs);
+  dlogits.scale_(scale_);
+
+  Tensor dq = matmul_batched(dlogits, cached_k_);
+  Tensor dk = matmul_tn_batched(dlogits, cached_q_);
+  if (qk_ln_q_) {
+    dq = qk_ln_q_->backward(dq);
+    dk = qk_ln_k_->backward(dk);
+  }
+
+  Tensor dx = wq_->backward(merge_heads(dq));
+  dx.add_(wk_->backward(merge_heads(dk)));
+  dx.add_(wv_->backward(merge_heads(dv)));
+  return dx;
+}
+
+void MultiHeadSelfAttention::collect_params(std::vector<Param*>& out) {
+  wq_->collect_params(out);
+  wk_->collect_params(out);
+  wv_->collect_params(out);
+  wo_->collect_params(out);
+  if (qk_ln_q_) {
+    qk_ln_q_->collect_params(out);
+    qk_ln_k_->collect_params(out);
+  }
+}
+
+}  // namespace orbit::model

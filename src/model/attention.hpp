@@ -1,0 +1,63 @@
+#pragma once
+
+#include <memory>
+
+#include "model/basic_layers.hpp"
+#include "model/linear.hpp"
+
+/// \file attention.hpp
+/// Multi-head self-attention with optional QK LayerNorm.
+///
+/// The paper adopts ViT-22B's fix for divergent training loss at scale
+/// (Sec. III-B "Architecture Optimization"): LayerNorm applied to the query
+/// and key vectors (per head, learned affine over the head dimension) before
+/// the scaled dot product, which bounds attention-logit growth.
+
+namespace orbit::model {
+
+/// Self-attention over [B, S, D] inputs.
+class MultiHeadSelfAttention : public Module {
+ public:
+  MultiHeadSelfAttention(std::string name, std::int64_t embed,
+                         std::int64_t heads, bool qk_layernorm, Rng& rng);
+
+  Tensor forward(const Tensor& x) override;   // x: [B, S, D]
+  Tensor backward(const Tensor& dy) override;
+  void collect_params(std::vector<Param*>& out) override;
+
+  std::int64_t heads() const { return heads_; }
+  bool qk_layernorm() const { return qk_ln_q_ != nullptr; }
+
+  /// Largest |pre-softmax logit| observed in the most recent forward —
+  /// the quantity whose unbounded growth destabilised the 22B ViT the
+  /// paper cites, and which QK-LayerNorm contains (Sec. III-B).
+  float last_max_logit() const { return last_max_logit_; }
+
+  Linear& wq() { return *wq_; }
+  Linear& wk() { return *wk_; }
+  Linear& wv() { return *wv_; }
+  Linear& wo() { return *wo_; }
+  /// QK-LayerNorm sub-layers; null when disabled.
+  LayerNormLayer* q_ln() { return qk_ln_q_.get(); }
+  LayerNormLayer* k_ln() { return qk_ln_k_.get(); }
+
+ private:
+  std::int64_t embed_, heads_, head_dim_;
+  float scale_;
+  std::unique_ptr<Linear> wq_, wk_, wv_, wo_;
+  std::unique_ptr<LayerNormLayer> qk_ln_q_, qk_ln_k_;  // null when disabled
+
+  // Forward caches ([BH, S, hd] unless noted).
+  Tensor cached_q_, cached_k_, cached_v_;  // post-QK-LN q/k, v
+  Tensor cached_probs_;                    // softmax output [BH, S, S]
+  Tensor cached_ctx_;                      // probs·v, [B, S, D] layout
+  std::int64_t b_ = 0, s_ = 0;
+  float last_max_logit_ = 0.0f;
+
+  /// [B, S, D] -> [B*H, S, hd]
+  Tensor split_heads(const Tensor& x) const;
+  /// [B*H, S, hd] -> [B, S, D]
+  Tensor merge_heads(const Tensor& x) const;
+};
+
+}  // namespace orbit::model

@@ -1,0 +1,35 @@
+#include "model/basic_layers.hpp"
+
+namespace orbit::model {
+
+LayerNormLayer::LayerNormLayer(std::string name, std::int64_t dim, float eps)
+    : dim_(dim),
+      eps_(eps),
+      gamma_(name + ".gamma", Tensor::ones({dim})),
+      beta_(name + ".beta", Tensor::zeros({dim})) {}
+
+Tensor LayerNormLayer::forward(const Tensor& x) {
+  cached_x_ = x;
+  return layernorm(x, gamma_.value, beta_.value, &stats_, eps_);
+}
+
+Tensor LayerNormLayer::backward(const Tensor& dy) {
+  return layernorm_backward(cached_x_, gamma_.value, stats_, dy, gamma_.grad,
+                            beta_.grad);
+}
+
+void LayerNormLayer::collect_params(std::vector<Param*>& out) {
+  out.push_back(&gamma_);
+  out.push_back(&beta_);
+}
+
+Tensor GeluLayer::forward(const Tensor& x) {
+  cached_x_ = x;
+  return gelu(x);
+}
+
+Tensor GeluLayer::backward(const Tensor& dy) {
+  return gelu_backward(cached_x_, dy);
+}
+
+}  // namespace orbit::model

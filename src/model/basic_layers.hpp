@@ -1,0 +1,44 @@
+#pragma once
+
+#include "model/param.hpp"
+#include "tensor/nn_kernels.hpp"
+
+/// \file basic_layers.hpp
+/// Small stateless-ish layers: LayerNorm and GeLU as `Module`s.
+
+namespace orbit::model {
+
+/// LayerNorm over the last dimension with learned affine parameters.
+class LayerNormLayer : public Module {
+ public:
+  LayerNormLayer(std::string name, std::int64_t dim, float eps = 1e-5f);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& dy) override;
+  void collect_params(std::vector<Param*>& out) override;
+
+  std::int64_t dim() const { return dim_; }
+  Param& gamma() { return gamma_; }
+  Param& beta() { return beta_; }
+
+ private:
+  std::int64_t dim_;
+  float eps_;
+  Param gamma_;  ///< [dim], init 1
+  Param beta_;   ///< [dim], init 0
+  Tensor cached_x_;
+  LayerNormStats stats_;
+};
+
+/// GeLU activation (tanh approximation).
+class GeluLayer : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& dy) override;
+  void collect_params(std::vector<Param*>&) override {}
+
+ private:
+  Tensor cached_x_;
+};
+
+}  // namespace orbit::model

@@ -1,0 +1,72 @@
+#include "model/block.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace orbit::model {
+
+Mlp::Mlp(std::string name, std::int64_t embed, std::int64_t hidden, Rng& rng) {
+  fc1_ = std::make_unique<Linear>(name + ".fc1", embed, hidden, rng);
+  fc2_ = std::make_unique<Linear>(name + ".fc2", hidden, embed, rng);
+}
+
+Tensor Mlp::forward(const Tensor& x) {
+  return fc2_->forward(act_.forward(fc1_->forward(x)));
+}
+
+Tensor Mlp::backward(const Tensor& dy) {
+  return fc1_->backward(act_.backward(fc2_->backward(dy)));
+}
+
+void Mlp::collect_params(std::vector<Param*>& out) {
+  fc1_->collect_params(out);
+  fc2_->collect_params(out);
+}
+
+TransformerBlock::TransformerBlock(std::string name, std::int64_t embed,
+                                   std::int64_t heads, std::int64_t mlp_hidden,
+                                   bool qk_layernorm, Rng& rng) {
+  ln1_ = std::make_unique<LayerNormLayer>(name + ".ln1", embed);
+  attn_ = std::make_unique<MultiHeadSelfAttention>(name + ".attn", embed,
+                                                   heads, qk_layernorm, rng);
+  ln2_ = std::make_unique<LayerNormLayer>(name + ".ln2", embed);
+  mlp_ = std::make_unique<Mlp>(name + ".mlp", embed, mlp_hidden, rng);
+}
+
+Tensor TransformerBlock::run_forward(const Tensor& x) {
+  Tensor h = add(x, attn_->forward(ln1_->forward(x)));
+  return add(h, mlp_->forward(ln2_->forward(h)));
+}
+
+Tensor TransformerBlock::forward(const Tensor& x) {
+  if (checkpoint_) {
+    // Keep only the input; sub-layer caches created here are rebuilt in
+    // backward by the recompute pass, so nothing else needs to survive.
+    cached_input_ = x.clone();
+  }
+  return run_forward(x);
+}
+
+Tensor TransformerBlock::backward(const Tensor& dy) {
+  if (checkpoint_) {
+    // Recompute pass: rebuild all sub-layer caches from the saved input.
+    (void)run_forward(cached_input_);
+  }
+  // Residual 2: y = h + MLP(LN2(h)).
+  Tensor dh = mlp_->backward(dy);
+  dh = ln2_->backward(dh);
+  dh.add_(dy);
+  // Residual 1: h = x + Attn(LN1(x)).
+  Tensor dx = attn_->backward(dh);
+  dx = ln1_->backward(dx);
+  dx.add_(dh);
+  return dx;
+}
+
+void TransformerBlock::collect_params(std::vector<Param*>& out) {
+  ln1_->collect_params(out);
+  attn_->collect_params(out);
+  ln2_->collect_params(out);
+  mlp_->collect_params(out);
+}
+
+}  // namespace orbit::model

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <memory>
+
+#include "model/attention.hpp"
+#include "model/basic_layers.hpp"
+#include "model/linear.hpp"
+
+/// \file block.hpp
+/// The transformer training block: MLP sub-layer and the pre-LN residual
+/// block (self-attention + feed-forward), with optional activation
+/// checkpointing (Sec. III-B).
+
+namespace orbit::model {
+
+/// Feed-forward sub-layer: fc2(GeLU(fc1(x))). This is exactly the paper's
+/// `y = GeLU(xA)B` matrix chain from Eqn. (1) — the shape Hybrid-STOP shards.
+class Mlp : public Module {
+ public:
+  Mlp(std::string name, std::int64_t embed, std::int64_t hidden, Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& dy) override;
+  void collect_params(std::vector<Param*>& out) override;
+
+  Linear& fc1() { return *fc1_; }
+  Linear& fc2() { return *fc2_; }
+
+ private:
+  std::unique_ptr<Linear> fc1_, fc2_;
+  GeluLayer act_;
+};
+
+/// Pre-LN transformer block:
+///   x = x + Attn(LN1(x));  x = x + MLP(LN2(x)).
+///
+/// With `checkpoint` enabled the block drops its forward caches after
+/// computing the output, keeping only the block input; backward first
+/// re-runs the forward to rebuild the caches (compute traded for memory,
+/// the "Activation Checkpointing" optimization in Sec. III-B).
+class TransformerBlock : public Module {
+ public:
+  TransformerBlock(std::string name, std::int64_t embed, std::int64_t heads,
+                   std::int64_t mlp_hidden, bool qk_layernorm, Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& dy) override;
+  void collect_params(std::vector<Param*>& out) override;
+
+  void set_checkpointing(bool on) { checkpoint_ = on; }
+  bool checkpointing() const { return checkpoint_; }
+
+  MultiHeadSelfAttention& attention() { return *attn_; }
+  Mlp& mlp() { return *mlp_; }
+  LayerNormLayer& ln1() { return *ln1_; }
+  LayerNormLayer& ln2() { return *ln2_; }
+
+ private:
+  std::unique_ptr<LayerNormLayer> ln1_, ln2_;
+  std::unique_ptr<MultiHeadSelfAttention> attn_;
+  std::unique_ptr<Mlp> mlp_;
+  bool checkpoint_ = false;
+  Tensor cached_input_;  ///< only retained state when checkpointing
+
+  Tensor run_forward(const Tensor& x);
+};
+
+}  // namespace orbit::model

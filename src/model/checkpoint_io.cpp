@@ -1,0 +1,86 @@
+#include "model/checkpoint_io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+namespace orbit::model {
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4f52424954434b50ULL;  // "ORBITCKP"
+
+void write_u64(std::ofstream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::ifstream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw std::runtime_error("checkpoint: truncated file");
+  return v;
+}
+
+}  // namespace
+
+void save_checkpoint(const std::string& path,
+                     const std::vector<Param*>& params) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("checkpoint: cannot open " + path);
+  write_u64(os, kMagic);
+  write_u64(os, params.size());
+  for (const Param* p : params) {
+    write_u64(os, p->name.size());
+    os.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
+    write_u64(os, static_cast<std::uint64_t>(p->value.ndim()));
+    for (std::int64_t i = 0; i < p->value.ndim(); ++i) {
+      write_u64(os, static_cast<std::uint64_t>(p->value.dim(i)));
+    }
+    os.write(reinterpret_cast<const char*>(p->value.data()),
+             static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+  }
+  if (!os) throw std::runtime_error("checkpoint: write failed for " + path);
+}
+
+void load_checkpoint(const std::string& path,
+                     const std::vector<Param*>& params) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("checkpoint: cannot open " + path);
+  if (read_u64(is) != kMagic) {
+    throw std::runtime_error("checkpoint: bad magic in " + path);
+  }
+  const std::uint64_t count = read_u64(is);
+
+  std::map<std::string, Param*> by_name;
+  for (Param* p : params) {
+    if (!by_name.emplace(p->name, p).second) {
+      throw std::runtime_error("checkpoint: duplicate param name " + p->name);
+    }
+  }
+  if (count != by_name.size()) {
+    throw std::runtime_error("checkpoint: param count mismatch");
+  }
+
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t name_len = read_u64(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), static_cast<std::streamsize>(name_len));
+    const std::uint64_t ndim = read_u64(is);
+    std::vector<std::int64_t> shape(ndim);
+    for (auto& d : shape) d = static_cast<std::int64_t>(read_u64(is));
+
+    const auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      throw std::runtime_error("checkpoint: unknown param " + name);
+    }
+    Param* p = it->second;
+    if (p->value.shape() != shape) {
+      throw std::runtime_error("checkpoint: shape mismatch for " + name);
+    }
+    is.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+    if (!is) throw std::runtime_error("checkpoint: truncated payload " + name);
+  }
+}
+
+}  // namespace orbit::model

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/param.hpp"
+
+/// \file checkpoint_io.hpp
+/// Binary parameter checkpointing. Format: little-endian, magic + count,
+/// then per-param records of (name, shape, f32 payload). Loading matches by
+/// name and validates shapes, so a checkpoint survives layer-list reordering
+/// but not architecture changes.
+
+namespace orbit::model {
+
+/// Serialise all parameter values to `path`. Throws std::runtime_error on IO
+/// failure.
+void save_checkpoint(const std::string& path,
+                     const std::vector<Param*>& params);
+
+/// Load values into matching params. Every param must be present in the file
+/// with an identical shape; extra file entries are an error too (guards
+/// against silently fine-tuning the wrong architecture).
+void load_checkpoint(const std::string& path,
+                     const std::vector<Param*>& params);
+
+}  // namespace orbit::model

@@ -1,0 +1,150 @@
+#include "model/config.hpp"
+
+namespace orbit::model {
+
+std::int64_t VitConfig::param_count() const {
+  const std::int64_t d = embed, hd = head_dim(), s = tokens();
+  const std::int64_t pp = patch * patch;
+  // Input pipeline.
+  std::int64_t n = in_channels * (pp * d + d);  // per-channel projections
+  n += in_channels * d;                         // variable embeddings
+  n += d + 2 * (d * d + d);                     // aggregation query + Wk/Wv
+  n += s * d + d;                               // pos + lead-time embeds
+  // Transformer blocks.
+  std::int64_t per_block = 2 * d + 2 * d;            // ln1 + ln2
+  per_block += 4 * (d * d + d);                       // wq,wk,wv,wo
+  if (qk_layernorm) per_block += 2 * (2 * hd);        // q_ln + k_ln affine
+  per_block += (d * mlp_hidden() + mlp_hidden()) +    // fc1
+               (mlp_hidden() * d + d);                // fc2
+  n += layers * per_block;
+  // Head: final LN + projection to out_channels * patch^2.
+  n += 2 * d;
+  n += d * (out_channels * pp) + out_channels * pp;
+  return n;
+}
+
+double VitConfig::train_flops_per_sample() const {
+  const double d = static_cast<double>(embed);
+  const double s = static_cast<double>(tokens());
+  const double l = static_cast<double>(layers);
+  const double pp = static_cast<double>(patch * patch);
+  // MACs per token per layer: 4d^2 (QKVO) + 2sd (scores + apply) + 8d^2 (MLP).
+  const double block_macs = s * l * (12.0 * d * d + 2.0 * s * d);
+  const double embed_macs = static_cast<double>(in_channels) * s * pp * d  // patch proj
+                            + 2.0 * static_cast<double>(in_channels) * s * d * d;  // agg k/v
+  const double head_macs = s * d * static_cast<double>(out_channels) * pp;
+  const double forward_flops = 2.0 * (block_macs + embed_macs + head_macs);
+  // Backward costs ~2x forward (grad wrt inputs and wrt weights).
+  return 3.0 * forward_flops;
+}
+
+namespace {
+
+VitConfig paper_base() {
+  VitConfig c;
+  c.image_h = 128;
+  c.image_w = 256;
+  c.patch = 4;  // ClimaX tokenisation at 1.40625 degrees
+  c.in_channels = 48;
+  c.out_channels = 48;  // pre-training reconstructs all variables
+  c.mlp_ratio = 4;
+  c.qk_layernorm = true;
+  return c;
+}
+
+VitConfig tiny_base() {
+  VitConfig c;
+  c.image_h = 16;
+  c.image_w = 32;
+  c.patch = 4;
+  c.in_channels = 4;
+  c.out_channels = 4;
+  c.mlp_ratio = 4;
+  c.qk_layernorm = true;
+  return c;
+}
+
+}  // namespace
+
+VitConfig orbit_115m() {
+  VitConfig c = paper_base();
+  c.name = "orbit-115m";
+  c.embed = 1024;
+  c.layers = 8;
+  c.heads = 16;
+  return c;
+}
+
+VitConfig orbit_1b() {
+  VitConfig c = paper_base();
+  c.name = "orbit-1b";
+  c.embed = 3072;
+  c.layers = 8;
+  c.heads = 16;
+  return c;
+}
+
+VitConfig orbit_10b() {
+  VitConfig c = paper_base();
+  c.name = "orbit-10b";
+  c.embed = 8192;
+  c.layers = 11;
+  c.heads = 32;
+  return c;
+}
+
+VitConfig orbit_113b() {
+  VitConfig c = paper_base();
+  c.name = "orbit-113b";
+  c.embed = 12288;
+  c.layers = 56;
+  c.heads = 64;
+  return c;
+}
+
+VitConfig tiny_test() {
+  VitConfig c = tiny_base();
+  c.name = "tiny-test";
+  c.embed = 32;
+  c.layers = 2;
+  c.heads = 4;
+  return c;
+}
+
+VitConfig tiny_small() {
+  VitConfig c = tiny_base();
+  c.name = "tiny-small";
+  c.embed = 32;
+  c.layers = 4;
+  c.heads = 4;
+  return c;
+}
+
+VitConfig tiny_medium() {
+  VitConfig c = tiny_base();
+  c.name = "tiny-medium";
+  c.embed = 64;
+  c.layers = 4;
+  c.heads = 8;
+  return c;
+}
+
+VitConfig tiny_large() {
+  VitConfig c = tiny_base();
+  c.name = "tiny-large";
+  c.embed = 128;
+  c.layers = 6;
+  c.heads = 8;
+  return c;
+}
+
+VitConfig tiny_xlarge() {
+  VitConfig c = tiny_base();
+  c.name = "tiny-xlarge";
+  c.embed = 192;
+  c.layers = 8;
+  c.heads = 12;
+  return c;
+}
+
+}  // namespace orbit::model

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+/// \file config.hpp
+/// ViT model configurations. The four paper-scale presets (Sec. IV "Model
+/// Configuration") parameterise the perf model; `tiny*` presets are
+/// architecture-faithful scaled-down configurations the execution plane can
+/// actually train on CPU.
+
+namespace orbit::model {
+
+struct VitConfig {
+  std::string name = "custom";
+  std::int64_t image_h = 128;     ///< latitude grid points
+  std::int64_t image_w = 256;     ///< longitude grid points
+  std::int64_t patch = 8;         ///< square patch edge
+  std::int64_t in_channels = 48;  ///< climate-variable channels
+  std::int64_t out_channels = 4;  ///< predicted variables (z500,t850,t2m,u10)
+  std::int64_t embed = 1024;
+  std::int64_t layers = 8;
+  std::int64_t heads = 16;
+  std::int64_t mlp_ratio = 4;
+  bool qk_layernorm = true;       ///< Sec. III-B architecture optimization
+  std::uint64_t seed = 1337;
+
+  std::int64_t mlp_hidden() const { return embed * mlp_ratio; }
+  std::int64_t head_dim() const { return embed / heads; }
+  std::int64_t tokens() const {
+    return (image_h / patch) * (image_w / patch);
+  }
+
+  /// Analytic trainable-parameter count for this configuration (matches
+  /// OrbitModel::param_count; also used stand-alone by the perf model for
+  /// configurations too large to instantiate).
+  std::int64_t param_count() const;
+
+  /// Per-observation training FLOPs (fwd+bwd), the quantity DeepSpeed's
+  /// profiler reports in the paper's throughput numbers.
+  double train_flops_per_sample() const;
+};
+
+/// The paper's four scaling configurations (48-channel variants; set
+/// `in_channels = 91` for the 91-variable experiments).
+VitConfig orbit_115m();
+VitConfig orbit_1b();
+VitConfig orbit_10b();
+VitConfig orbit_113b();
+
+/// Architecture-faithful miniatures for CPU execution.
+VitConfig tiny_test();    ///< ~100k params, for unit tests
+VitConfig tiny_small();   ///< smallest of the scaled family
+VitConfig tiny_medium();
+VitConfig tiny_large();
+VitConfig tiny_xlarge();  ///< largest CPU-trainable analogue
+
+}  // namespace orbit::model

@@ -1,0 +1,337 @@
+#include "model/embedding.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/nn_kernels.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/threadpool.hpp"
+
+namespace orbit::model {
+
+Tensor patchify(const Tensor& images, std::int64_t patch) {
+  if (images.ndim() != 3) throw std::invalid_argument("patchify: need [B,H,W]");
+  const std::int64_t b = images.dim(0), h = images.dim(1), w = images.dim(2);
+  if (h % patch != 0 || w % patch != 0) {
+    throw std::invalid_argument("patchify: image not divisible by patch");
+  }
+  const std::int64_t gh = h / patch, gw = w / patch;
+  const std::int64_t s = gh * gw, pp = patch * patch;
+  Tensor out = Tensor::empty({b * s, pp});
+  const float* src = images.data();
+  float* dst = out.data();
+  parallel_for(b * s, 16, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t row = lo; row < hi; ++row) {
+      const std::int64_t bi = row / s;
+      const std::int64_t si = row % s;
+      const std::int64_t py = si / gw, px = si % gw;
+      const float* img = src + bi * h * w;
+      float* d = dst + row * pp;
+      for (std::int64_t y = 0; y < patch; ++y) {
+        const float* line = img + (py * patch + y) * w + px * patch;
+        for (std::int64_t x = 0; x < patch; ++x) *d++ = line[x];
+      }
+    }
+  });
+  return out;
+}
+
+Tensor unpatchify(const Tensor& patches, std::int64_t b, std::int64_t h,
+                  std::int64_t w, std::int64_t patch) {
+  const std::int64_t gh = h / patch, gw = w / patch;
+  const std::int64_t s = gh * gw, pp = patch * patch;
+  if (patches.numel() != b * s * pp) {
+    throw std::invalid_argument("unpatchify: size mismatch");
+  }
+  Tensor out = Tensor::empty({b, h, w});
+  const float* src = patches.data();
+  float* dst = out.data();
+  parallel_for(b * s, 16, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t row = lo; row < hi; ++row) {
+      const std::int64_t bi = row / s;
+      const std::int64_t si = row % s;
+      const std::int64_t py = si / gw, px = si % gw;
+      float* img = dst + bi * h * w;
+      const float* srow = src + row * pp;
+      for (std::int64_t y = 0; y < patch; ++y) {
+        float* line = img + (py * patch + y) * w + px * patch;
+        for (std::int64_t x = 0; x < patch; ++x) line[x] = *srow++;
+      }
+    }
+  });
+  return out;
+}
+
+PatchEmbed::PatchEmbed(std::string name, std::int64_t channels,
+                       std::int64_t image_h, std::int64_t image_w,
+                       std::int64_t patch, std::int64_t embed, Rng& rng)
+    : channels_(channels),
+      image_h_(image_h),
+      image_w_(image_w),
+      patch_(patch),
+      embed_(embed),
+      tokens_((image_h / patch) * (image_w / patch)),
+      var_embed_(name + ".var_embed",
+                 Tensor::randn({channels, embed}, rng, 0.02f)) {
+  if (image_h % patch != 0 || image_w % patch != 0) {
+    throw std::invalid_argument("PatchEmbed: image not divisible by patch");
+  }
+  proj_.reserve(static_cast<std::size_t>(channels));
+  for (std::int64_t c = 0; c < channels; ++c) {
+    proj_.push_back(std::make_unique<Linear>(
+        name + ".proj" + std::to_string(c), patch * patch, embed, rng));
+  }
+}
+
+Tensor PatchEmbed::forward(const Tensor& x) {
+  if (x.ndim() != 4 || x.dim(1) != channels_ || x.dim(2) != image_h_ ||
+      x.dim(3) != image_w_) {
+    throw std::invalid_argument("PatchEmbed: bad input " + x.shape_str());
+  }
+  cached_b_ = x.dim(0);
+  Tensor out = Tensor::empty({cached_b_, channels_, tokens_, embed_});
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    Tensor channel = slice(x, 1, c, c + 1)
+                         .reshape({cached_b_, image_h_, image_w_});
+    Tensor tok =
+        proj_[static_cast<std::size_t>(c)]->forward(patchify(channel, patch_));
+    // Add this channel's variable embedding to every token.
+    const float* ve = var_embed_.value.data() + c * embed_;
+    float* po = out.data();
+    const float* pt = tok.data();
+    for (std::int64_t bi = 0; bi < cached_b_; ++bi) {
+      for (std::int64_t si = 0; si < tokens_; ++si) {
+        float* dst = po + ((bi * channels_ + c) * tokens_ + si) * embed_;
+        const float* srow = pt + (bi * tokens_ + si) * embed_;
+        for (std::int64_t d = 0; d < embed_; ++d) dst[d] = srow[d] + ve[d];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor PatchEmbed::backward(const Tensor& dy) {
+  if (dy.ndim() != 4 || dy.dim(0) != cached_b_ || dy.dim(1) != channels_) {
+    throw std::invalid_argument("PatchEmbed backward: bad grad shape");
+  }
+  Tensor dx = Tensor::empty({cached_b_, channels_, image_h_, image_w_});
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    // Gradient of the variable embedding: sum over batch and tokens.
+    float* dve = var_embed_.grad.data() + c * embed_;
+    const float* pd = dy.data();
+    Tensor dtok = Tensor::empty({cached_b_ * tokens_, embed_});
+    float* pt = dtok.data();
+    for (std::int64_t bi = 0; bi < cached_b_; ++bi) {
+      for (std::int64_t si = 0; si < tokens_; ++si) {
+        const float* srow =
+            pd + ((bi * channels_ + c) * tokens_ + si) * embed_;
+        float* drow = pt + (bi * tokens_ + si) * embed_;
+        for (std::int64_t d = 0; d < embed_; ++d) {
+          drow[d] = srow[d];
+          dve[d] += srow[d];
+        }
+      }
+    }
+    Tensor dpatches = proj_[static_cast<std::size_t>(c)]->backward(dtok);
+    Tensor dchannel = unpatchify(dpatches, cached_b_, image_h_, image_w_, patch_);
+    // Write channel grad back into [B, C, H, W].
+    const float* ps = dchannel.data();
+    float* pxd = dx.data();
+    const std::int64_t hw = image_h_ * image_w_;
+    for (std::int64_t bi = 0; bi < cached_b_; ++bi) {
+      std::copy(ps + bi * hw, ps + (bi + 1) * hw,
+                pxd + (bi * channels_ + c) * hw);
+    }
+  }
+  return dx;
+}
+
+void PatchEmbed::collect_params(std::vector<Param*>& out) {
+  for (auto& p : proj_) p->collect_params(out);
+  out.push_back(&var_embed_);
+}
+
+VariableAggregation::VariableAggregation(std::string name, std::int64_t embed,
+                                         Rng& rng)
+    : embed_(embed),
+      scale_(1.0f / std::sqrt(static_cast<float>(embed))),
+      query_(name + ".query", Tensor::randn({embed}, rng, 0.02f)) {
+  wk_ = std::make_unique<Linear>(name + ".wk", embed, embed, rng);
+  wv_ = std::make_unique<Linear>(name + ".wv", embed, embed, rng);
+}
+
+Tensor VariableAggregation::forward(const Tensor& x) {
+  if (x.ndim() != 4 || x.dim(3) != embed_) {
+    throw std::invalid_argument("VariableAggregation: bad input " +
+                                x.shape_str());
+  }
+  b_ = x.dim(0);
+  c_ = x.dim(1);
+  s_ = x.dim(2);
+  // Rows = (b, s) pairs; put channels innermost: [B*S, C, D].
+  Tensor rows = permute(x, {0, 2, 1, 3}).reshape({b_ * s_, c_, embed_});
+  cached_k_ = wk_->forward(rows);
+  cached_v_ = wv_->forward(rows);
+
+  const std::int64_t n = b_ * s_;
+  Tensor logits = Tensor::empty({n, c_});
+  const float* pq = query_.value.data();
+  const float* pk = cached_k_.data();
+  float* pl = logits.data();
+  parallel_for(n, 8, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t r = lo; r < hi; ++r) {
+      for (std::int64_t c = 0; c < c_; ++c) {
+        const float* krow = pk + (r * c_ + c) * embed_;
+        float acc = 0.0f;
+        for (std::int64_t d = 0; d < embed_; ++d) acc += pq[d] * krow[d];
+        pl[r * c_ + c] = acc * scale_;
+      }
+    }
+  });
+  cached_att_ = softmax_lastdim(logits);
+
+  Tensor out = Tensor::zeros({n, embed_});
+  const float* pa = cached_att_.data();
+  const float* pv = cached_v_.data();
+  float* po = out.data();
+  parallel_for(n, 8, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t r = lo; r < hi; ++r) {
+      float* orow = po + r * embed_;
+      for (std::int64_t c = 0; c < c_; ++c) {
+        const float a = pa[r * c_ + c];
+        const float* vrow = pv + (r * c_ + c) * embed_;
+        for (std::int64_t d = 0; d < embed_; ++d) orow[d] += a * vrow[d];
+      }
+    }
+  });
+  return out.reshape({b_, s_, embed_});
+}
+
+Tensor VariableAggregation::backward(const Tensor& dy) {
+  if (!cached_att_.defined()) {
+    throw std::logic_error("VariableAggregation: backward before forward");
+  }
+  const std::int64_t n = b_ * s_;
+  Tensor dy2 = dy.reshape({n, embed_});
+  const float* pd = dy2.data();
+  const float* pa = cached_att_.data();
+  const float* pv = cached_v_.data();
+  const float* pk = cached_k_.data();
+  const float* pq = query_.value.data();
+
+  Tensor datt = Tensor::empty({n, c_});
+  Tensor dv = Tensor::empty({n, c_, embed_});
+  float* pda = datt.data();
+  float* pdv = dv.data();
+  parallel_for(n, 8, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t r = lo; r < hi; ++r) {
+      const float* drow = pd + r * embed_;
+      for (std::int64_t c = 0; c < c_; ++c) {
+        const float* vrow = pv + (r * c_ + c) * embed_;
+        float* dvrow = pdv + (r * c_ + c) * embed_;
+        const float a = pa[r * c_ + c];
+        float acc = 0.0f;
+        for (std::int64_t d = 0; d < embed_; ++d) {
+          acc += drow[d] * vrow[d];
+          dvrow[d] = a * drow[d];
+        }
+        pda[r * c_ + c] = acc;
+      }
+    }
+  });
+
+  Tensor dlogits = softmax_lastdim_backward(cached_att_, datt);
+  dlogits.scale_(scale_);
+
+  Tensor dk = Tensor::empty({n, c_, embed_});
+  float* pdk = dk.data();
+  const float* pdl = dlogits.data();
+  // dq accumulated serially (small vector, avoids atomic contention).
+  float* pdq = query_.grad.data();
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (std::int64_t c = 0; c < c_; ++c) {
+      const float g = pdl[r * c_ + c];
+      const float* krow = pk + (r * c_ + c) * embed_;
+      float* dkrow = pdk + (r * c_ + c) * embed_;
+      for (std::int64_t d = 0; d < embed_; ++d) {
+        pdq[d] += g * krow[d];
+        dkrow[d] = g * pq[d];
+      }
+    }
+  }
+
+  Tensor drows = wk_->backward(dk);
+  drows.add_(wv_->backward(dv));
+  // [B*S, C, D] -> [B, C, S, D].
+  return permute(drows.reshape({b_, s_, c_, embed_}), {0, 2, 1, 3});
+}
+
+void VariableAggregation::collect_params(std::vector<Param*>& out) {
+  out.push_back(&query_);
+  wk_->collect_params(out);
+  wv_->collect_params(out);
+}
+
+PosLeadEmbed::PosLeadEmbed(std::string name, std::int64_t tokens,
+                           std::int64_t embed, Rng& rng)
+    : pos_(name + ".pos", Tensor::randn({tokens, embed}, rng, 0.02f)),
+      lead_w_(name + ".lead_w", Tensor::randn({embed}, rng, 0.02f)) {}
+
+Tensor PosLeadEmbed::forward(const Tensor& x, const Tensor& lead_days) {
+  const std::int64_t b = x.dim(0);
+  s_ = x.dim(1);
+  const std::int64_t d = x.dim(2);
+  if (pos_.value.dim(0) != s_ || pos_.value.dim(1) != d ||
+      lead_days.numel() != b) {
+    throw std::invalid_argument("PosLeadEmbed: shape mismatch");
+  }
+  // Normalise lead time to keep the conditioning signal O(1) over the
+  // paper's 1..30-day forecast range.
+  cached_lead_ = scale(lead_days, 1.0f / 30.0f);
+  Tensor out = Tensor::empty(x.shape());
+  const float* px = x.data();
+  const float* pp = pos_.value.data();
+  const float* pw = lead_w_.value.data();
+  const float* pl = cached_lead_.data();
+  float* po = out.data();
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    const float tau = pl[bi];
+    for (std::int64_t si = 0; si < s_; ++si) {
+      const float* xr = px + (bi * s_ + si) * d;
+      const float* pr = pp + si * d;
+      float* orow = po + (bi * s_ + si) * d;
+      for (std::int64_t j = 0; j < d; ++j) {
+        orow[j] = xr[j] + pr[j] + tau * pw[j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor PosLeadEmbed::backward(const Tensor& dy) {
+  const std::int64_t b = dy.dim(0);
+  const std::int64_t d = dy.dim(2);
+  const float* pd = dy.data();
+  const float* pl = cached_lead_.data();
+  float* dpos = pos_.grad.data();
+  float* dw = lead_w_.grad.data();
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    const float tau = pl[bi];
+    for (std::int64_t si = 0; si < s_; ++si) {
+      const float* drow = pd + (bi * s_ + si) * d;
+      float* prow = dpos + si * d;
+      for (std::int64_t j = 0; j < d; ++j) {
+        prow[j] += drow[j];
+        dw[j] += tau * drow[j];
+      }
+    }
+  }
+  return dy;  // identity path for the input
+}
+
+void PosLeadEmbed::collect_params(std::vector<Param*>& out) {
+  out.push_back(&pos_);
+  out.push_back(&lead_w_);
+}
+
+}  // namespace orbit::model

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "model/linear.hpp"
+
+/// \file embedding.hpp
+/// ClimaX-style input pipeline (Fig. 1 of the paper):
+///  1. independent patch tokenisation per climate-variable channel,
+///  2. learned variable embeddings,
+///  3. cross-attention aggregation across channels,
+///  4. learned positional embedding and lead-time conditioning.
+
+namespace orbit::model {
+
+/// Rearrange one-channel images [B, H, W] into patch rows [B*S, p*p] where
+/// S = (H/p)*(W/p); patches ordered row-major over the patch grid.
+Tensor patchify(const Tensor& images, std::int64_t patch);
+
+/// Inverse of `patchify`: [B*S, p*p] -> [B, H, W].
+Tensor unpatchify(const Tensor& patches, std::int64_t b, std::int64_t h,
+                  std::int64_t w, std::int64_t patch);
+
+/// Per-channel patch embedding with learned variable embeddings.
+/// Input [B, C, H, W] -> tokens [B, C, S, D]; each channel c has its own
+/// projection (tokenisation is independent per variable, as in ClimaX).
+class PatchEmbed : public Module {
+ public:
+  PatchEmbed(std::string name, std::int64_t channels, std::int64_t image_h,
+             std::int64_t image_w, std::int64_t patch, std::int64_t embed,
+             Rng& rng);
+
+  Tensor forward(const Tensor& x) override;    // [B,C,H,W] -> [B,C,S,D]
+  Tensor backward(const Tensor& dy) override;  // -> [B,C,H,W]
+  void collect_params(std::vector<Param*>& out) override;
+
+  std::int64_t tokens() const { return tokens_; }
+
+ private:
+  std::int64_t channels_, image_h_, image_w_, patch_, embed_, tokens_;
+  std::vector<std::unique_ptr<Linear>> proj_;  ///< one per channel
+  Param var_embed_;                            ///< [C, D], added per channel
+  std::int64_t cached_b_ = 0;
+};
+
+/// Cross-attention aggregation across the channel axis (single head, one
+/// learned query): tokens [B, C, S, D] -> [B, S, D].
+class VariableAggregation : public Module {
+ public:
+  VariableAggregation(std::string name, std::int64_t embed, Rng& rng);
+
+  Tensor forward(const Tensor& x) override;    // [B,C,S,D] -> [B,S,D]
+  Tensor backward(const Tensor& dy) override;  // -> [B,C,S,D]
+  void collect_params(std::vector<Param*>& out) override;
+
+  /// Channel-attention weights from the last forward, [B*S, C]; exposed for
+  /// interpretability examples (which variables the model attends to).
+  const Tensor& last_attention() const { return cached_att_; }
+
+ private:
+  std::int64_t embed_;
+  float scale_;
+  Param query_;  ///< [D]
+  std::unique_ptr<Linear> wk_, wv_;
+  Tensor cached_k_, cached_v_;  // [B*S, C, D]
+  Tensor cached_att_;           // [B*S, C]
+  std::int64_t b_ = 0, c_ = 0, s_ = 0;
+};
+
+/// Learned positional embedding plus linear lead-time conditioning.
+/// forward() adds pos[s] + lead_scale * tau_b * w to every token.
+class PosLeadEmbed {
+ public:
+  PosLeadEmbed(std::string name, std::int64_t tokens, std::int64_t embed,
+               Rng& rng);
+
+  /// x: [B, S, D]; lead_days: [B] forecast lead time in days.
+  Tensor forward(const Tensor& x, const Tensor& lead_days);
+  /// Accumulates grads for pos/lead params; returns dx (== dy).
+  Tensor backward(const Tensor& dy);
+  void collect_params(std::vector<Param*>& out);
+
+ private:
+  Param pos_;        ///< [S, D]
+  Param lead_w_;     ///< [D]
+  Tensor cached_lead_;  ///< [B], normalised lead values
+  std::int64_t s_ = 0;
+};
+
+}  // namespace orbit::model

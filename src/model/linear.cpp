@@ -1,0 +1,50 @@
+#include "model/linear.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+
+namespace orbit::model {
+
+Linear::Linear(std::string name, std::int64_t in, std::int64_t out, Rng& rng,
+               bool bias)
+    : in_(in), out_(out) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(in + out));
+  w_ = Param(name + ".weight", Tensor::randn({in, out}, rng, stddev));
+  if (bias) bias_ = Param(name + ".bias", Tensor::zeros({out}));
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  if (x.dim(-1) != in_) {
+    throw std::invalid_argument("Linear " + w_.name + ": expected last dim " +
+                                std::to_string(in_) + ", got " + x.shape_str());
+  }
+  cached_in_shape_ = x.shape();
+  cached_x2d_ = x.reshape({-1, in_});
+  Tensor y = matmul(cached_x2d_, w_.value);
+  if (bias_) y = add_row_broadcast(y, bias_->value);
+  std::vector<std::int64_t> out_shape = cached_in_shape_;
+  out_shape.back() = out_;
+  return y.reshape(std::move(out_shape));
+}
+
+Tensor Linear::backward(const Tensor& dy) {
+  if (!cached_x2d_.defined()) {
+    throw std::logic_error("Linear " + w_.name + ": backward before forward");
+  }
+  Tensor dy2d = dy.reshape({-1, out_});
+  // dW += x^T dy ; db += column sums of dy ; dx = dy W^T.
+  w_.grad.add_(matmul_tn(cached_x2d_, dy2d));
+  if (bias_) bias_->grad.add_(column_sum(dy2d));
+  Tensor dx = matmul_nt(dy2d, w_.value);
+  return dx.reshape(cached_in_shape_);
+}
+
+void Linear::collect_params(std::vector<Param*>& out) {
+  out.push_back(&w_);
+  if (bias_) out.push_back(&*bias_);
+}
+
+}  // namespace orbit::model

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <optional>
+
+#include "model/param.hpp"
+
+/// \file linear.hpp
+/// Fully-connected layer y = xW + b with explicit backward.
+
+namespace orbit::model {
+
+/// Linear transform on the last dimension. Accepts input of any rank by
+/// flattening leading dims: [..., in] -> [..., out].
+class Linear : public Module {
+ public:
+  /// Xavier/Glorot-normal initialisation (gain 1), zero bias.
+  Linear(std::string name, std::int64_t in, std::int64_t out, Rng& rng,
+         bool bias = true);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& dy) override;
+  void collect_params(std::vector<Param*>& out) override;
+
+  std::int64_t in_features() const { return in_; }
+  std::int64_t out_features() const { return out_; }
+  bool has_bias() const { return bias_.has_value(); }
+
+  Param& weight() { return w_; }
+  Param& bias() { return *bias_; }
+
+ private:
+  std::int64_t in_, out_;
+  Param w_;                    ///< [in, out]
+  std::optional<Param> bias_;  ///< [out]
+  Tensor cached_x2d_;          ///< forward input flattened to [rows, in]
+  std::vector<std::int64_t> cached_in_shape_;
+};
+
+}  // namespace orbit::model

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+/// \file param.hpp
+/// Trainable-parameter bookkeeping shared by every layer.
+///
+/// Layers own their `Param`s and expose them through `Module::collect_params`
+/// so optimizers, checkpointing, and the distributed engines can iterate the
+/// full parameter list without knowing layer internals.
+
+namespace orbit::model {
+
+/// One trainable tensor and its gradient accumulator.
+struct Param {
+  std::string name;  ///< hierarchical, e.g. "block3.attn.wq"
+  Tensor value;      ///< current weights
+  Tensor grad;       ///< same shape; backward ACCUMULATES into this
+
+  Param() = default;
+  Param(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(Tensor::zeros(value.shape())) {}
+
+  std::int64_t numel() const { return value.numel(); }
+  void zero_grad() { grad.zero_(); }
+};
+
+/// Base class for layers with explicit backward passes.
+///
+/// Protocol: `forward` caches whatever its `backward` needs; `backward`
+/// consumes the most recent cache, returns dL/dinput, and *accumulates*
+/// parameter gradients (callers zero grads between optimizer steps).
+/// A second forward overwrites the cache — exactly the recompute semantics
+/// activation checkpointing relies on (Sec. III-B).
+class Module {
+ public:
+  virtual ~Module() = default;
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  virtual Tensor forward(const Tensor& x) = 0;
+  virtual Tensor backward(const Tensor& dy) = 0;
+  /// Append pointers to this module's params (depth-first, stable order).
+  virtual void collect_params(std::vector<Param*>& out) = 0;
+
+  /// Convenience: materialised parameter list.
+  std::vector<Param*> params() {
+    std::vector<Param*> out;
+    collect_params(out);
+    return out;
+  }
+
+  /// Total trainable element count.
+  std::int64_t param_count() {
+    std::int64_t n = 0;
+    for (const Param* p : params()) n += p->numel();
+    return n;
+  }
+
+  /// Zero all parameter gradients.
+  void zero_grad() {
+    for (Param* p : params()) p->zero_grad();
+  }
+};
+
+}  // namespace orbit::model

@@ -1,0 +1,34 @@
+#include "model/rollout.hpp"
+
+#include <stdexcept>
+
+namespace orbit::model {
+
+std::vector<Tensor> rollout(OrbitModel& m, const Tensor& x0, int steps,
+                            float lead_days) {
+  const VitConfig& cfg = m.config();
+  if (cfg.out_channels != cfg.in_channels) {
+    throw std::invalid_argument(
+        "rollout: model must predict the full state "
+        "(out_channels == in_channels)");
+  }
+  if (steps <= 0) throw std::invalid_argument("rollout: steps must be > 0");
+  if (x0.ndim() != 4) throw std::invalid_argument("rollout: x0 must be 4-D");
+
+  std::vector<Tensor> states;
+  states.reserve(static_cast<std::size_t>(steps));
+  Tensor lead = Tensor::full({x0.dim(0)}, lead_days);
+  Tensor state = x0;
+  for (int s = 0; s < steps; ++s) {
+    state = m.forward(state, lead);
+    states.push_back(state);
+  }
+  return states;
+}
+
+Tensor rollout_to(OrbitModel& m, const Tensor& x0, int steps,
+                  float lead_days) {
+  return rollout(m, x0, steps, lead_days).back();
+}
+
+}  // namespace orbit::model

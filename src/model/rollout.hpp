@@ -1,0 +1,28 @@
+#pragma once
+
+#include <vector>
+
+#include "model/vit.hpp"
+
+/// \file rollout.hpp
+/// Autoregressive rollout: iterate a short-lead forecast model to reach
+/// long leads by feeding each prediction back as the next initial state —
+/// how FourCastNet/GraphCast-style models produce medium-range forecasts,
+/// and the natural alternative to ORBIT's direct lead-conditioned
+/// prediction (the comparison in examples/ and tests/ shows the error
+/// accumulation that motivates direct prediction at long leads).
+
+namespace orbit::model {
+
+/// Roll `m` forward `steps` times with `lead_days` per step. Requires
+/// out_channels == in_channels (the model must predict the full state).
+/// x0: [B, C, H, W]; returns each intermediate state, size `steps`,
+/// element s being the forecast at (s+1) * lead_days.
+std::vector<Tensor> rollout(OrbitModel& m, const Tensor& x0, int steps,
+                            float lead_days);
+
+/// Convenience: only the final state of the rollout.
+Tensor rollout_to(OrbitModel& m, const Tensor& x0, int steps,
+                  float lead_days);
+
+}  // namespace orbit::model

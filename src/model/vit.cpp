@@ -1,0 +1,151 @@
+#include "model/vit.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace orbit::model {
+
+TransformerTower::TransformerTower(std::string name, const VitConfig& cfg,
+                                   Rng& rng) {
+  blocks_.reserve(static_cast<std::size_t>(cfg.layers));
+  for (std::int64_t i = 0; i < cfg.layers; ++i) {
+    blocks_.push_back(std::make_unique<TransformerBlock>(
+        name + ".block" + std::to_string(i), cfg.embed, cfg.heads,
+        cfg.mlp_hidden(), cfg.qk_layernorm, rng));
+  }
+}
+
+Tensor TransformerTower::forward(const Tensor& x) {
+  Tensor h = x;
+  for (auto& b : blocks_) h = b->forward(h);
+  return h;
+}
+
+Tensor TransformerTower::backward(const Tensor& dy) {
+  Tensor d = dy;
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+    d = (*it)->backward(d);
+  }
+  return d;
+}
+
+void TransformerTower::collect_params(std::vector<Param*>& out) {
+  for (auto& b : blocks_) b->collect_params(out);
+}
+
+void TransformerTower::set_checkpointing(bool on) {
+  for (auto& b : blocks_) b->set_checkpointing(on);
+}
+
+PredictionHead::PredictionHead(std::string name, const VitConfig& cfg,
+                               Rng& rng)
+    : cfg_(cfg) {
+  ln_ = std::make_unique<LayerNormLayer>(name + ".ln", cfg.embed);
+  proj_ = std::make_unique<Linear>(
+      name + ".proj", cfg.embed, cfg.out_channels * cfg.patch * cfg.patch, rng);
+}
+
+Tensor PredictionHead::forward(const Tensor& x) {
+  cached_b_ = x.dim(0);
+  const std::int64_t s = cfg_.tokens(), pp = cfg_.patch * cfg_.patch;
+  Tensor y = proj_->forward(ln_->forward(x));  // [B, S, C_out*p*p]
+  // Split per output channel and unpatchify each to [B, H, W].
+  Tensor y4 = y.reshape({cached_b_ * s, cfg_.out_channels, pp});
+  Tensor out = Tensor::empty(
+      {cached_b_, cfg_.out_channels, cfg_.image_h, cfg_.image_w});
+  for (std::int64_t c = 0; c < cfg_.out_channels; ++c) {
+    Tensor ch = slice(y4, 1, c, c + 1).reshape({cached_b_ * s, pp});
+    Tensor img = unpatchify(ch, cached_b_, cfg_.image_h, cfg_.image_w,
+                            cfg_.patch);
+    const std::int64_t hw = cfg_.image_h * cfg_.image_w;
+    const float* ps = img.data();
+    float* po = out.data();
+    for (std::int64_t bi = 0; bi < cached_b_; ++bi) {
+      std::copy(ps + bi * hw, ps + (bi + 1) * hw,
+                po + (bi * cfg_.out_channels + c) * hw);
+    }
+  }
+  return out;
+}
+
+Tensor PredictionHead::backward(const Tensor& dy) {
+  const std::int64_t s = cfg_.tokens(), pp = cfg_.patch * cfg_.patch;
+  // Reassemble [B, S, C_out*p*p] grads from per-channel images.
+  Tensor dy3 = Tensor::empty({cached_b_ * s, cfg_.out_channels, pp});
+  for (std::int64_t c = 0; c < cfg_.out_channels; ++c) {
+    const std::int64_t hw = cfg_.image_h * cfg_.image_w;
+    Tensor img = Tensor::empty({cached_b_, cfg_.image_h, cfg_.image_w});
+    const float* pd = dy.data();
+    float* pi = img.data();
+    for (std::int64_t bi = 0; bi < cached_b_; ++bi) {
+      std::copy(pd + (bi * cfg_.out_channels + c) * hw,
+                pd + (bi * cfg_.out_channels + c + 1) * hw, pi + bi * hw);
+    }
+    Tensor patches = patchify(img, cfg_.patch);  // [B*S, pp]
+    const float* ps = patches.data();
+    float* po = dy3.data();
+    for (std::int64_t r = 0; r < cached_b_ * s; ++r) {
+      std::copy(ps + r * pp, ps + (r + 1) * pp,
+                po + (r * cfg_.out_channels + c) * pp);
+    }
+  }
+  Tensor d =
+      proj_->backward(dy3.reshape({cached_b_, s, cfg_.out_channels * pp}));
+  return ln_->backward(d);
+}
+
+void PredictionHead::collect_params(std::vector<Param*>& out) {
+  ln_->collect_params(out);
+  proj_->collect_params(out);
+}
+
+OrbitModel::OrbitModel(const VitConfig& cfg) : cfg_(cfg) {
+  Rng rng(cfg.seed);
+  patch_embed_ = std::make_unique<PatchEmbed>(
+      "embed", cfg.in_channels, cfg.image_h, cfg.image_w, cfg.patch, cfg.embed,
+      rng);
+  agg_ = std::make_unique<VariableAggregation>("agg", cfg.embed, rng);
+  pos_lead_ =
+      std::make_unique<PosLeadEmbed>("pos", cfg.tokens(), cfg.embed, rng);
+  tower_ = std::make_unique<TransformerTower>("tower", cfg, rng);
+  head_ = std::make_unique<PredictionHead>("head", cfg, rng);
+}
+
+Tensor OrbitModel::forward(const Tensor& x, const Tensor& lead_days) {
+  Tensor tokens = patch_embed_->forward(x);
+  Tensor aggregated = agg_->forward(tokens);
+  Tensor conditioned = pos_lead_->forward(aggregated, lead_days);
+  Tensor features = tower_->forward(conditioned);
+  return head_->forward(features);
+}
+
+Tensor OrbitModel::backward(const Tensor& dy) {
+  Tensor d = head_->backward(dy);
+  d = tower_->backward(d);
+  d = pos_lead_->backward(d);
+  d = agg_->backward(d);
+  return patch_embed_->backward(d);
+}
+
+std::vector<Param*> OrbitModel::params() {
+  std::vector<Param*> out;
+  patch_embed_->collect_params(out);
+  agg_->collect_params(out);
+  pos_lead_->collect_params(out);
+  tower_->collect_params(out);
+  head_->collect_params(out);
+  return out;
+}
+
+std::int64_t OrbitModel::param_count() {
+  std::int64_t n = 0;
+  for (const Param* p : params()) n += p->numel();
+  return n;
+}
+
+void OrbitModel::zero_grad() {
+  for (Param* p : params()) p->zero_grad();
+}
+
+}  // namespace orbit::model

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "model/block.hpp"
+#include "model/config.hpp"
+#include "model/embedding.hpp"
+
+/// \file vit.hpp
+/// The full ORBIT vision transformer (ClimaX architecture, Fig. 1, plus the
+/// QK-LayerNorm optimization), assembled from the layer modules.
+
+namespace orbit::model {
+
+/// Stack of transformer blocks on [B, S, D]. This is the "training block"
+/// the paper's parallelisms shard; the distributed engines in orbit_core
+/// and orbit_parallel wrap a tower.
+class TransformerTower : public Module {
+ public:
+  TransformerTower(std::string name, const VitConfig& cfg, Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& dy) override;
+  void collect_params(std::vector<Param*>& out) override;
+
+  std::int64_t layer_count() const {
+    return static_cast<std::int64_t>(blocks_.size());
+  }
+  TransformerBlock& block(std::int64_t i) {
+    return *blocks_[static_cast<std::size_t>(i)];
+  }
+  /// Toggle activation checkpointing on every block.
+  void set_checkpointing(bool on);
+
+ private:
+  std::vector<std::unique_ptr<TransformerBlock>> blocks_;
+};
+
+/// Final LayerNorm + projection from feature space back to the image space.
+class PredictionHead : public Module {
+ public:
+  PredictionHead(std::string name, const VitConfig& cfg, Rng& rng);
+
+  Tensor forward(const Tensor& x) override;    // [B,S,D] -> [B,C_out,H,W]
+  Tensor backward(const Tensor& dy) override;  // -> [B,S,D]
+  void collect_params(std::vector<Param*>& out) override;
+
+ private:
+  VitConfig cfg_;
+  std::unique_ptr<LayerNormLayer> ln_;
+  std::unique_ptr<Linear> proj_;
+  std::int64_t cached_b_ = 0;
+};
+
+/// The complete model: patch embedding -> variable aggregation ->
+/// pos/lead-time conditioning -> transformer tower -> prediction head.
+///
+/// Not a `Module` because forward takes two inputs (fields and lead times);
+/// everything below the top level is.
+class OrbitModel {
+ public:
+  explicit OrbitModel(const VitConfig& cfg);
+
+  /// x: [B, C_in, H, W] normalised fields; lead_days: [B] forecast leads.
+  /// Returns [B, C_out, H, W].
+  Tensor forward(const Tensor& x, const Tensor& lead_days);
+
+  /// dy: [B, C_out, H, W]; accumulates all parameter grads, returns dx.
+  Tensor backward(const Tensor& dy);
+
+  std::vector<Param*> params();
+  std::int64_t param_count();
+  void zero_grad();
+
+  const VitConfig& config() const { return cfg_; }
+  TransformerTower& tower() { return *tower_; }
+  PatchEmbed& patch_embed() { return *patch_embed_; }
+  VariableAggregation& aggregation() { return *agg_; }
+  PosLeadEmbed& pos_lead() { return *pos_lead_; }
+  PredictionHead& head() { return *head_; }
+  void set_checkpointing(bool on) { tower_->set_checkpointing(on); }
+
+ private:
+  VitConfig cfg_;
+  std::unique_ptr<PatchEmbed> patch_embed_;
+  std::unique_ptr<VariableAggregation> agg_;
+  std::unique_ptr<PosLeadEmbed> pos_lead_;
+  std::unique_ptr<TransformerTower> tower_;
+  std::unique_ptr<PredictionHead> head_;
+};
+
+}  // namespace orbit::model

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file orbit.hpp
+/// Umbrella header: the full public API of the ORBIT-CPP library.
+/// Include this (and link the `orbit` CMake target) to use everything;
+/// include the individual module headers for faster builds.
+///
+/// Module map (README "Architecture"):
+///  * tensor/   — Tensor, kernels, RNG, BF16, thread pool
+///  * comm/     — simulated cluster: run_spmd, ProcessGroup collectives
+///  * model/    — the ClimaX-style ViT and its layers
+///  * train/    — AdamW, LR schedules, GradScaler, serial Trainer
+///  * parallel/ — DDP, FSDP, Megatron TP, GPipe pipelines (baselines)
+///  * core/     — Hybrid-STOP: mesh, sharded chains, engines (the paper)
+///  * data/     — synthetic CMIP6/ERA5 archives, datasets, baselines
+///  * metrics/  — wMSE, wACC, spectra, FLOPs accounting
+///  * perf/     — calibrated Frontier performance model
+
+// Tensor substrate.
+#include "tensor/bf16.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/nn_kernels.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+#include "tensor/threadpool.hpp"
+
+// Simulated cluster.
+#include "comm/process_group.hpp"
+#include "comm/world.hpp"
+
+// Model.
+#include "model/attention.hpp"
+#include "model/basic_layers.hpp"
+#include "model/block.hpp"
+#include "model/checkpoint_io.hpp"
+#include "model/config.hpp"
+#include "model/embedding.hpp"
+#include "model/linear.hpp"
+#include "model/param.hpp"
+#include "model/rollout.hpp"
+#include "model/vit.hpp"
+
+// Training.
+#include "train/grad_scaler.hpp"
+#include "train/optimizer.hpp"
+#include "train/schedule.hpp"
+#include "train/trainer.hpp"
+
+// Baseline parallelisms.
+#include "parallel/ddp.hpp"
+#include "parallel/flat_buffer.hpp"
+#include "parallel/fsdp.hpp"
+#include "parallel/pipeline.hpp"
+#include "parallel/tensor_parallel.hpp"
+
+// Hybrid-STOP.
+#include "core/distributed_model.hpp"
+#include "core/hs_checkpoint.hpp"
+#include "core/hs_engine.hpp"
+#include "core/hybrid_stop.hpp"
+#include "core/mesh.hpp"
+
+// Data.
+#include "data/baselines.hpp"
+#include "data/climate_field.hpp"
+#include "data/dataset.hpp"
+
+// Metrics.
+#include "metrics/flops.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/spectrum.hpp"
+
+// Performance model.
+#include "perf/machine.hpp"
+#include "perf/perf_model.hpp"

@@ -1,0 +1,62 @@
+#include "parallel/ddp.hpp"
+
+#include <cstring>
+
+namespace orbit::parallel {
+namespace {
+
+/// Group params into contiguous buckets of at most `bucket_elems` elements.
+/// A param larger than the bucket size gets its own bucket.
+std::vector<std::vector<model::Param*>> make_buckets(
+    const std::vector<model::Param*>& params, std::int64_t bucket_elems) {
+  std::vector<std::vector<model::Param*>> buckets;
+  std::int64_t in_bucket = 0;
+  for (model::Param* p : params) {
+    if (buckets.empty() || in_bucket + p->numel() > bucket_elems) {
+      buckets.emplace_back();
+      in_bucket = 0;
+    }
+    buckets.back().push_back(p);
+    in_bucket += p->numel();
+  }
+  return buckets;
+}
+
+}  // namespace
+
+DdpEngine::DdpEngine(std::vector<model::Param*> params,
+                     comm::ProcessGroup group, DdpOptions opts)
+    : params_(std::move(params)), group_(std::move(group)), opts_(opts) {}
+
+void DdpEngine::sync_grads() {
+  if (!group_.valid() || group_.size() == 1) return;
+  buckets_used_ = 0;
+  for (const auto& bucket : make_buckets(params_, opts_.bucket_elems)) {
+    std::int64_t total = 0;
+    for (const model::Param* p : bucket) total += p->numel();
+    Tensor flat = Tensor::empty({total});
+    std::int64_t off = 0;
+    for (const model::Param* p : bucket) {
+      std::memcpy(flat.data() + off, p->grad.data(),
+                  static_cast<std::size_t>(p->numel()) * sizeof(float));
+      off += p->numel();
+    }
+    group_.all_reduce(flat, comm::ReduceOp::kAvg);
+    off = 0;
+    for (model::Param* p : bucket) {
+      std::memcpy(p->grad.data(), flat.data() + off,
+                  static_cast<std::size_t>(p->numel()) * sizeof(float));
+      off += p->numel();
+    }
+    ++buckets_used_;
+  }
+}
+
+void DdpEngine::broadcast_params() {
+  if (!group_.valid() || group_.size() == 1) return;
+  for (model::Param* p : params_) {
+    group_.broadcast(p->value, /*root=*/0);
+  }
+}
+
+}  // namespace orbit::parallel

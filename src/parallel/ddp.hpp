@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "comm/process_group.hpp"
+#include "model/param.hpp"
+
+/// \file ddp.hpp
+/// Distributed Data Parallelism: every rank holds a full model replica and
+/// trains on a different data shard; gradients are averaged once per step.
+/// This is the outermost, least-communication axis of the paper's
+/// hierarchical parallelism (Fig. 4), mapped to sub-clusters on Frontier.
+
+namespace orbit::parallel {
+
+struct DdpOptions {
+  /// Gradients are coalesced into buckets of at most this many elements per
+  /// all-reduce, mirroring torch DDP's bucketing (fewer, larger messages).
+  std::int64_t bucket_elems = 1 << 20;
+};
+
+class DdpEngine {
+ public:
+  DdpEngine(std::vector<model::Param*> params, comm::ProcessGroup group,
+            DdpOptions opts = {});
+
+  /// Average gradients across the group (call after backward, before the
+  /// optimizer step). No-op for single-rank groups.
+  void sync_grads();
+
+  /// Broadcast rank-0 parameter values to all ranks (initial replica sync).
+  void broadcast_params();
+
+  std::int64_t buckets_used() const { return buckets_used_; }
+
+ private:
+  std::vector<model::Param*> params_;
+  comm::ProcessGroup group_;
+  DdpOptions opts_;
+  std::int64_t buckets_used_ = 0;
+};
+
+}  // namespace orbit::parallel

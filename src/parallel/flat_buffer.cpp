@@ -1,0 +1,82 @@
+#include "parallel/flat_buffer.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace orbit::parallel {
+
+FlatParamSet::FlatParamSet(std::vector<model::Param*> params, int num_shards)
+    : params_(std::move(params)), num_shards_(num_shards) {
+  if (num_shards_ < 1) throw std::invalid_argument("FlatParamSet: shards < 1");
+  offsets_.reserve(params_.size());
+  std::int64_t off = 0;
+  for (const model::Param* p : params_) {
+    offsets_.push_back(off);
+    off += p->numel();
+  }
+  // Pad so the flat buffer splits evenly (real FSDP pads identically).
+  const std::int64_t pad =
+      (num_shards_ - off % num_shards_) % num_shards_;
+  flat_size_ = off + pad;
+  shard_size_ = flat_size_ / num_shards_;
+}
+
+Tensor FlatParamSet::pack_values() const {
+  Tensor flat = Tensor::zeros({flat_size_});
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    std::memcpy(flat.data() + offsets_[i], params_[i]->value.data(),
+                static_cast<std::size_t>(params_[i]->numel()) * sizeof(float));
+  }
+  return flat;
+}
+
+void FlatParamSet::unpack_values(const Tensor& flat) const {
+  if (flat.numel() != flat_size_) {
+    throw std::invalid_argument("unpack_values: size mismatch");
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    std::memcpy(params_[i]->value.data(), flat.data() + offsets_[i],
+                static_cast<std::size_t>(params_[i]->numel()) * sizeof(float));
+  }
+}
+
+Tensor FlatParamSet::pack_grads() const {
+  Tensor flat = Tensor::zeros({flat_size_});
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    std::memcpy(flat.data() + offsets_[i], params_[i]->grad.data(),
+                static_cast<std::size_t>(params_[i]->numel()) * sizeof(float));
+  }
+  return flat;
+}
+
+void FlatParamSet::unpack_grads(const Tensor& flat) const {
+  if (flat.numel() != flat_size_) {
+    throw std::invalid_argument("unpack_grads: size mismatch");
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    std::memcpy(params_[i]->grad.data(), flat.data() + offsets_[i],
+                static_cast<std::size_t>(params_[i]->numel()) * sizeof(float));
+  }
+}
+
+Tensor FlatParamSet::extract_shard(const Tensor& flat, int idx) const {
+  if (idx < 0 || idx >= num_shards_) {
+    throw std::invalid_argument("extract_shard: bad index");
+  }
+  Tensor shard = Tensor::empty({shard_size_});
+  std::memcpy(shard.data(), flat.data() + static_cast<std::int64_t>(idx) * shard_size_,
+              static_cast<std::size_t>(shard_size_) * sizeof(float));
+  return shard;
+}
+
+void FlatParamSet::insert_shard(Tensor& flat, const Tensor& shard,
+                                int idx) const {
+  if (shard.numel() != shard_size_ || flat.numel() != flat_size_) {
+    throw std::invalid_argument("insert_shard: size mismatch");
+  }
+  std::memcpy(flat.data() + static_cast<std::int64_t>(idx) * shard_size_,
+              shard.data(),
+              static_cast<std::size_t>(shard_size_) * sizeof(float));
+}
+
+}  // namespace orbit::parallel

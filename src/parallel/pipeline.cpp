@@ -1,0 +1,117 @@
+#include "parallel/pipeline.hpp"
+
+#include <stdexcept>
+
+namespace orbit::parallel {
+namespace {
+
+constexpr int kActTag = 100;   ///< forward activations
+constexpr int kGradTag = 200;  ///< backward gradients
+
+}  // namespace
+
+PipelineTower::PipelineTower(const model::VitConfig& cfg,
+                             comm::ProcessGroup group)
+    : group_(std::move(group)) {
+  if (!group_.valid()) {
+    throw std::invalid_argument("PipelineTower: invalid group");
+  }
+  const int stages = group_.size();
+  if (static_cast<std::int64_t>(stages) > cfg.layers) {
+    throw std::invalid_argument(
+        "PipelineTower: more stages than layers — the pipeline scalability "
+        "limit the paper's Sec. II describes");
+  }
+  Rng rng(cfg.seed);
+  full_ = std::make_unique<model::TransformerTower>("tower", cfg, rng);
+  // Contiguous near-equal partition; earlier stages take the remainder.
+  const std::int64_t base = cfg.layers / stages;
+  const std::int64_t extra = cfg.layers % stages;
+  const int r = group_.rank();
+  begin_ = r * base + std::min<std::int64_t>(r, extra);
+  end_ = begin_ + base + (r < extra ? 1 : 0);
+  // GPipe recompute: keep only block inputs during the forward waves.
+  for (std::int64_t i = begin_; i < end_; ++i) {
+    full_->block(i).set_checkpointing(true);
+  }
+}
+
+Tensor PipelineTower::stage_forward(const Tensor& x) {
+  Tensor h = x;
+  for (std::int64_t i = begin_; i < end_; ++i) h = full_->block(i).forward(h);
+  return h;
+}
+
+Tensor PipelineTower::stage_backward(const Tensor& dy) {
+  Tensor d = dy;
+  for (std::int64_t i = end_ - 1; i >= begin_; --i) {
+    d = full_->block(i).backward(d);
+  }
+  return d;
+}
+
+std::vector<Tensor> PipelineTower::run_step(
+    const std::vector<Tensor>& micro_inputs,
+    const std::function<Tensor(const Tensor&, int)>& make_dy) {
+  const int m_count = static_cast<int>(micro_inputs.size());
+  if (m_count == 0) throw std::invalid_argument("run_step: no micro batches");
+
+  // GPipe schedule: all forward waves, then all backward waves in reverse.
+  // Sends are buffered (mailbox), so a stage can stream every micro-batch
+  // forward before its successor drains them.
+  std::vector<Tensor> outputs;
+  std::vector<Tensor> saved_inputs;  // per micro-batch, for the recompute
+  saved_inputs.reserve(static_cast<std::size_t>(m_count));
+
+  for (int m = 0; m < m_count; ++m) {
+    Tensor x = is_first()
+                   ? micro_inputs[static_cast<std::size_t>(m)]
+                   : group_.recv(group_.rank() - 1, kActTag + m);
+    saved_inputs.push_back(x.clone());
+    Tensor y = stage_forward(x);
+    if (is_last()) {
+      outputs.push_back(y);
+    } else {
+      group_.send(y, group_.rank() + 1, kActTag + m);
+    }
+  }
+
+  for (int m = m_count - 1; m >= 0; --m) {
+    // Recompute this micro-batch's forward to rebuild the caches (each
+    // block is in checkpoint mode, so backward would recompute anyway; a
+    // fresh stage forward re-seeds every block's saved input).
+    (void)stage_forward(saved_inputs[static_cast<std::size_t>(m)]);
+    Tensor dy = is_last()
+                    ? make_dy(outputs[static_cast<std::size_t>(m)], m)
+                    : group_.recv(group_.rank() + 1, kGradTag + m);
+    Tensor dx = stage_backward(dy);
+    if (!is_first()) {
+      group_.send(dx, group_.rank() - 1, kGradTag + m);
+    }
+  }
+  return outputs;
+}
+
+Tensor PipelineTower::forward(const Tensor& x) {
+  Tensor in = is_first() ? x : group_.recv(group_.rank() - 1, kActTag);
+  Tensor y = stage_forward(in);
+  if (!is_last()) {
+    group_.send(y, group_.rank() + 1, kActTag);
+    return {};
+  }
+  return y;
+}
+
+std::vector<model::Param*> PipelineTower::params() {
+  std::vector<model::Param*> out;
+  for (std::int64_t i = begin_; i < end_; ++i) {
+    full_->block(i).collect_params(out);
+  }
+  return out;
+}
+
+void PipelineTower::zero_grad() {
+  for (model::Param* p : params()) p->zero_grad();
+}
+
+}  // namespace orbit::parallel

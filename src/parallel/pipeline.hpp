@@ -1,0 +1,72 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "comm/process_group.hpp"
+#include "model/vit.hpp"
+
+/// \file pipeline.hpp
+/// GPipe-style pipeline parallelism — the third baseline the paper's
+/// Sec. II discusses (GPipe / torchgpipe / Megatron-pipeline). The tower's
+/// blocks are partitioned into contiguous stages, one per rank; activations
+/// cross stage boundaries through point-to-point messages; micro-batches
+/// fill the pipeline and gradients accumulate across them.
+///
+/// As in GPipe, stages keep only each micro-batch's *input* and recompute
+/// the stage forward during backward (activation checkpointing is intrinsic
+/// to the schedule).
+///
+/// The scalability limit the paper attributes to pipelines is enforced
+/// here: the stage count cannot exceed the layer count.
+
+namespace orbit::parallel {
+
+class PipelineTower {
+ public:
+  /// Partitions `cfg.layers` blocks across `group.size()` stages (this rank
+  /// runs the stage equal to its group rank). Weights come from the seeded
+  /// serial reference, so stage weights equal the serial model's.
+  PipelineTower(const model::VitConfig& cfg, comm::ProcessGroup group);
+
+  /// One training step over `micro_inputs.size()` micro-batches.
+  ///  * First stage: `micro_inputs[m]` is micro-batch m, [B_m, S, D].
+  ///    Other stages pass the same vector for shape information only; the
+  ///    contents arrive from the previous stage.
+  ///  * Last stage: `make_dy(y, m)` maps the stage output for micro-batch m
+  ///    to its loss gradient (e.g. MSE grad against that micro-target).
+  ///    It is only invoked on the last stage.
+  /// Gradients accumulate across micro-batches into the stage's params.
+  /// Returns the last stage's outputs per micro-batch (empty elsewhere).
+  std::vector<Tensor> run_step(
+      const std::vector<Tensor>& micro_inputs,
+      const std::function<Tensor(const Tensor&, int)>& make_dy);
+
+  /// Inference forward for one batch (same message pattern, no backward).
+  /// Returns the output on the last stage, an undefined tensor elsewhere.
+  Tensor forward(const Tensor& x);
+
+  /// Parameters of the blocks owned by this stage.
+  std::vector<model::Param*> params();
+  void zero_grad();
+
+  int stage() const { return group_.rank(); }
+  int num_stages() const { return group_.size(); }
+  std::int64_t first_block() const { return begin_; }
+  std::int64_t block_count() const { return end_ - begin_; }
+
+ private:
+  comm::ProcessGroup group_;
+  std::unique_ptr<model::TransformerTower> full_;  ///< owns every block;
+                                                   ///< only [begin_, end_) run
+  std::int64_t begin_ = 0, end_ = 0;
+
+  bool is_first() const { return group_.rank() == 0; }
+  bool is_last() const { return group_.rank() == group_.size() - 1; }
+
+  Tensor stage_forward(const Tensor& x);
+  Tensor stage_backward(const Tensor& dy);
+};
+
+}  // namespace orbit::parallel

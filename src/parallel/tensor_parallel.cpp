@@ -1,0 +1,319 @@
+#include "parallel/tensor_parallel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "model/block.hpp"
+#include "model/vit.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+
+namespace orbit::parallel {
+namespace {
+
+/// Column shard [in, out/T] for group rank r.
+Tensor shard_cols(const Tensor& w, const comm::ProcessGroup& g) {
+  const std::int64_t out = w.dim(1);
+  if (out % g.size() != 0) {
+    throw std::invalid_argument("tensor parallel: out dim not divisible");
+  }
+  const std::int64_t each = out / g.size();
+  return slice(w, 1, g.rank() * each, (g.rank() + 1) * each);
+}
+
+/// Row shard [in/T, out] for group rank r.
+Tensor shard_rows(const Tensor& w, const comm::ProcessGroup& g) {
+  const std::int64_t in = w.dim(0);
+  if (in % g.size() != 0) {
+    throw std::invalid_argument("tensor parallel: in dim not divisible");
+  }
+  const std::int64_t each = in / g.size();
+  return slice(w, 0, g.rank() * each, (g.rank() + 1) * each);
+}
+
+Tensor shard_vec(const Tensor& v, const comm::ProcessGroup& g) {
+  const std::int64_t n = v.dim(0);
+  if (n % g.size() != 0) {
+    throw std::invalid_argument("tensor parallel: vector not divisible");
+  }
+  const std::int64_t each = n / g.size();
+  return slice(v, 0, g.rank() * each, (g.rank() + 1) * each);
+}
+
+}  // namespace
+
+ColumnParallelLinear::ColumnParallelLinear(std::string name,
+                                           const Tensor& w_full,
+                                           const Tensor& b_full,
+                                           comm::ProcessGroup group)
+    : group_(std::move(group)),
+      w_(name + ".weight", shard_cols(w_full, group_)),
+      b_(name + ".bias", shard_vec(b_full, group_)) {}
+
+Tensor ColumnParallelLinear::forward(const Tensor& x) {
+  cached_in_shape_ = x.shape();
+  cached_x2d_ = x.reshape({-1, x.dim(-1)});
+  Tensor y = add_row_broadcast(matmul(cached_x2d_, w_.value), b_.value);
+  std::vector<std::int64_t> out_shape = cached_in_shape_;
+  out_shape.back() = out_local();
+  return y.reshape(std::move(out_shape));
+}
+
+Tensor ColumnParallelLinear::backward(const Tensor& dy) {
+  Tensor dy2d = dy.reshape({-1, out_local()});
+  w_.grad.add_(matmul_tn(cached_x2d_, dy2d));
+  b_.grad.add_(column_sum(dy2d));
+  Tensor dx = matmul_nt(dy2d, w_.value);
+  // Partial input grads from each column shard sum to the full grad — the
+  // Megatron "g" operator.
+  group_.all_reduce(dx, comm::ReduceOp::kSum);
+  return dx.reshape(cached_in_shape_);
+}
+
+void ColumnParallelLinear::collect_params(std::vector<model::Param*>& out) {
+  out.push_back(&w_);
+  out.push_back(&b_);
+}
+
+RowParallelLinear::RowParallelLinear(std::string name, const Tensor& w_full,
+                                     const Tensor& b_full,
+                                     comm::ProcessGroup group)
+    : group_(std::move(group)),
+      w_(name + ".weight", shard_rows(w_full, group_)),
+      b_(name + ".bias", b_full.clone()) {}  // replicated
+
+Tensor RowParallelLinear::forward(const Tensor& x_local) {
+  cached_in_shape_ = x_local.shape();
+  cached_x2d_ = x_local.reshape({-1, x_local.dim(-1)});
+  if (cached_x2d_.dim(1) != w_.value.dim(0)) {
+    throw std::invalid_argument("RowParallelLinear: input shard mismatch");
+  }
+  Tensor y = matmul(cached_x2d_, w_.value);
+  // Partial products over row shards sum to the full output (paper Eqn. 2).
+  group_.all_reduce(y, comm::ReduceOp::kSum);
+  y = add_row_broadcast(y, b_.value);
+  std::vector<std::int64_t> out_shape = cached_in_shape_;
+  out_shape.back() = w_.value.dim(1);
+  return y.reshape(std::move(out_shape));
+}
+
+Tensor RowParallelLinear::backward(const Tensor& dy) {
+  Tensor dy2d = dy.reshape({-1, w_.value.dim(1)});
+  w_.grad.add_(matmul_tn(cached_x2d_, dy2d));
+  // dy is replicated, so every rank computes the identical full bias grad.
+  b_.grad.add_(column_sum(dy2d));
+  Tensor dx = matmul_nt(dy2d, w_.value);
+  std::vector<std::int64_t> in_shape = cached_in_shape_;
+  return dx.reshape(std::move(in_shape));
+}
+
+void RowParallelLinear::collect_params(std::vector<model::Param*>& out) {
+  out.push_back(&w_);
+  out.push_back(&b_);
+}
+
+TpMlp::TpMlp(std::string name, model::Mlp& reference,
+             comm::ProcessGroup group) {
+  fc1_ = std::make_unique<ColumnParallelLinear>(
+      name + ".fc1", reference.fc1().weight().value,
+      reference.fc1().bias().value, group);
+  fc2_ = std::make_unique<RowParallelLinear>(
+      name + ".fc2", reference.fc2().weight().value,
+      reference.fc2().bias().value, group);
+}
+
+Tensor TpMlp::forward(const Tensor& x) {
+  cached_pre_act_ = fc1_->forward(x);
+  return fc2_->forward(gelu(cached_pre_act_));
+}
+
+Tensor TpMlp::backward(const Tensor& dy) {
+  Tensor dh = fc2_->backward(dy);
+  Tensor dpre = gelu_backward(cached_pre_act_, dh);
+  return fc1_->backward(dpre);
+}
+
+void TpMlp::collect_params(std::vector<model::Param*>& out) {
+  fc1_->collect_params(out);
+  fc2_->collect_params(out);
+}
+
+TpAttention::TpAttention(std::string name,
+                         model::MultiHeadSelfAttention& reference,
+                         std::int64_t embed, std::int64_t heads,
+                         bool qk_layernorm, comm::ProcessGroup group)
+    : group_(std::move(group)),
+      embed_(embed),
+      heads_(heads),
+      head_dim_(embed / heads) {
+  if (group_.size() > heads || heads % group_.size() != 0) {
+    throw std::invalid_argument(
+        "TpAttention: tensor-parallel size must divide the head count — "
+        "the Megatron TP limit the paper's Fig. 5 demonstrates");
+  }
+  local_heads_ = heads / group_.size();
+  scale_ = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  wq_ = std::make_unique<ColumnParallelLinear>(
+      name + ".wq", reference.wq().weight().value,
+      reference.wq().bias().value, group_);
+  wk_ = std::make_unique<ColumnParallelLinear>(
+      name + ".wk", reference.wk().weight().value,
+      reference.wk().bias().value, group_);
+  wv_ = std::make_unique<ColumnParallelLinear>(
+      name + ".wv", reference.wv().weight().value,
+      reference.wv().bias().value, group_);
+  wo_ = std::make_unique<RowParallelLinear>(name + ".wo",
+                                            reference.wo().weight().value,
+                                            reference.wo().bias().value,
+                                            group_);
+  if (qk_layernorm) {
+    qk_ln_q_ = std::make_unique<model::LayerNormLayer>(name + ".q_ln",
+                                                       head_dim_);
+    qk_ln_k_ = std::make_unique<model::LayerNormLayer>(name + ".k_ln",
+                                                       head_dim_);
+    qk_ln_q_->gamma().value.copy_from(reference.q_ln()->gamma().value);
+    qk_ln_q_->beta().value.copy_from(reference.q_ln()->beta().value);
+    qk_ln_k_->gamma().value.copy_from(reference.k_ln()->gamma().value);
+    qk_ln_k_->beta().value.copy_from(reference.k_ln()->beta().value);
+  }
+}
+
+Tensor TpAttention::split_local_heads(const Tensor& x) const {
+  Tensor x4 = x.reshape({b_, s_, local_heads_, head_dim_});
+  return permute(x4, {0, 2, 1, 3}).reshape({b_ * local_heads_, s_, head_dim_});
+}
+
+Tensor TpAttention::merge_local_heads(const Tensor& x) const {
+  Tensor x4 = x.reshape({b_, local_heads_, s_, head_dim_});
+  return permute(x4, {0, 2, 1, 3})
+      .reshape({b_, s_, local_heads_ * head_dim_});
+}
+
+Tensor TpAttention::forward(const Tensor& x) {
+  b_ = x.dim(0);
+  s_ = x.dim(1);
+  Tensor q = split_local_heads(wq_->forward(x));
+  Tensor k = split_local_heads(wk_->forward(x));
+  Tensor v = split_local_heads(wv_->forward(x));
+  if (qk_ln_q_) {
+    q = qk_ln_q_->forward(q);
+    k = qk_ln_k_->forward(k);
+  }
+  cached_q_ = q;
+  cached_k_ = k;
+  cached_v_ = v;
+  Tensor logits = matmul_nt_batched(q, k);
+  logits.scale_(scale_);
+  cached_probs_ = softmax_lastdim(logits);
+  Tensor ctx = merge_local_heads(matmul_batched(cached_probs_, v));
+  return wo_->forward(ctx);
+}
+
+Tensor TpAttention::backward(const Tensor& dy) {
+  Tensor dctx = wo_->backward(dy);
+  Tensor dctx_h = split_local_heads(dctx);
+  Tensor dprobs = matmul_nt_batched(dctx_h, cached_v_);
+  Tensor dv = matmul_tn_batched(cached_probs_, dctx_h);
+  Tensor dlogits = softmax_lastdim_backward(cached_probs_, dprobs);
+  dlogits.scale_(scale_);
+  Tensor dq = matmul_batched(dlogits, cached_k_);
+  Tensor dk = matmul_tn_batched(dlogits, cached_q_);
+  if (qk_ln_q_) {
+    dq = qk_ln_q_->backward(dq);
+    dk = qk_ln_k_->backward(dk);
+    // Each rank saw only its local heads: QK-LN grads are partial sums.
+    group_.all_reduce(qk_ln_q_->gamma().grad, comm::ReduceOp::kSum);
+    group_.all_reduce(qk_ln_q_->beta().grad, comm::ReduceOp::kSum);
+    group_.all_reduce(qk_ln_k_->gamma().grad, comm::ReduceOp::kSum);
+    group_.all_reduce(qk_ln_k_->beta().grad, comm::ReduceOp::kSum);
+  }
+  Tensor dx = wq_->backward(merge_local_heads(dq));
+  dx.add_(wk_->backward(merge_local_heads(dk)));
+  dx.add_(wv_->backward(merge_local_heads(dv)));
+  return dx;
+}
+
+void TpAttention::collect_params(std::vector<model::Param*>& out) {
+  wq_->collect_params(out);
+  wk_->collect_params(out);
+  wv_->collect_params(out);
+  wo_->collect_params(out);
+  if (qk_ln_q_) {
+    qk_ln_q_->collect_params(out);
+    qk_ln_k_->collect_params(out);
+  }
+}
+
+TpBlock::TpBlock(std::string name, model::TransformerBlock& reference,
+                 const model::VitConfig& cfg, comm::ProcessGroup group) {
+  ln1_ = std::make_unique<model::LayerNormLayer>(name + ".ln1", cfg.embed);
+  ln1_->gamma().value.copy_from(reference.ln1().gamma().value);
+  ln1_->beta().value.copy_from(reference.ln1().beta().value);
+  attn_ = std::make_unique<TpAttention>(name + ".attn", reference.attention(),
+                                        cfg.embed, cfg.heads,
+                                        cfg.qk_layernorm, group);
+  ln2_ = std::make_unique<model::LayerNormLayer>(name + ".ln2", cfg.embed);
+  ln2_->gamma().value.copy_from(reference.ln2().gamma().value);
+  ln2_->beta().value.copy_from(reference.ln2().beta().value);
+  mlp_ = std::make_unique<TpMlp>(name + ".mlp", reference.mlp(), group);
+}
+
+Tensor TpBlock::forward(const Tensor& x) {
+  Tensor h = add(x, attn_->forward(ln1_->forward(x)));
+  return add(h, mlp_->forward(ln2_->forward(h)));
+}
+
+Tensor TpBlock::backward(const Tensor& dy) {
+  Tensor dh = mlp_->backward(dy);
+  dh = ln2_->backward(dh);
+  dh.add_(dy);
+  Tensor dx = attn_->backward(dh);
+  dx = ln1_->backward(dx);
+  dx.add_(dh);
+  return dx;
+}
+
+void TpBlock::collect_params(std::vector<model::Param*>& out) {
+  ln1_->collect_params(out);
+  attn_->collect_params(out);
+  ln2_->collect_params(out);
+  mlp_->collect_params(out);
+}
+
+TpTower::TpTower(const model::VitConfig& cfg, comm::ProcessGroup group) {
+  // Build the seeded serial reference and shard its weights, so every rank
+  // starts from exactly the weights a serial run would use.
+  Rng rng(cfg.seed);
+  model::TransformerTower reference("tower", cfg, rng);
+  blocks_.reserve(static_cast<std::size_t>(cfg.layers));
+  for (std::int64_t i = 0; i < cfg.layers; ++i) {
+    blocks_.push_back(std::make_unique<TpBlock>(
+        "tower.block" + std::to_string(i), reference.block(i), cfg, group));
+  }
+}
+
+Tensor TpTower::forward(const Tensor& x) {
+  Tensor h = x;
+  for (auto& b : blocks_) h = b->forward(h);
+  return h;
+}
+
+Tensor TpTower::backward(const Tensor& dy) {
+  Tensor d = dy;
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+    d = (*it)->backward(d);
+  }
+  return d;
+}
+
+std::vector<model::Param*> TpTower::params() {
+  std::vector<model::Param*> out;
+  for (auto& b : blocks_) b->collect_params(out);
+  return out;
+}
+
+void TpTower::zero_grad() {
+  for (model::Param* p : params()) p->zero_grad();
+}
+
+}  // namespace orbit::parallel

@@ -1,0 +1,145 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "comm/process_group.hpp"
+#include "model/block.hpp"
+#include "model/config.hpp"
+#include "model/param.hpp"
+#include "tensor/nn_kernels.hpp"
+
+/// \file tensor_parallel.hpp
+/// Megatron-style tensor parallelism (Shoeybi et al.), the TP baseline the
+/// paper compares Hybrid-STOP against. Weight matrices are split column-wise
+/// (first linear of a chain) and row-wise (second linear); activations are
+/// all-reduced at chain boundaries. Attention is sharded by heads, which is
+/// exactly the scalability limit Fig. 5 attributes to TP: the group size
+/// cannot exceed the head count.
+
+namespace orbit::parallel {
+
+/// y_local = x · W[:, shard] + b[shard]; input replicated, output sharded.
+class ColumnParallelLinear {
+ public:
+  /// Shards `w_full` [in, out] / `b_full` [out] along the output dimension.
+  ColumnParallelLinear(std::string name, const Tensor& w_full,
+                       const Tensor& b_full, comm::ProcessGroup group);
+
+  Tensor forward(const Tensor& x);
+  /// dy is the local output grad; returns the REPLICATED input grad
+  /// (all-reduced across the group).
+  Tensor backward(const Tensor& dy);
+  void collect_params(std::vector<model::Param*>& out);
+
+  model::Param& weight() { return w_; }
+  model::Param& bias() { return b_; }
+  std::int64_t out_local() const { return w_.value.dim(1); }
+
+ private:
+  comm::ProcessGroup group_;
+  model::Param w_, b_;
+  Tensor cached_x2d_;
+  std::vector<std::int64_t> cached_in_shape_;
+};
+
+/// y = all_reduce(x_local · W[shard, :]) + b; input sharded, output replicated.
+class RowParallelLinear {
+ public:
+  RowParallelLinear(std::string name, const Tensor& w_full,
+                    const Tensor& b_full, comm::ProcessGroup group);
+
+  Tensor forward(const Tensor& x_local);
+  /// dy replicated; returns the LOCAL (sharded) input grad. The replicated
+  /// bias grad is identical on every rank by construction.
+  Tensor backward(const Tensor& dy);
+  void collect_params(std::vector<model::Param*>& out);
+
+  model::Param& weight() { return w_; }
+  model::Param& bias() { return b_; }
+
+ private:
+  comm::ProcessGroup group_;
+  model::Param w_, b_;
+  Tensor cached_x2d_;
+  std::vector<std::int64_t> cached_in_shape_;
+};
+
+/// Tensor-parallel feed-forward: GeLU(x·A)·B with A column- and B
+/// row-sharded — Eqn. (1) of the paper under Megatron decomposition.
+class TpMlp {
+ public:
+  TpMlp(std::string name, model::Mlp& reference, comm::ProcessGroup group);
+
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& dy);
+  void collect_params(std::vector<model::Param*>& out);
+
+ private:
+  std::unique_ptr<ColumnParallelLinear> fc1_;
+  std::unique_ptr<RowParallelLinear> fc2_;
+  Tensor cached_pre_act_;
+};
+
+/// Head-sharded tensor-parallel self-attention. Throws when the group is
+/// larger than the head count (the paper's TP scalability limit).
+class TpAttention {
+ public:
+  TpAttention(std::string name, model::MultiHeadSelfAttention& reference,
+              std::int64_t embed, std::int64_t heads, bool qk_layernorm,
+              comm::ProcessGroup group);
+
+  Tensor forward(const Tensor& x);   // [B,S,D] replicated -> replicated
+  Tensor backward(const Tensor& dy);
+  void collect_params(std::vector<model::Param*>& out);
+
+  std::int64_t local_heads() const { return local_heads_; }
+
+ private:
+  comm::ProcessGroup group_;
+  std::int64_t embed_, heads_, local_heads_, head_dim_;
+  float scale_;
+  std::unique_ptr<ColumnParallelLinear> wq_, wk_, wv_;
+  std::unique_ptr<RowParallelLinear> wo_;
+  std::unique_ptr<model::LayerNormLayer> qk_ln_q_, qk_ln_k_;
+
+  Tensor cached_q_, cached_k_, cached_v_, cached_probs_;
+  std::int64_t b_ = 0, s_ = 0;
+
+  Tensor split_local_heads(const Tensor& x) const;
+  Tensor merge_local_heads(const Tensor& x) const;
+};
+
+/// One tensor-parallel transformer block (pre-LN, residual; LayerNorms are
+/// replicated since their inputs and output grads are replicated).
+class TpBlock {
+ public:
+  TpBlock(std::string name, model::TransformerBlock& reference,
+          const model::VitConfig& cfg, comm::ProcessGroup group);
+
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& dy);
+  void collect_params(std::vector<model::Param*>& out);
+
+ private:
+  std::unique_ptr<model::LayerNormLayer> ln1_, ln2_;
+  std::unique_ptr<TpAttention> attn_;
+  std::unique_ptr<TpMlp> mlp_;
+};
+
+/// Tensor-parallel tower constructed by sharding a seeded serial reference,
+/// so rank-local weights match the serial model exactly.
+class TpTower {
+ public:
+  TpTower(const model::VitConfig& cfg, comm::ProcessGroup group);
+
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& dy);
+  std::vector<model::Param*> params();
+  void zero_grad();
+
+ private:
+  std::vector<std::unique_ptr<TpBlock>> blocks_;
+};
+
+}  // namespace orbit::parallel

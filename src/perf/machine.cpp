@@ -1,0 +1,18 @@
+#include "perf/machine.hpp"
+
+namespace orbit::perf {
+
+MachineConfig frontier() { return MachineConfig{}; }
+
+double ring_gather_time(double payload_bytes, int p, double bw, double lat) {
+  if (p <= 1) return 0.0;
+  const double frac = static_cast<double>(p - 1) / static_cast<double>(p);
+  return static_cast<double>(p - 1) * lat + frac * payload_bytes / bw;
+}
+
+double ring_allreduce_time(double payload_bytes, int p, double bw,
+                           double lat) {
+  return 2.0 * ring_gather_time(payload_bytes, p, bw, lat);
+}
+
+}  // namespace orbit::perf

@@ -1,0 +1,417 @@
+#include "perf/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace orbit::perf {
+namespace {
+
+/// Calibrated coefficients (DESIGN.md §5). Fitted once against the paper's
+/// published envelopes; identical for every experiment.
+constexpr double kBytesOptState = 16.0;  ///< f32 master + Adam m/v + grad
+constexpr double kVanillaGatherFactor = 1.0;  ///< one full bf16 param copy
+constexpr double kActUnsplitPerToken = 6.0;   ///< residual/LN values · D
+constexpr double kActSplitPerToken = 10.0;    ///< qkv/ctx/MLP values · D / T
+constexpr double kPrefetchOverlap = 0.7;      ///< fraction of compute usable
+constexpr double kCkptComputeFactor = 4.0 / 3.0;  ///< recompute overhead
+constexpr int kMaxMicroBatch = 32;
+/// Widest chain sharding the Fig. 5 search considers: beyond ~16-way the
+/// column/row shards become too thin to keep the GCDs busy, and the paper's
+/// production configs stay at TP <= 8 (within one node).
+constexpr int kMaxChainShards = 16;
+
+struct BlockSplit {
+  double shardable = 0;   ///< per-layer weights Hybrid-STOP/FSDP shard
+  double replicated = 0;  ///< per-layer LN/output biases
+  double embed_head = 0;  ///< everything outside the tower
+};
+
+BlockSplit split_params(const model::VitConfig& cfg) {
+  const double d = static_cast<double>(cfg.embed);
+  const double hd = static_cast<double>(cfg.head_dim());
+  BlockSplit s;
+  s.shardable = 12.0 * d * d + 7.0 * d;          // qkv/o + mlp weights+biases
+  s.replicated = 6.0 * d + (cfg.qk_layernorm ? 4.0 * hd : 0.0);
+  const double blocks =
+      static_cast<double>(cfg.layers) * (s.shardable + s.replicated);
+  s.embed_head =
+      std::max(0.0, static_cast<double>(cfg.param_count()) - blocks);
+  return s;
+}
+
+}  // namespace
+
+const char* strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kFsdpVanilla:
+      return "FSDP";
+    case Strategy::kFsdpWrapped:
+      return "FSDP+wrap";
+    case Strategy::kTensorParallel:
+      return "TensorParallel";
+    case Strategy::kHybridStop:
+      return "Hybrid-STOP";
+  }
+  return "?";
+}
+
+model::VitConfig scaled_config_for_params(double target_params,
+                                          std::int64_t channels) {
+  // Interpolate the paper's (params -> layers) anchors in log space, then
+  // solve the block arithmetic for the embedding width.
+  struct Anchor {
+    double p;
+    double l;
+  };
+  static const Anchor anchors[] = {
+      {115e6, 8}, {1e9, 8}, {10e9, 11}, {113e9, 56}};
+  double layers = 8;
+  if (target_params <= anchors[0].p) {
+    layers = anchors[0].l;
+  } else if (target_params >= anchors[3].p) {
+    // Extrapolate with the last segment's log slope, capped.
+    const double slope = std::log(anchors[3].l / anchors[2].l) /
+                         std::log(anchors[3].p / anchors[2].p);
+    layers = anchors[3].l *
+             std::pow(target_params / anchors[3].p, slope);
+  } else {
+    for (int i = 0; i < 3; ++i) {
+      if (target_params <= anchors[i + 1].p) {
+        const double f = std::log(target_params / anchors[i].p) /
+                         std::log(anchors[i + 1].p / anchors[i].p);
+        layers = anchors[i].l *
+                 std::pow(anchors[i + 1].l / anchors[i].l, f);
+        break;
+      }
+    }
+  }
+  model::VitConfig cfg;
+  cfg.image_h = 128;
+  cfg.image_w = 256;
+  cfg.patch = 4;
+  cfg.in_channels = channels;
+  cfg.out_channels = channels;
+  cfg.layers = std::clamp<std::int64_t>(
+      static_cast<std::int64_t>(std::lround(layers)), 8, 120);
+  const double d_est =
+      std::sqrt(target_params / (12.0 * static_cast<double>(cfg.layers)));
+  cfg.embed = std::max<std::int64_t>(
+      512, (static_cast<std::int64_t>(d_est) / 64) * 64);
+  cfg.heads = cfg.embed >= 10240 ? 64 : (cfg.embed >= 6144 ? 32 : 16);
+  if (cfg.embed % cfg.heads != 0) {
+    cfg.embed = (cfg.embed / cfg.heads) * cfg.heads;
+  }
+  cfg.name = "scaled-" + std::to_string(cfg.param_count() / 1000000) + "M";
+  return cfg;
+}
+
+MemoryEstimate PerfModel::memory(const model::VitConfig& cfg,
+                                 const ParallelPlan& plan) const {
+  if (plan.micro_batch < 1) {
+    throw std::invalid_argument("memory(): micro_batch must be resolved");
+  }
+  const BlockSplit bs = split_params(cfg);
+  const double L = static_cast<double>(cfg.layers);
+  const double d = static_cast<double>(cfg.embed);
+  const double s = static_cast<double>(cfg.tokens());
+  const double heads = static_cast<double>(cfg.heads);
+  const double bw = plan.mixed_precision ? 2.0 : 4.0;
+  const double ba = plan.mixed_precision ? 2.0 : 4.0;
+  const double b = static_cast<double>(plan.micro_batch);
+
+  const int t = plan.tp;
+  const int f = plan.fsdp;
+  const double shardable_total = L * bs.shardable;
+
+  MemoryEstimate m;
+  m.overhead = mc_.overhead_bytes;
+  m.inputs = 3.0 * b * static_cast<double>(cfg.in_channels) *
+             static_cast<double>(cfg.image_h * cfg.image_w) * 4.0;
+
+  switch (plan.strategy) {
+    case Strategy::kFsdpVanilla:
+    case Strategy::kFsdpWrapped: {
+      // FSDP wraps the whole model: the embedding/head params shard too.
+      m.persistent = (shardable_total + bs.embed_head) * kBytesOptState / f +
+                     L * bs.replicated * (kBytesOptState + bw);
+      if (plan.strategy == Strategy::kFsdpVanilla) {
+        m.transient =
+            kVanillaGatherFactor * (shardable_total + bs.embed_head) * bw;
+      } else {
+        m.transient = bs.shardable * bw * (plan.prefetch ? 2.0 : 1.0);
+      }
+      break;
+    }
+    case Strategy::kTensorParallel: {
+      // Weights live materialised (no gathers): working copy + opt states.
+      // Embeddings/head are replicated (Megatron shards only the blocks).
+      m.persistent = shardable_total * (kBytesOptState + bw) / t +
+                     (L * bs.replicated + bs.embed_head) *
+                         (kBytesOptState + bw);
+      m.transient = 0;
+      break;
+    }
+    case Strategy::kHybridStop: {
+      m.persistent = (shardable_total / t + bs.embed_head) * kBytesOptState /
+                         static_cast<double>(f) +
+                     L * bs.replicated * (kBytesOptState + bw);
+      m.transient = bs.shardable / t * bw * (plan.prefetch ? 2.0 : 1.0);
+      break;
+    }
+  }
+
+  // Activations. TP splits the wide intermediate values; residual-stream
+  // values stay unsplit. Checkpointing keeps only block inputs plus one
+  // block's working set. Attention probabilities split at most `heads` ways.
+  const double t_act = std::max(1, t);
+  const double t_probs = std::min<double>(t_act, heads);
+  const double per_layer =
+      b * s *
+      (kActUnsplitPerToken * d + kActSplitPerToken * d / t_act +
+       s * heads / t_probs) *
+      ba;
+  if (plan.activation_checkpoint) {
+    m.activations = L * b * s * d * ba + per_layer;
+  } else {
+    m.activations = L * per_layer;
+  }
+  return m;
+}
+
+ParallelPlan PerfModel::default_plan(Strategy strategy, int gpus,
+                                     const model::VitConfig& cfg) const {
+  ParallelPlan plan;
+  plan.strategy = strategy;
+  const int heads = static_cast<int>(cfg.heads);
+  switch (strategy) {
+    case Strategy::kFsdpVanilla:
+    case Strategy::kFsdpWrapped:
+      plan.fsdp = gpus;
+      break;
+    case Strategy::kTensorParallel: {
+      plan.tp = std::min(gpus, heads);
+      plan.ddp = gpus / plan.tp;
+      break;
+    }
+    case Strategy::kHybridStop: {
+      // Paper Fig. 4 mapping: TP within the node, FSDP across nodes, DDP
+      // across sub-clusters. Fig. 6's optimum is FSDP=64 x TP=8.
+      plan.tp = std::min({gpus, mc_.gpus_per_node, heads});
+      const int rest = gpus / plan.tp;
+      plan.fsdp = std::min(64, rest);
+      plan.ddp = rest / plan.fsdp;
+      break;
+    }
+  }
+  if (plan.gpus() != gpus) {
+    // Fall back: put the remainder on the FSDP axis.
+    plan.ddp = 1;
+    plan.fsdp = gpus / plan.tp;
+  }
+  return plan;
+}
+
+StepTimeEstimate PerfModel::step_time(const model::VitConfig& cfg,
+                                      ParallelPlan plan) const {
+  StepTimeEstimate est;
+  const int heads = static_cast<int>(cfg.heads);
+  // Megatron TP is head-limited (Fig. 5's premise). Hybrid-STOP is not —
+  // the Eqn. (2) chain sharding applies to arbitrary column counts — so the
+  // performance plane follows the paper and allows any TP factor.
+  if (plan.strategy == Strategy::kTensorParallel && plan.tp > heads) {
+    est.oom = true;
+    est.note = "infeasible: TP size exceeds attention head count";
+    return est;
+  }
+
+  // Resolve the micro batch: the largest that fits (Table I row 5's gain
+  // comes exactly from checkpointing freeing room for a bigger batch).
+  if (plan.micro_batch <= 0) {
+    int best = 0;
+    const int cap = std::min(kMaxMicroBatch, std::max(1, plan.micro_batch_cap));
+    for (int b = 1; b <= cap; ++b) {
+      ParallelPlan probe = plan;
+      probe.micro_batch = b;
+      if (memory(cfg, probe).fits(mc_)) {
+        best = b;
+      } else {
+        break;
+      }
+    }
+    if (best == 0) {
+      est.oom = true;
+      est.note = "OOM at micro batch 1";
+      return est;
+    }
+    plan.micro_batch = best;
+  } else if (!memory(cfg, plan).fits(mc_)) {
+    est.oom = true;
+    est.note = "OOM";
+    return est;
+  }
+
+  const BlockSplit bs = split_params(cfg);
+  const double L = static_cast<double>(cfg.layers);
+  const double d = static_cast<double>(cfg.embed);
+  const double s = static_cast<double>(cfg.tokens());
+  const double bw = plan.mixed_precision ? 2.0 : 4.0;
+  const double ba = plan.mixed_precision ? 2.0 : 4.0;
+  const double b = static_cast<double>(plan.micro_batch);
+  const int gpus = plan.gpus();
+  est.global_batch =
+      static_cast<std::int64_t>(plan.micro_batch) * plan.data_shards();
+
+  // --- compute ---------------------------------------------------------
+  const double rate = (plan.mixed_precision ? mc_.peak_bf16_flops
+                                            : mc_.peak_fp32_flops) *
+                      mc_.model_flop_efficiency;
+  double compute = cfg.train_flops_per_sample() *
+                   static_cast<double>(est.global_batch) /
+                   (static_cast<double>(gpus) * rate);
+  if (plan.activation_checkpoint) compute *= kCkptComputeFactor;
+  est.compute = compute;
+
+  // --- FSDP axis: gathers + reduce-scatters ------------------------------
+  const bool has_fsdp = plan.strategy == Strategy::kFsdpVanilla ||
+                        plan.strategy == Strategy::kFsdpWrapped ||
+                        plan.strategy == Strategy::kHybridStop;
+  if (has_fsdp && plan.fsdp > 1) {
+    const int t = plan.strategy == Strategy::kHybridStop ? plan.tp : 1;
+    const double shard_payload = L * bs.shardable * bw / t;
+    if (plan.strategy == Strategy::kFsdpVanilla) {
+      // One full-model gather for forward, one for backward, one full
+      // reduce-scatter: three passes of the whole payload.
+      est.fsdp_comm = 3.0 * ring_gather_time(shard_payload, plan.fsdp,
+                                             mc_.inter_node_bw,
+                                             mc_.inter_node_latency);
+    } else {
+      // Per-layer wrapping: same bytes, but 3L latency-bearing collectives.
+      const double per_layer = shard_payload / L;
+      est.fsdp_comm =
+          3.0 * L *
+          ring_gather_time(per_layer, plan.fsdp, mc_.inter_node_bw,
+                           mc_.inter_node_latency);
+    }
+  }
+
+  // --- TP axis: activation all-reduces -----------------------------------
+  if ((plan.strategy == Strategy::kTensorParallel ||
+       plan.strategy == Strategy::kHybridStop) &&
+      plan.tp > 1) {
+    const bool intra = plan.tp <= mc_.gpus_per_node;
+    const double tp_bw = intra ? mc_.intra_node_bw : mc_.inter_node_bw;
+    const double tp_lat =
+        intra ? mc_.intra_node_latency : mc_.inter_node_latency;
+    const double payload = b * s * d * ba;
+    // 2 forward + 2 backward all-reduces per layer; checkpointing re-runs
+    // the forward pair during backward.
+    const double per_layer_ops = plan.activation_checkpoint ? 6.0 : 4.0;
+    est.tp_comm = L * per_layer_ops *
+                  ring_allreduce_time(payload, plan.tp, tp_bw, tp_lat);
+  }
+
+  // --- DDP axis: one gradient all-reduce ---------------------------------
+  if (plan.ddp > 1) {
+    const int t = std::max(1, plan.tp);
+    const int f = std::max(1, plan.fsdp);
+    const double grad_bytes =
+        (L * bs.shardable / (static_cast<double>(t) * f) +
+         L * bs.replicated + bs.embed_head) *
+        4.0;
+    est.ddp_comm = ring_allreduce_time(grad_bytes, plan.ddp,
+                                       mc_.inter_node_bw,
+                                       mc_.inter_node_latency);
+  }
+
+  // --- overlap ------------------------------------------------------------
+  double exposed_fsdp = est.fsdp_comm;
+  if (plan.prefetch && plan.strategy != Strategy::kFsdpVanilla) {
+    exposed_fsdp = std::max(0.0, est.fsdp_comm - kPrefetchOverlap * compute);
+  }
+  est.exposed_comm = exposed_fsdp + est.tp_comm + est.ddp_comm;
+  est.step = compute + est.exposed_comm;
+  est.per_sample = est.step / static_cast<double>(est.global_batch);
+  return est;
+}
+
+StepTimeEstimate PerfModel::step_time_fixed_global_batch(
+    const model::VitConfig& cfg, ParallelPlan plan,
+    std::int64_t global_batch) const {
+  const int shards = plan.data_shards();
+  const std::int64_t per_shard =
+      std::max<std::int64_t>(1, global_batch / shards);
+  plan.micro_batch = -1;
+  plan.micro_batch_cap = static_cast<int>(
+      std::min<std::int64_t>(per_shard, kMaxMicroBatch));
+  StepTimeEstimate micro = step_time(cfg, plan);
+  if (micro.oom) return micro;
+
+  // Gradient accumulation: repeat micro-steps until the global batch is
+  // consumed. Parameter gathers and activation all-reduces repeat per
+  // micro-step; the DDP gradient reduction happens once.
+  const std::int64_t micro_global = micro.global_batch;
+  const std::int64_t accum =
+      std::max<std::int64_t>(1, (global_batch + micro_global - 1) / micro_global);
+  StepTimeEstimate est = micro;
+  est.global_batch = micro_global * accum;
+  est.compute = micro.compute * static_cast<double>(accum);
+  est.fsdp_comm = micro.fsdp_comm * static_cast<double>(accum);
+  est.tp_comm = micro.tp_comm * static_cast<double>(accum);
+  est.exposed_comm =
+      (micro.exposed_comm - micro.ddp_comm) * static_cast<double>(accum) +
+      micro.ddp_comm;
+  est.step = est.compute + est.exposed_comm;
+  est.per_sample = est.step / static_cast<double>(est.global_batch);
+  return est;
+}
+
+double PerfModel::max_model_params(Strategy strategy, int gpus,
+                                   std::int64_t channels) const {
+  // Fig. 5 protocol: batch size 2, mixed precision, no activation
+  // checkpointing (checkpointing is studied separately in Table I).
+  // Hybrid-STOP may pick whichever TP factor fits best — the freedom the
+  // orthogonal axes buy.
+  auto feasible = [&](double params) {
+    model::VitConfig cfg = scaled_config_for_params(params, channels);
+    std::vector<int> tp_choices;
+    if (strategy == Strategy::kHybridStop) {
+      for (int t = 1; t <= std::min(gpus, kMaxChainShards); t *= 2) {
+        tp_choices.push_back(t);
+      }
+    } else {
+      tp_choices.push_back(default_plan(strategy, gpus, cfg).tp);
+    }
+    for (int t : tp_choices) {
+      ParallelPlan plan = default_plan(strategy, gpus, cfg);
+      if (strategy == Strategy::kHybridStop) {
+        plan.tp = t;
+        plan.fsdp = gpus / t;
+        plan.ddp = 1;
+      }
+      plan.micro_batch = 2;
+      plan.activation_checkpoint = false;
+      plan.mixed_precision = true;
+      if (strategy == Strategy::kTensorParallel && plan.tp > cfg.heads) {
+        continue;
+      }
+      if (memory(cfg, plan).fits(mc_)) return true;
+    }
+    return false;
+  };
+  double lo = 1e6, hi = 2e12;
+  if (!feasible(lo)) return 0.0;
+  if (feasible(hi)) return hi;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = std::sqrt(lo * hi);  // log-space bisection
+    if (feasible(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace orbit::perf

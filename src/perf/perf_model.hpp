@@ -1,0 +1,113 @@
+#pragma once
+
+#include <string>
+
+#include "model/config.hpp"
+#include "perf/machine.hpp"
+
+/// \file perf_model.hpp
+/// Analytic performance/memory model for ViT training under the paper's
+/// parallelisms on Frontier. This is the reproduction plane for every
+/// scaling result (Table I, Figs. 5-7): it costs exactly the collectives
+/// and materialisations the execution-plane engines in orbit::core /
+/// orbit::parallel actually perform, with the machine constants of
+/// perf/machine.hpp.
+
+namespace orbit::perf {
+
+/// Which parallelism strategy a run uses (the three Fig. 5 contenders).
+enum class Strategy {
+  kFsdpVanilla,  ///< full-parameter gathers, no layer wrapping (Fig. 2)
+  kFsdpWrapped,  ///< FSDP with per-layer wrapping
+  kTensorParallel,
+  kHybridStop,
+};
+
+const char* strategy_name(Strategy s);
+
+struct ParallelPlan {
+  Strategy strategy = Strategy::kHybridStop;
+  int ddp = 1, fsdp = 1, tp = 1;
+  /// Micro batch per data shard; <= 0 means "largest that fits".
+  int micro_batch = -1;
+  /// Upper bound for the automatic micro-batch search (e.g. the per-shard
+  /// share of a fixed global batch).
+  int micro_batch_cap = 1 << 20;
+  bool layer_wrapping = true;
+  bool mixed_precision = true;
+  bool prefetch = true;
+  bool activation_checkpoint = true;
+
+  int gpus() const { return ddp * fsdp * tp; }
+  int data_shards() const { return ddp * fsdp; }
+};
+
+struct MemoryEstimate {
+  double persistent = 0;   ///< param/grad/optimizer shards (bytes)
+  double transient = 0;    ///< peak gathered working weights
+  double activations = 0;  ///< stored activations / checkpoints
+  double inputs = 0;       ///< input pipeline buffers
+  double overhead = 0;     ///< runtime fixed cost
+  double total() const {
+    return persistent + transient + activations + inputs + overhead;
+  }
+  bool fits(const MachineConfig& mc) const { return total() <= mc.mem_bytes; }
+};
+
+struct StepTimeEstimate {
+  double compute = 0;        ///< GEMM time per step (s)
+  double fsdp_comm = 0;      ///< gather/reduce-scatter cost (pre-overlap)
+  double tp_comm = 0;        ///< activation all-reduces
+  double ddp_comm = 0;       ///< gradient all-reduce
+  double exposed_comm = 0;   ///< comm not hidden behind compute
+  double step = 0;           ///< total wall time per optimizer step
+  double per_sample = 0;     ///< step / global batch (the paper's metric)
+  std::int64_t global_batch = 0;
+  bool oom = false;          ///< memory model says this plan cannot run
+  std::string note;          ///< diagnosis for infeasible plans
+};
+
+class PerfModel {
+ public:
+  explicit PerfModel(MachineConfig mc = frontier()) : mc_(mc) {}
+
+  const MachineConfig& machine() const { return mc_; }
+
+  /// Per-GPU memory for the plan (independent of micro-batch search:
+  /// uses plan.micro_batch, which must be >= 1 here).
+  MemoryEstimate memory(const model::VitConfig& cfg,
+                        const ParallelPlan& plan) const;
+
+  /// Step time; resolves micro_batch <= 0 to the largest batch (up to 32)
+  /// that fits memory. Returns oom=true when even batch 1 does not fit or
+  /// the plan is structurally infeasible.
+  StepTimeEstimate step_time(const model::VitConfig& cfg,
+                             ParallelPlan plan) const;
+
+  /// Strong-scaling protocol (Fig. 7): a fixed global batch is split over
+  /// the plan's data shards; when the per-shard share exceeds what fits,
+  /// gradient accumulation repeats micro-steps (re-gathering each time).
+  StepTimeEstimate step_time_fixed_global_batch(const model::VitConfig& cfg,
+                                                ParallelPlan plan,
+                                                std::int64_t global_batch) const;
+
+  /// Largest parameter count (binary search over the scaled model family)
+  /// that a strategy can train at `gpus` GPUs — the Fig. 5 quantity.
+  double max_model_params(Strategy strategy, int gpus,
+                          std::int64_t channels) const;
+
+  /// Default plan factorization for a strategy at a GPU count (TP capped at
+  /// node size and head count, FSDP filling the rest, as in Fig. 4).
+  ParallelPlan default_plan(Strategy strategy, int gpus,
+                            const model::VitConfig& cfg) const;
+
+ private:
+  MachineConfig mc_;
+};
+
+/// The scaled ViT family used for model-size sweeps: interpolates the
+/// paper's four configurations (Sec. IV) to an arbitrary parameter count.
+model::VitConfig scaled_config_for_params(double target_params,
+                                          std::int64_t channels);
+
+}  // namespace orbit::perf

@@ -1,0 +1,48 @@
+#include "tensor/bf16.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "tensor/threadpool.hpp"
+
+namespace orbit {
+
+Bf16 f32_to_bf16(float v) {
+  std::uint32_t u = std::bit_cast<std::uint32_t>(v);
+  if (std::isnan(v)) {
+    // Quiet NaN with the sign preserved.
+    return Bf16{static_cast<std::uint16_t>((u >> 16) | 0x0040u)};
+  }
+  // Round to nearest even: add the carry of the discarded 16 bits.
+  const std::uint32_t rounding_bias = 0x7fffu + ((u >> 16) & 1u);
+  u += rounding_bias;
+  return Bf16{static_cast<std::uint16_t>(u >> 16)};
+}
+
+float bf16_to_f32(Bf16 v) {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(v.bits) << 16);
+}
+
+float bf16_round(float v) { return bf16_to_f32(f32_to_bf16(v)); }
+
+void bf16_round_inplace(std::span<float> x) {
+  parallel_for(static_cast<std::int64_t>(x.size()), 1 << 14,
+               [&](std::int64_t b, std::int64_t e) {
+                 for (std::int64_t i = b; i < e; ++i) {
+                   x[static_cast<std::size_t>(i)] =
+                       bf16_round(x[static_cast<std::size_t>(i)]);
+                 }
+               });
+}
+
+void bf16_pack(std::span<const float> src, std::span<Bf16> dst) {
+  const std::size_t n = std::min(src.size(), dst.size());
+  for (std::size_t i = 0; i < n; ++i) dst[i] = f32_to_bf16(src[i]);
+}
+
+void bf16_unpack(std::span<const Bf16> src, std::span<float> dst) {
+  const std::size_t n = std::min(src.size(), dst.size());
+  for (std::size_t i = 0; i < n; ++i) dst[i] = bf16_to_f32(src[i]);
+}
+
+}  // namespace orbit

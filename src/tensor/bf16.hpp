@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+/// \file bf16.hpp
+/// BFLOAT16 emulation (Sec. III-B "Mixed-Precision").
+///
+/// The execution plane stores tensors as f32 but can *emulate* BF16 compute
+/// by rounding values through the 8-bit-mantissa bfloat16 grid
+/// (round-to-nearest-even, same semantics as hardware BF16 conversion).
+/// This reproduces BF16's numerical behaviour — reduced precision, gradient
+/// underflow/overflow that the dynamic GradScaler must handle — while the
+/// performance effect of BF16 lives in the perf model.
+
+namespace orbit {
+
+/// Raw bfloat16 value: the high 16 bits of an IEEE-754 binary32.
+struct Bf16 {
+  std::uint16_t bits = 0;
+};
+
+/// Convert f32 -> bf16 with round-to-nearest-even. NaN is preserved
+/// (quietened); overflow saturates to +/-inf exactly as hardware does.
+Bf16 f32_to_bf16(float v);
+
+/// Convert bf16 -> f32 exactly (bf16 values are a subset of f32).
+float bf16_to_f32(Bf16 v);
+
+/// Round an f32 value through the bf16 grid: f32 -> bf16 -> f32.
+float bf16_round(float v);
+
+/// Round every element of `x` through the bf16 grid in place.
+void bf16_round_inplace(std::span<float> x);
+
+/// Pack f32 values into bf16 words (used by the comm layer to move
+/// half-width messages like real BF16 training would).
+void bf16_pack(std::span<const float> src, std::span<Bf16> dst);
+
+/// Unpack bf16 words back to f32.
+void bf16_unpack(std::span<const Bf16> src, std::span<float> dst);
+
+/// Machine epsilon of the bf16 grid (2^-7; bf16 keeps 7 explicit mantissa
+/// bits): useful for test tolerances.
+inline constexpr float kBf16Epsilon = 0.0078125f;
+
+}  // namespace orbit

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+/// \file matmul.hpp
+/// Blocked, multi-threaded matrix products. These are the compute kernels
+/// behind every transformer sub-layer; the paper's Eqns. (1)-(3) chain
+/// `y = x·A·B` is realised as two calls into this file.
+
+namespace orbit {
+
+/// C = A[m,k] · B[k,n].
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = A^T[m,k] · B[m,n]  (A is stored [m,k]; result [k,n]).
+/// This is the weight-gradient product dW = x^T · dy without materialising
+/// the transpose.
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// C = A[m,k] · B^T[n,k]  (B is stored [n,k]; result [m,n]).
+/// This is the input-gradient product dx = dy · W^T without materialising
+/// the transpose.
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// C += A[m,k] · B[k,n] accumulated into an existing tensor.
+void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// Batched product over the leading dimension: C[b] = A[b] · B[b] for
+/// 3-D tensors A[bs,m,k], B[bs,k,n] -> C[bs,m,n]. Used by attention
+/// (scores = Q·K^T per head via matmul_nt_batched).
+Tensor matmul_batched(const Tensor& a, const Tensor& b);
+
+/// Batched C[b] = A[b] · B[b]^T for A[bs,m,k], B[bs,n,k] -> C[bs,m,n].
+Tensor matmul_nt_batched(const Tensor& a, const Tensor& b);
+
+/// Batched C[b] = A[b]^T · B[b] for A[bs,m,k], B[bs,m,n] -> C[bs,k,n].
+Tensor matmul_tn_batched(const Tensor& a, const Tensor& b);
+
+}  // namespace orbit

@@ -1,0 +1,221 @@
+#include "tensor/nn_kernels.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/threadpool.hpp"
+
+namespace orbit {
+namespace {
+
+std::int64_t last_dim(const Tensor& x, const char* who) {
+  if (x.ndim() < 1) throw std::invalid_argument(std::string(who) + ": rank 0");
+  return x.dim(x.ndim() - 1);
+}
+
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+constexpr float kGeluA = 0.044715f;
+
+}  // namespace
+
+Tensor softmax_lastdim(const Tensor& x) {
+  const std::int64_t n = last_dim(x, "softmax");
+  const std::int64_t rows = x.numel() / n;
+  Tensor y = Tensor::empty(x.shape());
+  const float* px = x.data();
+  float* py = y.data();
+  parallel_for(rows, 4, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const float* xr = px + r * n;
+      float* yr = py + r * n;
+      float mx = xr[0];
+      for (std::int64_t j = 1; j < n; ++j) mx = std::max(mx, xr[j]);
+      float denom = 0.0f;
+      for (std::int64_t j = 0; j < n; ++j) {
+        yr[j] = std::exp(xr[j] - mx);
+        denom += yr[j];
+      }
+      const float inv = 1.0f / denom;
+      for (std::int64_t j = 0; j < n; ++j) yr[j] *= inv;
+    }
+  });
+  return y;
+}
+
+Tensor softmax_lastdim_backward(const Tensor& y, const Tensor& dy) {
+  if (!y.same_shape(dy)) {
+    throw std::invalid_argument("softmax_backward: shape mismatch");
+  }
+  const std::int64_t n = last_dim(y, "softmax_backward");
+  const std::int64_t rows = y.numel() / n;
+  Tensor dx = Tensor::empty(y.shape());
+  const float* py = y.data();
+  const float* pd = dy.data();
+  float* px = dx.data();
+  parallel_for(rows, 4, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const float* yr = py + r * n;
+      const float* dr = pd + r * n;
+      float* xr = px + r * n;
+      float dot = 0.0f;
+      for (std::int64_t j = 0; j < n; ++j) dot += yr[j] * dr[j];
+      for (std::int64_t j = 0; j < n; ++j) xr[j] = yr[j] * (dr[j] - dot);
+    }
+  });
+  return dx;
+}
+
+Tensor gelu(const Tensor& x) {
+  Tensor y = Tensor::empty(x.shape());
+  const float* px = x.data();
+  float* py = y.data();
+  parallel_for(x.numel(), 1 << 13, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      const float v = px[i];
+      const float inner = kGeluC * (v + kGeluA * v * v * v);
+      py[i] = 0.5f * v * (1.0f + std::tanh(inner));
+    }
+  });
+  return y;
+}
+
+Tensor gelu_backward(const Tensor& x, const Tensor& dy) {
+  if (!x.same_shape(dy)) {
+    throw std::invalid_argument("gelu_backward: shape mismatch");
+  }
+  Tensor dx = Tensor::empty(x.shape());
+  const float* px = x.data();
+  const float* pd = dy.data();
+  float* po = dx.data();
+  parallel_for(x.numel(), 1 << 13, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      const float v = px[i];
+      const float inner = kGeluC * (v + kGeluA * v * v * v);
+      const float t = std::tanh(inner);
+      const float sech2 = 1.0f - t * t;
+      const float dinner = kGeluC * (1.0f + 3.0f * kGeluA * v * v);
+      const float grad = 0.5f * (1.0f + t) + 0.5f * v * sech2 * dinner;
+      po[i] = pd[i] * grad;
+    }
+  });
+  return dx;
+}
+
+Tensor layernorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 LayerNormStats* stats, float eps) {
+  const std::int64_t n = last_dim(x, "layernorm");
+  if (gamma.numel() != n || beta.numel() != n) {
+    throw std::invalid_argument("layernorm: affine size mismatch");
+  }
+  const std::int64_t rows = x.numel() / n;
+  Tensor y = Tensor::empty(x.shape());
+  Tensor mean_t = Tensor::empty({rows});
+  Tensor rstd_t = Tensor::empty({rows});
+  const float* px = x.data();
+  const float* pg = gamma.data();
+  const float* pb = beta.data();
+  float* py = y.data();
+  float* pm = mean_t.data();
+  float* pr = rstd_t.data();
+  parallel_for(rows, 4, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const float* xr = px + r * n;
+      float* yr = py + r * n;
+      double m = 0.0;
+      for (std::int64_t j = 0; j < n; ++j) m += xr[j];
+      m /= static_cast<double>(n);
+      double var = 0.0;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const double d = xr[j] - m;
+        var += d * d;
+      }
+      var /= static_cast<double>(n);
+      const float rstd = static_cast<float>(1.0 / std::sqrt(var + eps));
+      pm[r] = static_cast<float>(m);
+      pr[r] = rstd;
+      for (std::int64_t j = 0; j < n; ++j) {
+        yr[j] = (xr[j] - static_cast<float>(m)) * rstd * pg[j] + pb[j];
+      }
+    }
+  });
+  if (stats != nullptr) {
+    stats->mean = std::move(mean_t);
+    stats->rstd = std::move(rstd_t);
+  }
+  return y;
+}
+
+Tensor layernorm_backward(const Tensor& x, const Tensor& gamma,
+                          const LayerNormStats& stats, const Tensor& dy,
+                          Tensor& dgamma, Tensor& dbeta) {
+  const std::int64_t n = last_dim(x, "layernorm_backward");
+  const std::int64_t rows = x.numel() / n;
+  if (!x.same_shape(dy) || dgamma.numel() != n || dbeta.numel() != n) {
+    throw std::invalid_argument("layernorm_backward: shape mismatch");
+  }
+  Tensor dx = Tensor::empty(x.shape());
+  const float* px = x.data();
+  const float* pg = gamma.data();
+  const float* pd = dy.data();
+  const float* pm = stats.mean.data();
+  const float* pr = stats.rstd.data();
+  float* po = dx.data();
+  float* pdg = dgamma.data();
+  float* pdb = dbeta.data();
+  // Parameter grads are row-reductions; accumulate serially (rows is the
+  // batch*seq product so this loop is long but cheap relative to matmuls).
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = px + r * n;
+    const float* dr = pd + r * n;
+    const float m = pm[r], rstd = pr[r];
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float xhat = (xr[j] - m) * rstd;
+      pdg[j] += dr[j] * xhat;
+      pdb[j] += dr[j];
+    }
+  }
+  parallel_for(rows, 4, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const float* xr = px + r * n;
+      const float* dr = pd + r * n;
+      float* or_ = po + r * n;
+      const float m = pm[r], rstd = pr[r];
+      // dx = rstd * (dyh - mean(dyh) - xhat * mean(dyh * xhat)),
+      // where dyh = dy * gamma and xhat = (x - m) * rstd.
+      float mean_dyh = 0.0f, mean_dyh_xhat = 0.0f;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float xhat = (xr[j] - m) * rstd;
+        const float dyh = dr[j] * pg[j];
+        mean_dyh += dyh;
+        mean_dyh_xhat += dyh * xhat;
+      }
+      mean_dyh /= static_cast<float>(n);
+      mean_dyh_xhat /= static_cast<float>(n);
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float xhat = (xr[j] - m) * rstd;
+        const float dyh = dr[j] * pg[j];
+        or_[j] = rstd * (dyh - mean_dyh - xhat * mean_dyh_xhat);
+      }
+    }
+  });
+  return dx;
+}
+
+Tensor logsumexp_lastdim(const Tensor& x) {
+  const std::int64_t n = last_dim(x, "logsumexp");
+  const std::int64_t rows = x.numel() / n;
+  Tensor out = Tensor::empty({rows});
+  const float* px = x.data();
+  float* po = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = px + r * n;
+    float mx = xr[0];
+    for (std::int64_t j = 1; j < n; ++j) mx = std::max(mx, xr[j]);
+    double acc = 0.0;
+    for (std::int64_t j = 0; j < n; ++j) acc += std::exp(xr[j] - mx);
+    po[r] = mx + static_cast<float>(std::log(acc));
+  }
+  return out;
+}
+
+}  // namespace orbit

@@ -1,0 +1,46 @@
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+/// \file nn_kernels.hpp
+/// Nonlinear kernels of the transformer training block and their analytic
+/// gradients. Each forward has a matching backward so layers can implement
+/// explicit backpropagation (the style used throughout orbit_model); every
+/// gradient here is finite-difference checked in tests/tensor/.
+
+namespace orbit {
+
+/// Row-wise softmax over the last dimension (any rank; rows = numel / last).
+Tensor softmax_lastdim(const Tensor& x);
+
+/// Backward of softmax: given y = softmax(x) and dL/dy, returns dL/dx.
+Tensor softmax_lastdim_backward(const Tensor& y, const Tensor& dy);
+
+/// GeLU, tanh approximation (the variant used by ViT MLP blocks).
+Tensor gelu(const Tensor& x);
+
+/// Backward of GeLU: returns dL/dx given the forward *input* x and dL/dy.
+Tensor gelu_backward(const Tensor& x, const Tensor& dy);
+
+/// Saved statistics from a LayerNorm forward, needed by its backward.
+struct LayerNormStats {
+  Tensor mean;     ///< per-row mean, shape [rows]
+  Tensor rstd;     ///< per-row reciprocal stddev, shape [rows]
+};
+
+/// LayerNorm over the last dimension with affine parameters.
+/// x: [..., n]; gamma, beta: [n]. eps guards the variance.
+Tensor layernorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 LayerNormStats* stats, float eps = 1e-5f);
+
+/// Backward of LayerNorm. Returns dL/dx and accumulates parameter grads
+/// into dgamma/dbeta (which must be pre-sized [n]; they are ADDED to, so the
+/// caller controls zeroing — required for gradient accumulation).
+Tensor layernorm_backward(const Tensor& x, const Tensor& gamma,
+                          const LayerNormStats& stats, const Tensor& dy,
+                          Tensor& dgamma, Tensor& dbeta);
+
+/// Numerically-stable row-wise log-sum-exp over the last dim (shape [rows]).
+Tensor logsumexp_lastdim(const Tensor& x);
+
+}  // namespace orbit

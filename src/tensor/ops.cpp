@@ -1,0 +1,307 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "tensor/threadpool.hpp"
+
+namespace orbit {
+namespace {
+
+void check_same_numel(const Tensor& a, const Tensor& b, const char* op) {
+  if (a.numel() != b.numel()) {
+    throw std::invalid_argument(std::string(op) + ": numel mismatch " +
+                                a.shape_str() + " vs " + b.shape_str());
+  }
+}
+
+template <typename F>
+Tensor binary_map(const Tensor& a, const Tensor& b, F f, const char* op) {
+  check_same_numel(a, b, op);
+  Tensor out = Tensor::empty(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  parallel_for(a.numel(), 1 << 14, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) po[i] = f(pa[i], pb[i]);
+  });
+  return out;
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary_map(a, b, [](float x, float y) { return x + y; }, "add");
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary_map(a, b, [](float x, float y) { return x - y; }, "sub");
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary_map(a, b, [](float x, float y) { return x * y; }, "mul");
+}
+
+Tensor scale(const Tensor& a, float alpha) {
+  Tensor out = a.clone();
+  out.scale_(alpha);
+  return out;
+}
+
+Tensor add_scalar(const Tensor& a, float alpha) {
+  Tensor out = a.clone();
+  float* p = out.data();
+  for (std::int64_t i = 0; i < out.numel(); ++i) p[i] += alpha;
+  return out;
+}
+
+float sum(const Tensor& a) {
+  // Pairwise-ish: accumulate in double for stability.
+  double acc = 0.0;
+  const float* p = a.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) acc += p[i];
+  return static_cast<float>(acc);
+}
+
+float mean(const Tensor& a) {
+  if (a.numel() == 0) return 0.0f;
+  return static_cast<float>(static_cast<double>(sum(a)) / a.numel());
+}
+
+float max_abs(const Tensor& a) {
+  float m = 0.0f;
+  const float* p = a.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) m = std::max(m, std::fabs(p[i]));
+  return m;
+}
+
+bool has_nonfinite(const Tensor& a) {
+  const float* p = a.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    if (!std::isfinite(p[i])) return true;
+  }
+  return false;
+}
+
+double sum_sq(const Tensor& a) {
+  double acc = 0.0;
+  const float* p = a.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    acc += static_cast<double>(p[i]) * p[i];
+  }
+  return acc;
+}
+
+Tensor column_sum(const Tensor& a) {
+  if (a.ndim() != 2) throw std::invalid_argument("column_sum: need 2-D");
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out = Tensor::zeros({n});
+  float* po = out.data();
+  const float* pa = a.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* row = pa + i * n;
+    for (std::int64_t j = 0; j < n; ++j) po[j] += row[j];
+  }
+  return out;
+}
+
+Tensor transpose(const Tensor& a) {
+  if (a.ndim() != 2) throw std::invalid_argument("transpose: need 2-D");
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out = Tensor::empty({n, m});
+  const float* pa = a.data();
+  float* po = out.data();
+  constexpr std::int64_t kBlock = 32;  // cache-blocked transpose
+  parallel_for((m + kBlock - 1) / kBlock, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t bi = lo; bi < hi; ++bi) {
+      const std::int64_t i0 = bi * kBlock;
+      const std::int64_t i1 = std::min(m, i0 + kBlock);
+      for (std::int64_t j0 = 0; j0 < n; j0 += kBlock) {
+        const std::int64_t j1 = std::min(n, j0 + kBlock);
+        for (std::int64_t i = i0; i < i1; ++i) {
+          for (std::int64_t j = j0; j < j1; ++j) {
+            po[j * m + i] = pa[i * n + j];
+          }
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Tensor permute(const Tensor& a, const std::vector<std::int64_t>& perm) {
+  const std::int64_t nd = a.ndim();
+  if (static_cast<std::int64_t>(perm.size()) != nd || nd > 4) {
+    throw std::invalid_argument("permute: bad rank");
+  }
+  std::vector<std::int64_t> in_shape(4, 1), p(4);
+  // Right-align to 4 dims so one kernel covers all ranks.
+  const std::int64_t pad = 4 - nd;
+  for (std::int64_t i = 0; i < pad; ++i) p[static_cast<std::size_t>(i)] = i;
+  for (std::int64_t i = 0; i < nd; ++i) {
+    in_shape[static_cast<std::size_t>(pad + i)] = a.dim(i);
+    p[static_cast<std::size_t>(pad + i)] =
+        perm[static_cast<std::size_t>(i)] + pad;
+  }
+  std::vector<std::int64_t> out_shape4(4);
+  for (int i = 0; i < 4; ++i) {
+    out_shape4[static_cast<std::size_t>(i)] =
+        in_shape[static_cast<std::size_t>(p[static_cast<std::size_t>(i)])];
+  }
+  std::int64_t in_stride[4];
+  in_stride[3] = 1;
+  for (int i = 2; i >= 0; --i) {
+    in_stride[i] = in_stride[i + 1] * in_shape[static_cast<std::size_t>(i + 1)];
+  }
+
+  std::vector<std::int64_t> out_shape(perm.size());
+  for (std::int64_t i = 0; i < nd; ++i) {
+    out_shape[static_cast<std::size_t>(i)] =
+        a.dim(perm[static_cast<std::size_t>(i)]);
+  }
+  Tensor out = Tensor::empty(out_shape);
+  const float* pa = a.data();
+  float* po = out.data();
+  const std::int64_t d0 = out_shape4[0], d1 = out_shape4[1], d2 = out_shape4[2],
+                     d3 = out_shape4[3];
+  const std::int64_t s0 = in_stride[p[0]], s1 = in_stride[p[1]],
+                     s2 = in_stride[p[2]], s3 = in_stride[p[3]];
+  parallel_for(d0 * d1, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t ij = lo; ij < hi; ++ij) {
+      const std::int64_t i = ij / d1, j = ij % d1;
+      float* dst = po + (i * d1 + j) * d2 * d3;
+      const float* base = pa + i * s0 + j * s1;
+      for (std::int64_t k = 0; k < d2; ++k) {
+        const float* row = base + k * s2;
+        for (std::int64_t l = 0; l < d3; ++l) {
+          *dst++ = row[l * s3];
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Tensor concat(const std::vector<Tensor>& parts, std::int64_t axis) {
+  if (parts.empty()) throw std::invalid_argument("concat: no inputs");
+  const Tensor& first = parts.front();
+  if (axis < 0) axis += first.ndim();
+  std::int64_t axis_total = 0;
+  for (const auto& t : parts) {
+    if (t.ndim() != first.ndim()) {
+      throw std::invalid_argument("concat: rank mismatch");
+    }
+    for (std::int64_t d = 0; d < first.ndim(); ++d) {
+      if (d != axis && t.dim(d) != first.dim(d)) {
+        throw std::invalid_argument("concat: shape mismatch off-axis");
+      }
+    }
+    axis_total += t.dim(axis);
+  }
+  std::vector<std::int64_t> out_shape = first.shape();
+  out_shape[static_cast<std::size_t>(axis)] = axis_total;
+  Tensor out = Tensor::empty(out_shape);
+
+  // outer x axis x inner layout.
+  std::int64_t outer = 1, inner = 1;
+  for (std::int64_t d = 0; d < axis; ++d) outer *= first.dim(d);
+  for (std::int64_t d = axis + 1; d < first.ndim(); ++d) inner *= first.dim(d);
+
+  float* po = out.data();
+  std::int64_t axis_off = 0;
+  for (const auto& t : parts) {
+    const std::int64_t rows = t.dim(axis);
+    const float* pt = t.data();
+    for (std::int64_t o = 0; o < outer; ++o) {
+      std::memcpy(po + (o * axis_total + axis_off) * inner,
+                  pt + o * rows * inner,
+                  static_cast<std::size_t>(rows * inner) * sizeof(float));
+    }
+    axis_off += rows;
+  }
+  return out;
+}
+
+std::vector<Tensor> split(const Tensor& a, std::int64_t count,
+                          std::int64_t axis) {
+  if (axis < 0) axis += a.ndim();
+  const std::int64_t total = a.dim(axis);
+  if (count <= 0 || total % count != 0) {
+    throw std::invalid_argument("split: axis not divisible");
+  }
+  const std::int64_t each = total / count;
+  std::vector<Tensor> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t c = 0; c < count; ++c) {
+    out.push_back(slice(a, axis, c * each, (c + 1) * each));
+  }
+  return out;
+}
+
+Tensor slice(const Tensor& a, std::int64_t axis, std::int64_t begin,
+             std::int64_t end) {
+  if (axis < 0) axis += a.ndim();
+  if (begin < 0 || end > a.dim(axis) || begin > end) {
+    throw std::invalid_argument("slice: bad range");
+  }
+  std::int64_t outer = 1, inner = 1;
+  for (std::int64_t d = 0; d < axis; ++d) outer *= a.dim(d);
+  for (std::int64_t d = axis + 1; d < a.ndim(); ++d) inner *= a.dim(d);
+  const std::int64_t total = a.dim(axis);
+  const std::int64_t rows = end - begin;
+
+  std::vector<std::int64_t> out_shape = a.shape();
+  out_shape[static_cast<std::size_t>(axis)] = rows;
+  Tensor out = Tensor::empty(out_shape);
+  const float* pa = a.data();
+  float* po = out.data();
+  for (std::int64_t o = 0; o < outer; ++o) {
+    std::memcpy(po + o * rows * inner, pa + (o * total + begin) * inner,
+                static_cast<std::size_t>(rows * inner) * sizeof(float));
+  }
+  return out;
+}
+
+Tensor add_row_broadcast(const Tensor& a, const Tensor& bias) {
+  if (a.ndim() != 2 || bias.ndim() != 1 || a.dim(1) != bias.dim(0)) {
+    throw std::invalid_argument("add_row_broadcast: shape mismatch");
+  }
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out = Tensor::empty({m, n});
+  const float* pa = a.data();
+  const float* pb = bias.data();
+  float* po = out.data();
+  parallel_for(m, 8, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const float* row = pa + i * n;
+      float* dst = po + i * n;
+      for (std::int64_t j = 0; j < n; ++j) dst[j] = row[j] + pb[j];
+    }
+  });
+  return out;
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  check_same_numel(a, b, "max_abs_diff");
+  float m = 0.0f;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    m = std::max(m, std::fabs(pa[i] - pb[i]));
+  }
+  return m;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float rtol, float atol) {
+  check_same_numel(a, b, "allclose");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    if (std::fabs(pa[i] - pb[i]) > atol + rtol * std::fabs(pb[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace orbit

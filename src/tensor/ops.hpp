@@ -1,0 +1,71 @@
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+/// \file ops.hpp
+/// Shape-generic tensor operations: elementwise arithmetic, reductions,
+/// layout transforms and test utilities. Kernels with nontrivial gradients
+/// (softmax, GeLU, LayerNorm) live in nn_kernels.hpp; matrix products in
+/// matmul.hpp.
+
+namespace orbit {
+
+/// --- elementwise (out-of-place; shapes must match) --------------------------
+
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor scale(const Tensor& a, float alpha);
+Tensor add_scalar(const Tensor& a, float alpha);
+
+/// --- reductions --------------------------------------------------------------
+
+float sum(const Tensor& a);
+float mean(const Tensor& a);
+float max_abs(const Tensor& a);
+/// True if any element is NaN or +/-inf.
+bool has_nonfinite(const Tensor& a);
+/// Sum of squares of all elements.
+double sum_sq(const Tensor& a);
+
+/// Row-wise sum of a 2-D tensor [m, n] -> [n] (column sums, i.e. the
+/// reduction used for bias gradients).
+Tensor column_sum(const Tensor& a);
+
+/// --- layout ------------------------------------------------------------------
+
+/// 2-D transpose: [m, n] -> [n, m] (materialised).
+Tensor transpose(const Tensor& a);
+
+/// General permutation for tensors of up to 4 dims, e.g. perm={0,2,1,3}.
+/// Returns a contiguous tensor.
+Tensor permute(const Tensor& a, const std::vector<std::int64_t>& perm);
+
+/// Concatenate along `axis`; all other dimensions must agree.
+Tensor concat(const std::vector<Tensor>& parts, std::int64_t axis);
+
+/// Split into `count` equal chunks along `axis` (dimension must divide evenly).
+std::vector<Tensor> split(const Tensor& a, std::int64_t count,
+                          std::int64_t axis);
+
+/// Slice `[begin, end)` along `axis` (materialised).
+Tensor slice(const Tensor& a, std::int64_t axis, std::int64_t begin,
+             std::int64_t end);
+
+/// --- row/column broadcast helpers for 2-D tensors ---------------------------
+
+/// y[i, j] = a[i, j] + bias[j].
+Tensor add_row_broadcast(const Tensor& a, const Tensor& bias);
+
+/// --- comparisons (tests & metrics) ------------------------------------------
+
+/// max_i |a_i - b_i|. Shapes must have equal numel.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+/// True when |a_i - b_i| <= atol + rtol * |b_i| for every element.
+bool allclose(const Tensor& a, const Tensor& b, float rtol = 1e-5f,
+              float atol = 1e-6f);
+
+}  // namespace orbit

@@ -1,0 +1,244 @@
+#include "tensor/tensor.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "tensor/threadpool.hpp"
+
+namespace orbit {
+
+std::int64_t shape_numel(std::span<const std::int64_t> shape) {
+  std::int64_t n = 1;
+  for (const auto d : shape) {
+    if (d < 0) throw std::invalid_argument("negative dimension in shape");
+    n *= d;
+  }
+  return n;
+}
+
+Tensor::Tensor(std::vector<std::int64_t> shape) : shape_(std::move(shape)) {
+  numel_ = shape_numel(shape_);
+  storage_ = std::make_shared<std::vector<float>>(
+      static_cast<std::size_t>(numel_));
+}
+
+Tensor Tensor::empty(std::vector<std::int64_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::zeros(std::vector<std::int64_t> shape) {
+  return Tensor(std::move(shape));  // vector value-initialises to 0
+}
+
+Tensor Tensor::full(std::vector<std::int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill_(value);
+  return t;
+}
+
+Tensor Tensor::ones(std::vector<std::int64_t> shape) {
+  return full(std::move(shape), 1.0f);
+}
+
+Tensor Tensor::randn(std::vector<std::int64_t> shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    p[i] = static_cast<float>(rng.normal()) * stddev;
+  }
+  return t;
+}
+
+Tensor Tensor::uniform(std::vector<std::int64_t> shape, Rng& rng, float lo,
+                       float hi) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    p[i] = static_cast<float>(rng.uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::arange(std::int64_t n) {
+  Tensor t({n});
+  float* p = t.data();
+  for (std::int64_t i = 0; i < n; ++i) p[i] = static_cast<float>(i);
+  return t;
+}
+
+Tensor Tensor::from_values(std::initializer_list<float> values) {
+  Tensor t({static_cast<std::int64_t>(values.size())});
+  std::copy(values.begin(), values.end(), t.data());
+  return t;
+}
+
+Tensor Tensor::from_vector(std::vector<float> values,
+                           std::vector<std::int64_t> shape) {
+  if (shape_numel(shape) != static_cast<std::int64_t>(values.size())) {
+    throw std::invalid_argument("from_vector: shape does not match value count");
+  }
+  Tensor t;
+  t.storage_ = std::make_shared<std::vector<float>>(std::move(values));
+  t.shape_ = std::move(shape);
+  t.numel_ = static_cast<std::int64_t>(t.storage_->size());
+  return t;
+}
+
+std::int64_t Tensor::dim(std::int64_t i) const {
+  if (i < 0) i += ndim();
+  if (i < 0 || i >= ndim()) throw std::out_of_range("Tensor::dim index");
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ", ";
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+float* Tensor::data() {
+  assert(defined());
+  return storage_->data();
+}
+
+const float* Tensor::data() const {
+  assert(defined());
+  return storage_->data();
+}
+
+std::span<float> Tensor::span() {
+  return {data(), static_cast<std::size_t>(numel_)};
+}
+
+std::span<const float> Tensor::span() const {
+  return {data(), static_cast<std::size_t>(numel_)};
+}
+
+void Tensor::check_index(std::int64_t flat) const {
+  (void)flat;
+  assert(flat >= 0 && flat < numel_);
+}
+
+float& Tensor::operator[](std::int64_t i) {
+  check_index(i);
+  return (*storage_)[static_cast<std::size_t>(i)];
+}
+
+float Tensor::operator[](std::int64_t i) const {
+  check_index(i);
+  return (*storage_)[static_cast<std::size_t>(i)];
+}
+
+float& Tensor::at(std::int64_t i, std::int64_t j) {
+  assert(ndim() == 2);
+  return (*this)[i * shape_[1] + j];
+}
+
+float Tensor::at(std::int64_t i, std::int64_t j) const {
+  assert(ndim() == 2);
+  return (*this)[i * shape_[1] + j];
+}
+
+float& Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k) {
+  assert(ndim() == 3);
+  return (*this)[(i * shape_[1] + j) * shape_[2] + k];
+}
+
+float Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k) const {
+  assert(ndim() == 3);
+  return (*this)[(i * shape_[1] + j) * shape_[2] + k];
+}
+
+float& Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k,
+                  std::int64_t l) {
+  assert(ndim() == 4);
+  return (*this)[((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l];
+}
+
+float Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k,
+                 std::int64_t l) const {
+  assert(ndim() == 4);
+  return (*this)[((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l];
+}
+
+Tensor Tensor::reshape(std::vector<std::int64_t> shape) const {
+  std::int64_t known = 1;
+  std::int64_t infer = -1;
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (shape[i] == -1) {
+      if (infer >= 0) throw std::invalid_argument("reshape: two -1 dims");
+      infer = static_cast<std::int64_t>(i);
+    } else {
+      known *= shape[i];
+    }
+  }
+  if (infer >= 0) {
+    if (known == 0 || numel_ % known != 0) {
+      throw std::invalid_argument("reshape: cannot infer dimension");
+    }
+    shape[static_cast<std::size_t>(infer)] = numel_ / known;
+  } else if (known != numel_) {
+    throw std::invalid_argument("reshape: element count mismatch (" +
+                                shape_str() + ")");
+  }
+  Tensor t;
+  t.storage_ = storage_;
+  t.shape_ = std::move(shape);
+  t.numel_ = numel_;
+  return t;
+}
+
+Tensor Tensor::clone() const {
+  if (!defined()) return {};
+  Tensor t;
+  t.storage_ = std::make_shared<std::vector<float>>(*storage_);
+  t.shape_ = shape_;
+  t.numel_ = numel_;
+  return t;
+}
+
+Tensor& Tensor::fill_(float value) {
+  float* p = data();
+  parallel_for(numel_, 1 << 15, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) p[i] = value;
+  });
+  return *this;
+}
+
+Tensor& Tensor::add_(const Tensor& other, float alpha) {
+  if (numel_ != other.numel_) {
+    throw std::invalid_argument("add_: numel mismatch " + shape_str() + " vs " +
+                                other.shape_str());
+  }
+  float* p = data();
+  const float* q = other.data();
+  parallel_for(numel_, 1 << 14, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) p[i] += alpha * q[i];
+  });
+  return *this;
+}
+
+Tensor& Tensor::scale_(float alpha) {
+  float* p = data();
+  parallel_for(numel_, 1 << 15, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) p[i] *= alpha;
+  });
+  return *this;
+}
+
+Tensor& Tensor::copy_from(const Tensor& src) {
+  if (numel_ != src.numel_) {
+    throw std::invalid_argument("copy_from: numel mismatch");
+  }
+  std::memcpy(data(), src.data(), static_cast<std::size_t>(numel_) * sizeof(float));
+  return *this;
+}
+
+}  // namespace orbit

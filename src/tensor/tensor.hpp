@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+/// \file tensor.hpp
+/// Dense, contiguous, row-major N-D tensor of f32.
+///
+/// Design notes (see DESIGN.md §2):
+///  * Storage is shared between copies (`Tensor` behaves like a handle, as in
+///    PyTorch); use `clone()` for a deep copy. All tensors are contiguous —
+///    `reshape` aliases, `transpose`/`permute` materialise.
+///  * f32 is the only storage dtype; BF16 training is emulated by rounding
+///    through the bf16 grid (see bf16.hpp), matching the paper's
+///    mixed-precision setup of BF16 compute with f32 master weights.
+
+namespace orbit {
+
+class Tensor {
+ public:
+  /// An empty (null) tensor; `defined()` is false.
+  Tensor() = default;
+
+  /// Uninitialised tensor of the given shape.
+  explicit Tensor(std::vector<std::int64_t> shape);
+
+  /// --- factories -----------------------------------------------------------
+
+  static Tensor empty(std::vector<std::int64_t> shape);
+  static Tensor zeros(std::vector<std::int64_t> shape);
+  static Tensor full(std::vector<std::int64_t> shape, float value);
+  static Tensor ones(std::vector<std::int64_t> shape);
+  /// i.i.d. N(0, stddev^2) entries drawn from `rng`.
+  static Tensor randn(std::vector<std::int64_t> shape, Rng& rng,
+                      float stddev = 1.0f);
+  /// i.i.d. U[lo, hi) entries drawn from `rng`.
+  static Tensor uniform(std::vector<std::int64_t> shape, Rng& rng, float lo,
+                        float hi);
+  /// 1-D tensor [0, 1, ..., n-1].
+  static Tensor arange(std::int64_t n);
+  /// 1-D tensor with the given values.
+  static Tensor from_values(std::initializer_list<float> values);
+  static Tensor from_vector(std::vector<float> values,
+                            std::vector<std::int64_t> shape);
+
+  /// --- introspection -------------------------------------------------------
+
+  bool defined() const { return storage_ != nullptr; }
+  const std::vector<std::int64_t>& shape() const { return shape_; }
+  std::int64_t ndim() const { return static_cast<std::int64_t>(shape_.size()); }
+  std::int64_t dim(std::int64_t i) const;
+  std::int64_t numel() const { return numel_; }
+  /// Human-readable "[2, 3, 4]" shape string for diagnostics.
+  std::string shape_str() const;
+  /// True when shapes match elementwise.
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// --- raw access ----------------------------------------------------------
+
+  float* data();
+  const float* data() const;
+  std::span<float> span();
+  std::span<const float> span() const;
+
+  float& operator[](std::int64_t i);
+  float operator[](std::int64_t i) const;
+
+  /// Indexed access for 2-D..4-D tensors (bounds-checked in debug builds).
+  float& at(std::int64_t i, std::int64_t j);
+  float at(std::int64_t i, std::int64_t j) const;
+  float& at(std::int64_t i, std::int64_t j, std::int64_t k);
+  float at(std::int64_t i, std::int64_t j, std::int64_t k) const;
+  float& at(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l);
+  float at(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l) const;
+
+  /// --- shape manipulation --------------------------------------------------
+
+  /// Alias with a new shape; `numel` must be preserved. At most one dimension
+  /// may be -1 (inferred).
+  Tensor reshape(std::vector<std::int64_t> shape) const;
+  /// Deep copy.
+  Tensor clone() const;
+  /// True when `other` shares this tensor's storage.
+  bool aliases(const Tensor& other) const { return storage_ == other.storage_; }
+
+  /// --- in-place helpers ----------------------------------------------------
+
+  Tensor& fill_(float value);
+  Tensor& zero_() { return fill_(0.0f); }
+  /// this += alpha * other (shapes must match).
+  Tensor& add_(const Tensor& other, float alpha = 1.0f);
+  /// this *= alpha.
+  Tensor& scale_(float alpha);
+  /// Elementwise copy from `src` (shapes must have equal numel).
+  Tensor& copy_from(const Tensor& src);
+
+ private:
+  std::shared_ptr<std::vector<float>> storage_;
+  std::vector<std::int64_t> shape_;
+  std::int64_t numel_ = 0;
+
+  void check_index(std::int64_t flat) const;
+};
+
+/// Total element count implied by a shape (product of dims).
+std::int64_t shape_numel(std::span<const std::int64_t> shape);
+
+}  // namespace orbit

@@ -1,0 +1,160 @@
+#include "tensor/threadpool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace orbit {
+namespace {
+
+thread_local bool tl_in_pool = false;
+
+/// Minimal fork-join pool: one shared task (a chunked range) at a time.
+/// Kernels are coarse-grained, so contention on the single task slot is not a
+/// bottleneck; simplicity and determinism of teardown matter more here.
+class Pool {
+ public:
+  explicit Pool(int n) : stop_(false), epoch_(0) {
+    n = std::max(1, n);
+    threads_ = n;
+    for (int i = 1; i < n; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  int size() const { return threads_; }
+
+  void run(std::int64_t n, std::int64_t grain,
+           const std::function<void(std::int64_t, std::int64_t)>& fn) {
+    const std::int64_t chunks =
+        std::min<std::int64_t>(threads_, (n + grain - 1) / grain);
+    if (chunks <= 1) {
+      fn(0, n);
+      return;
+    }
+    std::unique_lock<std::mutex> lk(run_mu_);  // one parallel region at a time
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      task_fn_ = &fn;
+      task_n_ = n;
+      task_chunks_ = chunks;
+      next_chunk_.store(0, std::memory_order_relaxed);
+      pending_.store(static_cast<int>(chunks), std::memory_order_relaxed);
+      ++epoch_;
+    }
+    cv_.notify_all();
+    work(/*main_thread=*/true);
+    // Wait for stragglers.
+    std::unique_lock<std::mutex> dk(done_mu_);
+    done_cv_.wait(dk, [this] {
+      return pending_.load(std::memory_order_acquire) == 0;
+    });
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      task_fn_ = nullptr;
+    }
+  }
+
+ private:
+  void worker_loop() {
+    tl_in_pool = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+        if (stop_) return;
+        seen = epoch_;
+      }
+      work(/*main_thread=*/false);
+    }
+  }
+
+  void work(bool main_thread) {
+    const bool was = tl_in_pool;
+    tl_in_pool = true;
+    for (;;) {
+      const std::int64_t c =
+          next_chunk_.fetch_add(1, std::memory_order_relaxed);
+      if (c >= task_chunks_) break;
+      const std::int64_t per = (task_n_ + task_chunks_ - 1) / task_chunks_;
+      const std::int64_t b = c * per;
+      const std::int64_t e = std::min(task_n_, b + per);
+      if (b < e) (*task_fn_)(b, e);
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> dk(done_mu_);
+        done_cv_.notify_all();
+      }
+    }
+    if (main_thread) tl_in_pool = was;
+  }
+
+  std::mutex run_mu_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  int threads_;
+  bool stop_;
+  std::uint64_t epoch_;
+
+  const std::function<void(std::int64_t, std::int64_t)>* task_fn_ = nullptr;
+  std::int64_t task_n_ = 0;
+  std::int64_t task_chunks_ = 0;
+  std::atomic<std::int64_t> next_chunk_{0};
+  std::atomic<int> pending_{0};
+};
+
+std::unique_ptr<Pool>& pool_slot() {
+  static std::unique_ptr<Pool> pool = std::make_unique<Pool>(
+      static_cast<int>(std::thread::hardware_concurrency()));
+  return pool;
+}
+
+}  // namespace
+
+int num_threads() { return pool_slot()->size(); }
+
+void set_num_threads(int n) {
+  if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
+  pool_slot() = std::make_unique<Pool>(n);
+}
+
+bool in_parallel_region() { return tl_in_pool; }
+
+void parallel_for(std::int64_t n, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (n <= 0) return;
+  grain = std::max<std::int64_t>(1, grain);
+  if (tl_in_pool || n <= grain || num_threads() == 1) {
+    // Inline execution still counts as a parallel region so callers observe
+    // identical semantics regardless of core count.
+    const bool was = tl_in_pool;
+    tl_in_pool = true;
+    fn(0, n);
+    tl_in_pool = was;
+    return;
+  }
+  pool_slot()->run(n, grain, fn);
+}
+
+void parallel_for(std::int64_t n,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  parallel_for(n, 1024, fn);
+}
+
+}  // namespace orbit

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+/// \file threadpool.hpp
+/// Intra-op work-sharing pool used by the tensor kernels.
+///
+/// A single process-wide pool executes `parallel_for` ranges. Calls made from
+/// inside a pool worker (nested parallelism, e.g. tensor kernels running on a
+/// simulated-cluster rank thread) degrade gracefully to serial execution, so
+/// the SPMD communication layer can freely call kernels without
+/// oversubscribing the machine.
+
+namespace orbit {
+
+/// Number of worker threads in the global pool (>= 1).
+int num_threads();
+
+/// Resize the global pool. Must not be called concurrently with kernels.
+/// `n <= 0` resets to hardware concurrency.
+void set_num_threads(int n);
+
+/// True when the calling thread is a pool worker (nested region).
+bool in_parallel_region();
+
+/// Split `[0, n)` into contiguous chunks of at least `grain` elements and run
+/// `fn(begin, end)` on the pool. Blocks until all chunks complete. Runs
+/// serially when `n` is small, the pool has one thread, or the caller is
+/// already inside a parallel region.
+void parallel_for(std::int64_t n, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+/// Convenience overload with a default grain of 1024.
+void parallel_for(std::int64_t n,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+}  // namespace orbit

@@ -1,0 +1,21 @@
+#include "train/grad_scaler.hpp"
+
+#include <algorithm>
+
+namespace orbit::train {
+
+bool GradScaler::update(bool overflow) {
+  if (overflow) {
+    scale_ = std::max(cfg_.min_scale, scale_ * cfg_.backoff_factor);
+    streak_ = 0;
+    ++skipped_;
+    return false;
+  }
+  if (++streak_ >= cfg_.growth_interval) {
+    scale_ = std::min(cfg_.max_scale, scale_ * cfg_.growth_factor);
+    streak_ = 0;
+  }
+  return true;
+}
+
+}  // namespace orbit::train

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file grad_scaler.hpp
+/// Dynamic loss/gradient scaling for BF16 mixed-precision training
+/// (Sec. III-B "Mixed-Precision"): gradients too small for the reduced
+/// mantissa flush to zero, too large overflow; scaling the loss by S keeps
+/// them representable, and S adapts to the observed gradient range exactly
+/// like torch.amp.GradScaler.
+
+namespace orbit::train {
+
+struct GradScalerConfig {
+  float init_scale = 65536.0f;
+  float growth_factor = 2.0f;
+  float backoff_factor = 0.5f;
+  /// Consecutive overflow-free steps before the scale grows.
+  std::int64_t growth_interval = 200;
+  float min_scale = 1.0f;
+  float max_scale = 1.0e18f;
+};
+
+class GradScaler {
+ public:
+  explicit GradScaler(GradScalerConfig cfg = {}) : cfg_(cfg), scale_(cfg.init_scale) {}
+
+  /// Multiplier to apply to the loss gradient before backward.
+  float scale() const { return scale_; }
+
+  /// Report the outcome of a step after unscaling: `overflow` true when any
+  /// gradient was non-finite. Returns true when the optimizer step should
+  /// proceed (i.e. no overflow). Adjusts the scale either way.
+  bool update(bool overflow);
+
+  std::int64_t skipped_steps() const { return skipped_; }
+  std::int64_t good_streak() const { return streak_; }
+
+ private:
+  GradScalerConfig cfg_;
+  float scale_;
+  std::int64_t streak_ = 0;
+  std::int64_t skipped_ = 0;
+};
+
+}  // namespace orbit::train

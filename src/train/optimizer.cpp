@@ -1,0 +1,71 @@
+#include "train/optimizer.hpp"
+
+#include <cmath>
+
+#include "tensor/bf16.hpp"
+#include "tensor/ops.hpp"
+
+namespace orbit::train {
+
+AdamW::AdamW(std::vector<model::Param*> params, AdamWConfig cfg)
+    : params_(std::move(params)), cfg_(cfg) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const model::Param* p : params_) {
+    m_.push_back(Tensor::zeros(p->value.shape()));
+    v_.push_back(Tensor::zeros(p->value.shape()));
+    if (cfg_.bf16_params) master_.push_back(p->value.clone());
+  }
+}
+
+void AdamW::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(cfg_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(cfg_.beta2, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    model::Param& p = *params_[i];
+    float* master =
+        cfg_.bf16_params ? master_[i].data() : p.value.data();
+    float* value = p.value.data();
+    const float* g = p.grad.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    for (std::int64_t j = 0; j < p.numel(); ++j) {
+      m[j] = cfg_.beta1 * m[j] + (1.0f - cfg_.beta1) * g[j];
+      v[j] = cfg_.beta2 * v[j] + (1.0f - cfg_.beta2) * g[j] * g[j];
+      const float mhat = m[j] / static_cast<float>(bc1);
+      const float vhat = v[j] / static_cast<float>(bc2);
+      // Decoupled weight decay on the master weights.
+      master[j] -= cfg_.lr * (mhat / (std::sqrt(vhat) + cfg_.eps) +
+                              cfg_.weight_decay * master[j]);
+      if (cfg_.bf16_params) {
+        value[j] = bf16_round(master[j]);
+      }
+    }
+  }
+}
+
+void AdamW::scale_grads(float s) {
+  for (model::Param* p : params_) p->grad.scale_(s);
+}
+
+bool AdamW::grads_nonfinite() const {
+  for (const model::Param* p : params_) {
+    if (has_nonfinite(p->grad)) return true;
+  }
+  return false;
+}
+
+double clip_grad_norm(const std::vector<model::Param*>& params,
+                      double max_norm) {
+  double total = 0.0;
+  for (const model::Param* p : params) total += sum_sq(p->grad);
+  const double norm = std::sqrt(total);
+  if (norm > max_norm && norm > 0.0) {
+    const float s = static_cast<float>(max_norm / norm);
+    for (model::Param* p : params) p->grad.scale_(s);
+  }
+  return norm;
+}
+
+}  // namespace orbit::train

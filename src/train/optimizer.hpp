@@ -1,0 +1,61 @@
+#pragma once
+
+#include <vector>
+
+#include "model/param.hpp"
+
+/// \file optimizer.hpp
+/// AdamW with FP32 master weights and optional BF16 working weights —
+/// the paper's mixed-precision arrangement (Sec. III-B): compute runs on
+/// BF16-rounded parameters while the optimizer updates full-precision
+/// masters.
+
+namespace orbit::train {
+
+struct AdamWConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+  /// When true, parameter values handed to the model are rounded through
+  /// the bf16 grid after every step (masters stay f32).
+  bool bf16_params = false;
+};
+
+/// Decoupled-weight-decay Adam (Loshchilov & Hutter).
+class AdamW {
+ public:
+  AdamW(std::vector<model::Param*> params, AdamWConfig cfg);
+
+  /// Apply one update from the gradients currently in each param. Does not
+  /// zero gradients.
+  void step();
+
+  /// Override the learning rate (driven by LrSchedule between steps).
+  void set_lr(float lr) { cfg_.lr = lr; }
+  float lr() const { return cfg_.lr; }
+  std::int64_t steps_taken() const { return t_; }
+
+  /// Scale every gradient by `s` (used by GradScaler::unscale).
+  void scale_grads(float s);
+
+  /// True if any gradient contains NaN/inf (overflow detection for the
+  /// dynamic grad scaler).
+  bool grads_nonfinite() const;
+
+  const std::vector<model::Param*>& params() const { return params_; }
+
+ private:
+  std::vector<model::Param*> params_;
+  AdamWConfig cfg_;
+  std::int64_t t_ = 0;
+  std::vector<Tensor> m_, v_;       ///< Adam moments per param
+  std::vector<Tensor> master_;      ///< f32 master weights (bf16 mode only)
+};
+
+/// Global gradient-norm clipping; returns the pre-clip norm.
+double clip_grad_norm(const std::vector<model::Param*>& params,
+                      double max_norm);
+
+}  // namespace orbit::train

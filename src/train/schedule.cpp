@@ -1,0 +1,30 @@
+#include "train/schedule.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace orbit::train {
+
+LrSchedule::LrSchedule(float peak_lr, std::int64_t warmup_steps,
+                       std::int64_t total_steps, float min_lr)
+    : peak_(peak_lr), min_(min_lr), warmup_(warmup_steps), total_(total_steps) {
+  if (total_steps <= 0 || warmup_steps < 0 || warmup_steps > total_steps) {
+    throw std::invalid_argument("LrSchedule: bad step counts");
+  }
+  if (min_lr > peak_lr) throw std::invalid_argument("LrSchedule: min > peak");
+}
+
+float LrSchedule::at(std::int64_t step) const {
+  if (step < warmup_) {
+    return peak_ * static_cast<float>(step + 1) /
+           static_cast<float>(warmup_);
+  }
+  if (step >= total_) return min_;
+  const double progress = static_cast<double>(step - warmup_) /
+                          static_cast<double>(total_ - warmup_);
+  const double cosine = 0.5 * (1.0 + std::cos(std::numbers::pi * progress));
+  return min_ + (peak_ - min_) * static_cast<float>(cosine);
+}
+
+}  // namespace orbit::train

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file schedule.hpp
+/// Learning-rate schedules: linear warmup followed by cosine decay, the
+/// standard recipe for large ViT pre-training.
+
+namespace orbit::train {
+
+class LrSchedule {
+ public:
+  /// `warmup_steps` of linear ramp 0 -> peak, then cosine decay to
+  /// `min_lr` over the remaining `total_steps - warmup_steps`.
+  LrSchedule(float peak_lr, std::int64_t warmup_steps,
+             std::int64_t total_steps, float min_lr = 0.0f);
+
+  /// LR for 0-based step index (clamps beyond total_steps to min_lr).
+  float at(std::int64_t step) const;
+
+  float peak_lr() const { return peak_; }
+  std::int64_t warmup_steps() const { return warmup_; }
+  std::int64_t total_steps() const { return total_; }
+
+ private:
+  float peak_, min_;
+  std::int64_t warmup_, total_;
+};
+
+}  // namespace orbit::train

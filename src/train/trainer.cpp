@@ -1,0 +1,87 @@
+#include "train/trainer.hpp"
+
+#include <stdexcept>
+
+#include "metrics/metrics.hpp"
+
+namespace orbit::train {
+
+Trainer::Trainer(model::OrbitModel& m, TrainerConfig cfg)
+    : model_(m), cfg_(std::move(cfg)), scaler_(cfg_.scaler) {
+  AdamWConfig acfg = cfg_.adamw;
+  acfg.bf16_params = cfg_.mixed_precision;
+  opt_ = std::make_unique<AdamW>(m.params(), acfg);
+  lat_weights_ = metrics::latitude_weights(m.config().image_h);
+}
+
+double Trainer::train_step(const Batch& batch) {
+  if (cfg_.schedule) opt_->set_lr(cfg_.schedule->at(step_));
+  model_.zero_grad();
+
+  Tensor pred = model_.forward(batch.inputs, batch.lead_days);
+  const double loss = metrics::wmse(pred, batch.targets, lat_weights_);
+
+  Tensor dy = metrics::wmse_grad(pred, batch.targets, lat_weights_);
+  const float scale = cfg_.mixed_precision ? scaler_.scale() : 1.0f;
+  if (scale != 1.0f) dy.scale_(scale);
+  model_.backward(dy);
+
+  bool do_step = true;
+  if (cfg_.mixed_precision) {
+    opt_->scale_grads(1.0f / scale);
+    const bool overflow = opt_->grads_nonfinite();
+    do_step = scaler_.update(overflow);
+  }
+  if (do_step) {
+    if (cfg_.clip_norm > 0.0) clip_grad_norm(opt_->params(), cfg_.clip_norm);
+    opt_->step();
+  }
+  ++step_;
+  history_.push_back(loss);
+  return loss;
+}
+
+double Trainer::train_step_accumulated(const std::vector<Batch>& micro_batches) {
+  if (micro_batches.empty()) {
+    throw std::invalid_argument("train_step_accumulated: no micro batches");
+  }
+  if (cfg_.schedule) opt_->set_lr(cfg_.schedule->at(step_));
+  model_.zero_grad();
+
+  const float scale = cfg_.mixed_precision ? scaler_.scale() : 1.0f;
+  // Each micro backward contributes grads normalised by its own batch;
+  // dividing by the micro count makes the sum the mean over the union,
+  // matching one large-batch step exactly (equal micro sizes assumed).
+  const float micro_weight =
+      scale / static_cast<float>(micro_batches.size());
+  double loss_sum = 0.0;
+  for (const Batch& mb : micro_batches) {
+    Tensor pred = model_.forward(mb.inputs, mb.lead_days);
+    loss_sum += metrics::wmse(pred, mb.targets, lat_weights_);
+    Tensor dy = metrics::wmse_grad(pred, mb.targets, lat_weights_);
+    dy.scale_(micro_weight);
+    model_.backward(dy);
+  }
+
+  bool do_step = true;
+  if (cfg_.mixed_precision) {
+    opt_->scale_grads(1.0f / scale);
+    do_step = scaler_.update(opt_->grads_nonfinite());
+  }
+  if (do_step) {
+    if (cfg_.clip_norm > 0.0) clip_grad_norm(opt_->params(), cfg_.clip_norm);
+    opt_->step();
+  }
+  ++step_;
+  const double mean_loss =
+      loss_sum / static_cast<double>(micro_batches.size());
+  history_.push_back(mean_loss);
+  return mean_loss;
+}
+
+double Trainer::eval_loss(const Batch& batch) {
+  Tensor pred = model_.forward(batch.inputs, batch.lead_days);
+  return metrics::wmse(pred, batch.targets, lat_weights_);
+}
+
+}  // namespace orbit::train

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "model/vit.hpp"
+#include "train/grad_scaler.hpp"
+#include "train/optimizer.hpp"
+#include "train/schedule.hpp"
+
+/// \file trainer.hpp
+/// Serial (single-device) training loop. This is the reference
+/// implementation the distributed engines are verified against, and the
+/// workhorse behind the Fig. 8/9/10 reproduction benches.
+
+namespace orbit::train {
+
+/// One training/evaluation batch.
+struct Batch {
+  Tensor inputs;     ///< [B, C_in, H, W] normalised fields
+  Tensor targets;    ///< [B, C_out, H, W]
+  Tensor lead_days;  ///< [B]
+
+  std::int64_t size() const { return inputs.defined() ? inputs.dim(0) : 0; }
+};
+
+struct TrainerConfig {
+  AdamWConfig adamw;
+  /// Global gradient-norm clip; <= 0 disables.
+  double clip_norm = 1.0;
+  /// BF16 mixed precision: bf16 working weights + dynamic grad scaling.
+  bool mixed_precision = false;
+  GradScalerConfig scaler;
+  /// Optional LR schedule; when unset, AdamWConfig::lr is constant.
+  std::optional<LrSchedule> schedule;
+  /// Micro-batches accumulated per optimizer step (>= 1). Lets a small
+  /// machine train with the paper's large effective batches (e.g. the
+  /// fixed global batch of 2880 in Sec. V-E).
+  int accumulation_steps = 1;
+};
+
+class Trainer {
+ public:
+  Trainer(model::OrbitModel& m, TrainerConfig cfg);
+
+  /// One optimizer step on `batch`; returns the (unscaled) wMSE loss.
+  /// A mixed-precision overflow skips the update but still returns the loss.
+  double train_step(const Batch& batch);
+
+  /// One optimizer step over several micro-batches whose gradients are
+  /// accumulated (averaged) before the update — equivalent to a single
+  /// step on their concatenation. `micro_batches` must have
+  /// `accumulation_steps` entries when that option is set, but any
+  /// non-empty count is accepted. Returns the mean loss.
+  double train_step_accumulated(const std::vector<Batch>& micro_batches);
+
+  /// wMSE of the current model on `batch` without touching gradients.
+  double eval_loss(const Batch& batch);
+
+  const std::vector<double>& loss_history() const { return history_; }
+  AdamW& optimizer() { return *opt_; }
+  GradScaler& scaler() { return scaler_; }
+  std::int64_t steps() const { return step_; }
+
+ private:
+  model::OrbitModel& model_;
+  TrainerConfig cfg_;
+  std::unique_ptr<AdamW> opt_;
+  GradScaler scaler_;
+  Tensor lat_weights_;
+  std::vector<double> history_;
+  std::int64_t step_ = 0;
+};
+
+}  // namespace orbit::train

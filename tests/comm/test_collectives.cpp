@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "comm/world.hpp"
+#include "tensor/ops.hpp"
+
+namespace orbit::comm {
+namespace {
+
+class Collectives : public ::testing::TestWithParam<int> {};
+
+TEST_P(Collectives, AllReduceSum) {
+  const int p = GetParam();
+  run_spmd(p, [&](RankContext& ctx) {
+    auto g = ctx.world_group();
+    Tensor t = Tensor::full({16}, static_cast<float>(ctx.rank() + 1));
+    g.all_reduce(t, ReduceOp::kSum);
+    const float expect = static_cast<float>(p * (p + 1) / 2);
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+      ASSERT_FLOAT_EQ(t[i], expect);
+    }
+  });
+}
+
+TEST_P(Collectives, AllReduceAvg) {
+  const int p = GetParam();
+  run_spmd(p, [&](RankContext& ctx) {
+    auto g = ctx.world_group();
+    Tensor t = Tensor::full({5}, static_cast<float>(ctx.rank()));
+    g.all_reduce(t, ReduceOp::kAvg);
+    const float expect = static_cast<float>(p - 1) / 2.0f;
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+      ASSERT_FLOAT_EQ(t[i], expect);
+    }
+  });
+}
+
+TEST_P(Collectives, AllReduceMax) {
+  const int p = GetParam();
+  run_spmd(p, [&](RankContext& ctx) {
+    auto g = ctx.world_group();
+    Tensor t = Tensor::full({3}, static_cast<float>(ctx.rank()));
+    g.all_reduce(t, ReduceOp::kMax);
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+      ASSERT_FLOAT_EQ(t[i], static_cast<float>(p - 1));
+    }
+  });
+}
+
+TEST_P(Collectives, AllGatherOrdersShardsByRank) {
+  const int p = GetParam();
+  run_spmd(p, [&](RankContext& ctx) {
+    auto g = ctx.world_group();
+    Tensor shard = Tensor::full({4}, static_cast<float>(ctx.rank()));
+    Tensor out = Tensor::empty({static_cast<std::int64_t>(p) * 4});
+    g.all_gather(shard, out);
+    for (int r = 0; r < p; ++r) {
+      for (int i = 0; i < 4; ++i) {
+        ASSERT_FLOAT_EQ(out[r * 4 + i], static_cast<float>(r));
+      }
+    }
+  });
+}
+
+TEST_P(Collectives, ReduceScatterSegments) {
+  const int p = GetParam();
+  run_spmd(p, [&](RankContext& ctx) {
+    auto g = ctx.world_group();
+    // input[r][seg s, elem i] = rank + s; after sum-reduce, segment s holds
+    // sum_r(r) + p*s = p(p-1)/2 + p*s.
+    Tensor input = Tensor::empty({static_cast<std::int64_t>(p) * 3});
+    for (int s = 0; s < p; ++s) {
+      for (int i = 0; i < 3; ++i) {
+        input[s * 3 + i] = static_cast<float>(ctx.rank() + s);
+      }
+    }
+    Tensor out = Tensor::empty({3});
+    g.reduce_scatter(input, out);
+    const float expect =
+        static_cast<float>(p * (p - 1) / 2 + p * ctx.rank());
+    for (int i = 0; i < 3; ++i) ASSERT_FLOAT_EQ(out[i], expect);
+  });
+}
+
+TEST_P(Collectives, ReduceScatterThenAllGatherEqualsAllReduce) {
+  // The classic decomposition used by FSDP: RS + AG == AR.
+  const int p = GetParam();
+  run_spmd(p, [&](RankContext& ctx) {
+    auto g = ctx.world_group();
+    Rng rng(100 + static_cast<std::uint64_t>(ctx.rank()));
+    Tensor data = Tensor::randn({static_cast<std::int64_t>(p) * 4}, rng);
+    Tensor viaAR = data.clone();
+    g.all_reduce(viaAR);
+    Tensor seg = Tensor::empty({4});
+    g.reduce_scatter(data, seg);
+    Tensor viaRSAG = Tensor::empty({static_cast<std::int64_t>(p) * 4});
+    g.all_gather(seg, viaRSAG);
+    ASSERT_LT(max_abs_diff(viaAR, viaRSAG), 1e-5f);
+  });
+}
+
+TEST_P(Collectives, Broadcast) {
+  const int p = GetParam();
+  run_spmd(p, [&](RankContext& ctx) {
+    auto g = ctx.world_group();
+    const int root = p - 1;
+    Tensor t = Tensor::full({8}, ctx.rank() == root ? 7.0f : -1.0f);
+    g.broadcast(t, root);
+    for (std::int64_t i = 0; i < 8; ++i) ASSERT_FLOAT_EQ(t[i], 7.0f);
+  });
+}
+
+TEST_P(Collectives, GatherToRootOnly) {
+  const int p = GetParam();
+  run_spmd(p, [&](RankContext& ctx) {
+    auto g = ctx.world_group();
+    Tensor shard = Tensor::full({2}, static_cast<float>(ctx.rank() * 10));
+    Tensor out;
+    if (ctx.rank() == 0) out = Tensor::empty({static_cast<std::int64_t>(p) * 2});
+    g.gather(shard, out, /*root=*/0);
+    if (ctx.rank() == 0) {
+      for (int r = 0; r < p; ++r) {
+        ASSERT_FLOAT_EQ(out[r * 2], static_cast<float>(r * 10));
+      }
+    }
+  });
+}
+
+TEST_P(Collectives, ScatterFromRoot) {
+  const int p = GetParam();
+  run_spmd(p, [&](RankContext& ctx) {
+    auto g = ctx.world_group();
+    Tensor input;
+    if (ctx.rank() == 0) {
+      input = Tensor::arange(static_cast<std::int64_t>(p) * 2);
+    }
+    Tensor out = Tensor::empty({2});
+    g.scatter(input, out, /*root=*/0);
+    ASSERT_FLOAT_EQ(out[0], static_cast<float>(ctx.rank() * 2));
+    ASSERT_FLOAT_EQ(out[1], static_cast<float>(ctx.rank() * 2 + 1));
+  });
+}
+
+TEST_P(Collectives, ScatterInvertsGather) {
+  const int p = GetParam();
+  run_spmd(p, [&](RankContext& ctx) {
+    auto g = ctx.world_group();
+    Rng rng(7 + static_cast<std::uint64_t>(ctx.rank()));
+    Tensor shard = Tensor::randn({5}, rng);
+    Tensor mid;
+    if (ctx.rank() == 1 % p) mid = Tensor::empty({static_cast<std::int64_t>(p) * 5});
+    g.gather(shard, mid, 1 % p);
+    Tensor back = Tensor::empty({5});
+    g.scatter(mid, back, 1 % p);
+    ASSERT_LT(max_abs_diff(back, shard), 1e-7f);
+  });
+}
+
+TEST_P(Collectives, BarrierSynchronises) {
+  const int p = GetParam();
+  std::atomic<int> phase_counter{0};
+  run_spmd(p, [&](RankContext& ctx) {
+    auto g = ctx.world_group();
+    phase_counter.fetch_add(1);
+    g.barrier();
+    // After the barrier every rank must have incremented.
+    ASSERT_EQ(phase_counter.load(), p);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, Collectives,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(CollectivesTraffic, BytesAndOpsRecorded) {
+  run_spmd(4, [&](RankContext& ctx) {
+    auto g = ctx.world_group();
+    Tensor t = Tensor::zeros({100});
+    g.all_reduce(t);
+    g.barrier();
+    EXPECT_EQ(g.ops_issued(), 1u);
+    EXPECT_EQ(g.bytes_moved(), 400u);
+  });
+}
+
+TEST(PointToPoint, SendRecvDelivers) {
+  run_spmd(2, [&](RankContext& ctx) {
+    auto g = ctx.world_group();
+    if (ctx.rank() == 0) {
+      g.send(Tensor::from_values({1, 2, 3}), /*dst=*/1, /*tag=*/7);
+    } else {
+      Tensor t = g.recv(/*src=*/0, /*tag=*/7);
+      ASSERT_EQ(t.numel(), 3);
+      EXPECT_FLOAT_EQ(t[2], 3.0f);
+    }
+  });
+}
+
+TEST(PointToPoint, TagsDemultiplex) {
+  run_spmd(2, [&](RankContext& ctx) {
+    auto g = ctx.world_group();
+    if (ctx.rank() == 0) {
+      g.send(Tensor::from_values({1.0f}), 1, /*tag=*/1);
+      g.send(Tensor::from_values({2.0f}), 1, /*tag=*/2);
+    } else {
+      // Receive in reverse tag order; tags must demultiplex correctly.
+      Tensor t2 = g.recv(0, 2);
+      Tensor t1 = g.recv(0, 1);
+      EXPECT_FLOAT_EQ(t2[0], 2.0f);
+      EXPECT_FLOAT_EQ(t1[0], 1.0f);
+    }
+  });
+}
+
+TEST(PointToPoint, FifoWithinTag) {
+  run_spmd(2, [&](RankContext& ctx) {
+    auto g = ctx.world_group();
+    if (ctx.rank() == 0) {
+      for (int i = 0; i < 5; ++i) {
+        g.send(Tensor::from_values({static_cast<float>(i)}), 1, 0);
+      }
+    } else {
+      for (int i = 0; i < 5; ++i) {
+        EXPECT_FLOAT_EQ(g.recv(0, 0)[0], static_cast<float>(i));
+      }
+    }
+  });
+}
+
+TEST(RunSpmd, PropagatesRankException) {
+  EXPECT_THROW(
+      run_spmd(2,
+               [&](RankContext& ctx) {
+                 if (ctx.rank() == 1) throw std::runtime_error("rank boom");
+               }),
+      std::runtime_error);
+}
+
+TEST(RunSpmd, RejectsNonPositiveWorld) {
+  EXPECT_THROW(run_spmd(0, [](RankContext&) {}), std::invalid_argument);
+}
+
+TEST(RunSpmd, WorldSizeVisible) {
+  run_spmd(3, [&](RankContext& ctx) {
+    EXPECT_EQ(ctx.world_size(), 3);
+    EXPECT_GE(ctx.rank(), 0);
+    EXPECT_LT(ctx.rank(), 3);
+    EXPECT_EQ(ctx.world_group().size(), 3);
+  });
+}
+
+}  // namespace
+}  // namespace orbit::comm

@@ -1,0 +1,100 @@
+#include "core/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hpp"
+
+namespace orbit::core {
+namespace {
+
+TEST(Mesh, CoordinatesRoundTrip) {
+  // 8 ranks as ddp=2, fsdp=2, tp=2: rank = (d*2+f)*2+t.
+  comm::run_spmd(8, [&](comm::RankContext& ctx) {
+    HybridMesh m = HybridMesh::build(ctx, 2, 2, 2);
+    EXPECT_EQ((m.d * 2 + m.f) * 2 + m.t, ctx.rank());
+    EXPECT_EQ(m.tp_group.size(), 2);
+    EXPECT_EQ(m.fsdp_group.size(), 2);
+    EXPECT_EQ(m.ddp_group.size(), 2);
+    EXPECT_EQ(m.data_group.size(), 4);
+  });
+}
+
+TEST(Mesh, TpGroupIsInnermostConsecutive) {
+  // Paper Fig. 4: TP ranks are consecutive (same node, Infinity Fabric).
+  comm::run_spmd(8, [&](comm::RankContext& ctx) {
+    HybridMesh m = HybridMesh::build(ctx, 1, 2, 4);
+    const auto& members = m.tp_group.members();
+    for (std::size_t i = 1; i < members.size(); ++i) {
+      EXPECT_EQ(members[i], members[i - 1] + 1);
+    }
+  });
+}
+
+TEST(Mesh, FsdpGroupStridesByTp) {
+  comm::run_spmd(8, [&](comm::RankContext& ctx) {
+    HybridMesh m = HybridMesh::build(ctx, 1, 4, 2);
+    const auto& members = m.fsdp_group.members();
+    ASSERT_EQ(members.size(), 4u);
+    for (std::size_t i = 1; i < members.size(); ++i) {
+      EXPECT_EQ(members[i], members[i - 1] + 2);  // stride = tp
+    }
+  });
+}
+
+TEST(Mesh, DdpGroupStridesByFsdpTimesTp) {
+  comm::run_spmd(8, [&](comm::RankContext& ctx) {
+    HybridMesh m = HybridMesh::build(ctx, 2, 2, 2);
+    const auto& members = m.ddp_group.members();
+    ASSERT_EQ(members.size(), 2u);
+    EXPECT_EQ(members[1], members[0] + 4);  // stride = fsdp*tp
+  });
+}
+
+TEST(Mesh, DataShardsSharedWithinTpGroup) {
+  comm::run_spmd(8, [&](comm::RankContext& ctx) {
+    HybridMesh m = HybridMesh::build(ctx, 2, 2, 2);
+    // All TP peers must load the same data shard; shards number ddp*fsdp.
+    EXPECT_EQ(m.num_data_shards(), 4);
+    EXPECT_GE(m.data_shard(), 0);
+    EXPECT_LT(m.data_shard(), 4);
+    // The shard id is t-independent by construction.
+    EXPECT_EQ(m.data_shard(), m.d * 2 + m.f);
+  });
+}
+
+TEST(Mesh, RejectsNonFactoringSizes) {
+  comm::run_spmd(4, [&](comm::RankContext& ctx) {
+    EXPECT_THROW(HybridMesh::build(ctx, 2, 2, 2), std::invalid_argument);
+    EXPECT_THROW(HybridMesh::build(ctx, 3, 1, 1), std::invalid_argument);
+    EXPECT_THROW(HybridMesh::build(ctx, 0, 2, 2), std::invalid_argument);
+  });
+}
+
+TEST(Mesh, AxesAreOrthogonal) {
+  // Summing a one-hot rank indicator along tp, then fsdp, then ddp must
+  // touch every rank exactly once (the groups tile the world).
+  comm::run_spmd(8, [&](comm::RankContext& ctx) {
+    HybridMesh m = HybridMesh::build(ctx, 2, 2, 2);
+    Tensor v = Tensor::full({1}, 1.0f);
+    m.tp_group.all_reduce(v, comm::ReduceOp::kSum);
+    m.fsdp_group.all_reduce(v, comm::ReduceOp::kSum);
+    m.ddp_group.all_reduce(v, comm::ReduceOp::kSum);
+    EXPECT_FLOAT_EQ(v[0], 8.0f);
+  });
+}
+
+TEST(Mesh, DegenerateSingleAxisConfigs) {
+  comm::run_spmd(4, [&](comm::RankContext& ctx) {
+    HybridMesh tp_only = HybridMesh::build(ctx, 1, 1, 4);
+    EXPECT_EQ(tp_only.tp_group.size(), 4);
+    EXPECT_EQ(tp_only.num_data_shards(), 1);
+    HybridMesh fsdp_only = HybridMesh::build(ctx, 1, 4, 1);
+    EXPECT_EQ(fsdp_only.fsdp_group.size(), 4);
+    EXPECT_EQ(fsdp_only.num_data_shards(), 4);
+    HybridMesh ddp_only = HybridMesh::build(ctx, 4, 1, 1);
+    EXPECT_EQ(ddp_only.ddp_group.size(), 4);
+  });
+}
+
+}  // namespace
+}  // namespace orbit::core

@@ -1,0 +1,178 @@
+#include "data/climate_field.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/metrics.hpp"
+#include "tensor/ops.hpp"
+
+namespace orbit::data {
+namespace {
+
+ClimateFieldConfig small_cfg(int source = 0, bool reanalysis = false) {
+  ClimateFieldConfig c;
+  c.grid_h = 16;
+  c.grid_w = 32;
+  c.channels = 3;
+  c.source_id = source;
+  c.reanalysis = reanalysis;
+  c.seed = 77;
+  return c;
+}
+
+TEST(Catalog, SourceAndVariableCounts) {
+  EXPECT_EQ(cmip6_source_names().size(), 10u);  // the paper's ten sources
+  EXPECT_EQ(variable_names_48().size(), 48u);
+  EXPECT_EQ(variable_names_91().size(), 91u);
+}
+
+TEST(Catalog, PaperOutputVariablesExist) {
+  const auto cat = variable_names_91();
+  EXPECT_GE(variable_index(cat, "z_500"), 0);
+  EXPECT_GE(variable_index(cat, "t_850"), 0);
+  EXPECT_GE(variable_index(cat, "t2m"), 0);
+  EXPECT_GE(variable_index(cat, "u10"), 0);
+  EXPECT_THROW(variable_index(cat, "nonexistent"), std::invalid_argument);
+}
+
+TEST(Catalog, NamesAreUnique) {
+  for (const auto& cat : {variable_names_48(), variable_names_91()}) {
+    std::set<std::string> seen(cat.begin(), cat.end());
+    EXPECT_EQ(seen.size(), cat.size());
+  }
+}
+
+TEST(Generator, DeterministicAcrossInstances) {
+  ClimateFieldGenerator a(small_cfg()), b(small_cfg());
+  Tensor fa = a.observation(123);
+  Tensor fb = b.observation(123);
+  EXPECT_EQ(max_abs_diff(fa, fb), 0.0f);
+}
+
+TEST(Generator, TimeVariesFields) {
+  ClimateFieldGenerator g(small_cfg());
+  EXPECT_GT(max_abs_diff(g.observation(0), g.observation(40)), 0.01f);
+}
+
+TEST(Generator, SourcesDiffer) {
+  ClimateFieldGenerator a(small_cfg(0)), b(small_cfg(5));
+  EXPECT_GT(max_abs_diff(a.observation(0), b.observation(0)), 0.01f);
+}
+
+TEST(Generator, ReanalysisHasNoSourceBiasSpread) {
+  // All reanalysis "sources" share physics; the bias term is zero, so two
+  // reanalysis configs differing only in source_id still differ (waves are
+  // seeded per source) but the time-mean offset shrinks.
+  ClimateFieldConfig c1 = small_cfg(1, true);
+  ClimateFieldConfig c8 = small_cfg(8, true);
+  ClimateFieldGenerator g1(c1), g8(c8);
+  const double m1 = mean(g1.observation(0));
+  const double m8 = mean(g8.observation(0));
+  ClimateFieldGenerator b1(small_cfg(1)), b8(small_cfg(8));
+  const double n1 = mean(b1.observation(0));
+  const double n8 = mean(b8.observation(0));
+  // Biased (CMIP6) sources spread more than reanalysis ones on average.
+  EXPECT_LT(std::fabs(m1 - m8), std::fabs(n1 - n8) + 1.0);
+}
+
+TEST(Generator, FieldsAreSpatiallySmooth) {
+  // Neighbouring grid points correlate strongly (physical fields, not
+  // white noise).
+  ClimateFieldGenerator g(small_cfg());
+  Tensor f = g.channel_field(0, 10);
+  double num = 0, den = 0;
+  const double m = mean(f);
+  for (std::int64_t y = 0; y < 16; ++y) {
+    for (std::int64_t x = 0; x + 1 < 32; ++x) {
+      num += (f.at(y, x) - m) * (f.at(y, x + 1) - m);
+      den += (f.at(y, x) - m) * (f.at(y, x) - m);
+    }
+  }
+  EXPECT_GT(num / den, 0.7);
+}
+
+TEST(Generator, TemporalPersistence) {
+  // 6 hours apart: strongly correlated; far apart: less so. This is the
+  // predictability structure the forecast task learns.
+  ClimateFieldGenerator g(small_cfg());
+  Tensor now = g.channel_field(1, 100);
+  Tensor soon = g.channel_field(1, 101);
+  Tensor later = g.channel_field(1, 100 + 120);  // 30 days
+  const double c_soon = metrics::pearson(now, soon);
+  const double c_later = metrics::pearson(now, later);
+  EXPECT_GT(c_soon, 0.9);
+  EXPECT_GT(c_soon, c_later);
+}
+
+TEST(Generator, SeasonalCycleVisible) {
+  // Same calendar date one year apart correlates better than the opposite
+  // season. Start at a seasonal extreme (t = 365 steps = solstice phase) so
+  // the hemispheric seasonal signal is maximal.
+  ClimateFieldGenerator g(small_cfg());
+  Tensor t0 = g.channel_field(0, 365);
+  Tensor year = g.channel_field(0, 365 + 1460);
+  Tensor half = g.channel_field(0, 365 + 730);
+  EXPECT_GT(metrics::pearson(t0, year), metrics::pearson(t0, half));
+}
+
+TEST(NormStatsTest, NormalisationRoundTrips) {
+  ClimateFieldGenerator g(small_cfg());
+  NormStats stats = compute_norm_stats(g, 8);
+  Tensor obs = g.observation(42);
+  Tensor orig = obs.clone();
+  normalize_inplace(obs, stats);
+  denormalize_inplace(obs, stats);
+  EXPECT_LT(max_abs_diff(obs, orig), 1e-4f);
+}
+
+TEST(NormStatsTest, NormalisedFieldsAreStandardised) {
+  ClimateFieldGenerator g(small_cfg());
+  NormStats stats = compute_norm_stats(g, 32);
+  // Mean over many samples should be ~0, variance ~1 per channel.
+  double m = 0, m2 = 0;
+  std::int64_t n = 0;
+  for (int t = 0; t < 32; ++t) {
+    Tensor obs = g.observation(t * 45);
+    normalize_inplace(obs, stats);
+    for (std::int64_t i = 0; i < obs.numel(); ++i) {
+      m += obs[i];
+      m2 += obs[i] * obs[i];
+      ++n;
+    }
+  }
+  m /= static_cast<double>(n);
+  m2 /= static_cast<double>(n);
+  EXPECT_NEAR(m, 0.0, 0.25);
+  EXPECT_NEAR(m2, 1.0, 0.5);
+}
+
+TEST(Climatology, IsTimeMean) {
+  ClimateFieldGenerator g(small_cfg());
+  Tensor clim = compute_climatology(g, 0, 40, 10);
+  Tensor manual = Tensor::zeros(clim.shape());
+  for (std::int64_t t = 0; t < 40; t += 10) manual.add_(g.observation(t));
+  manual.scale_(0.25f);
+  EXPECT_LT(max_abs_diff(clim, manual), 1e-5f);
+}
+
+TEST(Climatology, SmootherThanInstantaneous) {
+  // Averaging kills the travelling waves: the climatology's deviation from
+  // a single observation is dominated by the transient part.
+  ClimateFieldGenerator g(small_cfg());
+  Tensor clim = compute_climatology(g, 0, 1460, 20);
+  Tensor obs = g.observation(17);
+  // Variance of climatology < variance of instantaneous field.
+  const double vc = sum_sq(sub(clim, Tensor::full(clim.shape(), mean(clim))));
+  const double vo = sum_sq(sub(obs, Tensor::full(obs.shape(), mean(obs))));
+  EXPECT_LT(vc, vo);
+}
+
+TEST(Generator, RejectsBadSource) {
+  ClimateFieldConfig c = small_cfg();
+  c.source_id = 10;
+  EXPECT_THROW(ClimateFieldGenerator{c}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace orbit::data

@@ -1,0 +1,149 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tensor/ops.hpp"
+
+namespace orbit::data {
+namespace {
+
+ForecastDataset tiny_dataset(float lead = 1.0f,
+                             std::vector<std::int64_t> outs = {}) {
+  ClimateFieldConfig c;
+  c.grid_h = 8;
+  c.grid_w = 16;
+  c.channels = 3;
+  c.seed = 5;
+  ClimateFieldGenerator gen(c);
+  NormStats stats = compute_norm_stats(gen, 4);
+  return ForecastDataset(std::move(gen), 0, 20, {lead}, std::move(outs),
+                         std::move(stats));
+}
+
+TEST(ForecastDatasetTest, SizeAndShapes) {
+  ForecastDataset ds = tiny_dataset();
+  EXPECT_EQ(ds.size(), 20);
+  ForecastSample s = ds.at(0);
+  EXPECT_EQ(s.input.shape(), (std::vector<std::int64_t>{3, 8, 16}));
+  EXPECT_EQ(s.target.shape(), (std::vector<std::int64_t>{3, 8, 16}));
+  EXPECT_FLOAT_EQ(s.lead_days, 1.0f);
+}
+
+TEST(ForecastDatasetTest, TargetIsFutureState) {
+  // With lead 1 day (4 steps), target(t) == normalised observation(t+4).
+  ForecastDataset ds = tiny_dataset();
+  ForecastSample s0 = ds.at(0);
+  ForecastSample s4 = ds.at(4);
+  EXPECT_LT(max_abs_diff(s0.target, s4.input), 1e-6f);
+}
+
+TEST(ForecastDatasetTest, OutputChannelSubset) {
+  ForecastDataset ds = tiny_dataset(1.0f, {2});
+  ForecastSample s = ds.at(3);
+  EXPECT_EQ(s.target.dim(0), 1);
+  // The selected channel matches the full sample's channel 2.
+  ForecastDataset full = tiny_dataset();
+  ForecastSample f = full.at(3);
+  Tensor expect = slice(f.target, 0, 2, 3);
+  EXPECT_LT(max_abs_diff(s.target, expect), 1e-6f);
+}
+
+TEST(ForecastDatasetTest, BoundsChecked) {
+  ForecastDataset ds = tiny_dataset();
+  EXPECT_THROW(ds.at(-1), std::out_of_range);
+  EXPECT_THROW(ds.at(20), std::out_of_range);
+}
+
+TEST(MultiSource, ConcatenatesAndRoutes) {
+  std::vector<ForecastDataset> parts;
+  parts.push_back(tiny_dataset());
+  parts.push_back(tiny_dataset());
+  MultiSourceDataset ms(std::move(parts));
+  EXPECT_EQ(ms.size(), 40);
+  EXPECT_EQ(ms.source_of(0), 0);
+  EXPECT_EQ(ms.source_of(19), 0);
+  EXPECT_EQ(ms.source_of(20), 1);
+  EXPECT_EQ(ms.source_of(39), 1);
+  EXPECT_THROW(ms.source_of(40), std::out_of_range);
+}
+
+TEST(MultiSource, Cmip6CorpusHasTenSources) {
+  MultiSourceDataset corpus = make_cmip6_corpus(8, 16, 2, 0, 10, 9);
+  EXPECT_EQ(corpus.source_count(), 10);
+  EXPECT_EQ(corpus.size(), 100);
+  // Samples from different sources differ (distinct model physics).
+  ForecastSample a = corpus.at(0);
+  ForecastSample b = corpus.at(95);
+  EXPECT_GT(max_abs_diff(a.input, b.input), 1e-3f);
+}
+
+TEST(Loader, CoversEpochExactlyOnce) {
+  DataLoader loader(100, 7, /*seed=*/1);
+  std::set<std::int64_t> seen;
+  std::vector<std::int64_t> batch;
+  while (loader.next(batch)) {
+    for (auto i : batch) EXPECT_TRUE(seen.insert(i).second);
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(Loader, ShardsPartitionTheEpoch) {
+  std::set<std::int64_t> all;
+  for (int shard = 0; shard < 4; ++shard) {
+    DataLoader loader(103, 8, /*seed=*/2, /*num_shards=*/4, shard);
+    std::vector<std::int64_t> batch;
+    while (loader.next(batch)) {
+      for (auto i : batch) EXPECT_TRUE(all.insert(i).second);
+    }
+  }
+  EXPECT_EQ(all.size(), 103u);
+}
+
+TEST(Loader, ShufflePermutesBetweenEpochs) {
+  DataLoader loader(50, 50, /*seed=*/3);
+  std::vector<std::int64_t> first, second;
+  loader.next(first);
+  loader.new_epoch();
+  loader.next(second);
+  EXPECT_NE(first, second);
+  EXPECT_EQ(loader.epoch(), 1);
+}
+
+TEST(Loader, NoShuffleIsSequential) {
+  DataLoader loader(10, 4, 4, 1, 0, /*shuffle=*/false);
+  std::vector<std::int64_t> batch;
+  loader.next(batch);
+  EXPECT_EQ(batch, (std::vector<std::int64_t>{0, 1, 2, 3}));
+}
+
+TEST(Loader, BatchesPerEpoch) {
+  DataLoader loader(10, 4, 5);
+  EXPECT_EQ(loader.batches_per_epoch(), 3);
+  DataLoader sharded(10, 4, 5, 2, 0);
+  EXPECT_EQ(sharded.batches_per_epoch(), 2);
+}
+
+TEST(Collate, AssemblesBatchTensors) {
+  ForecastDataset ds = tiny_dataset();
+  train::Batch b = collate([&](std::int64_t i) { return ds.at(i); }, {0, 5, 9});
+  EXPECT_EQ(b.inputs.shape(), (std::vector<std::int64_t>{3, 3, 8, 16}));
+  EXPECT_EQ(b.targets.shape(), (std::vector<std::int64_t>{3, 3, 8, 16}));
+  EXPECT_EQ(b.lead_days.numel(), 3);
+  // Row 1 equals sample 5.
+  ForecastSample s5 = ds.at(5);
+  Tensor row1 = slice(b.inputs, 0, 1, 2).reshape({3, 8, 16});
+  EXPECT_LT(max_abs_diff(row1, s5.input), 1e-6f);
+}
+
+TEST(Era5Finetune, PredictsFourChannelsWhenCatalogAllows) {
+  ForecastDataset small = make_era5_finetune(8, 16, 6, 0, 10, 14.0f, 3);
+  EXPECT_EQ(small.out_channels().size(), 4u);  // falls back to first four
+  ForecastSample s = small.at(0);
+  EXPECT_EQ(s.target.dim(0), 4);
+  EXPECT_FLOAT_EQ(s.lead_days, 14.0f);
+}
+
+}  // namespace
+}  // namespace orbit::data

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "data/dataset.hpp"
+#include "metrics/metrics.hpp"
+#include "model/rollout.hpp"
+#include "model/vit.hpp"
+#include "tensor/ops.hpp"
+#include "train/trainer.hpp"
+
+/// CI-sized guards for the execution-plane figure *shapes*: miniature
+/// versions of the Fig. 8/10 claims that must keep holding as the library
+/// evolves (the full benches take minutes; these take seconds).
+
+namespace orbit {
+namespace {
+
+constexpr std::int64_t kH = 8, kW = 16, kC = 3;
+
+model::VitConfig sized(std::int64_t embed, std::int64_t layers,
+                       std::int64_t heads) {
+  model::VitConfig c = model::tiny_test();
+  c.image_h = kH;
+  c.image_w = kW;
+  c.patch = 4;
+  c.in_channels = kC;
+  c.out_channels = kC;
+  c.embed = embed;
+  c.layers = layers;
+  c.heads = heads;
+  return c;
+}
+
+double train_and_final_loss(const model::VitConfig& cfg,
+                            const data::MultiSourceDataset& corpus,
+                            int steps) {
+  model::OrbitModel m(cfg);
+  train::TrainerConfig tc;
+  tc.adamw.lr = 3e-3f;
+  train::Trainer trainer(m, tc);
+  data::DataLoader loader(corpus.size(), 4, /*seed=*/31);
+  std::vector<std::int64_t> idx;
+  double last = 0;
+  for (int step = 0; step < steps; ++step) {
+    if (!loader.next(idx)) {
+      loader.new_epoch();
+      loader.next(idx);
+    }
+    last = trainer.train_step(
+        data::collate([&](std::int64_t i) { return corpus.at(i); }, idx));
+  }
+  return last;
+}
+
+TEST(FigShapes, Fig8LargerModelLowerLossPerSample) {
+  // The Fig. 8 ordering, miniaturised: at an identical sample budget the
+  // bigger model reaches a lower pre-training loss.
+  data::MultiSourceDataset corpus =
+      data::make_cmip6_corpus(kH, kW, kC, 0, 25, /*seed=*/30);
+  const double small = train_and_final_loss(sized(16, 2, 4), corpus, 40);
+  const double large = train_and_final_loss(sized(48, 3, 4), corpus, 40);
+  EXPECT_LT(large, small);
+}
+
+TEST(FigShapes, Fig10BiggerModelConvergesInFewerSamples) {
+  // The Fig. 10 ordering, miniaturised: samples to reach a fixed loss
+  // threshold shrink with model size.
+  data::MultiSourceDataset corpus =
+      data::make_cmip6_corpus(kH, kW, kC, 0, 25, /*seed=*/33);
+  auto samples_to_loss = [&](const model::VitConfig& cfg, double target) {
+    model::OrbitModel m(cfg);
+    train::TrainerConfig tc;
+    tc.adamw.lr = 3e-3f;
+    train::Trainer trainer(m, tc);
+    data::DataLoader loader(corpus.size(), 4, 34);
+    std::vector<std::int64_t> idx;
+    std::int64_t samples = 0;
+    for (int step = 0; step < 200; ++step) {
+      if (!loader.next(idx)) {
+        loader.new_epoch();
+        loader.next(idx);
+      }
+      const double loss = trainer.train_step(
+          data::collate([&](std::int64_t i) { return corpus.at(i); }, idx));
+      samples += static_cast<std::int64_t>(idx.size());
+      if (loss < target) return samples;
+    }
+    return samples;
+  };
+  const double kTarget = 0.25;
+  const std::int64_t small = samples_to_loss(sized(16, 2, 4), kTarget);
+  const std::int64_t large = samples_to_loss(sized(48, 3, 4), kTarget);
+  EXPECT_LE(large, small);
+}
+
+TEST(FigShapes, DirectLongLeadBeatsNaiveRolloutWhenRolloutDrifts) {
+  // The design argument for lead conditioning: an iterated 6-hour model
+  // accumulates error over 8 steps; verify the rollout error at 2 days
+  // exceeds its own 1-step error by a clear margin (drift happens), which
+  // is the gap direct prediction avoids.
+  model::VitConfig cfg = sized(32, 2, 4);
+  data::ForecastDataset ds =
+      data::make_era5_finetune(kH, kW, kC, 0, 100, 0.25f, 35);
+  model::OrbitModel m(cfg);
+  train::TrainerConfig tc;
+  tc.adamw.lr = 3e-3f;
+  train::Trainer trainer(m, tc);
+  data::DataLoader loader(ds.size(), 4, 36);
+  std::vector<std::int64_t> idx;
+  for (int step = 0; step < 60; ++step) {
+    if (!loader.next(idx)) {
+      loader.new_epoch();
+      loader.next(idx);
+    }
+    trainer.train_step(
+        data::collate([&](std::int64_t i) { return ds.at(i); }, idx));
+  }
+  const auto& gen = ds.generator();
+  Tensor x0 = gen.observation(120);
+  data::normalize_inplace(x0, ds.stats());
+  auto states = model::rollout(m, x0.reshape({1, kC, kH, kW}), 8, 0.25f);
+  Tensor w = metrics::latitude_weights(kH);
+  auto err = [&](int s) {
+    Tensor truth = gen.observation(120 + s + 1);
+    data::normalize_inplace(truth, ds.stats());
+    return metrics::wmse(states[static_cast<std::size_t>(s)],
+                         truth.reshape({1, kC, kH, kW}), w);
+  };
+  EXPECT_GT(err(7), 1.5 * err(0));
+}
+
+}  // namespace
+}  // namespace orbit

@@ -1,0 +1,72 @@
+#include "metrics/flops.hpp"
+
+#include <gtest/gtest.h>
+
+namespace orbit::metrics {
+namespace {
+
+TEST(Flops, BreakdownSumsToTotal) {
+  FlopsBreakdown fb = vit_train_flops(model::orbit_115m());
+  EXPECT_DOUBLE_EQ(
+      fb.total,
+      fb.patch_embed + fb.aggregation + fb.attention + fb.mlp + fb.head);
+  EXPECT_GT(fb.total, 0.0);
+}
+
+TEST(Flops, BlocksDominateAtScale) {
+  // For the large configs the sharded matrix chains dominate the work —
+  // the premise of applying Hybrid-STOP to the training block. (The
+  // channel-aggregation cross-attention keeps a ~12% share at C=48.)
+  FlopsBreakdown fb = vit_train_flops(model::orbit_113b());
+  EXPECT_GT(fb.sharded_fraction(), 0.80);
+}
+
+TEST(Flops, MatchesConfigEstimateWithinTolerance) {
+  // VitConfig::train_flops_per_sample and the breakdown must agree (two
+  // independent codings of the same arithmetic).
+  for (const auto& cfg : {model::orbit_115m(), model::orbit_1b(),
+                          model::orbit_10b(), model::orbit_113b()}) {
+    const double a = cfg.train_flops_per_sample();
+    const double b = vit_train_flops(cfg).total;
+    EXPECT_NEAR(a / b, 1.0, 0.05) << cfg.name;
+  }
+}
+
+TEST(Flops, ScalesQuadraticallyInEmbed) {
+  model::VitConfig small = model::tiny_test();
+  model::VitConfig big = small;
+  big.embed = small.embed * 2;
+  big.heads = small.heads;  // unchanged
+  const double ratio = vit_train_flops(big).mlp / vit_train_flops(small).mlp;
+  EXPECT_NEAR(ratio, 4.0, 0.01);
+}
+
+TEST(Flops, MoreChannelsCostMoreEmbedding) {
+  model::VitConfig c48 = model::orbit_113b();
+  model::VitConfig c91 = c48;
+  c91.in_channels = 91;
+  c91.out_channels = 91;
+  EXPECT_GT(vit_train_flops(c91).patch_embed, vit_train_flops(c48).patch_embed);
+  EXPECT_GT(vit_train_flops(c91).total, vit_train_flops(c48).total);
+}
+
+TEST(Flops, SustainedThroughputInverseInTime) {
+  const model::VitConfig cfg = model::orbit_10b();
+  const double f1 = sustained_flops(cfg, 1e-4);
+  const double f2 = sustained_flops(cfg, 2e-4);
+  EXPECT_NEAR(f1 / f2, 2.0, 1e-9);
+  EXPECT_EQ(sustained_flops(cfg, 0.0), 0.0);
+}
+
+TEST(Flops, PaperScaleSanity) {
+  // The paper reports 1.6 EFLOPS for the 10B model at 1e-4 s/sample on
+  // 49,152 GPUs; our per-sample FLOPs times that rate should land within
+  // an order of magnitude of the reported throughput.
+  const model::VitConfig cfg = model::orbit_10b();
+  const double flops = sustained_flops(cfg, 1e-4);
+  EXPECT_GT(flops, 1e17);
+  EXPECT_LT(flops, 1e19);
+}
+
+}  // namespace
+}  // namespace orbit::metrics

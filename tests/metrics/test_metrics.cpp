@@ -1,0 +1,191 @@
+#include "metrics/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "testing/gradcheck.hpp"
+
+namespace orbit::metrics {
+namespace {
+
+TEST(LatWeights, MeanIsOne) {
+  for (std::int64_t h : {4, 32, 128}) {
+    Tensor w = latitude_weights(h);
+    double m = 0.0;
+    for (std::int64_t i = 0; i < h; ++i) m += w[i];
+    EXPECT_NEAR(m / static_cast<double>(h), 1.0, 1e-6) << h;
+  }
+}
+
+TEST(LatWeights, EquatorHeaviestPolesLightest) {
+  Tensor w = latitude_weights(8);
+  // Symmetric about the equator, maximal in the middle.
+  EXPECT_NEAR(w[0], w[7], 1e-6f);
+  EXPECT_NEAR(w[3], w[4], 1e-6f);
+  EXPECT_GT(w[3], w[0]);
+  EXPECT_GT(w[3], w[1]);
+  // Monotone from pole to equator.
+  EXPECT_LT(w[0], w[1]);
+  EXPECT_LT(w[1], w[2]);
+  EXPECT_LT(w[2], w[3]);
+}
+
+TEST(LatWeights, RejectsBadSize) {
+  EXPECT_THROW(latitude_weights(0), std::invalid_argument);
+}
+
+TEST(Wmse, ZeroForPerfectPrediction) {
+  Rng rng(1);
+  Tensor x = Tensor::randn({2, 3, 4, 5}, rng);
+  Tensor w = latitude_weights(4);
+  EXPECT_DOUBLE_EQ(wmse(x, x, w), 0.0);
+}
+
+TEST(Wmse, MatchesPlainMseForUniformWeights) {
+  Rng rng(2);
+  Tensor p = Tensor::randn({2, 2, 4, 4}, rng);
+  Tensor t = Tensor::randn({2, 2, 4, 4}, rng);
+  Tensor w = Tensor::ones({4});
+  double expect = 0.0;
+  for (std::int64_t i = 0; i < p.numel(); ++i) {
+    expect += (p[i] - t[i]) * (p[i] - t[i]);
+  }
+  expect /= static_cast<double>(p.numel());
+  EXPECT_NEAR(wmse(p, t, w), expect, 1e-6);
+}
+
+TEST(Wmse, WeightsEmphasiseEquatorErrors) {
+  // Same magnitude error at pole row vs equator row: equator weighs more.
+  Tensor t = Tensor::zeros({1, 1, 4, 4});
+  Tensor w = latitude_weights(4);
+  Tensor p_pole = Tensor::zeros({1, 1, 4, 4});
+  for (int x = 0; x < 4; ++x) p_pole.at(0, 0, 0, x) = 1.0f;
+  Tensor p_eq = Tensor::zeros({1, 1, 4, 4});
+  for (int x = 0; x < 4; ++x) p_eq.at(0, 0, 1, x) = 1.0f;
+  EXPECT_GT(wmse(p_eq, t, w), wmse(p_pole, t, w));
+}
+
+TEST(Wmse, GradientMatchesFiniteDifference) {
+  Rng rng(3);
+  Tensor p = Tensor::randn({1, 2, 4, 4}, rng);
+  Tensor t = Tensor::randn({1, 2, 4, 4}, rng);
+  Tensor w = latitude_weights(4);
+  Tensor g = wmse_grad(p, t, w);
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < p.numel(); i += 5) {
+    const float orig = p[i];
+    p[i] = orig + eps;
+    const double lp = wmse(p, t, w);
+    p[i] = orig - eps;
+    const double lm = wmse(p, t, w);
+    p[i] = orig;
+    EXPECT_NEAR(g[i], (lp - lm) / (2 * eps), 1e-4) << i;
+  }
+}
+
+TEST(Wmse, RejectsShapeMismatch) {
+  Tensor w = latitude_weights(4);
+  EXPECT_THROW(wmse(Tensor::zeros({1, 1, 4, 4}), Tensor::zeros({1, 1, 4, 5}), w),
+               std::invalid_argument);
+  EXPECT_THROW(wmse(Tensor::zeros({1, 1, 8, 4}), Tensor::zeros({1, 1, 8, 4}), w),
+               std::invalid_argument);
+}
+
+TEST(Wrmse, PerChannelSeparates) {
+  Tensor t = Tensor::zeros({1, 2, 4, 4});
+  Tensor p = Tensor::zeros({1, 2, 4, 4});
+  // Channel 1 has error 2 everywhere; channel 0 perfect.
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) p.at(0, 1, y, x) = 2.0f;
+  }
+  Tensor w = Tensor::ones({4});
+  auto rmse = wrmse_per_channel(p, t, w);
+  EXPECT_NEAR(rmse[0], 0.0, 1e-9);
+  EXPECT_NEAR(rmse[1], 2.0, 1e-6);
+}
+
+TEST(Wacc, PerfectPredictionScoresOne) {
+  Rng rng(4);
+  Tensor truth = Tensor::randn({3, 4, 5}, rng);
+  Tensor clim = Tensor::zeros({4, 5});
+  Tensor w = latitude_weights(4);
+  EXPECT_NEAR(wacc(truth, truth, clim, w), 1.0, 1e-9);
+}
+
+TEST(Wacc, AntiCorrelatedScoresMinusOne) {
+  Rng rng(5);
+  Tensor truth = Tensor::randn({2, 4, 5}, rng);
+  Tensor clim = Tensor::zeros({4, 5});
+  Tensor w = Tensor::ones({4});
+  Tensor anti = scale(truth, -1.0f);
+  EXPECT_NEAR(wacc(anti, truth, clim, w), -1.0, 1e-9);
+}
+
+TEST(Wacc, ClimatologyPredictionScoresZero) {
+  Rng rng(6);
+  Tensor clim = Tensor::randn({4, 5}, rng);
+  Tensor truth = Tensor::randn({2, 4, 5}, rng);
+  // Prediction identical to climatology -> zero anomaly -> zero correlation.
+  Tensor pred = Tensor::empty({2, 4, 5});
+  for (int b = 0; b < 2; ++b) {
+    std::copy(clim.data(), clim.data() + 20, pred.data() + b * 20);
+  }
+  Tensor w = latitude_weights(4);
+  EXPECT_NEAR(wacc(pred, truth, clim, w), 0.0, 1e-9);
+}
+
+TEST(Wacc, ScaleInvariantInAnomalies) {
+  // ACC is correlation: scaling anomalies doesn't change it.
+  Rng rng(7);
+  Tensor clim = Tensor::zeros({4, 4});
+  Tensor truth = Tensor::randn({2, 4, 4}, rng);
+  Tensor pred = add(truth, Tensor::randn({2, 4, 4}, rng));
+  Tensor w = latitude_weights(4);
+  const double base = wacc(pred, truth, clim, w);
+  const double scaled = wacc(scale(pred, 3.0f), truth, clim, w);
+  EXPECT_NEAR(base, scaled, 1e-6);
+}
+
+TEST(Wacc, NoisierPredictionScoresLower) {
+  Rng rng(8);
+  Tensor clim = Tensor::zeros({8, 8});
+  Tensor truth = Tensor::randn({4, 8, 8}, rng);
+  Tensor w = latitude_weights(8);
+  Tensor small_noise = add(truth, Tensor::randn({4, 8, 8}, rng, 0.1f));
+  Tensor big_noise = add(truth, Tensor::randn({4, 8, 8}, rng, 2.0f));
+  EXPECT_GT(wacc(small_noise, truth, clim, w),
+            wacc(big_noise, truth, clim, w));
+}
+
+TEST(WaccPerChannel, ChannelsIndependent) {
+  Rng rng(9);
+  Tensor truth = Tensor::randn({2, 2, 4, 4}, rng);
+  Tensor pred = truth.clone();
+  // Corrupt channel 1 only.
+  for (std::int64_t b = 0; b < 2; ++b) {
+    for (int y = 0; y < 4; ++y) {
+      for (int x = 0; x < 4; ++x) {
+        pred.at(b, 1, y, x) = static_cast<float>(rng.normal());
+      }
+    }
+  }
+  Tensor clim = Tensor::zeros({2, 4, 4});
+  Tensor w = latitude_weights(4);
+  auto scores = wacc_per_channel(pred, truth, clim, w);
+  EXPECT_NEAR(scores[0], 1.0, 1e-9);
+  EXPECT_LT(scores[1], 0.9);
+}
+
+TEST(Pearson, KnownValues) {
+  Tensor a = Tensor::from_values({1, 2, 3, 4});
+  EXPECT_NEAR(pearson(a, a), 1.0, 1e-12);
+  Tensor b = Tensor::from_values({4, 3, 2, 1});
+  EXPECT_NEAR(pearson(a, b), -1.0, 1e-12);
+  Tensor flat = Tensor::from_values({5, 5, 5, 5});
+  EXPECT_DOUBLE_EQ(pearson(a, flat), 0.0);  // degenerate: zero variance
+}
+
+}  // namespace
+}  // namespace orbit::metrics

@@ -1,0 +1,123 @@
+#include "metrics/spectrum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "data/climate_field.hpp"
+#include "metrics/metrics.hpp"
+#include "tensor/ops.hpp"
+
+namespace orbit::metrics {
+namespace {
+
+TEST(Spectrum, ConstantFieldIsAllZeroWavenumber) {
+  Tensor f = Tensor::full({4, 16}, 3.0f);
+  Tensor w = Tensor::ones({4});
+  auto p = zonal_power_spectrum(f, w);
+  EXPECT_NEAR(p[0], 9.0, 1e-9);  // mean^2
+  for (std::size_t k = 1; k < p.size(); ++k) EXPECT_NEAR(p[k], 0.0, 1e-9);
+}
+
+TEST(Spectrum, PureWaveConcentratesAtItsWavenumber) {
+  const std::int64_t w = 32;
+  Tensor f = Tensor::empty({2, w});
+  for (std::int64_t y = 0; y < 2; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      f.at(y, x) = std::cos(2.0 * std::numbers::pi * 3.0 * x / w);
+    }
+  }
+  auto p = zonal_power_spectrum(f, Tensor::ones({2}));
+  // cos wave amplitude 1 -> one-sided power 1/2 at k=3.
+  EXPECT_NEAR(p[3], 0.5, 1e-6);
+  for (std::size_t k = 0; k < p.size(); ++k) {
+    if (k != 3) {
+      EXPECT_NEAR(p[k], 0.0, 1e-6) << k;
+    }
+  }
+}
+
+TEST(Spectrum, ParsevalHolds) {
+  Rng rng(1);
+  Tensor f = Tensor::randn({3, 16}, rng);
+  auto p = zonal_power_spectrum(f, Tensor::ones({3}));
+  double spectral = 0.0;
+  for (double v : p) spectral += v;
+  // Sum of one-sided powers == mean square of the signal per row, averaged.
+  double direct = 0.0;
+  for (std::int64_t y = 0; y < 3; ++y) {
+    for (std::int64_t x = 0; x < 16; ++x) {
+      direct += f.at(y, x) * f.at(y, x);
+    }
+  }
+  direct /= 3.0 * 16.0;
+  EXPECT_NEAR(spectral, direct, 1e-6);
+}
+
+TEST(Spectrum, LatWeightsSelectRows) {
+  // Weight only row 0: the spectrum must equal that row's spectrum.
+  const std::int64_t w = 16;
+  Tensor f = Tensor::zeros({2, w});
+  for (std::int64_t x = 0; x < w; ++x) {
+    f.at(0, x) = std::cos(2.0 * std::numbers::pi * 2.0 * x / w);
+    f.at(1, x) = std::cos(2.0 * std::numbers::pi * 5.0 * x / w);
+  }
+  Tensor weights = Tensor::from_values({1.0f, 0.0f});
+  auto p = zonal_power_spectrum(f, weights);
+  EXPECT_NEAR(p[2], 0.5, 1e-6);
+  EXPECT_NEAR(p[5], 0.0, 1e-6);
+}
+
+TEST(Spectrum, SyntheticClimateIsRed) {
+  // Physical fields concentrate power at large scales (low wavenumbers).
+  data::ClimateFieldConfig cfg;
+  cfg.grid_h = 16;
+  cfg.grid_w = 32;
+  cfg.channels = 1;
+  cfg.seed = 3;
+  data::ClimateFieldGenerator gen(cfg);
+  Tensor f = gen.channel_field(0, 50);
+  auto p = zonal_power_spectrum(f, latitude_weights(16));
+  double low = 0, high = 0;
+  for (std::size_t k = 1; k <= 4; ++k) low += p[k];
+  for (std::size_t k = 12; k < p.size(); ++k) high += p[k];
+  EXPECT_GT(low, 5.0 * high);
+}
+
+TEST(HighFreqFraction, DetectsBlurring) {
+  const std::int64_t w = 32;
+  Tensor sharp = Tensor::empty({1, w});
+  Tensor blurred = Tensor::empty({1, w});
+  for (std::int64_t x = 0; x < w; ++x) {
+    const double lowv = std::cos(2.0 * std::numbers::pi * 2.0 * x / w);
+    const double highv = std::cos(2.0 * std::numbers::pi * 10.0 * x / w);
+    sharp.at(0, x) = static_cast<float>(lowv + highv);
+    blurred.at(0, x) = static_cast<float>(lowv + 0.2 * highv);
+  }
+  Tensor ones = Tensor::ones({1});
+  const double f_sharp =
+      high_frequency_fraction(zonal_power_spectrum(sharp, ones), 8);
+  const double f_blur =
+      high_frequency_fraction(zonal_power_spectrum(blurred, ones), 8);
+  EXPECT_GT(f_sharp, f_blur);
+  EXPECT_NEAR(f_sharp, 0.5, 1e-6);  // equal powers below/above k=8
+}
+
+TEST(HighFreqFraction, ValidatesArguments) {
+  std::vector<double> p = {1.0, 2.0, 3.0};
+  EXPECT_THROW(high_frequency_fraction(p, 0), std::invalid_argument);
+  EXPECT_THROW(high_frequency_fraction(p, 3), std::invalid_argument);
+  EXPECT_THROW(high_frequency_fraction({1.0}, 1), std::invalid_argument);
+}
+
+TEST(Spectrum, RejectsBadShapes) {
+  EXPECT_THROW(zonal_power_spectrum(Tensor::zeros({4}), Tensor::ones({4})),
+               std::invalid_argument);
+  EXPECT_THROW(
+      zonal_power_spectrum(Tensor::zeros({4, 8}), Tensor::ones({3})),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace orbit::metrics

@@ -1,0 +1,138 @@
+#include "model/attention.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+#include "testing/gradcheck.hpp"
+
+namespace orbit::model {
+namespace {
+
+TEST(Attention, OutputShapeMatchesInput) {
+  Rng rng(1);
+  MultiHeadSelfAttention attn("a", 16, 4, /*qk_ln=*/false, rng);
+  Tensor x = Tensor::randn({2, 5, 16}, rng);
+  Tensor y = attn.forward(x);
+  EXPECT_EQ(y.shape(), x.shape());
+}
+
+TEST(Attention, RejectsBadEmbedOrHeads) {
+  Rng rng(2);
+  EXPECT_THROW(MultiHeadSelfAttention("a", 10, 4, false, rng),
+               std::invalid_argument);
+  MultiHeadSelfAttention attn("a", 8, 2, false, rng);
+  EXPECT_THROW(attn.forward(Tensor::zeros({2, 3, 9})), std::invalid_argument);
+  EXPECT_THROW(attn.backward(Tensor::zeros({2, 3, 8})), std::logic_error);
+}
+
+TEST(Attention, PermutationEquivariantWithoutPosInfo) {
+  // Self-attention commutes with sequence permutation: swapping two tokens
+  // swaps the corresponding outputs.
+  Rng rng(3);
+  MultiHeadSelfAttention attn("a", 8, 2, /*qk_ln=*/true, rng);
+  Tensor x = Tensor::randn({1, 4, 8}, rng);
+  Tensor y = attn.forward(x);
+
+  // Swap tokens 1 and 2 in the input.
+  Tensor xs = x.clone();
+  for (std::int64_t d = 0; d < 8; ++d) {
+    std::swap(xs.at(0, 1, d), xs.at(0, 2, d));
+  }
+  Tensor ys = attn.forward(xs);
+  for (std::int64_t d = 0; d < 8; ++d) {
+    EXPECT_NEAR(ys.at(0, 1, d), y.at(0, 2, d), 1e-5f);
+    EXPECT_NEAR(ys.at(0, 2, d), y.at(0, 1, d), 1e-5f);
+  }
+}
+
+TEST(Attention, BatchSamplesIndependent) {
+  // Tokens must not attend across batch entries.
+  Rng rng(4);
+  MultiHeadSelfAttention attn("a", 8, 2, false, rng);
+  Tensor x = Tensor::randn({2, 3, 8}, rng);
+  Tensor y2 = attn.forward(x);
+  Tensor x0 = slice(x, 0, 0, 1);
+  Tensor y0 = attn.forward(x0);
+  EXPECT_LT(max_abs_diff(y0, slice(y2, 0, 0, 1)), 1e-5f);
+}
+
+class AttentionGrad : public ::testing::TestWithParam<bool> {};
+
+TEST_P(AttentionGrad, InputGradient) {
+  const bool qk_ln = GetParam();
+  Rng rng(5);
+  MultiHeadSelfAttention attn("a", 8, 2, qk_ln, rng);
+  Tensor x = Tensor::randn({2, 3, 8}, rng);
+  Tensor dy = Tensor::randn({2, 3, 8}, rng);
+  attn.forward(x);
+  Tensor dx = attn.backward(dy);
+  testing::check_grad(
+      x, dy, [&] { return attn.forward(x); }, dx, 5e-3f);
+}
+
+TEST_P(AttentionGrad, AllParameterGradients) {
+  const bool qk_ln = GetParam();
+  Rng rng(6);
+  MultiHeadSelfAttention attn("a", 8, 2, qk_ln, rng);
+  Tensor x = Tensor::randn({1, 3, 8}, rng);
+  Tensor dy = Tensor::randn({1, 3, 8}, rng);
+  attn.forward(x);
+  attn.backward(dy);
+  for (Param* p : attn.params()) {
+    testing::check_grad(
+        p->value, dy, [&] { return attn.forward(x); }, p->grad, 5e-3f,
+        /*max_probes=*/24);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(QkLnOnOff, AttentionGrad, ::testing::Bool());
+
+TEST(Attention, QkLayerNormBoundsLogits) {
+  // With huge weights, raw attention saturates; QK-LN keeps the softmax
+  // input O(sqrt(head_dim)) regardless of weight scale.
+  Rng rng(7);
+  MultiHeadSelfAttention raw("raw", 8, 2, false, rng);
+  Rng rng2(7);
+  MultiHeadSelfAttention normed("n", 8, 2, true, rng2);
+  // Inflate weights to simulate the logit growth the paper observed.
+  for (Param* p : raw.params()) p->value.scale_(50.0f);
+  for (Param* p : normed.params()) {
+    if (p->name.find("wq") != std::string::npos ||
+        p->name.find("wk") != std::string::npos) {
+      p->value.scale_(50.0f);
+    }
+  }
+  Tensor x = Tensor::randn({1, 4, 8}, rng);
+  Tensor y_raw = raw.forward(x);
+  Tensor y_n = normed.forward(x);
+  EXPECT_FALSE(has_nonfinite(y_n));
+  // The normed model's output should not blow up with the weights.
+  EXPECT_LT(max_abs(y_n), max_abs(y_raw));
+}
+
+TEST(Attention, ParamCountMatchesFormula) {
+  Rng rng(8);
+  const std::int64_t d = 16, h = 4;
+  MultiHeadSelfAttention plain("a", d, h, false, rng);
+  std::int64_t expect = 4 * (d * d + d);
+  EXPECT_EQ(plain.param_count(), expect);
+  MultiHeadSelfAttention withln("a", d, h, true, rng);
+  expect += 2 * 2 * (d / h);
+  EXPECT_EQ(withln.param_count(), expect);
+}
+
+TEST(Attention, UniformInputGivesUniformAttention) {
+  // Identical tokens -> every token's output identical.
+  Rng rng(9);
+  MultiHeadSelfAttention attn("a", 8, 2, true, rng);
+  Tensor x = Tensor::ones({1, 5, 8});
+  Tensor y = attn.forward(x);
+  for (std::int64_t s = 1; s < 5; ++s) {
+    for (std::int64_t d = 0; d < 8; ++d) {
+      EXPECT_NEAR(y.at(0, s, d), y.at(0, 0, d), 1e-5f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace orbit::model

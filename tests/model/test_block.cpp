@@ -1,0 +1,156 @@
+#include "model/block.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+#include "testing/gradcheck.hpp"
+
+namespace orbit::model {
+namespace {
+
+TEST(Mlp, ForwardIsChainOfLayers) {
+  Rng rng(1);
+  Mlp mlp("m", 6, 24, rng);
+  Tensor x = Tensor::randn({3, 6}, rng);
+  Tensor y = mlp.forward(x);
+  EXPECT_EQ(y.shape(), x.shape());
+  // fc1 expands to the hidden width.
+  EXPECT_EQ(mlp.fc1().out_features(), 24);
+  EXPECT_EQ(mlp.fc2().in_features(), 24);
+}
+
+TEST(Mlp, InputGradient) {
+  Rng rng(2);
+  Mlp mlp("m", 5, 10, rng);
+  Tensor x = Tensor::randn({2, 5}, rng);
+  Tensor dy = Tensor::randn({2, 5}, rng);
+  mlp.forward(x);
+  Tensor dx = mlp.backward(dy);
+  testing::check_grad(
+      x, dy, [&] { return mlp.forward(x); }, dx, 3e-3f);
+}
+
+TEST(Mlp, ParameterGradients) {
+  Rng rng(3);
+  Mlp mlp("m", 4, 8, rng);
+  Tensor x = Tensor::randn({2, 4}, rng);
+  Tensor dy = Tensor::randn({2, 4}, rng);
+  mlp.forward(x);
+  mlp.backward(dy);
+  for (Param* p : mlp.params()) {
+    testing::check_grad(
+        p->value, dy, [&] { return mlp.forward(x); }, p->grad, 3e-3f,
+        /*max_probes=*/16);
+  }
+}
+
+TEST(Block, OutputShapePreserved) {
+  Rng rng(4);
+  TransformerBlock blk("b", 16, 4, 64, true, rng);
+  Tensor x = Tensor::randn({2, 6, 16}, rng);
+  EXPECT_EQ(blk.forward(x).shape(), x.shape());
+}
+
+TEST(Block, ResidualPathDominatesAtInit) {
+  // With freshly-initialised small weights, block(x) stays close to x
+  // relative to the input magnitude (residual architecture sanity).
+  Rng rng(5);
+  TransformerBlock blk("b", 16, 4, 64, true, rng);
+  Tensor x = Tensor::randn({1, 4, 16}, rng, 10.0f);
+  Tensor y = blk.forward(x);
+  const float rel = max_abs_diff(y, x) / max_abs(x);
+  EXPECT_LT(rel, 1.0f);
+}
+
+TEST(Block, InputGradient) {
+  Rng rng(6);
+  TransformerBlock blk("b", 8, 2, 16, true, rng);
+  Tensor x = Tensor::randn({1, 3, 8}, rng);
+  Tensor dy = Tensor::randn({1, 3, 8}, rng);
+  blk.forward(x);
+  Tensor dx = blk.backward(dy);
+  testing::check_grad(
+      x, dy, [&] { return blk.forward(x); }, dx, 6e-3f);
+}
+
+TEST(Block, ParameterGradientsSampled) {
+  Rng rng(7);
+  TransformerBlock blk("b", 8, 2, 16, true, rng);
+  Tensor x = Tensor::randn({1, 3, 8}, rng);
+  Tensor dy = Tensor::randn({1, 3, 8}, rng);
+  blk.forward(x);
+  blk.backward(dy);
+  for (Param* p : blk.params()) {
+    testing::check_grad(
+        p->value, dy, [&] { return blk.forward(x); }, p->grad, 6e-3f,
+        /*max_probes=*/8);
+  }
+}
+
+TEST(Block, CheckpointingPreservesForward) {
+  Rng r1(8), r2(8);
+  TransformerBlock plain("b", 8, 2, 16, true, r1);
+  TransformerBlock ckpt("b", 8, 2, 16, true, r2);
+  ckpt.set_checkpointing(true);
+  Rng rx(9);
+  Tensor x = Tensor::randn({2, 4, 8}, rx);
+  EXPECT_LT(max_abs_diff(plain.forward(x), ckpt.forward(x)), 1e-6f);
+}
+
+TEST(Block, CheckpointingPreservesGradients) {
+  Rng r1(10), r2(10);
+  TransformerBlock plain("b", 8, 2, 16, true, r1);
+  TransformerBlock ckpt("b", 8, 2, 16, true, r2);
+  ckpt.set_checkpointing(true);
+  Rng rx(11);
+  Tensor x = Tensor::randn({2, 4, 8}, rx);
+  Tensor dy = Tensor::randn({2, 4, 8}, rx);
+
+  plain.forward(x);
+  Tensor dx_plain = plain.backward(dy);
+  ckpt.forward(x);
+  Tensor dx_ckpt = ckpt.backward(dy);
+  EXPECT_LT(max_abs_diff(dx_plain, dx_ckpt), 1e-5f);
+
+  auto pp = plain.params();
+  auto cp = ckpt.params();
+  ASSERT_EQ(pp.size(), cp.size());
+  for (std::size_t i = 0; i < pp.size(); ++i) {
+    EXPECT_LT(max_abs_diff(pp[i]->grad, cp[i]->grad), 1e-5f)
+        << pp[i]->name;
+  }
+}
+
+TEST(Block, CheckpointingSurvivesInputMutation) {
+  // The checkpointed block must clone its input: mutating the caller's
+  // tensor between forward and backward must not corrupt the recompute.
+  Rng r1(12), r2(12);
+  TransformerBlock plain("b", 8, 2, 16, false, r1);
+  TransformerBlock ckpt("b", 8, 2, 16, false, r2);
+  ckpt.set_checkpointing(true);
+  Rng rx(13);
+  Tensor x = Tensor::randn({1, 3, 8}, rx);
+  Tensor x_copy = x.clone();
+  Tensor dy = Tensor::randn({1, 3, 8}, rx);
+
+  plain.forward(x_copy);
+  Tensor dx_plain = plain.backward(dy);
+
+  ckpt.forward(x);
+  x.fill_(999.0f);  // hostile mutation
+  Tensor dx_ckpt = ckpt.backward(dy);
+  EXPECT_LT(max_abs_diff(dx_plain, dx_ckpt), 1e-5f);
+}
+
+TEST(Block, ParamOrderIsStable) {
+  Rng rng(14);
+  TransformerBlock blk("b", 8, 2, 16, true, rng);
+  auto ps = blk.params();
+  ASSERT_GT(ps.size(), 4u);
+  EXPECT_EQ(ps[0]->name, "b.ln1.gamma");
+  EXPECT_EQ(ps[1]->name, "b.ln1.beta");
+  EXPECT_EQ(ps[2]->name, "b.attn.wq.weight");
+}
+
+}  // namespace
+}  // namespace orbit::model

@@ -1,0 +1,179 @@
+#include "model/embedding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+#include "testing/gradcheck.hpp"
+
+namespace orbit::model {
+namespace {
+
+TEST(Patchify, RoundTripsWithUnpatchify) {
+  Rng rng(1);
+  Tensor img = Tensor::randn({3, 8, 12}, rng);
+  Tensor patches = patchify(img, 4);
+  EXPECT_EQ(patches.dim(0), 3 * 2 * 3);
+  EXPECT_EQ(patches.dim(1), 16);
+  Tensor back = unpatchify(patches, 3, 8, 12, 4);
+  EXPECT_EQ(max_abs_diff(back, img), 0.0f);
+}
+
+TEST(Patchify, PatchLayoutIsRowMajor) {
+  // 4x4 image, patch 2: patch 0 is the top-left 2x2 block.
+  Tensor img = Tensor::arange(16).reshape({1, 4, 4});
+  Tensor p = patchify(img, 2);
+  EXPECT_EQ(p.dim(0), 4);
+  // First patch rows: elements (0,0),(0,1),(1,0),(1,1) = 0,1,4,5.
+  EXPECT_FLOAT_EQ(p.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(p.at(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(p.at(0, 2), 4.0f);
+  EXPECT_FLOAT_EQ(p.at(0, 3), 5.0f);
+  // Second patch = top-right block: 2,3,6,7.
+  EXPECT_FLOAT_EQ(p.at(1, 0), 2.0f);
+}
+
+TEST(Patchify, RejectsIndivisibleImage) {
+  EXPECT_THROW(patchify(Tensor::zeros({1, 7, 8}), 4), std::invalid_argument);
+}
+
+TEST(PatchEmbed, OutputShape) {
+  Rng rng(2);
+  PatchEmbed pe("pe", 3, 8, 8, 4, 16, rng);
+  Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+  Tensor y = pe.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<std::int64_t>{2, 3, 4, 16}));
+  EXPECT_EQ(pe.tokens(), 4);
+}
+
+TEST(PatchEmbed, ChannelsAreIndependent) {
+  // Zeroing channel 1's input must not change channel 0's tokens.
+  Rng rng(3);
+  PatchEmbed pe("pe", 2, 4, 4, 4, 8, rng);
+  Tensor x = Tensor::randn({1, 2, 4, 4}, rng);
+  Tensor y1 = pe.forward(x);
+  Tensor x2 = x.clone();
+  for (std::int64_t i = 0; i < 16; ++i) x2[16 + i] = 0.0f;  // channel 1
+  Tensor y2 = pe.forward(x2);
+  Tensor c0_a = slice(y1, 1, 0, 1);
+  Tensor c0_b = slice(y2, 1, 0, 1);
+  EXPECT_EQ(max_abs_diff(c0_a, c0_b), 0.0f);
+  EXPECT_GT(max_abs_diff(slice(y1, 1, 1, 2), slice(y2, 1, 1, 2)), 0.0f);
+}
+
+TEST(PatchEmbed, InputGradient) {
+  Rng rng(4);
+  PatchEmbed pe("pe", 2, 4, 4, 2, 6, rng);
+  Tensor x = Tensor::randn({1, 2, 4, 4}, rng);
+  Tensor dy = Tensor::randn({1, 2, 4, 6}, rng);
+  pe.forward(x);
+  Tensor dx = pe.backward(dy);
+  testing::check_grad(
+      x, dy, [&] { return pe.forward(x); }, dx, 3e-3f);
+}
+
+TEST(PatchEmbed, VarEmbedGradient) {
+  Rng rng(5);
+  PatchEmbed pe("pe", 2, 4, 4, 2, 6, rng);
+  Tensor x = Tensor::randn({1, 2, 4, 4}, rng);
+  Tensor dy = Tensor::randn({1, 2, 4, 6}, rng);
+  pe.forward(x);
+  pe.backward(dy);
+  auto ps = pe.params();
+  Param* ve = ps.back();
+  ASSERT_NE(ve->name.find("var_embed"), std::string::npos);
+  testing::check_grad(
+      ve->value, dy, [&] { return pe.forward(x); }, ve->grad, 3e-3f);
+}
+
+TEST(VariableAggregation, OutputShapeAndAttentionNormalised) {
+  Rng rng(6);
+  VariableAggregation agg("agg", 8, rng);
+  Tensor x = Tensor::randn({2, 3, 5, 8}, rng);
+  Tensor y = agg.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<std::int64_t>{2, 5, 8}));
+  const Tensor& att = agg.last_attention();
+  EXPECT_EQ(att.shape(), (std::vector<std::int64_t>{10, 3}));
+  for (std::int64_t r = 0; r < att.dim(0); ++r) {
+    double s = 0.0;
+    for (std::int64_t c = 0; c < 3; ++c) s += att.at(r, c);
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(VariableAggregation, SingleChannelIsProjectedValue) {
+  // With one channel the softmax weight is 1, so out = Wv(token).
+  Rng rng(7);
+  VariableAggregation agg("agg", 6, rng);
+  Tensor x = Tensor::randn({1, 1, 2, 6}, rng);
+  Tensor y = agg.forward(x);
+  for (std::int64_t r = 0; r < 2; ++r) {
+    EXPECT_NEAR(agg.last_attention()[r], 1.0f, 1e-6f);
+  }
+  EXPECT_EQ(y.shape(), (std::vector<std::int64_t>{1, 2, 6}));
+}
+
+TEST(VariableAggregation, InputGradient) {
+  Rng rng(8);
+  VariableAggregation agg("agg", 6, rng);
+  Tensor x = Tensor::randn({1, 3, 2, 6}, rng);
+  Tensor dy = Tensor::randn({1, 2, 6}, rng);
+  agg.forward(x);
+  Tensor dx = agg.backward(dy);
+  testing::check_grad(
+      x, dy, [&] { return agg.forward(x); }, dx, 3e-3f);
+}
+
+TEST(VariableAggregation, ParameterGradients) {
+  Rng rng(9);
+  VariableAggregation agg("agg", 6, rng);
+  Tensor x = Tensor::randn({1, 3, 2, 6}, rng);
+  Tensor dy = Tensor::randn({1, 2, 6}, rng);
+  agg.forward(x);
+  agg.backward(dy);
+  for (Param* p : agg.params()) {
+    testing::check_grad(
+        p->value, dy, [&] { return agg.forward(x); }, p->grad, 3e-3f,
+        /*max_probes=*/16);
+  }
+}
+
+TEST(PosLeadEmbed, AddsPositionalAndLeadSignal) {
+  Rng rng(10);
+  PosLeadEmbed ple("p", 4, 6, rng);
+  Tensor x = Tensor::zeros({2, 4, 6});
+  Tensor lead = Tensor::from_values({0.0f, 30.0f});
+  Tensor y = ple.forward(x, lead);
+  // Sample 0 has lead 0: output is exactly the positional embedding, so the
+  // two batch entries differ exactly by the lead term.
+  std::vector<Param*> ps;
+  ple.collect_params(ps);
+  const Tensor& pos = ps[0]->value;
+  const Tensor& w = ps[1]->value;
+  for (std::int64_t s = 0; s < 4; ++s) {
+    for (std::int64_t d = 0; d < 6; ++d) {
+      EXPECT_NEAR(y.at(0, s, d), pos.at(s, d), 1e-6f);
+      EXPECT_NEAR(y.at(1, s, d), pos.at(s, d) + w[d], 1e-5f);  // tau = 1
+    }
+  }
+}
+
+TEST(PosLeadEmbed, Gradients) {
+  Rng rng(11);
+  PosLeadEmbed ple("p", 3, 4, rng);
+  Tensor x = Tensor::randn({2, 3, 4}, rng);
+  Tensor lead = Tensor::from_values({3.0f, 14.0f});
+  Tensor dy = Tensor::randn({2, 3, 4}, rng);
+  ple.forward(x, lead);
+  Tensor dx = ple.backward(dy);
+  // Input gradient is the identity.
+  EXPECT_LT(max_abs_diff(dx, dy), 1e-7f);
+  std::vector<Param*> ps;
+  ple.collect_params(ps);
+  for (Param* p : ps) {
+    testing::check_grad(
+        p->value, dy, [&] { return ple.forward(x, lead); }, p->grad, 3e-3f);
+  }
+}
+
+}  // namespace
+}  // namespace orbit::model

@@ -1,0 +1,130 @@
+#include "model/linear.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+#include "testing/gradcheck.hpp"
+
+namespace orbit::model {
+namespace {
+
+TEST(Linear, ForwardMatchesManual) {
+  Rng rng(1);
+  Linear lin("l", 3, 2, rng);
+  lin.weight().value = Tensor::from_vector({1, 2, 3, 4, 5, 6}, {3, 2});
+  lin.bias().value = Tensor::from_values({10, 20});
+  Tensor x = Tensor::from_vector({1, 1, 1}, {1, 3});
+  Tensor y = lin.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 1 + 3 + 5 + 10);
+  EXPECT_FLOAT_EQ(y[1], 2 + 4 + 6 + 20);
+}
+
+TEST(Linear, SupportsRank3Input) {
+  Rng rng(2);
+  Linear lin("l", 4, 6, rng);
+  Tensor x = Tensor::randn({2, 3, 4}, rng);
+  Tensor y = lin.forward(x);
+  ASSERT_EQ(y.ndim(), 3);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 3);
+  EXPECT_EQ(y.dim(2), 6);
+  // Row (i,j) equals the 2-D forward of that row.
+  Tensor x2 = x.reshape({6, 4});
+  Tensor y2 = lin.forward(x2);
+  EXPECT_LT(max_abs_diff(y.reshape({6, 6}), y2), 1e-6f);
+}
+
+TEST(Linear, RejectsWrongLastDim) {
+  Rng rng(3);
+  Linear lin("l", 4, 2, rng);
+  EXPECT_THROW(lin.forward(Tensor::zeros({2, 5})), std::invalid_argument);
+}
+
+TEST(Linear, BackwardBeforeForwardThrows) {
+  Rng rng(3);
+  Linear lin("l", 4, 2, rng);
+  EXPECT_THROW(lin.backward(Tensor::zeros({2, 2})), std::logic_error);
+}
+
+TEST(Linear, InputGradient) {
+  Rng rng(4);
+  Linear lin("l", 5, 3, rng);
+  Tensor x = Tensor::randn({4, 5}, rng);
+  Tensor dy = Tensor::randn({4, 3}, rng);
+  lin.forward(x);
+  Tensor dx = lin.backward(dy);
+  testing::check_grad(
+      x, dy, [&] { return lin.forward(x); }, dx, 2e-3f);
+}
+
+TEST(Linear, WeightAndBiasGradient) {
+  Rng rng(5);
+  Linear lin("l", 5, 3, rng);
+  Tensor x = Tensor::randn({4, 5}, rng);
+  Tensor dy = Tensor::randn({4, 3}, rng);
+  lin.forward(x);
+  lin.backward(dy);
+  testing::check_grad(
+      lin.weight().value, dy, [&] { return lin.forward(x); },
+      lin.weight().grad, 2e-3f);
+  testing::check_grad(
+      lin.bias().value, dy, [&] { return lin.forward(x); }, lin.bias().grad,
+      2e-3f);
+}
+
+TEST(Linear, GradAccumulatesAcrossBackwards) {
+  Rng rng(6);
+  Linear lin("l", 3, 3, rng);
+  Tensor x = Tensor::randn({2, 3}, rng);
+  Tensor dy = Tensor::randn({2, 3}, rng);
+  lin.forward(x);
+  lin.backward(dy);
+  Tensor once = lin.weight().grad.clone();
+  lin.forward(x);
+  lin.backward(dy);
+  EXPECT_LT(max_abs_diff(lin.weight().grad, scale(once, 2.0f)), 1e-5f);
+}
+
+TEST(Linear, NoBiasVariant) {
+  Rng rng(7);
+  Linear lin("l", 3, 2, rng, /*bias=*/false);
+  EXPECT_FALSE(lin.has_bias());
+  EXPECT_EQ(lin.params().size(), 1u);
+  Tensor x = Tensor::zeros({1, 3});
+  Tensor y = lin.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+}
+
+TEST(Linear, ParamNamesAndShapes) {
+  Rng rng(8);
+  Linear lin("enc.fc", 3, 2, rng);
+  auto ps = lin.params();
+  ASSERT_EQ(ps.size(), 2u);
+  EXPECT_EQ(ps[0]->name, "enc.fc.weight");
+  EXPECT_EQ(ps[1]->name, "enc.fc.bias");
+  EXPECT_EQ(ps[0]->value.shape(), (std::vector<std::int64_t>{3, 2}));
+  EXPECT_EQ(ps[1]->value.shape(), (std::vector<std::int64_t>{2}));
+}
+
+TEST(Linear, ZeroGradClears) {
+  Rng rng(9);
+  Linear lin("l", 3, 3, rng);
+  Tensor x = Tensor::randn({2, 3}, rng);
+  lin.forward(x);
+  lin.backward(Tensor::ones({2, 3}));
+  EXPECT_GT(max_abs(lin.weight().grad), 0.0f);
+  lin.zero_grad();
+  EXPECT_EQ(max_abs(lin.weight().grad), 0.0f);
+}
+
+TEST(Linear, XavierInitScale) {
+  Rng rng(10);
+  Linear lin("l", 256, 256, rng);
+  const double var = sum_sq(lin.weight().value) / lin.weight().numel();
+  // Expect roughly 2/(in+out) = 1/256.
+  EXPECT_NEAR(var, 1.0 / 256.0, 0.3 / 256.0);
+}
+
+}  // namespace
+}  // namespace orbit::model

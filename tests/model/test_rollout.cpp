@@ -1,0 +1,105 @@
+#include "model/rollout.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.hpp"
+#include "metrics/metrics.hpp"
+#include "tensor/ops.hpp"
+#include "train/trainer.hpp"
+
+namespace orbit::model {
+namespace {
+
+VitConfig full_state_cfg() {
+  VitConfig c = tiny_test();
+  c.image_h = 8;
+  c.image_w = 16;
+  c.patch = 4;
+  c.in_channels = 3;
+  c.out_channels = 3;  // rollout needs the full state predicted
+  return c;
+}
+
+TEST(Rollout, ProducesRequestedSteps) {
+  VitConfig cfg = full_state_cfg();
+  OrbitModel m(cfg);
+  Rng rng(1);
+  Tensor x0 = Tensor::randn({2, 3, 8, 16}, rng);
+  auto states = rollout(m, x0, 4, 1.0f);
+  ASSERT_EQ(states.size(), 4u);
+  for (const Tensor& s : states) {
+    EXPECT_EQ(s.shape(), x0.shape());
+  }
+}
+
+TEST(Rollout, FinalStateMatchesIteratedForward) {
+  VitConfig cfg = full_state_cfg();
+  OrbitModel m(cfg);
+  Rng rng(2);
+  Tensor x0 = Tensor::randn({1, 3, 8, 16}, rng);
+  Tensor lead = Tensor::full({1}, 1.0f);
+  Tensor manual = m.forward(m.forward(x0, lead), lead);
+  Tensor rolled = rollout_to(m, x0, 2, 1.0f);
+  EXPECT_LT(max_abs_diff(manual, rolled), 1e-6f);
+}
+
+TEST(Rollout, RejectsPartialStateModels) {
+  VitConfig cfg = full_state_cfg();
+  cfg.out_channels = 2;  // cannot feed back
+  OrbitModel m(cfg);
+  Tensor x0 = Tensor::zeros({1, 3, 8, 16});
+  EXPECT_THROW(rollout(m, x0, 2, 1.0f), std::invalid_argument);
+}
+
+TEST(Rollout, RejectsBadArguments) {
+  VitConfig cfg = full_state_cfg();
+  OrbitModel m(cfg);
+  Tensor x0 = Tensor::zeros({1, 3, 8, 16});
+  EXPECT_THROW(rollout(m, x0, 0, 1.0f), std::invalid_argument);
+  EXPECT_THROW(rollout(m, Tensor::zeros({3, 8, 16}), 2, 1.0f),
+               std::invalid_argument);
+}
+
+TEST(Rollout, ErrorGrowsWithHorizonOnTrainedModel) {
+  // Train a 6-hour forecaster, then roll it out: RMSE must grow with the
+  // number of autoregressive steps (error accumulation — the behaviour
+  // that motivates ORBIT's direct lead-conditioned prediction).
+  VitConfig cfg = full_state_cfg();
+  data::ForecastDataset ds =
+      data::make_era5_finetune(8, 16, 3, 0, 120, /*lead=*/0.25f, 23);
+  OrbitModel m(cfg);
+  train::TrainerConfig tc;
+  tc.adamw.lr = 3e-3f;
+  train::Trainer trainer(m, tc);
+  data::DataLoader loader(ds.size(), 4, 24);
+  std::vector<std::int64_t> idx;
+  for (int step = 0; step < 80; ++step) {
+    if (!loader.next(idx)) {
+      loader.new_epoch();
+      loader.next(idx);
+    }
+    trainer.train_step(
+        data::collate([&](std::int64_t i) { return ds.at(i); }, idx));
+  }
+
+  // Evaluate rollout RMSE at 1 step (6 h) vs 8 steps (2 days) against the
+  // generator truth.
+  const auto& gen = ds.generator();
+  const std::int64_t t0 = 140;
+  Tensor x0 = gen.observation(t0);
+  data::normalize_inplace(x0, ds.stats());
+  x0 = x0.reshape({1, 3, 8, 16});
+  auto states = rollout(m, x0, 8, 0.25f);
+
+  Tensor w = metrics::latitude_weights(8);
+  auto rmse_at = [&](int step_idx) {
+    Tensor truth = gen.observation(t0 + (step_idx + 1));
+    data::normalize_inplace(truth, ds.stats());
+    return metrics::wmse(states[static_cast<std::size_t>(step_idx)],
+                         truth.reshape({1, 3, 8, 16}), w);
+  };
+  EXPECT_LT(rmse_at(0), rmse_at(7));
+}
+
+}  // namespace
+}  // namespace orbit::model

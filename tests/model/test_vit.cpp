@@ -1,0 +1,211 @@
+#include "model/vit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "model/checkpoint_io.hpp"
+#include "tensor/ops.hpp"
+#include "testing/gradcheck.hpp"
+
+namespace orbit::model {
+namespace {
+
+VitConfig micro_config() {
+  VitConfig c = tiny_test();
+  c.image_h = 8;
+  c.image_w = 8;
+  c.patch = 4;
+  c.in_channels = 3;
+  c.out_channels = 2;
+  c.embed = 16;
+  c.layers = 2;
+  c.heads = 4;
+  return c;
+}
+
+TEST(VitConfig, AnalyticCountMatchesInstantiatedModel) {
+  // The perf model relies on VitConfig::param_count for configurations too
+  // big to build; verify the formula against a real instantiation.
+  for (const VitConfig& cfg :
+       {micro_config(), tiny_test(), tiny_medium()}) {
+    OrbitModel m(cfg);
+    EXPECT_EQ(m.param_count(), cfg.param_count()) << cfg.name;
+  }
+}
+
+TEST(VitConfig, PaperPresetsLandNearReportedSizes) {
+  // Paper Sec. IV: 115M / 1B / 10B / 113B parameters. The transformer-block
+  // arithmetic (12·embed²·layers) should put each preset in range.
+  EXPECT_NEAR(static_cast<double>(orbit_115m().param_count()), 115e6, 25e6);
+  EXPECT_NEAR(static_cast<double>(orbit_1b().param_count()), 1e9, 0.3e9);
+  EXPECT_NEAR(static_cast<double>(orbit_10b().param_count()), 10e9, 2.0e9);
+  EXPECT_NEAR(static_cast<double>(orbit_113b().param_count()), 113e9, 15e9);
+}
+
+TEST(VitConfig, TokensAndHiddenDerived) {
+  VitConfig c = orbit_115m();
+  EXPECT_EQ(c.tokens(), (128 / 4) * (256 / 4));
+  EXPECT_EQ(c.mlp_hidden(), 4096);
+  EXPECT_EQ(c.head_dim(), 64);
+}
+
+TEST(VitConfig, FlopsScaleWithModelSize) {
+  EXPECT_GT(orbit_1b().train_flops_per_sample(),
+            5 * orbit_115m().train_flops_per_sample());
+  EXPECT_GT(orbit_113b().train_flops_per_sample(),
+            orbit_10b().train_flops_per_sample());
+}
+
+TEST(OrbitModel, ForwardShape) {
+  VitConfig cfg = micro_config();
+  OrbitModel m(cfg);
+  Rng rng(1);
+  Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+  Tensor lead = Tensor::from_values({1.0f, 14.0f});
+  Tensor y = m.forward(x, lead);
+  EXPECT_EQ(y.shape(), (std::vector<std::int64_t>{2, 2, 8, 8}));
+}
+
+TEST(OrbitModel, DeterministicForSeed) {
+  VitConfig cfg = micro_config();
+  OrbitModel a(cfg), b(cfg);
+  Rng rng(2);
+  Tensor x = Tensor::randn({1, 3, 8, 8}, rng);
+  Tensor lead = Tensor::from_values({7.0f});
+  EXPECT_EQ(max_abs_diff(a.forward(x, lead), b.forward(x, lead)), 0.0f);
+}
+
+TEST(OrbitModel, SeedChangesWeights) {
+  VitConfig cfg = micro_config();
+  VitConfig cfg2 = cfg;
+  cfg2.seed = cfg.seed + 1;
+  OrbitModel a(cfg), b(cfg2);
+  Rng rng(3);
+  Tensor x = Tensor::randn({1, 3, 8, 8}, rng);
+  Tensor lead = Tensor::from_values({7.0f});
+  EXPECT_GT(max_abs_diff(a.forward(x, lead), b.forward(x, lead)), 0.0f);
+}
+
+TEST(OrbitModel, EndToEndGradientSampled) {
+  // Finite-difference the whole network at a random subset of parameters —
+  // the strongest single check that every layer's backward composes.
+  VitConfig cfg = micro_config();
+  OrbitModel m(cfg);
+  Rng rng(4);
+  Tensor x = Tensor::randn({1, 3, 8, 8}, rng);
+  Tensor lead = Tensor::from_values({5.0f});
+  Tensor dy = Tensor::randn({1, 2, 8, 8}, rng);
+
+  m.forward(x, lead);
+  m.backward(dy);
+
+  int checked = 0;
+  for (Param* p : m.params()) {
+    // Probe a couple of elements of every parameter tensor.
+    testing::check_grad(
+        p->value, dy, [&] { return m.forward(x, lead); }, p->grad, 8e-3f,
+        /*max_probes=*/2);
+    ++checked;
+  }
+  EXPECT_GT(checked, 20);
+}
+
+TEST(OrbitModel, InputGradientSampled) {
+  VitConfig cfg = micro_config();
+  OrbitModel m(cfg);
+  Rng rng(5);
+  Tensor x = Tensor::randn({1, 3, 8, 8}, rng);
+  Tensor lead = Tensor::from_values({5.0f});
+  Tensor dy = Tensor::randn({1, 2, 8, 8}, rng);
+  m.forward(x, lead);
+  Tensor dx = m.backward(dy);
+  testing::check_grad(
+      x, dy, [&] { return m.forward(x, lead); }, dx, 8e-3f,
+      /*max_probes=*/24);
+}
+
+TEST(OrbitModel, CheckpointingMatchesPlainTraining) {
+  VitConfig cfg = micro_config();
+  OrbitModel plain(cfg), ckpt(cfg);
+  ckpt.set_checkpointing(true);
+  Rng rng(6);
+  Tensor x = Tensor::randn({1, 3, 8, 8}, rng);
+  Tensor lead = Tensor::from_values({3.0f});
+  Tensor dy = Tensor::randn({1, 2, 8, 8}, rng);
+
+  Tensor y1 = plain.forward(x, lead);
+  plain.backward(dy);
+  Tensor y2 = ckpt.forward(x, lead);
+  ckpt.backward(dy);
+
+  EXPECT_LT(max_abs_diff(y1, y2), 1e-6f);
+  auto p1 = plain.params();
+  auto p2 = ckpt.params();
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_LT(max_abs_diff(p1[i]->grad, p2[i]->grad), 1e-5f) << p1[i]->name;
+  }
+}
+
+TEST(OrbitModel, ZeroGradClearsEverything) {
+  VitConfig cfg = micro_config();
+  OrbitModel m(cfg);
+  Rng rng(7);
+  Tensor x = Tensor::randn({1, 3, 8, 8}, rng);
+  m.forward(x, Tensor::from_values({1.0f}));
+  m.backward(Tensor::ones({1, 2, 8, 8}));
+  m.zero_grad();
+  for (Param* p : m.params()) {
+    EXPECT_EQ(max_abs(p->grad), 0.0f) << p->name;
+  }
+}
+
+TEST(OrbitModel, ParamNamesAreUnique) {
+  VitConfig cfg = micro_config();
+  OrbitModel m(cfg);
+  std::set<std::string> names;
+  for (Param* p : m.params()) {
+    EXPECT_TRUE(names.insert(p->name).second) << "duplicate " << p->name;
+  }
+}
+
+TEST(Checkpoint, SaveLoadRoundTrips) {
+  VitConfig cfg = micro_config();
+  OrbitModel a(cfg);
+  const std::string path = ::testing::TempDir() + "/orbit_ckpt_test.bin";
+  save_checkpoint(path, a.params());
+
+  VitConfig cfg2 = cfg;
+  cfg2.seed = 999;  // different init
+  OrbitModel b(cfg2);
+  load_checkpoint(path, b.params());
+
+  Rng rng(8);
+  Tensor x = Tensor::randn({1, 3, 8, 8}, rng);
+  Tensor lead = Tensor::from_values({2.0f});
+  EXPECT_EQ(max_abs_diff(a.forward(x, lead), b.forward(x, lead)), 0.0f);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsArchitectureMismatch) {
+  VitConfig cfg = micro_config();
+  OrbitModel a(cfg);
+  const std::string path = ::testing::TempDir() + "/orbit_ckpt_bad.bin";
+  save_checkpoint(path, a.params());
+
+  VitConfig other = cfg;
+  other.embed = 32;  // different width
+  OrbitModel b(other);
+  EXPECT_THROW(load_checkpoint(path, b.params()), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  VitConfig cfg = micro_config();
+  OrbitModel m(cfg);
+  EXPECT_THROW(load_checkpoint("/nonexistent/dir/x.bin", m.params()),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace orbit::model

@@ -1,0 +1,155 @@
+#include "parallel/ddp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "comm/world.hpp"
+#include "metrics/metrics.hpp"
+#include "model/vit.hpp"
+#include "tensor/ops.hpp"
+#include "train/trainer.hpp"
+
+namespace orbit::parallel {
+namespace {
+
+model::VitConfig micro() {
+  model::VitConfig c = model::tiny_test();
+  c.image_h = 8;
+  c.image_w = 8;
+  c.patch = 4;
+  c.in_channels = 2;
+  c.out_channels = 2;
+  c.embed = 16;
+  c.layers = 2;
+  c.heads = 4;
+  return c;
+}
+
+train::Batch global_batch(const model::VitConfig& cfg, std::int64_t b,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  train::Batch batch;
+  batch.inputs =
+      Tensor::randn({b, cfg.in_channels, cfg.image_h, cfg.image_w}, rng);
+  batch.targets = scale(batch.inputs, 0.5f);
+  batch.lead_days = Tensor::full({b}, 1.0f);
+  return batch;
+}
+
+train::Batch shard_batch(const train::Batch& g, int rank, int world) {
+  const std::int64_t each = g.inputs.dim(0) / world;
+  train::Batch b;
+  b.inputs = slice(g.inputs, 0, rank * each, (rank + 1) * each);
+  b.targets = slice(g.targets, 0, rank * each, (rank + 1) * each);
+  b.lead_days = slice(g.lead_days, 0, rank * each, (rank + 1) * each);
+  return b;
+}
+
+class DdpEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(DdpEquivalence, MatchesSerialLargeBatchTraining) {
+  const int world = GetParam();
+  const model::VitConfig cfg = micro();
+  const std::int64_t global_b = 2 * world;
+  train::Batch gbatch = global_batch(cfg, global_b, 42);
+
+  train::TrainerConfig tcfg;
+  tcfg.adamw.lr = 1e-3f;
+  tcfg.clip_norm = 0.0;
+
+  // DDP: each rank trains its shard and averages gradients.
+  std::vector<std::vector<double>> rank_losses(
+      static_cast<std::size_t>(world));
+  comm::run_spmd(world, [&](comm::RankContext& ctx) {
+    model::OrbitModel m(cfg);
+    DdpEngine ddp(m.params(), ctx.world_group());
+    train::AdamWConfig acfg;
+    acfg.lr = 1e-3f;
+    train::AdamW opt(m.params(), acfg);
+    Tensor lat = metrics::latitude_weights(cfg.image_h);
+    train::Batch local = shard_batch(gbatch, ctx.rank(), world);
+
+    for (int i = 0; i < 4; ++i) {
+      m.zero_grad();
+      Tensor pred = m.forward(local.inputs, local.lead_days);
+      Tensor dy = metrics::wmse_grad(pred, local.targets, lat);
+      m.backward(dy);
+      ddp.sync_grads();
+      opt.step();
+      // Evaluate on the GLOBAL batch for the comparison.
+      Tensor gp = m.forward(gbatch.inputs, gbatch.lead_days);
+      rank_losses[static_cast<std::size_t>(ctx.rank())].push_back(
+          metrics::wmse(gp, gbatch.targets, lat));
+    }
+  });
+
+  // Serial reference on the full batch: compare each rank's post-update
+  // global loss against the serial post-update loss.
+  model::OrbitModel serial(cfg);
+  train::Trainer ref(serial, tcfg);
+  for (int i = 0; i < 4; ++i) {
+    ref.train_step(gbatch);
+    const double serial_eval = ref.eval_loss(gbatch);
+    for (int r = 0; r < world; ++r) {
+      EXPECT_NEAR(rank_losses[static_cast<std::size_t>(r)]
+                             [static_cast<std::size_t>(i)],
+                  serial_eval, 5e-5 + 1e-3 * serial_eval)
+          << "rank " << r << " step " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Worlds, DdpEquivalence, ::testing::Values(1, 2, 4));
+
+TEST(Ddp, BucketingSplitsLargeParamSets) {
+  comm::run_spmd(2, [&](comm::RankContext& ctx) {
+    model::Param a("a", Tensor::ones({600}));
+    model::Param b("b", Tensor::ones({600}));
+    model::Param c("c", Tensor::ones({600}));
+    a.grad.fill_(static_cast<float>(ctx.rank()));
+    b.grad.fill_(1.0f);
+    c.grad.fill_(2.0f);
+    DdpOptions opts;
+    opts.bucket_elems = 1000;  // two params never fit one bucket
+    DdpEngine ddp({&a, &b, &c}, ctx.world_group(), opts);
+    ddp.sync_grads();
+    EXPECT_EQ(ddp.buckets_used(), 3);
+    EXPECT_FLOAT_EQ(a.grad[0], 0.5f);  // avg of 0 and 1
+    EXPECT_FLOAT_EQ(b.grad[0], 1.0f);
+    EXPECT_FLOAT_EQ(c.grad[0], 2.0f);
+  });
+}
+
+TEST(Ddp, SingleBucketWhenAllFit) {
+  comm::run_spmd(2, [&](comm::RankContext& ctx) {
+    model::Param a("a", Tensor::ones({10}));
+    model::Param b("b", Tensor::ones({10}));
+    a.grad.fill_(static_cast<float>(ctx.rank()));
+    b.grad.fill_(static_cast<float>(ctx.rank()));
+    DdpEngine ddp({&a, &b}, ctx.world_group());
+    ddp.sync_grads();
+    EXPECT_EQ(ddp.buckets_used(), 1);
+    EXPECT_FLOAT_EQ(a.grad[0], 0.5f);
+  });
+}
+
+TEST(Ddp, BroadcastParamsAlignsReplicas) {
+  comm::run_spmd(3, [&](comm::RankContext& ctx) {
+    model::Param p("p", Tensor::full({4}, static_cast<float>(ctx.rank())));
+    DdpEngine ddp({&p}, ctx.world_group());
+    ddp.broadcast_params();
+    for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(p.value[i], 0.0f);
+  });
+}
+
+TEST(Ddp, NoopOnSingleRank) {
+  comm::run_spmd(1, [&](comm::RankContext& ctx) {
+    model::Param p("p", Tensor::ones({4}));
+    p.grad.fill_(3.0f);
+    DdpEngine ddp({&p}, ctx.world_group());
+    ddp.sync_grads();
+    EXPECT_FLOAT_EQ(p.grad[0], 3.0f);
+  });
+}
+
+}  // namespace
+}  // namespace orbit::parallel

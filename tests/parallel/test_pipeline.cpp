@@ -1,0 +1,148 @@
+#include "parallel/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "comm/world.hpp"
+#include "tensor/ops.hpp"
+#include "train/optimizer.hpp"
+
+namespace orbit::parallel {
+namespace {
+
+model::VitConfig tower_cfg() {
+  model::VitConfig c = model::tiny_test();
+  c.embed = 16;
+  c.layers = 4;
+  c.heads = 4;
+  return c;
+}
+
+Tensor mse_grad(const Tensor& y, const Tensor& target) {
+  return scale(sub(y, target), 2.0f / static_cast<float>(y.numel()));
+}
+
+class PipelineEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineEquivalence, ForwardMatchesSerial) {
+  const int stages = GetParam();
+  const model::VitConfig cfg = tower_cfg();
+  Rng srng(cfg.seed);
+  model::TransformerTower serial("tower", cfg, srng);
+  Rng rng(3);
+  Tensor x = Tensor::randn({2, 5, cfg.embed}, rng);
+  Tensor ref = serial.forward(x);
+
+  comm::run_spmd(stages, [&](comm::RankContext& ctx) {
+    PipelineTower pipe(cfg, ctx.world_group());
+    Tensor y = pipe.forward(x);
+    if (pipe.stage() == stages - 1) {
+      ASSERT_TRUE(y.defined());
+      EXPECT_LT(max_abs_diff(y, ref), 1e-5f);
+    } else {
+      EXPECT_FALSE(y.defined());
+    }
+  });
+}
+
+TEST_P(PipelineEquivalence, TrainingMatchesSerialWithMicroBatches) {
+  const int stages = GetParam();
+  const model::VitConfig cfg = tower_cfg();
+  const std::int64_t s = 4;
+  const int kMicro = 3, kSteps = 3;
+
+  Rng drng(7);
+  std::vector<Tensor> micro_x, micro_t;
+  for (int m = 0; m < kMicro; ++m) {
+    micro_x.push_back(Tensor::randn({1, s, cfg.embed}, drng));
+    micro_t.push_back(Tensor::randn({1, s, cfg.embed}, drng));
+  }
+  Rng prng(8);
+  Tensor probe = Tensor::randn({1, s, cfg.embed}, prng);
+
+  // Serial reference: identical micro-batch accumulation.
+  Rng srng(cfg.seed);
+  model::TransformerTower serial("tower", cfg, srng);
+  train::AdamWConfig acfg;
+  acfg.lr = 2e-3f;
+  train::AdamW ref_opt(serial.params(), acfg);
+  for (int step = 0; step < kSteps; ++step) {
+    for (model::Param* p : serial.params()) p->zero_grad();
+    for (int m = 0; m < kMicro; ++m) {
+      Tensor y = serial.forward(micro_x[static_cast<std::size_t>(m)]);
+      serial.backward(
+          mse_grad(y, micro_t[static_cast<std::size_t>(m)]));
+    }
+    ref_opt.step();
+  }
+  Tensor ref_probe = serial.forward(probe);
+
+  comm::run_spmd(stages, [&](comm::RankContext& ctx) {
+    PipelineTower pipe(cfg, ctx.world_group());
+    train::AdamW opt(pipe.params(), acfg);
+    for (int step = 0; step < kSteps; ++step) {
+      pipe.zero_grad();
+      pipe.run_step(micro_x, [&](const Tensor& y, int m) {
+        return mse_grad(y, micro_t[static_cast<std::size_t>(m)]);
+      });
+      opt.step();
+    }
+    Tensor out = pipe.forward(probe);
+    if (pipe.stage() == stages - 1) {
+      EXPECT_LT(max_abs_diff(out, ref_probe), 2e-3f)
+          << "stages=" << stages;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(StageCounts, PipelineEquivalence,
+                         ::testing::Values(1, 2, 4));
+
+TEST(Pipeline, StagePartitionCoversAllLayers) {
+  const model::VitConfig cfg = tower_cfg();  // 4 layers
+  comm::run_spmd(3, [&](comm::RankContext& ctx) {
+    PipelineTower pipe(cfg, ctx.world_group());
+    // 4 layers over 3 stages: 2/1/1.
+    const std::int64_t expect[] = {2, 1, 1};
+    EXPECT_EQ(pipe.block_count(), expect[pipe.stage()]);
+    Tensor total = Tensor::full({1}, static_cast<float>(pipe.block_count()));
+    ctx.world_group().all_reduce(total, comm::ReduceOp::kSum);
+    EXPECT_FLOAT_EQ(total[0], 4.0f);
+  });
+}
+
+TEST(Pipeline, MoreStagesThanLayersRejected) {
+  // The paper's pipeline scalability limit (Sec. II).
+  const model::VitConfig cfg = tower_cfg();  // 4 layers
+  comm::run_spmd(8, [&](comm::RankContext& ctx) {
+    EXPECT_THROW(PipelineTower(cfg, ctx.world_group()),
+                 std::invalid_argument);
+  });
+}
+
+TEST(Pipeline, StageParamsPartitionTheTower) {
+  const model::VitConfig cfg = tower_cfg();
+  Rng srng(cfg.seed);
+  model::TransformerTower serial("tower", cfg, srng);
+  const std::int64_t full = serial.param_count();
+  comm::run_spmd(2, [&](comm::RankContext& ctx) {
+    PipelineTower pipe(cfg, ctx.world_group());
+    std::int64_t local = 0;
+    for (model::Param* p : pipe.params()) local += p->numel();
+    Tensor t = Tensor::full({1}, static_cast<float>(local));
+    ctx.world_group().all_reduce(t, comm::ReduceOp::kSum);
+    EXPECT_FLOAT_EQ(t[0], static_cast<float>(full));
+  });
+}
+
+TEST(Pipeline, EmptyMicroBatchesThrow) {
+  const model::VitConfig cfg = tower_cfg();
+  comm::run_spmd(1, [&](comm::RankContext& ctx) {
+    PipelineTower pipe(cfg, ctx.world_group());
+    EXPECT_THROW(
+        pipe.run_step({}, [](const Tensor& y, int) { return y; }),
+        std::invalid_argument);
+  });
+}
+
+}  // namespace
+}  // namespace orbit::parallel

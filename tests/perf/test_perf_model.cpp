@@ -1,0 +1,293 @@
+#include "perf/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace orbit::perf {
+namespace {
+
+TEST(Machine, RingCollectiveFormulas) {
+  // Single rank: free.
+  EXPECT_EQ(ring_gather_time(1e9, 1, 1e9, 1e-6), 0.0);
+  // Two ranks at 1 GB/s: half the payload crosses once.
+  EXPECT_NEAR(ring_gather_time(1e9, 2, 1e9, 0.0), 0.5, 1e-9);
+  // All-reduce is exactly two gathers.
+  EXPECT_DOUBLE_EQ(ring_allreduce_time(1e9, 4, 1e9, 1e-6),
+                   2.0 * ring_gather_time(1e9, 4, 1e9, 1e-6));
+  // Latency term scales with hop count.
+  const double small = ring_gather_time(1.0, 16, 1e12, 1e-6);
+  EXPECT_NEAR(small, 15e-6, 1e-9);
+}
+
+TEST(ScaledFamily, HitsPaperAnchors) {
+  // The interpolated family must land near the paper's four configs.
+  for (const auto& [target, layers] :
+       {std::pair{115e6, 8L}, std::pair{1e9, 8L}, std::pair{10e9, 11L},
+        std::pair{113e9, 56L}}) {
+    model::VitConfig cfg = scaled_config_for_params(target, 48);
+    EXPECT_NEAR(static_cast<double>(cfg.param_count()), target, 0.25 * target)
+        << target;
+    EXPECT_NEAR(static_cast<double>(cfg.layers), static_cast<double>(layers),
+                static_cast<double>(layers) * 0.3 + 2)
+        << target;
+  }
+}
+
+TEST(ScaledFamily, MonotoneInTarget) {
+  double prev = 0;
+  for (double p = 1e8; p < 5e11; p *= 1.7) {
+    model::VitConfig cfg = scaled_config_for_params(p, 48);
+    const double n = static_cast<double>(cfg.param_count());
+    EXPECT_GE(n, prev * 0.9) << p;  // quantisation allows small dips
+    prev = n;
+  }
+}
+
+TEST(Memory, MoreShardsLessPersistent) {
+  PerfModel pm;
+  model::VitConfig cfg = model::orbit_10b();
+  ParallelPlan p;
+  p.strategy = Strategy::kHybridStop;
+  p.micro_batch = 1;
+  p.fsdp = 8;
+  p.tp = 1;
+  const double m8 = pm.memory(cfg, p).persistent;
+  p.fsdp = 64;
+  const double m64 = pm.memory(cfg, p).persistent;
+  EXPECT_LT(m64, m8);
+}
+
+TEST(Memory, HybridTransientBeatsFsdpWrappedByTpFactor) {
+  PerfModel pm;
+  model::VitConfig cfg = model::orbit_113b();
+  ParallelPlan hs;
+  hs.strategy = Strategy::kHybridStop;
+  hs.micro_batch = 1;
+  hs.fsdp = 64;
+  hs.tp = 8;
+  ParallelPlan fw;
+  fw.strategy = Strategy::kFsdpWrapped;
+  fw.micro_batch = 1;
+  fw.fsdp = 512;
+  const double t_hs = pm.memory(cfg, hs).transient;
+  const double t_fw = pm.memory(cfg, fw).transient;
+  EXPECT_NEAR(t_hs * 8.0, t_fw, t_fw * 0.01);
+}
+
+TEST(Memory, VanillaFsdpGathersWholeModel) {
+  PerfModel pm;
+  model::VitConfig cfg = model::orbit_113b();
+  ParallelPlan p;
+  p.strategy = Strategy::kFsdpVanilla;
+  p.micro_batch = 1;
+  p.fsdp = 512;
+  // 113B params in bf16 > the 64 GB GCD: the Table I "none" row.
+  EXPECT_GT(pm.memory(cfg, p).transient, pm.machine().mem_bytes);
+  EXPECT_FALSE(pm.memory(cfg, p).fits(pm.machine()));
+}
+
+TEST(Memory, CheckpointingCutsActivations) {
+  PerfModel pm;
+  model::VitConfig cfg = model::orbit_10b();
+  ParallelPlan p;
+  p.strategy = Strategy::kHybridStop;
+  p.micro_batch = 2;
+  p.fsdp = 64;
+  p.tp = 8;
+  p.activation_checkpoint = false;
+  const double without = pm.memory(cfg, p).activations;
+  p.activation_checkpoint = true;
+  const double with = pm.memory(cfg, p).activations;
+  EXPECT_LT(with, without / 3.0);
+}
+
+TEST(Fig5Regression, MaxModelSizeOrderingAndBands) {
+  // Paper Fig. 5 at 512 GPUs: FSDP ~20B, TP ~73B, Hybrid-STOP ~143B.
+  PerfModel pm;
+  const double fsdp = pm.max_model_params(Strategy::kFsdpVanilla, 512, 48);
+  const double tp = pm.max_model_params(Strategy::kTensorParallel, 512, 48);
+  const double hs = pm.max_model_params(Strategy::kHybridStop, 512, 48);
+  EXPECT_LT(fsdp, tp);
+  EXPECT_LT(tp, hs);
+  EXPECT_NEAR(fsdp, 20e9, 10e9);
+  EXPECT_NEAR(tp, 73e9, 30e9);
+  EXPECT_NEAR(hs, 143e9, 45e9);
+}
+
+TEST(Fig5Regression, CapsGrowWithGpuCount) {
+  PerfModel pm;
+  double prev_hs = 0;
+  for (int gpus : {8, 64, 512}) {
+    const double hs = pm.max_model_params(Strategy::kHybridStop, gpus, 48);
+    EXPECT_GT(hs, prev_hs);
+    prev_hs = hs;
+  }
+  // TP saturates once the head count caps the group size.
+  const double tp64 = pm.max_model_params(Strategy::kTensorParallel, 64, 48);
+  const double tp512 = pm.max_model_params(Strategy::kTensorParallel, 512, 48);
+  EXPECT_NEAR(tp512, tp64, tp64 * 0.05);
+}
+
+TEST(TableIRegression, OptimizationLadder) {
+  // Table I: 113B on 512 GPUs. none -> OOM; each optimization reduces the
+  // per-observation walltime; the full stack lands near 0.17 s.
+  PerfModel pm;
+  model::VitConfig cfg = model::orbit_113b();
+
+  ParallelPlan vanilla;
+  vanilla.strategy = Strategy::kFsdpVanilla;
+  vanilla.fsdp = 512;
+  vanilla.mixed_precision = false;
+  vanilla.prefetch = false;
+  vanilla.activation_checkpoint = false;
+  EXPECT_TRUE(pm.step_time(cfg, vanilla).oom);
+
+  ParallelPlan base;
+  base.strategy = Strategy::kHybridStop;
+  base.fsdp = 64;
+  base.tp = 8;
+  base.mixed_precision = false;
+  base.prefetch = false;
+  base.activation_checkpoint = false;
+  const double wrap = pm.step_time(cfg, base).per_sample;
+  base.mixed_precision = true;
+  const double mixed = pm.step_time(cfg, base).per_sample;
+  base.prefetch = true;
+  const double prefetch = pm.step_time(cfg, base).per_sample;
+  base.activation_checkpoint = true;
+  const double all = pm.step_time(cfg, base).per_sample;
+
+  EXPECT_GT(wrap, mixed);
+  EXPECT_GT(mixed, prefetch);
+  EXPECT_GE(prefetch, all * 0.99);
+  // Bands around the paper's 0.97 / 0.49 / 0.40 / 0.17 seconds.
+  EXPECT_NEAR(wrap, 0.97, 0.5);
+  EXPECT_NEAR(mixed, 0.49, 0.25);
+  EXPECT_NEAR(prefetch, 0.40, 0.22);
+  EXPECT_NEAR(all, 0.17, 0.09);
+}
+
+TEST(Fig6Regression, ParallelConfigSweepShape) {
+  // Fig. 6: at 512 GPUs / 113B, heavy inter-node TP is far slower than the
+  // hierarchical optimum; the paper reports a 25x spread.
+  PerfModel pm;
+  model::VitConfig cfg = model::orbit_113b();
+  auto time_for = [&](int fsdp, int tp) {
+    ParallelPlan p;
+    p.strategy = Strategy::kHybridStop;
+    p.fsdp = fsdp;
+    p.tp = tp;
+    auto e = pm.step_time(cfg, p);
+    EXPECT_FALSE(e.oom) << fsdp << "x" << tp;
+    return e.per_sample;
+  };
+  const double best = time_for(64, 8);
+  const double worst = time_for(2, 256);
+  EXPECT_GT(worst / best, 10.0);
+  EXPECT_LT(worst / best, 60.0);
+  // Monotone degradation beyond the node boundary.
+  EXPECT_LT(time_for(32, 16), time_for(16, 32));
+  EXPECT_LT(time_for(16, 32), time_for(8, 64));
+}
+
+TEST(Fig7Regression, StrongScalingEfficiencyBands) {
+  // Fig. 7(a): efficiency at 49,152 GPUs vs the 512-GPU baseline stays
+  // within a 35-90% band for all four model sizes (paper: 44-82%).
+  PerfModel pm;
+  for (const auto& cfg : {model::orbit_115m(), model::orbit_1b(),
+                          model::orbit_10b(), model::orbit_113b()}) {
+    ParallelPlan p512 = pm.default_plan(Strategy::kHybridStop, 512, cfg);
+    ParallelPlan p49k = pm.default_plan(Strategy::kHybridStop, 49152, cfg);
+    const auto e512 = pm.step_time_fixed_global_batch(cfg, p512, 2880);
+    const auto e49k = pm.step_time_fixed_global_batch(cfg, p49k, 2880);
+    ASSERT_FALSE(e512.oom) << cfg.name;
+    ASSERT_FALSE(e49k.oom) << cfg.name;
+    const double eff =
+        e512.per_sample / e49k.per_sample * 512.0 / 49152.0;
+    EXPECT_GT(eff, 0.35) << cfg.name;
+    EXPECT_LT(eff, 0.95) << cfg.name;
+    // Larger clusters are still absolutely faster per sample.
+    EXPECT_LT(e49k.per_sample, e512.per_sample) << cfg.name;
+  }
+}
+
+TEST(Fig7Regression, PaperThroughputAnchors) {
+  // 113B at 49,152 GPUs, 48 channels: paper reports 3e-3 s/sample.
+  PerfModel pm;
+  model::VitConfig big = model::orbit_113b();
+  ParallelPlan p = pm.default_plan(Strategy::kHybridStop, 49152, big);
+  const auto e = pm.step_time_fixed_global_batch(big, p, 2880);
+  ASSERT_FALSE(e.oom);
+  EXPECT_GT(e.per_sample, 1e-3);
+  EXPECT_LT(e.per_sample, 1e-2);
+}
+
+TEST(Fig7Regression, MoreChannelsSlower) {
+  // Fig. 7(b): 91-channel runs take longer per observation than 48-channel.
+  PerfModel pm;
+  model::VitConfig c48 = model::orbit_113b();
+  model::VitConfig c91 = c48;
+  c91.in_channels = 91;
+  c91.out_channels = 91;
+  ParallelPlan p = pm.default_plan(Strategy::kHybridStop, 49152, c48);
+  const auto e48 = pm.step_time_fixed_global_batch(c48, p, 2880);
+  const auto e91 = pm.step_time_fixed_global_batch(c91, p, 2880);
+  EXPECT_GT(e91.per_sample, e48.per_sample);
+}
+
+TEST(StepTime, TpBeyondHeadsInfeasibleForMegatronOnly) {
+  PerfModel pm;
+  model::VitConfig cfg = model::orbit_113b();  // 64 heads
+  ParallelPlan tp;
+  tp.strategy = Strategy::kTensorParallel;
+  tp.tp = 128;
+  tp.ddp = 4;
+  EXPECT_TRUE(pm.step_time(cfg, tp).oom);
+
+  ParallelPlan hs;
+  hs.strategy = Strategy::kHybridStop;
+  hs.tp = 128;
+  hs.fsdp = 4;
+  EXPECT_FALSE(pm.step_time(cfg, hs).oom);  // the paper's key claim
+}
+
+TEST(StepTime, MicroBatchCapRespected) {
+  PerfModel pm;
+  model::VitConfig cfg = model::orbit_1b();
+  ParallelPlan p = pm.default_plan(Strategy::kHybridStop, 512, cfg);
+  p.micro_batch_cap = 1;
+  const auto e = pm.step_time(cfg, p);
+  ASSERT_FALSE(e.oom);
+  EXPECT_EQ(e.global_batch, p.data_shards());
+}
+
+TEST(StepTime, GradAccumulationCoversGlobalBatch) {
+  PerfModel pm;
+  model::VitConfig cfg = model::orbit_113b();
+  ParallelPlan p = pm.default_plan(Strategy::kHybridStop, 512, cfg);
+  const auto e = pm.step_time_fixed_global_batch(cfg, p, 2880);
+  ASSERT_FALSE(e.oom);
+  EXPECT_GE(e.global_batch, 2880);
+}
+
+TEST(DefaultPlan, FactorsMatchGpuCount) {
+  PerfModel pm;
+  model::VitConfig cfg = model::orbit_10b();
+  for (int gpus : {8, 64, 512, 4096, 49152}) {
+    for (Strategy s : {Strategy::kFsdpVanilla, Strategy::kTensorParallel,
+                       Strategy::kHybridStop}) {
+      ParallelPlan p = pm.default_plan(s, gpus, cfg);
+      EXPECT_EQ(p.gpus(), gpus) << strategy_name(s) << " " << gpus;
+    }
+  }
+}
+
+TEST(DefaultPlan, HybridKeepsTpWithinNode) {
+  PerfModel pm;
+  model::VitConfig cfg = model::orbit_113b();
+  ParallelPlan p = pm.default_plan(Strategy::kHybridStop, 49152, cfg);
+  EXPECT_LE(p.tp, pm.machine().gpus_per_node);
+  EXPECT_EQ(p.tp * p.fsdp * p.ddp, 49152);
+}
+
+}  // namespace
+}  // namespace orbit::perf

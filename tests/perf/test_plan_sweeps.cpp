@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "perf/perf_model.hpp"
+
+/// Behavioural sweeps of the performance model across plan knobs: these are
+/// the monotonicities the Sec. V conclusions rest on, asserted for every
+/// strategy and a grid of GPU counts rather than single anchor points.
+
+namespace orbit::perf {
+namespace {
+
+ParallelPlan hs_plan(int fsdp, int tp, int micro) {
+  ParallelPlan p;
+  p.strategy = Strategy::kHybridStop;
+  p.fsdp = fsdp;
+  p.tp = tp;
+  p.micro_batch = micro;
+  return p;
+}
+
+TEST(MemorySweep, ActivationsGrowLinearlyInBatch) {
+  PerfModel pm;
+  const model::VitConfig cfg = model::orbit_1b();
+  const double a1 = pm.memory(cfg, hs_plan(8, 8, 1)).activations;
+  const double a4 = pm.memory(cfg, hs_plan(8, 8, 4)).activations;
+  EXPECT_NEAR(a4, 4.0 * a1, 1e-6 * a4);
+}
+
+TEST(MemorySweep, MixedPrecisionHalvesWeightsAndActivations) {
+  PerfModel pm;
+  const model::VitConfig cfg = model::orbit_10b();
+  ParallelPlan fp32 = hs_plan(16, 8, 2);
+  fp32.mixed_precision = false;
+  ParallelPlan bf16 = fp32;
+  bf16.mixed_precision = true;
+  const MemoryEstimate m32 = pm.memory(cfg, fp32);
+  const MemoryEstimate m16 = pm.memory(cfg, bf16);
+  EXPECT_NEAR(m16.transient, m32.transient / 2.0, m32.transient * 0.01);
+  EXPECT_NEAR(m16.activations, m32.activations / 2.0,
+              m32.activations * 0.01);
+}
+
+TEST(MemorySweep, PrefetchDoublesTransient) {
+  PerfModel pm;
+  const model::VitConfig cfg = model::orbit_10b();
+  ParallelPlan with = hs_plan(16, 8, 1);
+  with.prefetch = true;
+  ParallelPlan without = with;
+  without.prefetch = false;
+  EXPECT_NEAR(pm.memory(cfg, with).transient,
+              2.0 * pm.memory(cfg, without).transient, 1.0);
+}
+
+TEST(MemorySweep, MoreChannelsCostInputBuffersOnly) {
+  PerfModel pm;
+  model::VitConfig c48 = model::orbit_10b();
+  model::VitConfig c91 = c48;
+  c91.in_channels = 91;
+  c91.out_channels = 91;
+  const MemoryEstimate m48 = pm.memory(c48, hs_plan(16, 8, 2));
+  const MemoryEstimate m91 = pm.memory(c91, hs_plan(16, 8, 2));
+  EXPECT_GT(m91.inputs, m48.inputs);
+  EXPECT_NEAR(m91.activations, m48.activations, 1.0);  // tower unchanged
+}
+
+class StrategyAtScale : public ::testing::TestWithParam<int> {};
+
+TEST_P(StrategyAtScale, HybridFitsWhereItShould) {
+  // At every GPU count the Hybrid-STOP capacity dominates both baselines.
+  const int gpus = GetParam();
+  PerfModel pm;
+  const double fsdp = pm.max_model_params(Strategy::kFsdpVanilla, gpus, 48);
+  const double tp = pm.max_model_params(Strategy::kTensorParallel, gpus, 48);
+  const double hs = pm.max_model_params(Strategy::kHybridStop, gpus, 48);
+  EXPECT_GE(hs, fsdp) << gpus;
+  EXPECT_GE(hs, tp * 0.99) << gpus;
+}
+
+INSTANTIATE_TEST_SUITE_P(Gpus, StrategyAtScale,
+                         ::testing::Values(1, 4, 16, 64, 256, 512));
+
+TEST(TimeSweep, ThroughputImprovesWithGpusAtFixedBatch) {
+  PerfModel pm;
+  const model::VitConfig cfg = model::orbit_10b();
+  double prev = 1e30;
+  for (int gpus : {512, 2048, 8192, 32768}) {
+    ParallelPlan p = pm.default_plan(Strategy::kHybridStop, gpus, cfg);
+    const auto e = pm.step_time_fixed_global_batch(cfg, p, 2880);
+    ASSERT_FALSE(e.oom) << gpus;
+    EXPECT_LT(e.per_sample, prev) << gpus;
+    prev = e.per_sample;
+  }
+}
+
+TEST(TimeSweep, EfficiencyNeverExceedsUnity) {
+  PerfModel pm;
+  for (const auto& cfg : {model::orbit_115m(), model::orbit_10b()}) {
+    ParallelPlan base = pm.default_plan(Strategy::kHybridStop, 512, cfg);
+    const double t512 =
+        pm.step_time_fixed_global_batch(cfg, base, 2880).per_sample;
+    for (int gpus : {1024, 4096, 16384, 49152}) {
+      ParallelPlan p = pm.default_plan(Strategy::kHybridStop, gpus, cfg);
+      const auto e = pm.step_time_fixed_global_batch(cfg, p, 2880);
+      const double eff = t512 / e.per_sample * 512.0 / gpus;
+      EXPECT_LE(eff, 1.02) << cfg.name << " @ " << gpus;
+      EXPECT_GT(eff, 0.0) << cfg.name << " @ " << gpus;
+    }
+  }
+}
+
+TEST(TimeSweep, MixedPrecisionNeverSlower) {
+  PerfModel pm;
+  const model::VitConfig cfg = model::orbit_113b();
+  for (int tp : {4, 8, 16}) {
+    ParallelPlan p = hs_plan(512 / tp, tp, -1);
+    p.micro_batch = -1;
+    p.mixed_precision = false;
+    const auto fp32 = pm.step_time(cfg, p);
+    p.mixed_precision = true;
+    const auto bf16 = pm.step_time(cfg, p);
+    if (fp32.oom || bf16.oom) continue;
+    EXPECT_LE(bf16.per_sample, fp32.per_sample * 1.001) << tp;
+  }
+}
+
+TEST(TimeSweep, DdpAxisIsCheapestPerGpu) {
+  // Fig. 4's rationale: growing the DDP axis costs less communication per
+  // step than growing the TP axis across nodes by the same factor.
+  PerfModel pm;
+  const model::VitConfig cfg = model::orbit_10b();
+  ParallelPlan ddp_heavy = hs_plan(8, 8, 1);
+  ddp_heavy.ddp = 16;  // 1024 GPUs
+  ParallelPlan tp_heavy = hs_plan(8, 128, 1);
+  tp_heavy.ddp = 1;  // 1024 GPUs
+  const auto e_ddp = pm.step_time(cfg, ddp_heavy);
+  const auto e_tp = pm.step_time(cfg, tp_heavy);
+  ASSERT_FALSE(e_ddp.oom);
+  ASSERT_FALSE(e_tp.oom);
+  EXPECT_LT(e_ddp.per_sample, e_tp.per_sample);
+}
+
+TEST(ScaledFamilySweep, ChannelsDoNotChangeTowerShape) {
+  const auto c48 = scaled_config_for_params(5e9, 48);
+  const auto c91 = scaled_config_for_params(5e9, 91);
+  EXPECT_EQ(c48.embed, c91.embed);
+  EXPECT_EQ(c48.layers, c91.layers);
+  EXPECT_GT(c91.param_count(), c48.param_count());  // embeddings grow
+}
+
+}  // namespace
+}  // namespace orbit::perf

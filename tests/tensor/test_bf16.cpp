@@ -1,0 +1,92 @@
+#include "tensor/bf16.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace orbit {
+namespace {
+
+TEST(Bf16, ExactValuesRoundTrip) {
+  // Values representable in bf16 (7 explicit mantissa bits) survive unchanged.
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, -3.5f, 256.0f, 1.0f / 128}) {
+    EXPECT_EQ(bf16_round(v), v) << v;
+  }
+}
+
+TEST(Bf16, RoundingErrorBounded) {
+  // Relative error of round-to-nearest bf16 is at most epsilon/2 = 2^-9.
+  for (float v = 0.001f; v < 100.0f; v *= 1.37f) {
+    const float r = bf16_round(v);
+    EXPECT_LE(std::fabs(r - v) / v, kBf16Epsilon / 2 + 1e-7f) << v;
+  }
+}
+
+TEST(Bf16, RoundToNearestEven) {
+  // 1 + 2^-8 sits exactly between 1.0 and 1+2^-7; ties round to even (1.0).
+  const float tie = 1.0f + 0.00390625f;
+  EXPECT_EQ(bf16_round(tie), 1.0f);
+  // 1 + 3*2^-8 ties between 1+2^-7 (odd mantissa) and 1+2^-6 (even).
+  const float tie2 = 1.0f + 3 * 0.00390625f;
+  EXPECT_EQ(bf16_round(tie2), 1.0f + 2 * 0.0078125f);
+}
+
+TEST(Bf16, PreservesSignOfZero) {
+  EXPECT_EQ(std::signbit(bf16_round(-0.0f)), true);
+  EXPECT_EQ(std::signbit(bf16_round(0.0f)), false);
+}
+
+TEST(Bf16, NanAndInfPropagate) {
+  EXPECT_TRUE(std::isnan(bf16_round(std::numeric_limits<float>::quiet_NaN())));
+  EXPECT_TRUE(std::isinf(bf16_round(std::numeric_limits<float>::infinity())));
+  EXPECT_TRUE(std::isinf(bf16_round(-std::numeric_limits<float>::infinity())));
+}
+
+TEST(Bf16, HugeValuesOverflowToInf) {
+  // Values above bf16 max (~3.39e38) overflow... but bf16 range == f32 range,
+  // so only values that round up past f32 max become inf.
+  const float near_max = 3.3e38f;
+  EXPECT_TRUE(std::isfinite(bf16_round(near_max)));
+}
+
+TEST(Bf16, SmallGradientsFlushTowardZeroGrid) {
+  // The bf16 grid near zero is much coarser than f32: denormal-range values
+  // lose precision — this is exactly the underflow the GradScaler fights.
+  const float tiny = 1e-42f;
+  const float r = bf16_round(tiny);
+  EXPECT_GE(r, 0.0f);
+}
+
+TEST(Bf16, PackUnpackRoundTrips) {
+  std::vector<float> src = {1.0f, -2.5f, 3.25f, 0.0f};
+  std::vector<Bf16> mid(src.size());
+  std::vector<float> dst(src.size());
+  bf16_pack(src, mid);
+  bf16_unpack(mid, dst);
+  for (std::size_t i = 0; i < src.size(); ++i) EXPECT_EQ(dst[i], src[i]);
+}
+
+TEST(Bf16, InplaceRoundMatchesScalar) {
+  std::vector<float> vals;
+  for (int i = 0; i < 1000; ++i) vals.push_back(0.1f * static_cast<float>(i) + 0.037f);
+  std::vector<float> copy = vals;
+  bf16_round_inplace(copy);
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    EXPECT_EQ(copy[i], bf16_round(vals[i]));
+  }
+}
+
+TEST(Bf16, MonotoneRounding) {
+  // Rounding must preserve (non-strict) order.
+  float prev = bf16_round(-50.0f);
+  for (float v = -50.0f; v < 50.0f; v += 0.173f) {
+    const float r = bf16_round(v);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+}
+
+}  // namespace
+}  // namespace orbit

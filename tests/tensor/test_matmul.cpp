@@ -1,0 +1,163 @@
+#include "tensor/matmul.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tensor/ops.hpp"
+
+namespace orbit {
+namespace {
+
+/// Triple-loop reference used to validate the blocked kernels.
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c = Tensor::zeros({m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) acc += a.at(i, p) * b.at(p, j);
+      c.at(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+TEST(Matmul, SmallKnownValues) {
+  Tensor a = Tensor::from_vector({1, 2, 3, 4}, {2, 2});
+  Tensor b = Tensor::from_vector({5, 6, 7, 8}, {2, 2});
+  Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(Matmul, IdentityIsNoop) {
+  Rng rng(1);
+  Tensor a = Tensor::randn({5, 5}, rng);
+  Tensor eye = Tensor::zeros({5, 5});
+  for (std::int64_t i = 0; i < 5; ++i) eye.at(i, i) = 1.0f;
+  EXPECT_LT(max_abs_diff(matmul(a, eye), a), 1e-6f);
+  EXPECT_LT(max_abs_diff(matmul(eye, a), a), 1e-6f);
+}
+
+TEST(Matmul, RejectsShapeMismatch) {
+  Tensor a = Tensor::zeros({2, 3});
+  Tensor b = Tensor::zeros({4, 2});
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+class MatmulShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatmulShapes, MatchesNaive) {
+  auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 1000 + k * 100 + n));
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({k, n}, rng);
+  Tensor expect = naive_matmul(a, b);
+  EXPECT_LT(max_abs_diff(matmul(a, b), expect), 1e-3f);
+}
+
+TEST_P(MatmulShapes, TnMatchesExplicitTranspose) {
+  auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m + k + n));
+  // matmul_tn(A[m,k], B[m,n]) == A^T B.
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({m, n}, rng);
+  Tensor expect = naive_matmul(transpose(a), b);
+  EXPECT_LT(max_abs_diff(matmul_tn(a, b), expect), 1e-3f);
+}
+
+TEST_P(MatmulShapes, NtMatchesExplicitTranspose) {
+  auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 7 + k * 3 + n));
+  // matmul_nt(A[m,k], B[n,k]) == A B^T.
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({n, k}, rng);
+  Tensor expect = naive_matmul(a, transpose(b));
+  EXPECT_LT(max_abs_diff(matmul_nt(a, b), expect), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeSweep, MatmulShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 7, 3),
+                      std::make_tuple(8, 8, 8), std::make_tuple(13, 31, 17),
+                      std::make_tuple(64, 64, 64), std::make_tuple(100, 1, 100),
+                      std::make_tuple(33, 129, 65),
+                      std::make_tuple(256, 64, 32)));
+
+TEST(Matmul, AccAccumulates) {
+  Rng rng(2);
+  Tensor a = Tensor::randn({4, 5}, rng);
+  Tensor b = Tensor::randn({5, 6}, rng);
+  Tensor c = Tensor::ones({4, 6});
+  matmul_acc(a, b, c);
+  Tensor expect = add(naive_matmul(a, b), Tensor::ones({4, 6}));
+  EXPECT_LT(max_abs_diff(c, expect), 1e-4f);
+}
+
+TEST(Matmul, ChainAssociativity) {
+  // The mathematical core of Hybrid-STOP (Eqn. 2): x(AB) == (xA)B and the
+  // column/row shard decomposition sum_k x A_k B_k.
+  Rng rng(9);
+  Tensor x = Tensor::randn({6, 8}, rng);
+  Tensor a = Tensor::randn({8, 10}, rng);
+  Tensor b = Tensor::randn({10, 12}, rng);
+  Tensor whole = matmul(matmul(x, a), b);
+
+  const int shards = 5;
+  auto a_cols = split(a, shards, 1);   // column shards of A
+  auto b_rows = split(b, shards, 0);   // row shards of B
+  Tensor acc = Tensor::zeros({6, 12});
+  for (int s = 0; s < shards; ++s) {
+    acc.add_(matmul(matmul(x, a_cols[static_cast<std::size_t>(s)]),
+                    b_rows[static_cast<std::size_t>(s)]));
+  }
+  EXPECT_LT(max_abs_diff(acc, whole), 1e-3f);
+}
+
+TEST(MatmulBatched, MatchesPerSlice) {
+  Rng rng(10);
+  Tensor a = Tensor::randn({3, 4, 5}, rng);
+  Tensor b = Tensor::randn({3, 5, 6}, rng);
+  Tensor c = matmul_batched(a, b);
+  ASSERT_EQ(c.dim(0), 3);
+  for (std::int64_t bi = 0; bi < 3; ++bi) {
+    Tensor as = slice(a, 0, bi, bi + 1).reshape({4, 5});
+    Tensor bs = slice(b, 0, bi, bi + 1).reshape({5, 6});
+    Tensor cs = slice(c, 0, bi, bi + 1).reshape({4, 6});
+    EXPECT_LT(max_abs_diff(cs, matmul(as, bs)), 1e-4f);
+  }
+}
+
+TEST(MatmulBatched, NtMatchesPerSlice) {
+  Rng rng(11);
+  Tensor a = Tensor::randn({2, 4, 5}, rng);
+  Tensor b = Tensor::randn({2, 6, 5}, rng);
+  Tensor c = matmul_nt_batched(a, b);
+  for (std::int64_t bi = 0; bi < 2; ++bi) {
+    Tensor as = slice(a, 0, bi, bi + 1).reshape({4, 5});
+    Tensor bs = slice(b, 0, bi, bi + 1).reshape({6, 5});
+    Tensor cs = slice(c, 0, bi, bi + 1).reshape({4, 6});
+    EXPECT_LT(max_abs_diff(cs, matmul_nt(as, bs)), 1e-4f);
+  }
+}
+
+TEST(MatmulBatched, TnMatchesPerSlice) {
+  Rng rng(12);
+  Tensor a = Tensor::randn({2, 5, 4}, rng);
+  Tensor b = Tensor::randn({2, 5, 6}, rng);
+  Tensor c = matmul_tn_batched(a, b);
+  ASSERT_EQ(c.dim(1), 4);
+  for (std::int64_t bi = 0; bi < 2; ++bi) {
+    Tensor as = slice(a, 0, bi, bi + 1).reshape({5, 4});
+    Tensor bs = slice(b, 0, bi, bi + 1).reshape({5, 6});
+    Tensor cs = slice(c, 0, bi, bi + 1).reshape({4, 6});
+    EXPECT_LT(max_abs_diff(cs, matmul_tn(as, bs)), 1e-4f);
+  }
+}
+
+}  // namespace
+}  // namespace orbit

@@ -1,0 +1,202 @@
+#include "tensor/nn_kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace orbit {
+namespace {
+
+/// Central-difference gradient check of a scalar loss sum(w * f(x)).
+/// `forward` must be a pure function of its input.
+template <typename F>
+void check_gradient(const Tensor& x, const Tensor& dy, F forward,
+                    const Tensor& analytic_dx, float tol) {
+  const float eps = 1e-3f;
+  Tensor xp = x.clone();
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const float orig = xp[i];
+    xp[i] = orig + eps;
+    Tensor fp = forward(xp);
+    xp[i] = orig - eps;
+    Tensor fm = forward(xp);
+    xp[i] = orig;
+    double num = 0.0;
+    for (std::int64_t j = 0; j < fp.numel(); ++j) {
+      num += static_cast<double>(dy[j]) * (fp[j] - fm[j]);
+    }
+    num /= 2.0 * eps;
+    EXPECT_NEAR(analytic_dx[i], num, tol) << "element " << i;
+  }
+}
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(1);
+  Tensor x = Tensor::randn({7, 11}, rng, 3.0f);
+  Tensor y = softmax_lastdim(x);
+  for (std::int64_t r = 0; r < 7; ++r) {
+    double s = 0.0;
+    for (std::int64_t j = 0; j < 11; ++j) {
+      s += y.at(r, j);
+      EXPECT_GT(y.at(r, j), 0.0f);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, InvariantToRowShift) {
+  Rng rng(2);
+  Tensor x = Tensor::randn({3, 5}, rng);
+  Tensor shifted = add_scalar(x, 100.0f);
+  EXPECT_LT(max_abs_diff(softmax_lastdim(x), softmax_lastdim(shifted)), 1e-5f);
+}
+
+TEST(Softmax, HandlesLargeLogitsWithoutOverflow) {
+  Tensor x = Tensor::from_vector({1000.0f, 999.0f, 998.0f}, {1, 3});
+  Tensor y = softmax_lastdim(x);
+  EXPECT_FALSE(has_nonfinite(y));
+  EXPECT_GT(y[0], y[1]);
+}
+
+TEST(Softmax, GradientCheck) {
+  Rng rng(3);
+  Tensor x = Tensor::randn({4, 6}, rng);
+  Tensor dy = Tensor::randn({4, 6}, rng);
+  Tensor y = softmax_lastdim(x);
+  Tensor dx = softmax_lastdim_backward(y, dy);
+  check_gradient(
+      x, dy, [](const Tensor& t) { return softmax_lastdim(t); }, dx, 2e-3f);
+}
+
+TEST(Gelu, KnownValues) {
+  Tensor x = Tensor::from_values({0.0f});
+  EXPECT_FLOAT_EQ(gelu(x)[0], 0.0f);
+  // gelu(x) -> x for large x, -> 0 for very negative x.
+  Tensor big = Tensor::from_values({10.0f, -10.0f});
+  Tensor y = gelu(big);
+  EXPECT_NEAR(y[0], 10.0f, 1e-4f);
+  EXPECT_NEAR(y[1], 0.0f, 1e-4f);
+}
+
+TEST(Gelu, Monotonic_AboveMinusOne) {
+  // GeLU is monotonically increasing for x > ~-0.75.
+  for (float v = -0.7f; v < 3.0f; v += 0.1f) {
+    Tensor a = Tensor::from_values({v});
+    Tensor b = Tensor::from_values({v + 0.05f});
+    EXPECT_LT(gelu(a)[0], gelu(b)[0]);
+  }
+}
+
+TEST(Gelu, GradientCheck) {
+  Rng rng(4);
+  Tensor x = Tensor::randn({5, 5}, rng);
+  Tensor dy = Tensor::randn({5, 5}, rng);
+  Tensor dx = gelu_backward(x, dy);
+  check_gradient(x, dy, [](const Tensor& t) { return gelu(t); }, dx, 2e-3f);
+}
+
+TEST(LayerNorm, NormalisesRows) {
+  Rng rng(5);
+  Tensor x = Tensor::randn({6, 32}, rng, 5.0f);
+  Tensor gamma = Tensor::ones({32});
+  Tensor beta = Tensor::zeros({32});
+  LayerNormStats stats;
+  Tensor y = layernorm(x, gamma, beta, &stats);
+  for (std::int64_t r = 0; r < 6; ++r) {
+    double m = 0.0, v = 0.0;
+    for (std::int64_t j = 0; j < 32; ++j) m += y.at(r, j);
+    m /= 32.0;
+    for (std::int64_t j = 0; j < 32; ++j) {
+      const double d = y.at(r, j) - m;
+      v += d * d;
+    }
+    v /= 32.0;
+    EXPECT_NEAR(m, 0.0, 1e-5);
+    EXPECT_NEAR(v, 1.0, 1e-3);
+  }
+}
+
+TEST(LayerNorm, AffineApplies) {
+  Tensor x = Tensor::from_vector({1, 2, 3, 4}, {1, 4});
+  Tensor gamma = Tensor::full({4}, 2.0f);
+  Tensor beta = Tensor::full({4}, 10.0f);
+  Tensor y = layernorm(x, gamma, beta, nullptr);
+  double m = 0.0;
+  for (int j = 0; j < 4; ++j) m += y[j];
+  EXPECT_NEAR(m / 4.0, 10.0, 1e-5);  // beta shifts the mean
+}
+
+TEST(LayerNorm, InputGradientCheck) {
+  Rng rng(6);
+  Tensor x = Tensor::randn({3, 8}, rng);
+  Tensor gamma = Tensor::uniform({8}, rng, 0.5f, 1.5f);
+  Tensor beta = Tensor::randn({8}, rng);
+  Tensor dy = Tensor::randn({3, 8}, rng);
+  LayerNormStats stats;
+  layernorm(x, gamma, beta, &stats);
+  Tensor dgamma = Tensor::zeros({8});
+  Tensor dbeta = Tensor::zeros({8});
+  Tensor dx = layernorm_backward(x, gamma, stats, dy, dgamma, dbeta);
+  check_gradient(
+      x, dy,
+      [&](const Tensor& t) { return layernorm(t, gamma, beta, nullptr); }, dx,
+      5e-3f);
+}
+
+TEST(LayerNorm, ParameterGradientCheck) {
+  Rng rng(7);
+  Tensor x = Tensor::randn({3, 8}, rng);
+  Tensor gamma = Tensor::uniform({8}, rng, 0.5f, 1.5f);
+  Tensor beta = Tensor::randn({8}, rng);
+  Tensor dy = Tensor::randn({3, 8}, rng);
+  LayerNormStats stats;
+  layernorm(x, gamma, beta, &stats);
+  Tensor dgamma = Tensor::zeros({8});
+  Tensor dbeta = Tensor::zeros({8});
+  layernorm_backward(x, gamma, stats, dy, dgamma, dbeta);
+  check_gradient(
+      gamma, dy,
+      [&](const Tensor& g) { return layernorm(x, g, beta, nullptr); }, dgamma,
+      5e-3f);
+  check_gradient(
+      beta, dy, [&](const Tensor& b) { return layernorm(x, gamma, b, nullptr); },
+      dbeta, 5e-3f);
+}
+
+TEST(LayerNorm, BackwardAccumulatesParamGrads) {
+  Rng rng(8);
+  Tensor x = Tensor::randn({2, 4}, rng);
+  Tensor gamma = Tensor::ones({4});
+  Tensor beta = Tensor::zeros({4});
+  Tensor dy = Tensor::randn({2, 4}, rng);
+  LayerNormStats stats;
+  layernorm(x, gamma, beta, &stats);
+  Tensor dg1 = Tensor::zeros({4}), db1 = Tensor::zeros({4});
+  layernorm_backward(x, gamma, stats, dy, dg1, db1);
+  // Second call adds on top (gradient accumulation semantics).
+  layernorm_backward(x, gamma, stats, dy, dg1, db1);
+  Tensor dg2 = Tensor::zeros({4}), db2 = Tensor::zeros({4});
+  layernorm_backward(x, gamma, stats, dy, dg2, db2);
+  EXPECT_LT(max_abs_diff(dg1, scale(dg2, 2.0f)), 1e-5f);
+  EXPECT_LT(max_abs_diff(db1, scale(db2, 2.0f)), 1e-5f);
+}
+
+TEST(LogSumExp, MatchesDirectComputation) {
+  Tensor x = Tensor::from_vector({0.0f, 1.0f, 2.0f}, {1, 3});
+  Tensor l = logsumexp_lastdim(x);
+  const double expect =
+      std::log(std::exp(0.0) + std::exp(1.0) + std::exp(2.0));
+  EXPECT_NEAR(l[0], expect, 1e-5);
+}
+
+TEST(LogSumExp, StableForHugeValues) {
+  Tensor x = Tensor::from_vector({1e4f, 1e4f}, {1, 2});
+  Tensor l = logsumexp_lastdim(x);
+  EXPECT_FALSE(has_nonfinite(l));
+  EXPECT_NEAR(l[0], 1e4f + std::log(2.0), 1.0);
+}
+
+}  // namespace
+}  // namespace orbit

@@ -1,0 +1,189 @@
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace orbit {
+namespace {
+
+TEST(Ops, AddSubMul) {
+  Tensor a = Tensor::from_vector({1, 2, 3, 4}, {2, 2});
+  Tensor b = Tensor::from_vector({4, 3, 2, 1}, {2, 2});
+  Tensor s = add(a, b);
+  Tensor d = sub(a, b);
+  Tensor m = mul(a, b);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(s[i], 5.0f);
+    EXPECT_FLOAT_EQ(d[i], a[i] - b[i]);
+    EXPECT_FLOAT_EQ(m[i], a[i] * b[i]);
+  }
+}
+
+TEST(Ops, ScaleAndAddScalar) {
+  Tensor a = Tensor::from_values({1, -2, 3});
+  Tensor s = scale(a, 2.0f);
+  Tensor p = add_scalar(a, 1.0f);
+  EXPECT_FLOAT_EQ(s[1], -4.0f);
+  EXPECT_FLOAT_EQ(p[1], -1.0f);
+  // Out-of-place: original untouched.
+  EXPECT_FLOAT_EQ(a[1], -2.0f);
+}
+
+TEST(Ops, SumMeanMaxAbs) {
+  Tensor a = Tensor::from_values({1, -5, 3, 1});
+  EXPECT_FLOAT_EQ(sum(a), 0.0f);
+  EXPECT_FLOAT_EQ(mean(a), 0.0f);
+  EXPECT_FLOAT_EQ(max_abs(a), 5.0f);
+  EXPECT_DOUBLE_EQ(sum_sq(a), 1 + 25 + 9 + 1);
+}
+
+TEST(Ops, HasNonfinite) {
+  Tensor a = Tensor::from_values({1, 2, 3});
+  EXPECT_FALSE(has_nonfinite(a));
+  a[1] = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(has_nonfinite(a));
+  a[1] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(has_nonfinite(a));
+}
+
+TEST(Ops, ColumnSum) {
+  Tensor a = Tensor::from_vector({1, 2, 3, 4, 5, 6}, {2, 3});
+  Tensor c = column_sum(a);
+  EXPECT_FLOAT_EQ(c[0], 5.0f);
+  EXPECT_FLOAT_EQ(c[1], 7.0f);
+  EXPECT_FLOAT_EQ(c[2], 9.0f);
+}
+
+TEST(Ops, Transpose) {
+  Rng rng(3);
+  Tensor a = Tensor::randn({37, 53}, rng);
+  Tensor t = transpose(a);
+  ASSERT_EQ(t.dim(0), 53);
+  ASSERT_EQ(t.dim(1), 37);
+  for (std::int64_t i = 0; i < 37; ++i) {
+    for (std::int64_t j = 0; j < 53; ++j) {
+      EXPECT_EQ(t.at(j, i), a.at(i, j));
+    }
+  }
+}
+
+TEST(Ops, TransposeTwiceIsIdentity) {
+  Rng rng(5);
+  Tensor a = Tensor::randn({19, 31}, rng);
+  EXPECT_EQ(max_abs_diff(transpose(transpose(a)), a), 0.0f);
+}
+
+TEST(Ops, Permute2DMatchesTranspose) {
+  Rng rng(4);
+  Tensor a = Tensor::randn({7, 9}, rng);
+  EXPECT_EQ(max_abs_diff(permute(a, {1, 0}), transpose(a)), 0.0f);
+}
+
+TEST(Ops, Permute4D) {
+  Rng rng(4);
+  Tensor a = Tensor::randn({2, 3, 4, 5}, rng);
+  Tensor p = permute(a, {0, 2, 1, 3});  // the attention head split pattern
+  ASSERT_EQ(p.dim(0), 2);
+  ASSERT_EQ(p.dim(1), 4);
+  ASSERT_EQ(p.dim(2), 3);
+  ASSERT_EQ(p.dim(3), 5);
+  for (std::int64_t b = 0; b < 2; ++b) {
+    for (std::int64_t i = 0; i < 3; ++i) {
+      for (std::int64_t j = 0; j < 4; ++j) {
+        for (std::int64_t k = 0; k < 5; ++k) {
+          EXPECT_EQ(p.at(b, j, i, k), a.at(b, i, j, k));
+        }
+      }
+    }
+  }
+}
+
+TEST(Ops, PermuteRoundTrip) {
+  Rng rng(11);
+  Tensor a = Tensor::randn({3, 4, 5, 6}, rng);
+  Tensor p = permute(permute(a, {2, 0, 3, 1}), {1, 3, 0, 2});
+  EXPECT_EQ(max_abs_diff(p, a), 0.0f);
+}
+
+TEST(Ops, Permute3D) {
+  Rng rng(12);
+  Tensor a = Tensor::randn({3, 4, 5}, rng);
+  Tensor p = permute(a, {2, 0, 1});
+  ASSERT_EQ(p.dim(0), 5);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    for (std::int64_t j = 0; j < 4; ++j) {
+      for (std::int64_t k = 0; k < 5; ++k) {
+        EXPECT_EQ(p.at(k, i, j), a.at(i, j, k));
+      }
+    }
+  }
+}
+
+TEST(Ops, ConcatAxis0) {
+  Tensor a = Tensor::from_vector({1, 2, 3, 4}, {2, 2});
+  Tensor b = Tensor::from_vector({5, 6}, {1, 2});
+  Tensor c = concat({a, b}, 0);
+  ASSERT_EQ(c.dim(0), 3);
+  EXPECT_FLOAT_EQ(c.at(2, 1), 6.0f);
+}
+
+TEST(Ops, ConcatAxis1) {
+  Tensor a = Tensor::from_vector({1, 2, 3, 4}, {2, 2});
+  Tensor b = Tensor::from_vector({5, 6}, {2, 1});
+  Tensor c = concat({a, b}, 1);
+  ASSERT_EQ(c.dim(1), 3);
+  EXPECT_FLOAT_EQ(c.at(0, 2), 5.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 2), 6.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 3.0f);
+}
+
+TEST(Ops, SplitInvertsConcat) {
+  Rng rng(8);
+  Tensor a = Tensor::randn({4, 6}, rng);
+  auto parts = split(a, 3, 1);
+  ASSERT_EQ(parts.size(), 3u);
+  Tensor back = concat(parts, 1);
+  EXPECT_EQ(max_abs_diff(back, a), 0.0f);
+}
+
+TEST(Ops, SplitRejectsIndivisible) {
+  Tensor a = Tensor::zeros({4, 6});
+  EXPECT_THROW(split(a, 5, 1), std::invalid_argument);
+}
+
+TEST(Ops, SliceMiddle) {
+  Tensor a = Tensor::arange(24).reshape({4, 6});
+  Tensor s = slice(a, 1, 2, 5);
+  ASSERT_EQ(s.dim(1), 3);
+  EXPECT_FLOAT_EQ(s.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(s.at(3, 2), 22.0f);
+}
+
+TEST(Ops, SliceAxis0) {
+  Tensor a = Tensor::arange(12).reshape({4, 3});
+  Tensor s = slice(a, 0, 1, 3);
+  ASSERT_EQ(s.dim(0), 2);
+  EXPECT_FLOAT_EQ(s.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(s.at(1, 2), 8.0f);
+}
+
+TEST(Ops, AddRowBroadcast) {
+  Tensor a = Tensor::zeros({2, 3});
+  Tensor b = Tensor::from_values({1, 2, 3});
+  Tensor y = add_row_broadcast(a, b);
+  EXPECT_FLOAT_EQ(y.at(0, 2), 3.0f);
+  EXPECT_FLOAT_EQ(y.at(1, 0), 1.0f);
+}
+
+TEST(Ops, AllcloseToleratesSmallError) {
+  Tensor a = Tensor::from_values({1.0f, 2.0f});
+  Tensor b = Tensor::from_values({1.0f + 1e-7f, 2.0f});
+  EXPECT_TRUE(allclose(a, b));
+  b[0] = 1.1f;
+  EXPECT_FALSE(allclose(a, b));
+}
+
+}  // namespace
+}  // namespace orbit

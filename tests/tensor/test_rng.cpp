@@ -1,0 +1,120 @@
+#include "tensor/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace orbit {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ReseedResets) {
+  Rng a(5);
+  const auto first = a.next_u64();
+  a.next_u64();
+  a.reseed(5);
+  EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng rng(11);
+  double m = 0.0, m2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    m += u;
+    m2 += u * u;
+  }
+  m /= n;
+  m2 /= n;
+  EXPECT_NEAR(m, 0.5, 5e-3);
+  EXPECT_NEAR(m2 - m * m, 1.0 / 12.0, 5e-3);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(13);
+  double m = 0.0, m2 = 0.0, m4 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    m += x;
+    m2 += x * x;
+    m4 += x * x * x * x;
+  }
+  m /= n;
+  m2 /= n;
+  m4 /= n;
+  EXPECT_NEAR(m, 0.0, 0.02);
+  EXPECT_NEAR(m2, 1.0, 0.03);
+  EXPECT_NEAR(m4, 3.0, 0.15);  // kurtosis of the standard normal
+}
+
+TEST(Rng, NormalWithMeanStddev) {
+  Rng rng(17);
+  double m = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) m += rng.normal(5.0, 0.5);
+  EXPECT_NEAR(m / n, 5.0, 0.02);
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(19);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, ForkDoesNotPerturbParent) {
+  Rng a(23);
+  Rng b(23);
+  (void)a.fork(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkedStreamsAreDecorrelated) {
+  Rng parent(29);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c1.next_u64() == c2.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng p1(31), p2(31);
+  Rng c1 = p1.fork(7), c2 = p2.fork(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(c1.next_u64(), c2.next_u64());
+}
+
+}  // namespace
+}  // namespace orbit

@@ -1,0 +1,168 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace orbit {
+namespace {
+
+TEST(Tensor, DefaultIsUndefined) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+  EXPECT_EQ(t.numel(), 0);
+}
+
+TEST(Tensor, ZerosInitialisesToZero) {
+  Tensor t = Tensor::zeros({3, 4});
+  ASSERT_TRUE(t.defined());
+  EXPECT_EQ(t.numel(), 12);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FullFillsValue) {
+  Tensor t = Tensor::full({2, 2}, 3.5f);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 3.5f);
+}
+
+TEST(Tensor, ShapeAccessors) {
+  Tensor t = Tensor::zeros({2, 3, 5});
+  EXPECT_EQ(t.ndim(), 3);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t.dim(2), 5);
+  EXPECT_EQ(t.dim(-1), 5);
+  EXPECT_EQ(t.shape_str(), "[2, 3, 5]");
+  EXPECT_THROW(t.dim(3), std::out_of_range);
+}
+
+TEST(Tensor, At2D) {
+  Tensor t = Tensor::zeros({2, 3});
+  t.at(1, 2) = 7.0f;
+  EXPECT_EQ(t[5], 7.0f);
+  EXPECT_EQ(t.at(1, 2), 7.0f);
+}
+
+TEST(Tensor, At3DAnd4D) {
+  Tensor t3 = Tensor::zeros({2, 3, 4});
+  t3.at(1, 2, 3) = 1.0f;
+  EXPECT_EQ(t3[1 * 12 + 2 * 4 + 3], 1.0f);
+  Tensor t4 = Tensor::zeros({2, 3, 4, 5});
+  t4.at(1, 2, 3, 4) = 2.0f;
+  EXPECT_EQ(t4[((1 * 3 + 2) * 4 + 3) * 5 + 4], 2.0f);
+}
+
+TEST(Tensor, CopiesShareStorage) {
+  Tensor a = Tensor::zeros({4});
+  Tensor b = a;
+  b[0] = 9.0f;
+  EXPECT_EQ(a[0], 9.0f);
+  EXPECT_TRUE(a.aliases(b));
+}
+
+TEST(Tensor, CloneIsDeep) {
+  Tensor a = Tensor::zeros({4});
+  Tensor b = a.clone();
+  b[0] = 9.0f;
+  EXPECT_EQ(a[0], 0.0f);
+  EXPECT_FALSE(a.aliases(b));
+}
+
+TEST(Tensor, ReshapeAliases) {
+  Tensor a = Tensor::arange(12);
+  Tensor b = a.reshape({3, 4});
+  EXPECT_TRUE(a.aliases(b));
+  EXPECT_EQ(b.at(2, 3), 11.0f);
+}
+
+TEST(Tensor, ReshapeInfersDim) {
+  Tensor a = Tensor::arange(12);
+  Tensor b = a.reshape({3, -1});
+  EXPECT_EQ(b.dim(1), 4);
+  Tensor c = a.reshape({-1, 6});
+  EXPECT_EQ(c.dim(0), 2);
+}
+
+TEST(Tensor, ReshapeRejectsBadShapes) {
+  Tensor a = Tensor::arange(12);
+  EXPECT_THROW(a.reshape({5, 5}), std::invalid_argument);
+  EXPECT_THROW(a.reshape({-1, -1}), std::invalid_argument);
+  EXPECT_THROW(a.reshape({-1, 5}), std::invalid_argument);
+}
+
+TEST(Tensor, ArangeValues) {
+  Tensor a = Tensor::arange(5);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(a[i], static_cast<float>(i));
+  }
+}
+
+TEST(Tensor, FromVectorChecksShape) {
+  EXPECT_THROW(Tensor::from_vector({1.0f, 2.0f}, {3}), std::invalid_argument);
+  Tensor t = Tensor::from_vector({1.0f, 2.0f, 3.0f, 4.0f}, {2, 2});
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(Tensor, AddInPlaceWithAlpha) {
+  Tensor a = Tensor::full({3}, 1.0f);
+  Tensor b = Tensor::full({3}, 2.0f);
+  a.add_(b, 0.5f);
+  for (std::int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(a[i], 2.0f);
+}
+
+TEST(Tensor, AddInPlaceRejectsMismatch) {
+  Tensor a = Tensor::zeros({3});
+  Tensor b = Tensor::zeros({4});
+  EXPECT_THROW(a.add_(b), std::invalid_argument);
+}
+
+TEST(Tensor, ScaleInPlace) {
+  Tensor a = Tensor::full({3}, 2.0f);
+  a.scale_(-1.5f);
+  for (std::int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(a[i], -3.0f);
+}
+
+TEST(Tensor, CopyFrom) {
+  Tensor a = Tensor::zeros({2, 2});
+  Tensor b = Tensor::from_vector({1, 2, 3, 4}, {4});
+  a.copy_from(b);
+  EXPECT_EQ(a.at(1, 1), 4.0f);
+}
+
+TEST(Tensor, RandnIsDeterministicGivenSeed) {
+  Rng r1(42), r2(42);
+  Tensor a = Tensor::randn({100}, r1);
+  Tensor b = Tensor::randn({100}, r2);
+  for (std::int64_t i = 0; i < 100; ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Tensor, RandnStddevScales) {
+  Rng rng(7);
+  Tensor a = Tensor::randn({20000}, rng, 2.0f);
+  double var = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) var += a[i] * a[i];
+  var /= static_cast<double>(a.numel());
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(Tensor, UniformRange) {
+  Rng rng(7);
+  Tensor a = Tensor::uniform({1000}, rng, -2.0f, 3.0f);
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_GE(a[i], -2.0f);
+    EXPECT_LT(a[i], 3.0f);
+  }
+}
+
+TEST(Tensor, NegativeShapeThrows) {
+  EXPECT_THROW(Tensor::zeros({2, -3}), std::invalid_argument);
+}
+
+TEST(Tensor, ZeroSizedTensorIsUsable) {
+  Tensor t = Tensor::zeros({0, 5});
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_TRUE(t.defined());
+}
+
+}  // namespace
+}  // namespace orbit

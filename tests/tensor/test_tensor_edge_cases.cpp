@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+/// Edge-case and aliasing-semantics tests for the tensor substrate —
+/// the behaviours the distributed engines implicitly rely on.
+
+namespace orbit {
+namespace {
+
+TEST(TensorAliasing, ReshapeSeesMutationsBothWays) {
+  Tensor a = Tensor::zeros({2, 3});
+  Tensor b = a.reshape({6});
+  a.at(1, 2) = 7.0f;
+  EXPECT_EQ(b[5], 7.0f);
+  b[0] = 3.0f;
+  EXPECT_EQ(a.at(0, 0), 3.0f);
+}
+
+TEST(TensorAliasing, CloneBreaksAliasButReshapeOfCloneDoesNot) {
+  Tensor a = Tensor::ones({4});
+  Tensor c = a.clone();
+  Tensor cr = c.reshape({2, 2});
+  c[0] = 9.0f;
+  EXPECT_EQ(a[0], 1.0f);
+  EXPECT_EQ(cr[0], 9.0f);
+}
+
+TEST(TensorAliasing, AssignmentSharesMovedTensorsRemainValid) {
+  Tensor a = Tensor::arange(4);
+  Tensor b = std::move(a);
+  EXPECT_EQ(b[3], 3.0f);
+  // Moved-from tensor is left undefined (safe default state).
+  Tensor c;
+  EXPECT_FALSE(c.defined());
+}
+
+TEST(TensorEdge, ZeroRowMatmul) {
+  Tensor a = Tensor::zeros({0, 4});
+  Tensor b = Tensor::zeros({4, 3});
+  Tensor c = matmul(a, b);
+  EXPECT_EQ(c.dim(0), 0);
+  EXPECT_EQ(c.dim(1), 3);
+  EXPECT_EQ(c.numel(), 0);
+}
+
+TEST(TensorEdge, OneByOneChain) {
+  Tensor x = Tensor::from_vector({2.0f}, {1, 1});
+  Tensor a = Tensor::from_vector({3.0f}, {1, 1});
+  Tensor b = Tensor::from_vector({5.0f}, {1, 1});
+  EXPECT_FLOAT_EQ(matmul(matmul(x, a), b)[0], 30.0f);
+}
+
+TEST(TensorEdge, SliceFullRangeIsCopy) {
+  Rng rng(1);
+  Tensor a = Tensor::randn({3, 4}, rng);
+  Tensor s = slice(a, 0, 0, 3);
+  EXPECT_EQ(max_abs_diff(s, a), 0.0f);
+  EXPECT_FALSE(s.aliases(a));  // slice materialises
+  s[0] = 99.0f;
+  EXPECT_NE(a[0], 99.0f);
+}
+
+TEST(TensorEdge, SliceEmptyRange) {
+  Tensor a = Tensor::arange(12).reshape({3, 4});
+  Tensor s = slice(a, 0, 1, 1);
+  EXPECT_EQ(s.dim(0), 0);
+  EXPECT_EQ(s.numel(), 0);
+}
+
+TEST(TensorEdge, ConcatLastAxisOfRank3) {
+  Rng rng(2);
+  Tensor a = Tensor::randn({2, 3, 4}, rng);
+  Tensor b = Tensor::randn({2, 3, 2}, rng);
+  Tensor c = concat({a, b}, 2);
+  ASSERT_EQ(c.dim(2), 6);
+  EXPECT_EQ(c.at(1, 2, 0), a.at(1, 2, 0));
+  EXPECT_EQ(c.at(1, 2, 4), b.at(1, 2, 0));
+}
+
+TEST(TensorEdge, ConcatNegativeAxis) {
+  Tensor a = Tensor::zeros({2, 2});
+  Tensor b = Tensor::ones({2, 1});
+  Tensor c = concat({a, b}, -1);
+  ASSERT_EQ(c.dim(1), 3);
+  EXPECT_FLOAT_EQ(c.at(0, 2), 1.0f);
+}
+
+TEST(TensorEdge, SplitNegativeAxisRoundTrip) {
+  Rng rng(3);
+  Tensor a = Tensor::randn({2, 6}, rng);
+  auto parts = split(a, 2, -1);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(max_abs_diff(concat(parts, -1), a), 0.0f);
+}
+
+TEST(TensorEdge, AddRowBroadcastSingleRow) {
+  Tensor a = Tensor::zeros({1, 3});
+  Tensor b = Tensor::from_values({1, 2, 3});
+  Tensor y = add_row_broadcast(a, b);
+  EXPECT_EQ(max_abs_diff(y, b.reshape({1, 3})), 0.0f);
+}
+
+TEST(TensorEdge, ColumnSumOfSingleColumn) {
+  Tensor a = Tensor::from_vector({1, 2, 3}, {3, 1});
+  Tensor s = column_sum(a);
+  ASSERT_EQ(s.numel(), 1);
+  EXPECT_FLOAT_EQ(s[0], 6.0f);
+}
+
+TEST(TensorEdge, MatmulChainAssociativityAtScale) {
+  // (xA)B == x(AB) within float tolerance at transformer-ish sizes.
+  Rng rng(4);
+  Tensor x = Tensor::randn({8, 32}, rng, 0.3f);
+  Tensor a = Tensor::randn({32, 128}, rng, 0.2f);
+  Tensor b = Tensor::randn({128, 32}, rng, 0.2f);
+  Tensor left = matmul(matmul(x, a), b);
+  Tensor right = matmul(x, matmul(a, b));
+  EXPECT_LT(max_abs_diff(left, right), 1e-3f);
+}
+
+TEST(TensorEdge, ScaleByZeroAndNegative) {
+  Tensor a = Tensor::from_values({1, -2, 3});
+  EXPECT_EQ(max_abs(scale(a, 0.0f)), 0.0f);
+  Tensor n = scale(a, -1.0f);
+  EXPECT_FLOAT_EQ(n[1], 2.0f);
+}
+
+TEST(TensorEdge, FillAfterReshapeAffectsWholeStorage) {
+  Tensor a = Tensor::arange(6);
+  Tensor b = a.reshape({2, 3});
+  b.fill_(4.0f);
+  for (int i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(a[i], 4.0f);
+}
+
+}  // namespace
+}  // namespace orbit

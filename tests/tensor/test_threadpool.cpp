@@ -1,0 +1,99 @@
+#include "tensor/threadpool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace orbit {
+namespace {
+
+TEST(ThreadPool, CoversFullRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(10000);
+  parallel_for(10000, 16, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(0, [&](std::int64_t, std::int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleElement) {
+  std::atomic<int> calls{0};
+  parallel_for(1, [&](std::int64_t b, std::int64_t e) {
+    EXPECT_EQ(b, 0);
+    EXPECT_EQ(e, 1);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, NestedCallsRunSerially) {
+  // A parallel_for issued from inside a worker must not deadlock; it runs
+  // the whole range inline.
+  std::atomic<std::int64_t> total{0};
+  parallel_for(64, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      EXPECT_TRUE(in_parallel_region());
+      parallel_for(10, 1, [&](std::int64_t b2, std::int64_t e2) {
+        total.fetch_add(e2 - b2);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 640);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial) {
+  std::vector<double> xs(100000);
+  std::iota(xs.begin(), xs.end(), 0.0);
+  std::atomic<double> par{0.0};
+  parallel_for(static_cast<std::int64_t>(xs.size()), 1024,
+               [&](std::int64_t b, std::int64_t e) {
+                 double local = 0.0;
+                 for (std::int64_t i = b; i < e; ++i) {
+                   local += xs[static_cast<std::size_t>(i)];
+                 }
+                 double cur = par.load();
+                 while (!par.compare_exchange_weak(cur, cur + local)) {
+                 }
+               });
+  const double serial = std::accumulate(xs.begin(), xs.end(), 0.0);
+  EXPECT_DOUBLE_EQ(par.load(), serial);
+}
+
+TEST(ThreadPool, SetNumThreads) {
+  const int orig = num_threads();
+  set_num_threads(2);
+  EXPECT_EQ(num_threads(), 2);
+  std::atomic<int> sum{0};
+  parallel_for(100, 1, [&](std::int64_t b, std::int64_t e) {
+    sum.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(sum.load(), 100);
+  set_num_threads(orig);
+}
+
+TEST(ThreadPool, MainThreadNotInParallelRegion) {
+  EXPECT_FALSE(in_parallel_region());
+}
+
+TEST(ThreadPool, ManySmallRegionsStress) {
+  // Regression guard for lost-wakeup bugs in the pool's epoch signalling.
+  for (int iter = 0; iter < 200; ++iter) {
+    std::atomic<int> n{0};
+    parallel_for(64, 1, [&](std::int64_t b, std::int64_t e) {
+      n.fetch_add(static_cast<int>(e - b));
+    });
+    ASSERT_EQ(n.load(), 64);
+  }
+}
+
+}  // namespace
+}  // namespace orbit

@@ -1,0 +1,46 @@
+#include "orbit.hpp"
+
+#include <gtest/gtest.h>
+
+/// Compile-and-link check of the umbrella header: a miniature end-to-end
+/// program touching one symbol from every module through `orbit.hpp` only.
+
+namespace {
+
+TEST(Umbrella, EverythingReachable) {
+  using namespace orbit;
+  // tensor
+  Rng rng(1);
+  Tensor t = Tensor::randn({2, 3}, rng);
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(bf16_round(1.0f), 1.0f);
+  // model + train
+  model::VitConfig cfg = model::tiny_test();
+  cfg.image_h = 8;
+  cfg.image_w = 8;
+  cfg.patch = 4;
+  cfg.in_channels = 2;
+  cfg.out_channels = 2;
+  model::OrbitModel m(cfg);
+  train::Trainer trainer(m, train::TrainerConfig{});
+  EXPECT_GT(m.param_count(), 0);
+  // data + metrics
+  data::ClimateFieldConfig gc;
+  gc.grid_h = 8;
+  gc.grid_w = 8;
+  gc.channels = 2;
+  data::ClimateFieldGenerator gen(gc);
+  Tensor obs = gen.observation(0);
+  EXPECT_EQ(obs.dim(0), 2);
+  EXPECT_EQ(metrics::latitude_weights(8).numel(), 8);
+  // perf
+  perf::PerfModel pm;
+  EXPECT_GT(pm.max_model_params(perf::Strategy::kHybridStop, 8, 48), 0.0);
+  // comm + core
+  comm::run_spmd(2, [&](comm::RankContext& ctx) {
+    core::HybridMesh mesh = core::HybridMesh::build(ctx, 1, 2, 1);
+    EXPECT_EQ(mesh.fsdp_group.size(), 2);
+  });
+}
+
+}  // namespace

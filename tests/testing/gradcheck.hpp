@@ -1,0 +1,66 @@
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+/// \file gradcheck.hpp
+/// Finite-difference gradient checking shared by the layer tests.
+///
+/// All checks compare against the scalar loss L = sum(dy ⊙ f(...)), whose
+/// gradient w.r.t. any upstream tensor is exactly what Module::backward(dy)
+/// produces.
+
+namespace orbit::testing {
+
+/// Indices to probe: all of them for small tensors, a seeded random subset
+/// for large ones (keeps full-model checks tractable).
+inline std::vector<std::int64_t> probe_indices(std::int64_t numel,
+                                               std::int64_t max_probes,
+                                               std::uint64_t seed) {
+  std::vector<std::int64_t> idx;
+  if (max_probes < 0 || numel <= max_probes) {
+    idx.resize(static_cast<std::size_t>(numel));
+    for (std::int64_t i = 0; i < numel; ++i) {
+      idx[static_cast<std::size_t>(i)] = i;
+    }
+    return idx;
+  }
+  Rng rng(seed);
+  for (std::int64_t i = 0; i < max_probes; ++i) {
+    idx.push_back(static_cast<std::int64_t>(
+        rng.uniform_int(static_cast<std::uint64_t>(numel))));
+  }
+  return idx;
+}
+
+/// Central-difference check of dL/dt where `target` is any tensor feeding
+/// `forward()` (an input the caller captured by reference, or a Param value).
+/// `forward` must recompute the output from current tensor contents.
+template <typename Fwd>
+void check_grad(Tensor& target, const Tensor& dy, Fwd forward,
+                const Tensor& analytic, float tol, std::int64_t max_probes = -1,
+                float eps = 1e-3f) {
+  ASSERT_EQ(analytic.numel(), target.numel());
+  const auto idx = probe_indices(target.numel(), max_probes, 0xabcdef);
+  for (const std::int64_t i : idx) {
+    const float orig = target[i];
+    target[i] = orig + eps;
+    Tensor fp = forward();
+    target[i] = orig - eps;
+    Tensor fm = forward();
+    target[i] = orig;
+    ASSERT_EQ(fp.numel(), dy.numel());
+    double num = 0.0;
+    for (std::int64_t j = 0; j < fp.numel(); ++j) {
+      num += static_cast<double>(dy[j]) * (fp[j] - fm[j]);
+    }
+    num /= 2.0 * eps;
+    EXPECT_NEAR(analytic[i], num, tol) << "grad element " << i;
+  }
+}
+
+}  // namespace orbit::testing

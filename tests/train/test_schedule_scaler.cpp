@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "train/grad_scaler.hpp"
+#include "train/schedule.hpp"
+
+namespace orbit::train {
+namespace {
+
+TEST(LrSchedule, WarmupRampsLinearly) {
+  LrSchedule s(1.0f, 10, 100);
+  EXPECT_FLOAT_EQ(s.at(0), 0.1f);
+  EXPECT_FLOAT_EQ(s.at(4), 0.5f);
+  EXPECT_FLOAT_EQ(s.at(9), 1.0f);
+}
+
+TEST(LrSchedule, CosineDecaysToMin) {
+  LrSchedule s(1.0f, 0, 100, 0.1f);
+  EXPECT_FLOAT_EQ(s.at(0), 1.0f);
+  // Midpoint of cosine = average of peak and min.
+  EXPECT_NEAR(s.at(50), 0.55f, 1e-5f);
+  EXPECT_NEAR(s.at(99), 0.1f, 0.01f);
+  EXPECT_FLOAT_EQ(s.at(100), 0.1f);
+  EXPECT_FLOAT_EQ(s.at(100000), 0.1f);  // clamps
+}
+
+TEST(LrSchedule, MonotoneDecreasingAfterWarmup) {
+  LrSchedule s(3e-4f, 20, 200);
+  float prev = s.at(20);
+  for (std::int64_t t = 21; t < 200; ++t) {
+    const float cur = s.at(t);
+    EXPECT_LE(cur, prev + 1e-9f) << t;
+    prev = cur;
+  }
+}
+
+TEST(LrSchedule, RejectsBadArguments) {
+  EXPECT_THROW(LrSchedule(1.0f, 10, 5), std::invalid_argument);
+  EXPECT_THROW(LrSchedule(1.0f, -1, 5), std::invalid_argument);
+  EXPECT_THROW(LrSchedule(1.0f, 0, 0), std::invalid_argument);
+  EXPECT_THROW(LrSchedule(0.1f, 0, 10, 0.5f), std::invalid_argument);
+}
+
+TEST(GradScaler, OverflowHalvesScaleAndSkips) {
+  GradScalerConfig cfg;
+  cfg.init_scale = 1024.0f;
+  GradScaler s(cfg);
+  EXPECT_FALSE(s.update(/*overflow=*/true));
+  EXPECT_FLOAT_EQ(s.scale(), 512.0f);
+  EXPECT_EQ(s.skipped_steps(), 1);
+}
+
+TEST(GradScaler, GrowsAfterInterval) {
+  GradScalerConfig cfg;
+  cfg.init_scale = 64.0f;
+  cfg.growth_interval = 5;
+  GradScaler s(cfg);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(s.update(false));
+    EXPECT_FLOAT_EQ(s.scale(), 64.0f);
+  }
+  EXPECT_TRUE(s.update(false));  // 5th good step -> growth
+  EXPECT_FLOAT_EQ(s.scale(), 128.0f);
+}
+
+TEST(GradScaler, OverflowResetsGrowthStreak) {
+  GradScalerConfig cfg;
+  cfg.init_scale = 64.0f;
+  cfg.growth_interval = 3;
+  GradScaler s(cfg);
+  s.update(false);
+  s.update(false);
+  s.update(true);  // streak resets, scale halves
+  EXPECT_FLOAT_EQ(s.scale(), 32.0f);
+  s.update(false);
+  s.update(false);
+  EXPECT_FLOAT_EQ(s.scale(), 32.0f);  // only 2 good since overflow
+  s.update(false);
+  EXPECT_FLOAT_EQ(s.scale(), 64.0f);
+}
+
+TEST(GradScaler, RespectsMinAndMax) {
+  GradScalerConfig cfg;
+  cfg.init_scale = 2.0f;
+  cfg.min_scale = 1.0f;
+  cfg.max_scale = 4.0f;
+  cfg.growth_interval = 1;
+  GradScaler s(cfg);
+  s.update(true);
+  s.update(true);
+  s.update(true);
+  EXPECT_FLOAT_EQ(s.scale(), 1.0f);  // floored
+  for (int i = 0; i < 10; ++i) s.update(false);
+  EXPECT_FLOAT_EQ(s.scale(), 4.0f);  // capped
+}
+
+TEST(GradScaler, RecoversUsableScaleUnderMixedOutcomes) {
+  // Alternate overflow/success: scale stays bounded and positive.
+  GradScaler s;
+  for (int i = 0; i < 100; ++i) s.update(i % 3 == 0);
+  EXPECT_GT(s.scale(), 0.0f);
+  EXPECT_LE(s.scale(), GradScalerConfig{}.max_scale);
+}
+
+}  // namespace
+}  // namespace orbit::train

@@ -1,0 +1,133 @@
+#include "train/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+
+namespace orbit::train {
+namespace {
+
+model::VitConfig micro() {
+  model::VitConfig c = model::tiny_test();
+  c.image_h = 8;
+  c.image_w = 8;
+  c.patch = 4;
+  c.in_channels = 2;
+  c.out_channels = 2;
+  c.embed = 16;
+  c.layers = 2;
+  c.heads = 4;
+  return c;
+}
+
+/// A deterministic learnable task: predict a fixed linear shift of the input.
+Batch make_batch(std::int64_t b, const model::VitConfig& cfg,
+                 std::uint64_t seed) {
+  Rng rng(seed);
+  Batch batch;
+  batch.inputs =
+      Tensor::randn({b, cfg.in_channels, cfg.image_h, cfg.image_w}, rng);
+  batch.targets = scale(batch.inputs, 0.5f);
+  batch.lead_days = Tensor::full({b}, 1.0f);
+  return batch;
+}
+
+TEST(Trainer, LossDecreasesOnLearnableTask) {
+  model::VitConfig cfg = micro();
+  model::OrbitModel m(cfg);
+  TrainerConfig tc;
+  tc.adamw.lr = 3e-3f;
+  Trainer trainer(m, tc);
+  Batch batch = make_batch(2, cfg, 1);
+  const double first = trainer.train_step(batch);
+  double last = first;
+  for (int i = 0; i < 30; ++i) last = trainer.train_step(batch);
+  EXPECT_LT(last, first * 0.5) << "first=" << first << " last=" << last;
+}
+
+TEST(Trainer, HistoryRecordsEveryStep) {
+  model::VitConfig cfg = micro();
+  model::OrbitModel m(cfg);
+  Trainer trainer(m, TrainerConfig{});
+  Batch batch = make_batch(1, cfg, 2);
+  for (int i = 0; i < 5; ++i) trainer.train_step(batch);
+  EXPECT_EQ(trainer.loss_history().size(), 5u);
+  EXPECT_EQ(trainer.steps(), 5);
+}
+
+TEST(Trainer, EvalLossDoesNotTrain) {
+  model::VitConfig cfg = micro();
+  model::OrbitModel m(cfg);
+  Trainer trainer(m, TrainerConfig{});
+  Batch batch = make_batch(1, cfg, 3);
+  const double l1 = trainer.eval_loss(batch);
+  const double l2 = trainer.eval_loss(batch);
+  EXPECT_DOUBLE_EQ(l1, l2);
+  EXPECT_EQ(trainer.steps(), 0);
+}
+
+TEST(Trainer, ScheduleDrivesLr) {
+  model::VitConfig cfg = micro();
+  model::OrbitModel m(cfg);
+  TrainerConfig tc;
+  tc.adamw.lr = 999.0f;  // overridden by the schedule
+  tc.schedule = LrSchedule(1e-2f, 2, 10);
+  Trainer trainer(m, tc);
+  Batch batch = make_batch(1, cfg, 4);
+  trainer.train_step(batch);
+  EXPECT_FLOAT_EQ(trainer.optimizer().lr(), 0.5e-2f);  // warmup step 0
+  trainer.train_step(batch);
+  EXPECT_FLOAT_EQ(trainer.optimizer().lr(), 1e-2f);
+}
+
+TEST(Trainer, MixedPrecisionTrainsComparably) {
+  model::VitConfig cfg = micro();
+  model::OrbitModel a(cfg);
+  model::OrbitModel b(cfg);
+  TrainerConfig plain;
+  plain.adamw.lr = 3e-3f;
+  TrainerConfig mixed = plain;
+  mixed.mixed_precision = true;
+  Trainer ta(a, plain), tb(b, mixed);
+  Batch batch = make_batch(2, cfg, 5);
+  double la = 0, lb = 0;
+  for (int i = 0; i < 20; ++i) {
+    la = ta.train_step(batch);
+    lb = tb.train_step(batch);
+  }
+  // BF16 training should track full precision within a loose factor.
+  EXPECT_LT(lb, ta.loss_history().front());
+  EXPECT_NEAR(lb, la, 0.5 * ta.loss_history().front() + 0.02);
+}
+
+TEST(Trainer, MixedPrecisionRecoversFromInjectedOverflow) {
+  model::VitConfig cfg = micro();
+  model::OrbitModel m(cfg);
+  TrainerConfig tc;
+  tc.mixed_precision = true;
+  tc.scaler.init_scale = 1e38f;  // scaled grads exceed f32 max -> overflow
+  Trainer trainer(m, tc);
+  Batch batch = make_batch(1, cfg, 6);
+  // Large target offset makes the loss gradient O(10), so scale 1e38
+  // pushes the scaled backward out of f32 range until backoff kicks in.
+  batch.targets = add_scalar(batch.targets, 1.0e3f);
+  for (int i = 0; i < 40; ++i) trainer.train_step(batch);
+  // Backoff must find a workable scale and then take real optimizer steps.
+  EXPECT_GT(trainer.scaler().skipped_steps(), 0);
+  EXPECT_LT(trainer.scaler().scale(), 1e38f);
+  EXPECT_GT(trainer.optimizer().steps_taken(), 0);
+}
+
+TEST(Trainer, DeterministicGivenSeeds) {
+  model::VitConfig cfg = micro();
+  model::OrbitModel m1(cfg), m2(cfg);
+  TrainerConfig tc;
+  Trainer t1(m1, tc), t2(m2, tc);
+  Batch batch = make_batch(2, cfg, 7);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(t1.train_step(batch), t2.train_step(batch));
+  }
+}
+
+}  // namespace
+}  // namespace orbit::train

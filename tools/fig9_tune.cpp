@@ -1,0 +1,46 @@
+#include <cstdio>
+#include <vector>
+#include "data/baselines.hpp"
+#include "data/dataset.hpp"
+#include "metrics/metrics.hpp"
+#include "model/vit.hpp"
+#include "train/trainer.hpp"
+using namespace orbit;
+namespace {
+constexpr std::int64_t H=16, W=32, C=6;
+data::ForecastDataset make_split(std::int64_t t0, std::int64_t t1, std::vector<float> leads) {
+  data::ClimateFieldConfig c; c.grid_h=H; c.grid_w=W; c.channels=C; c.reanalysis=true; c.seed=31;
+  data::ClimateFieldGenerator gen(c);
+  data::NormStats stats = data::compute_norm_stats(gen, 16);
+  return data::ForecastDataset(std::move(gen), t0, t1, std::move(leads), {0,1,2,3}, std::move(stats));
+}
+}
+int main(int argc, char** argv) {
+  int steps = argc>1 ? atoi(argv[1]) : 800;
+  float lr = argc>2 ? atof(argv[2]) : 3e-3f;
+  auto train_ds = make_split(0, 160, {1.f,14.f,30.f});
+  Tensor clim_all = data::compute_climatology(train_ds.generator(), 0, 640, 8);
+  data::normalize_inplace(clim_all, train_ds.stats());
+  Tensor clim = Tensor::empty({4,H,W});
+  std::copy(clim_all.data(), clim_all.data()+4*H*W, clim.data());
+  model::VitConfig cfg = model::tiny_medium();
+  cfg.image_h=H; cfg.image_w=W; cfg.in_channels=C; cfg.out_channels=4;
+  model::OrbitModel m(cfg);
+  train::TrainerConfig tc; tc.adamw.lr=lr; tc.schedule = train::LrSchedule(lr, 30, steps);
+  train::Trainer tr(m, tc);
+  data::DataLoader loader(train_ds.size(), 4, 41);
+  std::vector<std::int64_t> idx;
+  for (int s=0;s<steps;++s){ if(!loader.next(idx)){loader.new_epoch();loader.next(idx);} tr.train_step(data::collate([&](std::int64_t i){return train_ds.at(i);}, idx)); }
+  Tensor w = metrics::latitude_weights(H);
+  for (float lead : {1.f,14.f,30.f}) {
+    auto ev = make_split(200, 260, {lead});
+    std::vector<std::int64_t> ei; for (std::int64_t i=0;i<ev.size();i+=4) ei.push_back(i);
+    auto b = data::collate([&](std::int64_t i){return ev.at(i);}, ei);
+    Tensor pred = m.forward(b.inputs, b.lead_days);
+    auto a = metrics::wacc_per_channel(pred, b.targets, clim, w);
+    data::PersistenceForecast pf({0,1,2,3});
+    auto ap = metrics::wacc_per_channel(pf.predict(b.inputs), b.targets, clim, w);
+    printf("lead %4.0f: orbit %.3f %.3f %.3f %.3f | persist %.3f %.3f %.3f %.3f\n",
+      lead, a[0],a[1],a[2],a[3], ap[0],ap[1],ap[2],ap[3]);
+  }
+}

@@ -1,0 +1,24 @@
+#include <chrono>
+#include <cstdio>
+#include "model/vit.hpp"
+#include "train/trainer.hpp"
+#include "tensor/ops.hpp"
+using namespace orbit;
+int main() {
+  for (auto cfg : {model::tiny_test(), model::tiny_small(), model::tiny_medium(), model::tiny_large(), model::tiny_xlarge()}) {
+    model::OrbitModel m(cfg);
+    train::Trainer tr(m, train::TrainerConfig{});
+    Rng rng(1);
+    train::Batch b;
+    b.inputs = Tensor::randn({4, cfg.in_channels, cfg.image_h, cfg.image_w}, rng);
+    b.targets = Tensor::randn({4, cfg.out_channels, cfg.image_h, cfg.image_w}, rng);
+    b.lead_days = Tensor::full({4}, 1.0f);
+    tr.train_step(b);  // warm
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < 5; ++i) tr.train_step(b);
+    auto t1 = std::chrono::steady_clock::now();
+    printf("%s params=%lld step(batch4)=%.1f ms\n", cfg.name.c_str(),
+           (long long)m.param_count(),
+           std::chrono::duration<double, std::milli>(t1 - t0).count() / 5);
+  }
+}
