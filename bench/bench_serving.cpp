@@ -1,0 +1,136 @@
+/// Serving-plane benchmark (google-benchmark): sustained throughput and
+/// tail latency of the dynamic-batching forecast server, swept over
+/// max_batch × offered load (closed-loop client count). The acceptance
+/// claim for the subsystem — batching beats batch-1 at equal offered
+/// load — is measured here: compare items_per_second between
+/// max_batch=1 and max_batch>=8 rows at the same client count.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "model/config.hpp"
+#include "serve/server.hpp"
+
+namespace orbit {
+namespace {
+
+model::VitConfig bench_model() {
+  model::VitConfig c = model::tiny_test();
+  c.image_h = 16;
+  c.image_w = 32;
+  c.patch = 4;
+  c.in_channels = 3;
+  c.out_channels = 3;
+  return c;
+}
+
+/// One closed-loop measurement: `clients` threads each keep one request in
+/// flight for `requests_per_client` rounds.
+void BM_ServeClosedLoop(benchmark::State& state) {
+  const auto max_batch = static_cast<std::size_t>(state.range(0));
+  const int clients = static_cast<int>(state.range(1));
+  const int requests_per_client = 8;
+
+  const model::VitConfig mcfg = bench_model();
+  serve::ServerConfig scfg;
+  scfg.workers = 2;
+  scfg.queue_capacity = static_cast<std::size_t>(clients) * 2;
+  scfg.batcher.max_batch = max_batch;
+  scfg.batcher.max_wait_us = max_batch == 1 ? 0 : 2000;
+  serve::ForecastServer server(mcfg, scfg);
+
+  Rng rng(7);
+  Tensor state0 =
+      Tensor::randn({mcfg.in_channels, mcfg.image_h, mcfg.image_w}, rng);
+
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (int i = 0; i < requests_per_client; ++i) {
+          serve::ForecastRequest req;
+          req.state = state0;
+          req.lead_days = 1.0f + static_cast<float>((c + i) % 5);
+          serve::ForecastResult r = server.submit(std::move(req)).get();
+          benchmark::DoNotOptimize(r.status);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  const serve::StatsSnapshot s = server.stats();
+  state.SetItemsProcessed(state.iterations() * clients * requests_per_client);
+  state.counters["mean_batch"] = s.mean_batch_size;
+  state.counters["p95_ms"] = s.latency_p95_ms;
+  state.counters["p99_ms"] = s.latency_p99_ms;
+  state.counters["shed"] = static_cast<double>(s.shed);
+}
+
+// Sweep: max_batch ∈ {1, 4, 8, 16} × offered load (clients) ∈ {8, 16}.
+BENCHMARK(BM_ServeClosedLoop)
+    ->Args({1, 8})
+    ->Args({4, 8})
+    ->Args({8, 8})
+    ->Args({16, 8})
+    ->Args({1, 16})
+    ->Args({8, 16})
+    ->Args({16, 16})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Rollout requests (steps > 1): the batching win compounds, every step
+/// amortises over the batch.
+void BM_ServeRollout(benchmark::State& state) {
+  const auto max_batch = static_cast<std::size_t>(state.range(0));
+  const int clients = 8;
+  const int requests_per_client = 4;
+
+  const model::VitConfig mcfg = bench_model();
+  serve::ServerConfig scfg;
+  scfg.workers = 2;
+  scfg.queue_capacity = static_cast<std::size_t>(clients) * 2;
+  scfg.batcher.max_batch = max_batch;
+  scfg.batcher.max_wait_us = max_batch == 1 ? 0 : 2000;
+  serve::ForecastServer server(mcfg, scfg);
+
+  Rng rng(11);
+  Tensor state0 =
+      Tensor::randn({mcfg.in_channels, mcfg.image_h, mcfg.image_w}, rng);
+
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < requests_per_client; ++i) {
+          serve::ForecastRequest req;
+          req.state = state0;
+          req.steps = 4;
+          serve::ForecastResult r = server.submit(std::move(req)).get();
+          benchmark::DoNotOptimize(r.status);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  const serve::StatsSnapshot s = server.stats();
+  state.SetItemsProcessed(state.iterations() * clients * requests_per_client);
+  state.counters["mean_batch"] = s.mean_batch_size;
+}
+
+BENCHMARK(BM_ServeRollout)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace orbit
+
+BENCHMARK_MAIN();

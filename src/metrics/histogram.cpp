@@ -1,0 +1,99 @@
+#include "metrics/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace orbit::metrics {
+
+Histogram::Histogram(double lo, double hi, int buckets_per_decade) {
+  if (!(lo > 0.0) || !(hi > lo) || buckets_per_decade <= 0) {
+    throw std::invalid_argument("Histogram: need 0 < lo < hi and resolution");
+  }
+  lo_ = lo;
+  log_lo_ = std::log10(lo);
+  log_step_ = 1.0 / static_cast<double>(buckets_per_decade);
+  const double decades = std::log10(hi) - log_lo_;
+  const std::int64_t nb =
+      static_cast<std::int64_t>(std::ceil(decades / log_step_));
+  counts_.assign(static_cast<std::size_t>(std::max<std::int64_t>(1, nb)), 0);
+}
+
+std::int64_t Histogram::bucket_index(double value) const {
+  if (!(value > lo_)) return 0;
+  const auto i =
+      static_cast<std::int64_t>((std::log10(value) - log_lo_) / log_step_);
+  return std::clamp<std::int64_t>(
+      i, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+}
+
+double Histogram::bucket_lower(std::int64_t i) const {
+  return std::pow(10.0, log_lo_ + static_cast<double>(i) * log_step_);
+}
+
+double Histogram::bucket_upper(std::int64_t i) const {
+  return bucket_lower(i + 1);
+}
+
+void Histogram::record(double value) {
+  if (std::isnan(value)) return;
+  ++counts_[static_cast<std::size_t>(bucket_index(value))];
+  if (n_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++n_;
+  sum_ += value;
+}
+
+double Histogram::quantile(double q) const {
+  if (n_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile among n_ recorded values (1-based).
+  const double rank = q * static_cast<double>(n_ - 1) + 1.0;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double lo_rank = static_cast<double>(seen) + 1.0;
+    seen += counts_[i];
+    const double hi_rank = static_cast<double>(seen);
+    if (rank <= hi_rank) {
+      // Interpolate within the bucket, clamped to the observed extremes so
+      // quantile(0) == min() and quantile(1) == max().
+      const double frac = counts_[i] == 1
+                              ? 0.5
+                              : (rank - lo_rank) / (hi_rank - lo_rank);
+      const std::int64_t bi = static_cast<std::int64_t>(i);
+      const double lo_v = std::max(bucket_lower(bi), min_);
+      const double hi_v = std::min(bucket_upper(bi), max_);
+      return lo_v + frac * std::max(0.0, hi_v - lo_v);
+    }
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.counts_.size() != counts_.size() || other.lo_ != lo_ ||
+      other.log_step_ != log_step_) {
+    throw std::invalid_argument("Histogram::merge: incompatible bucketing");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (other.n_ > 0) {
+    min_ = n_ ? std::min(min_, other.min_) : other.min_;
+    max_ = n_ ? std::max(max_, other.max_) : other.max_;
+    n_ += other.n_;
+    sum_ += other.sum_;
+  }
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  n_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+}  // namespace orbit::metrics

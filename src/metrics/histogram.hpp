@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+/// \file histogram.hpp
+/// Log-bucketed scalar histogram for latency-style distributions that span
+/// several orders of magnitude. Buckets are geometrically spaced so that
+/// relative quantile error is bounded by the per-decade resolution, while
+/// recording stays O(1) and storage O(decades * resolution) — the standard
+/// approach of HdrHistogram-style latency trackers. Used by the serving
+/// plane's `ServerStats`; single-threaded by itself (callers synchronise).
+
+namespace orbit::metrics {
+
+class Histogram {
+ public:
+  /// Buckets cover [lo, hi) geometrically with `buckets_per_decade`
+  /// subdivisions per power of ten; values outside clamp to the edge
+  /// buckets. Defaults suit microsecond latencies from 1 us to ~100 s.
+  explicit Histogram(double lo = 1.0, double hi = 1e8,
+                     int buckets_per_decade = 32);
+
+  void record(double value);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  /// Approximate q-quantile (q in [0, 1]) by linear interpolation inside the
+  /// bucket containing the rank; exact at the recorded min/max endpoints.
+  double quantile(double q) const;
+
+  /// Accumulate another histogram with identical bucketing.
+  void merge(const Histogram& other);
+
+  void reset();
+
+ private:
+  std::int64_t bucket_index(double value) const;
+  /// [lower, upper) value bounds of bucket i.
+  double bucket_lower(std::int64_t i) const;
+  double bucket_upper(std::int64_t i) const;
+
+  double lo_;
+  double log_lo_;
+  double log_step_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace orbit::metrics

@@ -1,11 +1,12 @@
 #include "model/rollout.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace orbit::model {
+namespace {
 
-std::vector<Tensor> rollout(OrbitModel& m, const Tensor& x0, int steps,
-                            float lead_days) {
+void check_rollout_args(const OrbitModel& m, const Tensor& x0, int steps) {
   const VitConfig& cfg = m.config();
   if (cfg.out_channels != cfg.in_channels) {
     throw std::invalid_argument(
@@ -14,13 +15,28 @@ std::vector<Tensor> rollout(OrbitModel& m, const Tensor& x0, int steps,
   }
   if (steps <= 0) throw std::invalid_argument("rollout: steps must be > 0");
   if (x0.ndim() != 4) throw std::invalid_argument("rollout: x0 must be 4-D");
+}
 
+}  // namespace
+
+std::vector<Tensor> rollout(OrbitModel& m, const Tensor& x0, int steps,
+                            float lead_days) {
+  check_rollout_args(m, x0, steps);
+  return rollout(m, x0, steps, Tensor::full({x0.dim(0)}, lead_days));
+}
+
+std::vector<Tensor> rollout(OrbitModel& m, const Tensor& x0, int steps,
+                            const Tensor& lead_days) {
+  check_rollout_args(m, x0, steps);
+  if (lead_days.ndim() != 1 || lead_days.dim(0) != x0.dim(0)) {
+    throw std::invalid_argument(
+        "rollout: lead_days must be [B] matching x0's batch dimension");
+  }
   std::vector<Tensor> states;
   states.reserve(static_cast<std::size_t>(steps));
-  Tensor lead = Tensor::full({x0.dim(0)}, lead_days);
   Tensor state = x0;
   for (int s = 0; s < steps; ++s) {
-    state = m.forward(state, lead);
+    state = m.forward(state, lead_days);
     states.push_back(state);
   }
   return states;
@@ -29,6 +45,25 @@ std::vector<Tensor> rollout(OrbitModel& m, const Tensor& x0, int steps,
 Tensor rollout_to(OrbitModel& m, const Tensor& x0, int steps,
                   float lead_days) {
   return rollout(m, x0, steps, lead_days).back();
+}
+
+Tensor forecast(OrbitModel& m, const Tensor& x, const Tensor& lead_days,
+                int steps) {
+  const VitConfig& cfg = m.config();
+  if (x.ndim() != 4 || x.dim(1) != cfg.in_channels ||
+      x.dim(2) != cfg.image_h || x.dim(3) != cfg.image_w) {
+    throw std::invalid_argument(
+        "forecast: x must be [B, " + std::to_string(cfg.in_channels) + ", " +
+        std::to_string(cfg.image_h) + ", " + std::to_string(cfg.image_w) +
+        "], got " + x.shape_str());
+  }
+  if (lead_days.ndim() != 1 || lead_days.dim(0) != x.dim(0)) {
+    throw std::invalid_argument(
+        "forecast: lead_days must be [B] matching x's batch dimension");
+  }
+  if (steps <= 0) throw std::invalid_argument("forecast: steps must be > 0");
+  if (steps == 1) return m.forward(x, lead_days);
+  return rollout(m, x, steps, lead_days).back();
 }
 
 }  // namespace orbit::model

@@ -21,8 +21,24 @@ namespace orbit::model {
 std::vector<Tensor> rollout(OrbitModel& m, const Tensor& x0, int steps,
                             float lead_days);
 
+/// Per-sample-lead overload: `lead_days` is [B], each sample b advancing by
+/// its own lead every step — what the serving plane's dynamic batcher needs
+/// to coalesce requests with different leads into one model call.
+std::vector<Tensor> rollout(OrbitModel& m, const Tensor& x0, int steps,
+                            const Tensor& lead_days);
+
 /// Convenience: only the final state of the rollout.
 Tensor rollout_to(OrbitModel& m, const Tensor& x0, int steps,
                   float lead_days);
+
+/// Validated batched inference entry point (the serving plane's model call):
+/// x [B, C_in, H, W] and per-sample `lead_days` [B] are checked against the
+/// model configuration before any compute, and `steps > 1` performs an
+/// autoregressive rollout (requiring out_channels == in_channels). Inputs
+/// are never mutated; the model is non-const only because every layer
+/// caches activations for a potential backward pass, so concurrent callers
+/// must use distinct (thread-confined) model replicas.
+Tensor forecast(OrbitModel& m, const Tensor& x, const Tensor& lead_days,
+                int steps = 1);
 
 }  // namespace orbit::model

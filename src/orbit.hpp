@@ -15,6 +15,7 @@
 ///  * data/     — synthetic CMIP6/ERA5 archives, datasets, baselines
 ///  * metrics/  — wMSE, wACC, spectra, FLOPs accounting
 ///  * perf/     — calibrated Frontier performance model
+///  * serve/    — dynamic-batching forecast inference server
 
 // Tensor substrate.
 #include "tensor/bf16.hpp"
@@ -68,9 +69,17 @@
 
 // Metrics.
 #include "metrics/flops.hpp"
+#include "metrics/histogram.hpp"
 #include "metrics/metrics.hpp"
 #include "metrics/spectrum.hpp"
 
 // Performance model.
 #include "perf/machine.hpp"
 #include "perf/perf_model.hpp"
+
+// Serving plane.
+#include "serve/batcher.hpp"
+#include "serve/request.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/server.hpp"
+#include "serve/stats.hpp"

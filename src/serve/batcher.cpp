@@ -1,0 +1,126 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace orbit::serve {
+namespace {
+
+using std::chrono::microseconds;
+
+bool expired(const Pending& p, Clock::time_point now) {
+  return p.request.deadline < now;
+}
+
+}  // namespace
+
+DynamicBatcher::DynamicBatcher(RequestQueue& queue, BatcherConfig cfg,
+                               ServerStats* stats)
+    : queue_(queue), cfg_(cfg), stats_(stats) {
+  cfg_.max_batch = std::max<std::size_t>(1, cfg_.max_batch);
+  cfg_.max_wait_us = std::max<std::int64_t>(0, cfg_.max_wait_us);
+}
+
+bool DynamicBatcher::compatible(const ForecastRequest& a,
+                                const ForecastRequest& b) {
+  return a.steps == b.steps && a.state.shape() == b.state.shape();
+}
+
+void DynamicBatcher::shed(Pending&& p) {
+  ForecastResult r;
+  r.id = p.request.id;
+  r.status = Status::kShed;
+  r.error = "deadline exceeded before compute";
+  r.queue_us = std::chrono::duration<double, std::micro>(
+                   Clock::now() - p.request.enqueued_at)
+                   .count();
+  r.total_us = r.queue_us;
+  // Record before fulfilling the promise: once the waiter observes the
+  // result, a stats() snapshot must already include this request.
+  if (stats_) stats_->record_shed();
+  p.promise.set_value(std::move(r));
+}
+
+bool DynamicBatcher::admit(Pending&& p, const ForecastRequest& head,
+                           std::vector<Pending>& batch) {
+  if (cfg_.shed_expired && expired(p, Clock::now())) {
+    shed(std::move(p));
+  } else if (batch.size() < cfg_.max_batch &&
+             compatible(head, p.request)) {
+    batch.push_back(std::move(p));
+  } else {
+    stash_.push_back(std::move(p));
+  }
+  return batch.size() >= cfg_.max_batch;
+}
+
+std::vector<Pending> DynamicBatcher::next_batch() {
+  std::unique_lock<std::mutex> lk(mu_);
+  std::vector<Pending> batch;
+
+  // Phase 1: acquire a batch head — oldest stashed request first (so
+  // requests set aside by earlier batch formations cannot starve), else
+  // block on the queue until a request arrives or shutdown drains dry.
+  for (;;) {
+    while (!stash_.empty() && batch.empty()) {
+      Pending p = std::move(stash_.front());
+      stash_.pop_front();
+      if (cfg_.shed_expired && expired(p, Clock::now())) {
+        shed(std::move(p));
+      } else {
+        batch.push_back(std::move(p));
+      }
+    }
+    if (!batch.empty()) break;
+    Pending p;
+    if (queue_.pop(p, microseconds(10'000))) {
+      if (cfg_.shed_expired && expired(p, Clock::now())) {
+        shed(std::move(p));
+        continue;
+      }
+      batch.push_back(std::move(p));
+      break;
+    }
+    if (queue_.closed() && queue_.size() == 0 && stash_.empty()) {
+      return {};  // graceful shutdown: everything admitted has been served
+    }
+  }
+  // Cheap copy: Tensor is a storage handle, not a deep buffer.
+  const ForecastRequest head = batch.front().request;
+
+  // Phase 2: companions already stashed.
+  for (std::size_t i = 0; i < stash_.size() && batch.size() < cfg_.max_batch;) {
+    if (compatible(head, stash_[i].request)) {
+      batch.push_back(std::move(stash_[i]));
+      stash_.erase(stash_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+
+  // Phase 3: hold the batch open up to max_wait_us for late companions —
+  // but never past the head's deadline (deadline-aware admission: a full
+  // wait that blows the deadline sheds the very request we are holding
+  // the batch for).
+  Clock::time_point wait_end = Clock::now() + microseconds(cfg_.max_wait_us);
+  if (head.deadline < wait_end) wait_end = head.deadline;
+  std::vector<Pending> drained;
+  while (batch.size() < cfg_.max_batch) {
+    drained.clear();
+    queue_.try_drain(drained, cfg_.max_batch);
+    bool full = false;
+    for (Pending& p : drained) {
+      full = admit(std::move(p), head, batch);
+    }
+    if (full) break;
+    const Clock::time_point now = Clock::now();
+    if (now >= wait_end) break;
+    queue_.wait_nonempty(std::min(
+        microseconds(200),
+        std::chrono::duration_cast<microseconds>(wait_end - now)));
+  }
+  return batch;
+}
+
+}  // namespace orbit::serve

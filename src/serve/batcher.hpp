@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "serve/request_queue.hpp"
+#include "serve/stats.hpp"
+
+/// \file batcher.hpp
+/// Dynamic request batching: coalesce compatible pending forecasts into one
+/// [B, C, H, W] model call. Batching is where serving economics come from —
+/// the per-call fixed cost (dispatch, small-kernel inefficiency) amortises
+/// over B requests, the same lever ORBIT's fixed global batch of 2880 pulls
+/// during training. Requests with different `lead_days` coalesce freely
+/// (the model conditions on a per-sample lead vector); requests must agree
+/// on `steps` and state shape to share a call.
+
+namespace orbit::serve {
+
+struct BatcherConfig {
+  /// Largest coalesced batch per model call.
+  std::size_t max_batch = 8;
+  /// After the first request of a batch arrives, wait at most this long for
+  /// companions before dispatching a partial batch. The classic dynamic
+  /// batching latency/throughput knob: 0 degenerates to batch-as-available.
+  std::int64_t max_wait_us = 1000;
+  /// Complete requests whose deadline passed with `kShed` instead of
+  /// spending model time on an answer nobody is waiting for.
+  bool shed_expired = true;
+};
+
+class DynamicBatcher {
+ public:
+  /// `stats` may be null (standalone/unit-test use).
+  DynamicBatcher(RequestQueue& queue, BatcherConfig cfg,
+                 ServerStats* stats = nullptr);
+
+  /// Block until a batch can be formed, then return 1..max_batch mutually
+  /// compatible requests. Returns empty only when the queue is closed and
+  /// every admitted request has been handed out. Thread-safe: concurrent
+  /// workers serialise on batch formation but overlap on compute.
+  std::vector<Pending> next_batch();
+
+  /// True when a and b may share one model call.
+  static bool compatible(const ForecastRequest& a, const ForecastRequest& b);
+
+  const BatcherConfig& config() const { return cfg_; }
+
+ private:
+  /// Shed or stash one popped entry against `head`; appends to `batch` when
+  /// compatible. Returns true when the batch reached max_batch.
+  bool admit(Pending&& p, const ForecastRequest& head,
+             std::vector<Pending>& batch);
+  void shed(Pending&& p);
+
+  RequestQueue& queue_;
+  BatcherConfig cfg_;
+  ServerStats* stats_;
+
+  std::mutex mu_;  ///< one worker forms a batch at a time
+  /// Popped while forming an earlier batch but incompatible with its head;
+  /// FIFO, so stashed requests become batch heads before newer queue
+  /// entries starve them.
+  std::deque<Pending> stash_;
+};
+
+}  // namespace orbit::serve

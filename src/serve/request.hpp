@@ -1,0 +1,64 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+/// \file request.hpp
+/// Request/response types of the `orbit::serve` forecast inference plane.
+/// A request carries one initial state plus its forecast parameters; the
+/// server answers with a `ForecastResult` through a `std::future`, so
+/// clients are decoupled from batching and scheduling decisions.
+
+namespace orbit::serve {
+
+using Clock = std::chrono::steady_clock;
+
+struct ForecastRequest {
+  /// Assigned by the server at submit time when left 0.
+  std::uint64_t id = 0;
+  /// Initial condition, [C_in, H, W] normalised fields.
+  Tensor state;
+  /// Forecast lead per rollout step, in days. Requests with different leads
+  /// still batch together (the model conditions on a per-sample lead).
+  float lead_days = 1.0f;
+  /// Autoregressive steps; > 1 requires a full-state model
+  /// (out_channels == in_channels). Requests batch only with equal `steps`.
+  int steps = 1;
+  /// Completion deadline; requests past it are shed, not computed.
+  Clock::time_point deadline = Clock::time_point::max();
+  /// Stamped by the server when the request enters the queue.
+  Clock::time_point enqueued_at{};
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,    ///< forecast computed
+  kShed = 1,  ///< dropped: deadline passed before compute started
+  kError = 2  ///< rejected: server stopped or model raised
+};
+
+struct ForecastResult {
+  std::uint64_t id = 0;
+  Status status = Status::kError;
+  /// [C_out, H, W] forecast at steps * lead_days (only when kOk).
+  Tensor forecast;
+  std::string error;
+  /// Time from submit to batch formation / to completion, microseconds.
+  double queue_us = 0.0;
+  double total_us = 0.0;
+  /// Size of the dynamic batch this request was computed in (kOk only).
+  int batch_size = 0;
+};
+
+/// A queued request paired with its completion channel.
+struct Pending {
+  ForecastRequest request;
+  std::promise<ForecastResult> promise;
+};
+
+const char* status_name(Status s);
+
+}  // namespace orbit::serve

@@ -1,0 +1,89 @@
+#include "serve/request_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace orbit::serve {
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("RequestQueue: capacity must be > 0");
+  }
+}
+
+bool RequestQueue::push(Pending&& p) {
+  std::unique_lock<std::mutex> lk(mu_);
+  not_full_.wait(lk, [&] { return closed_ || q_.size() < capacity_; });
+  if (closed_) return false;
+  q_.push_back(std::move(p));
+  lk.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+bool RequestQueue::try_push(Pending&& p) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (closed_ || q_.size() >= capacity_) return false;
+    q_.push_back(std::move(p));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+bool RequestQueue::pop(Pending& out, std::chrono::microseconds timeout) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!not_empty_.wait_for(lk, timeout,
+                           [&] { return closed_ || !q_.empty(); })) {
+    return false;  // timeout
+  }
+  if (q_.empty()) return false;  // closed and drained
+  out = std::move(q_.front());
+  q_.pop_front();
+  lk.unlock();
+  not_full_.notify_one();
+  return true;
+}
+
+std::size_t RequestQueue::try_drain(std::vector<Pending>& out,
+                                    std::size_t max) {
+  std::size_t taken = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    taken = std::min(max, q_.size());
+    for (std::size_t i = 0; i < taken; ++i) {
+      out.push_back(std::move(q_.front()));
+      q_.pop_front();
+    }
+  }
+  if (taken > 0) not_full_.notify_all();
+  return taken;
+}
+
+bool RequestQueue::wait_nonempty(std::chrono::microseconds timeout) {
+  std::unique_lock<std::mutex> lk(mu_);
+  not_empty_.wait_for(lk, timeout, [&] { return closed_ || !q_.empty(); });
+  return !q_.empty();
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return closed_;
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return q_.size();
+}
+
+}  // namespace orbit::serve

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.hpp"
+
+/// \file request_queue.hpp
+/// Bounded thread-safe FIFO between client threads and the dynamic batcher.
+/// A full queue blocks producers (backpressure: closed-loop clients slow
+/// down instead of growing an unbounded backlog); `close()` starts graceful
+/// shutdown — producers fail fast while consumers drain what was admitted.
+
+namespace orbit::serve {
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity);
+
+  /// Blocks while the queue is full. Returns false (without consuming `p`)
+  /// once the queue is closed.
+  bool push(Pending&& p);
+
+  /// Non-blocking push; false when full or closed (`p` is not consumed).
+  bool try_push(Pending&& p);
+
+  /// Blocking pop with timeout. False on timeout or when closed and empty.
+  bool pop(Pending& out, std::chrono::microseconds timeout);
+
+  /// Move up to `max` immediately-available entries into `out` (appended).
+  /// Never blocks; returns the number taken.
+  std::size_t try_drain(std::vector<Pending>& out, std::size_t max);
+
+  /// Block until the queue is non-empty, closed, or the timeout elapses.
+  /// True when an entry is available.
+  bool wait_nonempty(std::chrono::microseconds timeout);
+
+  /// Reject future pushes and wake every waiter; queued entries remain
+  /// poppable so consumers can drain.
+  void close();
+
+  bool closed() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<Pending> q_;
+  bool closed_ = false;
+};
+
+}  // namespace orbit::serve

@@ -1,0 +1,177 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "model/rollout.hpp"
+
+namespace orbit::serve {
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kShed: return "shed";
+    case Status::kError: return "error";
+  }
+  return "unknown";
+}
+
+ForecastServer::ForecastServer(const model::VitConfig& model_cfg,
+                               ServerConfig cfg)
+    : model_cfg_(model_cfg),
+      cfg_(cfg),
+      stats_(std::max<std::size_t>(1, cfg.batcher.max_batch)),
+      queue_(std::max<std::size_t>(1, cfg.queue_capacity)),
+      batcher_(queue_, cfg.batcher, &stats_) {
+  cfg_.workers = std::max(1, cfg_.workers);
+  replicas_.reserve(static_cast<std::size_t>(cfg_.workers));
+  for (int i = 0; i < cfg_.workers; ++i) {
+    // Same config => same seed => bit-identical weights on every replica.
+    replicas_.push_back(std::make_unique<model::OrbitModel>(model_cfg_));
+  }
+  workers_.reserve(static_cast<std::size_t>(cfg_.workers));
+  for (int i = 0; i < cfg_.workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ForecastServer::~ForecastServer() { shutdown(); }
+
+void ForecastServer::fail(Pending&& p, Status status, const std::string& why) {
+  ForecastResult r;
+  r.id = p.request.id;
+  r.status = status;
+  r.error = why;
+  p.promise.set_value(std::move(r));
+}
+
+std::future<ForecastResult> ForecastServer::submit(ForecastRequest req) {
+  const Tensor& s = req.state;
+  if (!s.defined() || s.ndim() != 3 || s.dim(0) != model_cfg_.in_channels ||
+      s.dim(1) != model_cfg_.image_h || s.dim(2) != model_cfg_.image_w) {
+    throw std::invalid_argument(
+        "submit: state must be [" + std::to_string(model_cfg_.in_channels) +
+        ", " + std::to_string(model_cfg_.image_h) + ", " +
+        std::to_string(model_cfg_.image_w) + "]" +
+        (s.defined() ? ", got " + s.shape_str() : ", got undefined tensor"));
+  }
+  if (req.steps <= 0) {
+    throw std::invalid_argument("submit: steps must be > 0");
+  }
+  if (req.steps > 1 && model_cfg_.out_channels != model_cfg_.in_channels) {
+    throw std::invalid_argument(
+        "submit: rollout (steps > 1) needs a full-state model "
+        "(out_channels == in_channels)");
+  }
+  if (req.id == 0) {
+    req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  req.enqueued_at = Clock::now();
+
+  Pending p;
+  p.request = std::move(req);
+  std::future<ForecastResult> fut = p.promise.get_future();
+  stats_.record_submitted();
+
+  if (stopping_.load(std::memory_order_acquire)) {
+    stats_.record_error();
+    fail(std::move(p), Status::kError, "server stopped");
+    return fut;
+  }
+  // Deadline-aware admission: don't queue work that is already dead.
+  if (cfg_.batcher.shed_expired && p.request.deadline < p.request.enqueued_at) {
+    stats_.record_shed();
+    fail(std::move(p), Status::kShed, "deadline exceeded at submit");
+    return fut;
+  }
+  if (!queue_.push(std::move(p))) {  // blocks while full; false once closed
+    stats_.record_error();
+    fail(std::move(p), Status::kError, "server stopped");
+  }
+  return fut;
+}
+
+void ForecastServer::worker_loop(int worker_index) {
+  model::OrbitModel& m = *replicas_[static_cast<std::size_t>(worker_index)];
+  for (;;) {
+    std::vector<Pending> batch = batcher_.next_batch();
+    if (batch.empty()) return;  // queue closed and drained
+    run_batch(m, std::move(batch));
+  }
+}
+
+void ForecastServer::run_batch(model::OrbitModel& m,
+                               std::vector<Pending>&& batch) {
+  const Clock::time_point batch_start = Clock::now();
+  const std::int64_t b = static_cast<std::int64_t>(batch.size());
+  const std::int64_t c = model_cfg_.in_channels;
+  const std::int64_t hw = model_cfg_.image_h * model_cfg_.image_w;
+
+  // Stack [C, H, W] states into one [B, C, H, W] call; leads are per-sample,
+  // which is what lets requests with different leads share the batch.
+  Tensor x = Tensor::empty(
+      {b, c, model_cfg_.image_h, model_cfg_.image_w});
+  Tensor leads = Tensor::empty({b});
+  for (std::int64_t i = 0; i < b; ++i) {
+    const Tensor& s = batch[static_cast<std::size_t>(i)].request.state;
+    std::memcpy(x.data() + i * c * hw, s.data(),
+                static_cast<std::size_t>(c * hw) * sizeof(float));
+    leads[i] = batch[static_cast<std::size_t>(i)].request.lead_days;
+  }
+
+  stats_.record_batch(batch.size());
+  Tensor out;
+  std::string error;
+  try {
+    out = model::forecast(m, x, leads, batch.front().request.steps);
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+
+  const Clock::time_point done = Clock::now();
+  const std::int64_t out_chw = model_cfg_.out_channels * hw;
+  for (std::int64_t i = 0; i < b; ++i) {
+    Pending& p = batch[static_cast<std::size_t>(i)];
+    ForecastResult r;
+    r.id = p.request.id;
+    r.queue_us = std::chrono::duration<double, std::micro>(
+                     batch_start - p.request.enqueued_at)
+                     .count();
+    r.total_us = std::chrono::duration<double, std::micro>(
+                     done - p.request.enqueued_at)
+                     .count();
+    r.batch_size = static_cast<int>(b);
+    if (error.empty()) {
+      r.status = Status::kOk;
+      r.forecast = Tensor::empty(
+          {model_cfg_.out_channels, model_cfg_.image_h, model_cfg_.image_w});
+      std::memcpy(r.forecast.data(), out.data() + i * out_chw,
+                  static_cast<std::size_t>(out_chw) * sizeof(float));
+      stats_.record_completed(r.total_us);
+    } else {
+      r.status = Status::kError;
+      r.error = error;
+      stats_.record_error();
+    }
+    p.promise.set_value(std::move(r));
+  }
+}
+
+void ForecastServer::shutdown() {
+  stopping_.store(true, std::memory_order_release);
+  queue_.close();
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+StatsSnapshot ForecastServer::stats() const {
+  StatsSnapshot s = stats_.snapshot();
+  s.queue_depth = queue_.size();
+  return s;
+}
+
+}  // namespace orbit::serve

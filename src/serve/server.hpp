@@ -1,0 +1,80 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "model/vit.hpp"
+#include "serve/batcher.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/stats.hpp"
+
+/// \file server.hpp
+/// The forecast inference server: clients `submit()` requests; N worker
+/// threads pull dynamically-coalesced batches and run them on per-worker
+/// model replicas (the model caches activations during forward, so replicas
+/// are thread-confined rather than shared; identical configs construct
+/// identical weights from the config seed). Shutdown is graceful — admitted
+/// requests are drained, never dropped — and the bounded queue gives
+/// closed-loop clients natural backpressure.
+
+namespace orbit::serve {
+
+struct ServerConfig {
+  /// Worker threads == model replicas.
+  int workers = 2;
+  /// Bounded queue capacity; `submit` blocks (backpressure) when full.
+  std::size_t queue_capacity = 256;
+  BatcherConfig batcher;
+};
+
+class ForecastServer {
+ public:
+  ForecastServer(const model::VitConfig& model_cfg, ServerConfig cfg);
+  ~ForecastServer();  // calls shutdown()
+
+  ForecastServer(const ForecastServer&) = delete;
+  ForecastServer& operator=(const ForecastServer&) = delete;
+
+  /// Enqueue one forecast. Validates shape/steps against the model config
+  /// (throws std::invalid_argument on caller error); blocks while the queue
+  /// is full; an expired deadline or stopped server resolves the future
+  /// immediately (kShed / kError) without computing.
+  std::future<ForecastResult> submit(ForecastRequest req);
+
+  /// Close the queue, drain every admitted request, join workers.
+  /// Idempotent.
+  void shutdown();
+
+  /// Consistent stats copy, including current queue depth.
+  StatsSnapshot stats() const;
+
+  std::size_t queue_depth() const { return queue_.size(); }
+  const ServerConfig& config() const { return cfg_; }
+  const model::VitConfig& model_config() const { return model_cfg_; }
+
+  /// Replica access for weight loading / test inspection. Workers are the
+  /// only users once serving starts; touch replicas only before traffic or
+  /// after shutdown().
+  model::OrbitModel& replica(int i) { return *replicas_[static_cast<std::size_t>(i)]; }
+
+ private:
+  void worker_loop(int worker_index);
+  void run_batch(model::OrbitModel& m, std::vector<Pending>&& batch);
+  static void fail(Pending&& p, Status status, const std::string& why);
+
+  model::VitConfig model_cfg_;
+  ServerConfig cfg_;
+  ServerStats stats_;
+  RequestQueue queue_;
+  DynamicBatcher batcher_;
+  std::vector<std::unique_ptr<model::OrbitModel>> replicas_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<bool> stopping_{false};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace orbit::serve

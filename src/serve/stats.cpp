@@ -1,0 +1,82 @@
+#include "serve/stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace orbit::serve {
+
+std::string StatsSnapshot::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "completed=%llu shed=%llu errors=%llu batches=%llu "
+                "mean_batch=%.2f p50=%.2fms p95=%.2fms p99=%.2fms depth=%zu",
+                static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(shed),
+                static_cast<unsigned long long>(errors),
+                static_cast<unsigned long long>(batches), mean_batch_size,
+                latency_p50_ms, latency_p95_ms, latency_p99_ms, queue_depth);
+  return buf;
+}
+
+ServerStats::ServerStats(std::size_t max_batch)
+    : batch_size_counts_(std::max<std::size_t>(2, max_batch + 1), 0) {}
+
+void ServerStats::record_submitted() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++submitted_;
+}
+
+void ServerStats::record_completed(double total_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++completed_;
+  latency_us_.record(total_us);
+}
+
+void ServerStats::record_shed() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++shed_;
+}
+
+void ServerStats::record_error() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++errors_;
+}
+
+void ServerStats::record_batch(std::size_t batch_size) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++batches_;
+  batched_requests_ += batch_size;
+  const std::size_t i = std::min(batch_size, batch_size_counts_.size() - 1);
+  ++batch_size_counts_[i];
+}
+
+StatsSnapshot ServerStats::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  StatsSnapshot s;
+  s.submitted = submitted_;
+  s.completed = completed_;
+  s.shed = shed_;
+  s.errors = errors_;
+  s.batches = batches_;
+  s.latency_p50_ms = latency_us_.quantile(0.50) / 1e3;
+  s.latency_p95_ms = latency_us_.quantile(0.95) / 1e3;
+  s.latency_p99_ms = latency_us_.quantile(0.99) / 1e3;
+  s.latency_mean_ms = latency_us_.mean() / 1e3;
+  s.latency_max_ms = latency_us_.max() / 1e3;
+  s.batch_size_counts = batch_size_counts_;
+  s.mean_batch_size =
+      batches_ ? static_cast<double>(batched_requests_) /
+                     static_cast<double>(batches_)
+               : 0.0;
+  return s;
+}
+
+void ServerStats::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  submitted_ = completed_ = shed_ = errors_ = batches_ = 0;
+  batched_requests_ = 0;
+  latency_us_.reset();
+  std::fill(batch_size_counts_.begin(), batch_size_counts_.end(), 0);
+}
+
+}  // namespace orbit::serve

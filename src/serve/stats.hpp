@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "metrics/histogram.hpp"
+
+/// \file stats.hpp
+/// Serving-plane observability: end-to-end latency histogram (p50/p95/p99),
+/// batch-size distribution, shed/error counters and a queue-depth gauge.
+/// All record paths are thread-safe; `snapshot()` returns a consistent copy
+/// so monitors never race the hot path.
+
+namespace orbit::serve {
+
+struct StatsSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t batches = 0;
+
+  /// End-to-end (submit -> result) latency over completed requests, ms.
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_mean_ms = 0.0;
+  double latency_max_ms = 0.0;
+
+  /// batch_size_counts[b] = number of batches executed with exactly b
+  /// requests (index 0 unused).
+  std::vector<std::uint64_t> batch_size_counts;
+  double mean_batch_size = 0.0;
+
+  /// Queue depth at snapshot time (set by the server).
+  std::size_t queue_depth = 0;
+
+  std::string summary() const;
+};
+
+class ServerStats {
+ public:
+  explicit ServerStats(std::size_t max_batch = 64);
+
+  void record_submitted();
+  void record_completed(double total_us);
+  void record_shed();
+  void record_error();
+  void record_batch(std::size_t batch_size);
+
+  StatsSnapshot snapshot() const;
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t errors_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t batched_requests_ = 0;
+  metrics::Histogram latency_us_;
+  std::vector<std::uint64_t> batch_size_counts_;
+};
+
+}  // namespace orbit::serve

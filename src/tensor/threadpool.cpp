@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -130,6 +131,15 @@ std::unique_ptr<Pool>& pool_slot() {
 int num_threads() { return pool_slot()->size(); }
 
 void set_num_threads(int n) {
+  if (tl_in_pool) {
+    // Resizing tears down the pool whose worker invoked us; racing that
+    // teardown deadlocks or crashes. Refuse loudly instead of racing.
+    std::fprintf(stderr,
+                 "orbit: set_num_threads(%d) called from inside a parallel "
+                 "region; ignored\n",
+                 n);
+    return;
+  }
   if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
   pool_slot() = std::make_unique<Pool>(n);
 }

@@ -18,7 +18,9 @@ namespace orbit {
 int num_threads();
 
 /// Resize the global pool. Must not be called concurrently with kernels.
-/// `n <= 0` resets to hardware concurrency.
+/// `n <= 0` resets to hardware concurrency. A call from inside a parallel
+/// region (which would tear down the pool executing the caller) is ignored
+/// with a warning on stderr.
 void set_num_threads(int n);
 
 /// True when the calling thread is a pool worker (nested region).

@@ -1,0 +1,93 @@
+#include "metrics/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace orbit::metrics {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(Histogram, TracksExtremesExactly) {
+  Histogram h;
+  for (double v : {3.0, 700.0, 45.0, 3.0, 12000.0}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.min(), 3.0);
+  EXPECT_DOUBLE_EQ(h.max(), 12000.0);
+  EXPECT_NEAR(h.mean(), (3 + 700 + 45 + 3 + 12000) / 5.0, 1e-9);
+}
+
+TEST(Histogram, QuantilesAreMonotoneAndBounded) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  double prev = 0.0;
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    EXPECT_GE(v, h.min());
+    EXPECT_LE(v, h.max());
+    prev = v;
+  }
+  // Log bucketing at 32 buckets/decade bounds relative error to ~7.5%.
+  EXPECT_NEAR(h.quantile(0.5), 500.0, 500.0 * 0.15);
+  EXPECT_NEAR(h.quantile(0.99), 990.0, 990.0 * 0.15);
+}
+
+TEST(Histogram, ClampsOutOfRangeValues) {
+  Histogram h(1.0, 1e3, 8);
+  h.record(0.01);   // below lo -> lowest bucket
+  h.record(1e9);    // above hi -> highest bucket
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.01);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);
+  EXPECT_LE(h.quantile(0.0), h.quantile(1.0));
+}
+
+TEST(Histogram, MergeMatchesCombinedRecording) {
+  Histogram a, b, both;
+  for (int i = 1; i < 100; ++i) {
+    a.record(i);
+    both.record(i);
+  }
+  for (int i = 100; i < 200; ++i) {
+    b.record(i);
+    both.record(i);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_DOUBLE_EQ(a.min(), both.min());
+  EXPECT_DOUBLE_EQ(a.max(), both.max());
+  for (double q : {0.1, 0.5, 0.9}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), both.quantile(q));
+  }
+}
+
+TEST(Histogram, MergeRejectsDifferentBucketing) {
+  Histogram a(1.0, 1e6, 16);
+  Histogram b(1.0, 1e6, 32);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.record(5.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.9), 0.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 10.0, 8), std::invalid_argument);
+  EXPECT_THROW(Histogram(10.0, 1.0, 8), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 10.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace orbit::metrics

@@ -1,0 +1,364 @@
+#include "serve/batcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <vector>
+
+#include "model/rollout.hpp"
+#include "serve/server.hpp"
+#include "tensor/ops.hpp"
+
+namespace orbit::serve {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+model::VitConfig serve_cfg() {
+  model::VitConfig c = model::tiny_test();
+  c.image_h = 8;
+  c.image_w = 16;
+  c.patch = 4;
+  c.in_channels = 3;
+  c.out_channels = 3;  // full state, so rollout requests are servable
+  return c;
+}
+
+Pending make_pending(const model::VitConfig& cfg, Rng& rng, float lead,
+                     int steps = 1) {
+  Pending p;
+  p.request.state =
+      Tensor::randn({cfg.in_channels, cfg.image_h, cfg.image_w}, rng);
+  p.request.lead_days = lead;
+  p.request.steps = steps;
+  p.request.enqueued_at = Clock::now();
+  return p;
+}
+
+/// Reference forecast computed one request at a time (batch 1).
+Tensor reference_forecast(model::OrbitModel& ref, const ForecastRequest& r) {
+  const model::VitConfig& cfg = ref.config();
+  Tensor x = r.state.reshape({1, cfg.in_channels, cfg.image_h, cfg.image_w});
+  Tensor lead = Tensor::full({1}, r.lead_days);
+  Tensor out = model::forecast(ref, x, lead, r.steps);
+  return out.reshape({cfg.out_channels, cfg.image_h, cfg.image_w});
+}
+
+// --- RequestQueue ----------------------------------------------------------
+
+TEST(RequestQueue, FifoAndCapacity) {
+  RequestQueue q(2);
+  model::VitConfig cfg = serve_cfg();
+  Rng rng(1);
+  Pending a = make_pending(cfg, rng, 1.0f);
+  Pending b = make_pending(cfg, rng, 2.0f);
+  Pending c = make_pending(cfg, rng, 3.0f);
+  a.request.id = 1;
+  b.request.id = 2;
+  c.request.id = 3;
+  EXPECT_TRUE(q.try_push(std::move(a)));
+  EXPECT_TRUE(q.try_push(std::move(b)));
+  EXPECT_FALSE(q.try_push(std::move(c)));  // full
+  EXPECT_EQ(q.size(), 2u);
+
+  Pending out;
+  ASSERT_TRUE(q.pop(out, microseconds(1000)));
+  EXPECT_EQ(out.request.id, 1u);
+  ASSERT_TRUE(q.pop(out, microseconds(1000)));
+  EXPECT_EQ(out.request.id, 2u);
+  EXPECT_FALSE(q.pop(out, microseconds(1000)));  // empty -> timeout
+}
+
+TEST(RequestQueue, CloseDrainsThenRejects) {
+  RequestQueue q(4);
+  model::VitConfig cfg = serve_cfg();
+  Rng rng(2);
+  ASSERT_TRUE(q.push(make_pending(cfg, rng, 1.0f)));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  Pending rejected = make_pending(cfg, rng, 2.0f);
+  EXPECT_FALSE(q.push(std::move(rejected)));
+  // `rejected` must survive the failed push so the caller can answer it.
+  EXPECT_TRUE(rejected.request.state.defined());
+
+  Pending out;
+  EXPECT_TRUE(q.pop(out, microseconds(1000)));  // admitted entry drains
+  EXPECT_FALSE(q.pop(out, microseconds(1000)));  // closed and empty
+  out.promise.set_value({});  // don't leak a broken promise
+}
+
+TEST(RequestQueue, TryDrainTakesWhatIsAvailable) {
+  RequestQueue q(8);
+  model::VitConfig cfg = serve_cfg();
+  Rng rng(3);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.push(make_pending(cfg, rng, 1.0f)));
+  }
+  std::vector<Pending> out;
+  EXPECT_EQ(q.try_drain(out, 3), 3u);
+  EXPECT_EQ(q.try_drain(out, 10), 2u);
+  EXPECT_EQ(q.try_drain(out, 10), 0u);
+  EXPECT_EQ(out.size(), 5u);
+  for (Pending& p : out) p.promise.set_value({});
+}
+
+// --- DynamicBatcher --------------------------------------------------------
+
+TEST(DynamicBatcher, CoalescesCompatibleAndStashesIncompatible) {
+  RequestQueue q(16);
+  model::VitConfig cfg = serve_cfg();
+  Rng rng(4);
+  // Five 1-step requests with five different leads + one 3-step rollout.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.push(make_pending(cfg, rng, 0.5f + i, /*steps=*/1)));
+  }
+  ASSERT_TRUE(q.push(make_pending(cfg, rng, 1.0f, /*steps=*/3)));
+
+  BatcherConfig bcfg;
+  bcfg.max_batch = 8;
+  bcfg.max_wait_us = 1000;
+  DynamicBatcher batcher(q, bcfg);
+
+  std::vector<Pending> first = batcher.next_batch();
+  EXPECT_EQ(first.size(), 5u);  // mixed leads batch together
+  for (const Pending& p : first) EXPECT_EQ(p.request.steps, 1);
+
+  std::vector<Pending> second = batcher.next_batch();
+  ASSERT_EQ(second.size(), 1u);  // the rollout request, from the stash
+  EXPECT_EQ(second.front().request.steps, 3);
+
+  for (Pending& p : first) p.promise.set_value({});
+  for (Pending& p : second) p.promise.set_value({});
+  q.close();
+  EXPECT_TRUE(batcher.next_batch().empty());
+}
+
+TEST(DynamicBatcher, RespectsMaxBatch) {
+  RequestQueue q(32);
+  model::VitConfig cfg = serve_cfg();
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(q.push(make_pending(cfg, rng, 1.0f)));
+  }
+  BatcherConfig bcfg;
+  bcfg.max_batch = 4;
+  bcfg.max_wait_us = 0;
+  DynamicBatcher batcher(q, bcfg);
+  std::vector<Pending> batch = batcher.next_batch();
+  EXPECT_EQ(batch.size(), 4u);
+  for (Pending& p : batch) p.promise.set_value({});
+  // Remaining 6 requests come out in later batches of <= 4.
+  std::size_t rest = 0;
+  while (rest < 6) {
+    std::vector<Pending> b = batcher.next_batch();
+    ASSERT_FALSE(b.empty());
+    EXPECT_LE(b.size(), 4u);
+    rest += b.size();
+    for (Pending& p : b) p.promise.set_value({});
+  }
+  EXPECT_EQ(rest, 6u);
+}
+
+TEST(DynamicBatcher, ShedsExpiredRequests) {
+  RequestQueue q(8);
+  model::VitConfig cfg = serve_cfg();
+  Rng rng(6);
+  Pending expired = make_pending(cfg, rng, 1.0f);
+  expired.request.deadline = Clock::now() - milliseconds(5);
+  std::future<ForecastResult> fut = expired.promise.get_future();
+  ASSERT_TRUE(q.push(std::move(expired)));
+  ASSERT_TRUE(q.push(make_pending(cfg, rng, 1.0f)));
+
+  BatcherConfig bcfg;
+  bcfg.max_batch = 4;
+  bcfg.max_wait_us = 0;
+  DynamicBatcher batcher(q, bcfg);
+  std::vector<Pending> batch = batcher.next_batch();
+  EXPECT_EQ(batch.size(), 1u);  // only the live request
+  for (Pending& p : batch) p.promise.set_value({});
+
+  ForecastResult shed = fut.get();
+  EXPECT_EQ(shed.status, Status::kShed);
+}
+
+// --- batching equivalence (the acceptance criterion) -----------------------
+
+TEST(BatchingEquivalence, MixedLeadsMatchBatchOneReference) {
+  model::VitConfig cfg = serve_cfg();
+  ServerConfig scfg;
+  scfg.workers = 2;
+  scfg.batcher.max_batch = 8;
+  scfg.batcher.max_wait_us = 20'000;
+  ForecastServer server(cfg, scfg);
+  model::OrbitModel ref(cfg);  // same config seed => identical weights
+
+  Rng rng(7);
+  std::vector<ForecastRequest> requests;
+  std::vector<std::future<ForecastResult>> futures;
+  for (int i = 0; i < 12; ++i) {
+    ForecastRequest r;
+    r.state = Tensor::randn({cfg.in_channels, cfg.image_h, cfg.image_w}, rng);
+    r.lead_days = 0.25f + 0.5f * static_cast<float>(i % 5);
+    requests.push_back(r);  // Tensor is a handle; cheap copy
+    futures.push_back(server.submit(std::move(r)));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ForecastResult got = futures[i].get();
+    ASSERT_EQ(got.status, Status::kOk) << got.error;
+    Tensor want = reference_forecast(ref, requests[i]);
+    EXPECT_LT(max_abs_diff(got.forecast, want), 1e-6f) << "request " << i;
+  }
+  server.shutdown();
+}
+
+TEST(BatchingEquivalence, RolloutRequestsMatchRolloutReference) {
+  model::VitConfig cfg = serve_cfg();
+  ServerConfig scfg;
+  scfg.workers = 2;
+  scfg.batcher.max_batch = 4;
+  scfg.batcher.max_wait_us = 20'000;
+  ForecastServer server(cfg, scfg);
+  model::OrbitModel ref(cfg);
+
+  Rng rng(8);
+  std::vector<ForecastRequest> requests;
+  std::vector<std::future<ForecastResult>> futures;
+  // Mix of rollout depths and leads: compatible subsets batch, all must
+  // agree with the serial rollout reference.
+  for (int i = 0; i < 8; ++i) {
+    ForecastRequest r;
+    r.state = Tensor::randn({cfg.in_channels, cfg.image_h, cfg.image_w}, rng);
+    r.lead_days = 1.0f + static_cast<float>(i % 3);
+    r.steps = (i % 2 == 0) ? 3 : 1;
+    requests.push_back(r);
+    futures.push_back(server.submit(std::move(r)));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ForecastResult got = futures[i].get();
+    ASSERT_EQ(got.status, Status::kOk) << got.error;
+    Tensor want = reference_forecast(ref, requests[i]);
+    EXPECT_LT(max_abs_diff(got.forecast, want), 1e-6f)
+        << "request " << i << " steps=" << requests[i].steps;
+  }
+  server.shutdown();
+}
+
+TEST(BatchingEquivalence, BatchesActuallyForm) {
+  model::VitConfig cfg = serve_cfg();
+  ServerConfig scfg;
+  scfg.workers = 1;  // a single worker so requests must queue up
+  scfg.batcher.max_batch = 8;
+  scfg.batcher.max_wait_us = 50'000;
+  ForecastServer server(cfg, scfg);
+
+  Rng rng(9);
+  std::vector<std::future<ForecastResult>> futures;
+  for (int i = 0; i < 16; ++i) {
+    ForecastRequest r;
+    r.state = Tensor::randn({cfg.in_channels, cfg.image_h, cfg.image_w}, rng);
+    r.lead_days = static_cast<float>(1 + i % 4);
+    futures.push_back(server.submit(std::move(r)));
+  }
+  int max_seen = 0;
+  for (auto& f : futures) {
+    ForecastResult r = f.get();
+    ASSERT_EQ(r.status, Status::kOk);
+    max_seen = std::max(max_seen, r.batch_size);
+  }
+  // 16 requests poured into an idle single-worker server with a 50 ms hold
+  // window: at least one multi-request batch must have formed.
+  EXPECT_GT(max_seen, 1);
+  StatsSnapshot s = server.stats();
+  EXPECT_EQ(s.completed, 16u);
+  EXPECT_GT(s.mean_batch_size, 1.0);
+  server.shutdown();
+}
+
+// --- server behaviour ------------------------------------------------------
+
+TEST(ForecastServer, ValidatesRequests) {
+  model::VitConfig cfg = serve_cfg();
+  ForecastServer server(cfg, ServerConfig{});
+  ForecastRequest bad_shape;
+  bad_shape.state = Tensor::zeros({1, 2, 3});
+  EXPECT_THROW(server.submit(std::move(bad_shape)), std::invalid_argument);
+
+  ForecastRequest bad_steps;
+  bad_steps.state =
+      Tensor::zeros({cfg.in_channels, cfg.image_h, cfg.image_w});
+  bad_steps.steps = 0;
+  EXPECT_THROW(server.submit(std::move(bad_steps)), std::invalid_argument);
+
+  // Rollout against a partial-state model is rejected at submit.
+  model::VitConfig partial = serve_cfg();
+  partial.out_channels = 2;
+  ForecastServer pserver(partial, ServerConfig{});
+  ForecastRequest rollout_req;
+  rollout_req.state =
+      Tensor::zeros({partial.in_channels, partial.image_h, partial.image_w});
+  rollout_req.steps = 2;
+  EXPECT_THROW(pserver.submit(std::move(rollout_req)), std::invalid_argument);
+}
+
+TEST(ForecastServer, ShedsPastDeadlineAtSubmit) {
+  model::VitConfig cfg = serve_cfg();
+  ForecastServer server(cfg, ServerConfig{});
+  Rng rng(10);
+  ForecastRequest r;
+  r.state = Tensor::randn({cfg.in_channels, cfg.image_h, cfg.image_w}, rng);
+  r.deadline = Clock::now() - milliseconds(1);
+  ForecastResult res = server.submit(std::move(r)).get();
+  EXPECT_EQ(res.status, Status::kShed);
+  EXPECT_EQ(server.stats().shed, 1u);
+}
+
+TEST(ForecastServer, GracefulShutdownDrainsAdmittedRequests) {
+  model::VitConfig cfg = serve_cfg();
+  ServerConfig scfg;
+  scfg.workers = 1;
+  scfg.batcher.max_batch = 4;
+  ForecastServer server(cfg, scfg);
+  Rng rng(11);
+  std::vector<std::future<ForecastResult>> futures;
+  for (int i = 0; i < 6; ++i) {
+    ForecastRequest r;
+    r.state = Tensor::randn({cfg.in_channels, cfg.image_h, cfg.image_w}, rng);
+    futures.push_back(server.submit(std::move(r)));
+  }
+  server.shutdown();  // close + drain + join
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().status, Status::kOk);  // admitted => served, not dropped
+  }
+  // Submits after shutdown fail fast with kError.
+  ForecastRequest late;
+  late.state = Tensor::zeros({cfg.in_channels, cfg.image_h, cfg.image_w});
+  EXPECT_EQ(server.submit(std::move(late)).get().status, Status::kError);
+}
+
+TEST(ForecastServer, StatsQuantilesAreOrdered) {
+  model::VitConfig cfg = serve_cfg();
+  ServerConfig scfg;
+  scfg.batcher.max_batch = 4;
+  ForecastServer server(cfg, scfg);
+  Rng rng(12);
+  std::vector<std::future<ForecastResult>> futures;
+  for (int i = 0; i < 10; ++i) {
+    ForecastRequest r;
+    r.state = Tensor::randn({cfg.in_channels, cfg.image_h, cfg.image_w}, rng);
+    futures.push_back(server.submit(std::move(r)));
+  }
+  for (auto& f : futures) ASSERT_EQ(f.get().status, Status::kOk);
+  StatsSnapshot s = server.stats();
+  EXPECT_EQ(s.completed, 10u);
+  EXPECT_GT(s.latency_p50_ms, 0.0);
+  EXPECT_LE(s.latency_p50_ms, s.latency_p95_ms);
+  EXPECT_LE(s.latency_p95_ms, s.latency_p99_ms);
+  EXPECT_LE(s.latency_p99_ms, s.latency_max_ms + 1e-9);
+  EXPECT_FALSE(s.summary().empty());
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace orbit::serve

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "model/rollout.hpp"
+#include "serve/server.hpp"
+#include "tensor/ops.hpp"
+
+/// Concurrency stress for the serving plane: many client threads, a small
+/// (backpressuring) queue, mixed leads and rollout depths, deadlines, and
+/// shutdown under fire. Every kOk answer is checked against the batch-1
+/// serial reference — the batching-equivalence acceptance criterion under
+/// contention, and the suite the ORBIT_SANITIZE build is aimed at.
+
+namespace orbit::serve {
+namespace {
+
+using std::chrono::milliseconds;
+
+model::VitConfig stress_cfg() {
+  model::VitConfig c = model::tiny_test();
+  c.image_h = 8;
+  c.image_w = 16;
+  c.patch = 4;
+  c.in_channels = 3;
+  c.out_channels = 3;
+  return c;
+}
+
+struct Issued {
+  ForecastRequest request;  // Tensor state is a cheap shared handle
+  ForecastResult result;
+};
+
+TEST(ServerStress, ManyClientsMixedTrafficMatchesReference) {
+  const model::VitConfig cfg = stress_cfg();
+  ServerConfig scfg;
+  scfg.workers = 3;
+  scfg.queue_capacity = 8;  // small on purpose: submit() must backpressure
+  scfg.batcher.max_batch = 8;
+  scfg.batcher.max_wait_us = 500;
+  ForecastServer server(cfg, scfg);
+
+  const int kClients = 6;
+  const int kPerClient = 12;
+  std::mutex issued_mu;
+  std::vector<Issued> issued;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(100 + static_cast<std::uint64_t>(c));
+      for (int i = 0; i < kPerClient; ++i) {
+        ForecastRequest r;
+        r.state =
+            Tensor::randn({cfg.in_channels, cfg.image_h, cfg.image_w}, rng);
+        r.lead_days = 0.5f + static_cast<float>((c + i) % 4);
+        r.steps = (i % 3 == 0) ? 2 : 1;
+        ForecastRequest copy = r;
+        ForecastResult res = server.submit(std::move(r)).get();
+        std::lock_guard<std::mutex> lk(issued_mu);
+        issued.push_back({std::move(copy), std::move(res)});
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.shutdown();
+
+  ASSERT_EQ(issued.size(),
+            static_cast<std::size_t>(kClients * kPerClient));
+  // Replay every request serially at batch 1 on a fresh replica.
+  model::OrbitModel ref(cfg);
+  for (std::size_t i = 0; i < issued.size(); ++i) {
+    const Issued& io = issued[i];
+    ASSERT_EQ(io.result.status, Status::kOk) << io.result.error;
+    EXPECT_GE(io.result.batch_size, 1);
+    Tensor x = io.request.state.reshape(
+        {1, cfg.in_channels, cfg.image_h, cfg.image_w});
+    Tensor lead = Tensor::full({1}, io.request.lead_days);
+    Tensor want = model::forecast(ref, x, lead, io.request.steps)
+                      .reshape({cfg.out_channels, cfg.image_h, cfg.image_w});
+    EXPECT_LT(max_abs_diff(io.result.forecast, want), 1e-6f)
+        << "request " << i << " steps=" << io.request.steps
+        << " lead=" << io.request.lead_days
+        << " batch=" << io.result.batch_size;
+  }
+
+  StatsSnapshot s = server.stats();
+  EXPECT_EQ(s.submitted, issued.size());
+  EXPECT_EQ(s.completed + s.shed + s.errors, s.submitted);
+  EXPECT_EQ(s.completed, issued.size());  // no deadlines => nothing shed
+  EXPECT_GE(s.batches, 1u);
+}
+
+TEST(ServerStress, TightDeadlinesShedWithoutBreakingOthers) {
+  const model::VitConfig cfg = stress_cfg();
+  ServerConfig scfg;
+  scfg.workers = 2;
+  scfg.batcher.max_batch = 4;
+  scfg.batcher.max_wait_us = 200;
+  ForecastServer server(cfg, scfg);
+
+  Rng rng(200);
+  std::vector<std::future<ForecastResult>> normal, doomed;
+  for (int i = 0; i < 12; ++i) {
+    ForecastRequest r;
+    r.state = Tensor::randn({cfg.in_channels, cfg.image_h, cfg.image_w}, rng);
+    if (i % 3 == 0) {
+      r.deadline = Clock::now() - milliseconds(1);  // already dead
+      doomed.push_back(server.submit(std::move(r)));
+    } else {
+      normal.push_back(server.submit(std::move(r)));
+    }
+  }
+  for (auto& f : doomed) {
+    EXPECT_EQ(f.get().status, Status::kShed);
+  }
+  for (auto& f : normal) {
+    EXPECT_EQ(f.get().status, Status::kOk);
+  }
+  StatsSnapshot s = server.stats();
+  EXPECT_EQ(s.shed, doomed.size());
+  EXPECT_EQ(s.completed, normal.size());
+  server.shutdown();
+}
+
+TEST(ServerStress, ShutdownUnderFireNeverHangsOrDrops) {
+  const model::VitConfig cfg = stress_cfg();
+  ServerConfig scfg;
+  scfg.workers = 2;
+  scfg.queue_capacity = 4;
+  scfg.batcher.max_batch = 4;
+  scfg.batcher.max_wait_us = 200;
+  ForecastServer server(cfg, scfg);
+
+  std::atomic<int> ok{0}, errors{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(300 + static_cast<std::uint64_t>(c));
+      for (int i = 0; i < 10; ++i) {
+        ForecastRequest r;
+        r.state =
+            Tensor::randn({cfg.in_channels, cfg.image_h, cfg.image_w}, rng);
+        ForecastResult res = server.submit(std::move(r)).get();
+        // Every future must resolve: admitted requests are drained (kOk),
+        // post-shutdown submissions fail fast (kError). Nothing may hang.
+        if (res.status == Status::kOk) {
+          ok.fetch_add(1);
+        } else {
+          ASSERT_EQ(res.status, Status::kError);
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(milliseconds(30));
+  server.shutdown();  // while clients are still submitting
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ok.load() + errors.load(), 40);
+  EXPECT_GT(ok.load(), 0);
+}
+
+TEST(ServerStress, BackpressureBoundsQueueDepth) {
+  const model::VitConfig cfg = stress_cfg();
+  ServerConfig scfg;
+  scfg.workers = 1;
+  scfg.queue_capacity = 4;
+  scfg.batcher.max_batch = 2;
+  scfg.batcher.max_wait_us = 0;
+  ForecastServer server(cfg, scfg);
+
+  std::vector<std::thread> clients;
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> max_depth{0};
+  clients.emplace_back([&] {
+    while (!stop.load()) {
+      std::size_t d = server.queue_depth();
+      std::size_t cur = max_depth.load();
+      while (d > cur && !max_depth.compare_exchange_weak(cur, d)) {
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+  {
+    std::vector<std::future<ForecastResult>> futures;
+    Rng rng(400);
+    for (int i = 0; i < 24; ++i) {
+      ForecastRequest r;
+      r.state =
+          Tensor::randn({cfg.in_channels, cfg.image_h, cfg.image_w}, rng);
+      futures.push_back(server.submit(std::move(r)));  // blocks when full
+    }
+    for (auto& f : futures) EXPECT_EQ(f.get().status, Status::kOk);
+  }
+  stop.store(true);
+  for (auto& t : clients) t.join();
+  EXPECT_LE(max_depth.load(), scfg.queue_capacity);
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace orbit::serve

@@ -84,6 +84,25 @@ TEST(ThreadPool, MainThreadNotInParallelRegion) {
   EXPECT_FALSE(in_parallel_region());
 }
 
+TEST(ThreadPool, SetNumThreadsInsideParallelRegionIsIgnored) {
+  // Resizing from inside a parallel region would tear down the pool that is
+  // executing the caller; the call must be refused, not raced.
+  const int before = num_threads();
+  std::atomic<int> covered{0};
+  parallel_for(64, 1, [&](std::int64_t b, std::int64_t e) {
+    set_num_threads(2);  // warns and returns; must not deadlock or crash
+    covered.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(covered.load(), 64);
+  EXPECT_EQ(num_threads(), before);
+  // The pool still works afterwards.
+  std::atomic<int> again{0};
+  parallel_for(128, 1, [&](std::int64_t b, std::int64_t e) {
+    again.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(again.load(), 128);
+}
+
 TEST(ThreadPool, ManySmallRegionsStress) {
   // Regression guard for lost-wakeup bugs in the pool's epoch signalling.
   for (int iter = 0; iter < 200; ++iter) {

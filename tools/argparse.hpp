@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+/// \file argparse.hpp
+/// Minimal flag parser shared by the tools/ drivers. Accepts `--key value`
+/// and `--key=value`; everything else is an error. Header-only on purpose —
+/// the tools link only `orbit`, and this is too small to be a library.
+
+namespace orbit::tools {
+
+class ArgParser {
+ public:
+  /// `spec` maps each accepted flag (without `--`) to its help text; an
+  /// unknown flag or `--help` prints usage and exits.
+  ArgParser(int argc, char** argv,
+            std::map<std::string, std::string> spec)
+      : prog_(argc > 0 ? argv[0] : "tool"), spec_(std::move(spec)) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") usage(0);
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        usage(2);
+      }
+      std::string key, value;
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        key = arg.substr(2, eq - 2);
+        value = arg.substr(eq + 1);
+      } else {
+        key = arg.substr(2);
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "flag --%s needs a value\n", key.c_str());
+          usage(2);
+        }
+        value = argv[++i];
+      }
+      if (spec_.find(key) == spec_.end()) {
+        std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
+        usage(2);
+      }
+      values_[key] = value;
+    }
+  }
+
+  bool has(const std::string& key) const {
+    return values_.find(key) != values_.end();
+  }
+
+  int get_int(const std::string& key, int def) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return def;
+    char* end = nullptr;
+    const long v = std::strtol(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0') bad_value(key, it->second);
+    return static_cast<int>(v);
+  }
+
+  double get_double(const std::string& key, double def) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return def;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0') bad_value(key, it->second);
+    return v;
+  }
+
+  std::string get_str(const std::string& key, std::string def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? std::move(def) : it->second;
+  }
+
+ private:
+  [[noreturn]] void bad_value(const std::string& key,
+                              const std::string& value) const {
+    std::fprintf(stderr, "flag --%s: not a number: '%s'\n", key.c_str(),
+                 value.c_str());
+    usage(2);
+  }
+
+  [[noreturn]] void usage(int code) const {
+    std::fprintf(stderr, "usage: %s [flags]\n", prog_.c_str());
+    for (const auto& [key, help] : spec_) {
+      std::fprintf(stderr, "  --%-16s %s\n", key.c_str(), help.c_str());
+    }
+    std::exit(code);
+  }
+
+  std::string prog_;
+  std::map<std::string, std::string> spec_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace orbit::tools

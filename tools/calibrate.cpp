@@ -1,65 +1,99 @@
 #include <cstdio>
+#include <string>
+
+#include "argparse.hpp"
 #include "perf/perf_model.hpp"
+#include "tensor/threadpool.hpp"
+
 using namespace orbit;
 using namespace orbit::perf;
 
-int main() {
+int main(int argc, char** argv) {
+  tools::ArgParser args(argc, argv, {
+      {"section", "run only sections containing this substring "
+                  "(fig5|table1|fig6|fig7; default all)"},
+      {"threads", "thread-pool size, 0 = hardware (default 0)"},
+  });
+  const std::string section = args.get_str("section", "");
+  if (args.has("threads")) set_num_threads(args.get_int("threads", 0));
+  bool any_ran = false;
+  auto enabled = [&](const char* name) {
+    const bool on = section.empty() ||
+                    std::string(name).find(section) != std::string::npos;
+    any_ran |= on;
+    return on;
+  };
+
   PerfModel pm;
   // Fig 5 anchors @512 GPUs
-  for (auto s : {Strategy::kFsdpVanilla, Strategy::kTensorParallel, Strategy::kHybridStop}) {
-    printf("Fig5 %-14s max params @512 = %.1fB\n", strategy_name(s),
-           pm.max_model_params(s, 512, 48) / 1e9);
+  if (enabled("fig5")) {
+    for (auto s : {Strategy::kFsdpVanilla, Strategy::kTensorParallel, Strategy::kHybridStop}) {
+      printf("Fig5 %-14s max params @512 = %.1fB\n", strategy_name(s),
+             pm.max_model_params(s, 512, 48) / 1e9);
+    }
   }
   // Table I: 113B @512, F=64 T=8
   model::VitConfig cfg = model::orbit_113b();
   ParallelPlan base;
   base.strategy = Strategy::kHybridStop;
   base.ddp = 1; base.fsdp = 64; base.tp = 8;
-  struct Row { const char* name; bool wrap, mixed, prefetch, ckpt; };
-  Row rows[] = {
-    {"none (vanilla)", false, false, false, false},
-    {"wrap", true, false, false, false},
-    {"wrap+mixed", true, true, false, false},
-    {"wrap+mixed+prefetch", true, true, true, false},
-    {"all", true, true, true, true},
-  };
-  for (auto& r : rows) {
-    ParallelPlan p = base;
-    p.strategy = r.wrap ? Strategy::kHybridStop : Strategy::kFsdpVanilla;
-    if (!r.wrap) { p.fsdp = 512; p.tp = 1; }
-    p.mixed_precision = r.mixed; p.prefetch = r.prefetch;
-    p.activation_checkpoint = r.ckpt;
-    auto e = pm.step_time(cfg, p);
-    if (e.oom) printf("TableI %-22s OOM (%s)\n", r.name, e.note.c_str());
-    else printf("TableI %-22s per_sample=%.3f s (b=%lld, comp=%.3f fsdp=%.3f tp=%.3f exp=%.3f)\n",
-                r.name, e.per_sample, (long long)e.global_batch, e.compute, e.fsdp_comm, e.tp_comm, e.exposed_comm);
+  if (enabled("table1")) {
+    struct Row { const char* name; bool wrap, mixed, prefetch, ckpt; };
+    Row rows[] = {
+      {"none (vanilla)", false, false, false, false},
+      {"wrap", true, false, false, false},
+      {"wrap+mixed", true, true, false, false},
+      {"wrap+mixed+prefetch", true, true, true, false},
+      {"all", true, true, true, true},
+    };
+    for (auto& r : rows) {
+      ParallelPlan p = base;
+      p.strategy = r.wrap ? Strategy::kHybridStop : Strategy::kFsdpVanilla;
+      if (!r.wrap) { p.fsdp = 512; p.tp = 1; }
+      p.mixed_precision = r.mixed; p.prefetch = r.prefetch;
+      p.activation_checkpoint = r.ckpt;
+      auto e = pm.step_time(cfg, p);
+      if (e.oom) printf("TableI %-22s OOM (%s)\n", r.name, e.note.c_str());
+      else printf("TableI %-22s per_sample=%.3f s (b=%lld, comp=%.3f fsdp=%.3f tp=%.3f exp=%.3f)\n",
+                  r.name, e.per_sample, (long long)e.global_batch, e.compute, e.fsdp_comm, e.tp_comm, e.exposed_comm);
+    }
   }
   // Fig 6 sweep @512
-  printf("Fig6 (113B@512):\n");
-  for (int tp : {1, 2, 4, 8, 16, 32, 64, 128, 256, 512}) {
-    if (512 % tp) continue;
-    ParallelPlan p = base;
-    p.tp = tp; p.fsdp = 512 / tp;
-    auto e = pm.step_time(cfg, p);
-    if (e.oom) printf("  F=%-3d T=%-3d OOM/%s\n", p.fsdp, p.tp, e.note.c_str());
-    else printf("  F=%-3d T=%-3d per_sample=%.3f s b=%lld mem=%.1fGB\n", p.fsdp, p.tp,
-                e.per_sample, (long long)e.global_batch,
-                [&]{ ParallelPlan q=p; q.micro_batch=(int)(e.global_batch/ (p.ddp*p.fsdp)); return pm.memory(cfg,q).total()/1e9; }());
+  if (enabled("fig6")) {
+    printf("Fig6 (113B@512):\n");
+    for (int tp : {1, 2, 4, 8, 16, 32, 64, 128, 256, 512}) {
+      if (512 % tp) continue;
+      ParallelPlan p = base;
+      p.tp = tp; p.fsdp = 512 / tp;
+      auto e = pm.step_time(cfg, p);
+      if (e.oom) printf("  F=%-3d T=%-3d OOM/%s\n", p.fsdp, p.tp, e.note.c_str());
+      else printf("  F=%-3d T=%-3d per_sample=%.3f s b=%lld mem=%.1fGB\n", p.fsdp, p.tp,
+                  e.per_sample, (long long)e.global_batch,
+                  [&]{ ParallelPlan q=p; q.micro_batch=(int)(e.global_batch/ (p.ddp*p.fsdp)); return pm.memory(cfg,q).total()/1e9; }());
+    }
   }
   // Fig 7 strong scaling
-  for (auto cfgv : {model::orbit_115m(), model::orbit_1b(), model::orbit_10b(), model::orbit_113b()}) {
-    double t512 = 0;
-    printf("Fig7 %s:", cfgv.name.c_str());
-    for (int gpus : {512, 1024, 2048, 4096, 8192, 16384, 32768, 49152}) {
-      ParallelPlan p = pm.default_plan(Strategy::kHybridStop, gpus, cfgv);
-      auto e = pm.step_time_fixed_global_batch(cfgv, p, 2880);
-      if (e.oom) { printf(" [%d OOM]", gpus); continue; }
-      double per_epoch = e.per_sample;
-      if (gpus == 512) t512 = per_epoch;
-      double eff = t512 / per_epoch * 512.0 / gpus * 100;
-      if (gpus==512||gpus==49152) printf(" %d: T=%.2e E=%.0f%%", gpus, per_epoch, eff);
+  if (enabled("fig7")) {
+    for (auto cfgv : {model::orbit_115m(), model::orbit_1b(), model::orbit_10b(), model::orbit_113b()}) {
+      double t512 = 0;
+      printf("Fig7 %s:", cfgv.name.c_str());
+      for (int gpus : {512, 1024, 2048, 4096, 8192, 16384, 32768, 49152}) {
+        ParallelPlan p = pm.default_plan(Strategy::kHybridStop, gpus, cfgv);
+        auto e = pm.step_time_fixed_global_batch(cfgv, p, 2880);
+        if (e.oom) { printf(" [%d OOM]", gpus); continue; }
+        double per_epoch = e.per_sample;
+        if (gpus == 512) t512 = per_epoch;
+        double eff = t512 / per_epoch * 512.0 / gpus * 100;
+        if (gpus==512||gpus==49152) printf(" %d: T=%.2e E=%.0f%%", gpus, per_epoch, eff);
+      }
+      printf("\n");
     }
-    printf("\n");
+  }
+  if (!any_ran) {
+    fprintf(stderr,
+            "no section matches '%s' (sections: fig5 table1 fig6 fig7)\n",
+            section.c_str());
+    return 2;
   }
   return 0;
 }

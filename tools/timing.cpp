@@ -1,24 +1,49 @@
 #include <chrono>
 #include <cstdio>
+#include <string>
+#include <vector>
+
+#include "argparse.hpp"
 #include "model/vit.hpp"
-#include "train/trainer.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/threadpool.hpp"
+#include "train/trainer.hpp"
+
 using namespace orbit;
-int main() {
-  for (auto cfg : {model::tiny_test(), model::tiny_small(), model::tiny_medium(), model::tiny_large(), model::tiny_xlarge()}) {
+
+int main(int argc, char** argv) {
+  tools::ArgParser args(argc, argv, {
+      {"iters", "timed steps per config (default 5)"},
+      {"batch", "batch size (default 4)"},
+      {"threads", "thread-pool size, 0 = hardware (default 0)"},
+      {"config", "substring filter on config name (default all)"},
+  });
+  const int iters = args.get_int("iters", 5);
+  const int batch = args.get_int("batch", 4);
+  const std::string filter = args.get_str("config", "");
+  if (args.has("threads")) set_num_threads(args.get_int("threads", 0));
+
+  for (auto cfg : {model::tiny_test(), model::tiny_small(),
+                   model::tiny_medium(), model::tiny_large(),
+                   model::tiny_xlarge()}) {
+    if (!filter.empty() && cfg.name.find(filter) == std::string::npos) {
+      continue;
+    }
     model::OrbitModel m(cfg);
     train::Trainer tr(m, train::TrainerConfig{});
     Rng rng(1);
     train::Batch b;
-    b.inputs = Tensor::randn({4, cfg.in_channels, cfg.image_h, cfg.image_w}, rng);
-    b.targets = Tensor::randn({4, cfg.out_channels, cfg.image_h, cfg.image_w}, rng);
-    b.lead_days = Tensor::full({4}, 1.0f);
+    b.inputs =
+        Tensor::randn({batch, cfg.in_channels, cfg.image_h, cfg.image_w}, rng);
+    b.targets =
+        Tensor::randn({batch, cfg.out_channels, cfg.image_h, cfg.image_w}, rng);
+    b.lead_days = Tensor::full({batch}, 1.0f);
     tr.train_step(b);  // warm
     auto t0 = std::chrono::steady_clock::now();
-    for (int i = 0; i < 5; ++i) tr.train_step(b);
+    for (int i = 0; i < iters; ++i) tr.train_step(b);
     auto t1 = std::chrono::steady_clock::now();
-    printf("%s params=%lld step(batch4)=%.1f ms\n", cfg.name.c_str(),
-           (long long)m.param_count(),
-           std::chrono::duration<double, std::milli>(t1 - t0).count() / 5);
+    printf("%s params=%lld step(batch%d)=%.1f ms\n", cfg.name.c_str(),
+           (long long)m.param_count(), batch,
+           std::chrono::duration<double, std::milli>(t1 - t0).count() / iters);
   }
 }
