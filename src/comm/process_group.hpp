@@ -2,8 +2,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "comm/check.hpp"
 #include "tensor/tensor.hpp"
 
 /// \file process_group.hpp
@@ -19,6 +21,17 @@
 /// compatible arguments. The simulated implementation moves real bytes
 /// between rank heaps through shared staging pointers, so the distributed
 /// engines are verified by actual data movement, not by analogy.
+///
+/// The contract is *enforced*, not just documented: every collective
+/// publishes an `check::OpFingerprint` (op kind, payload numel/shape/dtype,
+/// root, reduce op, per-group sequence number, caller site) that the
+/// staging sync point cross-validates across member ranks before data
+/// moves; a divergence raises `check::CollectiveMismatchError` naming each
+/// rank's operation and call site. A watchdog detects ranks stuck past a
+/// timeout and peers of a rank that exited mid-collective (see check.hpp).
+/// Each collective takes a trailing `site` parameter defaulted to the
+/// caller's source location — never pass it explicitly unless forwarding
+/// a wrapper's own caller.
 
 namespace orbit::comm {
 
@@ -28,50 +41,66 @@ enum class ReduceOp { kSum, kAvg, kMax };
 struct GroupState;  // shared-state implementation detail (world.cpp)
 
 /// Per-rank handle onto one communicator group. Cheap to copy.
+///
+/// A handle obtained by a non-member of the group is *invalid*
+/// (`valid() == false`); every operation on an invalid handle throws
+/// `std::logic_error` immediately instead of dereferencing null state.
 class ProcessGroup {
  public:
   ProcessGroup() = default;
   ProcessGroup(std::shared_ptr<GroupState> state, int group_rank);
 
   bool valid() const { return state_ != nullptr; }
-  /// Rank of the caller within this group, in [0, size).
+  /// Rank of the caller within this group, in [0, size); -1 when invalid.
   int rank() const { return group_rank_; }
   /// Number of member ranks.
   int size() const;
   /// Global (world) ranks of the members, in group-rank order.
   const std::vector<int>& members() const;
+  /// "group {0,1,3} rank 2" — for error messages and logs.
+  std::string describe() const;
 
   /// Block until every member reaches the barrier.
-  void barrier() const;
+  void barrier(check::Site site = check::Site::current()) const;
 
   /// Elementwise reduce across members; every member ends with the result.
-  void all_reduce(Tensor& t, ReduceOp op = ReduceOp::kSum) const;
+  void all_reduce(Tensor& t, ReduceOp op = ReduceOp::kSum,
+                  check::Site site = check::Site::current()) const;
 
   /// Concatenate equal-size shards in group-rank order.
   /// `out.numel()` must equal `size() * shard.numel()`.
-  void all_gather(const Tensor& shard, Tensor& out) const;
+  void all_gather(const Tensor& shard, Tensor& out,
+                  check::Site site = check::Site::current()) const;
 
   /// Reduce `input` elementwise across members, then scatter: member r keeps
   /// the r-th of `size()` equal segments. `input.numel() == size() * out.numel()`.
   void reduce_scatter(const Tensor& input, Tensor& out,
-                      ReduceOp op = ReduceOp::kSum) const;
+                      ReduceOp op = ReduceOp::kSum,
+                      check::Site site = check::Site::current()) const;
 
   /// Copy `t` from `root` (group rank) to every member.
-  void broadcast(Tensor& t, int root) const;
+  void broadcast(Tensor& t, int root,
+                 check::Site site = check::Site::current()) const;
 
   /// Gather equal-size shards to `root` only; `out` is ignored on other
   /// ranks (may be undefined there).
-  void gather(const Tensor& shard, Tensor& out, int root) const;
+  void gather(const Tensor& shard, Tensor& out, int root,
+              check::Site site = check::Site::current()) const;
 
   /// Inverse of gather: root's `input` is split into `size()` equal segments,
   /// member r receives segment r into `out`.
-  void scatter(const Tensor& input, Tensor& out, int root) const;
+  void scatter(const Tensor& input, Tensor& out, int root,
+               check::Site site = check::Site::current()) const;
 
   /// Point-to-point: post `t` to `dst` (group rank) under `tag`.
-  void send(const Tensor& t, int dst, int tag) const;
+  void send(const Tensor& t, int dst, int tag,
+            check::Site site = check::Site::current()) const;
 
   /// Block until a matching message from `src` under `tag` arrives.
-  Tensor recv(int src, int tag) const;
+  /// Fails fast (instead of hanging) when `src` exits without sending —
+  /// the classic tag-mismatch bug — or when the watchdog trips.
+  Tensor recv(int src, int tag,
+              check::Site site = check::Site::current()) const;
 
   /// Total payload bytes moved through this group so far (sum over ops,
   /// counted once per collective, not per rank).
@@ -80,6 +109,11 @@ class ProcessGroup {
   std::uint64_t ops_issued() const;
 
  private:
+  /// Throws std::logic_error when this handle is invalid (non-member).
+  void require_valid(const char* what) const;
+  /// root must be a group rank in [0, size()).
+  void require_root(const char* what, int root) const;
+
   std::shared_ptr<GroupState> state_;
   int group_rank_ = -1;
 };

@@ -2,31 +2,83 @@
 
 #include <algorithm>
 #include <atomic>
-#include <barrier>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <map>
 #include <mutex>
+#include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <tuple>
 
+#include "comm/check.hpp"
 #include "comm/process_group.hpp"
 
 namespace orbit::comm {
 
+using check::CollOp;
+using check::OpFingerprint;
+
+namespace {
+
+/// Waiters re-evaluate their predicate at least this often, so a missed
+/// notify (or a watchdog verdict) is picked up promptly without requiring
+/// lock-step wakeups.
+constexpr std::chrono::milliseconds kWaitPoll{50};
+
+std::string group_desc_of(const std::vector<int>& members) {
+  std::ostringstream os;
+  os << "group {";
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (i > 0) os << ',';
+    os << members[i];
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace
+
 /// Shared state of one communicator group. One instance per group, shared by
 /// all member ranks; per-rank `ProcessGroup` handles point here.
+///
+/// The staging sync point is a generation-counted barrier over a mutex and
+/// condition variable (rather than std::barrier) so that it can
+///  * cross-validate the member ranks' operation fingerprints before any
+///    data moves (the last arriver validates and releases),
+///  * fail every waiter with a diagnostic instead of hanging when a member
+///    rank exits or throws mid-collective, and
+///  * surface the watchdog's deadlock verdict to blocked ranks.
 struct GroupState {
-  explicit GroupState(std::vector<int> member_ranks)
+  GroupState(std::vector<int> member_ranks, check::WorldCheck* world_check)
       : members(std::move(member_ranks)),
-        bar(static_cast<std::ptrdiff_t>(members.size())),
-        src(members.size(), nullptr) {}
+        desc(group_desc_of(members)),
+        wc(world_check),
+        src(members.size(), nullptr),
+        arrived_flag(members.size(), false),
+        has_fp(members.size(), false),
+        fps(members.size()),
+        seq_counts(members.size(), 0) {}
 
-  std::vector<int> members;        ///< global ranks, group-rank order
-  std::barrier<> bar;              ///< reusable sync point for collectives
-  std::vector<const float*> src;   ///< published per-rank source pointers
+  std::vector<int> members;       ///< global ranks, group-rank order
+  std::string desc;               ///< "group {0,1,3}" for diagnostics
+  check::WorldCheck* wc;          ///< world rank-state registry (non-owning)
+  std::vector<const float*> src;  ///< published per-rank source pointers
+
+  // --- staging sync point -------------------------------------------------
+  std::mutex sync_mu;
+  std::condition_variable sync_cv;
+  std::uint64_t generation = 0;       ///< completed sync count
+  int arrived = 0;                    ///< arrivals in the current generation
+  std::vector<bool> arrived_flag;     ///< per group rank, current generation
+  std::vector<bool> has_fp;           ///< fingerprint published this gen
+  std::vector<OpFingerprint> fps;     ///< per-rank fingerprints
+  std::vector<std::uint64_t> seq_counts;  ///< collectives issued per rank
+  std::string error;                  ///< sticky failure; poisons the group
+  bool error_is_mismatch = false;     ///< mismatch vs desync classification
 
   std::atomic<std::uint64_t> bytes{0};
   std::atomic<std::uint64_t> ops{0};
@@ -39,6 +91,96 @@ struct GroupState {
   void record(std::uint64_t payload_bytes) {
     bytes.fetch_add(payload_bytes, std::memory_order_relaxed);
     ops.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[noreturn]] void throw_sticky() const {
+    if (error_is_mismatch) throw check::CollectiveMismatchError(error);
+    throw check::CommDesyncError(error);
+  }
+
+  /// One phase of the staging barrier. `entry == true` is the fingerprint
+  /// phase (before data moves): the fingerprint is stamped with this rank's
+  /// per-group sequence number and cross-validated by the last arriver.
+  /// `entry == false` is the completion phase releasing writers.
+  void sync(int grank, const OpFingerprint& fp, bool entry) {
+    const int p = static_cast<int>(members.size());
+    std::unique_lock<std::mutex> lk(sync_mu);
+    if (!error.empty()) throw_sticky();
+    const bool checking = wc != nullptr && wc->check_enabled();
+    if (entry) {
+      if (checking) {
+        fps[static_cast<std::size_t>(grank)] = fp;
+        fps[static_cast<std::size_t>(grank)].seq =
+            seq_counts[static_cast<std::size_t>(grank)];
+        has_fp[static_cast<std::size_t>(grank)] = true;
+      }
+      ++seq_counts[static_cast<std::size_t>(grank)];
+    }
+    arrived_flag[static_cast<std::size_t>(grank)] = true;
+
+    if (++arrived == p) {
+      // Last arriver: validate, reset, release.
+      std::optional<std::string> err;
+      if (checking) {
+        err = check::validate_fingerprints(desc, members, fps, has_fp);
+      }
+      arrived = 0;
+      std::fill(arrived_flag.begin(), arrived_flag.end(), false);
+      std::fill(has_fp.begin(), has_fp.end(), false);
+      ++generation;
+      if (err) {
+        error = *err;
+        error_is_mismatch = true;
+      }
+      lk.unlock();
+      sync_cv.notify_all();
+      if (err) throw check::CollectiveMismatchError(*err);
+      return;
+    }
+
+    const std::uint64_t my_gen = generation;
+    const int world_rank = members[static_cast<std::size_t>(grank)];
+    if (checking) {
+      wc->set_blocked(world_rank, fp.describe() +
+                                      (entry ? "" : " [completion phase]") +
+                                      " on " + desc);
+    }
+    struct BlockedGuard {
+      check::WorldCheck* wc;
+      int rank;
+      ~BlockedGuard() {
+        if (wc != nullptr) wc->clear_blocked(rank);
+      }
+    } guard{checking ? wc : nullptr, world_rank};
+
+    while (generation == my_gen) {
+      if (!error.empty()) throw_sticky();
+      if (wc != nullptr) {
+        if (wc->failed()) throw check::CommDesyncError(wc->failure());
+        // Peer-exit detection (always on): a member that exited before
+        // reaching this sync point can never arrive — fail everyone now
+        // instead of hanging until the watchdog (or forever).
+        for (int r = 0; r < p; ++r) {
+          if (r == grank || arrived_flag[static_cast<std::size_t>(r)] ||
+              !wc->exited(members[static_cast<std::size_t>(r)])) {
+            continue;
+          }
+          std::ostringstream os;
+          os << "desync on " << desc << ": world rank "
+             << members[static_cast<std::size_t>(r)] << " (group rank " << r
+             << ") exited or threw without reaching " << fp.describe()
+             << (entry ? "" : " [completion phase]")
+             << ", which its peers are blocked in";
+          error = os.str();
+          error_is_mismatch = false;
+          lk.unlock();
+          sync_cv.notify_all();
+          throw check::CommDesyncError(os.str());
+        }
+      }
+      sync_cv.wait_for(lk, kWaitPoll);
+    }
+    if (!error.empty()) throw_sticky();
   }
 };
 
@@ -62,29 +204,73 @@ void reduce_finalise(ReduceOp op, float* data, std::int64_t n, int group_size) {
   }
 }
 
+OpFingerprint make_fp(CollOp op, const Tensor* payload, check::Site site) {
+  OpFingerprint fp;
+  fp.op = op;
+  fp.site = site;
+  if (payload != nullptr && payload->defined()) {
+    fp.numel = payload->numel();
+    fp.shape = payload->shape();
+  }
+  return fp;
+}
+
 }  // namespace
 
 ProcessGroup::ProcessGroup(std::shared_ptr<GroupState> state, int group_rank)
     : state_(std::move(state)), group_rank_(group_rank) {}
 
+void ProcessGroup::require_valid(const char* what) const {
+  if (state_ == nullptr) {
+    throw std::logic_error(
+        std::string("ProcessGroup::") + what +
+        ": non-member rank used an invalid group handle (new_group returns "
+        "an invalid handle to ranks outside the member list; guard with "
+        "valid())");
+  }
+}
+
+void ProcessGroup::require_root(const char* what, int root) const {
+  if (root < 0 || root >= size()) {
+    std::ostringstream os;
+    os << what << ": root " << root << " out of range [0, " << size()
+       << ") on " << describe();
+    throw std::invalid_argument(os.str());
+  }
+}
+
 int ProcessGroup::size() const {
+  require_valid("size");
   return static_cast<int>(state_->members.size());
 }
 
 const std::vector<int>& ProcessGroup::members() const {
+  require_valid("members");
   return state_->members;
 }
 
-void ProcessGroup::barrier() const { state_->bar.arrive_and_wait(); }
+std::string ProcessGroup::describe() const {
+  if (state_ == nullptr) return "invalid group";
+  return state_->desc + " rank " + std::to_string(group_rank_);
+}
 
-void ProcessGroup::all_reduce(Tensor& t, ReduceOp op) const {
+void ProcessGroup::barrier(check::Site site) const {
+  require_valid("barrier");
+  state_->sync(group_rank_, make_fp(CollOp::kBarrier, nullptr, site),
+               /*entry=*/true);
+}
+
+void ProcessGroup::all_reduce(Tensor& t, ReduceOp op, check::Site site) const {
+  require_valid("all_reduce");
   GroupState& g = *state_;
   const int p = size();
   const std::int64_t n = t.numel();
+  OpFingerprint fp = make_fp(CollOp::kAllReduce, &t, site);
+  fp.reduce_op = static_cast<int>(op);
   g.src[static_cast<std::size_t>(group_rank_)] = t.data();
-  g.bar.arrive_and_wait();
+  g.sync(group_rank_, fp, /*entry=*/true);
   // Every rank computes the full reduction locally (simulation of the ring's
-  // end state); reads complete before the second barrier releases writers.
+  // end state); reads complete before the completion sync releases writers.
   std::vector<float> acc(g.src[0], g.src[0] + n);
   for (int r = 1; r < p; ++r) {
     const float* s = g.src[static_cast<std::size_t>(r)];
@@ -94,40 +280,56 @@ void ProcessGroup::all_reduce(Tensor& t, ReduceOp op) const {
     }
   }
   reduce_finalise(op, acc.data(), n, p);
-  g.bar.arrive_and_wait();
-  std::memcpy(t.data(), acc.data(), static_cast<std::size_t>(n) * sizeof(float));
+  // Recorded before the completion sync so the totals are visible to every
+  // rank the moment its collective returns.
   if (group_rank_ == 0) g.record(static_cast<std::uint64_t>(n) * sizeof(float));
+  g.sync(group_rank_, fp, /*entry=*/false);
+  std::memcpy(t.data(), acc.data(), static_cast<std::size_t>(n) * sizeof(float));
 }
 
-void ProcessGroup::all_gather(const Tensor& shard, Tensor& out) const {
+void ProcessGroup::all_gather(const Tensor& shard, Tensor& out,
+                              check::Site site) const {
+  require_valid("all_gather");
   GroupState& g = *state_;
   const int p = size();
   const std::int64_t n = shard.numel();
   if (out.numel() != n * p) {
-    throw std::invalid_argument("all_gather: out must hold size() shards");
+    std::ostringstream os;
+    os << "all_gather: out.numel()=" << out.numel()
+       << " must equal size()*shard.numel()=" << p << '*' << n << '=' << n * p
+       << " on " << describe();
+    throw std::invalid_argument(os.str());
   }
+  OpFingerprint fp = make_fp(CollOp::kAllGather, &shard, site);
   g.src[static_cast<std::size_t>(group_rank_)] = shard.data();
-  g.bar.arrive_and_wait();
+  g.sync(group_rank_, fp, /*entry=*/true);
   float* dst = out.data();
   for (int r = 0; r < p; ++r) {
     std::memcpy(dst + static_cast<std::int64_t>(r) * n,
                 g.src[static_cast<std::size_t>(r)],
                 static_cast<std::size_t>(n) * sizeof(float));
   }
-  g.bar.arrive_and_wait();
   if (group_rank_ == 0) g.record(static_cast<std::uint64_t>(n) * sizeof(float) * static_cast<std::uint64_t>(p));
+  g.sync(group_rank_, fp, /*entry=*/false);
 }
 
 void ProcessGroup::reduce_scatter(const Tensor& input, Tensor& out,
-                                  ReduceOp op) const {
+                                  ReduceOp op, check::Site site) const {
+  require_valid("reduce_scatter");
   GroupState& g = *state_;
   const int p = size();
   const std::int64_t seg = out.numel();
   if (input.numel() != seg * p) {
-    throw std::invalid_argument("reduce_scatter: input must hold size() segments");
+    std::ostringstream os;
+    os << "reduce_scatter: input.numel()=" << input.numel()
+       << " must equal size()*out.numel()=" << p << '*' << seg << '='
+       << seg * p << " on " << describe();
+    throw std::invalid_argument(os.str());
   }
+  OpFingerprint fp = make_fp(CollOp::kReduceScatter, &out, site);
+  fp.reduce_op = static_cast<int>(op);
   g.src[static_cast<std::size_t>(group_rank_)] = input.data();
-  g.bar.arrive_and_wait();
+  g.sync(group_rank_, fp, /*entry=*/true);
   const std::int64_t off = static_cast<std::int64_t>(group_rank_) * seg;
   std::vector<float> acc(static_cast<std::size_t>(seg), 0.0f);
   const float* s0 = g.src[0] + off;
@@ -140,35 +342,45 @@ void ProcessGroup::reduce_scatter(const Tensor& input, Tensor& out,
     }
   }
   reduce_finalise(op, acc.data(), seg, p);
-  g.bar.arrive_and_wait();
-  std::memcpy(out.data(), acc.data(), static_cast<std::size_t>(seg) * sizeof(float));
   if (group_rank_ == 0) g.record(static_cast<std::uint64_t>(seg) * sizeof(float) * static_cast<std::uint64_t>(p));
+  g.sync(group_rank_, fp, /*entry=*/false);
+  std::memcpy(out.data(), acc.data(), static_cast<std::size_t>(seg) * sizeof(float));
 }
 
-void ProcessGroup::broadcast(Tensor& t, int root) const {
+void ProcessGroup::broadcast(Tensor& t, int root, check::Site site) const {
+  require_valid("broadcast");
+  require_root("broadcast", root);
   GroupState& g = *state_;
-  if (root < 0 || root >= size()) {
-    throw std::invalid_argument("broadcast: bad root");
-  }
+  OpFingerprint fp = make_fp(CollOp::kBroadcast, &t, site);
+  fp.root = root;
   g.src[static_cast<std::size_t>(group_rank_)] = t.data();
-  g.bar.arrive_and_wait();
+  g.sync(group_rank_, fp, /*entry=*/true);
   if (group_rank_ != root) {
     std::memcpy(t.data(), g.src[static_cast<std::size_t>(root)],
                 static_cast<std::size_t>(t.numel()) * sizeof(float));
   }
-  g.bar.arrive_and_wait();
   if (group_rank_ == 0) g.record(static_cast<std::uint64_t>(t.numel()) * sizeof(float));
+  g.sync(group_rank_, fp, /*entry=*/false);
 }
 
-void ProcessGroup::gather(const Tensor& shard, Tensor& out, int root) const {
+void ProcessGroup::gather(const Tensor& shard, Tensor& out, int root,
+                          check::Site site) const {
+  require_valid("gather");
+  require_root("gather", root);
   GroupState& g = *state_;
   const int p = size();
   const std::int64_t n = shard.numel();
+  OpFingerprint fp = make_fp(CollOp::kGather, &shard, site);
+  fp.root = root;
   g.src[static_cast<std::size_t>(group_rank_)] = shard.data();
-  g.bar.arrive_and_wait();
+  g.sync(group_rank_, fp, /*entry=*/true);
   if (group_rank_ == root) {
     if (out.numel() != n * p) {
-      throw std::invalid_argument("gather: out must hold size() shards");
+      std::ostringstream os;
+      os << "gather: out.numel()=" << out.numel()
+         << " must equal size()*shard.numel()=" << p << '*' << n << '='
+         << n * p << " on " << describe();
+      throw std::invalid_argument(os.str());
     }
     float* dst = out.data();
     for (int r = 0; r < p; ++r) {
@@ -177,29 +389,47 @@ void ProcessGroup::gather(const Tensor& shard, Tensor& out, int root) const {
                   static_cast<std::size_t>(n) * sizeof(float));
     }
   }
-  g.bar.arrive_and_wait();
   if (group_rank_ == 0) g.record(static_cast<std::uint64_t>(n) * sizeof(float) * static_cast<std::uint64_t>(p));
+  g.sync(group_rank_, fp, /*entry=*/false);
 }
 
-void ProcessGroup::scatter(const Tensor& input, Tensor& out, int root) const {
+void ProcessGroup::scatter(const Tensor& input, Tensor& out, int root,
+                           check::Site site) const {
+  require_valid("scatter");
+  require_root("scatter", root);
   GroupState& g = *state_;
   const int p = size();
   const std::int64_t seg = out.numel();
   if (group_rank_ == root && input.numel() != seg * p) {
-    throw std::invalid_argument("scatter: input must hold size() segments");
+    std::ostringstream os;
+    os << "scatter: input.numel()=" << input.numel()
+       << " must equal size()*out.numel()=" << p << '*' << seg << '='
+       << seg * p << " on " << describe();
+    throw std::invalid_argument(os.str());
   }
+  OpFingerprint fp = make_fp(CollOp::kScatter, &out, site);
+  fp.root = root;
   g.src[static_cast<std::size_t>(group_rank_)] =
       group_rank_ == root ? input.data() : nullptr;
-  g.bar.arrive_and_wait();
+  g.sync(group_rank_, fp, /*entry=*/true);
   const float* base = g.src[static_cast<std::size_t>(root)];
   std::memcpy(out.data(), base + static_cast<std::int64_t>(group_rank_) * seg,
               static_cast<std::size_t>(seg) * sizeof(float));
-  g.bar.arrive_and_wait();
   if (group_rank_ == 0) g.record(static_cast<std::uint64_t>(seg) * sizeof(float) * static_cast<std::uint64_t>(p));
+  g.sync(group_rank_, fp, /*entry=*/false);
 }
 
-void ProcessGroup::send(const Tensor& t, int dst, int tag) const {
+void ProcessGroup::send(const Tensor& t, int dst, int tag,
+                        check::Site site) const {
+  require_valid("send");
+  (void)site;
   GroupState& g = *state_;
+  if (dst < 0 || dst >= size()) {
+    std::ostringstream os;
+    os << "send: dst " << dst << " out of range [0, " << size() << ") on "
+       << describe();
+    throw std::invalid_argument(os.str());
+  }
   {
     std::lock_guard<std::mutex> lk(g.mail_mu);
     g.mail[{group_rank_, dst, tag}].push_back(t.clone());
@@ -208,52 +438,127 @@ void ProcessGroup::send(const Tensor& t, int dst, int tag) const {
   g.mail_cv.notify_all();
 }
 
-Tensor ProcessGroup::recv(int src, int tag) const {
+Tensor ProcessGroup::recv(int src, int tag, check::Site site) const {
+  require_valid("recv");
   GroupState& g = *state_;
-  std::unique_lock<std::mutex> lk(g.mail_mu);
+  if (src < 0 || src >= size()) {
+    std::ostringstream os;
+    os << "recv: src " << src << " out of range [0, " << size() << ") on "
+       << describe();
+    throw std::invalid_argument(os.str());
+  }
+  OpFingerprint fp = make_fp(CollOp::kRecv, nullptr, site);
+  fp.peer = src;
+  fp.tag = tag;
+  const bool checking = g.wc != nullptr && g.wc->check_enabled();
+  const int world_rank = g.members[static_cast<std::size_t>(group_rank_)];
+  if (checking) {
+    g.wc->set_blocked(world_rank, fp.describe() + " on " + g.desc);
+  }
+  struct BlockedGuard {
+    check::WorldCheck* wc;
+    int rank;
+    ~BlockedGuard() {
+      if (wc != nullptr) wc->clear_blocked(rank);
+    }
+  } guard{checking ? g.wc : nullptr, world_rank};
+
   const auto key = std::make_tuple(src, group_rank_, tag);
-  g.mail_cv.wait(lk, [&] {
+  std::unique_lock<std::mutex> lk(g.mail_mu);
+  for (;;) {
     auto it = g.mail.find(key);
-    return it != g.mail.end() && !it->second.empty();
-  });
-  auto& q = g.mail[key];
-  Tensor t = std::move(q.front());
-  q.pop_front();
-  return t;
+    if (it != g.mail.end() && !it->second.empty()) {
+      Tensor t = std::move(it->second.front());
+      it->second.pop_front();
+      return t;
+    }
+    if (g.wc != nullptr) {
+      if (g.wc->failed()) throw check::CommDesyncError(g.wc->failure());
+      if (g.wc->exited(g.members[static_cast<std::size_t>(src)])) {
+        // The sender can never deliver: either it never sent (desync) or it
+        // sent under a different tag (tag mismatch). List what it did post.
+        std::ostringstream os;
+        os << "desync on " << g.desc << ": " << fp.describe()
+           << " waits on world rank "
+           << g.members[static_cast<std::size_t>(src)] << " (group rank "
+           << src << "), which exited without a matching send;";
+        bool any = false;
+        for (const auto& [k, q] : g.mail) {
+          if (std::get<0>(k) == src && std::get<1>(k) == group_rank_ &&
+              !q.empty()) {
+            os << (any ? "," : " undelivered tags from that peer:");
+            os << ' ' << std::get<2>(k) << " (" << q.size() << " msg)";
+            any = true;
+          }
+        }
+        if (!any) os << " no undelivered messages from that peer";
+        throw check::CommDesyncError(os.str());
+      }
+    }
+    g.mail_cv.wait_for(lk, kWaitPoll);
+  }
 }
 
 std::uint64_t ProcessGroup::bytes_moved() const {
+  require_valid("bytes_moved");
   return state_->bytes.load(std::memory_order_relaxed);
 }
 
 std::uint64_t ProcessGroup::ops_issued() const {
+  require_valid("ops_issued");
   return state_->ops.load(std::memory_order_relaxed);
 }
 
 /// Shared registry of groups, indexed by creation order so each rank can
 /// attach to the group its peers created (see RankContext::new_group).
+/// Owns the per-world checker state: the rank-status registry the watchdog
+/// scans and every group's pointer into it.
 class World {
  public:
-  explicit World(int n) : size_(n) {
+  explicit World(int n) : size_(n), wc_(n) {
     std::vector<int> all(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) all[static_cast<std::size_t>(i)] = i;
-    world_state_ = std::make_shared<GroupState>(std::move(all));
+    world_state_ = std::make_shared<GroupState>(std::move(all), &wc_);
   }
 
   int size() const { return size_; }
   std::shared_ptr<GroupState> world_state() const { return world_state_; }
+  check::WorldCheck& check() { return wc_; }
 
   std::shared_ptr<GroupState> get_or_create(const std::vector<int>& ranks) {
     std::lock_guard<std::mutex> lk(mu_);
     auto it = groups_.find(ranks);
     if (it == groups_.end()) {
-      it = groups_.emplace(ranks, std::make_shared<GroupState>(ranks)).first;
+      it = groups_.emplace(ranks, std::make_shared<GroupState>(ranks, &wc_))
+               .first;
     }
     return it->second;
   }
 
+  /// Wake every blocked waiter (sync points and mailboxes) so it re-checks
+  /// its predicate — used after a rank exits or the watchdog trips.
+  void wake_all() {
+    std::vector<std::shared_ptr<GroupState>> gs;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      gs.reserve(groups_.size() + 1);
+      gs.push_back(world_state_);
+      for (const auto& [ranks, state] : groups_) gs.push_back(state);
+    }
+    for (const auto& g : gs) {
+      g->sync_cv.notify_all();
+      g->mail_cv.notify_all();
+    }
+  }
+
+  void on_rank_done(int rank, bool threw) {
+    wc_.set_exited(rank, threw);
+    wake_all();
+  }
+
  private:
   int size_;
+  check::WorldCheck wc_;
   std::shared_ptr<GroupState> world_state_;
   std::mutex mu_;
   std::map<std::vector<int>, std::shared_ptr<GroupState>> groups_;
@@ -279,23 +584,73 @@ ProcessGroup RankContext::new_group(const std::vector<int>& global_ranks) {
 void run_spmd(int world_size, const std::function<void(RankContext&)>& fn) {
   if (world_size <= 0) throw std::invalid_argument("run_spmd: world_size <= 0");
   World world(world_size);
-  std::vector<std::thread> threads;
-  std::vector<std::exception_ptr> errors(
-      static_cast<std::size_t>(world_size));
-  threads.reserve(static_cast<std::size_t>(world_size));
-  for (int r = 0; r < world_size; ++r) {
-    threads.emplace_back([&world, &fn, &errors, r] {
-      try {
-        RankContext ctx(&world, r);
-        fn(ctx);
-      } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
+  check::WorldCheck& wc = world.check();
+
+  // Deadlock watchdog: scans the rank-state registry and fails the run with
+  // a wait-graph diagnostic when a rank is blocked past the timeout.
+  std::mutex wd_mu;
+  std::condition_variable wd_cv;
+  bool wd_stop = false;
+  std::thread watchdog;
+  if (wc.check_enabled()) {
+    const auto poll = std::clamp(wc.check_timeout() / 4,
+                                 std::chrono::milliseconds(10),
+                                 std::chrono::milliseconds(100));
+    watchdog = std::thread([&world, &wc, &wd_mu, &wd_cv, &wd_stop, poll] {
+      std::unique_lock<std::mutex> lk(wd_mu);
+      while (!wd_cv.wait_for(lk, poll, [&wd_stop] { return wd_stop; })) {
+        lk.unlock();
+        if (!wc.failed()) {
+          std::string report;
+          if (wc.find_timed_out(&report)) {
+            wc.fail("[orbit::comm::check] " + report);
+            world.wake_all();
+          }
+        }
+        lk.lock();
       }
     });
   }
+
+  struct RankError {
+    std::exception_ptr ep;
+    bool from_checker = false;  ///< raised by the checker, not the rank fn
+  };
+  std::vector<std::thread> threads;
+  std::vector<RankError> errors(static_cast<std::size_t>(world_size));
+  threads.reserve(static_cast<std::size_t>(world_size));
+  for (int r = 0; r < world_size; ++r) {
+    threads.emplace_back([&world, &fn, &errors, r] {
+      bool threw = true;
+      try {
+        RankContext ctx(&world, r);
+        fn(ctx);
+        threw = false;
+      } catch (const check::CommCheckError&) {
+        errors[static_cast<std::size_t>(r)] = {std::current_exception(), true};
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = {std::current_exception(), false};
+      }
+      world.on_rank_done(r, threw);
+    });
+  }
   for (auto& t : threads) t.join();
+  if (watchdog.joinable()) {
+    {
+      std::lock_guard<std::mutex> lk(wd_mu);
+      wd_stop = true;
+    }
+    wd_cv.notify_all();
+    watchdog.join();
+  }
+  // Prefer the root cause: a rank's own exception explains the failure
+  // better than the checker-raised desync errors its peers produced while
+  // it was unwinding.
   for (const auto& e : errors) {
-    if (e) std::rethrow_exception(e);
+    if (e.ep && !e.from_checker) std::rethrow_exception(e.ep);
+  }
+  for (const auto& e : errors) {
+    if (e.ep) std::rethrow_exception(e.ep);
   }
 }
 

@@ -10,9 +10,17 @@
 /// SPMD launcher for the simulated cluster.
 ///
 /// `run_spmd(n, fn)` starts `n` rank threads, hands each a `RankContext`,
-/// and joins them. Exceptions thrown by any rank are collected and the
-/// first is rethrown after all threads finish (a rank that throws while
-/// peers wait in a collective is a programming error, like MPI).
+/// and joins them. Exceptions thrown by any rank are collected and one is
+/// rethrown after all threads finish (a rank that throws while peers wait
+/// in a collective is a programming error, like MPI). Rank-raised
+/// exceptions take precedence over the checker's secondary desync errors,
+/// so the root cause surfaces.
+///
+/// While ranks run, the collective-correctness checker (see check.hpp) is
+/// active: collectives cross-validate operation fingerprints, peers of a
+/// rank that exits mid-collective fail fast instead of hanging, and — when
+/// `ORBIT_COMM_CHECK` is enabled — a watchdog thread reports ranks blocked
+/// past `ORBIT_COMM_TIMEOUT_MS` with a per-rank wait-graph.
 
 namespace orbit::comm {
 

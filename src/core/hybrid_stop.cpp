@@ -16,7 +16,11 @@ namespace {
 Tensor shard_cols(const Tensor& w, const comm::ProcessGroup& g) {
   const std::int64_t out = w.dim(1);
   if (out % g.size() != 0) {
-    throw std::invalid_argument("hybrid-stop: column dim not divisible by tp");
+    throw std::invalid_argument("hybrid-stop: column dim " +
+                                std::to_string(out) +
+                                " not divisible by TP size " +
+                                std::to_string(g.size()) + " on " +
+                                g.describe());
   }
   const std::int64_t each = out / g.size();
   return slice(w, 1, g.rank() * each, (g.rank() + 1) * each);
@@ -25,7 +29,10 @@ Tensor shard_cols(const Tensor& w, const comm::ProcessGroup& g) {
 Tensor shard_rows(const Tensor& w, const comm::ProcessGroup& g) {
   const std::int64_t in = w.dim(0);
   if (in % g.size() != 0) {
-    throw std::invalid_argument("hybrid-stop: row dim not divisible by tp");
+    throw std::invalid_argument("hybrid-stop: row dim " + std::to_string(in) +
+                                " not divisible by TP size " +
+                                std::to_string(g.size()) + " on " +
+                                g.describe());
   }
   const std::int64_t each = in / g.size();
   return slice(w, 0, g.rank() * each, (g.rank() + 1) * each);
@@ -34,7 +41,11 @@ Tensor shard_rows(const Tensor& w, const comm::ProcessGroup& g) {
 Tensor shard_vec(const Tensor& v, const comm::ProcessGroup& g) {
   const std::int64_t n = v.dim(0);
   if (n % g.size() != 0) {
-    throw std::invalid_argument("hybrid-stop: bias not divisible by tp");
+    throw std::invalid_argument("hybrid-stop: bias length " +
+                                std::to_string(n) +
+                                " not divisible by TP size " +
+                                std::to_string(g.size()) + " on " +
+                                g.describe());
   }
   const std::int64_t each = n / g.size();
   return slice(v, 0, g.rank() * each, (g.rank() + 1) * each);
@@ -193,8 +204,11 @@ HsAttention::HsAttention(std::string name,
       bo_(name + ".bo", reference.wo().bias().value.clone()) {
   if (tp_.size() > heads_ || heads_ % tp_.size() != 0) {
     throw std::invalid_argument(
-        "HsAttention: attention TP sharding follows head blocks; use a TP "
-        "size dividing the head count (scale further with the FSDP axis)");
+        "HsAttention: TP size " + std::to_string(tp_.size()) +
+        " must divide the head count " + std::to_string(heads_) + " (on " +
+        tp_.describe() +
+        ") — attention TP sharding follows head blocks; scale further with "
+        "the FSDP axis");
   }
   local_heads_ = heads_ / tp_.size();
   scale_ = 1.0f / std::sqrt(static_cast<float>(head_dim_));

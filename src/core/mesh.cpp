@@ -10,8 +10,10 @@ HybridMesh HybridMesh::build(comm::RankContext& ctx, int ddp, int fsdp,
   if (ddp < 1 || fsdp < 1 || tp < 1 ||
       ddp * fsdp * tp != ctx.world_size()) {
     throw std::invalid_argument(
-        "HybridMesh: ddp*fsdp*tp must equal world size (" +
-        std::to_string(ctx.world_size()) + ")");
+        "HybridMesh: ddp*fsdp*tp = " + std::to_string(ddp) + "*" +
+        std::to_string(fsdp) + "*" + std::to_string(tp) +
+        " must equal world size " + std::to_string(ctx.world_size()) +
+        " (every axis >= 1)");
   }
   HybridMesh m;
   m.ddp_size = ddp;

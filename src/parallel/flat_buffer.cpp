@@ -7,7 +7,10 @@ namespace orbit::parallel {
 
 FlatParamSet::FlatParamSet(std::vector<model::Param*> params, int num_shards)
     : params_(std::move(params)), num_shards_(num_shards) {
-  if (num_shards_ < 1) throw std::invalid_argument("FlatParamSet: shards < 1");
+  if (num_shards_ < 1) {
+    throw std::invalid_argument("FlatParamSet: num_shards=" +
+                                std::to_string(num_shards_) + " must be >= 1");
+  }
   offsets_.reserve(params_.size());
   std::int64_t off = 0;
   for (const model::Param* p : params_) {
@@ -32,7 +35,9 @@ Tensor FlatParamSet::pack_values() const {
 
 void FlatParamSet::unpack_values(const Tensor& flat) const {
   if (flat.numel() != flat_size_) {
-    throw std::invalid_argument("unpack_values: size mismatch");
+    throw std::invalid_argument(
+        "unpack_values: flat.numel()=" + std::to_string(flat.numel()) +
+        " != flat_size=" + std::to_string(flat_size_));
   }
   for (std::size_t i = 0; i < params_.size(); ++i) {
     std::memcpy(params_[i]->value.data(), flat.data() + offsets_[i],
@@ -51,7 +56,9 @@ Tensor FlatParamSet::pack_grads() const {
 
 void FlatParamSet::unpack_grads(const Tensor& flat) const {
   if (flat.numel() != flat_size_) {
-    throw std::invalid_argument("unpack_grads: size mismatch");
+    throw std::invalid_argument(
+        "unpack_grads: flat.numel()=" + std::to_string(flat.numel()) +
+        " != flat_size=" + std::to_string(flat_size_));
   }
   for (std::size_t i = 0; i < params_.size(); ++i) {
     std::memcpy(params_[i]->grad.data(), flat.data() + offsets_[i],
@@ -61,7 +68,9 @@ void FlatParamSet::unpack_grads(const Tensor& flat) const {
 
 Tensor FlatParamSet::extract_shard(const Tensor& flat, int idx) const {
   if (idx < 0 || idx >= num_shards_) {
-    throw std::invalid_argument("extract_shard: bad index");
+    throw std::invalid_argument(
+        "extract_shard: shard index " + std::to_string(idx) +
+        " out of range [0, " + std::to_string(num_shards_) + ")");
   }
   Tensor shard = Tensor::empty({shard_size_});
   std::memcpy(shard.data(), flat.data() + static_cast<std::int64_t>(idx) * shard_size_,
@@ -72,7 +81,11 @@ Tensor FlatParamSet::extract_shard(const Tensor& flat, int idx) const {
 void FlatParamSet::insert_shard(Tensor& flat, const Tensor& shard,
                                 int idx) const {
   if (shard.numel() != shard_size_ || flat.numel() != flat_size_) {
-    throw std::invalid_argument("insert_shard: size mismatch");
+    throw std::invalid_argument(
+        "insert_shard: shard.numel()=" + std::to_string(shard.numel()) +
+        " (want " + std::to_string(shard_size_) + "), flat.numel()=" +
+        std::to_string(flat.numel()) + " (want " + std::to_string(flat_size_) +
+        ")");
   }
   std::memcpy(flat.data() + static_cast<std::int64_t>(idx) * shard_size_,
               shard.data(),

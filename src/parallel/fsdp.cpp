@@ -9,7 +9,11 @@ namespace orbit::parallel {
 FsdpTower::FsdpTower(model::TransformerTower& tower, comm::ProcessGroup group,
                      FsdpOptions opts)
     : tower_(tower), group_(std::move(group)), opts_(opts) {
-  if (!group_.valid()) throw std::invalid_argument("FsdpTower: invalid group");
+  if (!group_.valid()) {
+    throw std::invalid_argument(
+        "FsdpTower: caller is not a member of the FSDP group "
+        "(invalid handle; guard with valid())");
+  }
 
   std::vector<std::vector<model::Param*>> unit_params;
   if (opts_.wrap_layers) {

@@ -14,13 +14,16 @@ PipelineTower::PipelineTower(const model::VitConfig& cfg,
                              comm::ProcessGroup group)
     : group_(std::move(group)) {
   if (!group_.valid()) {
-    throw std::invalid_argument("PipelineTower: invalid group");
+    throw std::invalid_argument(
+        "PipelineTower: caller is not a member of the pipeline group "
+        "(invalid handle; guard with valid())");
   }
   const int stages = group_.size();
   if (static_cast<std::int64_t>(stages) > cfg.layers) {
     throw std::invalid_argument(
-        "PipelineTower: more stages than layers — the pipeline scalability "
-        "limit the paper's Sec. II describes");
+        "PipelineTower: " + std::to_string(stages) + " stages > " +
+        std::to_string(cfg.layers) + " layers on " + group_.describe() +
+        " — the pipeline scalability limit the paper's Sec. II describes");
   }
   Rng rng(cfg.seed);
   full_ = std::make_unique<model::TransformerTower>("tower", cfg, rng);

@@ -15,7 +15,11 @@ namespace {
 Tensor shard_cols(const Tensor& w, const comm::ProcessGroup& g) {
   const std::int64_t out = w.dim(1);
   if (out % g.size() != 0) {
-    throw std::invalid_argument("tensor parallel: out dim not divisible");
+    throw std::invalid_argument("tensor parallel: out dim " +
+                                std::to_string(out) +
+                                " not divisible by TP size " +
+                                std::to_string(g.size()) + " on " +
+                                g.describe());
   }
   const std::int64_t each = out / g.size();
   return slice(w, 1, g.rank() * each, (g.rank() + 1) * each);
@@ -25,7 +29,11 @@ Tensor shard_cols(const Tensor& w, const comm::ProcessGroup& g) {
 Tensor shard_rows(const Tensor& w, const comm::ProcessGroup& g) {
   const std::int64_t in = w.dim(0);
   if (in % g.size() != 0) {
-    throw std::invalid_argument("tensor parallel: in dim not divisible");
+    throw std::invalid_argument("tensor parallel: in dim " +
+                                std::to_string(in) +
+                                " not divisible by TP size " +
+                                std::to_string(g.size()) + " on " +
+                                g.describe());
   }
   const std::int64_t each = in / g.size();
   return slice(w, 0, g.rank() * each, (g.rank() + 1) * each);
@@ -34,7 +42,11 @@ Tensor shard_rows(const Tensor& w, const comm::ProcessGroup& g) {
 Tensor shard_vec(const Tensor& v, const comm::ProcessGroup& g) {
   const std::int64_t n = v.dim(0);
   if (n % g.size() != 0) {
-    throw std::invalid_argument("tensor parallel: vector not divisible");
+    throw std::invalid_argument("tensor parallel: vector length " +
+                                std::to_string(n) +
+                                " not divisible by TP size " +
+                                std::to_string(g.size()) + " on " +
+                                g.describe());
   }
   const std::int64_t each = n / g.size();
   return slice(v, 0, g.rank() * each, (g.rank() + 1) * each);
@@ -86,7 +98,10 @@ Tensor RowParallelLinear::forward(const Tensor& x_local) {
   cached_in_shape_ = x_local.shape();
   cached_x2d_ = x_local.reshape({-1, x_local.dim(-1)});
   if (cached_x2d_.dim(1) != w_.value.dim(0)) {
-    throw std::invalid_argument("RowParallelLinear: input shard mismatch");
+    throw std::invalid_argument(
+        "RowParallelLinear: input shard width " +
+        std::to_string(cached_x2d_.dim(1)) + " != weight shard rows " +
+        std::to_string(w_.value.dim(0)) + " on " + group_.describe());
   }
   Tensor y = matmul(cached_x2d_, w_.value);
   // Partial products over row shards sum to the full output (paper Eqn. 2).
@@ -148,8 +163,10 @@ TpAttention::TpAttention(std::string name,
       head_dim_(embed / heads) {
   if (group_.size() > heads || heads % group_.size() != 0) {
     throw std::invalid_argument(
-        "TpAttention: tensor-parallel size must divide the head count — "
-        "the Megatron TP limit the paper's Fig. 5 demonstrates");
+        "TpAttention: tensor-parallel size " + std::to_string(group_.size()) +
+        " must divide the head count " + std::to_string(heads) + " (on " +
+        group_.describe() +
+        ") — the Megatron TP limit the paper's Fig. 5 demonstrates");
   }
   local_heads_ = heads / group_.size();
   scale_ = 1.0f / std::sqrt(static_cast<float>(head_dim_));

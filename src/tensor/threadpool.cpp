@@ -49,11 +49,16 @@ class Pool {
     std::unique_lock<std::mutex> lk(run_mu_);  // one parallel region at a time
     {
       std::lock_guard<std::mutex> g(mu_);
-      task_fn_ = &fn;
-      task_n_ = n;
-      task_chunks_ = chunks;
-      next_chunk_.store(0, std::memory_order_relaxed);
+      // A straggler from the previous region may still be spinning in
+      // work(), so the task slot is atomics published by the release store
+      // of next_chunk_ (its acquire fetch_add in work() pairs with it).
+      // pending_ is set before next_chunk_ so a straggler that claims a
+      // chunk of this region never decrements a stale counter.
+      task_fn_.store(&fn, std::memory_order_relaxed);
+      task_n_.store(n, std::memory_order_relaxed);
+      task_chunks_.store(chunks, std::memory_order_relaxed);
       pending_.store(static_cast<int>(chunks), std::memory_order_relaxed);
+      next_chunk_.store(0, std::memory_order_release);
       ++epoch_;
     }
     cv_.notify_all();
@@ -65,7 +70,7 @@ class Pool {
     });
     {
       std::lock_guard<std::mutex> g(mu_);
-      task_fn_ = nullptr;
+      task_fn_.store(nullptr, std::memory_order_relaxed);
     }
   }
 
@@ -89,12 +94,15 @@ class Pool {
     tl_in_pool = true;
     for (;;) {
       const std::int64_t c =
-          next_chunk_.fetch_add(1, std::memory_order_relaxed);
-      if (c >= task_chunks_) break;
-      const std::int64_t per = (task_n_ + task_chunks_ - 1) / task_chunks_;
+          next_chunk_.fetch_add(1, std::memory_order_acquire);
+      const std::int64_t chunks = task_chunks_.load(std::memory_order_relaxed);
+      if (c >= chunks) break;
+      const std::int64_t n = task_n_.load(std::memory_order_relaxed);
+      const auto* fn = task_fn_.load(std::memory_order_relaxed);
+      const std::int64_t per = (n + chunks - 1) / chunks;
       const std::int64_t b = c * per;
-      const std::int64_t e = std::min(task_n_, b + per);
-      if (b < e) (*task_fn_)(b, e);
+      const std::int64_t e = std::min(n, b + per);
+      if (b < e) (*fn)(b, e);
       if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> dk(done_mu_);
         done_cv_.notify_all();
@@ -113,9 +121,10 @@ class Pool {
   bool stop_;
   std::uint64_t epoch_;
 
-  const std::function<void(std::int64_t, std::int64_t)>* task_fn_ = nullptr;
-  std::int64_t task_n_ = 0;
-  std::int64_t task_chunks_ = 0;
+  std::atomic<const std::function<void(std::int64_t, std::int64_t)>*>
+      task_fn_{nullptr};
+  std::atomic<std::int64_t> task_n_{0};
+  std::atomic<std::int64_t> task_chunks_{0};
   std::atomic<std::int64_t> next_chunk_{0};
   std::atomic<int> pending_{0};
 };

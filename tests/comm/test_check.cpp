@@ -1,0 +1,426 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "comm/check.hpp"
+#include "comm/world.hpp"
+#include "tensor/ops.hpp"
+
+/// Tests for the collective-correctness checker itself: each deliberate
+/// contract violation — mismatched collectives, wrong roots, a rank exiting
+/// or throwing mid-collective, send/recv tag mismatches, true deadlocks —
+/// must produce the expected diagnostic instead of corrupting data or
+/// hanging the suite.
+
+namespace orbit::comm {
+namespace {
+
+using check::CollectiveMismatchError;
+using check::CommCheckError;
+using check::CommDesyncError;
+using check::ScopedConfig;
+
+/// Run `fn` on `world` ranks, expecting an E; returns its message.
+template <typename E>
+std::string expect_comm_error(int world,
+                              const std::function<void(RankContext&)>& fn) {
+  try {
+    run_spmd(world, fn);
+  } catch (const E& e) {
+    return e.what();
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "wrong exception type: " << e.what();
+    return {};
+  }
+  ADD_FAILURE() << "expected a checker diagnostic, but the run completed";
+  return {};
+}
+
+TEST(CommCheck, MismatchedCollectiveReportsBothCallSites) {
+  // Rank 0 calls all_reduce while rank 1 calls all_gather on the same
+  // group: the fingerprint exchange must abort the run naming each rank's
+  // operation and call site, before any data moves.
+  const std::string msg = expect_comm_error<CollectiveMismatchError>(
+      2, [](RankContext& ctx) {
+        auto g = ctx.world_group();
+        Tensor t = Tensor::ones({8});
+        if (ctx.rank() == 0) {
+          g.all_reduce(t);
+        } else {
+          Tensor out = Tensor::empty({16});
+          g.all_gather(t, out);
+        }
+      });
+  EXPECT_NE(msg.find("collective mismatch"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("group {0,1}"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("all_reduce"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("all_gather"), std::string::npos) << msg;
+  // Both call sites: the diagnostic cites this file once per rank.
+  const auto first = msg.find("test_check.cpp");
+  ASSERT_NE(first, std::string::npos) << msg;
+  EXPECT_NE(msg.find("test_check.cpp", first + 1), std::string::npos) << msg;
+}
+
+TEST(CommCheck, MismatchedNumelDetected) {
+  const std::string msg = expect_comm_error<CollectiveMismatchError>(
+      2, [](RankContext& ctx) {
+        auto g = ctx.world_group();
+        Tensor t = Tensor::ones({ctx.rank() == 0 ? 8 : 4});
+        g.all_reduce(t);
+      });
+  EXPECT_NE(msg.find("payload numel"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("numel=8"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("numel=4"), std::string::npos) << msg;
+}
+
+TEST(CommCheck, MismatchedReduceOpDetected) {
+  const std::string msg = expect_comm_error<CollectiveMismatchError>(
+      2, [](RankContext& ctx) {
+        auto g = ctx.world_group();
+        Tensor t = Tensor::ones({4});
+        g.all_reduce(t, ctx.rank() == 0 ? ReduceOp::kSum : ReduceOp::kMax);
+      });
+  EXPECT_NE(msg.find("reduce op"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("red=sum"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("red=max"), std::string::npos) << msg;
+}
+
+TEST(CommCheck, WrongRootBroadcastDetected) {
+  // Each rank names itself as root — a classic SPMD bug (root must be a
+  // group-constant, not the caller's own rank).
+  const std::string msg = expect_comm_error<CollectiveMismatchError>(
+      2, [](RankContext& ctx) {
+        auto g = ctx.world_group();
+        Tensor t = Tensor::ones({4});
+        g.broadcast(t, /*root=*/ctx.rank());
+      });
+  EXPECT_NE(msg.find("diverged on root"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("root=0"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("root=1"), std::string::npos) << msg;
+}
+
+TEST(CommCheck, SequenceNumberNamesTheDivergentStep) {
+  // Two matching collectives, then a divergence: the diagnostic must name
+  // sequence number 2, proving per-group op counting.
+  const std::string msg = expect_comm_error<CollectiveMismatchError>(
+      2, [](RankContext& ctx) {
+        auto g = ctx.world_group();
+        Tensor t = Tensor::ones({4});
+        g.all_reduce(t);
+        g.all_reduce(t);
+        if (ctx.rank() == 0) {
+          g.all_reduce(t);
+        } else {
+          g.barrier();
+        }
+      });
+  EXPECT_NE(msg.find("at seq 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("barrier"), std::string::npos) << msg;
+}
+
+TEST(CommCheck, RankExitsEarlyFailsPeersInsteadOfHanging) {
+  const std::string msg =
+      expect_comm_error<CommDesyncError>(2, [](RankContext& ctx) {
+        if (ctx.rank() == 1) return;  // deserts before the collective
+        Tensor t = Tensor::ones({4});
+        ctx.world_group().all_reduce(t);
+      });
+  EXPECT_NE(msg.find("desync"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("world rank 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("all_reduce"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("exited"), std::string::npos) << msg;
+}
+
+TEST(CommCheck, RankThrowSurfacesRootCauseNotDesync) {
+  // Rank 1 throws while rank 0 waits in all_reduce. Rank 0 raises a
+  // secondary desync error, but run_spmd must rethrow the root cause.
+  try {
+    run_spmd(2, [](RankContext& ctx) {
+      if (ctx.rank() == 1) throw std::runtime_error("original failure");
+      Tensor t = Tensor::ones({4});
+      ctx.world_group().all_reduce(t);
+    });
+    FAIL() << "expected an exception";
+  } catch (const CommCheckError& e) {
+    FAIL() << "checker error masked the root cause: " << e.what();
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "original failure");
+  }
+}
+
+TEST(CommCheck, SendRecvTagMismatchDetected) {
+  // Rank 0 posts tag 1 and exits; rank 1 waits for tag 2 — the receive can
+  // never complete, and the diagnostic lists the undelivered tag.
+  const std::string msg =
+      expect_comm_error<CommDesyncError>(2, [](RankContext& ctx) {
+        auto g = ctx.world_group();
+        if (ctx.rank() == 0) {
+          g.send(Tensor::ones({2}), /*dst=*/1, /*tag=*/1);
+        } else {
+          (void)g.recv(/*src=*/0, /*tag=*/2);
+        }
+      });
+  EXPECT_NE(msg.find("recv(src=0 tag=2)"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("without a matching send"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("undelivered tags"), std::string::npos) << msg;
+}
+
+TEST(CommCheck, WatchdogBreaksTrueDeadlockWithWaitGraph) {
+  // Both ranks recv from each other: no rank exits, so only the watchdog
+  // can break the cycle. It must report the per-rank wait-graph.
+  ScopedConfig cfg(/*on=*/true, /*timeout_ms=*/300);
+  const std::string msg =
+      expect_comm_error<CommDesyncError>(2, [](RankContext& ctx) {
+        auto g = ctx.world_group();
+        (void)g.recv(/*src=*/1 - ctx.rank(), /*tag=*/0);
+      });
+  EXPECT_NE(msg.find("watchdog timeout"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("wait-graph"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("rank 0: blocked in recv"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("rank 1: blocked in recv"), std::string::npos) << msg;
+}
+
+TEST(CommCheck, WatchdogReportsRankStuckInCollective) {
+  // Rank 1 never joins the barrier but also never exits (it sleeps in a
+  // recv on another tagline? no — it blocks in a recv that rank 0 will
+  // never satisfy while rank 0 blocks in the barrier: a cross-op deadlock).
+  ScopedConfig cfg(/*on=*/true, /*timeout_ms=*/300);
+  const std::string msg =
+      expect_comm_error<CommDesyncError>(2, [](RankContext& ctx) {
+        auto g = ctx.world_group();
+        if (ctx.rank() == 0) {
+          g.barrier();
+        } else {
+          (void)g.recv(/*src=*/0, /*tag=*/9);
+        }
+      });
+  EXPECT_NE(msg.find("barrier"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("recv(src=0 tag=9)"), std::string::npos) << msg;
+}
+
+TEST(CommCheck, DisabledCheckerStillDetectsPeerExit) {
+  // ORBIT_COMM_CHECK=off drops fingerprints and the watchdog, but peers of
+  // an exited rank must still fail fast — a hung ctest helps nobody.
+  ScopedConfig cfg(/*on=*/false, /*timeout_ms=*/30000);
+  const std::string msg =
+      expect_comm_error<CommDesyncError>(2, [](RankContext& ctx) {
+        if (ctx.rank() == 1) return;
+        Tensor t = Tensor::ones({4});
+        ctx.world_group().all_reduce(t);
+      });
+  EXPECT_NE(msg.find("exited"), std::string::npos) << msg;
+}
+
+TEST(CommCheck, DisabledCheckerKeepsCollectivesCorrect) {
+  ScopedConfig cfg(/*on=*/false, /*timeout_ms=*/30000);
+  run_spmd(4, [](RankContext& ctx) {
+    auto g = ctx.world_group();
+    Tensor t = Tensor::full({16}, static_cast<float>(ctx.rank() + 1));
+    g.all_reduce(t);
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+      ASSERT_FLOAT_EQ(t[i], 10.0f);
+    }
+  });
+}
+
+TEST(CommCheck, MismatchAbortsBeforeDataCorruption) {
+  // The divergent ranks' tensors must be untouched: validation happens
+  // before any staging reads or writes.
+  run_spmd(2, [](RankContext& ctx) {
+    auto g = ctx.world_group();
+    Tensor t = Tensor::full({4}, 3.0f);
+    try {
+      if (ctx.rank() == 0) {
+        g.all_reduce(t);
+      } else {
+        Tensor out = Tensor::empty({8});
+        g.all_gather(t, out);
+      }
+      ADD_FAILURE() << "mismatch not detected";
+    } catch (const CollectiveMismatchError&) {
+      for (std::int64_t i = 0; i < 4; ++i) ASSERT_FLOAT_EQ(t[i], 3.0f);
+    }
+  });
+}
+
+TEST(CommCheck, PoisonedGroupStaysPoisoned) {
+  // After a mismatch the group is unusable: later collectives on it throw
+  // the sticky diagnostic immediately rather than desynchronising further.
+  run_spmd(2, [](RankContext& ctx) {
+    auto g = ctx.world_group();
+    Tensor t = Tensor::ones({4});
+    try {
+      if (ctx.rank() == 0) {
+        g.all_reduce(t);
+      } else {
+        g.barrier();
+      }
+    } catch (const CollectiveMismatchError&) {
+    }
+    EXPECT_THROW(g.all_reduce(t), CollectiveMismatchError);
+  });
+}
+
+// ---- invalid-handle fail-fast (satellite) --------------------------------
+
+TEST(CommCheck, InvalidHandleFailsFastOnEveryOperation) {
+  run_spmd(3, [](RankContext& ctx) {
+    auto g = ctx.new_group({0, 2});
+    if (ctx.rank() != 1) return;
+    ASSERT_FALSE(g.valid());
+    EXPECT_EQ(g.rank(), -1);
+    Tensor t = Tensor::ones({4});
+    Tensor out = Tensor::empty({8});
+    EXPECT_THROW(g.size(), std::logic_error);
+    EXPECT_THROW(g.members(), std::logic_error);
+    EXPECT_THROW(g.barrier(), std::logic_error);
+    EXPECT_THROW(g.all_reduce(t), std::logic_error);
+    EXPECT_THROW(g.all_gather(t, out), std::logic_error);
+    EXPECT_THROW(g.reduce_scatter(out, t), std::logic_error);
+    EXPECT_THROW(g.broadcast(t, 0), std::logic_error);
+    EXPECT_THROW(g.gather(t, out, 0), std::logic_error);
+    EXPECT_THROW(g.scatter(out, t, 0), std::logic_error);
+    EXPECT_THROW(g.send(t, 0, 0), std::logic_error);
+    EXPECT_THROW(g.recv(0, 0), std::logic_error);
+    EXPECT_THROW(g.bytes_moved(), std::logic_error);
+    EXPECT_THROW(g.ops_issued(), std::logic_error);
+    try {
+      g.all_reduce(t);
+    } catch (const std::logic_error& e) {
+      EXPECT_NE(std::string(e.what()).find("invalid group handle"),
+                std::string::npos)
+          << e.what();
+    }
+  });
+}
+
+// ---- argument validation (satellite) -------------------------------------
+
+TEST(CommCheck, AllGatherSizeValidationNamesGroupAndRank) {
+  run_spmd(2, [](RankContext& ctx) {
+    auto g = ctx.world_group();
+    Tensor shard = Tensor::ones({4});
+    Tensor out = Tensor::empty({7});  // must be 2 * 4
+    try {
+      g.all_gather(shard, out);
+      ADD_FAILURE() << "expected invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("all_gather"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("out.numel()=7"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("2*4=8"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("group {0,1} rank " + std::to_string(ctx.rank())),
+                std::string::npos)
+          << msg;
+    }
+    // Both ranks threw before the sync: the group is still usable.
+    Tensor ok = Tensor::empty({8});
+    g.all_gather(shard, ok);
+    ASSERT_FLOAT_EQ(ok[7], 1.0f);
+  });
+}
+
+TEST(CommCheck, ReduceScatterDivisibilityValidated) {
+  run_spmd(2, [](RankContext& ctx) {
+    auto g = ctx.world_group();
+    Tensor input = Tensor::ones({9});  // not 2 * out.numel()
+    Tensor out = Tensor::empty({4});
+    try {
+      g.reduce_scatter(input, out);
+      ADD_FAILURE() << "expected invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("reduce_scatter"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("input.numel()=9"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("group {0,1}"), std::string::npos) << msg;
+    }
+  });
+}
+
+TEST(CommCheck, RootRangeValidated) {
+  run_spmd(2, [](RankContext& ctx) {
+    auto g = ctx.world_group();
+    Tensor t = Tensor::ones({4});
+    Tensor out = Tensor::empty({8});
+    EXPECT_THROW(g.broadcast(t, 2), std::invalid_argument);
+    EXPECT_THROW(g.broadcast(t, -1), std::invalid_argument);
+    EXPECT_THROW(g.gather(t, out, 5), std::invalid_argument);
+    EXPECT_THROW(g.scatter(out, t, 2), std::invalid_argument);
+    try {
+      g.broadcast(t, 2);
+    } catch (const std::invalid_argument& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("root 2 out of range [0, 2)"), std::string::npos)
+          << msg;
+      EXPECT_NE(msg.find("group {0,1}"), std::string::npos) << msg;
+    }
+  });
+}
+
+TEST(CommCheck, SendRecvPeerRangeValidated) {
+  run_spmd(2, [](RankContext& ctx) {
+    auto g = ctx.world_group();
+    Tensor t = Tensor::ones({2});
+    EXPECT_THROW(g.send(t, 7, 0), std::invalid_argument);
+    EXPECT_THROW(g.recv(-3, 0), std::invalid_argument);
+  });
+}
+
+// ---- fingerprint plumbing ------------------------------------------------
+
+TEST(CommCheck, SiteMacroAndDescribe) {
+  const check::Site site = ORBIT_COMM_SITE;
+  EXPECT_NE(site.str().find("test_check.cpp"), std::string::npos);
+  check::OpFingerprint fp;
+  fp.op = check::CollOp::kAllReduce;
+  fp.numel = 16;
+  fp.shape = {4, 4};
+  fp.reduce_op = static_cast<int>(ReduceOp::kAvg);
+  fp.seq = 3;
+  fp.site = site;
+  const std::string d = fp.describe();
+  EXPECT_NE(d.find("all_reduce"), std::string::npos) << d;
+  EXPECT_NE(d.find("numel=16"), std::string::npos) << d;
+  EXPECT_NE(d.find("shape=[4,4]"), std::string::npos) << d;
+  EXPECT_NE(d.find("red=avg"), std::string::npos) << d;
+  EXPECT_NE(d.find("seq=3"), std::string::npos) << d;
+}
+
+TEST(CommCheck, FingerprintMismatchFieldNames) {
+  check::OpFingerprint a;
+  a.op = check::CollOp::kAllReduce;
+  a.numel = 8;
+  a.shape = {8};
+  check::OpFingerprint b = a;
+  EXPECT_FALSE(check::fingerprint_mismatch(a, b).has_value());
+  b.numel = 4;
+  b.shape = {4};
+  EXPECT_EQ(*check::fingerprint_mismatch(a, b), "payload numel");
+  b = a;
+  b.op = check::CollOp::kBroadcast;
+  EXPECT_EQ(*check::fingerprint_mismatch(a, b), "operation");
+  b = a;
+  b.shape = {2, 4};
+  EXPECT_EQ(*check::fingerprint_mismatch(a, b), "payload shape");
+}
+
+TEST(CommCheck, CheckerOverheadDoesNotBreakManyCollectives) {
+  // Smoke-stress: hundreds of validated collectives across nested groups.
+  run_spmd(4, [](RankContext& ctx) {
+    auto world = ctx.world_group();
+    auto pair = ctx.new_group(ctx.rank() < 2 ? std::vector<int>{0, 1}
+                                             : std::vector<int>{2, 3});
+    Tensor t = Tensor::ones({32});
+    for (int i = 0; i < 100; ++i) {
+      world.all_reduce(t, ReduceOp::kAvg);
+      pair.all_reduce(t, ReduceOp::kAvg);
+      world.barrier();
+    }
+    ASSERT_FLOAT_EQ(t[0], 1.0f);
+  });
+}
+
+}  // namespace
+}  // namespace orbit::comm

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Verification build matrix: the tier-1 test suite under AddressSanitizer and
+# ThreadSanitizer (with the collective-correctness checker enabled), plus
+# clang-tidy static analysis. Prints a pass/fail matrix and exits non-zero if
+# any leg fails. Legs whose tooling is unavailable are reported SKIP.
+#
+# Usage: tools/check_build.sh [--quick]
+#   --quick   run only the comm-labelled checker tests in the sanitizer legs
+#             (fast smoke of the verification layer itself)
+set -u
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+CTEST_ARGS=(--output-on-failure "-j${JOBS}")
+if [ "${1:-}" = "--quick" ]; then
+  CTEST_ARGS+=(-L comm)
+fi
+
+declare -A RESULT
+
+run_leg() {
+  # run_leg <name> <build-dir> <sanitize-mode>
+  local name="$1" dir="$2" mode="$3"
+  echo "==== [${name}] configure + build (ORBIT_SANITIZE=${mode}) ===="
+  if ! cmake -B "${dir}" -S . -DORBIT_SANITIZE="${mode}" \
+        -DORBIT_BUILD_BENCH=OFF -DORBIT_BUILD_EXAMPLES=OFF; then
+    RESULT[${name}]="FAIL (configure)"
+    return 1
+  fi
+  if ! cmake --build "${dir}" "-j${JOBS}"; then
+    RESULT[${name}]="FAIL (build)"
+    return 1
+  fi
+  echo "==== [${name}] ctest ===="
+  if (cd "${dir}" && ctest "${CTEST_ARGS[@]}"); then
+    RESULT[${name}]="PASS"
+  else
+    RESULT[${name}]="FAIL (tests)"
+    return 1
+  fi
+}
+
+overall=0
+
+run_leg asan build-asan address || overall=1
+run_leg tsan build-tsan thread || overall=1
+
+echo "==== [tidy] clang-tidy ===="
+# Reuse the ASan build's compilation database; flags are identical modulo
+# the sanitizer switches, which clang-tidy tolerates.
+tidy_out="$(tools/lint.sh build-asan 2>&1)"
+tidy_rc=$?
+echo "${tidy_out}"
+if echo "${tidy_out}" | grep -q "SKIPPED"; then
+  RESULT[tidy]="SKIP (clang-tidy not installed)"
+elif [ "${tidy_rc}" -eq 0 ]; then
+  RESULT[tidy]="PASS"
+else
+  RESULT[tidy]="FAIL"
+  overall=1
+fi
+
+echo
+echo "==== verification matrix ===="
+for leg in asan tsan tidy; do
+  printf '  %-6s %s\n' "${leg}" "${RESULT[${leg}]:-not run}"
+done
+exit "${overall}"

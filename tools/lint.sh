@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# clang-tidy runner for the concurrency-heavy modules (src/comm, src/parallel).
+#
+# Usage: tools/lint.sh [build-dir]
+#   build-dir (default: build) must contain compile_commands.json — configure
+#   with `cmake -B build -S .` first (CMAKE_EXPORT_COMPILE_COMMANDS is on by
+#   default in this project).
+#
+# Exits 0 with a SKIPPED notice when clang-tidy is not installed, so the
+# `lint` target never breaks environments without LLVM tooling.
+set -u
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+find_clang_tidy() {
+  if [ -n "${CLANG_TIDY:-}" ] && command -v "${CLANG_TIDY}" >/dev/null 2>&1; then
+    echo "${CLANG_TIDY}"
+    return 0
+  fi
+  for candidate in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 \
+                   clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      echo "${candidate}"
+      return 0
+    fi
+  done
+  return 1
+}
+
+if ! TIDY="$(find_clang_tidy)"; then
+  echo "lint: SKIPPED — clang-tidy not found (set CLANG_TIDY or install LLVM tools)"
+  exit 0
+fi
+
+if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+  echo "lint: no ${BUILD_DIR}/compile_commands.json — run: cmake -B ${BUILD_DIR} -S ."
+  exit 1
+fi
+
+FILES=$(ls src/comm/*.cpp src/parallel/*.cpp 2>/dev/null)
+if [ -z "${FILES}" ]; then
+  echo "lint: no sources found under src/comm and src/parallel"
+  exit 1
+fi
+
+echo "lint: ${TIDY} over:"
+printf '  %s\n' ${FILES}
+
+status=0
+for f in ${FILES}; do
+  if ! "${TIDY}" -p "${BUILD_DIR}" --quiet "${f}"; then
+    status=1
+  fi
+done
+
+if [ "${status}" -eq 0 ]; then
+  echo "lint: PASS"
+else
+  echo "lint: FAIL — clang-tidy reported findings above"
+fi
+exit "${status}"
