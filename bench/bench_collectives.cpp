@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "gbench_main.hpp"
+
 #include "comm/world.hpp"
 
 namespace orbit::comm {
@@ -66,4 +68,4 @@ BENCHMARK(BM_SpmdLaunch)->Arg(2)->Arg(8);
 }  // namespace
 }  // namespace orbit::comm
 
-BENCHMARK_MAIN();
+ORBIT_GBENCH_MAIN();  // BENCHMARK_MAIN() + the repo-standard --json flag

@@ -40,7 +40,8 @@ data::ForecastDataset make_split(std::int64_t t0, std::int64_t t1) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "fig10_data_efficiency");
   bench::header(
       "Fig. 10 — fine-tuning samples to convergence vs model size "
       "(30-day task)",
@@ -117,9 +118,12 @@ int main() {
     }
     std::printf("%-14s | %-10lld | %-18s | %-10.3f\n", cfg.name.c_str(),
                 static_cast<long long>(m.param_count()), conv, last_acc);
+    report.metric("samples_to_converge_" + cfg.name,
+                  static_cast<double>(converged_at));  // -1 = not reached
+    report.metric("final_wacc_" + cfg.name, last_acc);
   }
 
   std::printf("\nShape check (paper Fig. 10): samples-to-convergence falls\n"
               "monotonically as the model grows.\n");
-  return 0;
+  return report.finish();
 }

@@ -11,7 +11,8 @@
 using namespace orbit;
 using namespace orbit::perf;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "fig5_max_model_size");
   bench::header(
       "Fig. 5 — maximal trainable model size vs GPU count (batch 2, 48 ch)",
       "at 512 GPUs: FSDP ~20B, tensor parallelism ~73B, Hybrid-STOP ~143B");
@@ -29,6 +30,10 @@ int main() {
     for (Strategy s : strategies) {
       const double p = pm.max_model_params(s, gpus, 48);
       std::printf(" | %-14s", bench::params_str(p).c_str());
+      if (gpus == 512) {
+        report.metric(std::string(strategy_name(s)) + "_max_params_512gpu",
+                      p);
+      }
     }
     std::printf("\n");
   }
@@ -38,5 +43,5 @@ int main() {
   std::printf("\nShape check: Hybrid-STOP > TP > FSDP at every GPU count;\n"
               "TP saturates once its group size reaches the head count;\n"
               "FSDP saturates early on its full-model gather.\n");
-  return 0;
+  return report.finish();
 }

@@ -11,7 +11,8 @@
 using namespace orbit;
 using namespace orbit::perf;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "fig6_parallel_config");
   bench::header(
       "Fig. 6 — hierarchical parallelism configuration sweep "
       "(113B, 512 GPUs, DDP=1)",
@@ -70,5 +71,8 @@ int main() {
   std::printf("Shape check: configurations keeping TP within one node\n"
               "(TP <= 8) form the fast plateau; inter-node TP degrades\n"
               "steeply; memory varies mildly across feasible configs.\n");
-  return 0;
+  report.metric("best_per_obs_s", best);
+  report.metric("worst_per_obs_s", worst);
+  report.metric("spread_x", worst / best);
+  return report.finish();
 }

@@ -5,18 +5,25 @@
 /// memory.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "comm/world.hpp"
+#include "core/hs_engine.hpp"
 #include "metrics/flops.hpp"
 #include "perf/perf_model.hpp"
+#include "tensor/ops.hpp"
+#include "trace/report.hpp"
+#include "trace/trace.hpp"
 
 using namespace orbit;
 using namespace orbit::perf;
 
 namespace {
 
-void run_panel(std::int64_t channels, const char* paper_band) {
+void run_panel(std::int64_t channels, const char* paper_band,
+               bench::JsonReport& report) {
   PerfModel pm;
   std::vector<model::VitConfig> configs = {model::orbit_115m(),
                                            model::orbit_1b(),
@@ -53,6 +60,12 @@ void run_panel(std::int64_t channels, const char* paper_band) {
       std::snprintf(cell, sizeof(cell), "T=%.1e E=%3.0f%%", e.per_sample,
                     eff * 100.0);
       std::printf(" | %-22s", cell);
+      if (gpus == 49152) {
+        const std::string suffix =
+            "_" + configs[i].name + "_" + std::to_string(channels) + "ch";
+        report.metric("eff_49152" + suffix, eff);
+        report.metric("per_obs_s_49152" + suffix, e.per_sample);
+      }
     }
     std::printf("\n");
   }
@@ -73,17 +86,60 @@ void run_panel(std::int64_t channels, const char* paper_band) {
   }
 }
 
+/// Execution-plane counterpart of the analytic table: run a real traced
+/// Hybrid-STOP training loop on a simulated tp x fsdp x ddp mesh and
+/// derive the compute/comm split from the merged span timeline (the same
+/// pipeline `trace_report --capture` uses).
+double traced_comm_fraction(int tp, int fsdp, int ddp, int steps) {
+  model::VitConfig cfg = model::tiny_test();
+  cfg.embed = 16;
+  cfg.layers = 2;
+  cfg.heads = 4;
+
+  const int world = tp * fsdp * ddp;
+  const std::int64_t b_local = 1, s = 4;
+  const std::int64_t shards = ddp * fsdp;
+  Rng rng(77);
+  Tensor x_global = Tensor::randn({b_local * shards, s, cfg.embed}, rng);
+  Tensor t_global = Tensor::randn({b_local * shards, s, cfg.embed}, rng);
+
+  trace::ScopedTrace capture;
+  comm::run_spmd(world, [&](comm::RankContext& ctx) {
+    core::HsEngineConfig ecfg;
+    ecfg.ddp = ddp;
+    ecfg.fsdp = fsdp;
+    ecfg.tp = tp;
+    core::HsEngine engine(cfg, ctx, ecfg);
+    const int shard = engine.mesh().data_shard();
+    Tensor x = slice(x_global, 0, shard * b_local, (shard + 1) * b_local);
+    Tensor t = slice(t_global, 0, shard * b_local, (shard + 1) * b_local);
+    for (int i = 0; i < steps; ++i) engine.train_step_mse(x, t);
+  });
+  return trace::summarize(trace::snapshot()).mean_comm_fraction;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "fig7_strong_scaling");
   bench::header(
       "Fig. 7 — strong scaling, 512 to 49,152 GPUs, global batch 2880",
       "48 ch: E in 44-82% at 49,152 GPUs; 91 ch: E in 41-85%; "
       "113B: 3e-3 s/obs (48 ch), 5e-3 s/obs (91 ch)");
-  run_panel(48, "44-82%");
-  run_panel(91, "41-85%");
+  run_panel(48, "44-82%", report);
+  run_panel(91, "41-85%", report);
+
+  bench::section("trace-derived comm fraction (simulated 2x2x2 mesh)");
+  const double comm_frac = traced_comm_fraction(2, 2, 2, /*steps=*/2);
+  std::printf("mean comm fraction over 8 simulated ranks: %.1f%%\n"
+              "(real collectives on a toy model — the simulated cluster is\n"
+              "comm-dominated by design; see `trace_report --capture` for\n"
+              "the full per-rank / per-axis breakdown)\n",
+              comm_frac * 100.0);
+  report.metric("trace_comm_fraction_2x2x2", comm_frac);
+
   std::printf("\nShape check: efficiency decays smoothly with GPU count,\n"
               "stays within the paper's band for every model size, and the\n"
               "91-channel runs are uniformly slower per observation.\n");
-  return 0;
+  return report.finish();
 }

@@ -16,7 +16,8 @@
 
 using namespace orbit;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "fig8_pretrain_loss");
   bench::header(
       "Fig. 8 — pre-training loss vs observations, four model sizes",
       "10B/113B converge faster per sample and overtake 115M/1B after "
@@ -89,5 +90,13 @@ int main() {
               final_large < final_small
                   ? "larger model ahead (matches the paper's crossover)"
                   : "larger model behind at this horizon");
-  return 0;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    report.metric("final_wmse_" + configs[i].name, curves[i].back());
+    report.metric("params_" + configs[i].name,
+                  static_cast<double>(params[i]));
+  }
+  report.note("crossover",
+              final_large < final_small ? "larger model ahead"
+                                        : "larger model behind");
+  return report.finish();
 }

@@ -54,7 +54,8 @@ Result run_config(int ddp, int fsdp, int tp, bool reshard, bool ckpt) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "hybrid_stop_ablation");
   bench::header(
       "Hybrid-STOP execution-plane ablation (tiny-medium model, "
       "2 training steps, real collectives)",
@@ -72,6 +73,9 @@ int main() {
     std::printf("%-16s | %11.2f MB | %-8llu | %lld elems\n", label,
                 static_cast<double>(r.bytes) / 1e6,
                 static_cast<unsigned long long>(r.ops), (long long)r.peak);
+    char key[32];
+    std::snprintf(key, sizeof(key), "comm_bytes_%dx%dx%d", d, f, t);
+    report.metric(key, static_cast<double>(r.bytes));
   }
 
   bench::section("resharding after forward (memory vs communication)");
@@ -80,6 +84,9 @@ int main() {
     std::printf("reshard=%-5s comm=%8.2f MB  peak=%lld elems\n",
                 reshard ? "on" : "off",
                 static_cast<double>(r.bytes) / 1e6, (long long)r.peak);
+    const std::string key = reshard ? "reshard_on" : "reshard_off";
+    report.metric(key + "_comm_bytes", static_cast<double>(r.bytes));
+    report.metric(key + "_peak_elems", static_cast<double>(r.peak));
   }
   std::printf("-> resharding trades extra backward gathers for a smaller "
               "peak,\n   exactly the FSDP trade-off in Fig. 2/3.\n");
@@ -90,6 +97,8 @@ int main() {
     std::printf("checkpoint=%-5s comm=%8.2f MB (recompute re-gathers "
                 "shards)\n",
                 ckpt ? "on" : "off", static_cast<double>(r.bytes) / 1e6);
+    report.metric(std::string(ckpt ? "ckpt_on" : "ckpt_off") + "_comm_bytes",
+                  static_cast<double>(r.bytes));
   }
-  return 0;
+  return report.finish();
 }

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "gbench_main.hpp"
+
 #include "tensor/bf16.hpp"
 #include "tensor/matmul.hpp"
 #include "tensor/nn_kernels.hpp"
@@ -93,4 +95,4 @@ BENCHMARK(BM_Transpose);
 }  // namespace
 }  // namespace orbit
 
-BENCHMARK_MAIN();
+ORBIT_GBENCH_MAIN();  // BENCHMARK_MAIN() + the repo-standard --json flag

@@ -31,7 +31,8 @@ float max_logit_over_blocks(model::OrbitModel& m) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "qkln_stability");
   bench::header(
       "Sec. III-B architecture optimization — QK-LayerNorm stability",
       "without QK-LN, attention logits grow and the training loss of very "
@@ -98,6 +99,11 @@ int main() {
               peak_with, peak_without, peak_without / peak_with);
   std::printf("final loss:   %.4f with QK-LN vs %.4f without\n",
               runs[0].losses.back(), runs[1].losses.back());
+  report.metric("peak_logit_with_qkln", peak_with);
+  report.metric("peak_logit_without_qkln", peak_without);
+  report.metric("logit_containment_x", peak_without / peak_with);
+  report.metric("final_loss_with_qkln", runs[0].losses.back());
+  report.metric("final_loss_without_qkln", runs[1].losses.back());
   std::printf(
       "\nShape check: QK-LayerNorm bounds the attention logits (>10x\n"
       "containment) at an aggressive learning rate. At this miniature\n"
@@ -105,5 +111,5 @@ int main() {
       "emerges only at tens of layers and billions of parameters — but the\n"
       "mechanism QK-LN changes (unbounded logit growth, collapsing softmax\n"
       "entropy) is directly visible in the right-hand column.\n");
-  return 0;
+  return report.finish();
 }

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "gbench_main.hpp"
+
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -133,4 +135,4 @@ BENCHMARK(BM_ServeRollout)
 }  // namespace
 }  // namespace orbit
 
-BENCHMARK_MAIN();
+ORBIT_GBENCH_MAIN();  // BENCHMARK_MAIN() + the repo-standard --json flag

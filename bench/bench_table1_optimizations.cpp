@@ -11,7 +11,8 @@
 using namespace orbit;
 using namespace orbit::perf;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "table1_optimizations");
   bench::header(
       "Table I — optimization ablation (113B model, 512 GPUs, 48 channels)",
       "OOM -> 0.97 s -> 0.49 s -> 0.40 s -> 0.17 s per observation");
@@ -21,15 +22,16 @@ int main() {
 
   struct Row {
     const char* label;
-    double paper;  // seconds; <0 means OOM
+    const char* key;  // metric name in the --json report
+    double paper;     // seconds; <0 means OOM
     bool wrap, mixed, prefetch, ckpt;
   };
   const Row rows[] = {
-      {"no optimizations", -1.0, false, false, false, false},
-      {"+ layer wrapping", 0.97, true, false, false, false},
-      {"+ mixed precision", 0.49, true, true, false, false},
-      {"+ prefetching", 0.40, true, true, true, false},
-      {"+ activation ckpt", 0.17, true, true, true, true},
+      {"no optimizations", "none", -1.0, false, false, false, false},
+      {"+ layer wrapping", "wrap", 0.97, true, false, false, false},
+      {"+ mixed precision", "mixed", 0.49, true, true, false, false},
+      {"+ prefetching", "prefetch", 0.40, true, true, true, false},
+      {"+ activation ckpt", "ckpt", 0.17, true, true, true, true},
   };
 
   std::printf("%-22s | %-10s | %-10s | %s\n", "configuration", "paper",
@@ -61,7 +63,9 @@ int main() {
     if (e.oom) {
       std::printf("%-22s | %-10s | %-10s | %s\n", r.label, paper, "OOM",
                   e.note.c_str());
+      report.note(std::string(r.key) + "_per_obs_s", "OOM");
     } else {
+      report.metric(std::string(r.key) + "_per_obs_s", e.per_sample);
       char model_s[32];
       std::snprintf(model_s, sizeof(model_s), "%.2f s", e.per_sample);
       std::printf("%-22s | %-10s | %-10s | batch %lld, compute %.2fs, "
@@ -74,5 +78,5 @@ int main() {
   std::printf("\nShape check: every optimization monotonically reduces the\n"
               "per-observation walltime, and the unoptimized configuration\n"
               "cannot run at all — matching the paper's Table I.\n");
-  return 0;
+  return report.finish();
 }

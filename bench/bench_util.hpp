@@ -1,12 +1,20 @@
 #pragma once
 
+#include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "tools/argparse.hpp"
 
 /// \file bench_util.hpp
 /// Shared formatting for the experiment-reproduction benches. Every bench
 /// prints (a) what the paper reports and (b) what this reproduction
 /// measures/models, so EXPERIMENTS.md rows can be regenerated mechanically.
+/// `JsonReport` is the machine-readable side of the same contract: every
+/// bench accepts `--json <path>` and emits its headline numbers as JSON.
 
 namespace orbit::bench {
 
@@ -43,5 +51,105 @@ inline std::string params_str(double params) {
   }
   return buf;
 }
+
+/// Machine-readable results sink shared by every `bench_*` binary.
+///
+/// Construct it from (argc, argv): the only accepted flag is
+/// `--json <path>` ('-' = stdout); `--help` prints usage. The bench then
+/// registers its headline numbers with `metric()` / `note()` as it prints
+/// the human tables, and returns `finish()` from main(). Without `--json`
+/// the report is a no-op, so the human output is unchanged.
+///
+/// Output shape (one object, insertion-ordered keys):
+///   {"bench": "<name>", "metrics": {"k": 1.25, ...}, "notes": {"k": "v"}}
+class JsonReport {
+ public:
+  JsonReport(int argc, char** argv, std::string bench_name)
+      : name_(std::move(bench_name)) {
+    tools::ArgParser args(
+        argc, argv,
+        {{"json",
+          "write machine-readable results to this path ('-' = stdout)"}});
+    path_ = args.get_str("json", "");
+  }
+
+  void metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+  void note(const std::string& key, const std::string& value) {
+    notes_.emplace_back(key, value);
+  }
+
+  /// Exit code for main(): 0 unless a requested write failed.
+  int finish() const {
+    if (path_.empty()) return 0;
+    const std::string body = to_json();
+    if (path_ == "-") {
+      std::fputs(body.c_str(), stdout);
+      return 0;
+    }
+    std::ofstream f(path_, std::ios::binary | std::ios::trunc);
+    f << body;
+    if (!f) {
+      std::fprintf(stderr, "%s: cannot write --json output to %s\n",
+                   name_.c_str(), path_.c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  static std::string number(double v) {
+    if (!std::isfinite(v)) return "null";  // JSON has no NaN/inf
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+  }
+
+  std::string to_json() const {
+    std::string out = "{\"bench\": \"" + escape(name_) + "\"";
+    out += ", \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      if (i) out += ", ";
+      out += "\"" + escape(metrics_[i].first) +
+             "\": " + number(metrics_[i].second);
+    }
+    out += "}, \"notes\": {";
+    for (std::size_t i = 0; i < notes_.size(); ++i) {
+      if (i) out += ", ";
+      out += "\"" + escape(notes_[i].first) + "\": \"" +
+             escape(notes_[i].second) + "\"";
+    }
+    out += "}}\n";
+    return out;
+  }
+
+  std::string name_;
+  std::string path_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, std::string>> notes_;
+};
 
 }  // namespace orbit::bench

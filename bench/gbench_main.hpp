@@ -1,0 +1,52 @@
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+/// \file gbench_main.hpp
+/// Replacement for BENCHMARK_MAIN() that adds the repo-standard
+/// `--json <path>` flag to the google-benchmark suites: it is translated
+/// to `--benchmark_out=<path> --benchmark_out_format=json` so all
+/// `bench_*` binaries share one machine-readable interface. Every other
+/// flag passes through to the benchmark library untouched.
+
+namespace orbit::bench {
+
+inline int gbench_main(int argc, char** argv) {
+  std::vector<std::string> storage;
+  storage.reserve(static_cast<std::size_t>(argc) + 2);
+  storage.emplace_back(argc > 0 ? argv[0] : "bench");
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string path;
+    if (arg == "--json" && i + 1 < argc) {
+      path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+    } else {
+      storage.push_back(arg);
+      continue;
+    }
+    storage.push_back("--benchmark_out=" + path);
+    storage.emplace_back("--benchmark_out_format=json");
+  }
+
+  std::vector<char*> args;
+  args.reserve(storage.size());
+  for (std::string& s : storage) args.push_back(s.data());
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace orbit::bench
+
+#define ORBIT_GBENCH_MAIN()                 \
+  int main(int argc, char** argv) {         \
+    return orbit::bench::gbench_main(argc, argv); \
+  }

@@ -108,6 +108,16 @@ class ProcessGroup {
   /// Number of collective operations issued on this group.
   std::uint64_t ops_issued() const;
 
+  /// Tag this group with the parallel axis it implements ("tp", "fsdp",
+  /// "ddp", "data", "world", ...). The tag labels the group's collective
+  /// spans and counters in `orbit::trace` and keys the per-axis breakdown in
+  /// `trace_report` / `traffic_report()`. `axis` must be a static-duration
+  /// string (it is recorded on the lock-free hot path). Shared group state:
+  /// one member tagging the axis tags it for all members.
+  void set_axis(const char* axis) const;
+  /// The tag set by `set_axis`, or "group" when untagged.
+  const char* axis() const;
+
  private:
   /// Throws std::logic_error when this handle is invalid (non-member).
   void require_valid(const char* what) const;

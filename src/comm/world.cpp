@@ -16,6 +16,7 @@
 
 #include "comm/check.hpp"
 #include "comm/process_group.hpp"
+#include "trace/trace.hpp"
 
 namespace orbit::comm {
 
@@ -82,6 +83,9 @@ struct GroupState {
 
   std::atomic<std::uint64_t> bytes{0};
   std::atomic<std::uint64_t> ops{0};
+  /// Parallel-axis tag ("tp"/"fsdp"/"ddp"/...) labelling this group's trace
+  /// spans and traffic report rows. Static-duration string by contract.
+  std::atomic<const char*> axis{"group"};
 
   // Point-to-point mailboxes keyed by (src group rank, dst group rank, tag).
   std::mutex mail_mu;
@@ -89,8 +93,14 @@ struct GroupState {
   std::map<std::tuple<int, int, int>, std::deque<Tensor>> mail;
 
   void record(std::uint64_t payload_bytes) {
-    bytes.fetch_add(payload_bytes, std::memory_order_relaxed);
+    const std::uint64_t total =
+        bytes.fetch_add(payload_bytes, std::memory_order_relaxed) +
+        payload_bytes;
     ops.fetch_add(1, std::memory_order_relaxed);
+    // Cumulative per-axis traffic as a trace counter series: the recording
+    // rank (group rank 0 / the sender) samples the group's running total.
+    trace::counter("comm.bytes", axis.load(std::memory_order_relaxed),
+                   static_cast<std::int64_t>(total));
   }
 
   [[noreturn]] void throw_sticky() const {
@@ -256,6 +266,8 @@ std::string ProcessGroup::describe() const {
 
 void ProcessGroup::barrier(check::Site site) const {
   require_valid("barrier");
+  ORBIT_TRACE_SPAN("comm.barrier", trace::Category::kComm,
+                   state_->axis.load(std::memory_order_relaxed));
   state_->sync(group_rank_, make_fp(CollOp::kBarrier, nullptr, site),
                /*entry=*/true);
 }
@@ -265,6 +277,9 @@ void ProcessGroup::all_reduce(Tensor& t, ReduceOp op, check::Site site) const {
   GroupState& g = *state_;
   const int p = size();
   const std::int64_t n = t.numel();
+  ORBIT_TRACE_SPAN("comm.all_reduce", trace::Category::kComm,
+                   g.axis.load(std::memory_order_relaxed),
+                   n * static_cast<std::int64_t>(sizeof(float)));
   OpFingerprint fp = make_fp(CollOp::kAllReduce, &t, site);
   fp.reduce_op = static_cast<int>(op);
   g.src[static_cast<std::size_t>(group_rank_)] = t.data();
@@ -300,6 +315,9 @@ void ProcessGroup::all_gather(const Tensor& shard, Tensor& out,
        << " on " << describe();
     throw std::invalid_argument(os.str());
   }
+  ORBIT_TRACE_SPAN("comm.all_gather", trace::Category::kComm,
+                   g.axis.load(std::memory_order_relaxed),
+                   n * p * static_cast<std::int64_t>(sizeof(float)));
   OpFingerprint fp = make_fp(CollOp::kAllGather, &shard, site);
   g.src[static_cast<std::size_t>(group_rank_)] = shard.data();
   g.sync(group_rank_, fp, /*entry=*/true);
@@ -326,6 +344,9 @@ void ProcessGroup::reduce_scatter(const Tensor& input, Tensor& out,
        << seg * p << " on " << describe();
     throw std::invalid_argument(os.str());
   }
+  ORBIT_TRACE_SPAN("comm.reduce_scatter", trace::Category::kComm,
+                   g.axis.load(std::memory_order_relaxed),
+                   seg * p * static_cast<std::int64_t>(sizeof(float)));
   OpFingerprint fp = make_fp(CollOp::kReduceScatter, &out, site);
   fp.reduce_op = static_cast<int>(op);
   g.src[static_cast<std::size_t>(group_rank_)] = input.data();
@@ -351,6 +372,9 @@ void ProcessGroup::broadcast(Tensor& t, int root, check::Site site) const {
   require_valid("broadcast");
   require_root("broadcast", root);
   GroupState& g = *state_;
+  ORBIT_TRACE_SPAN("comm.broadcast", trace::Category::kComm,
+                   g.axis.load(std::memory_order_relaxed),
+                   t.numel() * static_cast<std::int64_t>(sizeof(float)));
   OpFingerprint fp = make_fp(CollOp::kBroadcast, &t, site);
   fp.root = root;
   g.src[static_cast<std::size_t>(group_rank_)] = t.data();
@@ -370,6 +394,9 @@ void ProcessGroup::gather(const Tensor& shard, Tensor& out, int root,
   GroupState& g = *state_;
   const int p = size();
   const std::int64_t n = shard.numel();
+  ORBIT_TRACE_SPAN("comm.gather", trace::Category::kComm,
+                   g.axis.load(std::memory_order_relaxed),
+                   n * p * static_cast<std::int64_t>(sizeof(float)));
   OpFingerprint fp = make_fp(CollOp::kGather, &shard, site);
   fp.root = root;
   g.src[static_cast<std::size_t>(group_rank_)] = shard.data();
@@ -407,6 +434,9 @@ void ProcessGroup::scatter(const Tensor& input, Tensor& out, int root,
        << seg * p << " on " << describe();
     throw std::invalid_argument(os.str());
   }
+  ORBIT_TRACE_SPAN("comm.scatter", trace::Category::kComm,
+                   g.axis.load(std::memory_order_relaxed),
+                   seg * p * static_cast<std::int64_t>(sizeof(float)));
   OpFingerprint fp = make_fp(CollOp::kScatter, &out, site);
   fp.root = root;
   g.src[static_cast<std::size_t>(group_rank_)] =
@@ -424,6 +454,9 @@ void ProcessGroup::send(const Tensor& t, int dst, int tag,
   require_valid("send");
   (void)site;
   GroupState& g = *state_;
+  ORBIT_TRACE_SPAN("comm.send", trace::Category::kComm,
+                   g.axis.load(std::memory_order_relaxed),
+                   t.numel() * static_cast<std::int64_t>(sizeof(float)));
   if (dst < 0 || dst >= size()) {
     std::ostringstream os;
     os << "send: dst " << dst << " out of range [0, " << size() << ") on "
@@ -441,6 +474,8 @@ void ProcessGroup::send(const Tensor& t, int dst, int tag,
 Tensor ProcessGroup::recv(int src, int tag, check::Site site) const {
   require_valid("recv");
   GroupState& g = *state_;
+  ORBIT_TRACE_SPAN("comm.recv", trace::Category::kComm,
+                   g.axis.load(std::memory_order_relaxed));
   if (src < 0 || src >= size()) {
     std::ostringstream os;
     os << "recv: src " << src << " out of range [0, " << size() << ") on "
@@ -509,6 +544,16 @@ std::uint64_t ProcessGroup::ops_issued() const {
   return state_->ops.load(std::memory_order_relaxed);
 }
 
+void ProcessGroup::set_axis(const char* axis) const {
+  require_valid("set_axis");
+  state_->axis.store(axis, std::memory_order_relaxed);
+}
+
+const char* ProcessGroup::axis() const {
+  require_valid("axis");
+  return state_->axis.load(std::memory_order_relaxed);
+}
+
 /// Shared registry of groups, indexed by creation order so each rank can
 /// attach to the group its peers created (see RankContext::new_group).
 /// Owns the per-world checker state: the rank-status registry the watchdog
@@ -519,6 +564,7 @@ class World {
     std::vector<int> all(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) all[static_cast<std::size_t>(i)] = i;
     world_state_ = std::make_shared<GroupState>(std::move(all), &wc_);
+    world_state_->axis.store("world", std::memory_order_relaxed);
   }
 
   int size() const { return size_; }
@@ -531,8 +577,33 @@ class World {
     if (it == groups_.end()) {
       it = groups_.emplace(ranks, std::make_shared<GroupState>(ranks, &wc_))
                .first;
+      creation_order_.push_back(it->second);
     }
     return it->second;
+  }
+
+  /// Snapshot every group's byte/op totals (the read side of the counters
+  /// `GroupState::record` maintains): world first, then creation order.
+  TrafficReport traffic_report() {
+    std::vector<std::shared_ptr<GroupState>> gs;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      gs.reserve(creation_order_.size() + 1);
+      gs.push_back(world_state_);
+      gs.insert(gs.end(), creation_order_.begin(), creation_order_.end());
+    }
+    TrafficReport report;
+    report.groups.reserve(gs.size());
+    for (const auto& g : gs) {
+      GroupTraffic t;
+      t.desc = g->desc;
+      t.axis = g->axis.load(std::memory_order_relaxed);
+      t.size = static_cast<int>(g->members.size());
+      t.bytes = g->bytes.load(std::memory_order_relaxed);
+      t.ops = g->ops.load(std::memory_order_relaxed);
+      report.groups.push_back(std::move(t));
+    }
+    return report;
   }
 
   /// Wake every blocked waiter (sync points and mailboxes) so it re-checks
@@ -562,7 +633,61 @@ class World {
   std::shared_ptr<GroupState> world_state_;
   std::mutex mu_;
   std::map<std::vector<int>, std::shared_ptr<GroupState>> groups_;
+  std::vector<std::shared_ptr<GroupState>> creation_order_;
 };
+
+std::uint64_t TrafficReport::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& g : groups) total += g.bytes;
+  return total;
+}
+
+std::uint64_t TrafficReport::total_ops() const {
+  std::uint64_t total = 0;
+  for (const auto& g : groups) total += g.ops;
+  return total;
+}
+
+std::vector<GroupTraffic> TrafficReport::by_axis() const {
+  std::vector<GroupTraffic> out;
+  for (const auto& g : groups) {
+    auto it = std::find_if(out.begin(), out.end(), [&g](const GroupTraffic& a) {
+      return a.axis == g.axis;
+    });
+    if (it == out.end()) {
+      GroupTraffic a;
+      a.desc = "axis " + g.axis;
+      a.axis = g.axis;
+      a.size = g.size;
+      a.bytes = g.bytes;
+      a.ops = g.ops;
+      out.push_back(std::move(a));
+    } else {
+      it->bytes += g.bytes;
+      it->ops += g.ops;
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const GroupTraffic& a, const GroupTraffic& b) {
+              return a.bytes > b.bytes;
+            });
+  return out;
+}
+
+std::string TrafficReport::summary() const {
+  std::ostringstream os;
+  os << "comm traffic: " << total_bytes() << " bytes over " << total_ops()
+     << " collectives in " << groups.size() << " group(s)\n";
+  for (const auto& a : by_axis()) {
+    os << "  axis " << a.axis << ": " << a.bytes << " bytes, " << a.ops
+       << " ops\n";
+  }
+  for (const auto& g : groups) {
+    os << "  " << g.desc << " [" << g.axis << ", p=" << g.size
+       << "]: " << g.bytes << " bytes, " << g.ops << " ops\n";
+  }
+  return os.str();
+}
 
 RankContext::RankContext(World* world, int rank) : world_(world), rank_(rank) {}
 
@@ -570,6 +695,10 @@ int RankContext::world_size() const { return world_->size(); }
 
 ProcessGroup RankContext::world_group() const {
   return ProcessGroup(world_->world_state(), rank_);
+}
+
+TrafficReport RankContext::traffic_report() const {
+  return world_->traffic_report();
 }
 
 ProcessGroup RankContext::new_group(const std::vector<int>& global_ranks) {
@@ -621,6 +750,7 @@ void run_spmd(int world_size, const std::function<void(RankContext&)>& fn) {
   threads.reserve(static_cast<std::size_t>(world_size));
   for (int r = 0; r < world_size; ++r) {
     threads.emplace_back([&world, &fn, &errors, r] {
+      trace::set_thread_label("rank", r);
       bool threw = true;
       try {
         RankContext ctx(&world, r);

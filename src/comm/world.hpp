@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "comm/process_group.hpp"
@@ -26,6 +28,30 @@ namespace orbit::comm {
 
 class World;
 
+/// Traffic totals of one communicator group (see `TrafficReport`).
+struct GroupTraffic {
+  std::string desc;          ///< "group {0,1,3}"
+  std::string axis;          ///< "tp" / "fsdp" / "ddp" / "world" / "group"
+  int size = 0;              ///< member count
+  std::uint64_t bytes = 0;   ///< payload bytes, counted once per collective
+  std::uint64_t ops = 0;     ///< collectives issued
+};
+
+/// Snapshot of every group's byte/op totals, the read side of the counters
+/// `GroupState::record` has always maintained. Obtained from
+/// `RankContext::traffic_report()`; totals are world-wide (shared group
+/// state), not per-rank.
+struct TrafficReport {
+  std::vector<GroupTraffic> groups;  ///< world first, then creation order
+
+  std::uint64_t total_bytes() const;
+  std::uint64_t total_ops() const;
+  /// Totals merged per axis tag, descending by bytes.
+  std::vector<GroupTraffic> by_axis() const;
+  /// Human-readable table (one line per axis, then per group).
+  std::string summary() const;
+};
+
 /// Per-rank view of the simulated cluster, passed to the SPMD function.
 class RankContext {
  public:
@@ -45,6 +71,9 @@ class RankContext {
   /// exactly how the Hybrid-STOP engines build their TP/FSDP/DDP axes.
   /// Non-member callers receive an invalid handle they must not use.
   ProcessGroup new_group(const std::vector<int>& global_ranks);
+
+  /// Byte/op totals of every group in this world (`World::traffic_report`).
+  TrafficReport traffic_report() const;
 
  private:
   World* world_;

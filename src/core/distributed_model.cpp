@@ -4,6 +4,7 @@
 
 #include "metrics/metrics.hpp"
 #include "tensor/ops.hpp"
+#include "trace/trace.hpp"
 
 namespace orbit::core {
 
@@ -59,6 +60,7 @@ void DistributedOrbitModel::backward(const Tensor& dy) {
 }
 
 void DistributedOrbitModel::sync_grads() {
+  ORBIT_TRACE_SPAN("hs.sync_grads");
   if (mesh_.ddp_group.valid() && mesh_.ddp_group.size() > 1) {
     for (model::Param* p : hs_tower_->shard_params()) {
       mesh_.ddp_group.all_reduce(p->grad, comm::ReduceOp::kAvg);
@@ -77,53 +79,65 @@ void DistributedOrbitModel::zero_grad() {
 }
 
 double DistributedOrbitModel::train_step(const train::Batch& batch) {
+  ORBIT_TRACE_SPAN("hs.step");
   if (cfg_.schedule) opt_->set_lr(cfg_.schedule->at(step_));
   zero_grad();
 
-  Tensor pred = forward(batch.inputs, batch.lead_days);
-  const double local_loss = metrics::wmse(pred, batch.targets, lat_weights_);
-
-  Tensor dy = metrics::wmse_grad(pred, batch.targets, lat_weights_);
+  Tensor dy;
+  double local_loss = 0.0;
+  {
+    ORBIT_TRACE_SPAN("hs.forward");
+    Tensor pred = forward(batch.inputs, batch.lead_days);
+    local_loss = metrics::wmse(pred, batch.targets, lat_weights_);
+    dy = metrics::wmse_grad(pred, batch.targets, lat_weights_);
+  }
   const float s = cfg_.engine.mixed_precision ? scaler_.scale() : 1.0f;
   if (s != 1.0f) dy.scale_(s);
-  backward(dy);
+  {
+    ORBIT_TRACE_SPAN("hs.backward");
+    backward(dy);
+  }
   sync_grads();
 
-  bool do_step = true;
-  if (cfg_.engine.mixed_precision) {
-    opt_->scale_grads(1.0f / s);
-    // Overflow skipping must agree on every rank or replicas diverge.
-    Tensor flag = Tensor::full({1}, opt_->grads_nonfinite() ? 1.0f : 0.0f);
-    world_.all_reduce(flag, comm::ReduceOp::kMax);
-    do_step = scaler_.update(flag[0] > 0.5f);
-  }
-  if (do_step) {
-    if (cfg_.clip_norm > 0.0) {
-      // Global-norm clipping: shard squares are disjoint across the
-      // FSDP x TP axes, so summing over both yields the model-wide norm;
-      // replicated params contribute once (identical on every rank).
-      // Every rank derives the same factor, keeping replicas in lockstep.
-      double shard_sq = 0.0;
-      for (model::Param* p : hs_tower_->shard_params()) {
-        shard_sq += sum_sq(p->grad);
-      }
-      Tensor acc = Tensor::full({1}, static_cast<float>(shard_sq));
-      if (mesh_.fsdp_group.valid() && mesh_.fsdp_group.size() > 1) {
-        mesh_.fsdp_group.all_reduce(acc, comm::ReduceOp::kSum);
-      }
-      if (mesh_.tp_group.valid() && mesh_.tp_group.size() > 1) {
-        mesh_.tp_group.all_reduce(acc, comm::ReduceOp::kSum);
-      }
-      double total_sq = acc[0];
-      for (model::Param* p : replicated_params()) total_sq += sum_sq(p->grad);
-      const double norm = std::sqrt(total_sq);
-      if (norm > cfg_.clip_norm && norm > 0.0) {
-        const float scale_factor =
-            static_cast<float>(cfg_.clip_norm / norm);
-        for (model::Param* p : opt_->params()) p->grad.scale_(scale_factor);
-      }
+  {
+    ORBIT_TRACE_SPAN("hs.optimizer", trace::Category::kOptimizer);
+    bool do_step = true;
+    if (cfg_.engine.mixed_precision) {
+      opt_->scale_grads(1.0f / s);
+      // Overflow skipping must agree on every rank or replicas diverge.
+      Tensor flag = Tensor::full({1}, opt_->grads_nonfinite() ? 1.0f : 0.0f);
+      world_.all_reduce(flag, comm::ReduceOp::kMax);
+      do_step = scaler_.update(flag[0] > 0.5f);
     }
-    opt_->step();
+    if (do_step) {
+      if (cfg_.clip_norm > 0.0) {
+        ORBIT_TRACE_SPAN("hs.grad_clip", trace::Category::kOptimizer);
+        // Global-norm clipping: shard squares are disjoint across the
+        // FSDP x TP axes, so summing over both yields the model-wide norm;
+        // replicated params contribute once (identical on every rank).
+        // Every rank derives the same factor, keeping replicas in lockstep.
+        double shard_sq = 0.0;
+        for (model::Param* p : hs_tower_->shard_params()) {
+          shard_sq += sum_sq(p->grad);
+        }
+        Tensor acc = Tensor::full({1}, static_cast<float>(shard_sq));
+        if (mesh_.fsdp_group.valid() && mesh_.fsdp_group.size() > 1) {
+          mesh_.fsdp_group.all_reduce(acc, comm::ReduceOp::kSum);
+        }
+        if (mesh_.tp_group.valid() && mesh_.tp_group.size() > 1) {
+          mesh_.tp_group.all_reduce(acc, comm::ReduceOp::kSum);
+        }
+        double total_sq = acc[0];
+        for (model::Param* p : replicated_params()) total_sq += sum_sq(p->grad);
+        const double norm = std::sqrt(total_sq);
+        if (norm > cfg_.clip_norm && norm > 0.0) {
+          const float scale_factor =
+              static_cast<float>(cfg_.clip_norm / norm);
+          for (model::Param* p : opt_->params()) p->grad.scale_(scale_factor);
+        }
+      }
+      opt_->step();
+    }
   }
   ++step_;
 

@@ -1,6 +1,7 @@
 #include "core/hs_engine.hpp"
 
 #include "tensor/ops.hpp"
+#include "trace/trace.hpp"
 
 namespace orbit::core {
 
@@ -29,6 +30,7 @@ Tensor HsEngine::forward(const Tensor& x) { return tower_->forward(x); }
 Tensor HsEngine::backward(const Tensor& dy) { return tower_->backward(dy); }
 
 void HsEngine::sync_grads() {
+  ORBIT_TRACE_SPAN("hs.sync_grads");
   // Shard grads were already FSDP-averaged by the reduce-scatters inside
   // backward; average over the DDP replicas.
   if (mesh_.ddp_group.valid() && mesh_.ddp_group.size() > 1) {
@@ -48,28 +50,38 @@ void HsEngine::sync_grads() {
 void HsEngine::zero_grad() { tower_->zero_grad(); }
 
 double HsEngine::train_step_mse(const Tensor& x, const Tensor& target) {
+  ORBIT_TRACE_SPAN("hs.step");
   zero_grad();
-  Tensor y = forward(x);
-  Tensor err = sub(y, target);
-  const double local_loss =
-      sum_sq(err) / static_cast<double>(err.numel());
-
-  Tensor dy = scale(err, 2.0f / static_cast<float>(err.numel()));
+  Tensor dy;
+  double local_loss = 0.0;
+  {
+    ORBIT_TRACE_SPAN("hs.forward");
+    Tensor y = forward(x);
+    Tensor err = sub(y, target);
+    local_loss = sum_sq(err) / static_cast<double>(err.numel());
+    dy = scale(err, 2.0f / static_cast<float>(err.numel()));
+  }
   const float s = cfg_.mixed_precision ? scaler_.scale() : 1.0f;
   if (s != 1.0f) dy.scale_(s);
-  backward(dy);
+  {
+    ORBIT_TRACE_SPAN("hs.backward");
+    backward(dy);
+  }
   sync_grads();
 
-  bool do_step = true;
-  if (cfg_.mixed_precision) {
-    opt_->scale_grads(1.0f / s);
-    // Overflow decisions must agree across ranks or shards diverge: reduce
-    // the local flag with MAX over the whole world.
-    Tensor flag = Tensor::full({1}, opt_->grads_nonfinite() ? 1.0f : 0.0f);
-    world_.all_reduce(flag, comm::ReduceOp::kMax);
-    do_step = scaler_.update(flag[0] > 0.5f);
+  {
+    ORBIT_TRACE_SPAN("hs.optimizer", trace::Category::kOptimizer);
+    bool do_step = true;
+    if (cfg_.mixed_precision) {
+      opt_->scale_grads(1.0f / s);
+      // Overflow decisions must agree across ranks or shards diverge: reduce
+      // the local flag with MAX over the whole world.
+      Tensor flag = Tensor::full({1}, opt_->grads_nonfinite() ? 1.0f : 0.0f);
+      world_.all_reduce(flag, comm::ReduceOp::kMax);
+      do_step = scaler_.update(flag[0] > 0.5f);
+    }
+    if (do_step) opt_->step();
   }
-  if (do_step) opt_->step();
 
   // Report the global mean loss for convenience (average across data
   // shards; identical within a TP group).

@@ -9,6 +9,7 @@
 #include "tensor/matmul.hpp"
 #include "tensor/nn_kernels.hpp"
 #include "tensor/ops.hpp"
+#include "trace/trace.hpp"
 
 namespace orbit::core {
 namespace {
@@ -70,6 +71,7 @@ HsShardedSet::HsShardedSet(std::string name,
 
 void HsShardedSet::gather() {
   if (materialized_) return;
+  ORBIT_TRACE_SPAN("hs.gather_params");
   Tensor flat = Tensor::empty({set_.flat_size()});
   fsdp_.all_gather(shard_.value, flat);
   set_.unpack_values(flat);
@@ -87,6 +89,7 @@ void HsShardedSet::release() {
 }
 
 void HsShardedSet::reduce_scatter_grads() {
+  ORBIT_TRACE_SPAN("hs.reduce_scatter_grads");
   Tensor flat = set_.pack_grads();
   shard_.grad = Tensor::empty({set_.shard_size()});
   fsdp_.reduce_scatter(flat, shard_.grad, comm::ReduceOp::kAvg);

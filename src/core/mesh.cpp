@@ -28,17 +28,22 @@ HybridMesh HybridMesh::build(comm::RankContext& ctx, int ddp, int fsdp,
     return (dd * fsdp + ff) * tp + tt;
   };
 
+  // Axis tags label each group's collective spans and counters in
+  // orbit::trace, keying the per-axis breakdown of trace_report.
   std::vector<int> tp_ranks;
   for (int tt = 0; tt < tp; ++tt) tp_ranks.push_back(rank_of(m.d, m.f, tt));
   m.tp_group = ctx.new_group(tp_ranks);
+  if (m.tp_group.valid()) m.tp_group.set_axis("tp");
 
   std::vector<int> fsdp_ranks;
   for (int ff = 0; ff < fsdp; ++ff) fsdp_ranks.push_back(rank_of(m.d, ff, m.t));
   m.fsdp_group = ctx.new_group(fsdp_ranks);
+  if (m.fsdp_group.valid()) m.fsdp_group.set_axis("fsdp");
 
   std::vector<int> ddp_ranks;
   for (int dd = 0; dd < ddp; ++dd) ddp_ranks.push_back(rank_of(dd, m.f, m.t));
   m.ddp_group = ctx.new_group(ddp_ranks);
+  if (m.ddp_group.valid()) m.ddp_group.set_axis("ddp");
 
   std::vector<int> data_ranks;
   for (int dd = 0; dd < ddp; ++dd) {
@@ -47,6 +52,7 @@ HybridMesh HybridMesh::build(comm::RankContext& ctx, int ddp, int fsdp,
     }
   }
   m.data_group = ctx.new_group(data_ranks);
+  if (m.data_group.valid()) m.data_group.set_axis("data");
   return m;
 }
 

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "trace/trace.hpp"
+
 namespace orbit::parallel {
 namespace {
 
@@ -30,6 +32,7 @@ DdpEngine::DdpEngine(std::vector<model::Param*> params,
 
 void DdpEngine::sync_grads() {
   if (!group_.valid() || group_.size() == 1) return;
+  ORBIT_TRACE_SPAN("ddp.sync_grads");
   buckets_used_ = 0;
   for (const auto& bucket : make_buckets(params_, opts_.bucket_elems)) {
     std::int64_t total = 0;

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "trace/trace.hpp"
+
 namespace orbit::parallel {
 
 FsdpTower::FsdpTower(model::TransformerTower& tower, comm::ProcessGroup group,
@@ -45,6 +47,7 @@ FsdpTower::FsdpTower(model::TransformerTower& tower, comm::ProcessGroup group,
 
 void FsdpTower::gather(Unit& u) {
   if (u.materialized) return;
+  ORBIT_TRACE_SPAN("fsdp.gather_params");
   Tensor flat = Tensor::empty({u.set->flat_size()});
   group_.all_gather(u.shard.value, flat);
   u.set->unpack_values(flat);
@@ -65,6 +68,7 @@ void FsdpTower::release(Unit& u) {
 }
 
 void FsdpTower::reduce_scatter_grads(Unit& u) {
+  ORBIT_TRACE_SPAN("fsdp.reduce_scatter_grads");
   Tensor flat = u.set->pack_grads();
   u.shard.grad = Tensor::empty({u.set->shard_size()});
   group_.reduce_scatter(flat, u.shard.grad, comm::ReduceOp::kAvg);

@@ -1,5 +1,7 @@
 #include "serve/batcher.hpp"
 
+#include "trace/trace.hpp"
+
 #include <algorithm>
 #include <chrono>
 #include <utility>
@@ -62,30 +64,34 @@ std::vector<Pending> DynamicBatcher::next_batch() {
   // Phase 1: acquire a batch head — oldest stashed request first (so
   // requests set aside by earlier batch formations cannot starve), else
   // block on the queue until a request arrives or shutdown drains dry.
-  for (;;) {
-    while (!stash_.empty() && batch.empty()) {
-      Pending p = std::move(stash_.front());
-      stash_.pop_front();
-      if (cfg_.shed_expired && expired(p, Clock::now())) {
-        shed(std::move(p));
-      } else {
+  {
+    ORBIT_TRACE_SPAN("serve.queue_wait", trace::Category::kServe);
+    for (;;) {
+      while (!stash_.empty() && batch.empty()) {
+        Pending p = std::move(stash_.front());
+        stash_.pop_front();
+        if (cfg_.shed_expired && expired(p, Clock::now())) {
+          shed(std::move(p));
+        } else {
+          batch.push_back(std::move(p));
+        }
+      }
+      if (!batch.empty()) break;
+      Pending p;
+      if (queue_.pop(p, microseconds(10'000))) {
+        if (cfg_.shed_expired && expired(p, Clock::now())) {
+          shed(std::move(p));
+          continue;
+        }
         batch.push_back(std::move(p));
+        break;
       }
-    }
-    if (!batch.empty()) break;
-    Pending p;
-    if (queue_.pop(p, microseconds(10'000))) {
-      if (cfg_.shed_expired && expired(p, Clock::now())) {
-        shed(std::move(p));
-        continue;
+      if (queue_.closed() && queue_.size() == 0 && stash_.empty()) {
+        return {};  // graceful shutdown: everything admitted has been served
       }
-      batch.push_back(std::move(p));
-      break;
-    }
-    if (queue_.closed() && queue_.size() == 0 && stash_.empty()) {
-      return {};  // graceful shutdown: everything admitted has been served
     }
   }
+  ORBIT_TRACE_SPAN("serve.batch_form", trace::Category::kServe);
   // Cheap copy: Tensor is a storage handle, not a deep buffer.
   const ForecastRequest head = batch.front().request;
 

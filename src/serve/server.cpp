@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "model/rollout.hpp"
+#include "trace/trace.hpp"
 
 namespace orbit::serve {
 
@@ -70,6 +71,11 @@ std::future<ForecastResult> ForecastServer::submit(ForecastRequest req) {
     req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   }
   req.enqueued_at = Clock::now();
+  // One flow per request: the begin here connects to the end inside the
+  // worker's serve.infer span, so a request's life is one arrow in the trace.
+  trace::instant("serve.submit", trace::Category::kServe, nullptr,
+                 static_cast<std::int64_t>(req.id));
+  trace::flow("serve.request", req.id, /*begin=*/true);
 
   Pending p;
   p.request = std::move(req);
@@ -95,6 +101,7 @@ std::future<ForecastResult> ForecastServer::submit(ForecastRequest req) {
 }
 
 void ForecastServer::worker_loop(int worker_index) {
+  trace::set_thread_label("serve.worker", worker_index);
   model::OrbitModel& m = *replicas_[static_cast<std::size_t>(worker_index)];
   for (;;) {
     std::vector<Pending> batch = batcher_.next_batch();
@@ -105,6 +112,12 @@ void ForecastServer::worker_loop(int worker_index) {
 
 void ForecastServer::run_batch(model::OrbitModel& m,
                                std::vector<Pending>&& batch) {
+  ORBIT_TRACE_SPAN("serve.infer", trace::Category::kServe, nullptr,
+                   static_cast<std::int64_t>(batch.size()));
+  // Land the request flows on this worker's inference span.
+  for (const Pending& p : batch) {
+    trace::flow("serve.request", p.request.id, /*begin=*/false);
+  }
   const Clock::time_point batch_start = Clock::now();
   const std::int64_t b = static_cast<std::int64_t>(batch.size());
   const std::int64_t c = model_cfg_.in_channels;
@@ -150,7 +163,7 @@ void ForecastServer::run_batch(model::OrbitModel& m,
           {model_cfg_.out_channels, model_cfg_.image_h, model_cfg_.image_w});
       std::memcpy(r.forecast.data(), out.data() + i * out_chw,
                   static_cast<std::size_t>(out_chw) * sizeof(float));
-      stats_.record_completed(r.total_us);
+      stats_.record_completed(r.total_us, r.queue_us);
     } else {
       r.status = Status::kError;
       r.error = error;

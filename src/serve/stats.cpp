@@ -9,12 +9,14 @@ std::string StatsSnapshot::summary() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "completed=%llu shed=%llu errors=%llu batches=%llu "
-                "mean_batch=%.2f p50=%.2fms p95=%.2fms p99=%.2fms depth=%zu",
+                "mean_batch=%.2f p50=%.2fms p95=%.2fms p99=%.2fms "
+                "queue_p99=%.2fms depth=%zu",
                 static_cast<unsigned long long>(completed),
                 static_cast<unsigned long long>(shed),
                 static_cast<unsigned long long>(errors),
                 static_cast<unsigned long long>(batches), mean_batch_size,
-                latency_p50_ms, latency_p95_ms, latency_p99_ms, queue_depth);
+                latency_p50_ms, latency_p95_ms, latency_p99_ms, queue_p99_ms,
+                queue_depth);
   return buf;
 }
 
@@ -26,10 +28,11 @@ void ServerStats::record_submitted() {
   ++submitted_;
 }
 
-void ServerStats::record_completed(double total_us) {
+void ServerStats::record_completed(double total_us, double queue_us) {
   std::lock_guard<std::mutex> lk(mu_);
   ++completed_;
   latency_us_.record(total_us);
+  queue_us_.record(queue_us);
 }
 
 void ServerStats::record_shed() {
@@ -63,6 +66,11 @@ StatsSnapshot ServerStats::snapshot() const {
   s.latency_p99_ms = latency_us_.quantile(0.99) / 1e3;
   s.latency_mean_ms = latency_us_.mean() / 1e3;
   s.latency_max_ms = latency_us_.max() / 1e3;
+  s.queue_p50_ms = queue_us_.quantile(0.50) / 1e3;
+  s.queue_p95_ms = queue_us_.quantile(0.95) / 1e3;
+  s.queue_p99_ms = queue_us_.quantile(0.99) / 1e3;
+  s.queue_mean_ms = queue_us_.mean() / 1e3;
+  s.queue_max_ms = queue_us_.max() / 1e3;
   s.batch_size_counts = batch_size_counts_;
   s.mean_batch_size =
       batches_ ? static_cast<double>(batched_requests_) /
@@ -76,6 +84,7 @@ void ServerStats::reset() {
   submitted_ = completed_ = shed_ = errors_ = batches_ = 0;
   batched_requests_ = 0;
   latency_us_.reset();
+  queue_us_.reset();
   std::fill(batch_size_counts_.begin(), batch_size_counts_.end(), 0);
 }
 

@@ -23,11 +23,22 @@ struct StatsSnapshot {
   std::uint64_t batches = 0;
 
   /// End-to-end (submit -> result) latency over completed requests, ms.
+  /// Measured on the same steady clock the trace spans use, from
+  /// `ForecastRequest::enqueued_at` stamped at submit — queue wait is part
+  /// of p99, not hidden inside the worker.
   double latency_p50_ms = 0.0;
   double latency_p95_ms = 0.0;
   double latency_p99_ms = 0.0;
   double latency_mean_ms = 0.0;
   double latency_max_ms = 0.0;
+
+  /// Queue wait (submit -> batch start) over completed requests, ms — the
+  /// component of the latency above spent before any compute.
+  double queue_p50_ms = 0.0;
+  double queue_p95_ms = 0.0;
+  double queue_p99_ms = 0.0;
+  double queue_mean_ms = 0.0;
+  double queue_max_ms = 0.0;
 
   /// batch_size_counts[b] = number of batches executed with exactly b
   /// requests (index 0 unused).
@@ -45,7 +56,9 @@ class ServerStats {
   explicit ServerStats(std::size_t max_batch = 64);
 
   void record_submitted();
-  void record_completed(double total_us);
+  /// `total_us` = submit -> completion, `queue_us` = submit -> batch start;
+  /// both from `Clock::now()` deltas (the trace clock).
+  void record_completed(double total_us, double queue_us = 0.0);
   void record_shed();
   void record_error();
   void record_batch(std::size_t batch_size);
@@ -62,6 +75,7 @@ class ServerStats {
   std::uint64_t batches_ = 0;
   std::uint64_t batched_requests_ = 0;
   metrics::Histogram latency_us_;
+  metrics::Histogram queue_us_;
   std::vector<std::uint64_t> batch_size_counts_;
 };
 

@@ -1,0 +1,786 @@
+#include "trace/report.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace orbit::trace {
+
+namespace {
+
+constexpr int kPid = 1;
+
+bool is_rank_track(const std::string& label) {
+  return label.rfind("rank ", 0) == 0;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* ph_of(EventKind k) {
+  switch (k) {
+    case EventKind::kBegin: return "B";
+    case EventKind::kEnd: return "E";
+    case EventKind::kCounter: return "C";
+    case EventKind::kInstant: return "i";
+    case EventKind::kFlowBegin: return "s";
+    case EventKind::kFlowEnd: return "f";
+  }
+  return "i";
+}
+
+std::optional<EventKind> kind_of(const std::string& ph) {
+  if (ph == "B") return EventKind::kBegin;
+  if (ph == "E") return EventKind::kEnd;
+  if (ph == "C") return EventKind::kCounter;
+  if (ph == "i" || ph == "I" || ph == "R") return EventKind::kInstant;
+  if (ph == "s") return EventKind::kFlowBegin;
+  if (ph == "f" || ph == "t") return EventKind::kFlowEnd;
+  return std::nullopt;
+}
+
+Category category_of(const std::string& cat) {
+  if (cat == "compute") return Category::kCompute;
+  if (cat == "comm") return Category::kComm;
+  if (cat == "optimizer") return Category::kOptimizer;
+  if (cat == "serve") return Category::kServe;
+  if (cat == "data") return Category::kData;
+  return Category::kOther;
+}
+
+}  // namespace
+
+bool TraceSnapshot::empty() const {
+  for (const auto& t : tracks) {
+    if (!t.events.empty()) return false;
+  }
+  return true;
+}
+
+TraceSnapshot snapshot() {
+  TraceSnapshot out;
+  for (auto& ring : detail::snapshot_rings()) {
+    TraceTrack track;
+    track.label = ring.label;
+    track.tid = ring.tid;
+    track.dropped = ring.dropped;
+    track.sort_key = (ring.role != nullptr &&
+                      std::string(ring.role) == "rank" && ring.index >= 0)
+                         ? ring.index
+                         : 100000 + ring.tid;
+    track.events.reserve(ring.events.size());
+    for (const RawEvent& e : ring.events) {
+      TraceEvent d;
+      d.ts_ns = e.ts_ns;
+      d.kind = e.kind;
+      d.cat = e.cat;
+      d.name = e.name != nullptr ? e.name : "";
+      d.detail = e.detail != nullptr ? e.detail : "";
+      d.value = e.value;
+      d.flow = e.flow;
+      track.events.push_back(std::move(d));
+    }
+    out.tracks.push_back(std::move(track));
+  }
+  std::sort(out.tracks.begin(), out.tracks.end(),
+            [](const TraceTrack& a, const TraceTrack& b) {
+              return a.sort_key != b.sort_key ? a.sort_key < b.sort_key
+                                              : a.tid < b.tid;
+            });
+  return out;
+}
+
+// --- Chrome trace-event JSON writer ----------------------------------------
+
+std::string to_chrome_json(const TraceSnapshot& snap) {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  const auto emit = [&](const std::string& line) {
+    if (!first) os << ",\n";
+    first = false;
+    os << line;
+  };
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%d,"
+                "\"args\":{\"name\":\"orbit\"}}",
+                kPid);
+  emit(buf);
+  for (const auto& t : snap.tracks) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":%d,"
+                  "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+                  kPid, t.tid, json_escape(t.label).c_str());
+    emit(buf);
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"name\":\"thread_sort_index\",\"pid\":%d,"
+                  "\"tid\":%d,\"args\":{\"sort_index\":%d}}",
+                  kPid, t.tid, t.sort_key);
+    emit(buf);
+    if (t.dropped > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"M\",\"name\":\"orbit_track_stats\",\"pid\":%d,"
+                    "\"tid\":%d,\"args\":{\"dropped\":%llu}}",
+                    kPid, t.tid,
+                    static_cast<unsigned long long>(t.dropped));
+      emit(buf);
+    }
+    for (const TraceEvent& e : t.events) {
+      std::ostringstream ev;
+      char ts[48];
+      std::snprintf(ts, sizeof(ts), "%.3f",
+                    static_cast<double>(e.ts_ns) / 1e3);  // microseconds
+      ev << "{\"ph\":\"" << ph_of(e.kind) << "\",\"pid\":" << kPid
+         << ",\"tid\":" << t.tid << ",\"ts\":" << ts;
+      if (!e.name.empty()) ev << ",\"name\":\"" << json_escape(e.name) << '"';
+      if (e.kind != EventKind::kCounter) {
+        ev << ",\"cat\":\"" << category_name(e.cat) << '"';
+      }
+      if (e.kind == EventKind::kInstant) ev << ",\"s\":\"t\"";
+      if (e.kind == EventKind::kFlowBegin || e.kind == EventKind::kFlowEnd) {
+        ev << ",\"id\":" << e.flow;
+        if (e.kind == EventKind::kFlowEnd) ev << ",\"bp\":\"e\"";
+      }
+      if (e.kind == EventKind::kCounter) {
+        ev << ",\"args\":{\""
+           << json_escape(e.detail.empty() ? "value" : e.detail)
+           << "\":" << e.value << '}';
+      } else if (!e.detail.empty() || e.value >= 0) {
+        ev << ",\"args\":{";
+        bool sep = false;
+        if (!e.detail.empty()) {
+          ev << "\"axis\":\"" << json_escape(e.detail) << '"';
+          sep = true;
+        }
+        if (e.value >= 0) {
+          if (sep) ev << ',';
+          ev << (e.cat == Category::kComm ? "\"bytes\":" : "\"value\":")
+             << e.value;
+        }
+        ev << '}';
+      }
+      ev << '}';
+      emit(ev.str());
+    }
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+bool write_chrome_json(const TraceSnapshot& snap, const std::string& path,
+                       std::string* err) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    if (err != nullptr) *err = "cannot open " + path + " for writing";
+    return false;
+  }
+  f << to_chrome_json(snap);
+  f.flush();
+  if (!f) {
+    if (err != nullptr) *err = "write failed on " + path;
+    return false;
+  }
+  return true;
+}
+
+// --- minimal JSON parser ----------------------------------------------------
+//
+// Only what the trace-event format needs: objects, arrays, strings, numbers,
+// bools, null. Key order is preserved (counter series name = first arg key).
+
+namespace {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("trace JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      JsonValue v;
+      v.type = JsonValue::Type::kString;
+      v.str = string();
+      return v;
+    }
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') {
+      literal("null");
+      return {};
+    }
+    return number();
+  }
+
+  void literal(const char* word) {
+    skip_ws();
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) fail("bad literal");
+    }
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.type = JsonValue::Type::kBool;
+    if (peek() == 't') {
+      literal("true");
+      v.b = true;
+    } else {
+      literal("false");
+    }
+    return v;
+  }
+
+  JsonValue number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a number");
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    try {
+      v.num = std::stod(s_.substr(start, pos_ - start));
+    } catch (...) {
+      fail("malformed number '" + s_.substr(start, pos_ - start) + "'");
+    }
+    return v;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("unterminated escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) fail("short \\u escape");
+            const unsigned code = static_cast<unsigned>(
+                std::stoul(s_.substr(pos_, 4), nullptr, 16));
+            pos_ += 4;
+            // Traces only escape control chars; keep it simple (no UTF-16
+            // surrogate pairs — reject rather than mis-decode).
+            if (code > 0x7f) fail("non-ASCII \\u escape unsupported");
+            out += static_cast<char>(code);
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    fail("unterminated string");
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.arr.push_back(value());
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      std::string key = (peek(), string());
+      expect(':');
+      v.obj.emplace_back(std::move(key), value());
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+double num_or(const JsonValue* v, double def) {
+  return v != nullptr && v->type == JsonValue::Type::kNumber ? v->num : def;
+}
+
+std::string str_or(const JsonValue* v, const std::string& def) {
+  return v != nullptr && v->type == JsonValue::Type::kString ? v->str : def;
+}
+
+}  // namespace
+
+TraceSnapshot parse_chrome_json(const std::string& text) {
+  JsonValue root = JsonParser(text).parse();
+  const JsonValue* events = nullptr;
+  if (root.type == JsonValue::Type::kArray) {
+    events = &root;
+  } else if (root.type == JsonValue::Type::kObject) {
+    events = root.find("traceEvents");
+  }
+  if (events == nullptr || events->type != JsonValue::Type::kArray) {
+    throw std::runtime_error(
+        "trace JSON: expected a traceEvents array or a bare event array");
+  }
+
+  struct TrackAccum {
+    TraceTrack track;
+    bool seen_sort = false;
+  };
+  std::map<int, TrackAccum> tracks;  // keyed by tid
+
+  for (const JsonValue& ev : events->arr) {
+    if (ev.type != JsonValue::Type::kObject) {
+      throw std::runtime_error("trace JSON: event is not an object");
+    }
+    const std::string ph = str_or(ev.find("ph"), "");
+    const int tid = static_cast<int>(num_or(ev.find("tid"), 0));
+    TrackAccum& acc = tracks[tid];
+    acc.track.tid = tid;
+    const JsonValue* args = ev.find("args");
+
+    if (ph == "M") {
+      const std::string name = str_or(ev.find("name"), "");
+      if (name == "thread_name" && args != nullptr) {
+        acc.track.label = str_or(args->find("name"), acc.track.label);
+      } else if (name == "thread_sort_index" && args != nullptr) {
+        acc.track.sort_key =
+            static_cast<int>(num_or(args->find("sort_index"), 0));
+        acc.seen_sort = true;
+      } else if (name == "orbit_track_stats" && args != nullptr) {
+        acc.track.dropped = static_cast<std::uint64_t>(
+            num_or(args->find("dropped"), 0));
+      }
+      continue;
+    }
+    const auto kind = kind_of(ph);
+    if (!kind) continue;  // tolerate phases we don't emit ("X", "N", ...)
+
+    TraceEvent e;
+    e.kind = *kind;
+    e.name = str_or(ev.find("name"), "");
+    e.cat = category_of(str_or(ev.find("cat"), ""));
+    const JsonValue* ts = ev.find("ts");
+    if (ts == nullptr || ts->type != JsonValue::Type::kNumber) {
+      throw std::runtime_error("trace JSON: event '" + e.name +
+                               "' missing numeric ts");
+    }
+    e.ts_ns = static_cast<std::uint64_t>(std::llround(ts->num * 1e3));
+    e.flow = static_cast<std::uint64_t>(num_or(ev.find("id"), 0));
+    if (args != nullptr && args->type == JsonValue::Type::kObject) {
+      if (e.kind == EventKind::kCounter) {
+        // Counter series: the first numeric arg; its key is the detail tag.
+        for (const auto& [k, v] : args->obj) {
+          if (v.type == JsonValue::Type::kNumber) {
+            e.detail = k == "value" ? "" : k;
+            e.value = static_cast<std::int64_t>(v.num);
+            break;
+          }
+        }
+      } else {
+        e.detail = str_or(args->find("axis"), "");
+        const JsonValue* val = args->find("bytes");
+        if (val == nullptr) val = args->find("value");
+        if (val != nullptr && val->type == JsonValue::Type::kNumber) {
+          e.value = static_cast<std::int64_t>(val->num);
+        }
+      }
+    }
+    acc.track.events.push_back(std::move(e));
+  }
+
+  TraceSnapshot out;
+  for (auto& [tid, acc] : tracks) {
+    if (acc.track.events.empty() && acc.track.label.empty()) continue;
+    if (acc.track.label.empty()) {
+      acc.track.label = "thread #" + std::to_string(tid);
+    }
+    if (!acc.seen_sort) acc.track.sort_key = 100000 + tid;
+    std::stable_sort(acc.track.events.begin(), acc.track.events.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       return a.ts_ns < b.ts_ns;
+                     });
+    out.tracks.push_back(std::move(acc.track));
+  }
+  std::sort(out.tracks.begin(), out.tracks.end(),
+            [](const TraceTrack& a, const TraceTrack& b) {
+              return a.sort_key != b.sort_key ? a.sort_key < b.sort_key
+                                              : a.tid < b.tid;
+            });
+  return out;
+}
+
+TraceSnapshot load_chrome_json(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open trace file " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return parse_chrome_json(buf.str());
+}
+
+// --- aggregation ------------------------------------------------------------
+
+namespace {
+
+struct OpenSpan {
+  const TraceEvent* begin;
+  std::size_t depth;
+};
+
+void add_axis(std::vector<AxisStat>& axes, const std::string& axis,
+              double time_ms, std::int64_t bytes) {
+  for (AxisStat& a : axes) {
+    if (a.axis == axis) {
+      a.time_ms += time_ms;
+      if (bytes > 0) a.bytes += static_cast<std::uint64_t>(bytes);
+      ++a.ops;
+      return;
+    }
+  }
+  AxisStat a;
+  a.axis = axis;
+  a.time_ms = time_ms;
+  a.bytes = bytes > 0 ? static_cast<std::uint64_t>(bytes) : 0;
+  a.ops = 1;
+  axes.push_back(std::move(a));
+}
+
+void add_phase(std::vector<PhaseStat>& phases, const std::string& name,
+               double time_ms) {
+  for (PhaseStat& p : phases) {
+    if (p.name == name) {
+      p.time_ms += time_ms;
+      ++p.count;
+      return;
+    }
+  }
+  phases.push_back(PhaseStat{name, time_ms, 1});
+}
+
+bool is_step_span(const std::string& name) {
+  return name.size() > 5 && name.compare(name.size() - 5, 5, ".step") == 0;
+}
+
+TrackBreakdown breakdown_track(const TraceTrack& t) {
+  TrackBreakdown b;
+  b.label = t.label;
+  b.dropped = t.dropped;
+  std::vector<OpenSpan> stack;
+  for (const TraceEvent& e : t.events) {
+    if (e.kind == EventKind::kBegin) {
+      stack.push_back(OpenSpan{&e, stack.size()});
+    } else if (e.kind == EventKind::kEnd) {
+      if (stack.empty()) continue;  // begin lost to ring wraparound
+      const OpenSpan open = stack.back();
+      stack.pop_back();
+      const double ms =
+          static_cast<double>(e.ts_ns - open.begin->ts_ns) / 1e6;
+      if (open.depth == 0) {
+        b.busy_ms += ms;
+        add_phase(b.phases, open.begin->name, ms);
+      }
+      if (open.begin->cat == Category::kComm) {
+        b.comm_ms += ms;
+        add_axis(b.axes, open.begin->detail.empty() ? "?" : open.begin->detail,
+                 ms, open.begin->value);
+        if (open.begin->value > 0) {
+          b.comm_bytes += static_cast<std::uint64_t>(open.begin->value);
+        }
+      }
+      if (is_step_span(open.begin->name)) b.step_ms.push_back(ms);
+    }
+  }
+  b.compute_ms = std::max(0.0, b.busy_ms - b.comm_ms);
+  b.comm_fraction = b.busy_ms > 0.0 ? b.comm_ms / b.busy_ms : 0.0;
+  return b;
+}
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+}  // namespace
+
+BreakdownReport summarize(const TraceSnapshot& snap) {
+  BreakdownReport r;
+  for (const TraceTrack& t : snap.tracks) {
+    if (t.events.empty()) continue;
+    r.tracks.push_back(breakdown_track(t));
+  }
+
+  bool any_rank = false;
+  for (const TrackBreakdown& t : r.tracks) any_rank |= is_rank_track(t.label);
+
+  double frac_sum = 0.0;
+  int frac_n = 0;
+  std::vector<double> rank_mean_step;
+  for (const TrackBreakdown& t : r.tracks) {
+    if (any_rank && !is_rank_track(t.label)) continue;
+    if (t.busy_ms > 0.0) {
+      frac_sum += t.comm_fraction;
+      ++frac_n;
+    }
+    for (const AxisStat& a : t.axes) {
+      bool merged = false;
+      for (AxisStat& tot : r.axes_total) {
+        if (tot.axis == a.axis) {
+          tot.time_ms += a.time_ms;
+          tot.bytes += a.bytes;
+          tot.ops += a.ops;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) r.axes_total.push_back(a);
+    }
+    if (!t.step_ms.empty()) {
+      double s = 0.0;
+      for (double v : t.step_ms) s += v;
+      rank_mean_step.push_back(s / static_cast<double>(t.step_ms.size()));
+    }
+  }
+  r.mean_comm_fraction = frac_n > 0 ? frac_sum / frac_n : 0.0;
+  if (!rank_mean_step.empty()) {
+    r.step_min_ms =
+        *std::min_element(rank_mean_step.begin(), rank_mean_step.end());
+    r.step_max_ms =
+        *std::max_element(rank_mean_step.begin(), rank_mean_step.end());
+    r.step_median_ms = median(rank_mean_step);
+  }
+  std::sort(r.axes_total.begin(), r.axes_total.end(),
+            [](const AxisStat& a, const AxisStat& b) {
+              return a.time_ms > b.time_ms;
+            });
+  return r;
+}
+
+std::string BreakdownReport::text() const {
+  std::ostringstream os;
+  char buf[256];
+  os << "orbit::trace breakdown — " << tracks.size() << " track(s)\n\n";
+  os << "per-track compute/comm split:\n";
+  std::snprintf(buf, sizeof(buf), "  %-18s %10s %10s %10s %7s %6s %8s\n",
+                "track", "busy ms", "comm ms", "compute", "comm%", "steps",
+                "dropped");
+  os << buf;
+  for (const TrackBreakdown& t : tracks) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %-18s %10.3f %10.3f %10.3f %6.1f%% %6zu %8llu\n",
+                  t.label.c_str(), t.busy_ms, t.comm_ms, t.compute_ms,
+                  t.comm_fraction * 100.0, t.step_ms.size(),
+                  static_cast<unsigned long long>(t.dropped));
+    os << buf;
+  }
+  os << "\ncollective time by process-group axis (rank tracks):\n";
+  if (axes_total.empty()) {
+    os << "  (no collective spans in this trace)\n";
+  }
+  for (const AxisStat& a : axes_total) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %-8s %10.3f ms %12.1f KB %8llu ops\n", a.axis.c_str(),
+                  a.time_ms, static_cast<double>(a.bytes) / 1e3,
+                  static_cast<unsigned long long>(a.ops));
+    os << buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "\nmean comm fraction: %.1f%%\n"
+                "straggler spread (per-rank mean step time): "
+                "min %.3f / median %.3f / max %.3f ms%s\n",
+                mean_comm_fraction * 100.0, step_min_ms, step_median_ms,
+                step_max_ms,
+                step_min_ms > 0.0
+                    ? ("  (spread " +
+                       [](double x) {
+                         char b[32];
+                         std::snprintf(b, sizeof(b), "%.2fx", x);
+                         return std::string(b);
+                       }(step_max_ms / step_min_ms) + ")")
+                          .c_str()
+                    : "");
+  os << buf;
+  return os.str();
+}
+
+std::string BreakdownReport::json() const {
+  std::ostringstream os;
+  char buf[128];
+  os << "{\"tracks\":[";
+  for (std::size_t i = 0; i < tracks.size(); ++i) {
+    const TrackBreakdown& t = tracks[i];
+    if (i > 0) os << ',';
+    os << "{\"label\":\"" << json_escape(t.label) << '"';
+    std::snprintf(buf, sizeof(buf),
+                  ",\"busy_ms\":%.6f,\"comm_ms\":%.6f,\"compute_ms\":%.6f,"
+                  "\"comm_fraction\":%.6f,\"steps\":%zu,\"dropped\":%llu",
+                  t.busy_ms, t.comm_ms, t.compute_ms, t.comm_fraction,
+                  t.step_ms.size(),
+                  static_cast<unsigned long long>(t.dropped));
+    os << buf << '}';
+  }
+  os << "],\"axes\":[";
+  for (std::size_t i = 0; i < axes_total.size(); ++i) {
+    const AxisStat& a = axes_total[i];
+    if (i > 0) os << ',';
+    std::snprintf(buf, sizeof(buf),
+                  "{\"axis\":\"%s\",\"time_ms\":%.6f,\"bytes\":%llu,"
+                  "\"ops\":%llu}",
+                  json_escape(a.axis).c_str(), a.time_ms,
+                  static_cast<unsigned long long>(a.bytes),
+                  static_cast<unsigned long long>(a.ops));
+    os << buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "],\"mean_comm_fraction\":%.6f,\"step_ms\":{\"min\":%.6f,"
+                "\"median\":%.6f,\"max\":%.6f}}",
+                mean_comm_fraction, step_min_ms, step_median_ms, step_max_ms);
+  os << buf;
+  return os.str();
+}
+
+std::optional<std::string> validate(const TraceSnapshot& snap) {
+  if (snap.empty()) return "trace contains no events";
+  for (const TraceTrack& t : snap.tracks) {
+    std::uint64_t prev_ts = 0;
+    std::vector<const TraceEvent*> stack;
+    for (std::size_t i = 0; i < t.events.size(); ++i) {
+      const TraceEvent& e = t.events[i];
+      if (e.ts_ns < prev_ts) {
+        return "track '" + t.label + "': timestamp regression at event " +
+               std::to_string(i) + " ('" + e.name + "')";
+      }
+      prev_ts = e.ts_ns;
+      if (e.kind == EventKind::kBegin) {
+        stack.push_back(&e);
+      } else if (e.kind == EventKind::kEnd) {
+        if (stack.empty()) {
+          return "track '" + t.label + "': end without begin at event " +
+                 std::to_string(i) + " ('" + e.name + "')";
+        }
+        if (!e.name.empty() && stack.back()->name != e.name) {
+          return "track '" + t.label + "': mismatched span nesting — '" +
+                 stack.back()->name + "' closed by '" + e.name + "'";
+        }
+        stack.pop_back();
+      }
+    }
+    if (!stack.empty()) {
+      return "track '" + t.label + "': " + std::to_string(stack.size()) +
+             " span(s) never closed (first: '" + stack.back()->name + "')";
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace orbit::trace

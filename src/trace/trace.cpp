@@ -1,0 +1,255 @@
+#include "trace/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "trace/report.hpp"
+
+namespace orbit::trace {
+
+const char* category_name(Category c) {
+  switch (c) {
+    case Category::kCompute: return "compute";
+    case Category::kComm: return "comm";
+    case Category::kOptimizer: return "optimizer";
+    case Category::kServe: return "serve";
+    case Category::kData: return "data";
+    case Category::kOther: return "other";
+  }
+  return "other";
+}
+
+namespace detail {
+
+std::atomic<bool> g_enabled{[] {
+  const char* v = std::getenv("ORBIT_TRACE");
+  if (v == nullptr) return false;
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+           std::strcmp(v, "false") == 0 || std::strcmp(v, "OFF") == 0);
+}()};
+
+namespace {
+
+std::size_t env_capacity() {
+  const char* v = std::getenv("ORBIT_TRACE_BUFFER");
+  if (v == nullptr) return 65536;
+  const long n = std::strtol(v, nullptr, 10);
+  return n > 16 ? static_cast<std::size_t>(n) : 16;
+}
+
+const std::chrono::steady_clock::time_point g_epoch =
+    std::chrono::steady_clock::now();
+
+/// Single-writer ring. The owning thread is the only writer; the collector
+/// reads concurrently via the per-slot publication stamps: a slot is valid
+/// for event index i iff `pub[slot] == i + 1` before and after the payload
+/// copy. A torn read (writer lapping the reader) fails that check and the
+/// slot is discarded — the newest `capacity` events always survive.
+struct Ring {
+  explicit Ring(std::size_t cap, int tid_)
+      : slots(cap), pub(cap), tid(tid_) {
+    for (auto& p : pub) p.store(0, std::memory_order_relaxed);
+  }
+
+  std::vector<RawEvent> slots;
+  std::vector<std::atomic<std::uint64_t>> pub;  ///< event index + 1
+  std::atomic<std::uint64_t> next{0};           ///< events ever pushed
+  int tid;
+
+  std::mutex label_mu;  ///< guards role/index (cold: set once per thread)
+  const char* role = "thread";
+  int index = -1;
+
+  void push(const RawEvent& e) {
+    const std::uint64_t n = next.load(std::memory_order_relaxed);
+    const std::size_t slot = static_cast<std::size_t>(n % slots.size());
+    // Invalidate, write payload, publish. The release store orders the
+    // payload before the stamp for the concurrent collector.
+    pub[slot].store(0, std::memory_order_relaxed);
+    slots[slot] = e;
+    pub[slot].store(n + 1, std::memory_order_release);
+    next.store(n + 1, std::memory_order_release);
+  }
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<Ring>> rings;
+  std::size_t capacity = env_capacity();
+  int next_tid = 1;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: threads may outlive main
+  return *r;
+}
+
+/// Keeps the ring alive for the thread's whole life even if reset() drops
+/// the registry reference, so a recorder never dangles.
+struct TlsRing {
+  std::shared_ptr<Ring> ring;
+};
+
+Ring& thread_ring() {
+  thread_local TlsRing tls;
+  if (!tls.ring) {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lk(reg.mu);
+    tls.ring = std::make_shared<Ring>(reg.capacity, reg.next_tid++);
+    reg.rings.push_back(tls.ring);
+  }
+  return *tls.ring;
+}
+
+void record(EventKind kind, Category cat, const char* name,
+            const char* detail, std::int64_t value, std::uint64_t flow) {
+  RawEvent e;
+  e.ts_ns = now_ns();
+  e.name = name;
+  e.detail = detail;
+  e.value = value;
+  e.flow = flow;
+  e.kind = kind;
+  e.cat = cat;
+  thread_ring().push(e);
+}
+
+}  // namespace
+
+std::vector<RingSnapshot> snapshot_rings() {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lk(reg.mu);
+    rings = reg.rings;
+  }
+  std::vector<RingSnapshot> out;
+  for (const auto& r : rings) {
+    RingSnapshot snap;
+    snap.tid = r->tid;
+    {
+      std::lock_guard<std::mutex> lk(r->label_mu);
+      snap.role = r->role;
+      snap.index = r->index;
+      snap.label = snap.index >= 0
+                       ? std::string(snap.role) + " " + std::to_string(snap.index)
+                       : std::string(snap.role) + " #" + std::to_string(r->tid);
+    }
+    const std::uint64_t n = r->next.load(std::memory_order_acquire);
+    const std::uint64_t cap = r->slots.size();
+    const std::uint64_t start = n > cap ? n - cap : 0;
+    snap.dropped = start;
+    snap.events.reserve(static_cast<std::size_t>(n - start));
+    for (std::uint64_t i = start; i < n; ++i) {
+      const std::size_t slot = static_cast<std::size_t>(i % cap);
+      if (r->pub[slot].load(std::memory_order_acquire) != i + 1) {
+        ++snap.dropped;
+        continue;  // being overwritten by a lapping writer
+      }
+      RawEvent e = r->slots[slot];
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (r->pub[slot].load(std::memory_order_relaxed) != i + 1) {
+        ++snap.dropped;
+        continue;  // overwritten mid-copy; discard the torn read
+      }
+      snap.events.push_back(e);
+    }
+    if (!snap.events.empty() || snap.dropped > 0) out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+}  // namespace detail
+
+bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - detail::g_epoch)
+          .count());
+}
+
+void set_thread_label(const char* role, int index) {
+  detail::Ring& r = detail::thread_ring();
+  std::lock_guard<std::mutex> lk(r.label_mu);
+  r.role = role;
+  r.index = index;
+}
+
+Span::Span(const char* name, Category cat, const char* detail,
+           std::int64_t value)
+    : name_(name), detail_(detail), cat_(cat), armed_(enabled()) {
+  if (armed_) {
+    detail::record(EventKind::kBegin, cat_, name_, detail_, value, 0);
+  }
+}
+
+Span::~Span() {
+  if (armed_) {
+    detail::record(EventKind::kEnd, cat_, name_, detail_, -1, 0);
+  }
+}
+
+void counter(const char* name, const char* detail, std::int64_t value) {
+  if (!enabled()) return;
+  detail::record(EventKind::kCounter, Category::kOther, name, detail, value,
+                 0);
+}
+
+void instant(const char* name, Category cat, const char* detail,
+             std::int64_t value) {
+  if (!enabled()) return;
+  detail::record(EventKind::kInstant, cat, name, detail, value, 0);
+}
+
+void flow(const char* name, std::uint64_t id, bool begin, Category cat) {
+  if (!enabled()) return;
+  detail::record(begin ? EventKind::kFlowBegin : EventKind::kFlowEnd, cat,
+                 name, nullptr, -1, id);
+}
+
+void reset() {
+  detail::Registry& reg = detail::registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  for (auto it = reg.rings.begin(); it != reg.rings.end();) {
+    if (it->use_count() == 1) {
+      it = reg.rings.erase(it);  // owner thread exited; forget its history
+      continue;
+    }
+    (*it)->next.store(0, std::memory_order_release);
+    for (auto& p : (*it)->pub) p.store(0, std::memory_order_relaxed);
+    ++it;
+  }
+}
+
+void set_ring_capacity(std::size_t events) {
+  detail::Registry& reg = detail::registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  reg.capacity = events > 16 ? events : 16;
+}
+
+std::size_t ring_capacity() {
+  detail::Registry& reg = detail::registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  return reg.capacity;
+}
+
+ScopedTrace::ScopedTrace(bool clear) : old_(enabled()) {
+  if (clear) reset();
+  set_enabled(true);
+}
+
+ScopedTrace::~ScopedTrace() { set_enabled(old_); }
+
+}  // namespace orbit::trace

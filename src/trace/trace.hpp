@@ -1,0 +1,153 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstddef>
+
+/// \file trace.hpp
+/// `orbit::trace` — always-compiled, runtime-toggleable tracing for the
+/// three planes of the system (comm, train, serve).
+///
+/// Hot-path design: a disabled span is one relaxed atomic load and a
+/// branch; an enabled span writes two fixed-size POD events (begin/end)
+/// into a per-thread lock-free ring buffer. Event names and details must
+/// be string literals (static storage duration) — nothing on the record
+/// path allocates, locks, or formats. Timestamps come from one process-wide
+/// `steady_clock` epoch, the same clock the serving plane stamps requests
+/// with, so queue wait in a trace lines up with the latency histograms.
+///
+/// Identity: every recording thread owns one ring buffer. `run_spmd` labels
+/// its rank threads "rank N" (one track per simulated rank in the merged
+/// trace); the serve plane labels its workers "serve.worker N"; unlabelled
+/// threads get "thread N". The collector (report.hpp) merges all rings into
+/// Chrome trace-event JSON and aggregated compute/comm breakdowns.
+///
+/// Toggles:
+///  * `ORBIT_TRACE=1|on|true` enables recording from process start;
+///    `set_enabled()` / `ScopedTrace` toggle it programmatically.
+///  * `ORBIT_TRACE_BUFFER=<events>` sets the per-thread ring capacity
+///    (default 65536); the ring keeps the newest events and counts drops.
+
+namespace orbit::trace {
+
+/// Span/counter classification, the basis of the compute/comm breakdown.
+enum class Category : std::uint8_t {
+  kCompute = 0,    ///< kernels, forward/backward, batch assembly
+  kComm = 1,       ///< collective + p2p time (includes staging waits)
+  kOptimizer = 2,  ///< optimizer step, grad clip, scaler bookkeeping
+  kServe = 3,      ///< serving pipeline (queue, batch formation, infer)
+  kData = 4,       ///< dataset / input pipeline
+  kOther = 5,
+};
+
+const char* category_name(Category c);
+
+enum class EventKind : std::uint8_t {
+  kBegin = 0,      ///< span open
+  kEnd = 1,        ///< span close
+  kCounter = 2,    ///< monotonic or gauge value, `value` field
+  kInstant = 3,    ///< point event
+  kFlowBegin = 4,  ///< start of a cross-track flow (e.g. a serve request)
+  kFlowEnd = 5,    ///< end of that flow, matched by `flow`
+};
+
+/// One ring-buffer slot. POD on purpose: recorded by plain stores, published
+/// with one release store (see trace.cpp). `name`/`detail` must point at
+/// static-duration strings.
+struct RawEvent {
+  std::uint64_t ts_ns = 0;      ///< steady_clock ns since process trace epoch
+  const char* name = nullptr;   ///< static string, e.g. "comm.all_reduce"
+  const char* detail = nullptr; ///< static string tag (axis name) or null
+  std::int64_t value = -1;      ///< bytes / counter value / batch size; -1 none
+  std::uint64_t flow = 0;       ///< flow (request) id; 0 none
+  EventKind kind = EventKind::kInstant;
+  Category cat = Category::kOther;
+};
+
+/// --- runtime toggle (env-seeded, programmatic override) -------------------
+
+bool enabled();
+void set_enabled(bool on);
+
+/// Nanoseconds since the process trace epoch (steady_clock based).
+std::uint64_t now_ns();
+
+/// --- thread identity ------------------------------------------------------
+
+/// Label the calling thread's track as "<role> <index>" (e.g. ("rank", 3)).
+/// `role` must be a static-duration string. Tracks sort by (role, index) in
+/// the merged trace. Safe to call whether or not tracing is enabled; cheap,
+/// but not hot-path (takes the registry lock once).
+void set_thread_label(const char* role, int index);
+
+/// --- recording primitives -------------------------------------------------
+
+/// RAII scoped span. Construction records a begin event, destruction the
+/// matching end. When tracing is disabled at construction the span is a
+/// near-no-op (one relaxed load); a span armed while enabled always records
+/// its end so begin/end stay balanced across a mid-span toggle.
+class Span {
+ public:
+  explicit Span(const char* name, Category cat = Category::kCompute,
+                const char* detail = nullptr, std::int64_t value = -1);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  const char* detail_;
+  Category cat_;
+  bool armed_;
+};
+
+/// Record a counter sample (e.g. cumulative bytes moved on an axis).
+void counter(const char* name, const char* detail, std::int64_t value);
+
+/// Record a point event.
+void instant(const char* name, Category cat, const char* detail = nullptr,
+             std::int64_t value = -1);
+
+/// Record one end of a flow (an arrow between tracks in the viewer). A serve
+/// request emits `flow(..., id, true)` at submit and `flow(..., id, false)`
+/// inside the worker's inference span, making its life one connected flow.
+void flow(const char* name, std::uint64_t id, bool begin,
+          Category cat = Category::kServe);
+
+/// --- capture control ------------------------------------------------------
+
+/// Drop all recorded events and forget rings of exited threads. Call only
+/// while no traced code is running (between captures); racing recorders may
+/// have events misattributed or lost, never UB on the registry itself.
+void reset();
+
+/// Per-thread ring capacity (events) applied to rings created afterwards.
+void set_ring_capacity(std::size_t events);
+std::size_t ring_capacity();
+
+/// RAII capture window for tests and benches: saves the enabled flag,
+/// optionally `reset()`s, enables, and restores on destruction.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(bool clear = true);
+  ~ScopedTrace();
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  bool old_;
+};
+
+namespace detail {
+extern std::atomic<bool> g_enabled;  ///< read by the Span fast path
+}
+
+}  // namespace orbit::trace
+
+#define ORBIT_TRACE_CONCAT2(a, b) a##b
+#define ORBIT_TRACE_CONCAT(a, b) ORBIT_TRACE_CONCAT2(a, b)
+/// Scoped span bound to the enclosing block:
+///   ORBIT_TRACE_SPAN("train.forward", orbit::trace::Category::kCompute);
+#define ORBIT_TRACE_SPAN(...)                                       \
+  ::orbit::trace::Span ORBIT_TRACE_CONCAT(orbit_trace_span_,        \
+                                          __LINE__)(__VA_ARGS__)

@@ -3,8 +3,13 @@
 #include <stdexcept>
 
 #include "metrics/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace orbit::train {
+
+namespace {
+using trace::Category;
+}
 
 Trainer::Trainer(model::OrbitModel& m, TrainerConfig cfg)
     : model_(m), cfg_(std::move(cfg)), scaler_(cfg_.scaler) {
@@ -15,26 +20,40 @@ Trainer::Trainer(model::OrbitModel& m, TrainerConfig cfg)
 }
 
 double Trainer::train_step(const Batch& batch) {
+  ORBIT_TRACE_SPAN("train.step");
   if (cfg_.schedule) opt_->set_lr(cfg_.schedule->at(step_));
   model_.zero_grad();
 
-  Tensor pred = model_.forward(batch.inputs, batch.lead_days);
-  const double loss = metrics::wmse(pred, batch.targets, lat_weights_);
-
-  Tensor dy = metrics::wmse_grad(pred, batch.targets, lat_weights_);
+  double loss = 0.0;
+  Tensor dy;
+  {
+    ORBIT_TRACE_SPAN("train.forward");
+    Tensor pred = model_.forward(batch.inputs, batch.lead_days);
+    loss = metrics::wmse(pred, batch.targets, lat_weights_);
+    dy = metrics::wmse_grad(pred, batch.targets, lat_weights_);
+  }
   const float scale = cfg_.mixed_precision ? scaler_.scale() : 1.0f;
   if (scale != 1.0f) dy.scale_(scale);
-  model_.backward(dy);
-
-  bool do_step = true;
-  if (cfg_.mixed_precision) {
-    opt_->scale_grads(1.0f / scale);
-    const bool overflow = opt_->grads_nonfinite();
-    do_step = scaler_.update(overflow);
+  {
+    ORBIT_TRACE_SPAN("train.backward");
+    model_.backward(dy);
   }
-  if (do_step) {
-    if (cfg_.clip_norm > 0.0) clip_grad_norm(opt_->params(), cfg_.clip_norm);
-    opt_->step();
+
+  {
+    ORBIT_TRACE_SPAN("train.optimizer", Category::kOptimizer);
+    bool do_step = true;
+    if (cfg_.mixed_precision) {
+      opt_->scale_grads(1.0f / scale);
+      const bool overflow = opt_->grads_nonfinite();
+      do_step = scaler_.update(overflow);
+    }
+    if (do_step) {
+      if (cfg_.clip_norm > 0.0) {
+        ORBIT_TRACE_SPAN("train.grad_clip", Category::kOptimizer);
+        clip_grad_norm(opt_->params(), cfg_.clip_norm);
+      }
+      opt_->step();
+    }
   }
   ++step_;
   history_.push_back(loss);
@@ -45,6 +64,7 @@ double Trainer::train_step_accumulated(const std::vector<Batch>& micro_batches) 
   if (micro_batches.empty()) {
     throw std::invalid_argument("train_step_accumulated: no micro batches");
   }
+  ORBIT_TRACE_SPAN("train.step");
   if (cfg_.schedule) opt_->set_lr(cfg_.schedule->at(step_));
   model_.zero_grad();
 
@@ -56,21 +76,32 @@ double Trainer::train_step_accumulated(const std::vector<Batch>& micro_batches) 
       scale / static_cast<float>(micro_batches.size());
   double loss_sum = 0.0;
   for (const Batch& mb : micro_batches) {
-    Tensor pred = model_.forward(mb.inputs, mb.lead_days);
-    loss_sum += metrics::wmse(pred, mb.targets, lat_weights_);
-    Tensor dy = metrics::wmse_grad(pred, mb.targets, lat_weights_);
+    Tensor dy;
+    {
+      ORBIT_TRACE_SPAN("train.forward");
+      Tensor pred = model_.forward(mb.inputs, mb.lead_days);
+      loss_sum += metrics::wmse(pred, mb.targets, lat_weights_);
+      dy = metrics::wmse_grad(pred, mb.targets, lat_weights_);
+    }
     dy.scale_(micro_weight);
+    ORBIT_TRACE_SPAN("train.backward");
     model_.backward(dy);
   }
 
-  bool do_step = true;
-  if (cfg_.mixed_precision) {
-    opt_->scale_grads(1.0f / scale);
-    do_step = scaler_.update(opt_->grads_nonfinite());
-  }
-  if (do_step) {
-    if (cfg_.clip_norm > 0.0) clip_grad_norm(opt_->params(), cfg_.clip_norm);
-    opt_->step();
+  {
+    ORBIT_TRACE_SPAN("train.optimizer", Category::kOptimizer);
+    bool do_step = true;
+    if (cfg_.mixed_precision) {
+      opt_->scale_grads(1.0f / scale);
+      do_step = scaler_.update(opt_->grads_nonfinite());
+    }
+    if (do_step) {
+      if (cfg_.clip_norm > 0.0) {
+        ORBIT_TRACE_SPAN("train.grad_clip", Category::kOptimizer);
+        clip_grad_norm(opt_->params(), cfg_.clip_norm);
+      }
+      opt_->step();
+    }
   }
   ++step_;
   const double mean_loss =

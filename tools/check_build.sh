@@ -45,6 +45,27 @@ overall=0
 run_leg asan build-asan address || overall=1
 run_leg tsan build-tsan thread || overall=1
 
+echo "==== [trace] traced 2x2x2 smoke run ===="
+# End-to-end observability check: a traced Hybrid-STOP run on a 2x2x2
+# simulated mesh must produce a structurally valid Chrome trace
+# (`trace_report --validate` checks per-track timestamp monotonicity and
+# span nesting). Reuses the ASan build, so the hot recording path runs
+# instrumented too.
+if [ -x build-asan/trace_report ]; then
+  trace_tmp="$(mktemp /tmp/orbit_trace_smoke.XXXXXX.json)"
+  if ORBIT_TRACE=1 build-asan/trace_report --capture "${trace_tmp}" \
+        --tp 2 --fsdp 2 --ddp 2 --steps 2 >/dev/null \
+      && build-asan/trace_report --validate "${trace_tmp}"; then
+    RESULT[trace]="PASS"
+  else
+    RESULT[trace]="FAIL"
+    overall=1
+  fi
+  rm -f "${trace_tmp}"
+else
+  RESULT[trace]="SKIP (trace_report not built)"
+fi
+
 echo "==== [tidy] clang-tidy ===="
 # Reuse the ASan build's compilation database; flags are identical modulo
 # the sanitizer switches, which clang-tidy tolerates.
@@ -62,7 +83,7 @@ fi
 
 echo
 echo "==== verification matrix ===="
-for leg in asan tsan tidy; do
+for leg in asan tsan trace tidy; do
   printf '  %-6s %s\n' "${leg}" "${RESULT[${leg}]:-not run}"
 done
 exit "${overall}"

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# clang-tidy runner for the concurrency-heavy modules (src/comm, src/parallel).
+# clang-tidy runner for the concurrency-heavy modules (src/comm, src/parallel,
+# src/trace).
 #
 # Usage: tools/lint.sh [build-dir]
 #   build-dir (default: build) must contain compile_commands.json — configure
@@ -38,9 +39,9 @@ if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
   exit 1
 fi
 
-FILES=$(ls src/comm/*.cpp src/parallel/*.cpp 2>/dev/null)
+FILES=$(ls src/comm/*.cpp src/parallel/*.cpp src/trace/*.cpp 2>/dev/null)
 if [ -z "${FILES}" ]; then
-  echo "lint: no sources found under src/comm and src/parallel"
+  echo "lint: no sources found under src/comm, src/parallel, and src/trace"
   exit 1
 fi
 
