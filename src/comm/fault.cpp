@@ -1,0 +1,118 @@
+#include "comm/fault.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+namespace orbit::comm::fault {
+namespace {
+
+/// Static upper bound on tracked ranks — the counters are a fixed array so
+/// the per-collective hook stays allocation-free. Far above any simulated
+/// world size.
+constexpr int kMaxRanks = 4096;
+
+std::mutex g_mu;
+std::optional<FaultPlan> g_plan;            ///< guarded by g_mu
+std::atomic<bool> g_armed{false};           ///< fast-path mirror of g_plan
+std::atomic<bool> g_env_checked{false};     ///< env read happened
+std::atomic<std::int64_t> g_coll_count[kMaxRanks];
+
+void reset_counters_locked() {
+  for (auto& c : g_coll_count) c.store(0, std::memory_order_relaxed);
+}
+
+bool plan_valid(const FaultPlan& p) {
+  return p.rank >= 0 && (p.at_step >= 0 || p.at_collective >= 0);
+}
+
+/// Seed from ORBIT_FAULT_RANK/ORBIT_FAULT_STEP the first time any hook or
+/// query runs, unless a programmatic plan got there first.
+void seed_env_locked() {
+  if (g_env_checked.load(std::memory_order_relaxed)) return;
+  g_env_checked.store(true, std::memory_order_release);
+  const char* rank = std::getenv("ORBIT_FAULT_RANK");
+  const char* step = std::getenv("ORBIT_FAULT_STEP");
+  if (rank == nullptr || step == nullptr) return;
+  FaultPlan p;
+  p.rank = std::atoi(rank);
+  p.at_step = std::atoll(step);
+  if (plan_valid(p)) {
+    g_plan = p;
+    reset_counters_locked();
+    g_armed.store(true, std::memory_order_release);
+  }
+}
+
+[[noreturn]] void fire_locked(const char* trigger, std::int64_t index) {
+  const int rank = g_plan->rank;
+  g_plan.reset();
+  g_armed.store(false, std::memory_order_release);
+  throw RankKilledError("fault injection: rank " + std::to_string(rank) +
+                        " killed at " + trigger + " " +
+                        std::to_string(index));
+}
+
+/// Fast-path gate: true once the env has been consulted and no plan is
+/// armed — the common case costs two relaxed atomic loads, no lock.
+bool surely_disarmed() {
+  return g_env_checked.load(std::memory_order_acquire) &&
+         !g_armed.load(std::memory_order_acquire);
+}
+
+}  // namespace
+
+void set_plan(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lk(g_mu);
+  g_env_checked.store(true, std::memory_order_release);
+  reset_counters_locked();
+  if (plan_valid(plan)) {
+    g_plan = plan;
+    g_armed.store(true, std::memory_order_release);
+  } else {
+    g_plan.reset();
+    g_armed.store(false, std::memory_order_release);
+  }
+}
+
+void clear_plan() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  g_env_checked.store(true, std::memory_order_release);
+  g_plan.reset();
+  reset_counters_locked();
+  g_armed.store(false, std::memory_order_release);
+}
+
+std::optional<FaultPlan> plan() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  seed_env_locked();
+  return g_plan;
+}
+
+void on_train_step(int rank, std::int64_t step) {
+  if (surely_disarmed()) return;
+  std::lock_guard<std::mutex> lk(g_mu);
+  seed_env_locked();
+  if (!g_plan || g_plan->rank != rank || g_plan->at_step < 0 ||
+      g_plan->at_step != step) {
+    return;
+  }
+  fire_locked("training step", step);
+}
+
+void on_collective(int rank) {
+  if (surely_disarmed()) return;
+  std::lock_guard<std::mutex> lk(g_mu);
+  seed_env_locked();
+  if (!g_plan || g_plan->at_collective < 0 || g_plan->rank != rank ||
+      rank >= kMaxRanks) {
+    return;
+  }
+  // Counts collectives issued by the victim since the plan was armed.
+  const std::int64_t idx =
+      g_coll_count[rank].fetch_add(1, std::memory_order_relaxed);
+  if (idx != g_plan->at_collective) return;
+  fire_locked("collective", idx);
+}
+
+}  // namespace orbit::comm::fault

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+/// \file fault.hpp
+/// Fault injection for the simulated cluster: kill a chosen rank at a
+/// chosen point to exercise crash-safe checkpoint/resume and the
+/// collective-correctness layer's peer-exit detection.
+///
+/// A `FaultPlan` names the victim rank and the trigger — a 0-based
+/// training step (fired by the trainer mid-step via `on_train_step`)
+/// and/or a 0-based per-rank collective index (fired inside the comm
+/// layer's staging sync via `on_collective`, i.e. genuinely mid-
+/// collective). The kill is a `RankKilledError` thrown on the victim's
+/// thread: the rank unwinds exactly like a crashed process, its peers
+/// fail fast through peer-exit detection, and `run_spmd` rethrows the
+/// `RankKilledError` as the root cause (rank errors take precedence over
+/// checker-raised desync errors).
+///
+/// Plans are **one-shot**: the first firing disarms the plan, so an
+/// in-process resume (second `run_spmd` in the same test) is not killed
+/// again.
+///
+/// Environment seeding, read when the first hook runs with no
+/// programmatic plan armed: `ORBIT_FAULT_RANK=<r>` + `ORBIT_FAULT_STEP=<n>`
+/// arm a step-triggered plan (both must be set). Programmatic plans via
+/// `set_plan` take precedence and are what tests use.
+
+namespace orbit::comm::fault {
+
+/// Thrown on the victim rank's thread when its trigger fires.
+class RankKilledError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct FaultPlan {
+  int rank = -1;                    ///< world rank to kill
+  std::int64_t at_step = -1;        ///< 0-based training step, or -1
+  std::int64_t at_collective = -1;  ///< 0-based per-rank collective, or -1
+};
+
+/// Arm a one-shot plan (replaces any previous plan, resets the per-rank
+/// collective counters).
+void set_plan(const FaultPlan& plan);
+
+/// Disarm and reset counters.
+void clear_plan();
+
+/// The armed plan, if any (after env seeding).
+std::optional<FaultPlan> plan();
+
+/// Trainer hook: `rank` is executing 0-based step `step`. Throws
+/// RankKilledError (and disarms) when the armed plan matches.
+void on_train_step(int rank, std::int64_t step);
+
+/// Comm hook, called by every collective's staging entry: `rank` is
+/// issuing its next collective. Throws RankKilledError (and disarms) when
+/// the armed plan's `at_collective` matches this rank's running count.
+void on_collective(int rank);
+
+}  // namespace orbit::comm::fault

@@ -15,6 +15,7 @@
 #include <tuple>
 
 #include "comm/check.hpp"
+#include "comm/fault.hpp"
 #include "comm/process_group.hpp"
 #include "trace/trace.hpp"
 
@@ -114,6 +115,10 @@ struct GroupState {
   /// `entry == false` is the completion phase releasing writers.
   void sync(int grank, const OpFingerprint& fp, bool entry) {
     const int p = static_cast<int>(members.size());
+    // Fault-injection point: a collective-triggered kill throws here,
+    // before this rank takes its barrier slot, so the group state stays
+    // clean and peers fail through the peer-exit detection below.
+    if (entry) fault::on_collective(members[static_cast<std::size_t>(grank)]);
     std::unique_lock<std::mutex> lk(sync_mu);
     if (!error.empty()) throw_sticky();
     const bool checking = wc != nullptr && wc->check_enabled();

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "comm/fault.hpp"
+#include "core/hs_checkpoint.hpp"
 #include "metrics/metrics.hpp"
 #include "tensor/ops.hpp"
 #include "trace/trace.hpp"
@@ -97,6 +99,11 @@ double DistributedOrbitModel::train_step(const train::Batch& batch) {
     ORBIT_TRACE_SPAN("hs.backward");
     backward(dy);
   }
+  // Step-triggered fault-injection point, deliberately mid-step: the
+  // victim dies with local work done but nothing synchronised, so peers
+  // are killed off inside sync_grads by peer-exit detection and the step
+  // is lost on every rank — exactly a node crash at Frontier scale.
+  comm::fault::on_train_step(mesh_.global_rank(), step_);
   sync_grads();
 
   {
@@ -140,6 +147,11 @@ double DistributedOrbitModel::train_step(const train::Batch& batch) {
     }
   }
   ++step_;
+  if (cfg_.checkpoint_every > 0 && !cfg_.checkpoint_prefix.empty() &&
+      step_ % cfg_.checkpoint_every == 0) {
+    ORBIT_TRACE_SPAN("hs.checkpoint");
+    save_step_checkpoint(cfg_.checkpoint_prefix, *this);
+  }
 
   Tensor loss_t = Tensor::full({1}, static_cast<float>(local_loss));
   if (mesh_.data_group.valid() && mesh_.data_group.size() > 1) {

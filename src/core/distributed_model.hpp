@@ -27,6 +27,13 @@ struct DistributedTrainerConfig {
   HsEngineConfig engine;  ///< mesh sizes, HS options, mixed precision
   double clip_norm = 0.0; ///< <= 0 disables clipping
   std::optional<train::LrSchedule> schedule;
+  /// Periodic full-state checkpointing: every `checkpoint_every` completed
+  /// steps, all ranks save a generation (`<prefix>.step<N>.rank<R>.bin` +
+  /// metadata) and rank 0 commits it by rewriting `<prefix>.latest` — see
+  /// hs_checkpoint.hpp for the atomicity protocol. 0 disables; both fields
+  /// must be set to enable.
+  std::int64_t checkpoint_every = 0;
+  std::string checkpoint_prefix;
 };
 
 /// One rank's slice of the distributed ORBIT model plus its optimizer.
@@ -57,6 +64,19 @@ class DistributedOrbitModel {
   HsTower& tower() { return *hs_tower_; }
   train::AdamW& optimizer() { return *opt_; }
   train::GradScaler& scaler() { return scaler_; }
+  /// The all-ranks group (used for checkpoint barriers).
+  const comm::ProcessGroup& world() const { return world_; }
+
+  /// Completed optimizer steps. `set_step` is the resume path's restore
+  /// hook (see hs_checkpoint.hpp); it does not rewind any other state.
+  std::int64_t step() const { return step_; }
+  void set_step(std::int64_t step) { step_ = step; }
+
+  /// Register this rank's data/augmentation RNG so its state rides along
+  /// in checkpoints and a resumed run draws the identical stream. Optional;
+  /// the pointer must outlive the model.
+  void attach_rng(Rng* rng) { rng_ = rng; }
+  Rng* attached_rng() const { return rng_; }
 
   /// Replicated (non-tower) parameters on this rank.
   std::vector<model::Param*> replicated_params();
@@ -75,6 +95,7 @@ class DistributedOrbitModel {
   train::GradScaler scaler_;
   Tensor lat_weights_;
   std::int64_t step_ = 0;
+  Rng* rng_ = nullptr;
 };
 
 }  // namespace orbit::core

@@ -1,59 +1,242 @@
 #include "core/hs_checkpoint.hpp"
 
+#include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
-
-#include "model/checkpoint_io.hpp"
 
 namespace orbit::core {
 namespace {
 
 std::string rank_file(const std::string& prefix, const HybridMesh& mesh) {
-  const int rank = (mesh.d * mesh.fsdp_size + mesh.f) * mesh.tp_size + mesh.t;
-  return prefix + ".rank" + std::to_string(rank) + ".bin";
+  return prefix + ".rank" + std::to_string(mesh.global_rank()) + ".bin";
 }
 
 std::string meta_file(const std::string& prefix) { return prefix + ".meta"; }
 
+std::string latest_file(const std::string& prefix) {
+  return prefix + ".latest";
+}
+
+std::string step_prefix(const std::string& prefix, std::int64_t step) {
+  return prefix + ".step" + std::to_string(step);
+}
+
+[[noreturn]] void corrupt_meta(const std::string& path,
+                               const std::string& what) {
+  throw std::runtime_error("sharded checkpoint: corrupt metadata " + path +
+                           ": " + what);
+}
+
+/// Write a small text file atomically (tmp + rename), same durability
+/// contract as the binary rank files.
+void write_text_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) {
+      throw std::runtime_error("sharded checkpoint: cannot write " + tmp);
+    }
+    os << content;
+    os.flush();
+    if (!os) {
+      os.close();
+      std::remove(tmp.c_str());
+      throw std::runtime_error("sharded checkpoint: write failed for " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("sharded checkpoint: cannot rename " + tmp +
+                             " to " + path);
+  }
+}
+
+struct Meta {
+  int version = 0;  ///< 1 (param-only era) or 2 (full training state)
+  int ddp = 0, fsdp = 0, tp = 0;
+  std::int64_t step = -1;  ///< v2 only
+};
+
+/// Expect a "<key> <integer>" line. Any deviation — missing line, wrong
+/// key, non-numeric or trailing junk — is reported as corrupt metadata,
+/// never silently read as zero (the bug this parser replaces: a truncated
+/// file produced ddp=fsdp=tp=0 and a misleading "mesh mismatch").
+template <typename Int>
+Int parse_kv_line(std::istream& is, const std::string& path,
+                  const std::string& key) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    corrupt_meta(path, "missing \"" + key + "\" line (truncated file)");
+  }
+  std::istringstream ls(line);
+  std::string k;
+  Int v{};
+  if (!(ls >> k) || k != key) {
+    corrupt_meta(path, "expected key \"" + key + "\", got \"" + line + "\"");
+  }
+  if (!(ls >> v)) {
+    corrupt_meta(path, "key \"" + key + "\" has a non-numeric value: \"" +
+                           line + "\"");
+  }
+  std::string rest;
+  if (ls >> rest) {
+    corrupt_meta(path, "trailing garbage after \"" + key + "\": \"" + line +
+                           "\"");
+  }
+  return v;
+}
+
+Meta read_meta(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("sharded checkpoint: missing metadata file " +
+                             path);
+  }
+  std::string header;
+  if (!std::getline(is, header)) corrupt_meta(path, "empty file");
+  Meta meta;
+  if (header == "orbit-sharded-checkpoint v1") {
+    meta.version = 1;
+  } else if (header == "orbit-sharded-checkpoint v2") {
+    meta.version = 2;
+  } else {
+    corrupt_meta(path, "bad header \"" + header + "\"");
+  }
+  meta.ddp = parse_kv_line<int>(is, path, "ddp");
+  meta.fsdp = parse_kv_line<int>(is, path, "fsdp");
+  meta.tp = parse_kv_line<int>(is, path, "tp");
+  if (meta.version >= 2) {
+    meta.step = parse_kv_line<std::int64_t>(is, path, "step");
+  }
+  if (meta.ddp <= 0 || meta.fsdp <= 0 || meta.tp <= 0) {
+    corrupt_meta(path, "non-positive mesh size");
+  }
+  return meta;
+}
+
+void write_meta(const std::string& prefix, const HybridMesh& mesh,
+                std::int64_t step) {
+  std::ostringstream os;
+  os << "orbit-sharded-checkpoint v2\n"
+     << "ddp " << mesh.ddp_size << "\nfsdp " << mesh.fsdp_size << "\ntp "
+     << mesh.tp_size << "\nstep " << step << "\n";
+  write_text_atomic(meta_file(prefix), os.str());
+}
+
 }  // namespace
+
+model::CheckpointData collect_train_state(DistributedOrbitModel& m) {
+  model::CheckpointData data;
+  for (const model::Param* p : m.all_params()) {
+    data.add_tensor(p->name, p->value);
+  }
+  m.optimizer().export_state(data);
+  data.add_i64("train.step", m.step());
+  data.add_f64("train.lr", static_cast<double>(m.optimizer().lr()));
+  data.add_f64("scaler.scale", static_cast<double>(m.scaler().scale()));
+  data.add_i64("scaler.streak", m.scaler().good_streak());
+  data.add_i64("scaler.skipped", m.scaler().skipped_steps());
+  if (m.attached_rng() != nullptr) {
+    model::add_rng_state(data, "rng.data", *m.attached_rng());
+  }
+  return data;
+}
 
 void save_sharded_checkpoint(const std::string& prefix,
                              DistributedOrbitModel& m) {
   const HybridMesh& mesh = m.mesh();
-  model::save_checkpoint(rank_file(prefix, mesh), m.all_params());
-  if (mesh.d == 0 && mesh.f == 0 && mesh.t == 0) {
-    std::ofstream meta(meta_file(prefix), std::ios::trunc);
-    if (!meta) {
-      throw std::runtime_error("sharded checkpoint: cannot write metadata");
-    }
-    meta << "orbit-sharded-checkpoint v1\n"
-         << "ddp " << mesh.ddp_size << "\nfsdp " << mesh.fsdp_size
-         << "\ntp " << mesh.tp_size << "\n";
-  }
+  // (1) every rank has finished the step being checkpointed.
+  m.world().barrier();
+  model::write_checkpoint(rank_file(prefix, mesh), collect_train_state(m));
+  // (3) all rank files are durable before the metadata commits them.
+  m.world().barrier();
+  if (mesh.global_rank() == 0) write_meta(prefix, mesh, m.step());
+  // (5) nobody returns (and nobody can start a resume) before the commit.
+  m.world().barrier();
 }
 
 void load_sharded_checkpoint(const std::string& prefix,
                              DistributedOrbitModel& m) {
   const HybridMesh& mesh = m.mesh();
-  std::ifstream meta(meta_file(prefix));
-  if (!meta) {
-    throw std::runtime_error("sharded checkpoint: missing metadata file " +
-                             meta_file(prefix));
-  }
-  std::string header, key;
-  std::getline(meta, header);
-  if (header != "orbit-sharded-checkpoint v1") {
-    throw std::runtime_error("sharded checkpoint: bad metadata header");
-  }
-  int ddp = 0, fsdp = 0, tp = 0;
-  meta >> key >> ddp >> key >> fsdp >> key >> tp;
-  if (ddp != mesh.ddp_size || fsdp != mesh.fsdp_size || tp != mesh.tp_size) {
+  const Meta meta = read_meta(meta_file(prefix));
+  if (meta.ddp != mesh.ddp_size || meta.fsdp != mesh.fsdp_size ||
+      meta.tp != mesh.tp_size) {
     throw std::runtime_error(
         "sharded checkpoint: mesh mismatch — checkpoint was written with "
-        "ddp=" + std::to_string(ddp) + " fsdp=" + std::to_string(fsdp) +
-        " tp=" + std::to_string(tp));
+        "ddp=" + std::to_string(meta.ddp) +
+        " fsdp=" + std::to_string(meta.fsdp) +
+        " tp=" + std::to_string(meta.tp));
   }
-  model::load_checkpoint(rank_file(prefix, mesh), m.all_params());
+  const std::string path = rank_file(prefix, mesh);
+  const model::CheckpointData data = model::read_checkpoint(path);
+  const std::vector<model::Param*> params = m.all_params();
+
+  if (!data.contains("adamw.t")) {
+    // v1-era / param-only file: weights restore read-only, optimizer cold.
+    model::check_params(data, params);
+    model::apply_params(data, params);
+    return;
+  }
+
+  // Full training state: validate every record before mutating anything.
+  model::check_params(data, params);
+  m.optimizer().check_state(data);
+  const std::int64_t step = data.i64("train.step");
+  const double lr = data.f64("train.lr");
+  const double scale = data.f64("scaler.scale");
+  const std::int64_t streak = data.i64("scaler.streak");
+  const std::int64_t skipped = data.i64("scaler.skipped");
+  if (meta.version >= 2 && step != meta.step) {
+    throw std::runtime_error(
+        "sharded checkpoint: torn generation — " + path + " is at step " +
+        std::to_string(step) + " but the metadata committed step " +
+        std::to_string(meta.step) +
+        " (a save was interrupted between ranks)");
+  }
+  if (m.attached_rng() != nullptr && !data.contains("rng.data")) {
+    throw std::runtime_error(
+        "sharded checkpoint: an RNG is attached but " + path +
+        " carries no rng.data record — it was saved without one");
+  }
+
+  model::apply_params(data, params);
+  m.optimizer().import_state(data);
+  m.optimizer().set_lr(static_cast<float>(lr));
+  m.scaler().set_state(static_cast<float>(scale), streak, skipped);
+  m.set_step(step);
+  if (m.attached_rng() != nullptr) {
+    model::read_rng_state(data, "rng.data", *m.attached_rng());
+  }
+}
+
+void save_step_checkpoint(const std::string& prefix,
+                          DistributedOrbitModel& m) {
+  save_sharded_checkpoint(step_prefix(prefix, m.step()), m);
+  if (m.mesh().global_rank() == 0) {
+    write_text_atomic(latest_file(prefix),
+                      "step " + std::to_string(m.step()) + "\n");
+  }
+  // The generation is only "latest" once the pointer rewrite is durable.
+  m.world().barrier();
+}
+
+std::int64_t latest_checkpoint_step(const std::string& prefix) {
+  std::ifstream is(latest_file(prefix));
+  if (!is) return -1;
+  return parse_kv_line<std::int64_t>(is, latest_file(prefix), "step");
+}
+
+std::int64_t resume_from_latest(const std::string& prefix,
+                                DistributedOrbitModel& m) {
+  const std::int64_t step = latest_checkpoint_step(prefix);
+  if (step < 0) {
+    throw std::runtime_error(
+        "sharded checkpoint: no committed checkpoint under prefix " + prefix +
+        " (missing " + latest_file(prefix) + ")");
+  }
+  load_sharded_checkpoint(step_prefix(prefix, step), m);
+  return m.step();
 }
 
 }  // namespace orbit::core

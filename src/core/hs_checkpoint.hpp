@@ -1,28 +1,77 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "core/distributed_model.hpp"
+#include "model/checkpoint_io.hpp"
 
 /// \file hs_checkpoint.hpp
-/// Sharded checkpointing for distributed training runs. Each rank writes
-/// its own file (`<prefix>.rank<R>.bin`) containing its parameter shards
-/// and replicated parameters, plus a shared metadata file recording the
-/// mesh — the torch-distributed-checkpoint model: resume requires the same
-/// (ddp, fsdp, tp) factorization, and loading is embarrassingly parallel.
+/// Sharded **training-state** checkpointing for distributed runs —
+/// checkpoint format v2 applied per rank. Each rank writes its own file
+/// (`<prefix>.rank<R>.bin`) holding everything that must survive a crash
+/// for the resumed run to be bitwise identical to an uninterrupted one:
+/// parameter shards and replicated params, the sharded Adam moments (and
+/// bf16 masters), the global step, the learning rate, the grad-scaler
+/// state, and this rank's data-RNG state when one is attached. Rank 0
+/// additionally writes `<prefix>.meta` recording the mesh factorization
+/// and the step.
+///
+/// Atomicity protocol (what makes a mid-save crash harmless):
+///  1. barrier — every rank finished the step being checkpointed;
+///  2. every rank writes its file via tmp + rename (see checkpoint_io);
+///  3. barrier — all rank files are durable;
+///  4. rank 0 writes the metadata via tmp + rename;
+///  5. barrier — no rank returns before the save is fully committed.
+/// The periodic trainer path (`save_step_checkpoint`) writes each save to
+/// a fresh generation prefix (`<prefix>.step<N>`) and only then commits it
+/// by atomically rewriting the `<prefix>.latest` pointer file — a crash at
+/// *any* point leaves the previous committed generation loadable, and a
+/// torn generation (some ranks new, some old) is detected on load because
+/// every rank file's recorded step must equal the metadata's.
+///
+/// Legacy: v1 checkpoints (param-only rank files, "v1" metadata header)
+/// still load read-only — weights restored, optimizer left cold.
 
 namespace orbit::core {
 
-/// Write this rank's state. Rank 0 additionally writes `<prefix>.meta`.
-/// All ranks must call (collective only in the trivial sense: no
-/// communication happens, but every rank's file must exist for a resume).
+/// Assemble this rank's complete training state as checkpoint records
+/// (the exact content `save_sharded_checkpoint` persists). Exposed so
+/// tests can compare two runs' states bitwise, record by record.
+model::CheckpointData collect_train_state(DistributedOrbitModel& m);
+
+/// Write this rank's full training state (steps 1–5 above). Collective:
+/// every rank of the world must call it.
 void save_sharded_checkpoint(const std::string& prefix,
                              DistributedOrbitModel& m);
 
-/// Load this rank's state. Throws std::runtime_error when the metadata
-/// does not match the model's mesh (resuming on a different factorization
-/// is not supported — reshard by going through a serial checkpoint).
+/// Restore this rank's state. Validates the metadata (hardened parser:
+/// corrupt or truncated metadata is reported as such, never as a bogus
+/// mesh mismatch), the mesh factorization, and the entire rank file
+/// against the model and optimizer *before* touching anything — a failed
+/// load of any kind leaves model, optimizer, scaler, step, and RNG
+/// bitwise unmodified. Full-state files restore everything; v1/param-only
+/// files restore weights read-only.
 void load_sharded_checkpoint(const std::string& prefix,
                              DistributedOrbitModel& m);
+
+/// One committed generation save: write `<prefix>.step<N>.*` via
+/// `save_sharded_checkpoint`, then rank 0 atomically rewrites
+/// `<prefix>.latest` to point at it. Collective. Called by
+/// `DistributedOrbitModel::train_step` when periodic checkpointing is
+/// configured.
+void save_step_checkpoint(const std::string& prefix,
+                          DistributedOrbitModel& m);
+
+/// Step of the last committed generation under `prefix`, or -1 when no
+/// `<prefix>.latest` exists. Throws std::runtime_error when the pointer
+/// file exists but is corrupt.
+std::int64_t latest_checkpoint_step(const std::string& prefix);
+
+/// Resume from the last committed generation: load
+/// `<prefix>.step<N>` where N comes from `<prefix>.latest`. Collective.
+/// Returns the restored step. Throws when no committed checkpoint exists.
+std::int64_t resume_from_latest(const std::string& prefix,
+                                DistributedOrbitModel& m);
 
 }  // namespace orbit::core

@@ -1,5 +1,6 @@
 #include "core/hs_engine.hpp"
 
+#include "comm/fault.hpp"
 #include "tensor/ops.hpp"
 #include "trace/trace.hpp"
 
@@ -67,6 +68,9 @@ double HsEngine::train_step_mse(const Tensor& x, const Tensor& target) {
     ORBIT_TRACE_SPAN("hs.backward");
     backward(dy);
   }
+  // Step-triggered fault-injection point (same placement as the full
+  // distributed trainer's): local work done, nothing synchronised yet.
+  comm::fault::on_train_step(mesh_.global_rank(), step_);
   sync_grads();
 
   {
@@ -85,6 +89,7 @@ double HsEngine::train_step_mse(const Tensor& x, const Tensor& target) {
 
   // Report the global mean loss for convenience (average across data
   // shards; identical within a TP group).
+  ++step_;
   Tensor loss_t = Tensor::full({1}, static_cast<float>(local_loss));
   if (mesh_.data_group.valid() && mesh_.data_group.size() > 1) {
     mesh_.data_group.all_reduce(loss_t, comm::ReduceOp::kAvg);

@@ -54,6 +54,10 @@ class HsEngine {
   /// All rank-local trainable state (shards + replicated).
   std::vector<model::Param*> all_params();
 
+  /// Completed `train_step_mse` calls (the step index fault injection
+  /// matches against, see comm/fault.hpp).
+  std::int64_t step() const { return step_; }
+
  private:
   HsEngineConfig cfg_;
   HybridMesh mesh_;
@@ -61,6 +65,7 @@ class HsEngine {
   std::unique_ptr<HsTower> tower_;
   std::unique_ptr<train::AdamW> opt_;
   train::GradScaler scaler_;
+  std::int64_t step_ = 0;
 };
 
 }  // namespace orbit::core

@@ -31,6 +31,9 @@ struct HybridMesh {
   int data_shard() const { return d * fsdp_size + f; }
   int num_data_shards() const { return ddp_size * fsdp_size; }
 
+  /// This rank's global (world) rank: (d·F + f)·T + t.
+  int global_rank() const { return (d * fsdp_size + f) * tp_size + t; }
+
   /// Build all groups for the calling rank. Throws unless
   /// ddp*fsdp*tp == world size.
   static HybridMesh build(comm::RankContext& ctx, int ddp, int fsdp, int tp);

@@ -43,6 +43,29 @@ class Rng {
   /// are decorrelated from each other and from the parent.
   Rng fork(std::uint64_t stream_id) const;
 
+  /// Complete serialisable generator state: the xoshiro words plus the
+  /// Box–Muller cache, so a restored stream continues bit-for-bit (a resume
+  /// after an odd number of normal() draws must replay the cached value).
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+
+  State state() const {
+    State st;
+    for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+    st.cached_normal = cached_normal_;
+    st.has_cached_normal = has_cached_normal_;
+    return st;
+  }
+
+  void set_state(const State& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    cached_normal_ = st.cached_normal;
+    has_cached_normal_ = st.has_cached_normal;
+  }
+
  private:
   std::uint64_t s_[4];
   double cached_normal_ = 0.0;

@@ -36,6 +36,14 @@ class GradScaler {
   std::int64_t skipped_steps() const { return skipped_; }
   std::int64_t good_streak() const { return streak_; }
 
+  /// Restore a checkpointed scaler verbatim (scale, growth streak, skip
+  /// count) so a resumed run reproduces the uninterrupted scale trajectory.
+  void set_state(float scale, std::int64_t streak, std::int64_t skipped) {
+    scale_ = scale;
+    streak_ = streak;
+    skipped_ = skipped;
+  }
+
  private:
   GradScalerConfig cfg_;
   float scale_;

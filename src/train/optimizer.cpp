@@ -1,6 +1,8 @@
 #include "train/optimizer.hpp"
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "tensor/bf16.hpp"
 #include "tensor/ops.hpp"
@@ -42,6 +44,55 @@ void AdamW::step() {
         value[j] = bf16_round(master[j]);
       }
     }
+  }
+}
+
+void AdamW::export_state(model::CheckpointData& out) const {
+  out.add_i64("adamw.t", t_);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const std::string& name = params_[i]->name;
+    out.add_tensor("adamw.m:" + name, m_[i]);
+    out.add_tensor("adamw.v:" + name, v_[i]);
+    if (cfg_.bf16_params) out.add_tensor("adamw.master:" + name, master_[i]);
+  }
+}
+
+void AdamW::check_state(const model::CheckpointData& in) const {
+  if (!in.contains("adamw.t")) {
+    throw std::runtime_error(
+        "checkpoint: no optimizer state (param-only file?) — resume needs a "
+        "full training-state checkpoint");
+  }
+  (void)in.i64("adamw.t");
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const std::string& name = params_[i]->name;
+    for (const char* kind : {"adamw.m:", "adamw.v:"}) {
+      const model::CheckpointRecord& rec = in.at(kind + name);
+      if (rec.dtype != "f32" || rec.shape != params_[i]->value.shape()) {
+        throw std::runtime_error("checkpoint: optimizer record " +
+                                 (kind + name) +
+                                 " does not match param shape");
+      }
+    }
+    if (cfg_.bf16_params) {
+      const model::CheckpointRecord& rec = in.at("adamw.master:" + name);
+      if (rec.dtype != "f32" || rec.shape != params_[i]->value.shape()) {
+        throw std::runtime_error(
+            "checkpoint: master-weight record for " + name +
+            " does not match param shape");
+      }
+    }
+  }
+}
+
+void AdamW::import_state(const model::CheckpointData& in) {
+  check_state(in);
+  t_ = in.i64("adamw.t");
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const std::string& name = params_[i]->name;
+    in.read_tensor("adamw.m:" + name, m_[i]);
+    in.read_tensor("adamw.v:" + name, v_[i]);
+    if (cfg_.bf16_params) in.read_tensor("adamw.master:" + name, master_[i]);
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "model/checkpoint_io.hpp"
 #include "model/param.hpp"
 
 /// \file optimizer.hpp
@@ -45,6 +46,22 @@ class AdamW {
   bool grads_nonfinite() const;
 
   const std::vector<model::Param*>& params() const { return params_; }
+
+  /// Append the full optimizer state to `out` as reserved-prefix records:
+  /// "adamw.t" (step count) plus per-param "adamw.m:<name>",
+  /// "adamw.v:<name>", and — in bf16 mode — "adamw.master:<name>". With
+  /// these restored, a resumed run's updates are bitwise identical to an
+  /// uninterrupted one.
+  void export_state(model::CheckpointData& out) const;
+
+  /// Validate that `in` can restore this optimizer: every moment (and
+  /// master, when bf16_params is on) present with the param's shape.
+  /// Throws std::runtime_error; modifies nothing.
+  void check_state(const model::CheckpointData& in) const;
+
+  /// Restore the state exported by `export_state`. Runs `check_state`
+  /// first, so a failure leaves the optimizer untouched.
+  void import_state(const model::CheckpointData& in);
 
  private:
   std::vector<model::Param*> params_;

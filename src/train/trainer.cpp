@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "metrics/metrics.hpp"
+#include "model/checkpoint_io.hpp"
 #include "trace/trace.hpp"
 
 namespace orbit::train {
@@ -57,6 +58,7 @@ double Trainer::train_step(const Batch& batch) {
   }
   ++step_;
   history_.push_back(loss);
+  maybe_checkpoint();
   return loss;
 }
 
@@ -107,7 +109,56 @@ double Trainer::train_step_accumulated(const std::vector<Batch>& micro_batches) 
   const double mean_loss =
       loss_sum / static_cast<double>(micro_batches.size());
   history_.push_back(mean_loss);
+  maybe_checkpoint();
   return mean_loss;
+}
+
+void Trainer::save_checkpoint(const std::string& path) const {
+  model::CheckpointData data;
+  for (const model::Param* p : opt_->params()) {
+    data.add_tensor(p->name, p->value);
+  }
+  opt_->export_state(data);
+  data.add_i64("train.step", step_);
+  data.add_f64("train.lr", static_cast<double>(opt_->lr()));
+  data.add_f64("scaler.scale", static_cast<double>(scaler_.scale()));
+  data.add_i64("scaler.streak", scaler_.good_streak());
+  data.add_i64("scaler.skipped", scaler_.skipped_steps());
+  if (rng_ != nullptr) model::add_rng_state(data, "rng.data", *rng_);
+  model::write_checkpoint(path, data);
+}
+
+void Trainer::resume_from(const std::string& path) {
+  const model::CheckpointData data = model::read_checkpoint(path);
+  // Validate everything — params, optimizer records, every scalar — before
+  // mutating anything, so a failed resume leaves the trainer untouched.
+  model::check_params(data, opt_->params());
+  opt_->check_state(data);
+  const std::int64_t step = data.i64("train.step");
+  const double lr = data.f64("train.lr");
+  const double scale = data.f64("scaler.scale");
+  const std::int64_t streak = data.i64("scaler.streak");
+  const std::int64_t skipped = data.i64("scaler.skipped");
+  if (rng_ != nullptr && !data.contains("rng.data")) {
+    throw std::runtime_error(
+        "checkpoint: an RNG is attached but " + path +
+        " carries no rng.data record — it was saved without one");
+  }
+
+  model::apply_params(data, opt_->params());
+  opt_->import_state(data);
+  opt_->set_lr(static_cast<float>(lr));
+  scaler_.set_state(static_cast<float>(scale), streak, skipped);
+  step_ = step;
+  if (rng_ != nullptr) model::read_rng_state(data, "rng.data", *rng_);
+  history_.clear();
+}
+
+void Trainer::maybe_checkpoint() const {
+  if (cfg_.checkpoint_every <= 0 || cfg_.checkpoint_prefix.empty()) return;
+  if (step_ % cfg_.checkpoint_every != 0) return;
+  ORBIT_TRACE_SPAN("train.checkpoint");
+  save_checkpoint(cfg_.checkpoint_prefix + ".ckpt");
 }
 
 double Trainer::eval_loss(const Batch& batch) {

@@ -38,6 +38,12 @@ struct TrainerConfig {
   /// machine train with the paper's large effective batches (e.g. the
   /// fixed global batch of 2880 in Sec. V-E).
   int accumulation_steps = 1;
+  /// Periodic full-state checkpointing: every `checkpoint_every` completed
+  /// steps the trainer saves to `<checkpoint_prefix>.ckpt` (atomic
+  /// replace, so the previous checkpoint survives a crash mid-save).
+  /// 0 disables; both fields must be set to enable.
+  std::int64_t checkpoint_every = 0;
+  std::string checkpoint_prefix;
 };
 
 class Trainer {
@@ -63,7 +69,28 @@ class Trainer {
   GradScaler& scaler() { return scaler_; }
   std::int64_t steps() const { return step_; }
 
+  /// Register a data/augmentation RNG whose state rides along in every
+  /// checkpoint, so a resumed run draws the same stream the uninterrupted
+  /// run would have. Optional; the pointer must outlive the trainer.
+  void attach_rng(Rng* rng) { rng_ = rng; }
+
+  /// Write the complete training state — params, Adam moments (and bf16
+  /// masters), step counter, learning rate, grad-scaler state, attached
+  /// RNG — to `path` (checkpoint format v2, atomic).
+  void save_checkpoint(const std::string& path) const;
+
+  /// Restore every piece of state saved by `save_checkpoint`, so the
+  /// continued run is bitwise identical to one that never stopped. The
+  /// whole file is validated against the model and optimizer before
+  /// anything is written: on any failure (corruption, shape mismatch,
+  /// param-only v1 file) the trainer is left untouched. The loss history
+  /// is not checkpointed and restarts empty.
+  void resume_from(const std::string& path);
+
  private:
+  /// Periodic save when TrainerConfig::checkpoint_every divides step_.
+  void maybe_checkpoint() const;
+
   model::OrbitModel& model_;
   TrainerConfig cfg_;
   std::unique_ptr<AdamW> opt_;
@@ -71,6 +98,7 @@ class Trainer {
   Tensor lat_weights_;
   std::vector<double> history_;
   std::int64_t step_ = 0;
+  Rng* rng_ = nullptr;
 };
 
 }  // namespace orbit::train

@@ -1,0 +1,118 @@
+#include "comm/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "comm/world.hpp"
+#include "tensor/ops.hpp"
+
+/// Fault-injection mechanics: a planned kill takes down exactly the chosen
+/// rank at the chosen trigger, surfaces as the run's root cause (not as the
+/// peers' secondary desync errors), and disarms itself so a subsequent
+/// resume run survives.
+
+namespace orbit::comm {
+namespace {
+
+/// A mini training loop shape: per-step trainer hook plus one collective.
+void run_fake_training(int world, int steps, std::atomic<int>* kills) {
+  run_spmd(world, [&](RankContext& ctx) {
+    auto g = ctx.world_group();
+    for (int s = 0; s < steps; ++s) {
+      try {
+        fault::on_train_step(ctx.rank(), s);
+      } catch (const fault::RankKilledError&) {
+        if (kills != nullptr) kills->fetch_add(1);
+        throw;
+      }
+      Tensor t = Tensor::full({4}, 1.0f);
+      g.all_reduce(t, ReduceOp::kSum);
+    }
+  });
+}
+
+TEST(FaultInjection, StepPlanKillsVictimAndSurfacesAsRootCause) {
+  fault::set_plan({/*rank=*/2, /*at_step=*/1, /*at_collective=*/-1});
+  std::atomic<int> kills{0};
+  // Peers die of CommDesyncError (the victim vanished from their
+  // all-reduce), but run_spmd must rethrow the victim's RankKilledError.
+  EXPECT_THROW(run_fake_training(4, 3, &kills), fault::RankKilledError);
+  EXPECT_EQ(kills.load(), 1) << "exactly the victim rank must be killed";
+  fault::clear_plan();
+}
+
+TEST(FaultInjection, PlanIsOneShotSecondRunSurvives) {
+  fault::set_plan({/*rank=*/0, /*at_step=*/0, /*at_collective=*/-1});
+  EXPECT_THROW(run_fake_training(2, 2, nullptr), fault::RankKilledError);
+  // The firing disarmed the plan: an in-process resume is not killed again.
+  EXPECT_FALSE(fault::plan().has_value());
+  EXPECT_NO_THROW(run_fake_training(2, 2, nullptr));
+}
+
+TEST(FaultInjection, CollectivePlanKillsMidCollective) {
+  // Kill rank 1 on its third collective entry (index 2, counted since the
+  // plan was armed): the throw happens inside the comm layer's staging
+  // sync, before the rank takes its barrier slot.
+  fault::set_plan({/*rank=*/1, /*at_step=*/-1, /*at_collective=*/2});
+  try {
+    run_spmd(4, [&](RankContext& ctx) {
+      auto g = ctx.world_group();
+      for (int i = 0; i < 5; ++i) {
+        Tensor t = Tensor::full({2}, static_cast<float>(ctx.rank()));
+        g.all_reduce(t, ReduceOp::kMax);
+      }
+    });
+    FAIL() << "collective-triggered kill never fired";
+  } catch (const fault::RankKilledError& e) {
+    EXPECT_NE(std::string(e.what()).find("collective 2"), std::string::npos)
+        << e.what();
+  }
+  fault::clear_plan();
+}
+
+TEST(FaultInjection, PlanAccessorsAndNonMatchingHooksAreInert) {
+  fault::clear_plan();
+  EXPECT_FALSE(fault::plan().has_value());
+  // Hooks without a plan are no-ops.
+  EXPECT_NO_THROW(fault::on_train_step(0, 0));
+  EXPECT_NO_THROW(fault::on_collective(0));
+
+  fault::set_plan({/*rank=*/3, /*at_step=*/7, /*at_collective=*/-1});
+  ASSERT_TRUE(fault::plan().has_value());
+  EXPECT_EQ(fault::plan()->rank, 3);
+  EXPECT_EQ(fault::plan()->at_step, 7);
+  // Wrong rank or wrong step: inert, plan stays armed.
+  EXPECT_NO_THROW(fault::on_train_step(2, 7));
+  EXPECT_NO_THROW(fault::on_train_step(3, 6));
+  EXPECT_TRUE(fault::plan().has_value());
+  // Invalid plans (no trigger) disarm instead of arming a dud.
+  fault::set_plan({/*rank=*/1, /*at_step=*/-1, /*at_collective=*/-1});
+  EXPECT_FALSE(fault::plan().has_value());
+  fault::clear_plan();
+}
+
+TEST(FaultInjection, CollectiveCountsResetWhenRearmed) {
+  // Burn some collectives under one plan, then re-arm: the counter must
+  // restart, so "at_collective=0" means the first collective after arming.
+  fault::set_plan({/*rank=*/0, /*at_step=*/-1, /*at_collective=*/50});
+  run_spmd(2, [&](RankContext& ctx) {
+    auto g = ctx.world_group();
+    for (int i = 0; i < 3; ++i) {
+      Tensor t = Tensor::full({2}, 1.0f);
+      g.all_reduce(t, ReduceOp::kSum);
+    }
+  });
+  fault::set_plan({/*rank=*/0, /*at_step=*/-1, /*at_collective=*/0});
+  EXPECT_THROW(run_spmd(2,
+                        [&](RankContext& ctx) {
+                          auto g = ctx.world_group();
+                          Tensor t = Tensor::full({2}, 1.0f);
+                          g.all_reduce(t, ReduceOp::kSum);
+                        }),
+               fault::RankKilledError);
+  fault::clear_plan();
+}
+
+}  // namespace
+}  // namespace orbit::comm

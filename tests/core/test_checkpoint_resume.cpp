@@ -1,0 +1,291 @@
+#include "core/hs_checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "comm/world.hpp"
+#include "tensor/ops.hpp"
+
+/// Full-training-state sharded checkpoints: bitwise resume across the
+/// mesh, the hardened metadata parser (corruption reported as corruption,
+/// never as a bogus mesh mismatch), torn-generation detection, and
+/// transactional loads that leave every rank untouched on failure.
+
+namespace orbit::core {
+namespace {
+
+model::VitConfig micro() {
+  model::VitConfig c = model::tiny_test();
+  c.image_h = 8;
+  c.image_w = 8;
+  c.patch = 4;
+  c.in_channels = 2;
+  c.out_channels = 2;
+  c.embed = 16;
+  c.layers = 2;
+  c.heads = 4;
+  return c;
+}
+
+train::Batch draw_batch(const model::VitConfig& cfg, Rng& rng) {
+  train::Batch b;
+  b.inputs = Tensor::randn({2, cfg.in_channels, cfg.image_h, cfg.image_w}, rng);
+  b.targets = scale(b.inputs, 0.5f);
+  b.lead_days = Tensor::full({2}, 1.0f);
+  return b;
+}
+
+void expect_bitwise_equal(const model::CheckpointData& a,
+                          const model::CheckpointData& b, int rank) {
+  ASSERT_EQ(a.size(), b.size()) << "rank " << rank;
+  for (const model::CheckpointRecord& rec : a.records()) {
+    ASSERT_TRUE(b.contains(rec.name)) << "rank " << rank << ": " << rec.name;
+    const model::CheckpointRecord& other = b.at(rec.name);
+    ASSERT_EQ(rec.payload.size(), other.payload.size())
+        << "rank " << rank << ": " << rec.name;
+    EXPECT_EQ(0, std::memcmp(rec.payload.data(), other.payload.data(),
+                             rec.payload.size()))
+        << "rank " << rank << ": record " << rec.name << " differs";
+  }
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(is)) << path;
+  return {std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>()};
+}
+
+void spew(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void remove_generation(const std::string& prefix, int world) {
+  std::remove((prefix + ".meta").c_str());
+  for (int r = 0; r < world; ++r) {
+    std::remove((prefix + ".rank" + std::to_string(r) + ".bin").c_str());
+  }
+}
+
+TEST(CheckpointResume, FullStateResumeIsBitwiseIdentical) {
+  const model::VitConfig cfg = micro();
+  const std::string prefix = ::testing::TempDir() + "/hs_full_resume";
+  DistributedTrainerConfig dtc;
+  dtc.engine.fsdp = 2;
+  dtc.engine.tp = 2;
+  dtc.engine.adamw.lr = 2e-3f;
+  dtc.schedule = train::LrSchedule(2e-3f, 2, 12);
+
+  // Reference: 6 uninterrupted steps, per-rank data RNG seeded by shard
+  // (TP peers share a shard and therefore a stream).
+  std::vector<model::CheckpointData> ref(4), resumed(4);
+  comm::run_spmd(4, [&](comm::RankContext& ctx) {
+    DistributedOrbitModel m(cfg, ctx, dtc);
+    Rng rng(100 + static_cast<std::uint64_t>(m.data_shard()));
+    m.attach_rng(&rng);
+    for (int i = 0; i < 6; ++i) m.train_step(draw_batch(cfg, rng));
+    ref[static_cast<std::size_t>(ctx.rank())] = collect_train_state(m);
+  });
+
+  // Interrupted after 3 steps: full-state save, then the run ends.
+  comm::run_spmd(4, [&](comm::RankContext& ctx) {
+    DistributedOrbitModel m(cfg, ctx, dtc);
+    Rng rng(100 + static_cast<std::uint64_t>(m.data_shard()));
+    m.attach_rng(&rng);
+    for (int i = 0; i < 3; ++i) m.train_step(draw_batch(cfg, rng));
+    save_sharded_checkpoint(prefix, m);
+  });
+
+  // Resume on fresh models with wrong-seeded RNGs: every divergence must
+  // be erased by the checkpoint.
+  comm::run_spmd(4, [&](comm::RankContext& ctx) {
+    DistributedOrbitModel m(cfg, ctx, dtc);
+    Rng rng(555);
+    m.attach_rng(&rng);
+    load_sharded_checkpoint(prefix, m);
+    EXPECT_EQ(m.step(), 3);
+    for (int i = 0; i < 3; ++i) m.train_step(draw_batch(cfg, rng));
+    resumed[static_cast<std::size_t>(ctx.rank())] = collect_train_state(m);
+  });
+
+  for (int r = 0; r < 4; ++r) {
+    expect_bitwise_equal(ref[static_cast<std::size_t>(r)],
+                         resumed[static_cast<std::size_t>(r)], r);
+  }
+  remove_generation(prefix, 4);
+}
+
+TEST(CheckpointResume, MetaCorruptionReportedAsCorruptionNotMeshMismatch) {
+  const model::VitConfig cfg = micro();
+  const std::string prefix = ::testing::TempDir() + "/hs_meta_corrupt";
+  DistributedTrainerConfig dtc;
+  dtc.engine.fsdp = 2;
+  Rng data_rng(3);
+  const train::Batch batch = draw_batch(cfg, data_rng);
+  comm::run_spmd(2, [&](comm::RankContext& ctx) {
+    DistributedOrbitModel m(cfg, ctx, dtc);
+    m.train_step(batch);
+    save_sharded_checkpoint(prefix, m);
+  });
+
+  const std::string meta = prefix + ".meta";
+  const std::string good = slurp(meta);
+  // Each corruption used to parse as ddp=fsdp=tp=0 and report a misleading
+  // "mesh mismatch"; the hardened parser must name the real problem.
+  const std::vector<std::string> corruptions = {
+      "",                                             // empty file
+      "orbit-sharded-checkpoint v9\nddp 1\n",         // unknown header
+      "orbit-sharded-checkpoint v2\nddp 1\n",         // truncated mid-keys
+      "orbit-sharded-checkpoint v2\nfsdp 2\nddp 1\ntp 1\nstep 1\n",  // reorder
+      "orbit-sharded-checkpoint v2\nddp one\nfsdp 2\ntp 1\nstep 1\n",
+      "orbit-sharded-checkpoint v2\nddp 1 junk\nfsdp 2\ntp 1\nstep 1\n",
+      "orbit-sharded-checkpoint v2\nddp 0\nfsdp 2\ntp 1\nstep 1\n",
+  };
+  for (const std::string& bad : corruptions) {
+    spew(meta, bad);
+    comm::run_spmd(2, [&](comm::RankContext& ctx) {
+      DistributedOrbitModel m(cfg, ctx, dtc);
+      const model::CheckpointData before = collect_train_state(m);
+      try {
+        load_sharded_checkpoint(prefix, m);
+        FAIL() << "corrupt metadata accepted: \"" << bad << "\"";
+      } catch (const std::runtime_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("corrupt metadata"), std::string::npos) << what;
+        EXPECT_EQ(what.find("mesh mismatch"), std::string::npos) << what;
+      }
+      expect_bitwise_equal(before, collect_train_state(m), ctx.rank());
+    });
+  }
+
+  // A genuine mismatch (intact metadata, different factorization) still
+  // reads as one.
+  spew(meta, good);
+  comm::run_spmd(2, [&](comm::RankContext& ctx) {
+    DistributedTrainerConfig other;
+    other.engine.ddp = 2;  // checkpoint was fsdp=2
+    DistributedOrbitModel m(cfg, ctx, other);
+    try {
+      load_sharded_checkpoint(prefix, m);
+      FAIL() << "mesh mismatch accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("mesh mismatch"),
+                std::string::npos)
+          << e.what();
+    }
+  });
+  remove_generation(prefix, 2);
+}
+
+TEST(CheckpointResume, TornGenerationDetected) {
+  const model::VitConfig cfg = micro();
+  const std::string prefix = ::testing::TempDir() + "/hs_torn";
+  DistributedTrainerConfig dtc;
+  dtc.engine.fsdp = 2;
+  Rng data_rng(9);
+  const train::Batch batch = draw_batch(cfg, data_rng);
+  comm::run_spmd(2, [&](comm::RankContext& ctx) {
+    DistributedOrbitModel m(cfg, ctx, dtc);
+    for (int i = 0; i < 2; ++i) m.train_step(batch);
+    save_sharded_checkpoint(prefix, m);
+  });
+
+  // Simulate a save interrupted between ranks: the metadata commits step 3
+  // but the rank files still hold step 2.
+  const std::string meta = prefix + ".meta";
+  std::string text = slurp(meta);
+  const std::size_t pos = text.find("step 2");
+  ASSERT_NE(pos, std::string::npos) << text;
+  text.replace(pos, 6, "step 3");
+  spew(meta, text);
+
+  comm::run_spmd(2, [&](comm::RankContext& ctx) {
+    DistributedOrbitModel m(cfg, ctx, dtc);
+    const model::CheckpointData before = collect_train_state(m);
+    try {
+      load_sharded_checkpoint(prefix, m);
+      FAIL() << "torn generation accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("torn generation"),
+                std::string::npos)
+          << e.what();
+    }
+    expect_bitwise_equal(before, collect_train_state(m), ctx.rank());
+  });
+  remove_generation(prefix, 2);
+}
+
+TEST(CheckpointResume, V1ParamOnlyFilesRestoreWeightsLeaveOptimizerCold) {
+  const model::VitConfig cfg = micro();
+  const std::string prefix = ::testing::TempDir() + "/hs_v1";
+  DistributedTrainerConfig dtc;
+  dtc.engine.fsdp = 2;
+  Rng data_rng(13);
+  const train::Batch batch = draw_batch(cfg, data_rng);
+  comm::run_spmd(2, [&](comm::RankContext& ctx) {
+    // A warm model donates weights to a v1-era (param-only) checkpoint.
+    DistributedOrbitModel warm(cfg, ctx, dtc);
+    for (int i = 0; i < 2; ++i) warm.train_step(batch);
+    model::save_checkpoint(
+        prefix + ".rank" + std::to_string(ctx.rank()) + ".bin",
+        warm.all_params());
+    if (ctx.rank() == 0) {
+      spew(prefix + ".meta", "orbit-sharded-checkpoint v1\nddp 1\nfsdp 2\ntp 1\n");
+    }
+    warm.world().barrier();
+
+    DistributedOrbitModel fresh(cfg, ctx, dtc);
+    load_sharded_checkpoint(prefix, fresh);
+    // Weights came back...
+    const std::vector<model::Param*> a = warm.all_params();
+    const std::vector<model::Param*> b = fresh.all_params();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(0, std::memcmp(a[i]->value.data(), b[i]->value.data(),
+                               static_cast<std::size_t>(a[i]->numel()) *
+                                   sizeof(float)))
+          << a[i]->name;
+    }
+    // ...but training state stayed cold: step 0, optimizer at t=0.
+    EXPECT_EQ(fresh.step(), 0);
+    model::CheckpointData state = collect_train_state(fresh);
+    EXPECT_EQ(state.i64("adamw.t"), 0);
+  });
+  remove_generation(prefix, 2);
+}
+
+TEST(CheckpointResume, PeriodicGenerationsCommitViaLatestPointer) {
+  const model::VitConfig cfg = micro();
+  const std::string prefix = ::testing::TempDir() + "/hs_periodic";
+  DistributedTrainerConfig dtc;
+  dtc.engine.fsdp = 2;
+  dtc.checkpoint_every = 2;
+  dtc.checkpoint_prefix = prefix;
+  Rng data_rng(17);
+  const train::Batch batch = draw_batch(cfg, data_rng);
+
+  EXPECT_EQ(latest_checkpoint_step(prefix), -1);
+  comm::run_spmd(2, [&](comm::RankContext& ctx) {
+    DistributedOrbitModel m(cfg, ctx, dtc);
+    EXPECT_THROW(resume_from_latest(prefix, m), std::runtime_error);
+    for (int i = 0; i < 5; ++i) m.train_step(batch);
+  });
+  // Generations committed at steps 2 and 4; the pointer names the last.
+  EXPECT_EQ(latest_checkpoint_step(prefix), 4);
+  comm::run_spmd(2, [&](comm::RankContext& ctx) {
+    DistributedOrbitModel m(cfg, ctx, dtc);
+    EXPECT_EQ(resume_from_latest(prefix, m), 4);
+    EXPECT_EQ(m.step(), 4);
+  });
+  remove_generation(prefix + ".step2", 2);
+  remove_generation(prefix + ".step4", 2);
+  std::remove((prefix + ".latest").c_str());
+}
+
+}  // namespace
+}  // namespace orbit::core

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "comm/fault.hpp"
+#include "comm/world.hpp"
+#include "core/hs_checkpoint.hpp"
+#include "tensor/ops.hpp"
+
+/// The crash-safety contract end to end, on a full 2x2x2 hybrid mesh
+/// (ddp x fsdp x tp = 8 ranks): training checkpoints periodically, fault
+/// injection kills one rank mid-step (after backward, before grad sync —
+/// a node crash with local work done and nothing synchronised), the whole
+/// job dies exactly like a real run, and a resume from the last committed
+/// generation finishes the job **bitwise identical** to a run that never
+/// crashed — params, Adam moments, grad-scaler state, LR phase, and every
+/// rank's data-RNG stream.
+
+namespace orbit::core {
+namespace {
+
+model::VitConfig micro() {
+  model::VitConfig c = model::tiny_test();
+  c.image_h = 8;
+  c.image_w = 8;
+  c.patch = 4;
+  c.in_channels = 2;
+  c.out_channels = 2;
+  c.embed = 16;
+  c.layers = 2;
+  c.heads = 4;
+  return c;
+}
+
+train::Batch draw_batch(const model::VitConfig& cfg, Rng& rng) {
+  train::Batch b;
+  b.inputs = Tensor::randn({2, cfg.in_channels, cfg.image_h, cfg.image_w}, rng);
+  b.targets = scale(b.inputs, 0.5f);
+  b.lead_days = Tensor::full({2}, 1.0f);
+  return b;
+}
+
+DistributedTrainerConfig mesh_2x2x2() {
+  DistributedTrainerConfig dtc;
+  dtc.engine.ddp = 2;
+  dtc.engine.fsdp = 2;
+  dtc.engine.tp = 2;
+  dtc.engine.adamw.lr = 2e-3f;
+  dtc.schedule = train::LrSchedule(2e-3f, 2, 16);
+  dtc.clip_norm = 1.0;
+  return dtc;
+}
+
+void cleanup(const std::string& prefix) {
+  for (const std::int64_t step : {2, 4, 6, 8}) {
+    const std::string gen = prefix + ".step" + std::to_string(step);
+    std::remove((gen + ".meta").c_str());
+    for (int r = 0; r < 8; ++r) {
+      std::remove((gen + ".rank" + std::to_string(r) + ".bin").c_str());
+    }
+  }
+  std::remove((prefix + ".latest").c_str());
+}
+
+TEST(KillResume, ResumedRunBitwiseIdenticalToUninterruptedOn2x2x2) {
+  const model::VitConfig cfg = micro();
+  const std::string prefix = ::testing::TempDir() + "/kill_resume";
+  cleanup(prefix);
+  constexpr int kWorld = 8;
+  constexpr int kTotalSteps = 8;
+
+  // Reference: 8 uninterrupted steps, no checkpointing. Each rank owns a
+  // data RNG seeded by its shard (TP peers share a shard => same stream).
+  std::vector<model::CheckpointData> ref(kWorld), resumed(kWorld);
+  comm::run_spmd(kWorld, [&](comm::RankContext& ctx) {
+    DistributedOrbitModel m(cfg, ctx, mesh_2x2x2());
+    Rng rng(100 + static_cast<std::uint64_t>(m.data_shard()));
+    m.attach_rng(&rng);
+    for (int i = 0; i < kTotalSteps; ++i) m.train_step(draw_batch(cfg, rng));
+    ref[static_cast<std::size_t>(ctx.rank())] = collect_train_state(m);
+  });
+
+  // Crashing run: checkpoint every 2 steps; rank 5 is killed while
+  // executing 0-based step 4, i.e. after generations step2 and step4 were
+  // committed and with step 4's work half done on every rank. The kill
+  // fires mid-step (between backward and sync_grads), peers die inside
+  // their next collective via peer-exit detection, and run_spmd surfaces
+  // the injected kill as the root cause.
+  DistributedTrainerConfig crash_cfg = mesh_2x2x2();
+  crash_cfg.checkpoint_every = 2;
+  crash_cfg.checkpoint_prefix = prefix;
+  comm::fault::set_plan({/*rank=*/5, /*at_step=*/4, /*at_collective=*/-1});
+  bool killed = false;
+  try {
+    comm::run_spmd(kWorld, [&](comm::RankContext& ctx) {
+      DistributedOrbitModel m(cfg, ctx, crash_cfg);
+      Rng rng(100 + static_cast<std::uint64_t>(m.data_shard()));
+      m.attach_rng(&rng);
+      for (int i = 0; i < kTotalSteps; ++i) m.train_step(draw_batch(cfg, rng));
+    });
+  } catch (const comm::fault::RankKilledError& e) {
+    killed = true;
+    EXPECT_NE(std::string(e.what()).find("rank 5"), std::string::npos)
+        << e.what();
+  }
+  ASSERT_TRUE(killed) << "fault injection never fired";
+  EXPECT_FALSE(comm::fault::plan().has_value()) << "plan must be one-shot";
+
+  // The last committed generation is step 4 — the partially-executed step
+  // never published anything.
+  ASSERT_EQ(latest_checkpoint_step(prefix), 4);
+
+  // Resume: fresh processes, fresh models, wrong-seeded RNGs. Everything
+  // training-relevant comes back from the checkpoint; the remaining steps
+  // run under the same periodic-checkpoint config a restarted job would
+  // use (the resumed run commits generations step6 and step8).
+  comm::run_spmd(kWorld, [&](comm::RankContext& ctx) {
+    DistributedOrbitModel m(cfg, ctx, crash_cfg);
+    Rng rng(777);
+    m.attach_rng(&rng);
+    const std::int64_t at = resume_from_latest(prefix, m);
+    EXPECT_EQ(at, 4);
+    for (std::int64_t i = at; i < kTotalSteps; ++i) {
+      m.train_step(draw_batch(cfg, rng));
+    }
+    resumed[static_cast<std::size_t>(ctx.rank())] = collect_train_state(m);
+  });
+
+  // Bitwise equality, record by record, on every rank: params, adamw.m/v,
+  // adamw.t, train.step, train.lr, scaler.*, rng.data.
+  for (int r = 0; r < kWorld; ++r) {
+    const model::CheckpointData& a = ref[static_cast<std::size_t>(r)];
+    const model::CheckpointData& b = resumed[static_cast<std::size_t>(r)];
+    ASSERT_EQ(a.size(), b.size()) << "rank " << r;
+    for (const model::CheckpointRecord& rec : a.records()) {
+      ASSERT_TRUE(b.contains(rec.name)) << "rank " << r << ": " << rec.name;
+      const model::CheckpointRecord& other = b.at(rec.name);
+      ASSERT_EQ(rec.payload.size(), other.payload.size())
+          << "rank " << r << ": " << rec.name;
+      EXPECT_EQ(0, std::memcmp(rec.payload.data(), other.payload.data(),
+                               rec.payload.size()))
+          << "rank " << r << ": record " << rec.name
+          << " differs between the crashed-and-resumed run and the "
+             "uninterrupted run";
+    }
+  }
+  cleanup(prefix);
+}
+
+TEST(KillResume, MixedPrecisionKillResumeBitwiseOn2x2x2) {
+  // Same contract with BF16 mixed precision: the bf16 working weights,
+  // f32 masters, and grad-scaler trajectory must all survive the crash.
+  const model::VitConfig cfg = micro();
+  const std::string prefix = ::testing::TempDir() + "/kill_resume_bf16";
+  cleanup(prefix);
+  constexpr int kWorld = 8;
+  constexpr int kTotalSteps = 6;
+
+  DistributedTrainerConfig dtc = mesh_2x2x2();
+  dtc.engine.mixed_precision = true;
+
+  std::vector<model::CheckpointData> ref(kWorld), resumed(kWorld);
+  comm::run_spmd(kWorld, [&](comm::RankContext& ctx) {
+    DistributedOrbitModel m(cfg, ctx, dtc);
+    Rng rng(200 + static_cast<std::uint64_t>(m.data_shard()));
+    m.attach_rng(&rng);
+    for (int i = 0; i < kTotalSteps; ++i) m.train_step(draw_batch(cfg, rng));
+    ref[static_cast<std::size_t>(ctx.rank())] = collect_train_state(m);
+  });
+
+  DistributedTrainerConfig crash_cfg = dtc;
+  crash_cfg.checkpoint_every = 2;
+  crash_cfg.checkpoint_prefix = prefix;
+  comm::fault::set_plan({/*rank=*/0, /*at_step=*/2, /*at_collective=*/-1});
+  EXPECT_THROW(
+      comm::run_spmd(kWorld,
+                     [&](comm::RankContext& ctx) {
+                       DistributedOrbitModel m(cfg, ctx, crash_cfg);
+                       Rng rng(200 +
+                               static_cast<std::uint64_t>(m.data_shard()));
+                       m.attach_rng(&rng);
+                       for (int i = 0; i < kTotalSteps; ++i) {
+                         m.train_step(draw_batch(cfg, rng));
+                       }
+                     }),
+      comm::fault::RankKilledError);
+  ASSERT_EQ(latest_checkpoint_step(prefix), 2);
+
+  comm::run_spmd(kWorld, [&](comm::RankContext& ctx) {
+    DistributedOrbitModel m(cfg, ctx, crash_cfg);
+    Rng rng(999);
+    m.attach_rng(&rng);
+    const std::int64_t at = resume_from_latest(prefix, m);
+    for (std::int64_t i = at; i < kTotalSteps; ++i) {
+      m.train_step(draw_batch(cfg, rng));
+    }
+    resumed[static_cast<std::size_t>(ctx.rank())] = collect_train_state(m);
+  });
+
+  for (int r = 0; r < kWorld; ++r) {
+    const model::CheckpointData& a = ref[static_cast<std::size_t>(r)];
+    const model::CheckpointData& b = resumed[static_cast<std::size_t>(r)];
+    ASSERT_EQ(a.size(), b.size()) << "rank " << r;
+    for (const model::CheckpointRecord& rec : a.records()) {
+      ASSERT_TRUE(b.contains(rec.name)) << "rank " << r << ": " << rec.name;
+      EXPECT_EQ(rec.payload, b.at(rec.name).payload)
+          << "rank " << r << ": record " << rec.name << " differs";
+    }
+  }
+  cleanup(prefix);
+}
+
+}  // namespace
+}  // namespace orbit::core

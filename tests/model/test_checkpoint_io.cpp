@@ -1,0 +1,391 @@
+#include "model/checkpoint_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "tensor/ops.hpp"
+
+/// Corruption matrix for the record-based checkpoint IO: every failure
+/// mode — truncation anywhere, bad magic, flipped bytes, shape or name
+/// mismatches — must throw AND leave the destination params bitwise
+/// untouched (transactional loads), and saves must be atomic (tmp +
+/// rename, CRC trailer).
+
+namespace orbit::model {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(is)) << path;
+  return {std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>()};
+}
+
+void spew(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// A small param set with distinct recognisable values.
+struct Fixture {
+  std::vector<Param> storage;
+  std::vector<Param*> params;
+
+  explicit Fixture(float offset = 0.0f) {
+    storage.reserve(3);
+    Rng rng(17);
+    storage.emplace_back("a.weight", Tensor::randn({2, 3}, rng));
+    storage.emplace_back("b.bias", Tensor::randn({4}, rng));
+    storage.emplace_back("c.scale", Tensor::randn({2, 2, 2}, rng));
+    for (auto& p : storage) {
+      if (offset != 0.0f) {
+        for (std::int64_t i = 0; i < p.numel(); ++i) {
+          p.value.data()[i] += offset;
+        }
+      }
+      params.push_back(&p);
+    }
+  }
+
+  std::vector<Tensor> snapshot() const {
+    std::vector<Tensor> out;
+    for (const Param& p : storage) out.push_back(p.value.clone());
+    return out;
+  }
+
+  void expect_bitwise(const std::vector<Tensor>& snap) const {
+    ASSERT_EQ(snap.size(), storage.size());
+    for (std::size_t i = 0; i < storage.size(); ++i) {
+      ASSERT_EQ(snap[i].numel(), storage[i].value.numel());
+      EXPECT_EQ(0, std::memcmp(snap[i].data(), storage[i].value.data(),
+                               static_cast<std::size_t>(snap[i].numel()) *
+                                   sizeof(float)))
+          << "param " << storage[i].name << " was modified";
+    }
+  }
+};
+
+/// Rewrites the trailing CRC so structural (bounds) validation behind the
+/// checksum is reachable in tests.
+void recrc(std::string& image) {
+  ASSERT_GE(image.size(), sizeof(std::uint32_t));
+  const std::size_t body = image.size() - sizeof(std::uint32_t);
+  const std::uint32_t crc = crc32(image.data(), body);
+  std::memcpy(image.data() + body, &crc, sizeof(crc));
+}
+
+TEST(CheckpointIO, RoundTripRestoresParamsBitwise) {
+  const std::string path = tmp_path("ckpt_roundtrip.bin");
+  Fixture src;
+  save_checkpoint(path, src.params);
+
+  Fixture dst(1.5f);
+  load_checkpoint(path, dst.params);
+  dst.expect_bitwise(src.snapshot());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointIO, TypedRecordsRoundTrip) {
+  const std::string path = tmp_path("ckpt_records.bin");
+  CheckpointData out;
+  Rng rng(3);
+  Tensor t = Tensor::randn({3, 5}, rng);
+  out.add_tensor("train.some_tensor", t);
+  out.add_i64("train.step", -42);
+  out.add_u64("train.tokens", 0xFFFFFFFFFFFFFFF1ULL);
+  out.add_f64("scaler.scale", 65536.0);
+  const char blob[] = {1, 2, 3, 4, 5};
+  out.add_bytes("rng.blob", blob, sizeof(blob));
+  write_checkpoint(path, out);
+
+  const CheckpointData in = read_checkpoint(path);
+  EXPECT_EQ(in.size(), 5u);
+  Tensor rt = in.tensor("train.some_tensor");
+  EXPECT_EQ(rt.shape(), t.shape());
+  EXPECT_EQ(0, std::memcmp(rt.data(), t.data(),
+                           static_cast<std::size_t>(t.numel()) * sizeof(float)));
+  EXPECT_EQ(in.i64("train.step"), -42);
+  EXPECT_EQ(in.u64("train.tokens"), 0xFFFFFFFFFFFFFFF1ULL);
+  EXPECT_EQ(in.f64("scaler.scale"), 65536.0);
+  EXPECT_EQ(in.bytes("rng.blob").size(), sizeof(blob));
+  // Typed getters reject dtype confusion instead of reinterpreting bytes.
+  EXPECT_THROW((void)in.i64("scaler.scale"), std::runtime_error);
+  EXPECT_THROW((void)in.tensor("train.step"), std::runtime_error);
+  EXPECT_THROW((void)in.f64("missing.record"), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointIO, RngStateRecordResumesStreamBitwise) {
+  const std::string path = tmp_path("ckpt_rng.bin");
+  Rng rng(99);
+  (void)rng.normal();  // leave a cached Box–Muller draw in flight
+  CheckpointData out;
+  add_rng_state(out, "rng.data", rng);
+  write_checkpoint(path, out);
+
+  std::vector<double> expected;
+  for (int i = 0; i < 8; ++i) expected.push_back(rng.normal());
+
+  Rng resumed(1);  // different seed, fully overwritten by the restore
+  const CheckpointData in = read_checkpoint(path);
+  read_rng_state(in, "rng.data", resumed);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(resumed.normal(), expected[i]);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointIO, SaveIsAtomicNoTmpResidue) {
+  const std::string path = tmp_path("ckpt_atomic.bin");
+  Fixture src;
+  save_checkpoint(path, src.params);
+  std::ifstream tmp(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(static_cast<bool>(tmp)) << "tmp staging file left behind";
+  // Overwriting an existing checkpoint goes through the same rename.
+  save_checkpoint(path, src.params);
+  EXPECT_NO_THROW(load_checkpoint(path, src.params));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointIO, FailedSaveLeavesExistingFileIntact) {
+  // A save into an unwritable location throws without creating anything,
+  // and a good file at a different path is never touched mid-save.
+  Fixture src;
+  EXPECT_THROW(save_checkpoint("/nonexistent-dir/x/ckpt.bin", src.params),
+               std::runtime_error);
+
+  const std::string path = tmp_path("ckpt_keep.bin");
+  save_checkpoint(path, src.params);
+  const std::string good = slurp(path);
+  // Saving different content over it succeeds atomically (never a torn mix).
+  Fixture other(2.0f);
+  save_checkpoint(path, other.params);
+  const std::string after = slurp(path);
+  EXPECT_NE(good, after);
+  Fixture probe(5.0f);
+  EXPECT_NO_THROW(load_checkpoint(path, probe.params));
+  probe.expect_bitwise(other.snapshot());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointIO, TruncatedHeaderRejectedModelUntouched) {
+  const std::string path = tmp_path("ckpt_trunc_header.bin");
+  Fixture src;
+  save_checkpoint(path, src.params);
+  const std::string image = slurp(path);
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{4},
+                                 std::size_t{8}, std::size_t{20}}) {
+    spew(path, image.substr(0, keep));
+    Fixture dst(3.0f);
+    const auto snap = dst.snapshot();
+    EXPECT_THROW(load_checkpoint(path, dst.params), std::runtime_error)
+        << "keep=" << keep;
+    dst.expect_bitwise(snap);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointIO, TruncatedPayloadRejectedModelUntouched) {
+  const std::string path = tmp_path("ckpt_trunc_payload.bin");
+  Fixture src;
+  save_checkpoint(path, src.params);
+  std::string image = slurp(path);
+  // Drop the tail of the last record's payload: caught by the CRC.
+  spew(path, image.substr(0, image.size() - 16));
+  Fixture dst(3.0f);
+  auto snap = dst.snapshot();
+  EXPECT_THROW(load_checkpoint(path, dst.params), std::runtime_error);
+  dst.expect_bitwise(snap);
+
+  // Same truncation with a recomputed CRC: the structural bounds check
+  // must catch it even when the checksum is "valid".
+  std::string shorter = image.substr(0, image.size() - 16);
+  recrc(shorter);
+  spew(path, shorter);
+  snap = dst.snapshot();
+  EXPECT_THROW(load_checkpoint(path, dst.params), std::runtime_error);
+  dst.expect_bitwise(snap);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointIO, BadMagicRejected) {
+  const std::string path = tmp_path("ckpt_magic.bin");
+  Fixture src;
+  save_checkpoint(path, src.params);
+  std::string image = slurp(path);
+  image[0] = static_cast<char>(image[0] ^ 0x5A);
+  spew(path, image);
+  Fixture dst(3.0f);
+  const auto snap = dst.snapshot();
+  try {
+    load_checkpoint(path, dst.params);
+    FAIL() << "bad magic accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos)
+        << e.what();
+  }
+  dst.expect_bitwise(snap);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointIO, SingleFlippedByteCaughtByCrc) {
+  const std::string path = tmp_path("ckpt_flip.bin");
+  Fixture src;
+  save_checkpoint(path, src.params);
+  const std::string image = slurp(path);
+  // Flip one byte at several depths (header, record name, payload); every
+  // one must be caught by the CRC trailer.
+  for (const std::size_t pos :
+       {image.size() / 4, image.size() / 2, image.size() - 8}) {
+    std::string bad = image;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x01);
+    spew(path, bad);
+    Fixture dst(3.0f);
+    const auto snap = dst.snapshot();
+    try {
+      load_checkpoint(path, dst.params);
+      FAIL() << "flipped byte at " << pos << " accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos)
+          << e.what();
+    }
+    dst.expect_bitwise(snap);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointIO, ShapeMismatchMidFileLeavesAllParamsUntouched) {
+  // Regression for the pre-v2 bug: a shape mismatch at record k used to
+  // throw after records 0..k-1 had already overwritten their params.
+  const std::string path = tmp_path("ckpt_shape.bin");
+  Fixture src;
+  save_checkpoint(path, src.params);
+
+  Fixture dst(3.0f);
+  dst.storage[2].value = Tensor::zeros({2, 2, 3});  // mismatched last param
+  dst.storage[2].grad = Tensor::zeros({2, 2, 3});
+  const auto snap = dst.snapshot();
+  EXPECT_THROW(load_checkpoint(path, dst.params), std::runtime_error);
+  dst.expect_bitwise(snap);  // params 0 and 1 must NOT have been loaded
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointIO, UnknownAndMissingParamsRejectedUntouched) {
+  const std::string path = tmp_path("ckpt_names.bin");
+  Fixture src;
+  save_checkpoint(path, src.params);
+
+  // Loading model lacks one of the file's params -> unknown param.
+  {
+    Fixture dst(3.0f);
+    dst.storage[1].name = "renamed.bias";
+    const auto snap = dst.snapshot();
+    EXPECT_THROW(load_checkpoint(path, dst.params), std::runtime_error);
+    dst.expect_bitwise(snap);
+  }
+  // File lacks a param the model has -> missing record.
+  {
+    Fixture partial;
+    std::vector<Param*> two{partial.params[0], partial.params[1]};
+    save_checkpoint(path, two);
+    Fixture dst(3.0f);
+    const auto snap = dst.snapshot();
+    EXPECT_THROW(load_checkpoint(path, dst.params), std::runtime_error);
+    dst.expect_bitwise(snap);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointIO, ReservedPrefixRecordsIgnoredByParamLoad) {
+  // A full training-state file (extra adamw./train./scaler./rng. records)
+  // doubles as a weights-only checkpoint.
+  const std::string path = tmp_path("ckpt_reserved.bin");
+  Fixture src;
+  CheckpointData data;
+  for (const Param* p : src.params) data.add_tensor(p->name, p->value);
+  data.add_tensor("adamw.m:a.weight", Tensor::zeros({2, 3}));
+  data.add_i64("train.step", 7);
+  data.add_f64("scaler.scale", 1024.0);
+  write_checkpoint(path, data);
+
+  Fixture dst(3.0f);
+  EXPECT_NO_THROW(load_checkpoint(path, dst.params));
+  dst.expect_bitwise(src.snapshot());
+  std::remove(path.c_str());
+}
+
+/// Hand-written v1 image (magic + count + name/shape/f32 records, no CRC),
+/// byte-for-byte what the pre-v2 writer produced.
+std::string v1_image(const std::vector<Param*>& params) {
+  std::string buf;
+  const auto u64 = [&buf](std::uint64_t v) {
+    buf.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  u64(0x4f52424954434b50ULL);  // "ORBITCKP"
+  u64(params.size());
+  for (const Param* p : params) {
+    u64(p->name.size());
+    buf.append(p->name);
+    u64(static_cast<std::uint64_t>(p->value.ndim()));
+    for (std::int64_t i = 0; i < p->value.ndim(); ++i) {
+      u64(static_cast<std::uint64_t>(p->value.dim(i)));
+    }
+    buf.append(reinterpret_cast<const char*>(p->value.data()),
+               static_cast<std::size_t>(p->value.numel()) * sizeof(float));
+  }
+  return buf;
+}
+
+TEST(CheckpointIO, V1FilesStillLoadReadOnly) {
+  const std::string path = tmp_path("ckpt_v1.bin");
+  Fixture src;
+  spew(path, v1_image(src.params));
+
+  Fixture dst(3.0f);
+  load_checkpoint(path, dst.params);
+  dst.expect_bitwise(src.snapshot());
+
+  // Truncated v1 files are caught structurally (no CRC to rely on).
+  const std::string image = slurp(path);
+  spew(path, image.substr(0, image.size() - 10));
+  Fixture dst2(4.0f);
+  const auto snap = dst2.snapshot();
+  EXPECT_THROW(load_checkpoint(path, dst2.params), std::runtime_error);
+  dst2.expect_bitwise(snap);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointIO, TrailingGarbageAndDuplicateRecordsRejected) {
+  const std::string path = tmp_path("ckpt_extra.bin");
+  Fixture src;
+  save_checkpoint(path, src.params);
+  // Garbage appended after the CRC trailer breaks the checksum position.
+  std::string image = slurp(path);
+  spew(path, image + std::string(13, '\x7f'));
+  Fixture dst(3.0f);
+  const auto snap = dst.snapshot();
+  EXPECT_THROW(load_checkpoint(path, dst.params), std::runtime_error);
+  dst.expect_bitwise(snap);
+
+  // Duplicate names cannot even be staged for writing.
+  CheckpointData dup;
+  dup.add_i64("train.step", 1);
+  EXPECT_THROW(dup.add_i64("train.step", 2), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointIO, Crc32KnownAnswer) {
+  // IEEE 802.3 check value: crc32("123456789") == 0xCBF43926.
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0u);
+}
+
+}  // namespace
+}  // namespace orbit::model

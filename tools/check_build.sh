@@ -66,6 +66,23 @@ else
   RESULT[trace]="SKIP (trace_report not built)"
 fi
 
+echo "==== [checkpoint] kill-and-resume + corruption matrix (ASan) ===="
+# Crash-safety check: the checkpoint-labelled tests cover the corruption
+# matrix for both IO layers and the fault-injected kill-and-resume runs on
+# a 2x2x2 mesh (resumed training must be bitwise identical to an
+# uninterrupted run). Reuses the ASan build so the whole save/kill/resume
+# path runs instrumented.
+if [ -d build-asan ]; then
+  if (cd build-asan && ctest --output-on-failure "-j${JOBS}" -L checkpoint); then
+    RESULT[checkpoint]="PASS"
+  else
+    RESULT[checkpoint]="FAIL"
+    overall=1
+  fi
+else
+  RESULT[checkpoint]="SKIP (ASan build unavailable)"
+fi
+
 echo "==== [tidy] clang-tidy ===="
 # Reuse the ASan build's compilation database; flags are identical modulo
 # the sanitizer switches, which clang-tidy tolerates.
@@ -83,7 +100,7 @@ fi
 
 echo
 echo "==== verification matrix ===="
-for leg in asan tsan trace tidy; do
+for leg in asan tsan trace checkpoint tidy; do
   printf '  %-6s %s\n' "${leg}" "${RESULT[${leg}]:-not run}"
 done
 exit "${overall}"
