@@ -132,6 +132,73 @@ BENCHMARK(BM_ServeRollout)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+/// Overload sweep: offered load well past capacity (clients >> queue) with
+/// per-request deadlines and kBusy rejection — graceful degradation, not
+/// collapse. Measures the accepted-request p99 under shedding; the counters
+/// expose how the excess was turned away (shed/expired/rejected) and that
+/// every request was accounted for.
+void BM_ServeOverload(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  const auto deadline = std::chrono::milliseconds(state.range(1));
+  const int requests_per_client = 8;
+
+  const model::VitConfig mcfg = bench_model();
+  serve::ServerConfig scfg;
+  scfg.workers = 2;
+  scfg.queue_capacity = 4;  // tiny on purpose: the sweep lives in overload
+  scfg.reject_when_full = true;
+  scfg.batcher.max_batch = 8;
+  scfg.batcher.max_wait_us = 500;
+  serve::ForecastServer server(mcfg, scfg);
+
+  Rng rng(13);
+  Tensor state0 =
+      Tensor::randn({mcfg.in_channels, mcfg.image_h, mcfg.image_w}, rng);
+
+  std::atomic<std::int64_t> accepted{0}, turned_away{0};
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < requests_per_client; ++i) {
+          serve::ForecastRequest req;
+          req.state = state0;
+          req.deadline = serve::Clock::now() + deadline;
+          serve::ForecastResult r = server.submit(std::move(req)).get();
+          if (r.status == serve::Status::kOk) {
+            accepted.fetch_add(1);
+          } else {
+            turned_away.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  const serve::StatsSnapshot s = server.stats();
+  state.SetItemsProcessed(accepted.load());
+  state.counters["accepted"] = static_cast<double>(accepted.load());
+  state.counters["turned_away"] = static_cast<double>(turned_away.load());
+  state.counters["shed"] = static_cast<double>(s.shed);
+  state.counters["expired"] = static_cast<double>(s.expired);
+  state.counters["rejected"] = static_cast<double>(s.rejected);
+  state.counters["p99_ms"] = s.latency_p99_ms;
+  state.counters["balanced"] = static_cast<double>(
+      s.completed + s.shed + s.expired + s.rejected + s.errors ==
+      s.submitted);
+}
+
+// Clients at 4× and 8× the queue capacity, deadlines 5ms and 50ms.
+BENCHMARK(BM_ServeOverload)
+    ->Args({16, 5})
+    ->Args({16, 50})
+    ->Args({32, 5})
+    ->Args({32, 50})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 }  // namespace
 }  // namespace orbit
 

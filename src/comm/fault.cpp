@@ -1,8 +1,12 @@
 #include "comm/fault.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
+#include <limits>
 #include <mutex>
+#include <set>
 
 namespace orbit::comm::fault {
 namespace {
@@ -13,9 +17,12 @@ namespace {
 constexpr int kMaxRanks = 4096;
 
 std::mutex g_mu;
-std::optional<FaultPlan> g_plan;            ///< guarded by g_mu
-std::atomic<bool> g_armed{false};           ///< fast-path mirror of g_plan
-std::atomic<bool> g_env_checked{false};     ///< env read happened
+std::optional<FaultPlan> g_plan;             ///< guarded by g_mu
+std::optional<ChaosSchedule> g_chaos;        ///< guarded by g_mu
+std::set<std::int64_t> g_chaos_fired_steps;  ///< guarded by g_mu
+std::int64_t g_chaos_kills = 0;              ///< guarded by g_mu
+std::atomic<bool> g_armed{false};            ///< plan or chaos armed
+std::atomic<bool> g_env_checked{false};      ///< env read happened
 std::atomic<std::int64_t> g_coll_count[kMaxRanks];
 
 void reset_counters_locked() {
@@ -23,37 +30,221 @@ void reset_counters_locked() {
 }
 
 bool plan_valid(const FaultPlan& p) {
-  return p.rank >= 0 && (p.at_step >= 0 || p.at_collective >= 0);
+  return p.rank >= 0 &&
+         (p.at_step >= 0 || p.at_collective >= 0 || p.at_save_step >= 0);
 }
 
-/// Seed from ORBIT_FAULT_RANK/ORBIT_FAULT_STEP the first time any hook or
-/// query runs, unless a programmatic plan got there first.
-void seed_env_locked() {
-  if (g_env_checked.load(std::memory_order_relaxed)) return;
-  g_env_checked.store(true, std::memory_order_release);
-  const char* rank = std::getenv("ORBIT_FAULT_RANK");
-  const char* step = std::getenv("ORBIT_FAULT_STEP");
-  if (rank == nullptr || step == nullptr) return;
-  FaultPlan p;
-  p.rank = std::atoi(rank);
-  p.at_step = std::atoll(step);
-  if (plan_valid(p)) {
-    g_plan = p;
-    reset_counters_locked();
-    g_armed.store(true, std::memory_order_release);
+void validate_chaos(const ChaosSchedule& s) {
+  if (s.every_steps < 0) {
+    throw std::invalid_argument("chaos schedule: every_steps must be >= 0");
+  }
+  if (s.per_step_probability < 0.0 || s.per_step_probability > 1.0) {
+    throw std::invalid_argument(
+        "chaos schedule: per_step_probability must be in [0, 1], got " +
+        std::to_string(s.per_step_probability));
+  }
+  if (s.every_steps == 0 && s.per_step_probability == 0.0) {
+    throw std::invalid_argument(
+        "chaos schedule: no trigger — set every_steps > 0 and/or "
+        "per_step_probability > 0");
+  }
+  if (s.victim_rank < 0 && s.world_size < 1) {
+    throw std::invalid_argument(
+        "chaos schedule: no victim source — set victim_rank >= 0 or "
+        "world_size >= 1 for uniform draws");
+  }
+  if (s.max_kills < -1) {
+    throw std::invalid_argument(
+        "chaos schedule: max_kills must be -1 (unlimited) or >= 0");
   }
 }
 
-[[noreturn]] void fire_locked(const char* trigger, std::int64_t index) {
+void publish_armed_locked() {
+  g_armed.store(g_plan.has_value() || g_chaos.has_value(),
+                std::memory_order_release);
+}
+
+/// splitmix64 finaliser: the deterministic (seed, step) -> decision hash.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// The world rank the schedule kills at `step`, or empty when the step
+/// does not trigger. Pure in (schedule, step).
+std::optional<int> chaos_decision(const ChaosSchedule& s, std::int64_t step) {
+  if (step <= 0) return std::nullopt;  // nothing to recover before step 1
+  bool fire = s.every_steps > 0 && step % s.every_steps == 0;
+  if (!fire && s.per_step_probability > 0.0) {
+    const std::uint64_t h =
+        mix(s.seed ^ 0x9c0de5c0ffee5eedULL ^ static_cast<std::uint64_t>(step));
+    const double u =
+        static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform in [0, 1)
+    fire = u < s.per_step_probability;
+  }
+  if (!fire) return std::nullopt;
+  if (s.victim_rank >= 0) return s.victim_rank;
+  const std::uint64_t h =
+      mix(s.seed ^ 0x7ac7ca11ed5a1adULL ^ static_cast<std::uint64_t>(step));
+  return static_cast<int>(h % static_cast<std::uint64_t>(s.world_size));
+}
+
+/// --- strict environment parsing ------------------------------------------
+
+[[noreturn]] void bad_env(const char* name, const char* value,
+                          const std::string& why) {
+  throw std::runtime_error("fault injection: " + std::string(name) + "=\"" +
+                           value + "\" " + why);
+}
+
+std::int64_t parse_env_i64(const char* name, const char* value,
+                           std::int64_t lo, std::int64_t hi) {
+  errno = 0;
+  char* end = nullptr;
+  // strtoll silently skips leading whitespace; the strict contract does not.
+  if (std::isspace(static_cast<unsigned char>(value[0]))) {
+    bad_env(name, value, "is not a valid integer");
+  }
+  const long long v = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0') {
+    bad_env(name, value, "is not a valid integer");
+  }
+  if (errno == ERANGE) bad_env(name, value, "overflows a 64-bit integer");
+  if (v < lo || v > hi) {
+    bad_env(name, value,
+            "is out of range [" + std::to_string(lo) + ", " +
+                std::to_string(hi) + "]");
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+double parse_env_f64(const char* name, const char* value, double lo,
+                     double hi) {
+  errno = 0;
+  char* end = nullptr;
+  if (std::isspace(static_cast<unsigned char>(value[0]))) {
+    bad_env(name, value, "is not a valid number");
+  }
+  const double v = std::strtod(value, &end);
+  if (end == value || *end != '\0') {
+    bad_env(name, value, "is not a valid number");
+  }
+  if (errno == ERANGE) bad_env(name, value, "is out of range for a double");
+  if (!(v >= lo && v <= hi)) {
+    bad_env(name, value,
+            "is out of range [" + std::to_string(lo) + ", " +
+                std::to_string(hi) + "]");
+  }
+  return v;
+}
+
+/// Seed from the ORBIT_FAULT_*/ORBIT_CHAOS_* environment. Malformed values
+/// throw (the job dies with a clear diagnostic rather than silently running
+/// without the requested fault), and `g_env_checked` stays false so every
+/// subsequent hook re-raises the same error.
+void seed_env_locked() {
+  if (g_env_checked.load(std::memory_order_relaxed)) return;
+
+  const char* rank = std::getenv("ORBIT_FAULT_RANK");
+  const char* step = std::getenv("ORBIT_FAULT_STEP");
+  if ((rank == nullptr) != (step == nullptr)) {
+    throw std::runtime_error(
+        "fault injection: ORBIT_FAULT_RANK and ORBIT_FAULT_STEP must be set "
+        "together (only " +
+        std::string(rank != nullptr ? "ORBIT_FAULT_RANK" : "ORBIT_FAULT_STEP") +
+        " is set)");
+  }
+  std::optional<FaultPlan> env_plan;
+  if (rank != nullptr && step != nullptr) {
+    FaultPlan p;
+    p.rank = static_cast<int>(
+        parse_env_i64("ORBIT_FAULT_RANK", rank, 0, kMaxRanks - 1));
+    p.at_step = parse_env_i64("ORBIT_FAULT_STEP", step, 0,
+                              std::numeric_limits<std::int64_t>::max());
+    env_plan = p;
+  }
+
+  const char* every = std::getenv("ORBIT_CHAOS_EVERY");
+  const char* prob = std::getenv("ORBIT_CHAOS_PROB");
+  std::optional<ChaosSchedule> env_chaos;
+  if (every != nullptr || prob != nullptr) {
+    ChaosSchedule s;
+    if (every != nullptr) {
+      s.every_steps = parse_env_i64("ORBIT_CHAOS_EVERY", every, 1,
+                                    std::numeric_limits<std::int64_t>::max());
+    }
+    if (prob != nullptr) {
+      s.per_step_probability = parse_env_f64("ORBIT_CHAOS_PROB", prob, 0.0, 1.0);
+    }
+    if (const char* v = std::getenv("ORBIT_CHAOS_RANK")) {
+      s.victim_rank = static_cast<int>(
+          parse_env_i64("ORBIT_CHAOS_RANK", v, 0, kMaxRanks - 1));
+    }
+    if (const char* v = std::getenv("ORBIT_CHAOS_WORLD")) {
+      s.world_size =
+          static_cast<int>(parse_env_i64("ORBIT_CHAOS_WORLD", v, 1, kMaxRanks));
+    }
+    if (const char* v = std::getenv("ORBIT_CHAOS_SEED")) {
+      s.seed = static_cast<std::uint64_t>(parse_env_i64(
+          "ORBIT_CHAOS_SEED", v, 0, std::numeric_limits<std::int64_t>::max()));
+    }
+    if (const char* v = std::getenv("ORBIT_CHAOS_MAX_KILLS")) {
+      s.max_kills = parse_env_i64("ORBIT_CHAOS_MAX_KILLS", v, 0,
+                                  std::numeric_limits<std::int64_t>::max());
+    }
+    if (s.victim_rank < 0 && s.world_size < 1) {
+      throw std::runtime_error(
+          "fault injection: a chaos schedule from the environment needs "
+          "ORBIT_CHAOS_RANK (fixed victim) or ORBIT_CHAOS_WORLD (uniform "
+          "victim draws)");
+    }
+    validate_chaos(s);
+    env_chaos = s;
+  }
+
+  // Parsed clean: commit atomically so a throw above leaves nothing armed
+  // and the next hook re-parses (and re-raises).
+  g_env_checked.store(true, std::memory_order_release);
+  if (env_plan) {
+    g_plan = env_plan;
+    reset_counters_locked();
+  }
+  if (env_chaos) {
+    g_chaos = env_chaos;
+    g_chaos_fired_steps.clear();
+    g_chaos_kills = 0;
+  }
+  publish_armed_locked();
+}
+
+[[noreturn]] void fire_plan_locked(const char* trigger, std::int64_t index) {
   const int rank = g_plan->rank;
   g_plan.reset();
-  g_armed.store(false, std::memory_order_release);
+  publish_armed_locked();
   throw RankKilledError("fault injection: rank " + std::to_string(rank) +
                         " killed at " + trigger + " " +
                         std::to_string(index));
 }
 
-/// Fast-path gate: true once the env has been consulted and no plan is
+/// Chaos verdict for (rank, step): consumes the firing (marks the step
+/// fired, counts the kill) and throws when `rank` is the victim.
+void chaos_hook_locked(int rank, std::int64_t step) {
+  if (!g_chaos) return;
+  if (g_chaos->max_kills >= 0 && g_chaos_kills >= g_chaos->max_kills) return;
+  if (g_chaos_fired_steps.count(step) != 0) return;
+  const std::optional<int> victim = chaos_decision(*g_chaos, step);
+  if (!victim || *victim != rank) return;
+  g_chaos_fired_steps.insert(step);
+  ++g_chaos_kills;
+  throw RankKilledError("fault injection: chaos schedule killed rank " +
+                        std::to_string(rank) + " at training step " +
+                        std::to_string(step) + " (kill " +
+                        std::to_string(g_chaos_kills) + ")");
+}
+
+/// Fast-path gate: true once the env has been consulted and nothing is
 /// armed — the common case costs two relaxed atomic loads, no lock.
 bool surely_disarmed() {
   return g_env_checked.load(std::memory_order_acquire) &&
@@ -68,11 +259,20 @@ void set_plan(const FaultPlan& plan) {
   reset_counters_locked();
   if (plan_valid(plan)) {
     g_plan = plan;
-    g_armed.store(true, std::memory_order_release);
   } else {
     g_plan.reset();
-    g_armed.store(false, std::memory_order_release);
   }
+  publish_armed_locked();
+}
+
+void set_chaos(const ChaosSchedule& schedule) {
+  validate_chaos(schedule);
+  std::lock_guard<std::mutex> lk(g_mu);
+  g_env_checked.store(true, std::memory_order_release);
+  g_chaos = schedule;
+  g_chaos_fired_steps.clear();
+  g_chaos_kills = 0;
+  publish_armed_locked();
 }
 
 void clear_plan() {
@@ -80,7 +280,16 @@ void clear_plan() {
   g_env_checked.store(true, std::memory_order_release);
   g_plan.reset();
   reset_counters_locked();
-  g_armed.store(false, std::memory_order_release);
+  publish_armed_locked();
+}
+
+void clear_chaos() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  g_env_checked.store(true, std::memory_order_release);
+  g_chaos.reset();
+  g_chaos_fired_steps.clear();
+  g_chaos_kills = 0;
+  publish_armed_locked();
 }
 
 std::optional<FaultPlan> plan() {
@@ -89,15 +298,50 @@ std::optional<FaultPlan> plan() {
   return g_plan;
 }
 
+std::optional<ChaosSchedule> chaos() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  seed_env_locked();
+  return g_chaos;
+}
+
+std::int64_t chaos_kill_count() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  return g_chaos_kills;
+}
+
+std::optional<int> chaos_victim(std::int64_t step) {
+  std::lock_guard<std::mutex> lk(g_mu);
+  seed_env_locked();
+  if (!g_chaos) return std::nullopt;
+  return chaos_decision(*g_chaos, step);
+}
+
+void begin_attempt() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  reset_counters_locked();
+}
+
+void reseed_from_env() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  g_plan.reset();
+  g_chaos.reset();
+  g_chaos_fired_steps.clear();
+  g_chaos_kills = 0;
+  reset_counters_locked();
+  g_env_checked.store(false, std::memory_order_release);
+  publish_armed_locked();
+  seed_env_locked();
+}
+
 void on_train_step(int rank, std::int64_t step) {
   if (surely_disarmed()) return;
   std::lock_guard<std::mutex> lk(g_mu);
   seed_env_locked();
-  if (!g_plan || g_plan->rank != rank || g_plan->at_step < 0 ||
-      g_plan->at_step != step) {
-    return;
+  if (g_plan && g_plan->rank == rank && g_plan->at_step >= 0 &&
+      g_plan->at_step == step) {
+    fire_plan_locked("training step", step);
   }
-  fire_locked("training step", step);
+  chaos_hook_locked(rank, step);
 }
 
 void on_collective(int rank) {
@@ -108,11 +352,23 @@ void on_collective(int rank) {
       rank >= kMaxRanks) {
     return;
   }
-  // Counts collectives issued by the victim since the plan was armed.
+  // Counts collectives issued by the victim since the plan was armed (or
+  // since the last begin_attempt()).
   const std::int64_t idx =
       g_coll_count[rank].fetch_add(1, std::memory_order_relaxed);
   if (idx != g_plan->at_collective) return;
-  fire_locked("collective", idx);
+  fire_plan_locked("collective", idx);
+}
+
+void on_checkpoint_save(int rank, std::int64_t step) {
+  if (surely_disarmed()) return;
+  std::lock_guard<std::mutex> lk(g_mu);
+  seed_env_locked();
+  if (!g_plan || g_plan->rank != rank || g_plan->at_save_step < 0 ||
+      g_plan->at_save_step != step) {
+    return;
+  }
+  fire_plan_locked("checkpoint save of step", step);
 }
 
 }  // namespace orbit::comm::fault

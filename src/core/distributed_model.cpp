@@ -1,6 +1,7 @@
 #include "core/distributed_model.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 #include "comm/fault.hpp"
 #include "core/hs_checkpoint.hpp"
@@ -150,7 +151,8 @@ double DistributedOrbitModel::train_step(const train::Batch& batch) {
   if (cfg_.checkpoint_every > 0 && !cfg_.checkpoint_prefix.empty() &&
       step_ % cfg_.checkpoint_every == 0) {
     ORBIT_TRACE_SPAN("hs.checkpoint");
-    save_step_checkpoint(cfg_.checkpoint_prefix, *this);
+    save_step_checkpoint(cfg_.checkpoint_prefix, *this,
+                         cfg_.checkpoint_keep_last);
   }
 
   Tensor loss_t = Tensor::full({1}, static_cast<float>(local_loss));
@@ -158,6 +160,20 @@ double DistributedOrbitModel::train_step(const train::Batch& batch) {
     mesh_.data_group.all_reduce(loss_t, comm::ReduceOp::kAvg);
   }
   return loss_t[0];
+}
+
+std::int64_t DistributedOrbitModel::resume_latest() {
+  if (cfg_.checkpoint_prefix.empty()) {
+    throw std::logic_error(
+        "DistributedOrbitModel::resume_latest: no checkpoint_prefix "
+        "configured");
+  }
+  return resume_if_available(cfg_.checkpoint_prefix, *this);
+}
+
+std::int64_t DistributedOrbitModel::latest_committed_step() const {
+  if (cfg_.checkpoint_prefix.empty()) return -1;
+  return latest_checkpoint_step(cfg_.checkpoint_prefix);
 }
 
 }  // namespace orbit::core

@@ -34,6 +34,10 @@ struct DistributedTrainerConfig {
   /// must be set to enable.
   std::int64_t checkpoint_every = 0;
   std::string checkpoint_prefix;
+  /// Retention: after each committed generation, prune all but the newest
+  /// `checkpoint_keep_last` generations (the committed one is never pruned).
+  /// 0 keeps everything.
+  int checkpoint_keep_last = 0;
 };
 
 /// One rank's slice of the distributed ORBIT model plus its optimizer.
@@ -71,6 +75,19 @@ class DistributedOrbitModel {
   /// hook (see hs_checkpoint.hpp); it does not rewind any other state.
   std::int64_t step() const { return step_; }
   void set_step(std::int64_t step) { step_ = step; }
+
+  /// Supervised-restart entry point: resume from the last committed
+  /// generation under the configured `checkpoint_prefix` when one exists,
+  /// otherwise leave the freshly-constructed state untouched. Returns the
+  /// step training should continue from (0 when starting from scratch).
+  /// Collective. Throws std::logic_error when no prefix is configured.
+  std::int64_t resume_latest();
+
+  /// Step of the last committed generation under the configured prefix, or
+  /// -1 when none exists — checkpoint-generation introspection without
+  /// touching any state (what the resilience supervisor polls for its
+  /// progress requirement).
+  std::int64_t latest_committed_step() const;
 
   /// Register this rank's data/augmentation RNG so its state rides along
   /// in checkpoints and a resumed run draws the identical stream. Optional;

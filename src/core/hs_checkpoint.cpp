@@ -1,9 +1,14 @@
 #include "core/hs_checkpoint.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
+
+#include "comm/fault.hpp"
 
 namespace orbit::core {
 namespace {
@@ -148,6 +153,10 @@ void save_sharded_checkpoint(const std::string& prefix,
   const HybridMesh& mesh = m.mesh();
   // (1) every rank has finished the step being checkpointed.
   m.world().barrier();
+  // Fault-injection point, deliberately mid-save: peers past the barrier
+  // may already have written their files, but the generation cannot have
+  // committed — a kill here must leave the previous `.latest` loadable.
+  comm::fault::on_checkpoint_save(mesh.global_rank(), m.step());
   model::write_checkpoint(rank_file(prefix, mesh), collect_train_state(m));
   // (3) all rank files are durable before the metadata commits them.
   m.world().barrier();
@@ -211,11 +220,12 @@ void load_sharded_checkpoint(const std::string& prefix,
 }
 
 void save_step_checkpoint(const std::string& prefix,
-                          DistributedOrbitModel& m) {
+                          DistributedOrbitModel& m, int keep_last) {
   save_sharded_checkpoint(step_prefix(prefix, m.step()), m);
   if (m.mesh().global_rank() == 0) {
     write_text_atomic(latest_file(prefix),
                       "step " + std::to_string(m.step()) + "\n");
+    if (keep_last > 0) prune_checkpoints(prefix, keep_last);
   }
   // The generation is only "latest" once the pointer rewrite is durable.
   m.world().barrier();
@@ -225,6 +235,68 @@ std::int64_t latest_checkpoint_step(const std::string& prefix) {
   std::ifstream is(latest_file(prefix));
   if (!is) return -1;
   return parse_kv_line<std::int64_t>(is, latest_file(prefix), "step");
+}
+
+std::vector<std::int64_t> list_checkpoint_steps(const std::string& prefix) {
+  namespace fs = std::filesystem;
+  const fs::path p(prefix);
+  fs::path dir = p.parent_path();
+  if (dir.empty()) dir = ".";
+  const std::string stem = p.filename().string() + ".step";
+  std::set<std::int64_t> steps;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(stem, 0) != 0) continue;
+    // `<stem><digits>.<meta|rankR.bin>` — digits must run to a '.', so
+    // `run.step12.meta` matches but `run.step12extra` or `run.stepX` don't.
+    std::size_t i = stem.size();
+    std::size_t digits = 0;
+    std::int64_t step = 0;
+    while (i < name.size() && name[i] >= '0' && name[i] <= '9') {
+      step = step * 10 + (name[i] - '0');
+      ++i;
+      ++digits;
+    }
+    if (digits == 0 || i >= name.size() || name[i] != '.') continue;
+    steps.insert(step);
+  }
+  return {steps.begin(), steps.end()};
+}
+
+int prune_checkpoints(const std::string& prefix, int keep_last) {
+  if (keep_last <= 0) {
+    throw std::invalid_argument("prune_checkpoints: keep_last must be > 0");
+  }
+  namespace fs = std::filesystem;
+  const std::vector<std::int64_t> steps = list_checkpoint_steps(prefix);
+  if (static_cast<int>(steps.size()) <= keep_last) return 0;
+  // Committed generation: protected unconditionally, even when it is older
+  // than every survivor (e.g. newer saves crashed before committing).
+  std::int64_t committed = -1;
+  try {
+    committed = latest_checkpoint_step(prefix);
+  } catch (const std::runtime_error&) {
+    committed = -1;  // corrupt pointer: prune by recency only
+  }
+  const std::size_t keep_from = steps.size() - static_cast<std::size_t>(keep_last);
+  int removed = 0;
+  for (std::size_t i = 0; i < keep_from; ++i) {
+    if (steps[i] == committed) continue;
+    const std::string gen = step_prefix(prefix, steps[i]);
+    const fs::path meta(meta_file(gen));
+    std::error_code ec;
+    fs::remove(meta, ec);
+    // Rank files: scan the directory rather than guessing the world size.
+    const fs::path dir = meta.parent_path().empty() ? "." : meta.parent_path();
+    const std::string stem = fs::path(gen).filename().string() + ".rank";
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind(stem, 0) == 0) fs::remove(entry.path(), ec);
+    }
+    ++removed;
+  }
+  return removed;
 }
 
 std::int64_t resume_from_latest(const std::string& prefix,
@@ -237,6 +309,12 @@ std::int64_t resume_from_latest(const std::string& prefix,
   }
   load_sharded_checkpoint(step_prefix(prefix, step), m);
   return m.step();
+}
+
+std::int64_t resume_if_available(const std::string& prefix,
+                                 DistributedOrbitModel& m) {
+  if (latest_checkpoint_step(prefix) < 0) return 0;
+  return resume_from_latest(prefix, m);
 }
 
 }  // namespace orbit::core

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/distributed_model.hpp"
 #include "model/checkpoint_io.hpp"
@@ -57,21 +58,42 @@ void load_sharded_checkpoint(const std::string& prefix,
 
 /// One committed generation save: write `<prefix>.step<N>.*` via
 /// `save_sharded_checkpoint`, then rank 0 atomically rewrites
-/// `<prefix>.latest` to point at it. Collective. Called by
+/// `<prefix>.latest` to point at it. When `keep_last` > 0, rank 0 then
+/// prunes all but the newest `keep_last` generations (the committed one is
+/// never pruned), so soak tests and long runs don't accumulate unbounded
+/// checkpoint files. Collective. Called by
 /// `DistributedOrbitModel::train_step` when periodic checkpointing is
 /// configured.
 void save_step_checkpoint(const std::string& prefix,
-                          DistributedOrbitModel& m);
+                          DistributedOrbitModel& m, int keep_last = 0);
 
 /// Step of the last committed generation under `prefix`, or -1 when no
 /// `<prefix>.latest` exists. Throws std::runtime_error when the pointer
 /// file exists but is corrupt.
 std::int64_t latest_checkpoint_step(const std::string& prefix);
 
+/// Steps of every generation `<prefix>.step<K>` present on disk (committed
+/// or torn — anything with a metadata or rank file), ascending. The
+/// supervisor's progress introspection and the pruner's inventory.
+std::vector<std::int64_t> list_checkpoint_steps(const std::string& prefix);
+
+/// Delete on-disk generations, keeping the newest `keep_last` plus —
+/// always — the generation `<prefix>.latest` points at (a committed
+/// checkpoint must stay loadable no matter how aggressive the retention).
+/// Returns the number of generations removed. Not collective: call from
+/// one rank (rank 0) only.
+int prune_checkpoints(const std::string& prefix, int keep_last);
+
 /// Resume from the last committed generation: load
 /// `<prefix>.step<N>` where N comes from `<prefix>.latest`. Collective.
 /// Returns the restored step. Throws when no committed checkpoint exists.
 std::int64_t resume_from_latest(const std::string& prefix,
                                 DistributedOrbitModel& m);
+
+/// Resume when a committed generation exists, start fresh otherwise: the
+/// supervised-restart entry point. Returns the restored step, or 0 when
+/// there is no committed checkpoint (model left untouched). Collective.
+std::int64_t resume_if_available(const std::string& prefix,
+                                 DistributedOrbitModel& m);
 
 }  // namespace orbit::core

@@ -16,6 +16,7 @@
 ///  * metrics/  — wMSE, wACC, spectra, FLOPs accounting
 ///  * perf/     — calibrated Frontier performance model
 ///  * serve/    — dynamic-batching forecast inference server
+///  * resilience/ — self-healing supervisor: chaos schedules, retry/backoff
 
 // Tensor substrate.
 #include "tensor/bf16.hpp"
@@ -83,3 +84,8 @@
 #include "serve/request_queue.hpp"
 #include "serve/server.hpp"
 #include "serve/stats.hpp"
+
+// Resilience: self-healing supervised training.
+#include "resilience/report.hpp"
+#include "resilience/retry_policy.hpp"
+#include "resilience/supervisor.hpp"

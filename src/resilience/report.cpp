@@ -1,0 +1,60 @@
+#include "resilience/report.hpp"
+
+#include <sstream>
+
+namespace orbit::resilience {
+
+const char* failure_kind_name(FailureKind k) {
+  switch (k) {
+    case FailureKind::kNone: return "none";
+    case FailureKind::kRankKilled: return "rank-killed";
+    case FailureKind::kDesync: return "desync";
+    case FailureKind::kMismatch: return "mismatch";
+    case FailureKind::kOther: return "other";
+  }
+  return "other";
+}
+
+const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kSucceeded: return "succeeded";
+    case Outcome::kRetriesExhausted: return "retries-exhausted";
+    case Outcome::kNonRetryable: return "non-retryable";
+  }
+  return "unknown";
+}
+
+std::string RecoveryReport::summary() const {
+  std::ostringstream os;
+  os << "recovery " << outcome_name(outcome) << " after " << attempts.size()
+     << " attempt(s), final committed step " << final_step << "\n";
+  for (const AttemptRecord& a : attempts) {
+    os << "  attempt " << a.attempt << ": steps [";
+    if (a.start_step < 0) {
+      os << "scratch";
+    } else {
+      os << a.start_step;
+    }
+    os << " -> ";
+    if (a.end_step < 0) {
+      os << "none";
+    } else {
+      os << a.end_step;
+    }
+    os << "] ";
+    if (a.succeeded) {
+      os << "succeeded";
+    } else {
+      os << failure_kind_name(a.failure)
+         << (a.made_progress ? " (progressed)" : " (no progress)");
+      if (!a.error.empty()) os << ": " << a.error;
+      if (a.backoff.count() > 0) {
+        os << " [backoff " << a.backoff.count() << "ms]";
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace orbit::resilience

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file report.hpp
+/// Structured outcome of a supervised run: one `AttemptRecord` per launch
+/// naming its failure cause and the checkpoint-step range it covered, plus
+/// the overall verdict. The report is the supervisor's *return value* — a
+/// failed recovery terminates deterministically with a report naming every
+/// attempt, never with a hang or an uninformative rethrow.
+
+namespace orbit::resilience {
+
+/// Classified cause of one attempt's failure.
+enum class FailureKind : std::uint8_t {
+  kNone = 0,        ///< the attempt succeeded
+  kRankKilled = 1,  ///< fault-injected (or real) rank death
+  kDesync = 2,      ///< poisoned group / peer exit / watchdog timeout
+  kMismatch = 3,    ///< collective fingerprint mismatch (determinism bug)
+  kOther = 4,       ///< any other exception (non-retryable)
+};
+
+const char* failure_kind_name(FailureKind k);
+
+struct AttemptRecord {
+  int attempt = 0;              ///< 1-based launch index
+  /// Committed checkpoint step the attempt started from (-1 = scratch).
+  std::int64_t start_step = -1;
+  /// Committed checkpoint step when the attempt ended (-1 = none yet).
+  std::int64_t end_step = -1;
+  bool succeeded = false;
+  /// Did this attempt commit at least one new generation before failing?
+  /// Progress refills the retry budget (see RetryPolicy).
+  bool made_progress = false;
+  FailureKind failure = FailureKind::kNone;
+  std::string error;            ///< what() of the failure, empty on success
+  /// Backoff slept before the *next* attempt (0 for the last record).
+  std::chrono::milliseconds backoff{0};
+};
+
+enum class Outcome : std::uint8_t {
+  kSucceeded = 0,         ///< the body eventually ran to completion
+  kRetriesExhausted = 1,  ///< max_attempts consecutive no-progress failures
+  kNonRetryable = 2,      ///< a failure class the policy does not retry
+};
+
+const char* outcome_name(Outcome o);
+
+struct RecoveryReport {
+  Outcome outcome = Outcome::kSucceeded;
+  std::vector<AttemptRecord> attempts;
+  /// Latest committed checkpoint step when the supervisor returned
+  /// (-1 when no checkpoint was ever committed).
+  std::int64_t final_step = -1;
+
+  bool succeeded() const { return outcome == Outcome::kSucceeded; }
+  int total_attempts() const { return static_cast<int>(attempts.size()); }
+
+  /// Multi-line human-readable account: verdict first, then one line per
+  /// attempt with its step range, failure cause, and backoff.
+  std::string summary() const;
+};
+
+}  // namespace orbit::resilience

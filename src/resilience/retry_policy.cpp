@@ -1,0 +1,21 @@
+#include "resilience/retry_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace orbit::resilience {
+
+std::chrono::milliseconds RetryPolicy::backoff_for(int failures_since_progress,
+                                                   Rng& rng) const {
+  const int exponent = std::max(0, failures_since_progress - 1);
+  double delay = static_cast<double>(base_backoff.count()) *
+                 std::pow(std::max(1.0, backoff_multiplier), exponent);
+  delay = std::min(delay, static_cast<double>(max_backoff.count()));
+  if (jitter > 0.0) {
+    delay *= rng.uniform(1.0 - jitter, 1.0 + jitter);
+  }
+  return std::chrono::milliseconds(
+      std::max<std::int64_t>(0, static_cast<std::int64_t>(std::llround(delay))));
+}
+
+}  // namespace orbit::resilience

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <chrono>
+
+#include "tensor/rng.hpp"
+
+/// \file retry_policy.hpp
+/// Retry budget and backoff schedule of the `orbit::resilience` supervisor.
+///
+/// The budget is a **progress requirement**, not a global attempt cap:
+/// `max_attempts` bounds *consecutive failures without progress*, where
+/// progress means the job advanced at least one committed checkpoint
+/// generation between failures. A job that keeps moving forward may be
+/// relaunched indefinitely (Frontier-scale runs expect many node failures
+/// per job); a job that crashes repeatedly at the same step is genuinely
+/// sick and the supervisor gives up deterministically.
+///
+/// Backoff is exponential with multiplicative jitter drawn from an
+/// **injected RNG** — tests pass a seeded `Rng` and a fake sleeper, so the
+/// whole retry trajectory is deterministic and instant under test.
+
+namespace orbit::resilience {
+
+struct RetryPolicy {
+  /// Consecutive failures without checkpoint progress before giving up.
+  int max_attempts = 3;
+  /// First retry delay; doubles (by `backoff_multiplier`) per consecutive
+  /// no-progress failure, capped at `max_backoff`.
+  std::chrono::milliseconds base_backoff{100};
+  std::chrono::milliseconds max_backoff{5000};
+  double backoff_multiplier = 2.0;
+  /// Multiplicative jitter fraction: the delay is scaled by a factor drawn
+  /// uniformly from [1 - jitter, 1 + jitter]. 0 disables jitter.
+  double jitter = 0.1;
+  /// A CollectiveMismatchError is a determinism/programming bug, not a node
+  /// failure; by default it is terminal rather than retried.
+  bool retry_on_mismatch = false;
+
+  /// Delay before the next attempt after the `failures_since_progress`-th
+  /// consecutive no-progress failure (1-based). Jitter draws from `rng`.
+  std::chrono::milliseconds backoff_for(int failures_since_progress,
+                                        Rng& rng) const;
+};
+
+}  // namespace orbit::resilience

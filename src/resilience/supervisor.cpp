@@ -1,0 +1,125 @@
+#include "resilience/supervisor.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "comm/check.hpp"
+#include "comm/fault.hpp"
+#include "core/hs_checkpoint.hpp"
+#include "trace/trace.hpp"
+
+namespace orbit::resilience {
+
+namespace {
+
+struct Classification {
+  FailureKind kind = FailureKind::kOther;
+  bool retryable = false;
+};
+
+Classification classify(const std::exception& e, const RetryPolicy& policy) {
+  // Order matters: the mismatch/desync split sits below CommCheckError, and
+  // RankKilledError is a plain runtime_error — test the most specific first.
+  if (dynamic_cast<const comm::fault::RankKilledError*>(&e) != nullptr) {
+    return {FailureKind::kRankKilled, true};
+  }
+  if (dynamic_cast<const comm::check::CollectiveMismatchError*>(&e) != nullptr) {
+    return {FailureKind::kMismatch, policy.retry_on_mismatch};
+  }
+  if (dynamic_cast<const comm::check::CommCheckError*>(&e) != nullptr) {
+    return {FailureKind::kDesync, true};
+  }
+  return {FailureKind::kOther, false};
+}
+
+}  // namespace
+
+Supervisor::Supervisor(SupervisorConfig cfg) : cfg_(std::move(cfg)) {
+  if (!cfg_.sleep_fn) {
+    cfg_.sleep_fn = [](std::chrono::milliseconds d) {
+      if (d.count() > 0) std::this_thread::sleep_for(d);
+    };
+  }
+}
+
+std::int64_t Supervisor::probe_progress() const {
+  if (cfg_.progress_fn) return cfg_.progress_fn();
+  if (cfg_.checkpoint_prefix.empty()) return -1;
+  return core::latest_checkpoint_step(cfg_.checkpoint_prefix);
+}
+
+RecoveryReport Supervisor::run(
+    const std::function<void(comm::RankContext&)>& body) {
+  RecoveryReport report;
+  Rng backoff_rng(cfg_.backoff_seed);
+  int failures_since_progress = 0;
+
+  for (int attempt = 1;; ++attempt) {
+    AttemptRecord rec;
+    rec.attempt = attempt;
+    rec.start_step = probe_progress();
+
+    // Per-rank collective counters restart with the fresh World; the fault
+    // layer's fired-steps memory survives, so a resumed chaos schedule
+    // advances instead of re-killing the same step forever.
+    comm::fault::begin_attempt();
+    trace::counter("resilience.attempts", nullptr, attempt);
+
+    try {
+      trace::Span span("resilience.attempt", trace::Category::kResilience,
+                       nullptr, attempt);
+      comm::run_spmd(cfg_.world_size, body);
+      rec.succeeded = true;
+      rec.end_step = probe_progress();
+      rec.made_progress = rec.end_step > rec.start_step;
+      report.attempts.push_back(rec);
+      report.outcome = Outcome::kSucceeded;
+      report.final_step = rec.end_step;
+      return report;
+    } catch (const std::exception& e) {
+      const Classification cls = classify(e, cfg_.retry);
+      rec.failure = cls.kind;
+      rec.error = e.what();
+      rec.end_step = probe_progress();
+      rec.made_progress = rec.end_step > rec.start_step;
+      trace::instant("resilience.failure", trace::Category::kResilience,
+                     failure_kind_name(cls.kind), attempt);
+
+      if (!cls.retryable) {
+        report.attempts.push_back(rec);
+        report.outcome = Outcome::kNonRetryable;
+        report.final_step = rec.end_step;
+        return report;
+      }
+
+      // Progress refills the budget: max_attempts bounds *consecutive*
+      // no-progress failures, not total relaunches — a job that keeps
+      // committing generations may be relaunched indefinitely.
+      if (rec.made_progress) {
+        failures_since_progress = 0;
+      } else {
+        ++failures_since_progress;
+      }
+      if (failures_since_progress >= cfg_.retry.max_attempts) {
+        report.attempts.push_back(rec);
+        report.outcome = Outcome::kRetriesExhausted;
+        report.final_step = rec.end_step;
+        return report;
+      }
+
+      rec.backoff = cfg_.retry.backoff_for(
+          std::max(1, failures_since_progress), backoff_rng);
+      report.attempts.push_back(rec);
+      trace::flow("resilience.recover", static_cast<std::uint64_t>(attempt),
+                  /*begin=*/true, trace::Category::kResilience);
+      cfg_.sleep_fn(rec.backoff);
+      trace::flow("resilience.recover", static_cast<std::uint64_t>(attempt),
+                  /*begin=*/false, trace::Category::kResilience);
+      trace::counter("resilience.retries", nullptr, attempt);
+    }
+  }
+}
+
+}  // namespace orbit::resilience

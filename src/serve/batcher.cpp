@@ -38,9 +38,14 @@ void DynamicBatcher::shed(Pending&& p) {
                    Clock::now() - p.request.enqueued_at)
                    .count();
   r.total_us = r.queue_us;
-  // Record before fulfilling the promise: once the waiter observes the
-  // result, a stats() snapshot must already include this request.
-  if (stats_) stats_->record_shed();
+  // An admitted request whose deadline lapsed in the queue counts as
+  // `expired`, distinct from the submit door's `shed` (dead on arrival) —
+  // the split is what makes overload accounting actionable. Record before
+  // fulfilling the promise: once the waiter observes the result, a stats()
+  // snapshot must already include this request.
+  if (stats_) stats_->record_expired();
+  trace::instant("serve.expired", trace::Category::kServe, nullptr,
+                 static_cast<std::int64_t>(p.request.id));
   p.promise.set_value(std::move(r));
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <future>
 #include <string>
@@ -37,7 +38,8 @@ struct ForecastRequest {
 enum class Status : std::uint8_t {
   kOk = 0,    ///< forecast computed
   kShed = 1,  ///< dropped: deadline passed before compute started
-  kError = 2  ///< rejected: server stopped or model raised
+  kError = 2, ///< rejected: server stopped or model raised
+  kBusy = 3   ///< rejected: queue full and the server runs in reject mode
 };
 
 struct ForecastResult {
@@ -51,6 +53,9 @@ struct ForecastResult {
   double total_us = 0.0;
   /// Size of the dynamic batch this request was computed in (kOk only).
   int batch_size = 0;
+  /// Queue depth observed at rejection (kBusy only) — lets clients size
+  /// their own backoff against actual server load.
+  std::size_t queue_depth = 0;
 };
 
 /// A queued request paired with its completion channel.

@@ -16,6 +16,7 @@ const char* status_name(Status s) {
     case Status::kOk: return "ok";
     case Status::kShed: return "shed";
     case Status::kError: return "error";
+    case Status::kBusy: return "busy";
   }
   return "unknown";
 }
@@ -91,6 +92,27 @@ std::future<ForecastResult> ForecastServer::submit(ForecastRequest req) {
   if (cfg_.batcher.shed_expired && p.request.deadline < p.request.enqueued_at) {
     stats_.record_shed();
     fail(std::move(p), Status::kShed, "deadline exceeded at submit");
+    return fut;
+  }
+  if (cfg_.reject_when_full) {
+    // Degraded-mode admission: never block the caller. A full queue answers
+    // kBusy with the depth it saw, the client decides whether to back off.
+    if (!queue_.try_push(std::move(p))) {
+      if (queue_.closed()) {
+        stats_.record_error();
+        fail(std::move(p), Status::kError, "server stopped");
+      } else {
+        stats_.record_rejected();
+        trace::instant("serve.busy", trace::Category::kServe, nullptr,
+                       static_cast<std::int64_t>(queue_.size()));
+        ForecastResult r;
+        r.id = p.request.id;
+        r.status = Status::kBusy;
+        r.error = "queue full";
+        r.queue_depth = queue_.size();
+        p.promise.set_value(std::move(r));
+      }
+    }
     return fut;
   }
   if (!queue_.push(std::move(p))) {  // blocks while full; false once closed

@@ -28,6 +28,11 @@ struct ServerConfig {
   int workers = 2;
   /// Bounded queue capacity; `submit` blocks (backpressure) when full.
   std::size_t queue_capacity = 256;
+  /// Graceful degradation under overload: instead of blocking, a submit
+  /// against a full queue resolves immediately with `Status::kBusy` and the
+  /// observed queue depth, so open-loop clients shed load at the door
+  /// rather than stacking up blocked producer threads.
+  bool reject_when_full = false;
   BatcherConfig batcher;
 };
 

@@ -6,13 +6,16 @@
 namespace orbit::serve {
 
 std::string StatsSnapshot::summary() const {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
-                "completed=%llu shed=%llu errors=%llu batches=%llu "
+                "completed=%llu shed=%llu expired=%llu rejected=%llu "
+                "errors=%llu batches=%llu "
                 "mean_batch=%.2f p50=%.2fms p95=%.2fms p99=%.2fms "
                 "queue_p99=%.2fms depth=%zu",
                 static_cast<unsigned long long>(completed),
                 static_cast<unsigned long long>(shed),
+                static_cast<unsigned long long>(expired),
+                static_cast<unsigned long long>(rejected),
                 static_cast<unsigned long long>(errors),
                 static_cast<unsigned long long>(batches), mean_batch_size,
                 latency_p50_ms, latency_p95_ms, latency_p99_ms, queue_p99_ms,
@@ -40,6 +43,16 @@ void ServerStats::record_shed() {
   ++shed_;
 }
 
+void ServerStats::record_expired() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++expired_;
+}
+
+void ServerStats::record_rejected() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++rejected_;
+}
+
 void ServerStats::record_error() {
   std::lock_guard<std::mutex> lk(mu_);
   ++errors_;
@@ -59,6 +72,8 @@ StatsSnapshot ServerStats::snapshot() const {
   s.submitted = submitted_;
   s.completed = completed_;
   s.shed = shed_;
+  s.expired = expired_;
+  s.rejected = rejected_;
   s.errors = errors_;
   s.batches = batches_;
   s.latency_p50_ms = latency_us_.quantile(0.50) / 1e3;
@@ -81,7 +96,8 @@ StatsSnapshot ServerStats::snapshot() const {
 
 void ServerStats::reset() {
   std::lock_guard<std::mutex> lk(mu_);
-  submitted_ = completed_ = shed_ = errors_ = batches_ = 0;
+  submitted_ = completed_ = shed_ = expired_ = rejected_ = errors_ = 0;
+  batches_ = 0;
   batched_requests_ = 0;
   latency_us_.reset();
   queue_us_.reset();

@@ -9,16 +9,25 @@
 
 /// \file stats.hpp
 /// Serving-plane observability: end-to-end latency histogram (p50/p95/p99),
-/// batch-size distribution, shed/error counters and a queue-depth gauge.
-/// All record paths are thread-safe; `snapshot()` returns a consistent copy
-/// so monitors never race the hot path.
+/// batch-size distribution, shed/rejected/expired/error counters and a
+/// queue-depth gauge. All record paths are thread-safe; `snapshot()` returns
+/// a consistent copy so monitors never race the hot path.
+///
+/// Overload accounting invariant — every submitted request lands in exactly
+/// one terminal counter:
+///   submitted == completed + shed + expired + rejected + errors
+/// where `shed` = deadline already past at the submit door, `expired` =
+/// admitted but the deadline lapsed before compute started (batcher drop),
+/// `rejected` = full-queue kBusy rejections in reject mode.
 
 namespace orbit::serve {
 
 struct StatsSnapshot {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
-  std::uint64_t shed = 0;
+  std::uint64_t shed = 0;      ///< dead on arrival: deadline past at submit
+  std::uint64_t expired = 0;   ///< admitted, deadline lapsed before compute
+  std::uint64_t rejected = 0;  ///< kBusy: queue full in reject mode
   std::uint64_t errors = 0;
   std::uint64_t batches = 0;
 
@@ -60,6 +69,8 @@ class ServerStats {
   /// both from `Clock::now()` deltas (the trace clock).
   void record_completed(double total_us, double queue_us = 0.0);
   void record_shed();
+  void record_expired();
+  void record_rejected();
   void record_error();
   void record_batch(std::size_t batch_size);
 
@@ -71,6 +82,8 @@ class ServerStats {
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t shed_ = 0;
+  std::uint64_t expired_ = 0;
+  std::uint64_t rejected_ = 0;
   std::uint64_t errors_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t batched_requests_ = 0;

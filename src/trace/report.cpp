@@ -70,6 +70,7 @@ Category category_of(const std::string& cat) {
   if (cat == "optimizer") return Category::kOptimizer;
   if (cat == "serve") return Category::kServe;
   if (cat == "data") return Category::kData;
+  if (cat == "resilience") return Category::kResilience;
   return Category::kOther;
 }
 

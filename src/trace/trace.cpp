@@ -21,6 +21,7 @@ const char* category_name(Category c) {
     case Category::kServe: return "serve";
     case Category::kData: return "data";
     case Category::kOther: return "other";
+    case Category::kResilience: return "resilience";
   }
   return "other";
 }

@@ -38,6 +38,7 @@ enum class Category : std::uint8_t {
   kServe = 3,      ///< serving pipeline (queue, batch formation, infer)
   kData = 4,       ///< dataset / input pipeline
   kOther = 5,
+  kResilience = 6, ///< supervisor attempts, recovery flows, retry counters
 };
 
 const char* category_name(Category c);

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "comm/fault.hpp"
+
+/// Chaos-schedule semantics and the strict ORBIT_FAULT_*/ORBIT_CHAOS_*
+/// environment parser. Fault-injection state is process-global, so every
+/// test arms and disarms explicitly; env tests restore the environment via
+/// a scoped guard.
+
+namespace orbit::comm::fault {
+namespace {
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clear_plan();
+    clear_chaos();
+  }
+  void TearDown() override {
+    clear_plan();
+    clear_chaos();
+  }
+};
+
+/// Sets env vars for the test body, restores (unsets) them on destruction,
+/// and re-arms from the clean environment so no state leaks across tests.
+class ScopedEnv {
+ public:
+  ScopedEnv(std::initializer_list<std::pair<std::string, std::string>> vars)
+      : vars_(vars) {
+    for (const auto& [k, v] : vars_) ::setenv(k.c_str(), v.c_str(), 1);
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+  ~ScopedEnv() {
+    for (const auto& [k, v] : vars_) ::unsetenv(k.c_str());
+    try {
+      reseed_from_env();
+    } catch (...) {
+    }
+    clear_plan();
+    clear_chaos();
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> vars_;
+};
+
+TEST_F(ChaosTest, PeriodicScheduleFiresOnMultiplesOnly) {
+  ChaosSchedule s;
+  s.every_steps = 5;
+  s.victim_rank = 3;
+  set_chaos(s);
+  EXPECT_FALSE(chaos_victim(0).has_value());  // step 0 never fires
+  EXPECT_FALSE(chaos_victim(4).has_value());
+  ASSERT_TRUE(chaos_victim(5).has_value());
+  EXPECT_EQ(*chaos_victim(5), 3);
+  EXPECT_FALSE(chaos_victim(7).has_value());
+  EXPECT_EQ(*chaos_victim(10), 3);
+  EXPECT_EQ(*chaos_victim(50), 3);
+}
+
+TEST_F(ChaosTest, UniformVictimDrawIsDeterministicInSeedAndStep) {
+  ChaosSchedule s;
+  s.every_steps = 2;
+  s.world_size = 8;
+  s.seed = 1234;
+  set_chaos(s);
+  std::vector<int> first;
+  for (std::int64_t step = 2; step <= 40; step += 2) {
+    ASSERT_TRUE(chaos_victim(step).has_value()) << "step " << step;
+    const int v = *chaos_victim(step);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 8);
+    first.push_back(v);
+  }
+  // Re-arming the identical schedule reproduces the identical victims.
+  set_chaos(s);
+  std::vector<int> second;
+  for (std::int64_t step = 2; step <= 40; step += 2) {
+    second.push_back(*chaos_victim(step));
+  }
+  EXPECT_EQ(first, second);
+  // Different seed => a different victim sequence (and more than one
+  // distinct victim across 20 draws, i.e. the draw actually varies).
+  s.seed = 99;
+  set_chaos(s);
+  std::vector<int> other;
+  for (std::int64_t step = 2; step <= 40; step += 2) {
+    other.push_back(*chaos_victim(step));
+  }
+  EXPECT_NE(first, other);
+  EXPECT_GT(std::set<int>(first.begin(), first.end()).size(), 1u);
+}
+
+TEST_F(ChaosTest, ProbabilisticTriggerHitsRoughlyitsRate) {
+  ChaosSchedule s;
+  s.per_step_probability = 0.25;
+  s.victim_rank = 0;
+  s.seed = 7;
+  set_chaos(s);
+  int fired = 0;
+  const int kSteps = 2000;
+  for (std::int64_t step = 1; step <= kSteps; ++step) {
+    if (chaos_victim(step)) ++fired;
+  }
+  // Binomial(2000, 0.25): mean 500, sd ~19. A 5-sigma band is deterministic
+  // here anyway (fixed seed) but documents the intent.
+  EXPECT_GT(fired, 400);
+  EXPECT_LT(fired, 600);
+}
+
+TEST_F(ChaosTest, EachTriggerStepFiresAtMostOncePerArmedSchedule) {
+  ChaosSchedule s;
+  s.every_steps = 2;
+  s.victim_rank = 0;
+  set_chaos(s);
+  EXPECT_NO_THROW(on_train_step(0, 1));
+  EXPECT_THROW(on_train_step(0, 2), RankKilledError);
+  EXPECT_EQ(chaos_kill_count(), 1);
+  // The resumed attempt re-executes step 2: the schedule remembers it fired
+  // there and lets the replacement rank through, then kills at step 4.
+  begin_attempt();
+  EXPECT_NO_THROW(on_train_step(0, 2));
+  EXPECT_NO_THROW(on_train_step(0, 3));
+  EXPECT_THROW(on_train_step(0, 4), RankKilledError);
+  EXPECT_EQ(chaos_kill_count(), 2);
+  // Non-victim ranks never throw and never consume firings.
+  EXPECT_NO_THROW(on_train_step(1, 6));
+  EXPECT_THROW(on_train_step(0, 6), RankKilledError);
+}
+
+TEST_F(ChaosTest, MaxKillsCapsTheSchedule) {
+  ChaosSchedule s;
+  s.every_steps = 1;
+  s.victim_rank = 0;
+  s.max_kills = 2;
+  set_chaos(s);
+  EXPECT_THROW(on_train_step(0, 1), RankKilledError);
+  EXPECT_THROW(on_train_step(0, 2), RankKilledError);
+  EXPECT_NO_THROW(on_train_step(0, 3));  // budget spent
+  EXPECT_NO_THROW(on_train_step(0, 4));
+  EXPECT_EQ(chaos_kill_count(), 2);
+}
+
+TEST_F(ChaosTest, SetChaosRejectsInvalidSchedules) {
+  ChaosSchedule no_trigger;
+  no_trigger.victim_rank = 0;
+  EXPECT_THROW(set_chaos(no_trigger), std::invalid_argument);
+
+  ChaosSchedule no_victim;
+  no_victim.every_steps = 5;
+  EXPECT_THROW(set_chaos(no_victim), std::invalid_argument);
+
+  ChaosSchedule bad_prob;
+  bad_prob.per_step_probability = 1.5;
+  bad_prob.victim_rank = 0;
+  EXPECT_THROW(set_chaos(bad_prob), std::invalid_argument);
+
+  ChaosSchedule bad_kills;
+  bad_kills.every_steps = 1;
+  bad_kills.victim_rank = 0;
+  bad_kills.max_kills = -2;
+  EXPECT_THROW(set_chaos(bad_kills), std::invalid_argument);
+}
+
+TEST_F(ChaosTest, ClearChaosForgetsFiredStepsAndKills) {
+  ChaosSchedule s;
+  s.every_steps = 2;
+  s.victim_rank = 0;
+  set_chaos(s);
+  EXPECT_THROW(on_train_step(0, 2), RankKilledError);
+  clear_chaos();
+  EXPECT_EQ(chaos_kill_count(), 0);
+  EXPECT_FALSE(chaos().has_value());
+  EXPECT_NO_THROW(on_train_step(0, 2));
+  // Re-arming starts fresh: step 2 fires again.
+  set_chaos(s);
+  EXPECT_THROW(on_train_step(0, 2), RankKilledError);
+}
+
+/// --- strict environment parsing -------------------------------------------
+
+TEST_F(ChaosTest, EnvOneShotPlanParsesAndArms) {
+  ScopedEnv env({{"ORBIT_FAULT_RANK", "5"}, {"ORBIT_FAULT_STEP", "12"}});
+  reseed_from_env();
+  std::optional<FaultPlan> p = plan();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->rank, 5);
+  EXPECT_EQ(p->at_step, 12);
+}
+
+TEST_F(ChaosTest, EnvFaultRankWithoutStepIsAnError) {
+  ScopedEnv env({{"ORBIT_FAULT_RANK", "5"}});
+  try {
+    reseed_from_env();
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("ORBIT_FAULT_STEP"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(ChaosTest, EnvRejectsNonNumericAndTrailingGarbage) {
+  for (const char* bad : {"abc", "3x", "", " 4", "4 "}) {
+    ScopedEnv env({{"ORBIT_FAULT_RANK", bad}, {"ORBIT_FAULT_STEP", "1"}});
+    try {
+      reseed_from_env();
+      FAIL() << "value \"" << bad << "\" must be rejected";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("ORBIT_FAULT_RANK"),
+                std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find(bad), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST_F(ChaosTest, EnvRejectsOutOfRangeValues) {
+  {
+    ScopedEnv env({{"ORBIT_FAULT_RANK", "-1"}, {"ORBIT_FAULT_STEP", "1"}});
+    EXPECT_THROW(reseed_from_env(), std::runtime_error);
+  }
+  {
+    ScopedEnv env({{"ORBIT_CHAOS_PROB", "1.5"}, {"ORBIT_CHAOS_RANK", "0"}});
+    EXPECT_THROW(reseed_from_env(), std::runtime_error);
+  }
+  {
+    ScopedEnv env({{"ORBIT_CHAOS_EVERY", "0"}, {"ORBIT_CHAOS_RANK", "0"}});
+    EXPECT_THROW(reseed_from_env(), std::runtime_error);
+  }
+  {
+    // Overflow: larger than int64.
+    ScopedEnv env({{"ORBIT_FAULT_RANK", "99999999999999999999"},
+                   {"ORBIT_FAULT_STEP", "1"}});
+    EXPECT_THROW(reseed_from_env(), std::runtime_error);
+  }
+}
+
+TEST_F(ChaosTest, EnvChaosScheduleNeedsAVictimSource) {
+  ScopedEnv env({{"ORBIT_CHAOS_EVERY", "5"}});
+  try {
+    reseed_from_env();
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ORBIT_CHAOS_RANK"), std::string::npos) << what;
+    EXPECT_NE(what.find("ORBIT_CHAOS_WORLD"), std::string::npos) << what;
+  }
+}
+
+TEST_F(ChaosTest, EnvChaosScheduleParsesAllFields) {
+  ScopedEnv env({{"ORBIT_CHAOS_EVERY", "5"},
+                 {"ORBIT_CHAOS_PROB", "0.125"},
+                 {"ORBIT_CHAOS_WORLD", "8"},
+                 {"ORBIT_CHAOS_SEED", "42"},
+                 {"ORBIT_CHAOS_MAX_KILLS", "3"}});
+  reseed_from_env();
+  std::optional<ChaosSchedule> s = chaos();
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->every_steps, 5);
+  EXPECT_DOUBLE_EQ(s->per_step_probability, 0.125);
+  EXPECT_EQ(s->victim_rank, -1);
+  EXPECT_EQ(s->world_size, 8);
+  EXPECT_EQ(s->seed, 42u);
+  EXPECT_EQ(s->max_kills, 3);
+}
+
+TEST_F(ChaosTest, EnvErrorIsRaisedAgainByEveryHook) {
+  ScopedEnv env({{"ORBIT_FAULT_RANK", "junk"}, {"ORBIT_FAULT_STEP", "1"}});
+  EXPECT_THROW(reseed_from_env(), std::runtime_error);
+  // The parse failure was not cached as "env clean": the next hook hits the
+  // same strict parse and dies with the same diagnostic — every rank of a
+  // job reports the misconfiguration, not just the first thread in.
+  EXPECT_THROW(on_train_step(0, 0), std::runtime_error);
+  EXPECT_THROW(plan(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace orbit::comm::fault

@@ -1,0 +1,355 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "comm/fault.hpp"
+#include "comm/world.hpp"
+#include "core/hs_checkpoint.hpp"
+#include "resilience/supervisor.hpp"
+#include "tensor/ops.hpp"
+
+/// The resilience acceptance criterion end to end: a chaos schedule kills a
+/// uniformly-drawn rank every ~5 steps of a 2x2x2 hybrid-mesh job for 50+
+/// steps; the supervisor relaunches after every kill, each relaunch resumes
+/// from the last committed checkpoint generation, and the surviving run
+/// converges **bitwise identical** to a run that was never interrupted —
+/// params, Adam moments, scaler, LR phase, and every rank's data-RNG
+/// stream. Plus the recovery edge cases: a kill mid-checkpoint-save falls
+/// back to the previous committed generation, and a crash before any
+/// checkpoint restarts cleanly from step 0.
+
+namespace orbit::resilience {
+namespace {
+
+using core::DistributedOrbitModel;
+using core::DistributedTrainerConfig;
+
+model::VitConfig micro() {
+  model::VitConfig c = model::tiny_test();
+  c.image_h = 8;
+  c.image_w = 8;
+  c.patch = 4;
+  c.in_channels = 2;
+  c.out_channels = 2;
+  c.embed = 16;
+  c.layers = 2;
+  c.heads = 4;
+  return c;
+}
+
+train::Batch draw_batch(const model::VitConfig& cfg, Rng& rng) {
+  train::Batch b;
+  b.inputs = Tensor::randn({2, cfg.in_channels, cfg.image_h, cfg.image_w}, rng);
+  b.targets = scale(b.inputs, 0.5f);
+  b.lead_days = Tensor::full({2}, 1.0f);
+  return b;
+}
+
+DistributedTrainerConfig mesh_2x2x2() {
+  DistributedTrainerConfig dtc;
+  dtc.engine.ddp = 2;
+  dtc.engine.fsdp = 2;
+  dtc.engine.tp = 2;
+  dtc.engine.adamw.lr = 2e-3f;
+  dtc.schedule = train::LrSchedule(2e-3f, 4, 64);
+  dtc.clip_norm = 1.0;
+  return dtc;
+}
+
+/// Delete every on-disk artifact under `prefix` (generations + pointer).
+void cleanup(const std::string& prefix) {
+  namespace fs = std::filesystem;
+  const fs::path p(prefix);
+  fs::path dir = p.parent_path();
+  if (dir.empty()) dir = ".";
+  const std::string stem = p.filename().string();
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(stem, 0) == 0) fs::remove(entry.path(), ec);
+  }
+}
+
+/// Uninterrupted reference: `total` steps, no checkpointing, no chaos.
+std::vector<model::CheckpointData> reference_run(const model::VitConfig& cfg,
+                                                 int total) {
+  std::vector<model::CheckpointData> ref(8);
+  comm::run_spmd(8, [&](comm::RankContext& ctx) {
+    DistributedOrbitModel m(cfg, ctx, mesh_2x2x2());
+    Rng rng(100 + static_cast<std::uint64_t>(m.data_shard()));
+    m.attach_rng(&rng);
+    for (int i = 0; i < total; ++i) m.train_step(draw_batch(cfg, rng));
+    ref[static_cast<std::size_t>(ctx.rank())] = core::collect_train_state(m);
+  });
+  return ref;
+}
+
+void expect_bitwise_equal(const std::vector<model::CheckpointData>& ref,
+                          const std::vector<model::CheckpointData>& got) {
+  for (int r = 0; r < 8; ++r) {
+    const model::CheckpointData& a = ref[static_cast<std::size_t>(r)];
+    const model::CheckpointData& b = got[static_cast<std::size_t>(r)];
+    ASSERT_EQ(a.size(), b.size()) << "rank " << r;
+    for (const model::CheckpointRecord& rec : a.records()) {
+      ASSERT_TRUE(b.contains(rec.name)) << "rank " << r << ": " << rec.name;
+      const model::CheckpointRecord& other = b.at(rec.name);
+      ASSERT_EQ(rec.payload.size(), other.payload.size())
+          << "rank " << r << ": " << rec.name;
+      EXPECT_EQ(0, std::memcmp(rec.payload.data(), other.payload.data(),
+                               rec.payload.size()))
+          << "rank " << r << ": record " << rec.name
+          << " differs between the supervised chaos run and the "
+             "uninterrupted run";
+    }
+  }
+}
+
+class ChaosSoakTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    comm::fault::clear_plan();
+    comm::fault::clear_chaos();
+  }
+  void TearDown() override {
+    comm::fault::clear_plan();
+    comm::fault::clear_chaos();
+  }
+};
+
+TEST_F(ChaosSoakTest, FiftyStepChaosSoakBitwiseIdenticalOn2x2x2) {
+  const model::VitConfig cfg = micro();
+  const std::string prefix = ::testing::TempDir() + "/chaos_soak";
+  cleanup(prefix);
+  constexpr int kTotalSteps = 52;
+
+  const std::vector<model::CheckpointData> ref =
+      reference_run(cfg, kTotalSteps);
+
+  DistributedTrainerConfig chaos_cfg = mesh_2x2x2();
+  chaos_cfg.checkpoint_every = 2;
+  chaos_cfg.checkpoint_prefix = prefix;
+  chaos_cfg.checkpoint_keep_last = 3;  // retention under churn, same soak
+
+  // Kill a uniformly-drawn rank at every 5th step: 10 kills across the
+  // 52-step job, each landing on whichever rank the seeded hash picks.
+  comm::fault::ChaosSchedule schedule;
+  schedule.every_steps = 5;
+  schedule.world_size = 8;
+  schedule.seed = 20260807;
+  comm::fault::set_chaos(schedule);
+
+  SupervisorConfig scfg;
+  scfg.world_size = 8;
+  scfg.checkpoint_prefix = prefix;
+  scfg.retry.max_attempts = 3;
+  scfg.retry.base_backoff = std::chrono::milliseconds(1);
+  scfg.retry.jitter = 0.0;
+  scfg.sleep_fn = [](std::chrono::milliseconds) {};  // instant retries
+  Supervisor sup(scfg);
+
+  std::vector<model::CheckpointData> survived(8);
+  RecoveryReport report = sup.run([&](comm::RankContext& ctx) {
+    DistributedOrbitModel m(cfg, ctx, chaos_cfg);
+    // Deliberately wrong post-resume seed: after the first attempt, the
+    // data streams must come back from the checkpoint, not from here.
+    const std::uint64_t seed =
+        m.latest_committed_step() < 0
+            ? 100 + static_cast<std::uint64_t>(m.data_shard())
+            : 31337;
+    Rng rng(seed);
+    m.attach_rng(&rng);
+    const std::int64_t at = m.resume_latest();
+    for (std::int64_t i = at; i < kTotalSteps; ++i) {
+      m.train_step(draw_batch(cfg, rng));
+    }
+    survived[static_cast<std::size_t>(ctx.rank())] =
+        core::collect_train_state(m);
+  });
+
+  ASSERT_TRUE(report.succeeded()) << report.summary();
+  // 10 chaos kills (steps 5, 10, ..., 50) => 11 launches, every failed
+  // attempt checkpointed forward before dying.
+  EXPECT_EQ(comm::fault::chaos_kill_count(), 10);
+  EXPECT_EQ(report.total_attempts(), 11) << report.summary();
+  for (int i = 0; i + 1 < report.total_attempts(); ++i) {
+    const AttemptRecord& a = report.attempts[static_cast<std::size_t>(i)];
+    EXPECT_EQ(a.failure, FailureKind::kRankKilled) << report.summary();
+    EXPECT_TRUE(a.made_progress) << "attempt " << a.attempt << "\n"
+                                 << report.summary();
+  }
+  EXPECT_EQ(report.final_step, kTotalSteps);
+  EXPECT_EQ(core::latest_checkpoint_step(prefix), kTotalSteps);
+
+  // Retention held throughout the churn: at most keep_last generations on
+  // disk, and the committed one survived.
+  const std::vector<std::int64_t> gens = core::list_checkpoint_steps(prefix);
+  EXPECT_LE(gens.size(), 3u);
+  ASSERT_FALSE(gens.empty());
+  EXPECT_EQ(gens.back(), kTotalSteps);
+
+  expect_bitwise_equal(ref, survived);
+  cleanup(prefix);
+}
+
+TEST_F(ChaosSoakTest, RerunWithSameSeedKillsIdentically) {
+  // The soak's schedule is pure in (seed, step): two arms of the same
+  // schedule agree on every step's victim, a different seed does not.
+  comm::fault::ChaosSchedule schedule;
+  schedule.every_steps = 5;
+  schedule.world_size = 8;
+  schedule.seed = 20260807;
+  comm::fault::set_chaos(schedule);
+  std::vector<int> victims;
+  for (std::int64_t s = 5; s <= 50; s += 5) {
+    ASSERT_TRUE(comm::fault::chaos_victim(s).has_value());
+    victims.push_back(*comm::fault::chaos_victim(s));
+  }
+  comm::fault::set_chaos(schedule);
+  for (std::size_t i = 0; i < victims.size(); ++i) {
+    EXPECT_EQ(*comm::fault::chaos_victim(static_cast<std::int64_t>(i + 1) * 5),
+              victims[i]);
+  }
+}
+
+TEST_F(ChaosSoakTest, MidSaveKillRecoversFromPreviousGeneration) {
+  const model::VitConfig cfg = micro();
+  const std::string prefix = ::testing::TempDir() + "/midsave_kill";
+  cleanup(prefix);
+  constexpr int kTotalSteps = 6;
+
+  const std::vector<model::CheckpointData> ref =
+      reference_run(cfg, kTotalSteps);
+
+  DistributedTrainerConfig crash_cfg = mesh_2x2x2();
+  crash_cfg.checkpoint_every = 2;
+  crash_cfg.checkpoint_prefix = prefix;
+
+  // Rank 3 dies inside the save of generation step4 — after the save
+  // barrier, i.e. with peers' files potentially written but the generation
+  // not committed. The previous generation (step2) must stay loadable.
+  comm::fault::FaultPlan plan;
+  plan.rank = 3;
+  plan.at_save_step = 4;
+  comm::fault::set_plan(plan);
+
+  SupervisorConfig scfg;
+  scfg.world_size = 8;
+  scfg.checkpoint_prefix = prefix;
+  scfg.retry.max_attempts = 3;
+  scfg.sleep_fn = [](std::chrono::milliseconds) {};
+  Supervisor sup(scfg);
+
+  std::vector<model::CheckpointData> survived(8);
+  std::vector<std::int64_t> resumed_at(8, -2);
+  RecoveryReport report = sup.run([&](comm::RankContext& ctx) {
+    DistributedOrbitModel m(cfg, ctx, crash_cfg);
+    Rng rng(100 + static_cast<std::uint64_t>(m.data_shard()));
+    m.attach_rng(&rng);
+    const std::int64_t at = m.resume_latest();
+    resumed_at[static_cast<std::size_t>(ctx.rank())] = at;
+    for (std::int64_t i = at; i < kTotalSteps; ++i) {
+      m.train_step(draw_batch(cfg, rng));
+    }
+    survived[static_cast<std::size_t>(ctx.rank())] =
+        core::collect_train_state(m);
+  });
+
+  ASSERT_TRUE(report.succeeded()) << report.summary();
+  ASSERT_EQ(report.total_attempts(), 2);
+  EXPECT_EQ(report.attempts[0].failure, FailureKind::kRankKilled);
+  // The torn save never committed: the relaunch resumed from step 2.
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_EQ(resumed_at[static_cast<std::size_t>(r)], 2) << "rank " << r;
+  }
+  EXPECT_EQ(core::latest_checkpoint_step(prefix), kTotalSteps);
+  expect_bitwise_equal(ref, survived);
+  cleanup(prefix);
+}
+
+TEST_F(ChaosSoakTest, CrashBeforeAnyCheckpointRestartsFromStepZero) {
+  const model::VitConfig cfg = micro();
+  const std::string prefix = ::testing::TempDir() + "/zero_ckpt_crash";
+  cleanup(prefix);
+  constexpr int kTotalSteps = 5;
+
+  const std::vector<model::CheckpointData> ref =
+      reference_run(cfg, kTotalSteps);
+
+  DistributedTrainerConfig crash_cfg = mesh_2x2x2();
+  crash_cfg.checkpoint_every = 4;
+  crash_cfg.checkpoint_prefix = prefix;
+
+  comm::fault::FaultPlan plan;
+  plan.rank = 2;
+  plan.at_step = 1;  // before the first generation at step 4 can commit
+  comm::fault::set_plan(plan);
+
+  SupervisorConfig scfg;
+  scfg.world_size = 8;
+  scfg.checkpoint_prefix = prefix;
+  scfg.retry.max_attempts = 3;
+  scfg.sleep_fn = [](std::chrono::milliseconds) {};
+  Supervisor sup(scfg);
+
+  std::vector<model::CheckpointData> survived(8);
+  std::vector<std::int64_t> resumed_at(8, -2);
+  RecoveryReport report = sup.run([&](comm::RankContext& ctx) {
+    DistributedOrbitModel m(cfg, ctx, crash_cfg);
+    Rng rng(100 + static_cast<std::uint64_t>(m.data_shard()));
+    m.attach_rng(&rng);
+    const std::int64_t at = m.resume_latest();
+    resumed_at[static_cast<std::size_t>(ctx.rank())] = at;
+    for (std::int64_t i = at; i < kTotalSteps; ++i) {
+      m.train_step(draw_batch(cfg, rng));
+    }
+    survived[static_cast<std::size_t>(ctx.rank())] =
+        core::collect_train_state(m);
+  });
+
+  ASSERT_TRUE(report.succeeded()) << report.summary();
+  ASSERT_EQ(report.total_attempts(), 2);
+  EXPECT_EQ(report.attempts[0].failure, FailureKind::kRankKilled);
+  EXPECT_EQ(report.attempts[0].start_step, -1);
+  EXPECT_FALSE(report.attempts[0].made_progress);
+  // Nothing was committed before the crash: the relaunch started from 0.
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_EQ(resumed_at[static_cast<std::size_t>(r)], 0) << "rank " << r;
+  }
+  expect_bitwise_equal(ref, survived);
+  cleanup(prefix);
+}
+
+TEST_F(ChaosSoakTest, RetentionNeverPrunesTheCommittedGeneration) {
+  // Fabricated generations 2,4,6,8 with `.latest` pinned to 4 (as after a
+  // crash tore the later saves): pruning to keep_last=2 keeps {6, 8} by
+  // recency plus 4 by commitment, and removes only 2.
+  namespace fs = std::filesystem;
+  const std::string prefix = ::testing::TempDir() + "/retention";
+  cleanup(prefix);
+  for (const int step : {2, 4, 6, 8}) {
+    const std::string gen = prefix + ".step" + std::to_string(step);
+    std::ofstream(gen + ".meta") << "fake\n";
+    std::ofstream(gen + ".rank0.bin") << "fake";
+    std::ofstream(gen + ".rank1.bin") << "fake";
+  }
+  std::ofstream(prefix + ".latest") << "step 4\n";
+
+  EXPECT_EQ(core::prune_checkpoints(prefix, 2), 1);
+  const std::vector<std::int64_t> gens = core::list_checkpoint_steps(prefix);
+  EXPECT_EQ(gens, (std::vector<std::int64_t>{4, 6, 8}));
+  EXPECT_FALSE(fs::exists(prefix + ".step2.meta"));
+  EXPECT_FALSE(fs::exists(prefix + ".step2.rank0.bin"));
+  EXPECT_TRUE(fs::exists(prefix + ".step4.rank1.bin"));
+
+  // Pruning again is a no-op for the protected generation.
+  EXPECT_EQ(core::prune_checkpoints(prefix, 2), 0);
+  cleanup(prefix);
+}
+
+}  // namespace
+}  // namespace orbit::resilience

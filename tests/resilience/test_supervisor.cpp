@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+#include "comm/check.hpp"
+#include "comm/fault.hpp"
+#include "resilience/supervisor.hpp"
+
+/// Supervisor edge cases with scripted fakes: the sleep function records
+/// instead of sleeping and the progress probe replays a script, so every
+/// retry trajectory — budget exhaustion, progress-refilled budgets,
+/// non-retryable failures — runs instantly and deterministically.
+
+namespace orbit::resilience {
+namespace {
+
+using std::chrono::milliseconds;
+
+/// Config whose sleeps record into `log` and whose progress probe replays
+/// `script` (one entry consumed per probe; the last entry repeats).
+struct Scripted {
+  std::vector<milliseconds> slept;
+  std::vector<std::int64_t> script;
+  std::size_t next = 0;
+
+  SupervisorConfig config(int max_attempts) {
+    SupervisorConfig cfg;
+    cfg.world_size = 2;
+    cfg.retry.max_attempts = max_attempts;
+    cfg.retry.base_backoff = milliseconds(10);
+    cfg.retry.jitter = 0.0;
+    cfg.sleep_fn = [this](milliseconds d) { slept.push_back(d); };
+    cfg.progress_fn = [this]() -> std::int64_t {
+      if (script.empty()) return -1;
+      const std::int64_t v = script[std::min(next, script.size() - 1)];
+      ++next;
+      return v;
+    };
+    return cfg;
+  }
+};
+
+TEST(RetryPolicy, BackoffGrowsExponentiallyAndCaps) {
+  RetryPolicy p;
+  p.base_backoff = milliseconds(100);
+  p.max_backoff = milliseconds(1000);
+  p.backoff_multiplier = 2.0;
+  p.jitter = 0.0;
+  Rng rng(1);
+  EXPECT_EQ(p.backoff_for(1, rng), milliseconds(100));
+  EXPECT_EQ(p.backoff_for(2, rng), milliseconds(200));
+  EXPECT_EQ(p.backoff_for(3, rng), milliseconds(400));
+  EXPECT_EQ(p.backoff_for(4, rng), milliseconds(800));
+  EXPECT_EQ(p.backoff_for(5, rng), milliseconds(1000));  // capped
+  EXPECT_EQ(p.backoff_for(50, rng), milliseconds(1000));
+}
+
+TEST(RetryPolicy, JitterStaysInsideBandAndIsSeedDeterministic) {
+  RetryPolicy p;
+  p.base_backoff = milliseconds(1000);
+  p.max_backoff = milliseconds(10'000);
+  p.jitter = 0.25;
+  Rng a(42), b(42), c(43);
+  std::vector<milliseconds> draws_a, draws_b;
+  for (int i = 0; i < 32; ++i) {
+    const milliseconds d = p.backoff_for(1, a);
+    EXPECT_GE(d.count(), 750);
+    EXPECT_LE(d.count(), 1250);
+    draws_a.push_back(d);
+    draws_b.push_back(p.backoff_for(1, b));
+  }
+  EXPECT_EQ(draws_a, draws_b);  // same seed => same jitter trajectory
+  bool differs = false;
+  for (int i = 0; i < 32; ++i) {
+    if (p.backoff_for(1, c) != draws_a[static_cast<std::size_t>(i)]) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Supervisor, SucceedsFirstTryWithoutSleeping) {
+  Scripted s;
+  s.script = {-1, 3};  // start probe, end probe
+  Supervisor sup(s.config(3));
+  RecoveryReport r = sup.run([](comm::RankContext&) {});
+  EXPECT_TRUE(r.succeeded());
+  EXPECT_EQ(r.outcome, Outcome::kSucceeded);
+  ASSERT_EQ(r.total_attempts(), 1);
+  EXPECT_TRUE(r.attempts[0].succeeded);
+  EXPECT_EQ(r.attempts[0].failure, FailureKind::kNone);
+  EXPECT_EQ(r.final_step, 3);
+  EXPECT_TRUE(s.slept.empty());
+}
+
+TEST(Supervisor, RetriesRankKillThenSucceeds) {
+  Scripted s;
+  s.script = {-1};  // never any checkpoint progress
+  Supervisor sup(s.config(3));
+  int launches = 0;
+  RecoveryReport r = sup.run([&](comm::RankContext& ctx) {
+    if (ctx.rank() == 0 && launches == 0) {
+      ++launches;
+      throw comm::fault::RankKilledError("fault injection killed rank 0");
+    }
+  });
+  EXPECT_TRUE(r.succeeded());
+  ASSERT_EQ(r.total_attempts(), 2);
+  EXPECT_EQ(r.attempts[0].failure, FailureKind::kRankKilled);
+  EXPECT_FALSE(r.attempts[0].made_progress);
+  EXPECT_EQ(r.attempts[0].backoff, milliseconds(10));
+  EXPECT_TRUE(r.attempts[1].succeeded);
+  ASSERT_EQ(s.slept.size(), 1u);
+  EXPECT_EQ(s.slept[0], milliseconds(10));
+}
+
+TEST(Supervisor, ExhaustsBudgetWithoutProgressAndReturnsReport) {
+  Scripted s;
+  s.script = {-1};
+  Supervisor sup(s.config(3));
+  int launches = 0;
+  RecoveryReport r = sup.run([&](comm::RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      ++launches;
+      throw comm::fault::RankKilledError("chaos killed rank 0");
+    }
+  });
+  EXPECT_FALSE(r.succeeded());
+  EXPECT_EQ(r.outcome, Outcome::kRetriesExhausted);
+  // Exactly max_attempts launches happened per rank-0: the budget bounds
+  // consecutive no-progress failures, and nothing progressed.
+  EXPECT_EQ(launches, 3);
+  ASSERT_EQ(r.total_attempts(), 3);
+  for (const AttemptRecord& a : r.attempts) {
+    EXPECT_EQ(a.failure, FailureKind::kRankKilled);
+    EXPECT_FALSE(a.made_progress);
+  }
+  // Backoff escalated between the retried attempts; the terminal attempt
+  // sleeps nothing.
+  ASSERT_EQ(s.slept.size(), 2u);
+  EXPECT_EQ(s.slept[0], milliseconds(10));
+  EXPECT_EQ(s.slept[1], milliseconds(20));
+  EXPECT_EQ(r.attempts[2].backoff, milliseconds(0));
+  EXPECT_NE(r.summary().find("retries-exhausted"), std::string::npos);
+}
+
+TEST(Supervisor, ProgressRefillsTheBudget) {
+  // Each failure advances one committed generation: 5 failures with
+  // max_attempts=2 must all be retried (progress keeps refilling), and the
+  // backoff never escalates past the first rung.
+  Scripted s;
+  s.script = {-1, 2, 2, 4, 4, 6, 6, 8, 8, 10, 10, 12};
+  Supervisor sup(s.config(2));
+  int failures = 0;
+  RecoveryReport r = sup.run([&](comm::RankContext& ctx) {
+    if (ctx.rank() == 0 && failures < 5) {
+      ++failures;
+      throw comm::fault::RankKilledError("node failure");
+    }
+  });
+  EXPECT_TRUE(r.succeeded());
+  EXPECT_EQ(r.total_attempts(), 6);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(r.attempts[static_cast<std::size_t>(i)].made_progress)
+        << "attempt " << i;
+    EXPECT_EQ(r.attempts[static_cast<std::size_t>(i)].backoff,
+              milliseconds(10))
+        << "attempt " << i;
+  }
+}
+
+TEST(Supervisor, AlternatingProgressNeverExhaustsButStuckRunDoes) {
+  // progress, stuck, progress, stuck, stuck -> exhausted at 2 consecutive
+  // no-progress failures.
+  Scripted s;
+  s.script = {-1, 2, 2, 2, 2, 4, 4, 4, 4, 4};
+  Supervisor sup(s.config(2));
+  int launches = 0;
+  RecoveryReport r = sup.run([&](comm::RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      ++launches;
+      throw comm::fault::RankKilledError("repeated failure");
+    }
+  });
+  EXPECT_EQ(r.outcome, Outcome::kRetriesExhausted);
+  EXPECT_EQ(launches, 5);
+  EXPECT_TRUE(r.attempts[0].made_progress);
+  EXPECT_FALSE(r.attempts[1].made_progress);
+  EXPECT_TRUE(r.attempts[2].made_progress);
+  EXPECT_FALSE(r.attempts[3].made_progress);
+  EXPECT_FALSE(r.attempts[4].made_progress);
+}
+
+TEST(Supervisor, DesyncIsRetryableMismatchIsNotByDefault) {
+  Scripted s;
+  s.script = {-1};
+  {
+    Supervisor sup(s.config(3));
+    bool first = true;
+    RecoveryReport r = sup.run([&](comm::RankContext& ctx) {
+      if (ctx.rank() == 0 && first) {
+        first = false;
+        throw comm::check::CommDesyncError("peers exited");
+      }
+    });
+    EXPECT_TRUE(r.succeeded());
+    EXPECT_EQ(r.attempts[0].failure, FailureKind::kDesync);
+  }
+  {
+    Supervisor sup(s.config(3));
+    RecoveryReport r = sup.run([&](comm::RankContext& ctx) {
+      if (ctx.rank() == 0) {
+        throw comm::check::CollectiveMismatchError("fingerprint mismatch");
+      }
+    });
+    EXPECT_FALSE(r.succeeded());
+    EXPECT_EQ(r.outcome, Outcome::kNonRetryable);
+    EXPECT_EQ(r.total_attempts(), 1);
+    EXPECT_EQ(r.attempts[0].failure, FailureKind::kMismatch);
+  }
+  {
+    SupervisorConfig cfg = s.config(3);
+    cfg.retry.retry_on_mismatch = true;
+    Supervisor sup(cfg);
+    bool first = true;
+    RecoveryReport r = sup.run([&](comm::RankContext& ctx) {
+      if (ctx.rank() == 0 && first) {
+        first = false;
+        throw comm::check::CollectiveMismatchError("fingerprint mismatch");
+      }
+    });
+    EXPECT_TRUE(r.succeeded());
+    EXPECT_EQ(r.attempts[0].failure, FailureKind::kMismatch);
+  }
+}
+
+TEST(Supervisor, ArbitraryExceptionsAreNonRetryable) {
+  Scripted s;
+  s.script = {-1};
+  Supervisor sup(s.config(3));
+  int launches = 0;
+  RecoveryReport r = sup.run([&](comm::RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      ++launches;
+      throw std::logic_error("NaN loss: retrying will not help");
+    }
+  });
+  EXPECT_EQ(r.outcome, Outcome::kNonRetryable);
+  EXPECT_EQ(launches, 1);
+  EXPECT_EQ(r.attempts[0].failure, FailureKind::kOther);
+  EXPECT_NE(r.attempts[0].error.find("NaN loss"), std::string::npos);
+  EXPECT_TRUE(s.slept.empty());
+  EXPECT_NE(r.summary().find("non-retryable"), std::string::npos);
+}
+
+TEST(Supervisor, SummaryNamesEveryAttemptAndStepRange) {
+  Scripted s;
+  s.script = {-1, 4, 4, 8};
+  Supervisor sup(s.config(3));
+  bool first = true;
+  RecoveryReport r = sup.run([&](comm::RankContext& ctx) {
+    if (ctx.rank() == 0 && first) {
+      first = false;
+      throw comm::fault::RankKilledError("killed");
+    }
+  });
+  const std::string text = r.summary();
+  EXPECT_NE(text.find("succeeded after 2 attempt(s)"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("attempt 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("attempt 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("rank-killed"), std::string::npos) << text;
+  EXPECT_NE(text.find("scratch"), std::string::npos) << text;
+  EXPECT_NE(text.find("final committed step 8"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace orbit::resilience

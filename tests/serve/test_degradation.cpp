@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hpp"
+
+/// Graceful degradation under overload: with `reject_when_full` the server
+/// answers kBusy (with the observed queue depth) instead of blocking the
+/// producer, admitted requests past their deadline expire instead of
+/// computing, and the overload accounting invariant holds — every submitted
+/// request lands in exactly one of completed/shed/expired/rejected/errors.
+
+namespace orbit::serve {
+namespace {
+
+using std::chrono::milliseconds;
+
+model::VitConfig small_cfg() {
+  model::VitConfig c = model::tiny_test();
+  c.image_h = 8;
+  c.image_w = 16;
+  c.patch = 4;
+  c.in_channels = 3;
+  c.out_channels = 3;
+  return c;
+}
+
+ForecastRequest make_request(const model::VitConfig& cfg, Rng& rng) {
+  ForecastRequest r;
+  r.state = Tensor::randn({cfg.in_channels, cfg.image_h, cfg.image_w}, rng);
+  return r;
+}
+
+TEST(ServeDegradation, RejectModeAnswersBusyInsteadOfBlocking) {
+  const model::VitConfig cfg = small_cfg();
+  ServerConfig scfg;
+  scfg.workers = 1;
+  scfg.queue_capacity = 2;
+  scfg.reject_when_full = true;
+  scfg.batcher.max_batch = 1;
+  scfg.batcher.max_wait_us = 0;
+  ForecastServer server(cfg, scfg);
+
+  // Flood from one thread without consuming futures: a blocking queue
+  // would deadlock this loop once full, reject mode must sail through.
+  Rng rng(1);
+  std::vector<std::future<ForecastResult>> futures;
+  const int kFlood = 64;
+  for (int i = 0; i < kFlood; ++i) {
+    futures.push_back(server.submit(make_request(cfg, rng)));
+  }
+  int ok = 0, busy = 0;
+  for (auto& f : futures) {
+    ForecastResult r = f.get();
+    if (r.status == Status::kOk) {
+      ++ok;
+    } else {
+      ASSERT_EQ(r.status, Status::kBusy) << r.error;
+      // The rejection reports the congestion it saw; the worker may have
+      // drained the queue between the failed push and the depth read, so
+      // only the upper bound is exact.
+      EXPECT_LE(r.queue_depth, scfg.queue_capacity);
+      ++busy;
+    }
+  }
+  server.shutdown();
+  EXPECT_EQ(ok + busy, kFlood);
+  EXPECT_GT(busy, 0) << "queue of 2 cannot absorb a burst of 64";
+  EXPECT_GT(ok, 0) << "the worker must still make progress while shedding";
+
+  const StatsSnapshot s = server.stats();
+  EXPECT_EQ(s.submitted, static_cast<std::uint64_t>(kFlood));
+  EXPECT_EQ(s.rejected, static_cast<std::uint64_t>(busy));
+  EXPECT_EQ(s.completed, static_cast<std::uint64_t>(ok));
+  EXPECT_EQ(s.completed + s.shed + s.expired + s.rejected + s.errors,
+            s.submitted);
+}
+
+TEST(ServeDegradation, DeadlinesSplitIntoShedAndExpired) {
+  const model::VitConfig cfg = small_cfg();
+  ServerConfig scfg;
+  scfg.workers = 1;
+  scfg.queue_capacity = 64;
+  scfg.batcher.max_batch = 4;
+  scfg.batcher.max_wait_us = 0;
+  ForecastServer server(cfg, scfg);
+
+  Rng rng(2);
+  // Dead on arrival: shed at the submit door without ever being queued.
+  ForecastRequest doa = make_request(cfg, rng);
+  doa.deadline = Clock::now() - milliseconds(1);
+  EXPECT_EQ(server.submit(std::move(doa)).get().status, Status::kShed);
+
+  // Admitted but hopeless: a deadline that cannot survive the queue behind
+  // a slow batch expires inside the batcher, not at the door.
+  std::vector<std::future<ForecastResult>> backlog;
+  for (int i = 0; i < 6; ++i) {
+    backlog.push_back(server.submit(make_request(cfg, rng)));
+  }
+  ForecastRequest hopeless = make_request(cfg, rng);
+  hopeless.deadline = Clock::now() + milliseconds(1);
+  std::future<ForecastResult> doomed = server.submit(std::move(hopeless));
+  std::this_thread::sleep_for(milliseconds(5));  // let the deadline lapse
+
+  for (auto& f : backlog) EXPECT_EQ(f.get().status, Status::kOk);
+  const ForecastResult late = doomed.get();
+  server.shutdown();
+
+  const StatsSnapshot s = server.stats();
+  EXPECT_EQ(s.shed, 1u);
+  if (late.status == Status::kShed) {
+    // Scheduling was slow enough for the deadline to lapse: it must have
+    // been counted as an in-queue expiry, not a door shed.
+    EXPECT_EQ(s.expired, 1u);
+  } else {
+    // The worker beat the 1ms deadline — legitimate on a fast machine.
+    EXPECT_EQ(late.status, Status::kOk);
+    EXPECT_EQ(s.expired, 0u);
+  }
+  EXPECT_EQ(s.completed + s.shed + s.expired + s.rejected + s.errors,
+            s.submitted);
+}
+
+TEST(ServeDegradation, ConcurrentOverloadAccountingBalances) {
+  const model::VitConfig cfg = small_cfg();
+  ServerConfig scfg;
+  scfg.workers = 2;
+  scfg.queue_capacity = 4;
+  scfg.reject_when_full = true;
+  scfg.batcher.max_batch = 4;
+  scfg.batcher.max_wait_us = 200;
+  ForecastServer server(cfg, scfg);
+
+  const int kClients = 6;
+  const int kPerClient = 20;
+  std::vector<std::thread> clients;
+  std::atomic<int> ok{0}, busy{0}, shed{0}, other{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(10 + static_cast<std::uint64_t>(c));
+      for (int i = 0; i < kPerClient; ++i) {
+        ForecastRequest r = make_request(cfg, rng);
+        if (i % 4 == 0) r.deadline = Clock::now() + milliseconds(2);
+        ForecastResult res = server.submit(std::move(r)).get();
+        switch (res.status) {
+          case Status::kOk: ok.fetch_add(1); break;
+          case Status::kBusy: busy.fetch_add(1); break;
+          case Status::kShed: shed.fetch_add(1); break;
+          default: other.fetch_add(1); break;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.shutdown();
+
+  EXPECT_EQ(ok.load() + busy.load() + shed.load() + other.load(),
+            kClients * kPerClient);
+  const StatsSnapshot s = server.stats();
+  EXPECT_EQ(s.submitted, static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(s.completed + s.shed + s.expired + s.rejected + s.errors,
+            s.submitted);
+  EXPECT_EQ(s.errors, 0u);
+}
+
+TEST(ServeDegradation, StatusNamesCoverBusy) {
+  EXPECT_STREQ(status_name(Status::kOk), "ok");
+  EXPECT_STREQ(status_name(Status::kShed), "shed");
+  EXPECT_STREQ(status_name(Status::kError), "error");
+  EXPECT_STREQ(status_name(Status::kBusy), "busy");
+}
+
+}  // namespace
+}  // namespace orbit::serve

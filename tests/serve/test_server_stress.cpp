@@ -91,7 +91,8 @@ TEST(ServerStress, ManyClientsMixedTrafficMatchesReference) {
 
   StatsSnapshot s = server.stats();
   EXPECT_EQ(s.submitted, issued.size());
-  EXPECT_EQ(s.completed + s.shed + s.errors, s.submitted);
+  EXPECT_EQ(s.completed + s.shed + s.expired + s.rejected + s.errors,
+            s.submitted);
   EXPECT_EQ(s.completed, issued.size());  // no deadlines => nothing shed
   EXPECT_GE(s.batches, 1u);
 }

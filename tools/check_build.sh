@@ -83,6 +83,24 @@ else
   RESULT[checkpoint]="SKIP (ASan build unavailable)"
 fi
 
+echo "==== [resilience] supervised chaos soak (TSan) ===="
+# Self-healing check: the resilience-labelled tests run the supervisor's
+# retry/backoff loop, the chaos-scheduled kill-every-k-steps soak on a
+# 2x2x2 mesh (bitwise-identical convergence), and the strict fault-env
+# parser. Reuses the TSan build: every relaunch tears down and restarts
+# the whole simulated cluster, exactly the thread-lifecycle churn TSan is
+# best at catching.
+if [ -d build-tsan ]; then
+  if (cd build-tsan && ctest --output-on-failure "-j${JOBS}" -L resilience); then
+    RESULT[resilience]="PASS"
+  else
+    RESULT[resilience]="FAIL"
+    overall=1
+  fi
+else
+  RESULT[resilience]="SKIP (TSan build unavailable)"
+fi
+
 echo "==== [tidy] clang-tidy ===="
 # Reuse the ASan build's compilation database; flags are identical modulo
 # the sanitizer switches, which clang-tidy tolerates.
@@ -100,7 +118,7 @@ fi
 
 echo
 echo "==== verification matrix ===="
-for leg in asan tsan trace checkpoint tidy; do
+for leg in asan tsan trace checkpoint resilience tidy; do
   printf '  %-6s %s\n' "${leg}" "${RESULT[${leg}]:-not run}"
 done
 exit "${overall}"

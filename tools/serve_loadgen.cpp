@@ -28,6 +28,8 @@ int main(int argc, char** argv) {
       {"duration-s", "measurement duration in seconds (default 3)"},
       {"steps", "rollout steps per request (default 1)"},
       {"deadline-ms", "per-request deadline, 0 = none (default 0)"},
+      {"queue-cap", "bounded queue capacity (default 256)"},
+      {"reject", "1 = reject kBusy when full instead of blocking (default 0)"},
       {"config", "model config: test|small|medium|large (default test)"},
       {"threads", "kernel thread-pool size, 0 = hardware (default 0)"},
   });
@@ -46,18 +48,22 @@ int main(int argc, char** argv) {
 
   serve::ServerConfig scfg;
   scfg.workers = args.get_int("workers", 2);
+  scfg.queue_capacity =
+      static_cast<std::size_t>(args.get_int("queue-cap", 256));
+  scfg.reject_when_full = args.get_int("reject", 0) != 0;
   scfg.batcher.max_batch =
       static_cast<std::size_t>(args.get_int("max-batch", 8));
   scfg.batcher.max_wait_us = args.get_int("max-wait-us", 2000);
   serve::ForecastServer server(mcfg, scfg);
 
   printf("loadgen: model=%s clients=%d workers=%d max_batch=%zu "
-         "max_wait=%lldus steps=%d duration=%.1fs\n",
+         "max_wait=%lldus steps=%d duration=%.1fs queue_cap=%zu reject=%d\n",
          mcfg.name.c_str(), clients, scfg.workers, scfg.batcher.max_batch,
-         (long long)scfg.batcher.max_wait_us, steps, duration_s);
+         (long long)scfg.batcher.max_wait_us, steps, duration_s,
+         scfg.queue_capacity, scfg.reject_when_full ? 1 : 0);
 
   std::atomic<bool> stop{false};
-  std::atomic<std::uint64_t> ok{0}, shed{0}, errors{0};
+  std::atomic<std::uint64_t> ok{0}, shed{0}, errors{0}, busy{0};
   std::vector<std::thread> threads;
   const Clock::time_point t0 = Clock::now();
   for (int c = 0; c < clients; ++c) {
@@ -79,6 +85,12 @@ int main(int argc, char** argv) {
           case serve::Status::kOk: ok.fetch_add(1); break;
           case serve::Status::kShed: shed.fetch_add(1); break;
           case serve::Status::kError: errors.fetch_add(1); break;
+          case serve::Status::kBusy:
+            // Degraded mode: the server answered instantly with its depth;
+            // back off briefly so the soak measures shedding, not a spin.
+            busy.fetch_add(1);
+            std::this_thread::sleep_for(std::chrono::microseconds(500));
+            break;
         }
       }
     });
@@ -91,10 +103,12 @@ int main(int argc, char** argv) {
 
   serve::StatsSnapshot s = server.stats();
   server.shutdown();
-  printf("throughput=%.1f req/s (ok=%llu shed=%llu errors=%llu in %.2fs)\n",
+  printf("throughput=%.1f req/s (ok=%llu shed=%llu busy=%llu errors=%llu "
+         "in %.2fs)\n",
          static_cast<double>(ok.load()) / elapsed,
          (unsigned long long)ok.load(), (unsigned long long)shed.load(),
-         (unsigned long long)errors.load(), elapsed);
+         (unsigned long long)busy.load(), (unsigned long long)errors.load(),
+         elapsed);
   printf("latency p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms mean=%.2fms\n",
          s.latency_p50_ms, s.latency_p95_ms, s.latency_p99_ms,
          s.latency_max_ms, s.latency_mean_ms);
@@ -106,5 +120,15 @@ int main(int argc, char** argv) {
     }
   }
   printf("\n%s\n", s.summary().c_str());
-  return 0;
+  // Overload accounting: every submitted request must land in exactly one
+  // terminal counter, or the shedding path is losing requests.
+  const std::uint64_t accounted =
+      s.completed + s.shed + s.expired + s.rejected + s.errors;
+  printf("accounting: submitted=%llu completed=%llu shed=%llu expired=%llu "
+         "rejected=%llu errors=%llu -> %s\n",
+         (unsigned long long)s.submitted, (unsigned long long)s.completed,
+         (unsigned long long)s.shed, (unsigned long long)s.expired,
+         (unsigned long long)s.rejected, (unsigned long long)s.errors,
+         accounted == s.submitted ? "balanced" : "IMBALANCED");
+  return accounted == s.submitted ? 0 : 1;
 }
