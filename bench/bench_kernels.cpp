@@ -1,18 +1,102 @@
 /// Micro-benchmarks for the tensor kernels behind the training block
 /// (google-benchmark). Context for the execution-plane results: these are
 /// the CPU stand-ins for the MI250X GEMMs the paper's throughput rests on.
+///
+/// The GEMM/q8 suites register once per *available* dispatch level
+/// (kernels::available_isas()), each with a GFLOPS rate counter, so one
+/// `--json` run yields the scalar-vs-AVX2-vs-AVX-512 comparison table:
+///   bench_kernels --json kernels.json
+///   bench_kernels --benchmark_filter='Gemm.*256'
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
 #include "gbench_main.hpp"
 
+#include "kernels/kernels.hpp"
+#include "kernels/q8.hpp"
 #include "tensor/bf16.hpp"
 #include "tensor/matmul.hpp"
 #include "tensor/nn_kernels.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/qmatmul.hpp"
 
 namespace orbit {
 namespace {
+
+std::vector<float> random_vec(std::size_t n, std::uint32_t seed) {
+  std::mt19937 gen(seed);
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  std::vector<float> v(n);
+  for (float& x : v) x = dist(gen);
+  return v;
+}
+
+/// Raw single-threaded microkernel, one dispatch level: C += A·B at n³.
+/// This is the number the tensor layer multiplies by the worker count.
+void BM_GemmRowsIsa(benchmark::State& state, kernels::Isa isa) {
+  const std::int64_t n = state.range(0);
+  const auto a = random_vec(static_cast<std::size_t>(n * n), 1);
+  const auto b = random_vec(static_cast<std::size_t>(n * n), 2);
+  std::vector<float> c(static_cast<std::size_t>(n * n), 0.0f);
+  const kernels::KernelTable& kt = kernels::table(isa);
+  for (auto _ : state) {
+    kt.gemm_rows(a.data(), b.data(), c.data(), 0, n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  const double flops = 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                       static_cast<double>(n) *
+                       static_cast<double>(state.iterations());
+  state.counters["GFLOPS"] =
+      benchmark::Counter(flops * 1e-9, benchmark::Counter::kIsRate);
+}
+
+/// Fused q8·f32 matvec over a quantized [n, n] weight image — the serve
+/// plane's per-output-feature inner loop.
+void BM_Q8GemvIsa(benchmark::State& state, kernels::Isa isa) {
+  const std::int64_t n = state.range(0);
+  const auto w = random_vec(static_cast<std::size_t>(n * n), 3);
+  const auto x = random_vec(static_cast<std::size_t>(n), 4);
+  const kernels::QuantizedMat wq = kernels::quantize_q8(w.data(), n, n);
+  std::vector<float> y(static_cast<std::size_t>(n), 0.0f);
+  const kernels::KernelTable& kt = kernels::table(isa);
+  for (auto _ : state) {
+    for (std::int64_t r = 0; r < n; ++r) {
+      y[static_cast<std::size_t>(r)] = kt.q8_dot(n, wq.row(r), x.data());
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  const double flops = 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                       static_cast<double>(state.iterations());
+  state.counters["GFLOPS"] =
+      benchmark::Counter(flops * 1e-9, benchmark::Counter::kIsRate);
+}
+
+void register_isa_benchmarks() {
+  for (kernels::Isa isa : kernels::available_isas()) {
+    const std::string suffix = kernels::isa_name(isa);
+    benchmark::RegisterBenchmark(("BM_GemmRows/" + suffix).c_str(),
+                                 [isa](benchmark::State& s) {
+                                   BM_GemmRowsIsa(s, isa);
+                                 })
+        ->Arg(64)
+        ->Arg(128)
+        ->Arg(256);
+    benchmark::RegisterBenchmark(("BM_Q8Gemv/" + suffix).c_str(),
+                                 [isa](benchmark::State& s) {
+                                   BM_Q8GemvIsa(s, isa);
+                                 })
+        ->Arg(256)
+        ->Arg(1024);
+  }
+}
+
+/// Tensor-level entry points run at the active dispatch level (best
+/// detected, or whatever ORBIT_KERNELS forces).
 
 void BM_Matmul(benchmark::State& state) {
   const std::int64_t n = state.range(0);
@@ -37,6 +121,31 @@ void BM_MatmulTn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 BENCHMARK(BM_MatmulTn)->Arg(128);
+
+void BM_MatmulQ8(benchmark::State& state) {
+  // Quantized Linear forward: [m, k] activations against a [n, k] image.
+  const std::int64_t n = state.range(0);
+  Rng rng(8);
+  Tensor a = Tensor::randn({n, n}, rng);
+  const kernels::QuantizedMat wq = quantize_q8(Tensor::randn({n, n}, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul_q8_nt(a, wq).data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulQ8)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_QuantizeQ8(benchmark::State& state) {
+  // One-time model-load cost: f32 weights -> q8_0 image.
+  const std::int64_t n = state.range(0);
+  Rng rng(9);
+  Tensor w = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quantize_q8(w).blocks().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_QuantizeQ8)->Arg(256);
 
 void BM_Softmax(benchmark::State& state) {
   Rng rng(3);
@@ -95,4 +204,7 @@ BENCHMARK(BM_Transpose);
 }  // namespace
 }  // namespace orbit
 
-ORBIT_GBENCH_MAIN();  // BENCHMARK_MAIN() + the repo-standard --json flag
+int main(int argc, char** argv) {
+  orbit::register_isa_benchmarks();
+  return orbit::bench::gbench_main(argc, argv);
+}

@@ -1,0 +1,169 @@
+#include "kernels/kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+
+/// \file dispatch.cpp
+/// Runtime instruction-set dispatch for the microkernels.
+///
+/// Availability is the conjunction of two facts established at different
+/// times: the flavour was *compiled* (CMake probes the compiler for the
+/// `-m...` flags and defines ORBIT_KERNELS_HAVE_*) and the CPU we are
+/// *running on* reports the feature via cpuid. The active level is chosen
+/// once — `ORBIT_KERNELS` override first, else the best detected level —
+/// and cached in an atomic so the hot-path lookup is one relaxed load.
+
+namespace orbit::kernels {
+namespace {
+
+bool cpu_supports(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+    case Isa::kAvx512:
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512bw") &&
+             __builtin_cpu_supports("avx512dq") &&
+             __builtin_cpu_supports("avx512vl");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool compiled(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+#ifdef ORBIT_KERNELS_HAVE_AVX2
+      return true;
+#else
+      return false;
+#endif
+    case Isa::kAvx512:
+#ifdef ORBIT_KERNELS_HAVE_AVX512
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+/// -1 = not yet initialised; otherwise the int value of the active Isa.
+std::atomic<int> g_active{-1};
+
+}  // namespace
+
+bool isa_available(Isa isa) { return compiled(isa) && cpu_supports(isa); }
+
+Isa detect_best_isa() {
+  if (isa_available(Isa::kAvx512)) return Isa::kAvx512;
+  if (isa_available(Isa::kAvx2)) return Isa::kAvx2;
+  return Isa::kScalar;
+}
+
+std::vector<Isa> available_isas() {
+  std::vector<Isa> out{Isa::kScalar};
+  if (isa_available(Isa::kAvx2)) out.push_back(Isa::kAvx2);
+  if (isa_available(Isa::kAvx512)) out.push_back(Isa::kAvx512);
+  return out;
+}
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+Isa parse_isa(const std::string& s) {
+  if (s == "scalar") return Isa::kScalar;
+  if (s == "avx2") return Isa::kAvx2;
+  if (s == "avx512") return Isa::kAvx512;
+  throw std::invalid_argument("unknown kernel dispatch level \"" + s +
+                              "\" — expected scalar, avx2, or avx512");
+}
+
+Isa resolve_env_isa(const char* value) {
+  const std::string s = value == nullptr ? "" : value;
+  Isa isa;
+  try {
+    isa = parse_isa(s);
+  } catch (const std::invalid_argument&) {
+    throw std::runtime_error(
+        "ORBIT_KERNELS=\"" + s +
+        "\" — expected scalar, avx2, or avx512");
+  }
+  if (!isa_available(isa)) {
+    throw std::runtime_error(
+        std::string("ORBIT_KERNELS=") + isa_name(isa) +
+        " — level not available on this build/CPU (available:" +
+        [] {
+          std::string list;
+          for (Isa a : available_isas()) list += std::string(" ") + isa_name(a);
+          return list;
+        }() +
+        ")");
+  }
+  return isa;
+}
+
+Isa active_isa() {
+  int a = g_active.load(std::memory_order_acquire);
+  if (a >= 0) return static_cast<Isa>(a);
+  const char* env = std::getenv("ORBIT_KERNELS");
+  const Isa init = env != nullptr ? resolve_env_isa(env) : detect_best_isa();
+  int expected = -1;
+  g_active.compare_exchange_strong(expected, static_cast<int>(init),
+                                   std::memory_order_acq_rel);
+  return static_cast<Isa>(g_active.load(std::memory_order_acquire));
+}
+
+void set_isa(Isa isa) {
+  if (!isa_available(isa)) {
+    throw std::runtime_error(std::string("set_isa(") + isa_name(isa) +
+                             "): level not available on this build/CPU");
+  }
+  g_active.store(static_cast<int>(isa), std::memory_order_release);
+}
+
+const KernelTable& table(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return detail::scalar_table();
+    case Isa::kAvx2:
+#ifdef ORBIT_KERNELS_HAVE_AVX2
+      if (cpu_supports(Isa::kAvx2)) return detail::avx2_table();
+#endif
+      break;
+    case Isa::kAvx512:
+#ifdef ORBIT_KERNELS_HAVE_AVX512
+      if (cpu_supports(Isa::kAvx512)) return detail::avx512_table();
+#endif
+      break;
+  }
+  throw std::runtime_error(std::string("kernels::table(") + isa_name(isa) +
+                           "): level not available on this build/CPU");
+}
+
+const KernelTable& active() { return table(active_isa()); }
+
+}  // namespace orbit::kernels

@@ -1,0 +1,73 @@
+#include "kernels/gemm_generic.hpp"
+
+/// \file gemm_avx2.cpp
+/// AVX2+FMA flavour (compiled with -mavx2 -mfma; selected at runtime only
+/// when cpuid reports both). 256-bit registers, 8 floats per vector; the
+/// q8 dot widens int8 weights through epi32 to f32 and folds the per-block
+/// scale in with one FMA per block.
+
+#include <immintrin.h>
+
+namespace orbit::kernels {
+namespace {
+
+struct Avx2Vec {
+  using Reg = __m256;
+  static constexpr std::int64_t kWidth = 8;
+  static Reg zero() { return _mm256_setzero_ps(); }
+  static Reg load(const float* p) { return _mm256_loadu_ps(p); }
+  static void store(float* p, Reg r) { _mm256_storeu_ps(p, r); }
+  static Reg broadcast(float v) { return _mm256_set1_ps(v); }
+  static Reg fma(Reg a, Reg b, Reg c) { return _mm256_fmadd_ps(a, b, c); }
+  static Reg add(Reg a, Reg b) { return _mm256_add_ps(a, b); }
+  static float hsum(Reg r) {
+    const __m128 lo = _mm256_castps256_ps128(r);
+    const __m128 hi = _mm256_extractf128_ps(r, 1);
+    __m128 s = _mm_add_ps(lo, hi);
+    s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_add_ss(s, _mm_movehdup_ps(s));
+    return _mm_cvtss_f32(s);
+  }
+};
+
+/// Widen 8 int8 weights starting at `q` to f32.
+inline __m256 widen8(const std::int8_t* q) {
+  const __m128i qi = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(q));
+  return _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(qi));
+}
+
+float q8_dot_avx2(std::int64_t k, const BlockQ8* blocks, const float* x) {
+  __m256 acc = _mm256_setzero_ps();
+  const std::int64_t full = k / kQ8BlockSize;
+  for (std::int64_t b = 0; b < full; ++b) {
+    const BlockQ8& blk = blocks[b];
+    const float* xb = x + b * kQ8BlockSize;
+    // Per-block partial sum, scaled once at the end of the block.
+    __m256 bacc = _mm256_mul_ps(widen8(blk.q), _mm256_loadu_ps(xb));
+    bacc = _mm256_fmadd_ps(widen8(blk.q + 8), _mm256_loadu_ps(xb + 8), bacc);
+    bacc = _mm256_fmadd_ps(widen8(blk.q + 16), _mm256_loadu_ps(xb + 16), bacc);
+    bacc = _mm256_fmadd_ps(widen8(blk.q + 24), _mm256_loadu_ps(xb + 24), bacc);
+    acc = _mm256_fmadd_ps(_mm256_set1_ps(blk.scale), bacc, acc);
+  }
+  float total = Avx2Vec::hsum(acc);
+  const std::int64_t tail = k - full * kQ8BlockSize;
+  if (tail > 0) {
+    const BlockQ8& blk = blocks[full];
+    float s = 0.0f;
+    for (std::int64_t j = 0; j < tail; ++j) {
+      s += static_cast<float>(blk.q[j]) * x[full * kQ8BlockSize + j];
+    }
+    total += blk.scale * s;
+  }
+  return total;
+}
+
+}  // namespace
+
+const KernelTable& detail::avx2_table() {
+  static const KernelTable t =
+      generic::make_table<Avx2Vec>(&q8_dot_avx2);
+  return t;
+}
+
+}  // namespace orbit::kernels

@@ -1,0 +1,72 @@
+#include "kernels/gemm_generic.hpp"
+
+/// \file gemm_avx512.cpp
+/// AVX-512 flavour (compiled with -mavx512f/bw/dq/vl -mfma; selected at
+/// runtime only when cpuid reports all four subsets). 512-bit registers,
+/// 16 floats per vector; one q8_0 block is exactly two widening loads.
+
+#include <immintrin.h>
+
+namespace orbit::kernels {
+namespace {
+
+struct Avx512Vec {
+  using Reg = __m512;
+  static constexpr std::int64_t kWidth = 16;
+  static Reg zero() { return _mm512_setzero_ps(); }
+  static Reg load(const float* p) { return _mm512_loadu_ps(p); }
+  static void store(float* p, Reg r) { _mm512_storeu_ps(p, r); }
+  static Reg broadcast(float v) { return _mm512_set1_ps(v); }
+  static Reg fma(Reg a, Reg b, Reg c) { return _mm512_fmadd_ps(a, b, c); }
+  static Reg add(Reg a, Reg b) { return _mm512_add_ps(a, b); }
+  // Hand-rolled reduction: GCC's _mm512_reduce_add_ps / extract intrinsics
+  // expand through _mm*_undefined_* and trip -Wuninitialized in their own
+  // header, so fold the 128-bit lanes with shuffles instead.
+  static float hsum(Reg r) {
+    r = _mm512_add_ps(r, _mm512_shuffle_f32x4(r, r, 0x4E));  // fold 256 halves
+    r = _mm512_add_ps(r, _mm512_shuffle_f32x4(r, r, 0xB1));  // fold 128 lanes
+    __m128 s = _mm512_castps512_ps128(r);
+    s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_add_ss(s, _mm_movehdup_ps(s));
+    return _mm_cvtss_f32(s);
+  }
+};
+
+/// Widen 16 int8 weights starting at `q` to f32.
+inline __m512 widen16(const std::int8_t* q) {
+  const __m128i qi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(q));
+  return _mm512_cvtepi32_ps(_mm512_cvtepi8_epi32(qi));
+}
+
+float q8_dot_avx512(std::int64_t k, const BlockQ8* blocks, const float* x) {
+  __m512 acc = _mm512_setzero_ps();
+  const std::int64_t full = k / kQ8BlockSize;
+  for (std::int64_t b = 0; b < full; ++b) {
+    const BlockQ8& blk = blocks[b];
+    const float* xb = x + b * kQ8BlockSize;
+    __m512 bacc = _mm512_mul_ps(widen16(blk.q), _mm512_loadu_ps(xb));
+    bacc = _mm512_fmadd_ps(widen16(blk.q + 16), _mm512_loadu_ps(xb + 16), bacc);
+    acc = _mm512_fmadd_ps(_mm512_set1_ps(blk.scale), bacc, acc);
+  }
+  float total = Avx512Vec::hsum(acc);
+  const std::int64_t tail = k - full * kQ8BlockSize;
+  if (tail > 0) {
+    const BlockQ8& blk = blocks[full];
+    float s = 0.0f;
+    for (std::int64_t j = 0; j < tail; ++j) {
+      s += static_cast<float>(blk.q[j]) * x[full * kQ8BlockSize + j];
+    }
+    total += blk.scale * s;
+  }
+  return total;
+}
+
+}  // namespace
+
+const KernelTable& detail::avx512_table() {
+  static const KernelTable t =
+      generic::make_table<Avx512Vec>(&q8_dot_avx512);
+  return t;
+}
+
+}  // namespace orbit::kernels

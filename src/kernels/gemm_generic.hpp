@@ -1,0 +1,194 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "kernels/kernels.hpp"
+
+/// \file gemm_generic.hpp
+/// The one blocked GEMM implementation, templated over a vector trait.
+///
+/// Every instruction-set flavour (scalar, AVX2, AVX-512) instantiates the
+/// same cache-blocked loop nest with its own register type, so tail
+/// handling and blocking logic exist exactly once — the scalar build *is*
+/// the generic code at width 1. A trait `V` provides:
+///
+///   using Reg;                          // vector register of kWidth floats
+///   static constexpr std::int64_t kWidth;
+///   static Reg  zero();
+///   static Reg  load(const float* p);   // unaligned
+///   static void store(float* p, Reg);   // unaligned
+///   static Reg  broadcast(float v);
+///   static Reg  fma(Reg a, Reg b, Reg c);   // a*b + c
+///   static Reg  add(Reg a, Reg b);
+///   static float hsum(Reg);
+///
+/// The TU that instantiates these templates is compiled with the matching
+/// `-m...` target flags; runtime dispatch (dispatch.cpp) guarantees a
+/// table is only ever selected on a CPU that can execute it.
+
+namespace orbit::kernels::generic {
+
+/// Register tile of the row-major kernel: MR output rows × (2 vectors of
+/// V::kWidth columns) accumulate in registers across the k loop. MR=4 with
+/// 2 column vectors needs 4*2 accumulators + 2 B vectors + 1 broadcast —
+/// 11 registers, comfortably inside even the 16-register AVX2 file.
+inline constexpr std::int64_t kRowTile = 4;
+/// Cache block over the contraction dimension: one [kKBlock, n] panel of B
+/// stays hot in L1/L2 across the whole row tile.
+inline constexpr std::int64_t kKBlock = 256;
+
+/// C[m,n] += A[m,k] · B[k,n] over output rows [r0, r1).
+template <class V>
+void gemm_rows_g(const float* a, const float* b, float* c, std::int64_t r0,
+                 std::int64_t r1, std::int64_t k, std::int64_t n) {
+  using Reg = typename V::Reg;
+  constexpr std::int64_t W = V::kWidth;
+  constexpr std::int64_t NR = 2 * W;
+  for (std::int64_t kk = 0; kk < k; kk += kKBlock) {
+    const std::int64_t kend = std::min(k, kk + kKBlock);
+    std::int64_t i = r0;
+    for (; i + kRowTile <= r1; i += kRowTile) {
+      std::int64_t j = 0;
+      for (; j + NR <= n; j += NR) {
+        Reg acc[kRowTile][2];
+        for (std::int64_t r = 0; r < kRowTile; ++r) {
+          acc[r][0] = V::load(c + (i + r) * n + j);
+          acc[r][1] = V::load(c + (i + r) * n + j + W);
+        }
+        for (std::int64_t p = kk; p < kend; ++p) {
+          const Reg b0 = V::load(b + p * n + j);
+          const Reg b1 = V::load(b + p * n + j + W);
+          for (std::int64_t r = 0; r < kRowTile; ++r) {
+            const Reg av = V::broadcast(a[(i + r) * k + p]);
+            acc[r][0] = V::fma(av, b0, acc[r][0]);
+            acc[r][1] = V::fma(av, b1, acc[r][1]);
+          }
+        }
+        for (std::int64_t r = 0; r < kRowTile; ++r) {
+          V::store(c + (i + r) * n + j, acc[r][0]);
+          V::store(c + (i + r) * n + j + W, acc[r][1]);
+        }
+      }
+      // Column tail: plain scalar loop shared by every flavour.
+      for (std::int64_t r = 0; r < kRowTile; ++r) {
+        const float* arow = a + (i + r) * k;
+        float* crow = c + (i + r) * n;
+        for (std::int64_t p = kk; p < kend; ++p) {
+          const float av = arow[p];
+          const float* brow = b + p * n;
+          for (std::int64_t jj = j; jj < n; ++jj) crow[jj] += av * brow[jj];
+        }
+      }
+    }
+    // Row tail: 1×NR kernel, then the same scalar column tail.
+    for (; i < r1; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      std::int64_t j = 0;
+      for (; j + NR <= n; j += NR) {
+        Reg acc0 = V::load(crow + j);
+        Reg acc1 = V::load(crow + j + W);
+        for (std::int64_t p = kk; p < kend; ++p) {
+          const Reg av = V::broadcast(arow[p]);
+          acc0 = V::fma(av, V::load(b + p * n + j), acc0);
+          acc1 = V::fma(av, V::load(b + p * n + j + W), acc1);
+        }
+        V::store(crow + j, acc0);
+        V::store(crow + j + W, acc1);
+      }
+      for (std::int64_t p = kk; p < kend; ++p) {
+        const float av = arow[p];
+        const float* brow = b + p * n;
+        for (std::int64_t jj = j; jj < n; ++jj) crow[jj] += av * brow[jj];
+      }
+    }
+  }
+}
+
+/// Σ x[i] * y[i] with two vector accumulators (breaks the FMA dependency
+/// chain) and a scalar tail.
+template <class V>
+float dot_g(std::int64_t n, const float* x, const float* y) {
+  using Reg = typename V::Reg;
+  constexpr std::int64_t W = V::kWidth;
+  Reg acc0 = V::zero();
+  Reg acc1 = V::zero();
+  std::int64_t p = 0;
+  for (; p + 2 * W <= n; p += 2 * W) {
+    acc0 = V::fma(V::load(x + p), V::load(y + p), acc0);
+    acc1 = V::fma(V::load(x + p + W), V::load(y + p + W), acc1);
+  }
+  float s = V::hsum(V::add(acc0, acc1));
+  for (; p < n; ++p) s += x[p] * y[p];
+  return s;
+}
+
+/// C[m,n] += A[m,k] · B[n,k]^T over output rows [r0, r1): row-dot-products.
+template <class V>
+void gemm_nt_rows_g(const float* a, const float* b, float* c, std::int64_t r0,
+                    std::int64_t r1, std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = r0; i < r1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      crow[j] += dot_g<V>(k, arow, b + j * k);
+    }
+  }
+}
+
+/// y += alpha * x.
+template <class V>
+void saxpy_g(std::int64_t n, float alpha, const float* x, float* y) {
+  using Reg = typename V::Reg;
+  constexpr std::int64_t W = V::kWidth;
+  const Reg av = V::broadcast(alpha);
+  std::int64_t p = 0;
+  for (; p + 2 * W <= n; p += 2 * W) {
+    V::store(y + p, V::fma(av, V::load(x + p), V::load(y + p)));
+    V::store(y + p + W, V::fma(av, V::load(x + p + W), V::load(y + p + W)));
+  }
+  for (; p < n; ++p) y[p] += alpha * x[p];
+}
+
+/// Scalar q8·f32 dot over whole blocks plus a partial tail block; the SIMD
+/// flavours override this with widening int8→f32 loads.
+inline float q8_dot_scalar(std::int64_t k, const BlockQ8* blocks,
+                           const float* x) {
+  float total = 0.0f;
+  const std::int64_t full = k / kQ8BlockSize;
+  for (std::int64_t b = 0; b < full; ++b) {
+    const BlockQ8& blk = blocks[b];
+    float s = 0.0f;
+    for (std::int64_t j = 0; j < kQ8BlockSize; ++j) {
+      s += static_cast<float>(blk.q[j]) * x[b * kQ8BlockSize + j];
+    }
+    total += blk.scale * s;
+  }
+  const std::int64_t tail = k - full * kQ8BlockSize;
+  if (tail > 0) {
+    const BlockQ8& blk = blocks[full];
+    float s = 0.0f;
+    for (std::int64_t j = 0; j < tail; ++j) {
+      s += static_cast<float>(blk.q[j]) * x[full * kQ8BlockSize + j];
+    }
+    total += blk.scale * s;
+  }
+  return total;
+}
+
+/// Assemble a KernelTable from the generic templates plus a (possibly
+/// specialised) q8_dot.
+template <class V>
+KernelTable make_table(float (*q8_dot)(std::int64_t, const BlockQ8*,
+                                       const float*)) {
+  KernelTable t;
+  t.gemm_rows = &gemm_rows_g<V>;
+  t.gemm_nt_rows = &gemm_nt_rows_g<V>;
+  t.saxpy = &saxpy_g<V>;
+  t.dot = &dot_g<V>;
+  t.q8_dot = q8_dot;
+  return t;
+}
+
+}  // namespace orbit::kernels::generic

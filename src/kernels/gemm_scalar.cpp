@@ -1,0 +1,31 @@
+#include "kernels/gemm_generic.hpp"
+
+/// \file gemm_scalar.cpp
+/// The always-available portable flavour: the generic blocked loops at
+/// vector width 1. This is both the fallback for non-x86 builds and the
+/// reference every SIMD level is equivalence-tested against.
+
+namespace orbit::kernels {
+namespace {
+
+struct ScalarVec {
+  using Reg = float;
+  static constexpr std::int64_t kWidth = 1;
+  static Reg zero() { return 0.0f; }
+  static Reg load(const float* p) { return *p; }
+  static void store(float* p, Reg r) { *p = r; }
+  static Reg broadcast(float v) { return v; }
+  static Reg fma(Reg a, Reg b, Reg c) { return a * b + c; }
+  static Reg add(Reg a, Reg b) { return a + b; }
+  static float hsum(Reg r) { return r; }
+};
+
+}  // namespace
+
+const KernelTable& detail::scalar_table() {
+  static const KernelTable t =
+      generic::make_table<ScalarVec>(&generic::q8_dot_scalar);
+  return t;
+}
+
+}  // namespace orbit::kernels

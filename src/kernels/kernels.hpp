@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file kernels.hpp
+/// Runtime-dispatched SIMD microkernels (DESIGN.md §4f).
+///
+/// This is the leaf compute library under the tensor layer: cache-blocked
+/// f32 GEMM microkernels plus the q8_0 block-quantized dot product, in
+/// three instruction-set flavours — a portable scalar path (always
+/// compiled), AVX2+FMA, and AVX-512 — selected once at startup via cpuid
+/// and reachable through a function-pointer table. The kernels operate on
+/// raw row-major buffers and are single-threaded by design: threading
+/// stays in the tensor layer (`parallel_for` over row blocks), which hands
+/// each worker a `[r0, r1)` row range of the output.
+///
+/// Dispatch override for testing: `ORBIT_KERNELS=scalar|avx2|avx512`
+/// forces a level (strictly parsed — an unknown value or a level the CPU
+/// or build lacks raises instead of silently falling back), and
+/// `set_isa()` switches levels programmatically so one test binary can
+/// sweep every available path.
+
+namespace orbit::kernels {
+
+/// Instruction-set level of a kernel table, ordered by preference.
+enum class Isa : int {
+  kScalar = 0,  ///< portable C++, always available
+  kAvx2 = 1,    ///< AVX2 + FMA (256-bit)
+  kAvx512 = 2,  ///< AVX-512 F/BW/DQ/VL (512-bit)
+};
+
+/// q8_0 block quantization: 32 consecutive f32 values share one f32 scale
+/// and are stored as int8 (value ≈ scale * q). 36 bytes per 32 floats —
+/// a 3.56× shrink — with per-block absolute error ≤ scale/2.
+inline constexpr std::int64_t kQ8BlockSize = 32;
+
+struct BlockQ8 {
+  float scale;                  ///< amax / 127 of the block (0 for all-zero)
+  std::int8_t q[kQ8BlockSize];  ///< quantized values, tail zero-padded
+};
+static_assert(sizeof(BlockQ8) == 36, "BlockQ8 must pack to 36 bytes");
+
+/// One instruction-set flavour of the microkernels. All matrices are
+/// row-major; `c` ranges are `[r0, r1)` output rows.
+struct KernelTable {
+  /// C[m,n] += A[m,k] · B[k,n] over output rows [r0, r1).
+  void (*gemm_rows)(const float* a, const float* b, float* c,
+                    std::int64_t r0, std::int64_t r1, std::int64_t k,
+                    std::int64_t n);
+  /// C[m,n] += A[m,k] · B[n,k]^T over output rows [r0, r1).
+  void (*gemm_nt_rows)(const float* a, const float* b, float* c,
+                       std::int64_t r0, std::int64_t r1, std::int64_t k,
+                       std::int64_t n);
+  /// y[0..n) += alpha * x[0..n).
+  void (*saxpy)(std::int64_t n, float alpha, const float* x, float* y);
+  /// Σ x[i] * y[i].
+  float (*dot)(std::int64_t n, const float* x, const float* y);
+  /// Fused q8·f32 dot product: Σ_blocks scale_b · Σ_j q[j]·x[j], where
+  /// `blocks` holds ceil(k/32) q8_0 blocks of one quantized row and `x` is
+  /// a k-element f32 vector (the tail of the last block is not read).
+  float (*q8_dot)(std::int64_t k, const BlockQ8* blocks, const float* x);
+};
+
+/// --- dispatch ---------------------------------------------------------------
+
+/// True when `isa` is both compiled into this binary and supported by the
+/// CPU we are running on.
+bool isa_available(Isa isa);
+
+/// Best available level (highest preference order).
+Isa detect_best_isa();
+
+/// All available levels, scalar first.
+std::vector<Isa> available_isas();
+
+/// The level kernels currently dispatch to. Initialised on first use from
+/// `ORBIT_KERNELS` when set (strict: unknown or unavailable values throw
+/// std::runtime_error naming the variable), else from cpuid.
+Isa active_isa();
+
+/// Force a level (tests, benchmarks). Throws std::runtime_error when the
+/// level is not available on this build/CPU. Not thread-safe against
+/// kernels running concurrently — switch only between parallel regions.
+void set_isa(Isa isa);
+
+const char* isa_name(Isa isa);
+
+/// "scalar" | "avx2" | "avx512" -> Isa; throws std::invalid_argument.
+Isa parse_isa(const std::string& s);
+
+/// Strict resolution of an ORBIT_KERNELS value: parse + availability
+/// check, throwing std::runtime_error naming the variable and value.
+/// Exposed separately so tests can exercise the env contract directly.
+Isa resolve_env_isa(const char* value);
+
+/// Kernel table for a specific level; throws when unavailable.
+const KernelTable& table(Isa isa);
+
+/// Kernel table for `active_isa()` — the one call sites use.
+const KernelTable& active();
+
+namespace detail {
+const KernelTable& scalar_table();
+const KernelTable& avx2_table();    // defined only when built with AVX2
+const KernelTable& avx512_table();  // defined only when built with AVX-512
+}  // namespace detail
+
+}  // namespace orbit::kernels

@@ -1,0 +1,76 @@
+#include "kernels/q8.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+/// \file q8.cpp
+/// q8_0 quantize/dequantize. These run once per weight image (model load
+/// or serve start), so the scalar forms are deliberate — the hot path is
+/// the fused q8_dot in the dispatch table.
+
+namespace orbit::kernels {
+
+QuantizedMat::QuantizedMat(std::int64_t rows, std::int64_t cols)
+    : rows_(rows),
+      cols_(cols),
+      row_blocks_((cols + kQ8BlockSize - 1) / kQ8BlockSize) {
+  if (rows <= 0 || cols <= 0) {
+    throw std::invalid_argument("QuantizedMat: rows/cols must be positive");
+  }
+  blocks_.resize(static_cast<std::size_t>(rows_ * row_blocks_));
+  std::memset(blocks_.data(), 0, byte_size());
+}
+
+void quantize_row_q8(const float* src, std::int64_t n, BlockQ8* dst) {
+  const std::int64_t nblocks = (n + kQ8BlockSize - 1) / kQ8BlockSize;
+  for (std::int64_t b = 0; b < nblocks; ++b) {
+    BlockQ8& blk = dst[b];
+    const std::int64_t lo = b * kQ8BlockSize;
+    const std::int64_t len = std::min(n - lo, kQ8BlockSize);
+    float amax = 0.0f;
+    for (std::int64_t j = 0; j < len; ++j) {
+      amax = std::max(amax, std::fabs(src[lo + j]));
+    }
+    // amax == 0 (all-zero block, or a zero-padded tail) quantizes to
+    // scale 0 + zero codes, which dequantizes exactly.
+    blk.scale = amax / 127.0f;
+    const float inv = blk.scale > 0.0f ? 1.0f / blk.scale : 0.0f;
+    std::int64_t j = 0;
+    for (; j < len; ++j) {
+      const float v = std::nearbyint(src[lo + j] * inv);
+      blk.q[j] = static_cast<std::int8_t>(
+          std::max(-127.0f, std::min(127.0f, v)));
+    }
+    for (; j < kQ8BlockSize; ++j) blk.q[j] = 0;
+  }
+}
+
+void dequantize_row_q8(const BlockQ8* src, std::int64_t n, float* dst) {
+  const std::int64_t nblocks = (n + kQ8BlockSize - 1) / kQ8BlockSize;
+  for (std::int64_t b = 0; b < nblocks; ++b) {
+    const BlockQ8& blk = src[b];
+    const std::int64_t lo = b * kQ8BlockSize;
+    const std::int64_t len = std::min(n - lo, kQ8BlockSize);
+    for (std::int64_t j = 0; j < len; ++j) {
+      dst[lo + j] = blk.scale * static_cast<float>(blk.q[j]);
+    }
+  }
+}
+
+QuantizedMat quantize_q8(const float* src, std::int64_t rows,
+                         std::int64_t cols) {
+  QuantizedMat m(rows, cols);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    quantize_row_q8(src + r * cols, cols, m.row(r));
+  }
+  return m;
+}
+
+void dequantize_q8(const QuantizedMat& m, float* dst) {
+  for (std::int64_t r = 0; r < m.rows(); ++r) {
+    dequantize_row_q8(m.row(r), m.cols(), dst + r * m.cols());
+  }
+}
+
+}  // namespace orbit::kernels

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "kernels/kernels.hpp"
+
+/// \file q8.hpp
+/// q8_0 block-quantized matrices (DESIGN.md §4f).
+///
+/// A `QuantizedMat` is a row-major [rows, cols] f32 matrix stored as
+/// per-row sequences of q8_0 blocks: each run of 32 values carries one f32
+/// scale (amax/127) and 32 int8 quantized values. Rows are padded to a
+/// whole number of blocks with zero-quantized tails, so every row starts
+/// block-aligned and the fused `q8_dot` kernel never straddles rows.
+///
+/// The inference path stores `Linear` weights in this format transposed to
+/// [out, in] — the contraction dimension is contiguous within each row —
+/// so a matmul against activations is one `q8_dot` per output feature.
+
+namespace orbit::kernels {
+
+class QuantizedMat {
+ public:
+  QuantizedMat() = default;
+  /// Allocates zeroed blocks for a [rows, cols] matrix.
+  QuantizedMat(std::int64_t rows, std::int64_t cols);
+
+  bool defined() const { return rows_ > 0; }
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  /// Blocks per row: ceil(cols / 32).
+  std::int64_t row_blocks() const { return row_blocks_; }
+
+  const BlockQ8* row(std::int64_t r) const {
+    return blocks_.data() + r * row_blocks_;
+  }
+  BlockQ8* row(std::int64_t r) { return blocks_.data() + r * row_blocks_; }
+  const std::vector<BlockQ8>& blocks() const { return blocks_; }
+  std::vector<BlockQ8>& blocks() { return blocks_; }
+
+  /// Bytes held by the quantized payload (the compression denominator:
+  /// 36 bytes per 32 weights vs 128 for f32).
+  std::size_t byte_size() const { return blocks_.size() * sizeof(BlockQ8); }
+
+ private:
+  std::int64_t rows_ = 0, cols_ = 0, row_blocks_ = 0;
+  std::vector<BlockQ8> blocks_;
+};
+
+/// Quantize `n` consecutive f32 values into ceil(n/32) blocks. The last
+/// block's tail (when n is not a multiple of 32) quantizes as zero.
+void quantize_row_q8(const float* src, std::int64_t n, BlockQ8* dst);
+
+/// Dequantize blocks back into `n` f32 values (tail padding not written).
+void dequantize_row_q8(const BlockQ8* src, std::int64_t n, float* dst);
+
+/// Quantize a row-major [rows, cols] f32 matrix.
+QuantizedMat quantize_q8(const float* src, std::int64_t rows,
+                         std::int64_t cols);
+
+/// Dequantize into a row-major [rows, cols] f32 buffer.
+void dequantize_q8(const QuantizedMat& m, float* dst);
+
+}  // namespace orbit::kernels

@@ -103,4 +103,11 @@ void MultiHeadSelfAttention::collect_params(std::vector<Param*>& out) {
   }
 }
 
+void MultiHeadSelfAttention::collect_linears(std::vector<Linear*>& out) {
+  wq_->collect_linears(out);
+  wk_->collect_linears(out);
+  wv_->collect_linears(out);
+  wo_->collect_linears(out);
+}
+
 }  // namespace orbit::model

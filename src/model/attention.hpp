@@ -24,6 +24,7 @@ class MultiHeadSelfAttention : public Module {
   Tensor forward(const Tensor& x) override;   // x: [B, S, D]
   Tensor backward(const Tensor& dy) override;
   void collect_params(std::vector<Param*>& out) override;
+  void collect_linears(std::vector<Linear*>& out) override;
 
   std::int64_t heads() const { return heads_; }
   bool qk_layernorm() const { return qk_ln_q_ != nullptr; }

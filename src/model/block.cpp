@@ -22,6 +22,11 @@ void Mlp::collect_params(std::vector<Param*>& out) {
   fc2_->collect_params(out);
 }
 
+void Mlp::collect_linears(std::vector<Linear*>& out) {
+  fc1_->collect_linears(out);
+  fc2_->collect_linears(out);
+}
+
 TransformerBlock::TransformerBlock(std::string name, std::int64_t embed,
                                    std::int64_t heads, std::int64_t mlp_hidden,
                                    bool qk_layernorm, Rng& rng) {
@@ -67,6 +72,11 @@ void TransformerBlock::collect_params(std::vector<Param*>& out) {
   attn_->collect_params(out);
   ln2_->collect_params(out);
   mlp_->collect_params(out);
+}
+
+void TransformerBlock::collect_linears(std::vector<Linear*>& out) {
+  attn_->collect_linears(out);
+  mlp_->collect_linears(out);
 }
 
 }  // namespace orbit::model

@@ -22,6 +22,7 @@ class Mlp : public Module {
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& dy) override;
   void collect_params(std::vector<Param*>& out) override;
+  void collect_linears(std::vector<Linear*>& out) override;
 
   Linear& fc1() { return *fc1_; }
   Linear& fc2() { return *fc2_; }
@@ -46,6 +47,7 @@ class TransformerBlock : public Module {
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& dy) override;
   void collect_params(std::vector<Param*>& out) override;
+  void collect_linears(std::vector<Linear*>& out) override;
 
   void set_checkpointing(bool on) { checkpoint_ = on; }
   bool checkpointing() const { return checkpoint_; }

@@ -5,6 +5,10 @@
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
+#include <unordered_set>
+
+#include "tensor/ops.hpp"
+#include "tensor/qmatmul.hpp"
 
 namespace orbit::model {
 namespace {
@@ -441,6 +445,154 @@ void load_checkpoint(const std::string& path,
   const CheckpointData data = read_checkpoint(path);
   check_params(data, params);
   apply_params(data, params);
+}
+
+namespace {
+
+/// Weight-param identity set: which of `params` are Linear weights (stored
+/// as q8_0 records) rather than plain f32 records.
+std::unordered_set<const Param*> weight_params(
+    const std::vector<Linear*>& linears) {
+  std::unordered_set<const Param*> out;
+  for (Linear* l : linears) out.insert(&l->weight());
+  return out;
+}
+
+std::size_t q8_payload_bytes(std::int64_t rows, std::int64_t cols) {
+  const std::int64_t row_blocks =
+      (cols + kernels::kQ8BlockSize - 1) / kernels::kQ8BlockSize;
+  return static_cast<std::size_t>(rows * row_blocks) *
+         sizeof(kernels::BlockQ8);
+}
+
+}  // namespace
+
+void save_quantized_weights(const std::string& path,
+                            const std::vector<Param*>& params,
+                            const std::vector<Linear*>& linears) {
+  const std::unordered_set<const Param*> weights = weight_params(linears);
+  CheckpointData data;
+  for (const Param* p : params) {
+    if (weights.count(p) != 0) continue;
+    data.add_tensor(p->name, p->value);
+  }
+  for (Linear* l : linears) {
+    // Use the layer's existing image when quantized; otherwise quantize a
+    // transient copy so exporting from an f32 training model does not
+    // switch it into inference-only mode.
+    std::shared_ptr<const kernels::QuantizedMat> img = l->quantized_weights();
+    if (!img) {
+      if (!l->weight().value.defined()) {
+        throw std::logic_error("checkpoint: Linear " + l->weight().name +
+                               " has neither f32 nor quantized weights");
+      }
+      img = std::make_shared<kernels::QuantizedMat>(
+          quantize_q8(transpose(l->weight().value)));
+    }
+    CheckpointRecord rec;
+    rec.name = l->weight().name;
+    rec.dtype = "q8_0";
+    rec.shape = {img->rows(), img->cols()};
+    const auto* bytes = reinterpret_cast<const char*>(img->blocks().data());
+    rec.payload.assign(bytes, bytes + img->byte_size());
+    data.add_record(std::move(rec));
+  }
+  write_checkpoint(path, data);
+}
+
+QuantizedWeights read_quantized_weights(const std::string& path) {
+  QuantizedWeights out;
+  out.data = read_checkpoint(path);
+  for (const CheckpointRecord& rec : out.data.records()) {
+    if (rec.dtype != "q8_0") continue;
+    if (rec.shape.size() != 2 || rec.shape[0] <= 0 || rec.shape[1] <= 0) {
+      corrupt(path, "q8_0 record " + rec.name + " has a non-matrix shape");
+    }
+    if (rec.payload.size() != q8_payload_bytes(rec.shape[0], rec.shape[1])) {
+      corrupt(path, "q8_0 record " + rec.name +
+                        " payload disagrees with shape");
+    }
+    auto img =
+        std::make_shared<kernels::QuantizedMat>(rec.shape[0], rec.shape[1]);
+    std::memcpy(img->blocks().data(), rec.payload.data(), rec.payload.size());
+    out.images.emplace(rec.name, std::move(img));
+  }
+  return out;
+}
+
+void check_quantized_weights(const QuantizedWeights& qw,
+                             const std::vector<Param*>& params,
+                             const std::vector<Linear*>& linears) {
+  const std::unordered_set<const Param*> weights = weight_params(linears);
+  std::map<std::string, Linear*> linear_by_name;
+  for (Linear* l : linears) {
+    if (!linear_by_name.emplace(l->weight().name, l).second) {
+      throw std::runtime_error("checkpoint: duplicate Linear weight name " +
+                               l->weight().name);
+    }
+  }
+  std::map<std::string, Param*> f32_by_name;
+  for (Param* p : params) {
+    if (weights.count(p) != 0) continue;
+    if (!f32_by_name.emplace(p->name, p).second) {
+      throw std::runtime_error("checkpoint: duplicate param name " + p->name);
+    }
+  }
+
+  for (const auto& [name, l] : linear_by_name) {
+    const auto it = qw.images.find(name);
+    if (it == qw.images.end()) {
+      throw std::runtime_error("checkpoint: missing q8_0 record " + name);
+    }
+    if (it->second->rows() != l->out_features() ||
+        it->second->cols() != l->in_features()) {
+      throw std::runtime_error("checkpoint: shape mismatch for q8_0 record " +
+                               name);
+    }
+  }
+  for (const auto& [name, p] : f32_by_name) {
+    const CheckpointRecord& rec = qw.data.at(name);
+    if (rec.dtype != "f32") {
+      throw std::runtime_error("checkpoint: record " + name + " has dtype " +
+                               rec.dtype + ", expected f32");
+    }
+    if (rec.shape != p->value.shape()) {
+      throw std::runtime_error("checkpoint: shape mismatch for " + name);
+    }
+  }
+  for (const CheckpointRecord& rec : qw.data.records()) {
+    if (reserved_name(rec.name)) continue;
+    if (rec.dtype == "q8_0" &&
+        linear_by_name.find(rec.name) == linear_by_name.end()) {
+      throw std::runtime_error("checkpoint: unknown q8_0 record " + rec.name);
+    }
+    if (rec.dtype == "f32" &&
+        f32_by_name.find(rec.name) == f32_by_name.end()) {
+      throw std::runtime_error("checkpoint: unknown param " + rec.name);
+    }
+  }
+}
+
+void apply_quantized_weights(const QuantizedWeights& qw,
+                             const std::vector<Param*>& params,
+                             const std::vector<Linear*>& linears) {
+  const std::unordered_set<const Param*> weights = weight_params(linears);
+  for (Param* p : params) {
+    if (weights.count(p) != 0) continue;
+    qw.data.read_tensor(p->name, p->value);
+  }
+  for (Linear* l : linears) {
+    l->set_quantized_weights(qw.images.at(l->weight().name),
+                             /*drop_f32=*/true);
+  }
+}
+
+void load_quantized_weights(const std::string& path,
+                            const std::vector<Param*>& params,
+                            const std::vector<Linear*>& linears) {
+  const QuantizedWeights qw = read_quantized_weights(path);
+  check_quantized_weights(qw, params, linears);
+  apply_quantized_weights(qw, params, linears);
 }
 
 }  // namespace orbit::model

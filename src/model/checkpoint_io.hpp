@@ -3,9 +3,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "kernels/q8.hpp"
+#include "model/linear.hpp"
 #include "model/param.hpp"
 #include "tensor/rng.hpp"
 
@@ -42,8 +45,8 @@ namespace orbit::model {
 /// One named record in a v2 checkpoint file.
 struct CheckpointRecord {
   std::string name;
-  std::string dtype;                ///< "f32" | "i64" | "u64" | "f64" | "bytes"
-  std::vector<std::int64_t> shape;  ///< tensor layout (f32 records; else empty)
+  std::string dtype;  ///< "f32" | "i64" | "u64" | "f64" | "bytes" | "q8_0"
+  std::vector<std::int64_t> shape;  ///< tensor layout (f32/q8_0; else empty)
   std::vector<char> payload;        ///< raw little-endian bytes
 };
 
@@ -132,5 +135,60 @@ void save_checkpoint(const std::string& path,
 /// prefix records in full training-state files are ignored.
 void load_checkpoint(const std::string& path,
                      const std::vector<Param*>& params);
+
+/// --- q8_0 quantized weight files (DESIGN.md §4f) --------------------------
+///
+/// A quantized weight file is an ordinary v2 checkpoint where every Linear
+/// weight is a "q8_0" record — shape [out, in] (the serving layout W^T),
+/// payload the raw BlockQ8 array — and every other parameter (biases,
+/// LayerNorms, embeddings) stays f32. Loading such a file switches the
+/// model's Linears into quantized inference mode, sharing ONE image per
+/// weight across however many replicas load from the same staging data.
+
+/// A parsed quantized weight file: the raw records plus one shared,
+/// read-only q8 image per "q8_0" record, keyed by record (= param) name.
+/// Built once, then applied to N replicas — every replica's Linear ends up
+/// holding a shared_ptr to the SAME image.
+struct QuantizedWeights {
+  CheckpointData data;
+  std::map<std::string, std::shared_ptr<const kernels::QuantizedMat>> images;
+};
+
+/// Serialise a quantized weight file: each `linears` entry contributes a
+/// "q8_0" record under its weight param's name (using the layer's existing
+/// image when quantized, else quantizing a transient copy — the layer is
+/// left untouched); every other param in `params` is stored f32. Atomic
+/// like `write_checkpoint`. Throws std::runtime_error on IO failure and
+/// std::logic_error when a non-quantized layer's f32 weights were dropped.
+void save_quantized_weights(const std::string& path,
+                            const std::vector<Param*>& params,
+                            const std::vector<Linear*>& linears);
+
+/// Parse and validate a quantized weight file into a staging container,
+/// materialising every "q8_0" record into a shared image. Throws
+/// std::runtime_error on corruption (bad CRC, payload size disagreeing
+/// with shape) without partial results.
+QuantizedWeights read_quantized_weights(const std::string& path);
+
+/// Validate that `qw` can restore the model: every Linear weight has a
+/// "q8_0" image shaped [out, in], every other param a matching f32 record,
+/// and no unknown non-reserved records. Throws std::runtime_error
+/// otherwise; touches nothing.
+void check_quantized_weights(const QuantizedWeights& qw,
+                             const std::vector<Param*>& params,
+                             const std::vector<Linear*>& linears);
+
+/// Copy f32 payloads into non-weight params and attach the shared images
+/// to the Linears (dropping their f32 weight/grad storage — the model
+/// becomes inference-only). Callers must have run `check_quantized_weights`
+/// first.
+void apply_quantized_weights(const QuantizedWeights& qw,
+                             const std::vector<Param*>& params,
+                             const std::vector<Linear*>& linears);
+
+/// read + check + apply in one transactional step.
+void load_quantized_weights(const std::string& path,
+                            const std::vector<Param*>& params,
+                            const std::vector<Linear*>& linears);
 
 }  // namespace orbit::model

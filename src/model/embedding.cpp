@@ -151,6 +151,10 @@ void PatchEmbed::collect_params(std::vector<Param*>& out) {
   out.push_back(&var_embed_);
 }
 
+void PatchEmbed::collect_linears(std::vector<Linear*>& out) {
+  for (auto& p : proj_) p->collect_linears(out);
+}
+
 VariableAggregation::VariableAggregation(std::string name, std::int64_t embed,
                                          Rng& rng)
     : embed_(embed),
@@ -270,6 +274,11 @@ void VariableAggregation::collect_params(std::vector<Param*>& out) {
   out.push_back(&query_);
   wk_->collect_params(out);
   wv_->collect_params(out);
+}
+
+void VariableAggregation::collect_linears(std::vector<Linear*>& out) {
+  wk_->collect_linears(out);
+  wv_->collect_linears(out);
 }
 
 PosLeadEmbed::PosLeadEmbed(std::string name, std::int64_t tokens,

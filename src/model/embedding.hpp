@@ -34,6 +34,7 @@ class PatchEmbed : public Module {
   Tensor forward(const Tensor& x) override;    // [B,C,H,W] -> [B,C,S,D]
   Tensor backward(const Tensor& dy) override;  // -> [B,C,H,W]
   void collect_params(std::vector<Param*>& out) override;
+  void collect_linears(std::vector<Linear*>& out) override;
 
   std::int64_t tokens() const { return tokens_; }
 
@@ -53,6 +54,7 @@ class VariableAggregation : public Module {
   Tensor forward(const Tensor& x) override;    // [B,C,S,D] -> [B,S,D]
   Tensor backward(const Tensor& dy) override;  // -> [B,C,S,D]
   void collect_params(std::vector<Param*>& out) override;
+  void collect_linears(std::vector<Linear*>& out) override;
 
   /// Channel-attention weights from the last forward, [B*S, C]; exposed for
   /// interpretability examples (which variables the model attends to).

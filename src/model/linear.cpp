@@ -5,6 +5,7 @@
 
 #include "tensor/matmul.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/qmatmul.hpp"
 
 namespace orbit::model {
 
@@ -22,8 +23,14 @@ Tensor Linear::forward(const Tensor& x) {
                                 std::to_string(in_) + ", got " + x.shape_str());
   }
   cached_in_shape_ = x.shape();
-  cached_x2d_ = x.reshape({-1, in_});
-  Tensor y = matmul(cached_x2d_, w_.value);
+  Tensor y;
+  if (wq_) {
+    // Fused q8·f32 inference path; nothing cached — there is no backward.
+    y = matmul_q8_nt(x.reshape({-1, in_}), *wq_);
+  } else {
+    cached_x2d_ = x.reshape({-1, in_});
+    y = matmul(cached_x2d_, w_.value);
+  }
   if (bias_) y = add_row_broadcast(y, bias_->value);
   std::vector<std::int64_t> out_shape = cached_in_shape_;
   out_shape.back() = out_;
@@ -31,6 +38,11 @@ Tensor Linear::forward(const Tensor& x) {
 }
 
 Tensor Linear::backward(const Tensor& dy) {
+  if (wq_) {
+    throw std::logic_error("Linear " + w_.name +
+                           ": quantized weights are inference-only (no "
+                           "backward)");
+  }
   if (!cached_x2d_.defined()) {
     throw std::logic_error("Linear " + w_.name + ": backward before forward");
   }
@@ -45,6 +57,60 @@ Tensor Linear::backward(const Tensor& dy) {
 void Linear::collect_params(std::vector<Param*>& out) {
   out.push_back(&w_);
   if (bias_) out.push_back(&*bias_);
+}
+
+void Linear::collect_linears(std::vector<Linear*>& out) {
+  out.push_back(this);
+}
+
+std::shared_ptr<const kernels::QuantizedMat> Linear::quantize_weights(
+    bool drop_f32) {
+  if (wq_) return wq_;
+  if (!w_.value.defined()) {
+    throw std::logic_error("Linear " + w_.name +
+                           ": no f32 weights to quantize");
+  }
+  // Serving layout: W^T [out, in] so each output feature's weights are
+  // block-contiguous along the contraction dimension.
+  auto img = std::make_shared<kernels::QuantizedMat>(
+      quantize_q8(transpose(w_.value)));
+  set_quantized_weights(std::move(img), drop_f32);
+  return wq_;
+}
+
+void Linear::set_quantized_weights(
+    std::shared_ptr<const kernels::QuantizedMat> wq, bool drop_f32) {
+  if (!wq || !wq->defined() || wq->rows() != out_ || wq->cols() != in_) {
+    throw std::invalid_argument(
+        "Linear " + w_.name + ": quantized image must be [" +
+        std::to_string(out_) + ", " + std::to_string(in_) + "], got " +
+        (wq && wq->defined() ? "[" + std::to_string(wq->rows()) + ", " +
+                                   std::to_string(wq->cols()) + "]"
+                             : "undefined"));
+  }
+  wq_ = std::move(wq);
+  if (drop_f32) {
+    // Release the f32 weight + grad storage — the per-replica memory win.
+    // The param keeps its name but reads as undefined (numel 0).
+    w_.value = Tensor();
+    w_.grad = Tensor();
+  }
+  cached_x2d_ = Tensor();
+}
+
+std::size_t Linear::weight_bytes(
+    std::unordered_set<const void*>* shared_seen) const {
+  std::size_t bytes = 0;
+  if (wq_ && (shared_seen == nullptr || shared_seen->insert(wq_.get()).second)) {
+    bytes += wq_->byte_size();
+  }
+  if (w_.value.defined()) {
+    bytes += static_cast<std::size_t>(w_.value.numel()) * sizeof(float);
+  }
+  if (bias_ && bias_->value.defined()) {
+    bytes += static_cast<std::size_t>(bias_->value.numel()) * sizeof(float);
+  }
+  return bytes;
 }
 
 }  // namespace orbit::model

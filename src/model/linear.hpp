@@ -1,16 +1,30 @@
 #pragma once
 
+#include <cstddef>
+#include <memory>
 #include <optional>
+#include <unordered_set>
 
+#include "kernels/q8.hpp"
 #include "model/param.hpp"
 
 /// \file linear.hpp
-/// Fully-connected layer y = xW + b with explicit backward.
+/// Fully-connected layer y = xW + b with explicit backward, plus an
+/// optional q8_0 block-quantized inference mode (DESIGN.md §4f).
 
 namespace orbit::model {
 
 /// Linear transform on the last dimension. Accepts input of any rank by
 /// flattening leading dims: [..., in] -> [..., out].
+///
+/// Quantized mode: `quantize_weights()` (or `set_quantized_weights()`)
+/// swaps the f32 weight matrix for a shared, read-only q8_0 image stored
+/// in the serving layout W^T [out, in]; forward then runs the fused
+/// q8·f32 microkernel. The image is a `shared_ptr`, so N serve replicas
+/// reference ONE weight allocation. Quantized layers are inference-only —
+/// backward throws — and by default drop their f32 weight + grad storage
+/// (that is the memory win), after which the weight param reads as an
+/// undefined tensor.
 class Linear : public Module {
  public:
   /// Xavier/Glorot-normal initialisation (gain 1), zero bias.
@@ -20,6 +34,7 @@ class Linear : public Module {
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& dy) override;
   void collect_params(std::vector<Param*>& out) override;
+  void collect_linears(std::vector<Linear*>& out) override;
 
   std::int64_t in_features() const { return in_; }
   std::int64_t out_features() const { return out_; }
@@ -28,10 +43,38 @@ class Linear : public Module {
   Param& weight() { return w_; }
   Param& bias() { return *bias_; }
 
+  /// --- quantized inference mode -------------------------------------------
+
+  /// Quantize this layer's f32 weights into a q8_0 image (serving layout
+  /// W^T [out, in]) and switch forward to the fused q8 path. With
+  /// `drop_f32` (default) the f32 weight and grad tensors are released.
+  /// Returns the image so siblings can share it. Idempotent: an already
+  /// quantized layer returns its existing image.
+  std::shared_ptr<const kernels::QuantizedMat> quantize_weights(
+      bool drop_f32 = true);
+
+  /// Attach an externally built / shared image (shape must be [out, in]).
+  void set_quantized_weights(std::shared_ptr<const kernels::QuantizedMat> wq,
+                             bool drop_f32 = true);
+
+  bool quantized() const { return wq_ != nullptr; }
+  const std::shared_ptr<const kernels::QuantizedMat>& quantized_weights()
+      const {
+    return wq_;
+  }
+
+  /// Bytes of weight (+bias) storage this layer holds: f32 mode counts the
+  /// weight value; quantized mode counts the q8 image. Pass `shared_seen`
+  /// when summing across replicas so an image shared by several layers is
+  /// counted once (dedup key is the image pointer).
+  std::size_t weight_bytes(
+      std::unordered_set<const void*>* shared_seen = nullptr) const;
+
  private:
   std::int64_t in_, out_;
-  Param w_;                    ///< [in, out]
+  Param w_;                    ///< [in, out]; value undefined once quantized+dropped
   std::optional<Param> bias_;  ///< [out]
+  std::shared_ptr<const kernels::QuantizedMat> wq_;  ///< [out, in] image
   Tensor cached_x2d_;          ///< forward input flattened to [rows, in]
   std::vector<std::int64_t> cached_in_shape_;
 };

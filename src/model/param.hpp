@@ -14,6 +14,8 @@
 
 namespace orbit::model {
 
+class Linear;  // linear.hpp; referenced here for collect_linears
+
 /// One trainable tensor and its gradient accumulator.
 struct Param {
   std::string name;  ///< hierarchical, e.g. "block3.attn.wq"
@@ -47,10 +49,23 @@ class Module {
   /// Append pointers to this module's params (depth-first, stable order).
   virtual void collect_params(std::vector<Param*>& out) = 0;
 
+  /// Append pointers to this module's `Linear` sub-layers (same depth-first
+  /// order as collect_params). Composite modules forward to children;
+  /// leaf modules without Linears keep the empty default. Drives the
+  /// quantized-inference weight path (DESIGN.md §4f).
+  virtual void collect_linears(std::vector<Linear*>& out) { (void)out; }
+
   /// Convenience: materialised parameter list.
   std::vector<Param*> params() {
     std::vector<Param*> out;
     collect_params(out);
+    return out;
+  }
+
+  /// Convenience: materialised Linear-sub-layer list.
+  std::vector<Linear*> linears() {
+    std::vector<Linear*> out;
+    collect_linears(out);
     return out;
   }
 

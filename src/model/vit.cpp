@@ -34,6 +34,10 @@ void TransformerTower::collect_params(std::vector<Param*>& out) {
   for (auto& b : blocks_) b->collect_params(out);
 }
 
+void TransformerTower::collect_linears(std::vector<Linear*>& out) {
+  for (auto& b : blocks_) b->collect_linears(out);
+}
+
 void TransformerTower::set_checkpointing(bool on) {
   for (auto& b : blocks_) b->set_checkpointing(on);
 }
@@ -100,6 +104,10 @@ void PredictionHead::collect_params(std::vector<Param*>& out) {
   proj_->collect_params(out);
 }
 
+void PredictionHead::collect_linears(std::vector<Linear*>& out) {
+  proj_->collect_linears(out);
+}
+
 OrbitModel::OrbitModel(const VitConfig& cfg) : cfg_(cfg) {
   Rng rng(cfg.seed);
   patch_embed_ = std::make_unique<PatchEmbed>(
@@ -146,6 +154,41 @@ std::int64_t OrbitModel::param_count() {
 
 void OrbitModel::zero_grad() {
   for (Param* p : params()) p->zero_grad();
+}
+
+std::vector<Linear*> OrbitModel::linears() {
+  std::vector<Linear*> out;
+  patch_embed_->collect_linears(out);
+  agg_->collect_linears(out);
+  tower_->collect_linears(out);
+  head_->collect_linears(out);
+  return out;
+}
+
+void OrbitModel::quantize_weights() {
+  for (Linear* l : linears()) l->quantize_weights(/*drop_f32=*/true);
+}
+
+std::size_t OrbitModel::weight_memory_bytes(
+    std::unordered_set<const void*>* shared_seen) {
+  // Non-Linear params (LayerNorm gains, embeddings, ...) are always f32 and
+  // never shared; Linears report their own storage, deduping shared q8
+  // images via `shared_seen`.
+  std::vector<Linear*> ls = linears();
+  std::unordered_set<const Param*> linear_params;
+  std::vector<Param*> lp;
+  for (Linear* l : ls) l->collect_params(lp);
+  for (const Param* p : lp) linear_params.insert(p);
+
+  std::size_t bytes = 0;
+  for (Param* p : params()) {
+    if (linear_params.count(p) != 0) continue;
+    if (p->value.defined()) {
+      bytes += static_cast<std::size_t>(p->value.numel()) * sizeof(float);
+    }
+  }
+  for (Linear* l : ls) bytes += l->weight_bytes(shared_seen);
+  return bytes;
 }
 
 }  // namespace orbit::model

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstddef>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "model/block.hpp"
@@ -23,6 +25,7 @@ class TransformerTower : public Module {
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& dy) override;
   void collect_params(std::vector<Param*>& out) override;
+  void collect_linears(std::vector<Linear*>& out) override;
 
   std::int64_t layer_count() const {
     return static_cast<std::int64_t>(blocks_.size());
@@ -45,6 +48,7 @@ class PredictionHead : public Module {
   Tensor forward(const Tensor& x) override;    // [B,S,D] -> [B,C_out,H,W]
   Tensor backward(const Tensor& dy) override;  // -> [B,S,D]
   void collect_params(std::vector<Param*>& out) override;
+  void collect_linears(std::vector<Linear*>& out) override;
 
  private:
   VitConfig cfg_;
@@ -72,6 +76,21 @@ class OrbitModel {
   std::vector<Param*> params();
   std::int64_t param_count();
   void zero_grad();
+
+  /// Every Linear sub-layer, depth-first (same order on every identically
+  /// configured model — the contract the serve plane's weight sharing and
+  /// the quantized checkpoint loader rely on).
+  std::vector<Linear*> linears();
+
+  /// Quantize every Linear to q8_0 (dropping f32 weight/grad storage).
+  /// Inference-only afterwards: backward throws. DESIGN.md §4f.
+  void quantize_weights();
+
+  /// Bytes of parameter storage this model holds: defined f32 param values
+  /// plus quantized weight images. Pass `shared_seen` when summing across
+  /// replicas so a shared q8 image is counted once.
+  std::size_t weight_memory_bytes(
+      std::unordered_set<const void*>* shared_seen = nullptr);
 
   const VitConfig& config() const { return cfg_; }
   TransformerTower& tower() { return *tower_; }

@@ -4,8 +4,10 @@
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <unordered_set>
 #include <utility>
 
+#include "model/checkpoint_io.hpp"
 #include "model/rollout.hpp"
 #include "trace/trace.hpp"
 
@@ -34,6 +36,9 @@ ForecastServer::ForecastServer(const model::VitConfig& model_cfg,
     // Same config => same seed => bit-identical weights on every replica.
     replicas_.push_back(std::make_unique<model::OrbitModel>(model_cfg_));
   }
+  // Quantize before the workers exist — replicas are only safe to touch
+  // while no traffic can reach them.
+  if (cfg_.quantize_weights) quantize_replicas();
   workers_.reserve(static_cast<std::size_t>(cfg_.workers));
   for (int i = 0; i < cfg_.workers; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -193,6 +198,43 @@ void ForecastServer::run_batch(model::OrbitModel& m,
     }
     p.promise.set_value(std::move(r));
   }
+}
+
+void ForecastServer::quantize_replicas() {
+  // Replica 0 quantizes its own f32 weights; every other replica attaches
+  // the same images. Identical configs build identical models, so the
+  // depth-first Linear orders line up one-to-one.
+  std::vector<model::Linear*> base = replicas_.front()->linears();
+  for (model::Linear* l : base) l->quantize_weights(/*drop_f32=*/true);
+  for (std::size_t r = 1; r < replicas_.size(); ++r) {
+    std::vector<model::Linear*> ls = replicas_[r]->linears();
+    if (ls.size() != base.size()) {
+      throw std::logic_error("serve: replica Linear count mismatch");
+    }
+    for (std::size_t i = 0; i < ls.size(); ++i) {
+      ls[i]->set_quantized_weights(base[i]->quantized_weights(),
+                                   /*drop_f32=*/true);
+    }
+  }
+}
+
+void ForecastServer::load_quantized_weights(const std::string& path) {
+  // Read and validate once; apply the SAME staging images to every replica
+  // so they all share one weight allocation per Linear.
+  const model::QuantizedWeights qw = model::read_quantized_weights(path);
+  for (auto& replica : replicas_) {
+    std::vector<model::Param*> params = replica->params();
+    std::vector<model::Linear*> linears = replica->linears();
+    model::check_quantized_weights(qw, params, linears);
+    model::apply_quantized_weights(qw, params, linears);
+  }
+}
+
+std::size_t ForecastServer::weight_memory_bytes() {
+  std::unordered_set<const void*> seen;
+  std::size_t bytes = 0;
+  for (auto& replica : replicas_) bytes += replica->weight_memory_bytes(&seen);
+  return bytes;
 }
 
 void ForecastServer::shutdown() {

@@ -1,9 +1,11 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -33,6 +35,11 @@ struct ServerConfig {
   /// observed queue depth, so open-loop clients shed load at the door
   /// rather than stacking up blocked producer threads.
   bool reject_when_full = false;
+  /// Serve from q8_0 block-quantized weights (DESIGN.md §4f): every
+  /// replica's Linears share ONE quantized image per weight, so per-replica
+  /// weight memory shrinks ~3.6x and adding workers adds no weight memory.
+  /// Replicas become inference-only.
+  bool quantize_weights = false;
   BatcherConfig batcher;
 };
 
@@ -65,6 +72,23 @@ class ForecastServer {
   /// only users once serving starts; touch replicas only before traffic or
   /// after shutdown().
   model::OrbitModel& replica(int i) { return *replicas_[static_cast<std::size_t>(i)]; }
+
+  /// Quantize every replica's Linears to q8_0, with replica 0's images
+  /// shared by all others (identical configs construct identical weights,
+  /// so the depth-first Linear orders line up). Called by the constructor
+  /// when `ServerConfig::quantize_weights` is set; external callers must
+  /// only invoke it before traffic. Idempotent.
+  void quantize_replicas();
+
+  /// Load a q8_0 quantized weight file (checkpoint_io) into every replica,
+  /// transactionally; all replicas share the file's images. Call before
+  /// traffic only.
+  void load_quantized_weights(const std::string& path);
+
+  /// Total bytes of parameter storage across all replicas, counting each
+  /// shared quantized image once — the number the serve-plane memory
+  /// acceptance test pins down.
+  std::size_t weight_memory_bytes();
 
  private:
   void worker_loop(int worker_index);

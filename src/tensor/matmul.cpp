@@ -3,7 +3,13 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "kernels/kernels.hpp"
 #include "tensor/threadpool.hpp"
+
+/// All products below route through the runtime-dispatched microkernel
+/// table (`kernels::active()`, DESIGN.md §4f): one blocked inner loop per
+/// product shape, shared by the 2-D and batched entry points, with the
+/// threadpool parallelising over output row blocks exactly as before.
 
 namespace orbit {
 namespace {
@@ -12,39 +18,25 @@ void check2d(const Tensor& t, const char* who) {
   if (t.ndim() != 2) throw std::invalid_argument(std::string(who) + ": need 2-D");
 }
 
-/// Inner kernel: C[m,n] += A[m,k] * B[k,n] over the row range [r0, r1).
-/// i-k-j loop order keeps B row-contiguous in the inner loop, which
-/// auto-vectorises well and is cache-friendly without explicit packing.
-void gemm_rows(const float* a, const float* b, float* c, std::int64_t r0,
-               std::int64_t r1, std::int64_t k, std::int64_t n) {
-  constexpr std::int64_t kKBlock = 64;
-  for (std::int64_t kk = 0; kk < k; kk += kKBlock) {
-    const std::int64_t kend = std::min(k, kk + kKBlock);
-    for (std::int64_t i = r0; i < r1; ++i) {
-      const float* arow = a + i * k;
-      float* crow = c + i * n;
-      for (std::int64_t p = kk; p < kend; ++p) {
-        const float av = arow[p];
-        if (av == 0.0f) continue;
-        const float* brow = b + p * n;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
+/// Rank-1-update rows k0..k1 of C[k,n] += A[m,k]^T · B[m,n]: the shared
+/// inner loop of the tn products — one saxpy per (sample, output row).
+void gemm_tn_rows(const kernels::KernelTable& kt, const float* a,
+                  const float* b, float* c, std::int64_t k0, std::int64_t k1,
+                  std::int64_t m, std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    const float* brow = b + i * n;
+    for (std::int64_t p = k0; p < k1; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      kt.saxpy(n, av, brow, c + p * n);
     }
   }
 }
 
-/// C[m,n] += A[m,k] * B[n,k]^T over rows [r0, r1): dot products of rows.
-void gemm_nt_rows(const float* a, const float* b, float* c, std::int64_t r0,
-                  std::int64_t r1, std::int64_t k, std::int64_t n) {
-  for (std::int64_t i = r0; i < r1; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float acc = 0.0f;
-      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] += acc;
-    }
+void check_batched(const Tensor& a, const Tensor& b, const char* who) {
+  if (a.ndim() != 3 || b.ndim() != 3 || a.dim(0) != b.dim(0)) {
+    throw std::invalid_argument(std::string(who) + ": need matching 3-D batches");
   }
 }
 
@@ -71,12 +63,13 @@ void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c) {
   if (b.dim(0) != k || c.dim(0) != m || c.dim(1) != n) {
     throw std::invalid_argument("matmul_acc: shape mismatch");
   }
+  const kernels::KernelTable& kt = kernels::active();
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
   const std::int64_t grain = std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(1, n));
   parallel_for(m, grain, [&](std::int64_t r0, std::int64_t r1) {
-    gemm_rows(pa, pb, pc, r0, r1, k, n);
+    kt.gemm_rows(pa, pb, pc, r0, r1, k, n);
   });
 }
 
@@ -90,21 +83,13 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   // C[k,n] = sum_i A[i, :]^T outer B[i, :]. Parallelise over output row
   // blocks of k to avoid write conflicts.
   Tensor c = Tensor::zeros({k, n});
+  const kernels::KernelTable& kt = kernels::active();
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
   const std::int64_t grain = std::max<std::int64_t>(1, 2048 / std::max<std::int64_t>(1, n));
   parallel_for(k, grain, [&](std::int64_t k0, std::int64_t k1) {
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float* arow = pa + i * k;
-      const float* brow = pb + i * n;
-      for (std::int64_t p = k0; p < k1; ++p) {
-        const float av = arow[p];
-        if (av == 0.0f) continue;
-        float* crow = pc + p * n;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
+    gemm_tn_rows(kt, pa, pb, pc, k0, k1, m, k, n);
   });
   return c;
 }
@@ -117,37 +102,30 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
     throw std::invalid_argument("matmul_nt: inner dims must match");
   }
   Tensor c = Tensor::zeros({m, n});
+  const kernels::KernelTable& kt = kernels::active();
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
   const std::int64_t grain = std::max<std::int64_t>(1, 2048 / std::max<std::int64_t>(1, n));
   parallel_for(m, grain, [&](std::int64_t r0, std::int64_t r1) {
-    gemm_nt_rows(pa, pb, pc, r0, r1, k, n);
+    kt.gemm_nt_rows(pa, pb, pc, r0, r1, k, n);
   });
   return c;
 }
-
-namespace {
-
-void check_batched(const Tensor& a, const Tensor& b, const char* who) {
-  if (a.ndim() != 3 || b.ndim() != 3 || a.dim(0) != b.dim(0)) {
-    throw std::invalid_argument(std::string(who) + ": need matching 3-D batches");
-  }
-}
-
-}  // namespace
 
 Tensor matmul_batched(const Tensor& a, const Tensor& b) {
   check_batched(a, b, "matmul_batched");
   const std::int64_t bs = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(2);
   if (b.dim(1) != k) throw std::invalid_argument("matmul_batched: inner dims");
   Tensor c = Tensor::zeros({bs, m, n});
+  const kernels::KernelTable& kt = kernels::active();
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
   parallel_for(bs, 1, [&](std::int64_t b0, std::int64_t b1) {
     for (std::int64_t bi = b0; bi < b1; ++bi) {
-      gemm_rows(pa + bi * m * k, pb + bi * k * n, pc + bi * m * n, 0, m, k, n);
+      kt.gemm_rows(pa + bi * m * k, pb + bi * k * n, pc + bi * m * n, 0, m, k,
+                   n);
     }
   });
   return c;
@@ -158,12 +136,14 @@ Tensor matmul_nt_batched(const Tensor& a, const Tensor& b) {
   const std::int64_t bs = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(1);
   if (b.dim(2) != k) throw std::invalid_argument("matmul_nt_batched: inner dims");
   Tensor c = Tensor::zeros({bs, m, n});
+  const kernels::KernelTable& kt = kernels::active();
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
   parallel_for(bs, 1, [&](std::int64_t b0, std::int64_t b1) {
     for (std::int64_t bi = b0; bi < b1; ++bi) {
-      gemm_nt_rows(pa + bi * m * k, pb + bi * n * k, pc + bi * m * n, 0, m, k, n);
+      kt.gemm_nt_rows(pa + bi * m * k, pb + bi * n * k, pc + bi * m * n, 0, m,
+                      k, n);
     }
   });
   return c;
@@ -174,24 +154,14 @@ Tensor matmul_tn_batched(const Tensor& a, const Tensor& b) {
   const std::int64_t bs = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(2);
   if (b.dim(1) != m) throw std::invalid_argument("matmul_tn_batched: leading dims");
   Tensor c = Tensor::zeros({bs, k, n});
+  const kernels::KernelTable& kt = kernels::active();
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
   parallel_for(bs, 1, [&](std::int64_t b0, std::int64_t b1) {
     for (std::int64_t bi = b0; bi < b1; ++bi) {
-      const float* abat = pa + bi * m * k;
-      const float* bbat = pb + bi * m * n;
-      float* cbat = pc + bi * k * n;
-      for (std::int64_t i = 0; i < m; ++i) {
-        const float* arow = abat + i * k;
-        const float* brow = bbat + i * n;
-        for (std::int64_t p = 0; p < k; ++p) {
-          const float av = arow[p];
-          if (av == 0.0f) continue;
-          float* crow = cbat + p * n;
-          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
-      }
+      gemm_tn_rows(kt, pa + bi * m * k, pb + bi * m * n, pc + bi * k * n, 0, k,
+                   m, k, n);
     }
   });
   return c;

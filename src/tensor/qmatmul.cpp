@@ -1,0 +1,69 @@
+#include "tensor/qmatmul.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tensor/threadpool.hpp"
+
+namespace orbit {
+
+kernels::QuantizedMat quantize_q8(const Tensor& t) {
+  if (t.ndim() != 2) {
+    throw std::invalid_argument("quantize_q8: need 2-D, got " + t.shape_str());
+  }
+  return kernels::quantize_q8(t.data(), t.dim(0), t.dim(1));
+}
+
+Tensor dequantize_q8(const kernels::QuantizedMat& m) {
+  if (!m.defined()) {
+    throw std::invalid_argument("dequantize_q8: undefined QuantizedMat");
+  }
+  Tensor t = Tensor::empty({m.rows(), m.cols()});
+  kernels::dequantize_q8(m, t.data());
+  return t;
+}
+
+Tensor matmul_q8_nt(const Tensor& a, const kernels::QuantizedMat& b) {
+  if (a.ndim() != 2) {
+    throw std::invalid_argument("matmul_q8_nt: need 2-D, got " +
+                                a.shape_str());
+  }
+  if (!b.defined() || a.dim(1) != b.cols()) {
+    throw std::invalid_argument(
+        "matmul_q8_nt: inner dims " + a.shape_str() + " x [" +
+        std::to_string(b.rows()) + ", " + std::to_string(b.cols()) + "]^T");
+  }
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.rows();
+  Tensor c = Tensor::empty({m, n});
+  const kernels::KernelTable& kt = kernels::active();
+  const float* pa = a.data();
+  float* pc = c.data();
+  if (m >= n) {
+    // Many activation rows (training-style batches): split rows.
+    parallel_for(m, 1, [&](std::int64_t r0, std::int64_t r1) {
+      for (std::int64_t i = r0; i < r1; ++i) {
+        const float* arow = pa + i * k;
+        float* crow = pc + i * n;
+        for (std::int64_t j = 0; j < n; ++j) {
+          crow[j] = kt.q8_dot(k, b.row(j), arow);
+        }
+      }
+    });
+  } else {
+    // Few rows, many output features (single-token serving): split the
+    // weight rows so every pool worker still gets a slab.
+    const std::int64_t grain = std::max<std::int64_t>(1, 512 / std::max<std::int64_t>(1, m));
+    parallel_for(n, grain, [&](std::int64_t j0, std::int64_t j1) {
+      for (std::int64_t i = 0; i < m; ++i) {
+        const float* arow = pa + i * k;
+        float* crow = pc + i * n;
+        for (std::int64_t j = j0; j < j1; ++j) {
+          crow[j] = kt.q8_dot(k, b.row(j), arow);
+        }
+      }
+    });
+  }
+  return c;
+}
+
+}  // namespace orbit

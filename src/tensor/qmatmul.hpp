@@ -1,0 +1,28 @@
+#pragma once
+
+#include "kernels/q8.hpp"
+#include "tensor/tensor.hpp"
+
+/// \file qmatmul.hpp
+/// Tensor-level entry points for the q8_0 block-quantized inference path
+/// (DESIGN.md §4f). Weights quantize once (per-32-element f32 scale +
+/// int8 codes, stored transposed so the contraction dimension is
+/// block-contiguous); the hot call is the fused q8·f32 product, which
+/// dequantizes on the fly inside the dispatch-selected microkernel.
+
+namespace orbit {
+
+/// Quantize a 2-D [rows, cols] tensor row-wise into q8_0 blocks.
+kernels::QuantizedMat quantize_q8(const Tensor& t);
+
+/// Dequantize back to a [rows, cols] f32 tensor (lossy round trip: the
+/// per-block absolute error is bounded by scale/2).
+Tensor dequantize_q8(const kernels::QuantizedMat& m);
+
+/// C[m,n] = A[m,k] · Wq^T for quantized Wq[n,k] (the serving layout of a
+/// Linear weight: row j holds output feature j's weights along the
+/// contraction dimension). Threadpool-parallel over whichever output
+/// dimension is larger.
+Tensor matmul_q8_nt(const Tensor& a, const kernels::QuantizedMat& b);
+
+}  // namespace orbit

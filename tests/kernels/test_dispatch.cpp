@@ -1,0 +1,119 @@
+#include "kernels/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace orbit::kernels {
+namespace {
+
+/// Restores the dispatch level a test mutated, so tests stay independent.
+class IsaGuard {
+ public:
+  IsaGuard() : saved_(active_isa()) {}
+  ~IsaGuard() { set_isa(saved_); }
+
+ private:
+  Isa saved_;
+};
+
+TEST(KernelDispatch, ScalarAlwaysAvailable) {
+  EXPECT_TRUE(isa_available(Isa::kScalar));
+  const std::vector<Isa> avail = available_isas();
+  ASSERT_FALSE(avail.empty());
+  EXPECT_EQ(avail.front(), Isa::kScalar);
+}
+
+TEST(KernelDispatch, BestIsaIsAvailable) {
+  EXPECT_TRUE(isa_available(detect_best_isa()));
+}
+
+TEST(KernelDispatch, ParseIsaRoundTrips) {
+  EXPECT_EQ(parse_isa("scalar"), Isa::kScalar);
+  EXPECT_EQ(parse_isa("avx2"), Isa::kAvx2);
+  EXPECT_EQ(parse_isa("avx512"), Isa::kAvx512);
+  for (Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512}) {
+    EXPECT_EQ(parse_isa(isa_name(isa)), isa);
+  }
+}
+
+TEST(KernelDispatch, ParseIsaRejectsUnknown) {
+  EXPECT_THROW(parse_isa(""), std::invalid_argument);
+  EXPECT_THROW(parse_isa("AVX2"), std::invalid_argument);  // case-sensitive
+  EXPECT_THROW(parse_isa("bogus"), std::invalid_argument);
+  EXPECT_THROW(parse_isa("avx512 "), std::invalid_argument);
+}
+
+TEST(KernelDispatch, ResolveEnvIsaIsStrict) {
+  // An unknown value must raise (never silently fall back) and the error
+  // must name the variable and the offending value.
+  try {
+    resolve_env_isa("bogus");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ORBIT_KERNELS"), std::string::npos) << what;
+    EXPECT_NE(what.find("bogus"), std::string::npos) << what;
+  }
+  EXPECT_THROW(resolve_env_isa(""), std::runtime_error);
+  EXPECT_THROW(resolve_env_isa(nullptr), std::runtime_error);
+}
+
+TEST(KernelDispatch, ResolveEnvIsaAcceptsAvailableLevels) {
+  for (Isa isa : available_isas()) {
+    EXPECT_EQ(resolve_env_isa(isa_name(isa)), isa);
+  }
+}
+
+TEST(KernelDispatch, ResolveEnvIsaRejectsUnavailableLevels) {
+  // On hosts without AVX-512 (or builds without the flags), asking for it
+  // must throw rather than degrade to another level.
+  if (!isa_available(Isa::kAvx512)) {
+    EXPECT_THROW(resolve_env_isa("avx512"), std::runtime_error);
+  }
+  if (!isa_available(Isa::kAvx2)) {
+    EXPECT_THROW(resolve_env_isa("avx2"), std::runtime_error);
+  }
+}
+
+TEST(KernelDispatch, SetIsaSwitchesActiveLevel) {
+  IsaGuard guard;
+  for (Isa isa : available_isas()) {
+    set_isa(isa);
+    EXPECT_EQ(active_isa(), isa);
+    // The active table must be exactly the per-level table.
+    EXPECT_EQ(&active(), &table(isa));
+  }
+}
+
+TEST(KernelDispatch, SetIsaRejectsUnavailableLevels) {
+  if (!isa_available(Isa::kAvx512)) {
+    EXPECT_THROW(set_isa(Isa::kAvx512), std::runtime_error);
+  }
+  if (!isa_available(Isa::kAvx2)) {
+    EXPECT_THROW(set_isa(Isa::kAvx2), std::runtime_error);
+  }
+}
+
+TEST(KernelDispatch, TablesArePopulated) {
+  for (Isa isa : available_isas()) {
+    const KernelTable& kt = table(isa);
+    EXPECT_NE(kt.gemm_rows, nullptr) << isa_name(isa);
+    EXPECT_NE(kt.gemm_nt_rows, nullptr) << isa_name(isa);
+    EXPECT_NE(kt.saxpy, nullptr) << isa_name(isa);
+    EXPECT_NE(kt.dot, nullptr) << isa_name(isa);
+    EXPECT_NE(kt.q8_dot, nullptr) << isa_name(isa);
+  }
+}
+
+TEST(KernelDispatch, TableThrowsForUnavailableLevels) {
+  if (!isa_available(Isa::kAvx512)) {
+    EXPECT_THROW(table(Isa::kAvx512), std::runtime_error);
+  }
+  if (!isa_available(Isa::kAvx2)) {
+    EXPECT_THROW(table(Isa::kAvx2), std::runtime_error);
+  }
+}
+
+}  // namespace
+}  // namespace orbit::kernels

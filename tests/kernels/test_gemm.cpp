@@ -1,0 +1,225 @@
+#include "kernels/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "tensor/matmul.hpp"
+#include "tensor/tensor.hpp"
+
+namespace orbit::kernels {
+namespace {
+
+std::vector<float> random_vec(std::size_t n, std::uint32_t seed) {
+  std::mt19937 gen(seed);
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  std::vector<float> v(n);
+  for (float& x : v) x = dist(gen);
+  return v;
+}
+
+/// Triple-loop double-accumulator reference for C += A·B.
+std::vector<float> ref_gemm(const std::vector<float>& a,
+                            const std::vector<float>& b, std::int64_t m,
+                            std::int64_t k, std::int64_t n) {
+  std::vector<float> c(static_cast<std::size_t>(m * n), 0.0f);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a[static_cast<std::size_t>(i * k + p)]) *
+               static_cast<double>(b[static_cast<std::size_t>(p * n + j)]);
+      }
+      c[static_cast<std::size_t>(i * n + j)] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+/// Reference for C += A·B^T with B stored [n, k].
+std::vector<float> ref_gemm_nt(const std::vector<float>& a,
+                               const std::vector<float>& b, std::int64_t m,
+                               std::int64_t k, std::int64_t n) {
+  std::vector<float> c(static_cast<std::size_t>(m * n), 0.0f);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a[static_cast<std::size_t>(i * k + p)]) *
+               static_cast<double>(b[static_cast<std::size_t>(j * k + p)]);
+      }
+      c[static_cast<std::size_t>(i * n + j)] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+float tol_for(std::int64_t k) {
+  // f32 accumulation error grows with the contraction length.
+  return 1e-5f * std::max<float>(1.0f, static_cast<float>(k)) * 0.5f + 1e-6f;
+}
+
+/// The tail shapes the blocked kernels must get right: below one SIMD
+/// vector, below one register tile, one past a vector/tile boundary, and
+/// assorted non-multiples of 8 and 16.
+struct Shape {
+  std::int64_t m, k, n;
+};
+const Shape kTailShapes[] = {
+    {1, 1, 1},    {1, 1, 5},    {3, 5, 7},    {2, 3, 1},   {4, 32, 8},
+    {5, 17, 9},   {7, 33, 13},  {8, 64, 16},  {9, 65, 17}, {33, 33, 33},
+    {65, 65, 65}, {16, 31, 31}, {13, 100, 3}, {1, 257, 2}, {6, 512, 5},
+};
+
+class GemmAllIsas : public ::testing::TestWithParam<int> {
+ public:
+  static Isa param_isa() { return static_cast<Isa>(GetParam()); }
+  void SetUp() override {
+    if (!isa_available(param_isa())) {
+      GTEST_SKIP() << isa_name(param_isa()) << " not available on this host";
+    }
+  }
+};
+
+TEST_P(GemmAllIsas, GemmRowsMatchesReferenceOnTailShapes) {
+  const KernelTable& kt = table(param_isa());
+  std::uint32_t seed = 7;
+  for (const Shape& s : kTailShapes) {
+    const auto a = random_vec(static_cast<std::size_t>(s.m * s.k), seed++);
+    const auto b = random_vec(static_cast<std::size_t>(s.k * s.n), seed++);
+    std::vector<float> c(static_cast<std::size_t>(s.m * s.n), 0.0f);
+    kt.gemm_rows(a.data(), b.data(), c.data(), 0, s.m, s.k, s.n);
+    const auto want = ref_gemm(a, b, s.m, s.k, s.n);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      ASSERT_NEAR(c[i], want[i], tol_for(s.k))
+          << isa_name(param_isa()) << " [" << s.m << "," << s.k << "," << s.n
+          << "] element " << i;
+    }
+  }
+}
+
+TEST_P(GemmAllIsas, GemmNtRowsMatchesReferenceOnTailShapes) {
+  const KernelTable& kt = table(param_isa());
+  std::uint32_t seed = 77;
+  for (const Shape& s : kTailShapes) {
+    const auto a = random_vec(static_cast<std::size_t>(s.m * s.k), seed++);
+    const auto b = random_vec(static_cast<std::size_t>(s.n * s.k), seed++);
+    std::vector<float> c(static_cast<std::size_t>(s.m * s.n), 0.0f);
+    kt.gemm_nt_rows(a.data(), b.data(), c.data(), 0, s.m, s.k, s.n);
+    const auto want = ref_gemm_nt(a, b, s.m, s.k, s.n);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      ASSERT_NEAR(c[i], want[i], tol_for(s.k))
+          << isa_name(param_isa()) << " [" << s.m << "," << s.k << "," << s.n
+          << "] element " << i;
+    }
+  }
+}
+
+TEST_P(GemmAllIsas, GemmRowsAccumulatesIntoC) {
+  // The contract is C +=, not C =: pre-filled output must be added to.
+  const KernelTable& kt = table(param_isa());
+  const std::int64_t m = 5, k = 33, n = 9;
+  const auto a = random_vec(static_cast<std::size_t>(m * k), 3);
+  const auto b = random_vec(static_cast<std::size_t>(k * n), 4);
+  std::vector<float> c(static_cast<std::size_t>(m * n), 2.5f);
+  kt.gemm_rows(a.data(), b.data(), c.data(), 0, m, k, n);
+  const auto want = ref_gemm(a, b, m, k, n);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    ASSERT_NEAR(c[i], want[i] + 2.5f, tol_for(k));
+  }
+}
+
+TEST_P(GemmAllIsas, GemmRowsHonoursRowRange) {
+  // Only rows [r0, r1) may be written — the parallel_for splitting contract.
+  const KernelTable& kt = table(param_isa());
+  const std::int64_t m = 8, k = 17, n = 11;
+  const auto a = random_vec(static_cast<std::size_t>(m * k), 5);
+  const auto b = random_vec(static_cast<std::size_t>(k * n), 6);
+  std::vector<float> c(static_cast<std::size_t>(m * n), 0.0f);
+  kt.gemm_rows(a.data(), b.data(), c.data(), 3, 6, k, n);
+  const auto want = ref_gemm(a, b, m, k, n);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      const std::size_t idx = static_cast<std::size_t>(i * n + j);
+      if (i >= 3 && i < 6) {
+        ASSERT_NEAR(c[idx], want[idx], tol_for(k));
+      } else {
+        ASSERT_EQ(c[idx], 0.0f) << "row " << i << " written outside range";
+      }
+    }
+  }
+}
+
+TEST_P(GemmAllIsas, SaxpyAndDotMatchReference) {
+  const KernelTable& kt = table(param_isa());
+  for (std::int64_t n : {1, 7, 8, 9, 16, 31, 33, 65, 100}) {
+    const auto x = random_vec(static_cast<std::size_t>(n), 11);
+    auto y = random_vec(static_cast<std::size_t>(n), 12);
+    const auto y0 = y;
+    kt.saxpy(n, 0.75f, x.data(), y.data());
+    double ref_dot = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::size_t u = static_cast<std::size_t>(i);
+      ASSERT_NEAR(y[u], y0[u] + 0.75f * x[u], 1e-6f) << "n=" << n;
+      ref_dot += static_cast<double>(x[u]) * static_cast<double>(y0[u]);
+    }
+    EXPECT_NEAR(kt.dot(n, x.data(), y0.data()),
+                static_cast<float>(ref_dot), tol_for(n))
+        << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIsas, GemmAllIsas,
+    ::testing::Values(static_cast<int>(Isa::kScalar),
+                      static_cast<int>(Isa::kAvx2),
+                      static_cast<int>(Isa::kAvx512)),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return isa_name(static_cast<Isa>(info.param));
+    });
+
+TEST(GemmCrossIsa, SimdLevelsMatchScalarWithin1e5) {
+  // Acceptance bound from DESIGN.md §4f: every dispatch level computes the
+  // same 256x256 product as scalar to within 1e-5 per element.
+  const std::int64_t m = 256, k = 256, n = 256;
+  const auto a = random_vec(static_cast<std::size_t>(m * k), 21);
+  const auto b = random_vec(static_cast<std::size_t>(k * n), 22);
+  std::vector<float> scalar_c(static_cast<std::size_t>(m * n), 0.0f);
+  detail::scalar_table().gemm_rows(a.data(), b.data(), scalar_c.data(), 0, m,
+                                   k, n);
+  for (Isa isa : available_isas()) {
+    if (isa == Isa::kScalar) continue;
+    std::vector<float> c(static_cast<std::size_t>(m * n), 0.0f);
+    table(isa).gemm_rows(a.data(), b.data(), c.data(), 0, m, k, n);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      ASSERT_NEAR(c[i], scalar_c[i], 1e-5f * static_cast<float>(k) / 16.0f)
+          << isa_name(isa) << " element " << i;
+    }
+  }
+}
+
+TEST(GemmCrossIsa, TensorMatmulAgreesAcrossDispatchLevels) {
+  // The tensor entry points route through the active table; sweeping
+  // set_isa over the available levels must not change results beyond
+  // accumulation-order noise.
+  const Isa saved = active_isa();
+  Rng rng(99);
+  Tensor a = Tensor::randn({33, 65}, rng);
+  Tensor b = Tensor::randn({65, 17}, rng);
+  set_isa(Isa::kScalar);
+  Tensor want = matmul(a, b);
+  for (Isa isa : available_isas()) {
+    set_isa(isa);
+    Tensor got = matmul(a, b);
+    for (std::int64_t i = 0; i < want.numel(); ++i) {
+      ASSERT_NEAR(got.data()[i], want.data()[i], 1e-4f) << isa_name(isa);
+    }
+  }
+  set_isa(saved);
+}
+
+}  // namespace
+}  // namespace orbit::kernels

@@ -1,0 +1,246 @@
+#include "kernels/q8.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "tensor/matmul.hpp"
+#include "tensor/qmatmul.hpp"
+#include "tensor/tensor.hpp"
+
+namespace orbit::kernels {
+namespace {
+
+std::vector<float> random_vec(std::size_t n, std::uint32_t seed,
+                              float stddev = 1.0f) {
+  std::mt19937 gen(seed);
+  std::normal_distribution<float> dist(0.0f, stddev);
+  std::vector<float> v(n);
+  for (float& x : v) x = dist(gen);
+  return v;
+}
+
+/// Per-block q8_0 error bound: |x - dequant(x)| <= scale/2 where
+/// scale = amax(block)/127 (rounding to the nearest int8 step).
+void expect_round_trip_within_bound(const std::vector<float>& src) {
+  const std::int64_t n = static_cast<std::int64_t>(src.size());
+  const std::int64_t nb = (n + kQ8BlockSize - 1) / kQ8BlockSize;
+  std::vector<BlockQ8> blocks(static_cast<std::size_t>(nb));
+  quantize_row_q8(src.data(), n, blocks.data());
+  std::vector<float> back(src.size(), 0.0f);
+  dequantize_row_q8(blocks.data(), n, back.data());
+  for (std::int64_t b = 0; b < nb; ++b) {
+    const std::int64_t lo = b * kQ8BlockSize;
+    const std::int64_t hi = std::min<std::int64_t>(n, lo + kQ8BlockSize);
+    float amax = 0.0f;
+    for (std::int64_t i = lo; i < hi; ++i) {
+      amax = std::max(amax, std::fabs(src[static_cast<std::size_t>(i)]));
+    }
+    const float bound = amax / 127.0f / 2.0f + 1e-7f;
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const std::size_t u = static_cast<std::size_t>(i);
+      ASSERT_NEAR(back[u], src[u], bound)
+          << "block " << b << " element " << i << " (n=" << n << ")";
+    }
+  }
+}
+
+TEST(Q8Quantize, RoundTripWithinHalfScalePerBlock) {
+  for (std::int64_t n : {1, 7, 31, 32, 33, 64, 100, 256, 300}) {
+    expect_round_trip_within_bound(
+        random_vec(static_cast<std::size_t>(n), 31 + static_cast<std::uint32_t>(n)));
+  }
+}
+
+TEST(Q8Quantize, AdversarialDynamicRange) {
+  // One huge value per block forces a coarse scale; the bound must still
+  // hold (small values inside that block quantize to zero, which IS within
+  // scale/2). Mixed-magnitude blocks are the format's worst case.
+  std::vector<float> src = random_vec(128, 41, 1e-3f);
+  src[5] = 1e6f;
+  src[40] = -3e4f;
+  src[70] = 2.5e5f;
+  src[127] = -1e-8f;
+  expect_round_trip_within_bound(src);
+}
+
+TEST(Q8Quantize, AllZeroBlockIsExact) {
+  std::vector<float> src(64, 0.0f);
+  std::vector<BlockQ8> blocks(2);
+  quantize_row_q8(src.data(), 64, blocks.data());
+  EXPECT_EQ(blocks[0].scale, 0.0f);
+  EXPECT_EQ(blocks[1].scale, 0.0f);
+  std::vector<float> back(64, 1.0f);
+  dequantize_row_q8(blocks.data(), 64, back.data());
+  for (float v : back) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Q8Quantize, ExtremesHitFullInt8Range) {
+  // amax must map to ±127 exactly — the scale definition.
+  std::vector<float> src(32, 0.0f);
+  src[0] = 4.0f;
+  src[1] = -4.0f;
+  src[2] = 2.0f;
+  std::vector<BlockQ8> blocks(1);
+  quantize_row_q8(src.data(), 32, blocks.data());
+  EXPECT_FLOAT_EQ(blocks[0].scale, 4.0f / 127.0f);
+  EXPECT_EQ(blocks[0].q[0], 127);
+  EXPECT_EQ(blocks[0].q[1], -127);
+}
+
+TEST(Q8Quantize, MatrixRoundTripAndByteSize) {
+  const std::int64_t rows = 5, cols = 70;  // 3 blocks per row, padded tail
+  const auto src =
+      random_vec(static_cast<std::size_t>(rows * cols), 51);
+  QuantizedMat m = quantize_q8(src.data(), rows, cols);
+  EXPECT_EQ(m.rows(), rows);
+  EXPECT_EQ(m.cols(), cols);
+  EXPECT_EQ(m.row_blocks(), 3);
+  EXPECT_EQ(m.byte_size(), static_cast<std::size_t>(rows * 3) * sizeof(BlockQ8));
+  std::vector<float> back(src.size(), 0.0f);
+  dequantize_q8(m, back.data());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    ASSERT_NEAR(back[i], src[i], std::fabs(src[i]) * 0.01f + 0.05f);
+  }
+}
+
+TEST(Q8Quantize, CompressionRatioIsAbove3x) {
+  // 32 f32 = 128 bytes become one 36-byte block: 3.56x. The serve-plane
+  // memory acceptance test builds on this per-block ratio.
+  QuantizedMat m(64, 256);
+  const std::size_t f32_bytes = 64 * 256 * sizeof(float);
+  EXPECT_GT(static_cast<double>(f32_bytes) /
+                static_cast<double>(m.byte_size()),
+            3.0);
+}
+
+TEST(Q8Quantize, RejectsNonPositiveDims) {
+  EXPECT_THROW(QuantizedMat(0, 4), std::invalid_argument);
+  EXPECT_THROW(QuantizedMat(4, 0), std::invalid_argument);
+  EXPECT_THROW(QuantizedMat(-1, 4), std::invalid_argument);
+}
+
+class Q8DotAllIsas : public ::testing::TestWithParam<int> {
+ public:
+  static Isa param_isa() { return static_cast<Isa>(GetParam()); }
+  void SetUp() override {
+    if (!isa_available(param_isa())) {
+      GTEST_SKIP() << isa_name(param_isa()) << " not available on this host";
+    }
+  }
+};
+
+TEST_P(Q8DotAllIsas, MatchesDequantizedReference) {
+  // The fused kernel must equal dot(dequantize(w), x) up to f32
+  // accumulation noise — quantization error itself cancels out of this
+  // comparison because both sides see the same int8 codes.
+  const KernelTable& kt = table(param_isa());
+  for (std::int64_t k : {1, 31, 32, 33, 64, 100, 256, 300}) {
+    const auto w = random_vec(static_cast<std::size_t>(k),
+                              61 + static_cast<std::uint32_t>(k));
+    const auto x = random_vec(static_cast<std::size_t>(k),
+                              62 + static_cast<std::uint32_t>(k));
+    const std::int64_t nb = (k + kQ8BlockSize - 1) / kQ8BlockSize;
+    std::vector<BlockQ8> blocks(static_cast<std::size_t>(nb));
+    quantize_row_q8(w.data(), k, blocks.data());
+    std::vector<float> wd(static_cast<std::size_t>(k), 0.0f);
+    dequantize_row_q8(blocks.data(), k, wd.data());
+    double want = 0.0;
+    for (std::int64_t i = 0; i < k; ++i) {
+      const std::size_t u = static_cast<std::size_t>(i);
+      want += static_cast<double>(wd[u]) * static_cast<double>(x[u]);
+    }
+    const float got = kt.q8_dot(k, blocks.data(), x.data());
+    EXPECT_NEAR(got, static_cast<float>(want),
+                1e-5f * static_cast<float>(k) + 1e-5f)
+        << isa_name(param_isa()) << " k=" << k;
+  }
+}
+
+TEST_P(Q8DotAllIsas, AdversarialDynamicRangeStaysBounded) {
+  const KernelTable& kt = table(param_isa());
+  const std::int64_t k = 96;
+  auto w = random_vec(static_cast<std::size_t>(k), 71, 1e-3f);
+  w[3] = 5e4f;   // coarse scale in block 0
+  w[60] = -7e3f; // and block 1
+  const auto x = random_vec(static_cast<std::size_t>(k), 72);
+  std::vector<BlockQ8> blocks(3);
+  quantize_row_q8(w.data(), k, blocks.data());
+  std::vector<float> wd(static_cast<std::size_t>(k), 0.0f);
+  dequantize_row_q8(blocks.data(), k, wd.data());
+  double want = 0.0;
+  for (std::int64_t i = 0; i < k; ++i) {
+    const std::size_t u = static_cast<std::size_t>(i);
+    want += static_cast<double>(wd[u]) * static_cast<double>(x[u]);
+  }
+  // Relative tolerance scaled to the magnitudes in play.
+  EXPECT_NEAR(kt.q8_dot(k, blocks.data(), x.data()),
+              static_cast<float>(want), std::fabs(want) * 1e-5 + 1e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIsas, Q8DotAllIsas,
+    ::testing::Values(static_cast<int>(Isa::kScalar),
+                      static_cast<int>(Isa::kAvx2),
+                      static_cast<int>(Isa::kAvx512)),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return isa_name(static_cast<Isa>(info.param));
+    });
+
+TEST(Q8Matmul, TensorEntryPointMatchesF32MatmulWithinQuantError) {
+  // a[m,k] · W^T with W quantized row-wise: the result must track the f32
+  // product within the accumulated per-block bound, under every dispatch
+  // level.
+  const Isa saved = active_isa();
+  Rng rng(7);
+  const std::int64_t m = 9, k = 70, n = 13;
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor wt = Tensor::randn({n, k}, rng);  // serving layout [out, in]
+  QuantizedMat wq = orbit::quantize_q8(wt);
+  Tensor want = matmul_nt(a, wt);
+  for (Isa isa : available_isas()) {
+    set_isa(isa);
+    Tensor got = matmul_q8_nt(a, wq);
+    ASSERT_EQ(got.shape(), want.shape());
+    for (std::int64_t i = 0; i < got.numel(); ++i) {
+      // Each of k products can be off by ~scale/2 * |x|; scale ~ 3/127.
+      ASSERT_NEAR(got.data()[i], want.data()[i], 0.05f * std::sqrt(static_cast<float>(k)))
+          << isa_name(isa) << " element " << i;
+    }
+  }
+  set_isa(saved);
+}
+
+TEST(Q8Matmul, DispatchLevelsAgreeBitForBitOnCodes) {
+  // Different ISAs see the same int8 codes, so cross-level disagreement is
+  // pure accumulation-order noise: tight 1e-4 bound.
+  Rng rng(17);
+  const std::int64_t m = 33, k = 65, n = 9;
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor wt = Tensor::randn({n, k}, rng);
+  QuantizedMat wq = orbit::quantize_q8(wt);
+  const Isa saved = active_isa();
+  set_isa(Isa::kScalar);
+  Tensor want = matmul_q8_nt(a, wq);
+  for (Isa isa : available_isas()) {
+    set_isa(isa);
+    Tensor got = matmul_q8_nt(a, wq);
+    for (std::int64_t i = 0; i < got.numel(); ++i) {
+      ASSERT_NEAR(got.data()[i], want.data()[i], 1e-4f) << isa_name(isa);
+    }
+  }
+  set_isa(saved);
+}
+
+TEST(Q8Matmul, QuantizeRejectsNonMatrix) {
+  Rng rng(3);
+  EXPECT_THROW(orbit::quantize_q8(Tensor::randn({2, 3, 4}, rng)),
+               std::invalid_argument);
+  EXPECT_THROW(orbit::quantize_q8(Tensor()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace orbit::kernels

@@ -126,5 +126,107 @@ TEST(Linear, XavierInitScale) {
   EXPECT_NEAR(var, 1.0 / 256.0, 0.3 / 256.0);
 }
 
+TEST(LinearQuantized, ForwardTracksF32WithinQuantError) {
+  Rng rng(11);
+  Linear f32("l", 64, 48, rng);
+  Rng rng2(11);
+  Linear q8("l", 64, 48, rng2);  // same seed => identical weights
+  Tensor x = Tensor::randn({5, 64}, rng);
+  Tensor want = f32.forward(x);
+  q8.quantize_weights();
+  Tensor got = q8.forward(x);
+  ASSERT_EQ(got.shape(), want.shape());
+  // Per-element quantization noise: k=64 terms, each off by ~scale/2 with
+  // Xavier-scale weights (~0.13 amax => scale ~1e-3).
+  EXPECT_LT(max_abs_diff(got, want), 0.05f);
+}
+
+TEST(LinearQuantized, SupportsRank3InputAndBias) {
+  Rng rng(12);
+  Linear lin("l", 33, 7, rng);  // non-multiple of the 32-wide q8 block
+  Tensor x = Tensor::randn({2, 3, 33}, rng);
+  Tensor want = lin.forward(x);
+  lin.quantize_weights();
+  Tensor got = lin.forward(x);
+  ASSERT_EQ(got.shape(), want.shape());
+  EXPECT_LT(max_abs_diff(got, want), 0.05f);
+}
+
+TEST(LinearQuantized, BackwardThrowsAndWeightsDrop) {
+  Rng rng(13);
+  Linear lin("l", 16, 8, rng);
+  lin.quantize_weights();
+  EXPECT_TRUE(lin.quantized());
+  EXPECT_FALSE(lin.weight().value.defined()) << "f32 weights must be dropped";
+  Tensor x = Tensor::randn({2, 16}, rng);
+  lin.forward(x);
+  EXPECT_THROW(lin.backward(Tensor::zeros({2, 8})), std::logic_error);
+}
+
+TEST(LinearQuantized, KeepF32WhenAskedTo) {
+  Rng rng(14);
+  Linear lin("l", 16, 8, rng);
+  lin.quantize_weights(/*drop_f32=*/false);
+  EXPECT_TRUE(lin.quantized());
+  EXPECT_TRUE(lin.weight().value.defined());
+}
+
+TEST(LinearQuantized, QuantizeIsIdempotent) {
+  Rng rng(15);
+  Linear lin("l", 32, 8, rng);
+  auto img1 = lin.quantize_weights();
+  auto img2 = lin.quantize_weights();
+  EXPECT_EQ(img1.get(), img2.get());
+}
+
+TEST(LinearQuantized, SharedImageGivesIdenticalOutputs) {
+  Rng rng(16);
+  Linear a("l", 40, 12, rng);
+  Rng rng2(16);
+  Linear b("l", 40, 12, rng2);
+  auto img = a.quantize_weights();
+  b.set_quantized_weights(img);
+  EXPECT_EQ(a.quantized_weights().get(), b.quantized_weights().get());
+  Tensor x = Tensor::randn({3, 40}, rng);
+  // Same image + same kernels => bit-identical outputs.
+  EXPECT_EQ(max_abs_diff(a.forward(x), b.forward(x)), 0.0f);
+}
+
+TEST(LinearQuantized, WeightBytesShrinkOver3xAndDedupShared) {
+  Rng rng(17);
+  Linear a("l", 256, 128, rng, /*bias=*/false);
+  const std::size_t f32_bytes = a.weight_bytes();
+  auto img = a.quantize_weights();
+  const std::size_t q8_bytes = a.weight_bytes();
+  EXPECT_GT(static_cast<double>(f32_bytes) / static_cast<double>(q8_bytes),
+            3.0);
+
+  Rng rng2(17);
+  Linear b("l", 256, 128, rng2, /*bias=*/false);
+  b.set_quantized_weights(img);
+  std::unordered_set<const void*> seen;
+  const std::size_t both = a.weight_bytes(&seen) + b.weight_bytes(&seen);
+  EXPECT_EQ(both, q8_bytes) << "shared image must be counted once";
+}
+
+TEST(LinearQuantized, RejectsWrongImageShape) {
+  Rng rng(18);
+  Linear lin("l", 16, 8, rng);
+  auto wrong = std::make_shared<kernels::QuantizedMat>(16, 8);  // not [out,in]
+  EXPECT_THROW(lin.set_quantized_weights(std::move(wrong)),
+               std::invalid_argument);
+  EXPECT_THROW(lin.set_quantized_weights(nullptr), std::invalid_argument);
+}
+
+TEST(LinearQuantized, QuantizeAfterDropThrows) {
+  Rng rng(19);
+  Linear lin("l", 16, 8, rng);
+  lin.quantize_weights();
+  lin.set_quantized_weights(lin.quantized_weights());  // fine: still has image
+  Linear dropped("l", 16, 8, rng);
+  dropped.weight().value = Tensor();
+  EXPECT_THROW(dropped.quantize_weights(), std::logic_error);
+}
+
 }  // namespace
 }  // namespace orbit::model

@@ -1,0 +1,179 @@
+#include "model/checkpoint_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "model/vit.hpp"
+#include "tensor/ops.hpp"
+
+/// q8_0 quantized weight files: an f32 training model exports a quantized
+/// read-only image; serve replicas load it transactionally and share the
+/// staged images. Same failure discipline as the f32 checkpoints — any
+/// corruption or mismatch throws without touching the model.
+
+namespace orbit::model {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+VitConfig micro_config() {
+  VitConfig c = tiny_test();
+  c.image_h = 8;
+  c.image_w = 8;
+  c.patch = 4;
+  c.in_channels = 3;
+  c.out_channels = 2;
+  c.embed = 16;
+  c.layers = 2;
+  c.heads = 4;
+  return c;
+}
+
+TEST(QuantizedCheckpoint, SaveFromF32LeavesModelTrainable) {
+  VitConfig cfg = micro_config();
+  OrbitModel m(cfg);
+  const std::string path = tmp_path("q8_save_f32.bin");
+  save_quantized_weights(path, m.params(), m.linears());
+  // Exporting must not flip the source model into inference-only mode.
+  for (Linear* l : m.linears()) {
+    EXPECT_FALSE(l->quantized());
+    EXPECT_TRUE(l->weight().value.defined());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(QuantizedCheckpoint, RoundTripMatchesDirectQuantization) {
+  VitConfig cfg = micro_config();
+  OrbitModel src(cfg);
+  const std::string path = tmp_path("q8_roundtrip.bin");
+  save_quantized_weights(path, src.params(), src.linears());
+
+  OrbitModel dst(cfg);
+  load_quantized_weights(path, dst.params(), dst.linears());
+  for (Linear* l : dst.linears()) EXPECT_TRUE(l->quantized());
+
+  // Loading the file must equal quantizing the source in-process: the
+  // payload is the exact BlockQ8 image.
+  src.quantize_weights();
+  Rng rng(9);
+  Tensor x = Tensor::randn({1, cfg.in_channels, cfg.image_h, cfg.image_w}, rng);
+  Tensor leads = Tensor::from_values({2.0f});
+  EXPECT_EQ(max_abs_diff(src.forward(x, leads), dst.forward(x, leads)), 0.0f);
+  std::remove(path.c_str());
+}
+
+TEST(QuantizedCheckpoint, StagedImagesAreSharedAcrossLoads) {
+  VitConfig cfg = micro_config();
+  OrbitModel src(cfg);
+  const std::string path = tmp_path("q8_shared.bin");
+  save_quantized_weights(path, src.params(), src.linears());
+
+  const QuantizedWeights qw = read_quantized_weights(path);
+  OrbitModel a(cfg), b(cfg);
+  for (OrbitModel* m : {&a, &b}) {
+    std::vector<Param*> params = m->params();
+    std::vector<Linear*> linears = m->linears();
+    check_quantized_weights(qw, params, linears);
+    apply_quantized_weights(qw, params, linears);
+  }
+  std::vector<Linear*> la = a.linears(), lb = b.linears();
+  for (std::size_t i = 0; i < la.size(); ++i) {
+    EXPECT_EQ(la[i]->quantized_weights().get(),
+              lb[i]->quantized_weights().get())
+        << "replicas must share one image per weight";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(QuantizedCheckpoint, ArchitectureMismatchThrowsAndTouchesNothing) {
+  VitConfig cfg = micro_config();
+  OrbitModel src(cfg);
+  const std::string path = tmp_path("q8_mismatch.bin");
+  save_quantized_weights(path, src.params(), src.linears());
+
+  VitConfig other = cfg;
+  other.embed = 32;
+  OrbitModel dst(other);
+  EXPECT_THROW(load_quantized_weights(path, dst.params(), dst.linears()),
+               std::runtime_error);
+  for (Linear* l : dst.linears()) {
+    EXPECT_FALSE(l->quantized()) << "failed load must leave the model f32";
+    EXPECT_TRUE(l->weight().value.defined());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(QuantizedCheckpoint, FlippedByteFailsCrc) {
+  VitConfig cfg = micro_config();
+  OrbitModel src(cfg);
+  const std::string path = tmp_path("q8_corrupt.bin");
+  save_quantized_weights(path, src.params(), src.linears());
+
+  std::string image;
+  {
+    std::ifstream is(path, std::ios::binary);
+    image.assign(std::istreambuf_iterator<char>(is),
+                 std::istreambuf_iterator<char>());
+  }
+  image[image.size() / 2] ^= 0x40;
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(image.data(), static_cast<std::streamsize>(image.size()));
+  }
+  EXPECT_THROW(read_quantized_weights(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(QuantizedCheckpoint, PayloadShapeDisagreementThrows) {
+  // A structurally valid v2 file whose q8_0 payload does not match its
+  // shape must be rejected when images are materialised (the CRC is fine —
+  // this is the semantic layer).
+  CheckpointRecord rec;
+  rec.name = "w";
+  rec.dtype = "q8_0";
+  rec.shape = {4, 64};                 // needs 4*2 blocks = 288 bytes
+  rec.payload.assign(100, '\0');       // wrong on purpose
+  CheckpointData data;
+  data.add_record(std::move(rec));
+  const std::string path = tmp_path("q8_badpayload.bin");
+  write_checkpoint(path, data);
+  EXPECT_THROW(read_quantized_weights(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(QuantizedCheckpoint, F32LoaderRejectsQuantizedFile) {
+  // A quantized file is NOT a weights checkpoint: the f32 loader must see
+  // the missing f32 weight records and refuse, not half-load.
+  VitConfig cfg = micro_config();
+  OrbitModel src(cfg);
+  const std::string path = tmp_path("q8_wrong_loader.bin");
+  save_quantized_weights(path, src.params(), src.linears());
+  OrbitModel dst(cfg);
+  EXPECT_THROW(load_checkpoint(path, dst.params()), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(QuantizedCheckpoint, SaveFromQuantizedModelReusesImages) {
+  VitConfig cfg = micro_config();
+  OrbitModel src(cfg);
+  src.quantize_weights();  // f32 dropped; save must use the images
+  const std::string path = tmp_path("q8_from_q8.bin");
+  save_quantized_weights(path, src.params(), src.linears());
+
+  OrbitModel dst(cfg);
+  load_quantized_weights(path, dst.params(), dst.linears());
+  Rng rng(11);
+  Tensor x = Tensor::randn({1, cfg.in_channels, cfg.image_h, cfg.image_w}, rng);
+  Tensor leads = Tensor::from_values({1.0f});
+  EXPECT_EQ(max_abs_diff(src.forward(x, leads), dst.forward(x, leads)), 0.0f);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace orbit::model

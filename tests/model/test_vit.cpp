@@ -207,5 +207,52 @@ TEST(Checkpoint, MissingFileThrows) {
                std::runtime_error);
 }
 
+TEST(VitQuantized, LinearsEnumeratesEveryLinearDepthFirst) {
+  VitConfig cfg = micro_config();
+  OrbitModel m(cfg);
+  std::vector<Linear*> ls = m.linears();
+  // Per channel patch proj + agg wk/wv + per layer (wq,wk,wv,wo,fc1,fc2) +
+  // head proj.
+  const std::size_t expect = static_cast<std::size_t>(cfg.in_channels) + 2 +
+                             static_cast<std::size_t>(cfg.layers) * 6 + 1;
+  EXPECT_EQ(ls.size(), expect);
+  // Determinism contract: two identically configured models enumerate
+  // matching layers — what serve-plane weight sharing relies on.
+  OrbitModel m2(cfg);
+  std::vector<Linear*> ls2 = m2.linears();
+  ASSERT_EQ(ls.size(), ls2.size());
+  for (std::size_t i = 0; i < ls.size(); ++i) {
+    EXPECT_EQ(ls[i]->weight().name, ls2[i]->weight().name);
+    EXPECT_EQ(ls[i]->in_features(), ls2[i]->in_features());
+    EXPECT_EQ(ls[i]->out_features(), ls2[i]->out_features());
+  }
+}
+
+TEST(VitQuantized, QuantizedForecastTracksF32AndMemoryShrinks) {
+  VitConfig cfg = micro_config();
+  OrbitModel f32(cfg);
+  OrbitModel q8(cfg);  // same config seed => identical weights
+  Rng rng(5);
+  Tensor x = Tensor::randn({2, cfg.in_channels, cfg.image_h, cfg.image_w}, rng);
+  Tensor leads = Tensor::from_values({1.0f, 3.0f});
+  Tensor want = f32.forward(x, leads);
+
+  const std::size_t f32_bytes = q8.weight_memory_bytes();
+  q8.quantize_weights();
+  const std::size_t q8_bytes = q8.weight_memory_bytes();
+  EXPECT_LT(q8_bytes, f32_bytes);
+  for (Linear* l : q8.linears()) EXPECT_TRUE(l->quantized());
+
+  Tensor got = q8.forward(x, leads);
+  ASSERT_EQ(got.shape(), want.shape());
+  // End-to-end quantization noise through 2 blocks of a 16-wide model.
+  EXPECT_LT(max_abs_diff(got, want), 0.35f);
+  const float ref_scale = std::max(1.0f, max_abs(want));
+  EXPECT_LT(max_abs_diff(got, want) / ref_scale, 0.2f);
+
+  // Inference-only: the backward pass must refuse.
+  EXPECT_THROW(q8.backward(Tensor::zeros(want.shape())), std::logic_error);
+}
+
 }  // namespace
 }  // namespace orbit::model

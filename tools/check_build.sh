@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Verification build matrix: the tier-1 test suite under AddressSanitizer and
-# ThreadSanitizer (with the collective-correctness checker enabled), plus
-# clang-tidy static analysis. Prints a pass/fail matrix and exits non-zero if
-# any leg fails. Legs whose tooling is unavailable are reported SKIP.
+# ThreadSanitizer (with the collective-correctness checker enabled), the
+# kernel suite swept over every ORBIT_KERNELS dispatch level under UBSan,
+# plus clang-tidy static analysis. Prints a pass/fail matrix and exits
+# non-zero if any leg fails. Legs whose tooling is unavailable are reported
+# SKIP.
 #
 # Usage: tools/check_build.sh [--quick]
 #   --quick   run only the comm-labelled checker tests in the sanitizer legs
@@ -83,6 +85,36 @@ else
   RESULT[checkpoint]="SKIP (ASan build unavailable)"
 fi
 
+echo "==== [kernels] dispatch-level sweep (UBSan) ===="
+# Microkernel check: the kernels-labelled suite (tail-shape GEMM
+# correctness, q8_0 round-trip bounds, dispatch strictness) re-runs with
+# ORBIT_KERNELS forcing each level, under the ASan build — whose
+# undefined-behavior sanitizer half is the part with teeth here (misaligned
+# SIMD loads, int8 conversion overflow, out-of-bounds tail reads). Scalar
+# runs anywhere; the SIMD levels run when the CPU reports the feature.
+if [ -d build-asan ]; then
+  kernel_levels="scalar"
+  if grep -q avx2 /proc/cpuinfo 2>/dev/null; then
+    kernel_levels="${kernel_levels} avx2"
+  fi
+  if grep -q avx512f /proc/cpuinfo 2>/dev/null; then
+    kernel_levels="${kernel_levels} avx512"
+  fi
+  kernels_status="PASS (${kernel_levels})"
+  for lvl in ${kernel_levels}; do
+    echo "---- ORBIT_KERNELS=${lvl} ----"
+    if ! (cd build-asan && ORBIT_KERNELS="${lvl}" ctest --output-on-failure \
+          "-j${JOBS}" -L kernels); then
+      kernels_status="FAIL (${lvl})"
+      overall=1
+      break
+    fi
+  done
+  RESULT[kernels]="${kernels_status}"
+else
+  RESULT[kernels]="SKIP (ASan build unavailable)"
+fi
+
 echo "==== [resilience] supervised chaos soak (TSan) ===="
 # Self-healing check: the resilience-labelled tests run the supervisor's
 # retry/backoff loop, the chaos-scheduled kill-every-k-steps soak on a
@@ -118,7 +150,7 @@ fi
 
 echo
 echo "==== verification matrix ===="
-for leg in asan tsan trace checkpoint resilience tidy; do
+for leg in asan tsan trace checkpoint kernels resilience tidy; do
   printf '  %-6s %s\n' "${leg}" "${RESULT[${leg}]:-not run}"
 done
 exit "${overall}"

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # clang-tidy runner for the concurrency-heavy modules (src/comm, src/parallel,
-# src/trace).
+# src/trace) and the SIMD microkernels (src/kernels).
 #
 # Usage: tools/lint.sh [build-dir]
 #   build-dir (default: build) must contain compile_commands.json — configure
@@ -39,9 +39,10 @@ if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
   exit 1
 fi
 
-FILES=$(ls src/comm/*.cpp src/parallel/*.cpp src/trace/*.cpp 2>/dev/null)
+FILES=$(ls src/comm/*.cpp src/parallel/*.cpp src/trace/*.cpp \
+           src/kernels/*.cpp 2>/dev/null)
 if [ -z "${FILES}" ]; then
-  echo "lint: no sources found under src/comm, src/parallel, and src/trace"
+  echo "lint: no sources found under src/comm, src/parallel, src/trace, and src/kernels"
   exit 1
 fi
 
