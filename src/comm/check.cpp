@@ -1,10 +1,11 @@
 #include "comm/check.hpp"
 
-#include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <sstream>
 
 #include "comm/process_group.hpp"
+#include "env/env.hpp"
 
 namespace orbit::comm::check {
 namespace {
@@ -38,32 +39,20 @@ std::string shape_str(const std::vector<std::int64_t>& shape) {
   return os.str();
 }
 
-bool env_flag_off(const char* name) {
-  const char* v = std::getenv(name);
-  if (v == nullptr) return false;
-  return std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
-         std::strcmp(v, "OFF") == 0 || std::strcmp(v, "false") == 0 ||
-         std::strcmp(v, "no") == 0;
-}
-
-long env_long(const char* name, long fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  char* end = nullptr;
-  const long parsed = std::strtol(v, &end, 10);
-  return (end != nullptr && *end == '\0' && parsed > 0) ? parsed : fallback;
-}
-
 constexpr long kDefaultTimeoutMs = 30000;
 
 std::atomic<bool>& enabled_flag() {
-  static std::atomic<bool> flag{!env_flag_off("ORBIT_COMM_CHECK")};
+  // Strict parse (env::EnvError on garbage): a fat-fingered ORBIT_COMM_CHECK
+  // must not silently run a thousand-rank job with the checker in an
+  // unintended state. Defaults ON when unset.
+  static std::atomic<bool> flag{env::flag_or("ORBIT_COMM_CHECK", true)};
   return flag;
 }
 
 std::atomic<long>& timeout_ms_value() {
-  static std::atomic<long> ms{
-      env_long("ORBIT_COMM_TIMEOUT_MS", kDefaultTimeoutMs)};
+  static std::atomic<long> ms{static_cast<long>(
+      env::i64_or("ORBIT_COMM_TIMEOUT_MS", kDefaultTimeoutMs, 1,
+                  std::numeric_limits<long>::max()))};
   return ms;
 }
 

@@ -1,12 +1,11 @@
 #include "comm/fault.hpp"
 
 #include <atomic>
-#include <cctype>
-#include <cerrno>
-#include <cstdlib>
 #include <limits>
 #include <mutex>
 #include <set>
+
+#include "env/env.hpp"
 
 namespace orbit::comm::fault {
 namespace {
@@ -91,111 +90,63 @@ std::optional<int> chaos_decision(const ChaosSchedule& s, std::int64_t step) {
   return static_cast<int>(h % static_cast<std::uint64_t>(s.world_size));
 }
 
-/// --- strict environment parsing ------------------------------------------
-
-[[noreturn]] void bad_env(const char* name, const char* value,
-                          const std::string& why) {
-  throw std::runtime_error("fault injection: " + std::string(name) + "=\"" +
-                           value + "\" " + why);
-}
-
-std::int64_t parse_env_i64(const char* name, const char* value,
-                           std::int64_t lo, std::int64_t hi) {
-  errno = 0;
-  char* end = nullptr;
-  // strtoll silently skips leading whitespace; the strict contract does not.
-  if (std::isspace(static_cast<unsigned char>(value[0]))) {
-    bad_env(name, value, "is not a valid integer");
-  }
-  const long long v = std::strtoll(value, &end, 10);
-  if (end == value || *end != '\0') {
-    bad_env(name, value, "is not a valid integer");
-  }
-  if (errno == ERANGE) bad_env(name, value, "overflows a 64-bit integer");
-  if (v < lo || v > hi) {
-    bad_env(name, value,
-            "is out of range [" + std::to_string(lo) + ", " +
-                std::to_string(hi) + "]");
-  }
-  return static_cast<std::int64_t>(v);
-}
-
-double parse_env_f64(const char* name, const char* value, double lo,
-                     double hi) {
-  errno = 0;
-  char* end = nullptr;
-  if (std::isspace(static_cast<unsigned char>(value[0]))) {
-    bad_env(name, value, "is not a valid number");
-  }
-  const double v = std::strtod(value, &end);
-  if (end == value || *end != '\0') {
-    bad_env(name, value, "is not a valid number");
-  }
-  if (errno == ERANGE) bad_env(name, value, "is out of range for a double");
-  if (!(v >= lo && v <= hi)) {
-    bad_env(name, value,
-            "is out of range [" + std::to_string(lo) + ", " +
-                std::to_string(hi) + "]");
-  }
-  return v;
-}
-
-/// Seed from the ORBIT_FAULT_*/ORBIT_CHAOS_* environment. Malformed values
-/// throw (the job dies with a clear diagnostic rather than silently running
-/// without the requested fault), and `g_env_checked` stays false so every
-/// subsequent hook re-raises the same error.
+/// Seed from the ORBIT_FAULT_*/ORBIT_CHAOS_* environment via the strict
+/// orbit::env parsers. Malformed values throw env::EnvError (the job dies
+/// with a clear diagnostic rather than silently running without the
+/// requested fault), and `g_env_checked` stays false so every subsequent
+/// hook re-raises the same error.
 void seed_env_locked() {
   if (g_env_checked.load(std::memory_order_relaxed)) return;
 
-  const char* rank = std::getenv("ORBIT_FAULT_RANK");
-  const char* step = std::getenv("ORBIT_FAULT_STEP");
-  if ((rank == nullptr) != (step == nullptr)) {
-    throw std::runtime_error(
+  constexpr std::int64_t kI64Max = std::numeric_limits<std::int64_t>::max();
+  const std::optional<std::string> rank = env::raw("ORBIT_FAULT_RANK");
+  const std::optional<std::string> step = env::raw("ORBIT_FAULT_STEP");
+  if (rank.has_value() != step.has_value()) {
+    throw env::EnvError(
         "fault injection: ORBIT_FAULT_RANK and ORBIT_FAULT_STEP must be set "
         "together (only " +
-        std::string(rank != nullptr ? "ORBIT_FAULT_RANK" : "ORBIT_FAULT_STEP") +
+        std::string(rank ? "ORBIT_FAULT_RANK" : "ORBIT_FAULT_STEP") +
         " is set)");
   }
   std::optional<FaultPlan> env_plan;
-  if (rank != nullptr && step != nullptr) {
+  if (rank && step) {
     FaultPlan p;
     p.rank = static_cast<int>(
-        parse_env_i64("ORBIT_FAULT_RANK", rank, 0, kMaxRanks - 1));
-    p.at_step = parse_env_i64("ORBIT_FAULT_STEP", step, 0,
-                              std::numeric_limits<std::int64_t>::max());
+        env::parse_i64("ORBIT_FAULT_RANK", *rank, 0, kMaxRanks - 1));
+    p.at_step = env::parse_i64("ORBIT_FAULT_STEP", *step, 0, kI64Max);
     env_plan = p;
   }
 
-  const char* every = std::getenv("ORBIT_CHAOS_EVERY");
-  const char* prob = std::getenv("ORBIT_CHAOS_PROB");
+  const std::optional<std::string> every = env::raw("ORBIT_CHAOS_EVERY");
+  const std::optional<std::string> prob = env::raw("ORBIT_CHAOS_PROB");
   std::optional<ChaosSchedule> env_chaos;
-  if (every != nullptr || prob != nullptr) {
+  if (every || prob) {
     ChaosSchedule s;
-    if (every != nullptr) {
-      s.every_steps = parse_env_i64("ORBIT_CHAOS_EVERY", every, 1,
-                                    std::numeric_limits<std::int64_t>::max());
+    if (every) {
+      s.every_steps = env::parse_i64("ORBIT_CHAOS_EVERY", *every, 1, kI64Max);
     }
-    if (prob != nullptr) {
-      s.per_step_probability = parse_env_f64("ORBIT_CHAOS_PROB", prob, 0.0, 1.0);
+    if (prob) {
+      s.per_step_probability =
+          env::parse_f64("ORBIT_CHAOS_PROB", *prob, 0.0, 1.0);
     }
-    if (const char* v = std::getenv("ORBIT_CHAOS_RANK")) {
-      s.victim_rank = static_cast<int>(
-          parse_env_i64("ORBIT_CHAOS_RANK", v, 0, kMaxRanks - 1));
+    if (const std::optional<std::int64_t> v =
+            env::maybe_i64("ORBIT_CHAOS_RANK", 0, kMaxRanks - 1)) {
+      s.victim_rank = static_cast<int>(*v);
     }
-    if (const char* v = std::getenv("ORBIT_CHAOS_WORLD")) {
-      s.world_size =
-          static_cast<int>(parse_env_i64("ORBIT_CHAOS_WORLD", v, 1, kMaxRanks));
+    if (const std::optional<std::int64_t> v =
+            env::maybe_i64("ORBIT_CHAOS_WORLD", 1, kMaxRanks)) {
+      s.world_size = static_cast<int>(*v);
     }
-    if (const char* v = std::getenv("ORBIT_CHAOS_SEED")) {
-      s.seed = static_cast<std::uint64_t>(parse_env_i64(
-          "ORBIT_CHAOS_SEED", v, 0, std::numeric_limits<std::int64_t>::max()));
+    if (const std::optional<std::int64_t> v =
+            env::maybe_i64("ORBIT_CHAOS_SEED", 0, kI64Max)) {
+      s.seed = static_cast<std::uint64_t>(*v);
     }
-    if (const char* v = std::getenv("ORBIT_CHAOS_MAX_KILLS")) {
-      s.max_kills = parse_env_i64("ORBIT_CHAOS_MAX_KILLS", v, 0,
-                                  std::numeric_limits<std::int64_t>::max());
+    if (const std::optional<std::int64_t> v =
+            env::maybe_i64("ORBIT_CHAOS_MAX_KILLS", 0, kI64Max)) {
+      s.max_kills = *v;
     }
     if (s.victim_rank < 0 && s.world_size < 1) {
-      throw std::runtime_error(
+      throw env::EnvError(
           "fault injection: a chaos schedule from the environment needs "
           "ORBIT_CHAOS_RANK (fixed victim) or ORBIT_CHAOS_WORLD (uniform "
           "victim draws)");

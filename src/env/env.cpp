@@ -1,0 +1,115 @@
+#include "env/env.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+
+namespace orbit::env {
+namespace {
+
+std::string lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::string> raw(const char* name) {
+  // The project's single getenv site — everything else goes through the
+  // strict accessors (orbit_lint rule R1).
+  const char* v = std::getenv(name);
+  if (v == nullptr) return std::nullopt;
+  return std::string(v);
+}
+
+void fail(const char* name, const std::string& value, const std::string& why) {
+  throw EnvError("env: " + std::string(name) + "=\"" + value + "\" " + why);
+}
+
+std::int64_t parse_i64(const char* name, const std::string& value,
+                       std::int64_t lo, std::int64_t hi) {
+  // strtoll silently skips leading whitespace; the strict contract does not.
+  if (value.empty() ||
+      std::isspace(static_cast<unsigned char>(value.front())) != 0) {
+    fail(name, value, "is not a valid integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    fail(name, value, "is not a valid integer");
+  }
+  if (errno == ERANGE) fail(name, value, "overflows a 64-bit integer");
+  if (v < lo || v > hi) {
+    fail(name, value,
+         "is out of range [" + std::to_string(lo) + ", " + std::to_string(hi) +
+             "]");
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+double parse_f64(const char* name, const std::string& value, double lo,
+                 double hi) {
+  if (value.empty() ||
+      std::isspace(static_cast<unsigned char>(value.front())) != 0) {
+    fail(name, value, "is not a valid number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    fail(name, value, "is not a valid number");
+  }
+  if (errno == ERANGE) fail(name, value, "is out of range for a double");
+  if (!(v >= lo && v <= hi)) {
+    fail(name, value,
+         "is out of range [" + std::to_string(lo) + ", " + std::to_string(hi) +
+             "]");
+  }
+  return v;
+}
+
+bool parse_flag(const char* name, const std::string& value) {
+  const std::string v = lower(value);
+  if (v == "1" || v == "on" || v == "true" || v == "yes") return true;
+  if (v == "0" || v == "off" || v == "false" || v == "no") return false;
+  fail(name, value, "is not a valid flag (expected 0/1/on/off/true/false/yes/no)");
+}
+
+std::optional<std::int64_t> maybe_i64(const char* name, std::int64_t lo,
+                                      std::int64_t hi) {
+  const std::optional<std::string> v = raw(name);
+  if (!v) return std::nullopt;
+  return parse_i64(name, *v, lo, hi);
+}
+
+std::optional<double> maybe_f64(const char* name, double lo, double hi) {
+  const std::optional<std::string> v = raw(name);
+  if (!v) return std::nullopt;
+  return parse_f64(name, *v, lo, hi);
+}
+
+std::optional<bool> maybe_flag(const char* name) {
+  const std::optional<std::string> v = raw(name);
+  if (!v) return std::nullopt;
+  return parse_flag(name, *v);
+}
+
+std::int64_t i64_or(const char* name, std::int64_t fallback, std::int64_t lo,
+                    std::int64_t hi) {
+  return maybe_i64(name, lo, hi).value_or(fallback);
+}
+
+double f64_or(const char* name, double fallback, double lo, double hi) {
+  return maybe_f64(name, lo, hi).value_or(fallback);
+}
+
+bool flag_or(const char* name, bool fallback) {
+  return maybe_flag(name).value_or(fallback);
+}
+
+}  // namespace orbit::env

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+/// orbit::env — the single strict gateway for ORBIT_* environment knobs.
+///
+/// Every `std::getenv` in the project lives in env.cpp (orbit_lint rule R1
+/// enforces this). The accessors here implement the hardened contract the
+/// fault-injection parser established: a set-but-malformed value throws
+/// `EnvError` naming the variable and the offending value, instead of
+/// silently falling back to a default — a mis-parsed knob on a thousand-rank
+/// run must kill the job at startup, not run without the requested behavior.
+///
+/// Strictness rules (shared by every accessor):
+///   - unset variable            -> fallback / nullopt (never an error)
+///   - leading/trailing garbage  -> EnvError ("3x", " 4", "4 ", "")
+///   - out of [lo, hi]           -> EnvError naming the range
+///   - overflow                  -> EnvError
+///   - flags accept only 0/1/on/off/true/false/yes/no (case-insensitive)
+namespace orbit::env {
+
+/// Typed error for malformed ORBIT_* environment values. Subclasses
+/// std::runtime_error so existing catch sites keep working; the Supervisor
+/// classifies it as terminal (a misconfigured env never deserves a retry).
+class EnvError : public std::runtime_error {
+ public:
+  explicit EnvError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raw presence/value probe. This is the project's only std::getenv wrapper;
+/// use the typed accessors below unless you need custom parsing.
+std::optional<std::string> raw(const char* name);
+
+/// Throw EnvError with the canonical "NAME=\"value\" why" diagnostic.
+[[noreturn]] void fail(const char* name, const std::string& value,
+                       const std::string& why);
+
+/// Strict parsers over an already-fetched value (for call sites that need
+/// presence logic of their own, e.g. paired ORBIT_FAULT_RANK/STEP).
+std::int64_t parse_i64(const char* name, const std::string& value,
+                       std::int64_t lo, std::int64_t hi);
+double parse_f64(const char* name, const std::string& value, double lo,
+                 double hi);
+bool parse_flag(const char* name, const std::string& value);
+
+/// Strict fetch: nullopt when unset, EnvError when set but malformed.
+std::optional<std::int64_t> maybe_i64(const char* name, std::int64_t lo,
+                                      std::int64_t hi);
+std::optional<double> maybe_f64(const char* name, double lo, double hi);
+std::optional<bool> maybe_flag(const char* name);
+
+/// Strict fetch with a default for the unset case.
+std::int64_t i64_or(const char* name, std::int64_t fallback, std::int64_t lo,
+                    std::int64_t hi);
+double f64_or(const char* name, double fallback, double lo, double hi);
+bool flag_or(const char* name, bool fallback);
+
+}  // namespace orbit::env

@@ -1,8 +1,9 @@
 #include "kernels/kernels.hpp"
 
 #include <atomic>
-#include <cstdlib>
 #include <stdexcept>
+
+#include "env/env.hpp"
 
 /// \file dispatch.cpp
 /// Runtime instruction-set dispatch for the microkernels.
@@ -108,12 +109,12 @@ Isa resolve_env_isa(const char* value) {
   try {
     isa = parse_isa(s);
   } catch (const std::invalid_argument&) {
-    throw std::runtime_error(
+    throw env::EnvError(
         "ORBIT_KERNELS=\"" + s +
         "\" — expected scalar, avx2, or avx512");
   }
   if (!isa_available(isa)) {
-    throw std::runtime_error(
+    throw env::EnvError(
         std::string("ORBIT_KERNELS=") + isa_name(isa) +
         " — level not available on this build/CPU (available:" +
         [] {
@@ -129,8 +130,8 @@ Isa resolve_env_isa(const char* value) {
 Isa active_isa() {
   int a = g_active.load(std::memory_order_acquire);
   if (a >= 0) return static_cast<Isa>(a);
-  const char* env = std::getenv("ORBIT_KERNELS");
-  const Isa init = env != nullptr ? resolve_env_isa(env) : detect_best_isa();
+  const std::optional<std::string> env = env::raw("ORBIT_KERNELS");
+  const Isa init = env ? resolve_env_isa(env->c_str()) : detect_best_isa();
   int expected = -1;
   g_active.compare_exchange_strong(expected, static_cast<int>(init),
                                    std::memory_order_acq_rel);

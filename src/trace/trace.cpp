@@ -2,13 +2,12 @@
 
 #include <atomic>
 #include <chrono>
-#include <cstdlib>
-#include <cstring>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "env/env.hpp"
 #include "trace/report.hpp"
 
 namespace orbit::trace {
@@ -28,20 +27,15 @@ const char* category_name(Category c) {
 
 namespace detail {
 
-std::atomic<bool> g_enabled{[] {
-  const char* v = std::getenv("ORBIT_TRACE");
-  if (v == nullptr) return false;
-  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
-           std::strcmp(v, "false") == 0 || std::strcmp(v, "OFF") == 0);
-}()};
+// Strict parse at load time: a malformed ORBIT_TRACE terminates the process
+// with the EnvError diagnostic rather than silently tracing (or not).
+std::atomic<bool> g_enabled{env::flag_or("ORBIT_TRACE", false)};
 
 namespace {
 
 std::size_t env_capacity() {
-  const char* v = std::getenv("ORBIT_TRACE_BUFFER");
-  if (v == nullptr) return 65536;
-  const long n = std::strtol(v, nullptr, 10);
-  return n > 16 ? static_cast<std::size_t>(n) : 16;
+  return static_cast<std::size_t>(
+      env::i64_or("ORBIT_TRACE_BUFFER", 65536, 16, std::int64_t{1} << 30));
 }
 
 const std::chrono::steady_clock::time_point g_epoch =

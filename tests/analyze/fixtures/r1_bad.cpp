@@ -1,0 +1,12 @@
+// R1 firing fixture: raw getenv outside src/env/env.cpp. Never compiled —
+// lexed by test_lint_rules.cpp under a synthetic src/ path.
+#include <cstdlib>
+
+int bad_qualified() {
+  const char* v = std::getenv("ORBIT_FOO");  // line 6: finding
+  return v != nullptr;
+}
+
+int bad_unqualified() {
+  return getenv("ORBIT_BAR") != nullptr;  // line 11: finding
+}

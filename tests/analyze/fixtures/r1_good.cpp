@@ -1,0 +1,14 @@
+// R1 non-firing fixture: ORBIT_* knobs via the strict orbit::env gateway,
+// plus near-miss identifiers and literals that must not trip the rule.
+#include "env/env.hpp"
+
+long good() {
+  // "getenv" inside a string literal is stripped by the lexer:
+  const char* doc = "call std::getenv( here would be a bug";
+  long a = orbit::env::i64_or("ORBIT_FOO", 42, 0, 100);
+  bool b = orbit::env::flag_or("ORBIT_BAR", false);
+  // identifier that merely contains the name:
+  int my_getenv_count = 0;
+  (void)doc;
+  return a + b + my_getenv_count;
+}

@@ -1,0 +1,15 @@
+// R2 firing fixture: blocking collectives lexically under a held lock.
+#include <mutex>
+
+void explicit_template(Group& pg, std::mutex& mu, Tensor& t) {
+  std::lock_guard<std::mutex> lk(mu);
+  pg.all_reduce(t);  // line 6: finding (lock held)
+  {
+    pg.barrier();  // line 8: finding (nested scope, lock still held)
+  }
+}
+
+void ctad_and_member_pointer(Group* pg, std::mutex& mu, Tensor& t) {
+  std::unique_lock lk(mu);
+  pg->send(t, 1, 7);  // line 14: finding (member-call context)
+}

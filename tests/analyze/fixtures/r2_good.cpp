@@ -1,0 +1,24 @@
+// R2 non-firing fixture: collectives after the lock scope closes, lock
+// reference parameters (callee does not take the lock), and common-word
+// identifiers that only fire in member-call context.
+#include <mutex>
+
+void lock_released_first(Group& pg, std::mutex& mu, Tensor& t, int& n) {
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    ++n;
+  }
+  pg.all_reduce(t);  // lock scope closed: fine
+  pg.barrier();
+}
+
+void lock_parameter(std::unique_lock<std::mutex>& lk, int& n) {
+  // A unique_lock& parameter is not a lock acquisition in this TU.
+  ++n;
+}
+
+void common_words_without_member_context(int x) {
+  send(x);          // bare call: not comm traffic
+  int gather = x;   // plain identifier
+  resend(gather);
+}

@@ -1,0 +1,17 @@
+// R3 firing fixture: unseeded randomness in src/.
+#include <cstdlib>
+#include <random>
+
+int bad_rand() {
+  return rand();  // line 6: finding
+}
+
+unsigned bad_device() {
+  std::random_device rd;  // line 10: finding
+  return rd();
+}
+
+double bad_unseeded_engine() {
+  std::mt19937 gen;  // line 15: finding (default seed, not checkpointed)
+  return static_cast<double>(gen());
+}

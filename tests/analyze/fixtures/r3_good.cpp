@@ -1,0 +1,10 @@
+// R3 non-firing fixture: seeded engines and type-level uses.
+#include <random>
+
+double seeded(unsigned long long seed) {
+  std::mt19937 gen(seed);           // seeded: fine
+  std::mt19937_64 wide{seed + 1};   // brace-seeded: fine
+  std::mt19937::result_type cap = std::mt19937::max();  // type-level use
+  int random_value = 7;             // identifier containing "rand..."
+  return static_cast<double>(gen() + wide() + cap + random_value);
+}

@@ -1,0 +1,8 @@
+// R4 firing fixture: system_clock inside the steady-clock domain
+// (analyzed under a src/trace or src/serve path).
+#include <chrono>
+
+long long bad_wall_clock() {
+  auto now = std::chrono::system_clock::now();  // line 6: finding
+  return now.time_since_epoch().count();
+}

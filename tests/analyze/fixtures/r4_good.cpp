@@ -1,0 +1,7 @@
+// R4 non-firing fixture: steady_clock is the mandated trace/serve clock.
+#include <chrono>
+
+long long good_steady() {
+  auto now = std::chrono::steady_clock::now();
+  return now.time_since_epoch().count();
+}

@@ -1,0 +1,7 @@
+// R5 firing fixture: x86 intrinsics outside the per-TU kernel files.
+#include <immintrin.h>  // line 2: finding (include)
+
+float bad_simd(const float* a) {
+  __m256 v = _mm256_loadu_ps(a);  // line 5: findings (__m256, _mm256_loadu_ps)
+  return _mm256_cvtss_f32(v);     // line 6: finding
+}

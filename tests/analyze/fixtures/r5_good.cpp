@@ -1,0 +1,8 @@
+// R5 non-firing fixture: ISA-agnostic code calling the dispatch layer.
+#include "kernels/kernels.hpp"
+
+void good(const float* a, const float* b, float* c, int n) {
+  orbit::kernels::active().saxpy(n, 2.0F, a, c);
+  float dot = orbit::kernels::active().dot(n, a, b);
+  c[0] += dot;
+}

@@ -1,0 +1,12 @@
+// R6 firing fixture: raw runtime_error in the typed-error planes
+// (analyzed under a src/comm or src/resilience path).
+#include <stdexcept>
+
+void bad_qualified(bool fail) {
+  if (fail) throw std::runtime_error("untyped");  // line 6: finding
+}
+
+void bad_unqualified(bool fail) {
+  using std::runtime_error;
+  if (fail) throw runtime_error("also untyped");  // line 11: finding
+}

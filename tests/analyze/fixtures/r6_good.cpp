@@ -1,0 +1,12 @@
+// R6 non-firing fixture: the typed hierarchy the Supervisor classifies.
+#include "comm/check.hpp"
+#include "env/env.hpp"
+
+void good(bool fail) {
+  if (fail) throw orbit::comm::check::CommDesyncError("typed");
+  throw orbit::env::EnvError("typed too");
+}
+
+// Catching or referring to runtime_error is fine — only throwing it raw
+// is the invariant violation.
+int classify(const std::runtime_error& e) { return e.what() != nullptr; }

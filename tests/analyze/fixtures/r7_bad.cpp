@@ -1,0 +1,12 @@
+// R7 firing fixture: naked std::thread outside the sanctioned spawn sites.
+#include <thread>
+#include <vector>
+
+void bad_spawn(void (*fn)()) {
+  std::thread t(fn);  // line 6: finding
+  t.join();
+}
+
+struct BadPool {
+  std::vector<std::thread> workers;  // line 11: finding
+};

@@ -1,0 +1,10 @@
+// R7 non-firing fixture: queries and this_thread utilities are allowed
+// anywhere; only spawning is centralized.
+#include <chrono>
+#include <thread>
+
+unsigned good_queries() {
+  unsigned n = std::thread::hardware_concurrency();  // query, not a spawn
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  return n;
+}

@@ -1,0 +1,15 @@
+// Suppression fixture: ill-formed directives suppress nothing and are
+// themselves reported.
+#include <cstdlib>
+
+int missing_reason() {
+  return getenv("X") != nullptr;  // orbit-lint: allow(R1)
+}
+
+int unknown_rule() {
+  return getenv("Y") != nullptr;  // orbit-lint: allow(R99) -- wrong rule id
+}
+
+int wrong_rule_for_finding() {
+  return getenv("Z") != nullptr;  // orbit-lint: allow(R4) -- suppresses R4, not the R1 here
+}

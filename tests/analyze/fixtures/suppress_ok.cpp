@@ -1,0 +1,12 @@
+// Suppression fixture: well-formed directives (rule + mandatory reason)
+// silence their target line — trailing form and standalone-line form.
+#include <cstdlib>
+
+int trailing() {
+  return getenv("X") != nullptr;  // orbit-lint: allow(R1) -- fixture: raw getenv is the point here
+}
+
+int standalone() {
+  // orbit-lint: allow(R1) -- fixture: directive on its own line covers the next
+  return getenv("Y") != nullptr;
+}

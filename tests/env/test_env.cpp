@@ -1,0 +1,127 @@
+#include "env/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+/// The strict ORBIT_* environment gateway. Contract: unset is never an
+/// error (fallback/nullopt); a set-but-malformed value always throws
+/// EnvError naming the variable and the offending value.
+
+namespace orbit::env {
+namespace {
+
+constexpr const char* kVar = "ORBIT_TEST_ENV_KNOB";
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ::unsetenv(kVar); }
+  static void set(const std::string& v) { ::setenv(kVar, v.c_str(), 1); }
+};
+
+TEST_F(EnvTest, RawReportsPresenceVerbatim) {
+  EXPECT_FALSE(raw(kVar).has_value());
+  set("  anything goes 42 ");
+  ASSERT_TRUE(raw(kVar).has_value());
+  EXPECT_EQ(*raw(kVar), "  anything goes 42 ");
+}
+
+TEST_F(EnvTest, UnsetYieldsFallbackNeverError) {
+  EXPECT_EQ(i64_or(kVar, 123, 0, 1000), 123);
+  EXPECT_DOUBLE_EQ(f64_or(kVar, 0.5, 0.0, 1.0), 0.5);
+  EXPECT_TRUE(flag_or(kVar, true));
+  EXPECT_FALSE(flag_or(kVar, false));
+  EXPECT_FALSE(maybe_i64(kVar, 0, 10).has_value());
+  EXPECT_FALSE(maybe_f64(kVar, 0.0, 1.0).has_value());
+  EXPECT_FALSE(maybe_flag(kVar).has_value());
+}
+
+TEST_F(EnvTest, ParsesValidIntegers) {
+  set("42");
+  EXPECT_EQ(i64_or(kVar, 0, 0, 1000), 42);
+  set("-7");
+  EXPECT_EQ(i64_or(kVar, 0, -100, 100), -7);
+  set("0");
+  EXPECT_EQ(*maybe_i64(kVar, 0, 10), 0);
+}
+
+TEST_F(EnvTest, RejectsNonNumericWhitespaceAndTrailingGarbage) {
+  for (const char* bad : {"abc", "3x", "", " 4", "4 ", "0x10", "1.5"}) {
+    set(bad);
+    try {
+      i64_or(kVar, 0, 0, 1000);
+      FAIL() << "value \"" << bad << "\" must be rejected";
+    } catch (const EnvError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(kVar), std::string::npos) << what;
+      EXPECT_NE(what.find(bad), std::string::npos) << what;
+    }
+  }
+}
+
+TEST_F(EnvTest, RejectsOutOfRangeAndOverflow) {
+  set("11");
+  EXPECT_THROW(i64_or(kVar, 0, 0, 10), EnvError);
+  set("-1");
+  EXPECT_THROW(i64_or(kVar, 0, 0, 10), EnvError);
+  set("99999999999999999999");  // > int64
+  EXPECT_THROW(i64_or(kVar, 0, 0,
+                      std::numeric_limits<std::int64_t>::max()),
+               EnvError);
+  // The range is reported so the operator can fix the knob without reading
+  // source code.
+  set("11");
+  try {
+    i64_or(kVar, 0, 0, 10);
+    FAIL();
+  } catch (const EnvError& e) {
+    EXPECT_NE(std::string(e.what()).find("[0, 10]"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(EnvTest, ParsesValidDoubles) {
+  set("0.25");
+  EXPECT_DOUBLE_EQ(f64_or(kVar, 0.0, 0.0, 1.0), 0.25);
+  set("1");
+  EXPECT_DOUBLE_EQ(f64_or(kVar, 0.0, 0.0, 1.0), 1.0);
+  set("1e-3");
+  EXPECT_DOUBLE_EQ(f64_or(kVar, 0.0, 0.0, 1.0), 1e-3);
+}
+
+TEST_F(EnvTest, RejectsMalformedAndOutOfRangeDoubles) {
+  for (const char* bad : {"abc", "0.5x", "", " 0.5", "1.5"}) {
+    set(bad);
+    EXPECT_THROW(f64_or(kVar, 0.0, 0.0, 1.0), EnvError) << bad;
+  }
+}
+
+TEST_F(EnvTest, FlagAcceptsTheClosedVocabularyCaseInsensitive) {
+  for (const char* t : {"1", "on", "true", "yes", "ON", "True", "YES"}) {
+    set(t);
+    EXPECT_TRUE(flag_or(kVar, false)) << t;
+  }
+  for (const char* f : {"0", "off", "false", "no", "OFF", "False", "NO"}) {
+    set(f);
+    EXPECT_FALSE(flag_or(kVar, true)) << f;
+  }
+}
+
+TEST_F(EnvTest, FlagRejectsEverythingElse) {
+  for (const char* bad : {"2", "enabled", "", " 1", "y", "t"}) {
+    set(bad);
+    EXPECT_THROW(flag_or(kVar, false), EnvError) << "\"" << bad << "\"";
+  }
+}
+
+TEST_F(EnvTest, EnvErrorIsARuntimeError) {
+  // Existing catch sites (run_spmd's collector, the Supervisor's classifier)
+  // handle std::runtime_error; EnvError must flow through them.
+  set("junk");
+  EXPECT_THROW(i64_or(kVar, 0, 0, 10), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace orbit::env

@@ -1,0 +1,164 @@
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+#include "rules.hpp"
+
+/// orbit_lint — ORBIT's project-invariant static analyzer.
+///
+/// Lexes every C++ file under the scanned directories (default: src tools
+/// bench tests, relative to --root) and enforces the R1–R7 invariants that
+/// clang-tidy cannot express. See DESIGN.md §4g for the rule catalog and
+/// the suppression grammar.
+///
+/// Exit codes: 0 clean, 1 findings, 2 usage/IO error — so CI can tell
+/// "invariant violated" from "the analyzer itself was misused".
+
+namespace fs = std::filesystem;
+using orbit::lint::Finding;
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: orbit_lint [--root <dir>] [--json] [--list-rules] [dir...]\n"
+    "  Scans dir... (default: src tools bench tests) under --root\n"
+    "  (default: cwd) for violations of the ORBIT project invariants.\n"
+    "  Fixture trees (tests/analyze/fixtures) are always excluded.\n"
+    "  Exit: 0 clean, 1 findings, 2 usage error.\n";
+
+bool has_cpp_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc" ||
+         ext == ".hh" || ext == ".cxx";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  bool json = false;
+  std::vector<std::string> dirs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "orbit_lint: --root needs a directory\n" << kUsage;
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--list-rules") {
+      for (const auto& r : orbit::lint::rule_catalog()) {
+        std::cout << r.id << "  " << r.summary << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "orbit_lint: unknown flag " << arg << "\n" << kUsage;
+      return 2;
+    } else {
+      dirs.push_back(arg);
+    }
+  }
+  // Explicitly named directories must exist (a typo should be a usage
+  // error); the defaults are a convention and any absent one is skipped, so
+  // the tool works on partial trees.
+  const bool dirs_explicit = !dirs.empty();
+  if (dirs.empty()) dirs = {"src", "tools", "bench", "tests"};
+
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    std::cerr << "orbit_lint: root " << root << " is not a directory\n";
+    return 2;
+  }
+
+  std::vector<Finding> findings;
+  std::size_t files_scanned = 0;
+
+  for (const std::string& d : dirs) {
+    const fs::path dir = root / d;
+    if (!fs::is_directory(dir, ec)) {
+      if (!dirs_explicit) continue;
+      std::cerr << "orbit_lint: " << dir.string() << " is not a directory\n";
+      return 2;
+    }
+    std::vector<fs::path> files;
+    for (auto it = fs::recursive_directory_iterator(dir, ec);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (!it->is_regular_file() || !has_cpp_extension(it->path())) continue;
+      files.push_back(it->path());
+    }
+    std::sort(files.begin(), files.end());
+    for (const fs::path& p : files) {
+      std::string rel = fs::relative(p, root).generic_string();
+      // The self-test fixtures violate the rules on purpose.
+      if (rel.find("tests/analyze/fixtures") != std::string::npos) continue;
+      ++files_scanned;
+      const orbit::lint::LexedFile lexed = orbit::lint::lex_file(rel, p.string());
+      for (Finding& f : orbit::lint::analyze_file(lexed)) {
+        findings.push_back(std::move(f));
+      }
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+
+  if (json) {
+    std::cout << "{\n  \"files_scanned\": " << files_scanned
+              << ",\n  \"count\": " << findings.size()
+              << ",\n  \"findings\": [";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      const Finding& f = findings[i];
+      std::cout << (i == 0 ? "\n" : ",\n")
+                << "    {\"file\": \"" << json_escape(f.file)
+                << "\", \"line\": " << f.line << ", \"rule\": \""
+                << json_escape(f.rule) << "\", \"message\": \""
+                << json_escape(f.message) << "\"}";
+    }
+    std::cout << (findings.empty() ? "]" : "\n  ]") << "\n}\n";
+  } else {
+    for (const Finding& f : findings) {
+      std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+                << f.message << "\n";
+    }
+    std::cout << "orbit_lint: " << files_scanned << " files, "
+              << findings.size() << " finding"
+              << (findings.size() == 1 ? "" : "s") << "\n";
+  }
+  return findings.empty() ? 0 : 1;
+}

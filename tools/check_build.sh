@@ -1,30 +1,63 @@
 #!/usr/bin/env bash
-# Verification build matrix: the tier-1 test suite under AddressSanitizer and
+# Verification build matrix — the single entry point for the whole
+# verification story: the tier-1 test suite under AddressSanitizer and
 # ThreadSanitizer (with the collective-correctness checker enabled), the
 # kernel suite swept over every ORBIT_KERNELS dispatch level under UBSan,
-# plus clang-tidy static analysis. Prints a pass/fail matrix and exits
-# non-zero if any leg fails. Legs whose tooling is unavailable are reported
-# SKIP.
+# orbit_lint project-invariant analysis, clang-tidy, and shellcheck over
+# the tooling scripts. Every leg configures with ORBIT_WERROR=ON so new
+# compiler warnings fail the matrix. Prints a pass/fail matrix and exits
+# non-zero if any leg fails. Legs whose tooling is unavailable are
+# reported SKIP.
 #
-# Usage: tools/check_build.sh [--quick]
-#   --quick   run only the comm-labelled checker tests in the sanitizer legs
-#             (fast smoke of the verification layer itself)
+# Usage: tools/check_build.sh [--quick] [--list-legs] [--json <path>]
+#   --quick        run only the comm-labelled checker tests in the sanitizer
+#                  legs (fast smoke of the verification layer itself)
+#   --list-legs    print the leg names and exit (for CI orchestration)
+#   --json <path>  also write a machine-readable leg-by-leg summary
+#                  (mirrors the bench_* --json convention)
 set -u
 
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 JOBS="$(nproc 2>/dev/null || echo 4)"
-CTEST_ARGS=(--output-on-failure "-j${JOBS}")
-if [ "${1:-}" = "--quick" ]; then
-  CTEST_ARGS+=(-L comm)
-fi
+# --no-tests=error: a leg whose filter matches nothing (e.g. a half-built
+# tree after an earlier leg failure) must FAIL, not silently pass.
+CTEST_ARGS=(--output-on-failure --no-tests=error "-j${JOBS}")
+LEGS=(asan tsan trace checkpoint kernels resilience analyze tidy shellcheck)
+
+JSON_PATH=""
+while [ "$#" -gt 0 ]; do
+  case "$1" in
+    --quick)
+      CTEST_ARGS+=(-L comm)
+      ;;
+    --list-legs)
+      printf '%s\n' "${LEGS[@]}"
+      exit 0
+      ;;
+    --json)
+      if [ "$#" -lt 2 ]; then
+        echo "check_build: --json needs a path" >&2
+        exit 2
+      fi
+      JSON_PATH="$2"
+      shift
+      ;;
+    *)
+      echo "check_build: unknown argument $1" >&2
+      echo "usage: tools/check_build.sh [--quick] [--list-legs] [--json <path>]" >&2
+      exit 2
+      ;;
+  esac
+  shift
+done
 
 declare -A RESULT
 
 run_leg() {
   # run_leg <name> <build-dir> <sanitize-mode>
   local name="$1" dir="$2" mode="$3"
-  echo "==== [${name}] configure + build (ORBIT_SANITIZE=${mode}) ===="
-  if ! cmake -B "${dir}" -S . -DORBIT_SANITIZE="${mode}" \
+  echo "==== [${name}] configure + build (ORBIT_SANITIZE=${mode}, ORBIT_WERROR=ON) ===="
+  if ! cmake -B "${dir}" -S . -DORBIT_SANITIZE="${mode}" -DORBIT_WERROR=ON \
         -DORBIT_BUILD_BENCH=OFF -DORBIT_BUILD_EXAMPLES=OFF; then
     RESULT[${name}]="FAIL (configure)"
     return 1
@@ -75,7 +108,7 @@ echo "==== [checkpoint] kill-and-resume + corruption matrix (ASan) ===="
 # uninterrupted run). Reuses the ASan build so the whole save/kill/resume
 # path runs instrumented.
 if [ -d build-asan ]; then
-  if (cd build-asan && ctest --output-on-failure "-j${JOBS}" -L checkpoint); then
+  if (cd build-asan && ctest --output-on-failure --no-tests=error "-j${JOBS}" -L checkpoint); then
     RESULT[checkpoint]="PASS"
   else
     RESULT[checkpoint]="FAIL"
@@ -104,7 +137,7 @@ if [ -d build-asan ]; then
   for lvl in ${kernel_levels}; do
     echo "---- ORBIT_KERNELS=${lvl} ----"
     if ! (cd build-asan && ORBIT_KERNELS="${lvl}" ctest --output-on-failure \
-          "-j${JOBS}" -L kernels); then
+          --no-tests=error "-j${JOBS}" -L kernels); then
       kernels_status="FAIL (${lvl})"
       overall=1
       break
@@ -123,7 +156,7 @@ echo "==== [resilience] supervised chaos soak (TSan) ===="
 # the whole simulated cluster, exactly the thread-lifecycle churn TSan is
 # best at catching.
 if [ -d build-tsan ]; then
-  if (cd build-tsan && ctest --output-on-failure "-j${JOBS}" -L resilience); then
+  if (cd build-tsan && ctest --output-on-failure --no-tests=error "-j${JOBS}" -L resilience); then
     RESULT[resilience]="PASS"
   else
     RESULT[resilience]="FAIL"
@@ -131,6 +164,24 @@ if [ -d build-tsan ]; then
   fi
 else
   RESULT[resilience]="SKIP (TSan build unavailable)"
+fi
+
+echo "==== [analyze] orbit_lint project invariants ===="
+# The project-invariant analyzer (tools/analyze, DESIGN.md §4g): R1-R7 over
+# src/ tools/ bench/ tests/. Zero findings required — a finding here means
+# an ORBIT module boundary was crossed (raw getenv, collective under a
+# lock, unseeded randomness, ...) and fails the matrix. The analysis ctest
+# label (fixture self-tests) already ran inside the asan/tsan legs; this
+# leg runs the real tree.
+if [ -x build-asan/tools/analyze/orbit_lint ]; then
+  if build-asan/tools/analyze/orbit_lint --root .; then
+    RESULT[analyze]="PASS"
+  else
+    RESULT[analyze]="FAIL"
+    overall=1
+  fi
+else
+  RESULT[analyze]="SKIP (orbit_lint not built)"
 fi
 
 echo "==== [tidy] clang-tidy ===="
@@ -148,9 +199,60 @@ else
   overall=1
 fi
 
+echo "==== [shellcheck] tools/*.sh ===="
+# The verification scripts themselves are part of the verification surface:
+# a quoting bug in check_build.sh can silently skip a leg.
+if command -v shellcheck >/dev/null 2>&1; then
+  if shellcheck tools/*.sh; then
+    RESULT[shellcheck]="PASS"
+  else
+    RESULT[shellcheck]="FAIL"
+    overall=1
+  fi
+else
+  RESULT[shellcheck]="SKIP (shellcheck not installed)"
+fi
+
+write_json() {
+  # Machine-readable mirror of the matrix (the bench_* --json convention):
+  # {"overall": "...", "legs": [{"name","status","detail"}]}.
+  local path="$1" first=1 leg raw status detail
+  {
+    echo "{"
+    if [ "${overall}" -eq 0 ]; then
+      echo "  \"overall\": \"PASS\","
+    else
+      echo "  \"overall\": \"FAIL\","
+    fi
+    echo "  \"legs\": ["
+    for leg in "${LEGS[@]}"; do
+      raw="${RESULT[${leg}]:-UNKNOWN (not run)}"
+      status="${raw%% *}"
+      detail="${raw#"${status}"}"
+      detail="${detail# }"
+      detail="${detail#(}"
+      detail="${detail%)}"
+      if [ "${first}" -eq 0 ]; then
+        echo ","
+      fi
+      first=0
+      printf '    {"name": "%s", "status": "%s", "detail": "%s"}' \
+        "${leg}" "${status}" "${detail}"
+    done
+    echo ""
+    echo "  ]"
+    echo "}"
+  } > "${path}"
+  echo "check_build: wrote JSON summary to ${path}"
+}
+
 echo
 echo "==== verification matrix ===="
-for leg in asan tsan trace checkpoint kernels resilience tidy; do
-  printf '  %-6s %s\n' "${leg}" "${RESULT[${leg}]:-not run}"
+for leg in "${LEGS[@]}"; do
+  printf '  %-10s %s\n' "${leg}" "${RESULT[${leg}]:-not run}"
 done
+
+if [ -n "${JSON_PATH}" ]; then
+  write_json "${JSON_PATH}"
+fi
 exit "${overall}"

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# clang-tidy runner for the concurrency-heavy modules (src/comm, src/parallel,
-# src/trace) and the SIMD microkernels (src/kernels).
+# clang-tidy runner over all of src/ (comm, parallel, trace, kernels, core,
+# model, tensor, serve, resilience, train, data, metrics, perf). Files are
+# checked in parallel (xargs -P nproc); the aggregate exit status is
+# preserved — any file with findings fails the run.
 #
 # Usage: tools/lint.sh [build-dir]
 #   build-dir (default: build) must contain compile_commands.json — configure
@@ -11,7 +13,7 @@
 # `lint` target never breaks environments without LLVM tooling.
 set -u
 
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 BUILD_DIR="${1:-build}"
 
 find_clang_tidy() {
@@ -39,26 +41,22 @@ if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
   exit 1
 fi
 
-FILES=$(ls src/comm/*.cpp src/parallel/*.cpp src/trace/*.cpp \
-           src/kernels/*.cpp 2>/dev/null)
+FILES="$(find src -name '*.cpp' | sort)"
 if [ -z "${FILES}" ]; then
-  echo "lint: no sources found under src/comm, src/parallel, src/trace, and src/kernels"
+  echo "lint: no sources found under src/"
   exit 1
 fi
 
-echo "lint: ${TIDY} over:"
-printf '  %s\n' ${FILES}
+JOBS="$(nproc 2>/dev/null || echo 4)"
+echo "lint: ${TIDY} (-P ${JOBS}) over $(printf '%s\n' "${FILES}" | wc -l) files:"
+printf '%s\n' "${FILES}" | sed 's/^/  /'
 
-status=0
-for f in ${FILES}; do
-  if ! "${TIDY}" -p "${BUILD_DIR}" --quiet "${f}"; then
-    status=1
-  fi
-done
-
-if [ "${status}" -eq 0 ]; then
+# xargs exits 123 when any invocation fails, which preserves the aggregate
+# pass/fail verdict across the parallel fan-out.
+if printf '%s\n' "${FILES}" \
+    | xargs -P "${JOBS}" -n 1 "${TIDY}" -p "${BUILD_DIR}" --quiet; then
   echo "lint: PASS"
-else
-  echo "lint: FAIL — clang-tidy reported findings above"
+  exit 0
 fi
-exit "${status}"
+echo "lint: FAIL — clang-tidy reported findings above"
+exit 1
