@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/exporters.hpp"
 #include "tools/argparse.hpp"
 
 /// \file bench_util.hpp
@@ -61,7 +62,11 @@ inline std::string params_str(double params) {
 /// the report is a no-op, so the human output is unchanged.
 ///
 /// Output shape (one object, insertion-ordered keys):
-///   {"bench": "<name>", "metrics": {"k": 1.25, ...}, "notes": {"k": "v"}}
+///   {"bench": "<name>", "metrics": {"k": 1.25, ...}, "notes": {"k": "v"},
+///    "telemetry": {"<series id>": value, ...}}
+/// The `telemetry` object is the final registry snapshot flattened with the
+/// exporters' series naming (`comm_bytes_total{axis="fsdp"}`, ...), so a
+/// bench report and a Prometheus scrape of the same run agree key-for-key.
 class JsonReport {
  public:
   JsonReport(int argc, char** argv, std::string bench_name)
@@ -141,6 +146,14 @@ class JsonReport {
       if (i) out += ", ";
       out += "\"" + escape(notes_[i].first) + "\": \"" +
              escape(notes_[i].second) + "\"";
+    }
+    out += "}, \"telemetry\": {";
+    const auto series = telemetry::flat_series(
+        telemetry::scrape(), /*window_quantiles=*/false);
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      if (i) out += ", ";
+      out += "\"" + escape(series[i].first) +
+             "\": " + number(series[i].second);
     }
     out += "}}\n";
     return out;

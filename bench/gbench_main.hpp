@@ -2,8 +2,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <fstream>
 #include <string>
 #include <vector>
+
+#include "telemetry/exporters.hpp"
 
 /// \file gbench_main.hpp
 /// Replacement for BENCHMARK_MAIN() that adds the repo-standard
@@ -11,6 +14,11 @@
 /// to `--benchmark_out=<path> --benchmark_out_format=json` so all
 /// `bench_*` binaries share one machine-readable interface. Every other
 /// flag passes through to the benchmark library untouched.
+///
+/// Since the benchmark library owns the output file's shape, the final
+/// telemetry registry snapshot rides in a sidecar instead:
+/// `<path>.telemetry.json`, one JSONL-exporter-format record with the same
+/// series ids the Prometheus exposition uses.
 
 namespace orbit::bench {
 
@@ -18,6 +26,7 @@ inline int gbench_main(int argc, char** argv) {
   std::vector<std::string> storage;
   storage.reserve(static_cast<std::size_t>(argc) + 2);
   storage.emplace_back(argc > 0 ? argv[0] : "bench");
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     std::string path;
@@ -29,6 +38,7 @@ inline int gbench_main(int argc, char** argv) {
       storage.push_back(arg);
       continue;
     }
+    json_path = path;
     storage.push_back("--benchmark_out=" + path);
     storage.emplace_back("--benchmark_out_format=json");
   }
@@ -41,6 +51,10 @@ inline int gbench_main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!json_path.empty() && json_path != "-") {
+    std::ofstream side(json_path + ".telemetry.json", std::ios::trunc);
+    if (side) side << orbit::telemetry::to_jsonl_record(orbit::telemetry::scrape());
+  }
   return 0;
 }
 

@@ -17,6 +17,8 @@
 #include "comm/check.hpp"
 #include "comm/fault.hpp"
 #include "comm/process_group.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/registry.hpp"
 #include "trace/trace.hpp"
 
 namespace orbit::comm {
@@ -88,6 +90,40 @@ struct GroupState {
   /// spans and traffic report rows. Static-duration string by contract.
   std::atomic<const char*> axis{"group"};
 
+  /// Registry instruments for the current axis, resolved lazily because the
+  /// axis tag is applied after group creation. The cache is keyed on the
+  /// axis *pointer* (static strings); re-labelling swaps the cache entry but
+  /// keeps old entries owned, so a racing recorder never uses freed memory.
+  struct AxisCounters {
+    const char* axis_tag;
+    telemetry::Counter bytes_total;
+    telemetry::Counter ops_total;
+  };
+  std::mutex axis_mu;
+  std::vector<std::unique_ptr<AxisCounters>> axis_owned;
+  std::atomic<AxisCounters*> axis_cache{nullptr};
+
+  AxisCounters& axis_counters(const char* ax) {
+    AxisCounters* ac = axis_cache.load(std::memory_order_acquire);
+    if (ac != nullptr && ac->axis_tag == ax) return *ac;
+    std::lock_guard<std::mutex> lk(axis_mu);
+    for (const auto& owned : axis_owned) {
+      if (owned->axis_tag == ax) {
+        axis_cache.store(owned.get(), std::memory_order_release);
+        return *owned;
+      }
+    }
+    telemetry::Registry& reg = telemetry::Registry::global();
+    axis_owned.push_back(std::make_unique<AxisCounters>(AxisCounters{
+        ax,
+        reg.counter("comm_bytes_total", {{"axis", ax}},
+                    "Collective + p2p payload bytes per parallel axis"),
+        reg.counter("comm_ops_total", {{"axis", ax}},
+                    "Collective + p2p operations per parallel axis")}));
+    axis_cache.store(axis_owned.back().get(), std::memory_order_release);
+    return *axis_owned.back();
+  }
+
   // Point-to-point mailboxes keyed by (src group rank, dst group rank, tag).
   std::mutex mail_mu;
   std::condition_variable mail_cv;
@@ -98,10 +134,15 @@ struct GroupState {
         bytes.fetch_add(payload_bytes, std::memory_order_relaxed) +
         payload_bytes;
     ops.fetch_add(1, std::memory_order_relaxed);
+    const char* ax = axis.load(std::memory_order_relaxed);
     // Cumulative per-axis traffic as a trace counter series: the recording
     // rank (group rank 0 / the sender) samples the group's running total.
-    trace::counter("comm.bytes", axis.load(std::memory_order_relaxed),
-                   static_cast<std::int64_t>(total));
+    trace::counter("comm.bytes", ax, static_cast<std::int64_t>(total));
+    // The same traffic as registry series, aggregated *across* groups on an
+    // axis (two fsdp groups both feed comm_bytes_total{axis="fsdp"}).
+    AxisCounters& ac = axis_counters(ax);
+    ac.bytes_total.inc(payload_bytes);
+    ac.ops_total.inc();
   }
 
   [[noreturn]] void throw_sticky() const {
@@ -780,12 +821,32 @@ void run_spmd(int world_size, const std::function<void(RankContext&)>& fn) {
   }
   // Prefer the root cause: a rank's own exception explains the failure
   // better than the checker-raised desync errors its peers produced while
-  // it was unwinding.
-  for (const auto& e : errors) {
-    if (e.ep && !e.from_checker) std::rethrow_exception(e.ep);
+  // it was unwinding. The chosen error is also noted with the flight
+  // recorder, so a postmortem bundle names the first-failing rank even
+  // after the supervisor has wrapped the exception in retry bookkeeping.
+  auto note_and_rethrow = [](int rank, const RankError& e) {
+    std::string what = "non-standard exception";
+    try {
+      std::rethrow_exception(e.ep);
+    } catch (const std::exception& ex) {
+      what = ex.what();
+      telemetry::note_root_cause(
+          "run_spmd rank " + std::to_string(rank) +
+          (e.from_checker ? " (checker): " : ": ") + what);
+      throw;
+    } catch (...) {
+      telemetry::note_root_cause("run_spmd rank " + std::to_string(rank) +
+                                 ": " + what);
+      throw;
+    }
+  };
+  for (std::size_t r = 0; r < errors.size(); ++r) {
+    if (errors[r].ep && !errors[r].from_checker) {
+      note_and_rethrow(static_cast<int>(r), errors[r]);
+    }
   }
-  for (const auto& e : errors) {
-    if (e.ep) std::rethrow_exception(e.ep);
+  for (std::size_t r = 0; r < errors.size(); ++r) {
+    if (errors[r].ep) note_and_rethrow(static_cast<int>(r), errors[r]);
   }
 }
 

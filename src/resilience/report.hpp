@@ -39,6 +39,10 @@ struct AttemptRecord {
   std::string error;            ///< what() of the failure, empty on success
   /// Backoff slept before the *next* attempt (0 for the last record).
   std::chrono::milliseconds backoff{0};
+  /// Path of this attempt's flight-recorder bundle
+  /// (`<prefix>.attempt<k>.postmortem.json`); empty when the attempt
+  /// succeeded or the recorder was not armed.
+  std::string postmortem;
 };
 
 enum class Outcome : std::uint8_t {
@@ -55,6 +59,9 @@ struct RecoveryReport {
   /// Latest committed checkpoint step when the supervisor returned
   /// (-1 when no checkpoint was ever committed).
   std::int64_t final_step = -1;
+  /// Path of the terminal `<prefix>.postmortem.json` bundle; empty when the
+  /// run succeeded or the recorder was not armed.
+  std::string postmortem;
 
   bool succeeded() const { return outcome == Outcome::kSucceeded; }
   int total_attempts() const { return static_cast<int>(attempts.size()); }

@@ -8,6 +8,8 @@
 #include "comm/check.hpp"
 #include "comm/fault.hpp"
 #include "core/hs_checkpoint.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/registry.hpp"
 #include "trace/trace.hpp"
 
 namespace orbit::resilience {
@@ -34,6 +36,39 @@ Classification classify(const std::exception& e, const RetryPolicy& policy) {
   return {FailureKind::kOther, false};
 }
 
+/// Registry instruments of the resilience plane, one set per process; the
+/// failure counter fans out per classified kind.
+struct ResilienceMetrics {
+  telemetry::Counter attempts;
+  telemetry::Counter retries;
+  telemetry::Histogram attempt_ms;
+  telemetry::Histogram backoff_ms;
+
+  static ResilienceMetrics& get() {
+    static ResilienceMetrics* m = [] {
+      telemetry::Registry& reg = telemetry::Registry::global();
+      auto* r = new ResilienceMetrics();
+      r->attempts = reg.counter("resilience_attempts_total", {},
+                                "Supervised launches (first try included)");
+      r->retries = reg.counter("resilience_retries_total", {},
+                               "Relaunches after a retryable failure");
+      r->attempt_ms = reg.histogram("resilience_attempt_duration_ms", {},
+                                    "Wall time of one supervised attempt, ms");
+      r->backoff_ms = reg.histogram(
+          "resilience_backoff_ms", {},
+          "Backoff slept before a relaunch, ms (recovery latency)");
+      return r;
+    }();
+    return *m;
+  }
+
+  telemetry::Counter failures(FailureKind kind) {
+    return telemetry::Registry::global().counter(
+        "resilience_failures_total", {{"kind", failure_kind_name(kind)}},
+        "Attempt failures by classified kind");
+  }
+};
+
 }  // namespace
 
 Supervisor::Supervisor(SupervisorConfig cfg) : cfg_(std::move(cfg)) {
@@ -55,6 +90,10 @@ RecoveryReport Supervisor::run(
   RecoveryReport report;
   Rng backoff_rng(cfg_.backoff_seed);
   int failures_since_progress = 0;
+  ResilienceMetrics& rm = ResilienceMetrics::get();
+  if (!cfg_.postmortem_prefix.empty()) {
+    telemetry::arm_flight_recorder(cfg_.postmortem_prefix);
+  }
 
   for (int attempt = 1;; ++attempt) {
     AttemptRecord rec;
@@ -66,11 +105,15 @@ RecoveryReport Supervisor::run(
     // advances instead of re-killing the same step forever.
     comm::fault::begin_attempt();
     trace::counter("resilience.attempts", nullptr, attempt);
+    rm.attempts.inc();
+    const std::uint64_t attempt_start_ns = trace::now_ns();
 
     try {
       trace::Span span("resilience.attempt", trace::Category::kResilience,
                        nullptr, attempt);
       comm::run_spmd(cfg_.world_size, body);
+      rm.attempt_ms.record(
+          static_cast<double>(trace::now_ns() - attempt_start_ns) / 1e6);
       rec.succeeded = true;
       rec.end_step = probe_progress();
       rec.made_progress = rec.end_step > rec.start_step;
@@ -79,18 +122,30 @@ RecoveryReport Supervisor::run(
       report.final_step = rec.end_step;
       return report;
     } catch (const std::exception& e) {
+      rm.attempt_ms.record(
+          static_cast<double>(trace::now_ns() - attempt_start_ns) / 1e6);
       const Classification cls = classify(e, cfg_.retry);
+      rm.failures(cls.kind).inc();
       rec.failure = cls.kind;
       rec.error = e.what();
       rec.end_step = probe_progress();
       rec.made_progress = rec.end_step > rec.start_step;
       trace::instant("resilience.failure", trace::Category::kResilience,
                      failure_kind_name(cls.kind), attempt);
+      // Every failed attempt leaves its own bundle (run_spmd has already
+      // noted the first-failing rank as the root cause).
+      rec.postmortem =
+          telemetry::dump_postmortem("attempt_failed", rec.error,
+                                     ".attempt" + std::to_string(attempt))
+              .value_or("");
 
       if (!cls.retryable) {
         report.attempts.push_back(rec);
         report.outcome = Outcome::kNonRetryable;
         report.final_step = rec.end_step;
+        report.postmortem =
+            telemetry::dump_postmortem("supervisor_terminal", rec.error)
+                .value_or("");
         return report;
       }
 
@@ -106,11 +161,16 @@ RecoveryReport Supervisor::run(
         report.attempts.push_back(rec);
         report.outcome = Outcome::kRetriesExhausted;
         report.final_step = rec.end_step;
+        report.postmortem =
+            telemetry::dump_postmortem("supervisor_terminal", rec.error)
+                .value_or("");
         return report;
       }
 
       rec.backoff = cfg_.retry.backoff_for(
           std::max(1, failures_since_progress), backoff_rng);
+      rm.backoff_ms.record(static_cast<double>(rec.backoff.count()));
+      rm.retries.inc();
       report.attempts.push_back(rec);
       trace::flow("resilience.recover", static_cast<std::uint64_t>(attempt),
                   /*begin=*/true, trace::Category::kResilience);

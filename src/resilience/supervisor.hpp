@@ -56,6 +56,11 @@ struct SupervisorConfig {
   /// none); defaults to `core::latest_checkpoint_step(checkpoint_prefix)`.
   /// Tests inject fakes to script progress/no-progress sequences.
   std::function<std::int64_t()> progress_fn;
+  /// Arms the telemetry flight recorder: every failed attempt dumps
+  /// `<prefix>.attempt<k>.postmortem.json` and a terminal outcome also
+  /// writes `<prefix>.postmortem.json` (paths land in the report). Empty
+  /// leaves the recorder as the process configured it.
+  std::string postmortem_prefix;
 };
 
 class Supervisor {

@@ -124,6 +124,7 @@ std::future<ForecastResult> ForecastServer::submit(ForecastRequest req) {
     stats_.record_error();
     fail(std::move(p), Status::kError, "server stopped");
   }
+  stats_.set_queue_depth(queue_.size());
   return fut;
 }
 
@@ -133,6 +134,7 @@ void ForecastServer::worker_loop(int worker_index) {
   for (;;) {
     std::vector<Pending> batch = batcher_.next_batch();
     if (batch.empty()) return;  // queue closed and drained
+    stats_.set_queue_depth(queue_.size());
     run_batch(m, std::move(batch));
   }
 }
@@ -246,6 +248,7 @@ void ForecastServer::shutdown() {
 }
 
 StatsSnapshot ForecastServer::stats() const {
+  stats_.set_queue_depth(queue_.size());
   StatsSnapshot s = stats_.snapshot();
   s.queue_depth = queue_.size();
   return s;

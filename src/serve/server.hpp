@@ -101,7 +101,9 @@ class ForecastServer {
   RequestQueue queue_;
   DynamicBatcher batcher_;
   std::vector<std::unique_ptr<model::OrbitModel>> replicas_;
-  std::atomic<std::uint64_t> next_id_{1};
+  // Request-id allocator, not a metric: ids must be unique, never read as a
+  // total, and the registry's sharded counters don't hand out unique values.
+  std::atomic<std::uint64_t> next_id_{1};  // orbit-lint: allow(R8) -- id allocator, not a stat
   std::atomic<bool> stopping_{false};
   std::vector<std::thread> workers_;
 };

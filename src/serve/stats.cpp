@@ -1,9 +1,23 @@
 #include "serve/stats.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 
 namespace orbit::serve {
+
+namespace {
+
+using telemetry::Labels;
+using telemetry::Registry;
+
+std::string next_server_label() {
+  // Hands every ServerStats a distinct `server` label value.
+  static std::atomic<std::uint64_t> g_instance{0};  // orbit-lint: allow(R8) -- label allocator, not a stat
+  return std::to_string(g_instance.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
 
 std::string StatsSnapshot::summary() const {
   char buf[320];
@@ -24,84 +38,116 @@ std::string StatsSnapshot::summary() const {
 }
 
 ServerStats::ServerStats(std::size_t max_batch)
-    : batch_size_counts_(std::max<std::size_t>(2, max_batch + 1), 0) {}
-
-void ServerStats::record_submitted() {
-  std::lock_guard<std::mutex> lk(mu_);
-  ++submitted_;
+    : server_(next_server_label()) {
+  Registry& reg = Registry::global();
+  auto outcome = [&](const char* o) -> telemetry::Counter {
+    return reg.counter("serve_requests_total",
+                       {{"server", server_}, {"outcome", o}},
+                       "Serve requests by terminal outcome; submitted == "
+                       "completed+shed+expired+rejected+error");
+  };
+  submitted_ = outcome("submitted");
+  completed_ = outcome("completed");
+  shed_ = outcome("shed");
+  expired_ = outcome("expired");
+  rejected_ = outcome("rejected");
+  errors_ = outcome("error");
+  batches_ = reg.counter("serve_batches_total", {{"server", server_}},
+                         "Batches executed by the serve worker pool");
+  batched_requests_ =
+      reg.counter("serve_batched_requests_total", {{"server", server_}},
+                  "Requests summed over executed batches");
+  latency_us_ =
+      reg.histogram("serve_latency_us", {{"server", server_}},
+                    "End-to-end request latency (submit -> result), us");
+  queue_us_ =
+      reg.histogram("serve_queue_wait_us", {{"server", server_}},
+                    "Queue wait (submit -> batch start), us");
+  queue_depth_ = reg.gauge("serve_queue_depth", {{"server", server_}},
+                           "Requests waiting in the admission queue");
+  const std::size_t sizes = std::max<std::size_t>(2, max_batch + 1);
+  batch_size_counts_.reserve(sizes);
+  for (std::size_t b = 0; b < sizes; ++b) {
+    batch_size_counts_.push_back(reg.counter(
+        "serve_batch_size_total",
+        {{"server", server_}, {"size", std::to_string(b)}},
+        "Batches executed with exactly this many requests"));
+  }
 }
 
+void ServerStats::record_submitted() { submitted_.inc(); }
+
 void ServerStats::record_completed(double total_us, double queue_us) {
-  std::lock_guard<std::mutex> lk(mu_);
-  ++completed_;
+  completed_.inc();
   latency_us_.record(total_us);
   queue_us_.record(queue_us);
 }
 
-void ServerStats::record_shed() {
-  std::lock_guard<std::mutex> lk(mu_);
-  ++shed_;
-}
+void ServerStats::record_shed() { shed_.inc(); }
 
-void ServerStats::record_expired() {
-  std::lock_guard<std::mutex> lk(mu_);
-  ++expired_;
-}
+void ServerStats::record_expired() { expired_.inc(); }
 
-void ServerStats::record_rejected() {
-  std::lock_guard<std::mutex> lk(mu_);
-  ++rejected_;
-}
+void ServerStats::record_rejected() { rejected_.inc(); }
 
-void ServerStats::record_error() {
-  std::lock_guard<std::mutex> lk(mu_);
-  ++errors_;
-}
+void ServerStats::record_error() { errors_.inc(); }
 
 void ServerStats::record_batch(std::size_t batch_size) {
-  std::lock_guard<std::mutex> lk(mu_);
-  ++batches_;
-  batched_requests_ += batch_size;
+  batches_.inc();
+  batched_requests_.inc(batch_size);
   const std::size_t i = std::min(batch_size, batch_size_counts_.size() - 1);
-  ++batch_size_counts_[i];
+  batch_size_counts_[i].inc();
+}
+
+void ServerStats::set_queue_depth(std::size_t depth) const {
+  queue_depth_.set(static_cast<double>(depth));
 }
 
 StatsSnapshot ServerStats::snapshot() const {
-  std::lock_guard<std::mutex> lk(mu_);
   StatsSnapshot s;
-  s.submitted = submitted_;
-  s.completed = completed_;
-  s.shed = shed_;
-  s.expired = expired_;
-  s.rejected = rejected_;
-  s.errors = errors_;
-  s.batches = batches_;
-  s.latency_p50_ms = latency_us_.quantile(0.50) / 1e3;
-  s.latency_p95_ms = latency_us_.quantile(0.95) / 1e3;
-  s.latency_p99_ms = latency_us_.quantile(0.99) / 1e3;
-  s.latency_mean_ms = latency_us_.mean() / 1e3;
-  s.latency_max_ms = latency_us_.max() / 1e3;
-  s.queue_p50_ms = queue_us_.quantile(0.50) / 1e3;
-  s.queue_p95_ms = queue_us_.quantile(0.95) / 1e3;
-  s.queue_p99_ms = queue_us_.quantile(0.99) / 1e3;
-  s.queue_mean_ms = queue_us_.mean() / 1e3;
-  s.queue_max_ms = queue_us_.max() / 1e3;
-  s.batch_size_counts = batch_size_counts_;
+  s.submitted = submitted_.value();
+  s.completed = completed_.value();
+  s.shed = shed_.value();
+  s.expired = expired_.value();
+  s.rejected = rejected_.value();
+  s.errors = errors_.value();
+  s.batches = batches_.value();
+  const telemetry::HistogramRead lat = telemetry::HistogramRead::of(latency_us_);
+  const telemetry::HistogramRead q = telemetry::HistogramRead::of(queue_us_);
+  s.latency_p50_ms = lat.p50 / 1e3;
+  s.latency_p95_ms = lat.p95 / 1e3;
+  s.latency_p99_ms = lat.p99 / 1e3;
+  s.latency_mean_ms = lat.mean / 1e3;
+  s.latency_max_ms = lat.max / 1e3;
+  s.queue_p50_ms = q.p50 / 1e3;
+  s.queue_p95_ms = q.p95 / 1e3;
+  s.queue_p99_ms = q.p99 / 1e3;
+  s.queue_mean_ms = q.mean / 1e3;
+  s.queue_max_ms = q.max / 1e3;
+  s.batch_size_counts.reserve(batch_size_counts_.size());
+  for (const telemetry::Counter& c : batch_size_counts_) {
+    s.batch_size_counts.push_back(c.value());
+  }
   s.mean_batch_size =
-      batches_ ? static_cast<double>(batched_requests_) /
-                     static_cast<double>(batches_)
-               : 0.0;
+      s.batches ? static_cast<double>(batched_requests_.value()) /
+                      static_cast<double>(s.batches)
+                : 0.0;
+  s.queue_depth = static_cast<std::size_t>(queue_depth_.value());
   return s;
 }
 
 void ServerStats::reset() {
-  std::lock_guard<std::mutex> lk(mu_);
-  submitted_ = completed_ = shed_ = expired_ = rejected_ = errors_ = 0;
-  batches_ = 0;
-  batched_requests_ = 0;
+  submitted_.reset();
+  completed_.reset();
+  shed_.reset();
+  expired_.reset();
+  rejected_.reset();
+  errors_.reset();
+  batches_.reset();
+  batched_requests_.reset();
   latency_us_.reset();
   queue_us_.reset();
-  std::fill(batch_size_counts_.begin(), batch_size_counts_.end(), 0);
+  queue_depth_.set(0.0);
+  for (const telemetry::Counter& c : batch_size_counts_) c.reset();
 }
 
 }  // namespace orbit::serve

@@ -1,24 +1,28 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
-#include "metrics/histogram.hpp"
+#include "telemetry/registry.hpp"
 
 /// \file stats.hpp
 /// Serving-plane observability: end-to-end latency histogram (p50/p95/p99),
 /// batch-size distribution, shed/rejected/expired/error counters and a
-/// queue-depth gauge. All record paths are thread-safe; `snapshot()` returns
-/// a consistent copy so monitors never race the hot path.
+/// queue-depth gauge. Since the telemetry registry landed, ServerStats is a
+/// *view* over registry instruments — every series carries a per-instance
+/// `server="<n>"` label, so multiple servers in one process (tests spin up
+/// dozens) export side by side without clobbering each other, and the same
+/// numbers flow to the Prometheus/JSONL exporters and the `stats()` API.
 ///
 /// Overload accounting invariant — every submitted request lands in exactly
 /// one terminal counter:
 ///   submitted == completed + shed + expired + rejected + errors
 /// where `shed` = deadline already past at the submit door, `expired` =
 /// admitted but the deadline lapsed before compute started (batcher drop),
-/// `rejected` = full-queue kBusy rejections in reject mode.
+/// `rejected` = full-queue kBusy rejections in reject mode. The invariant
+/// is checkable from a `StatsSnapshot`, from a registry snapshot, and from
+/// exported Prometheus text (serve_loadgen --metrics-out does the last).
 
 namespace orbit::serve {
 
@@ -74,22 +78,31 @@ class ServerStats {
   void record_error();
   void record_batch(std::size_t batch_size);
 
+  /// Publish the current queue depth (`serve_queue_depth` gauge); the
+  /// server calls this on every queue transition and at snapshot time.
+  void set_queue_depth(std::size_t depth) const;
+
   StatsSnapshot snapshot() const;
   void reset();
 
+  /// The `server` label value of this instance's registry series.
+  const std::string& server_label() const { return server_; }
+
  private:
-  mutable std::mutex mu_;
-  std::uint64_t submitted_ = 0;
-  std::uint64_t completed_ = 0;
-  std::uint64_t shed_ = 0;
-  std::uint64_t expired_ = 0;
-  std::uint64_t rejected_ = 0;
-  std::uint64_t errors_ = 0;
-  std::uint64_t batches_ = 0;
-  std::uint64_t batched_requests_ = 0;
-  metrics::Histogram latency_us_;
-  metrics::Histogram queue_us_;
-  std::vector<std::uint64_t> batch_size_counts_;
+  std::string server_;  ///< unique per instance ("0", "1", ...)
+
+  telemetry::Counter submitted_;
+  telemetry::Counter completed_;
+  telemetry::Counter shed_;
+  telemetry::Counter expired_;
+  telemetry::Counter rejected_;
+  telemetry::Counter errors_;
+  telemetry::Counter batches_;
+  telemetry::Counter batched_requests_;
+  telemetry::Histogram latency_us_;
+  telemetry::Histogram queue_us_;
+  telemetry::Gauge queue_depth_;
+  std::vector<telemetry::Counter> batch_size_counts_;  ///< index = size
 };
 
 }  // namespace orbit::serve

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+/// \file json_mini.hpp
+/// A small strict JSON reader for the telemetry plane's own artifacts: the
+/// JSONL exporter records and the flight-recorder postmortem bundles, both
+/// of which this module also *writes*. It is a full-grammar recursive
+/// descent parser (objects, arrays, strings with escapes, numbers, bools,
+/// null), kept separate from the trace module's Chrome-JSON loader because
+/// that one is shaped around trace-event streams, not generic values.
+/// Errors throw std::runtime_error naming the byte offset.
+
+namespace orbit::telemetry::json {
+
+class Value;
+using Object = std::vector<std::pair<std::string, Value>>;  ///< key-ordered as written
+using Array = std::vector<Value>;
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw std::runtime_error on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* get(const std::string& key) const;
+
+ private:
+  friend Value parse(const std::string&);
+  friend class Parser;
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::shared_ptr<Array> arr_;
+  std::shared_ptr<Object> obj_;
+};
+
+/// Parse one JSON document (trailing whitespace allowed, nothing else).
+Value parse(const std::string& text);
+
+/// Split a JSONL file body into parsed records, skipping blank lines.
+std::vector<Value> parse_lines(const std::string& text);
+
+}  // namespace orbit::telemetry::json

@@ -1,0 +1,295 @@
+#include "telemetry/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "trace/trace.hpp"
+
+namespace orbit::telemetry {
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kCounter: return "counter";
+    case Kind::kGauge: return "gauge";
+    case Kind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+namespace detail {
+
+HistogramState::HistogramState(double lo_, double hi_, int bpd_)
+    : lo(lo_), hi(hi_), bpd(bpd_) {
+  shards.reserve(kHistShards);
+  for (std::size_t i = 0; i < kHistShards; ++i) {
+    shards.push_back(std::make_unique<HistShard>(lo, hi, bpd));
+  }
+}
+
+namespace {
+std::atomic<unsigned> g_shard_seq{0};
+}  // namespace
+
+std::size_t shard_slot() noexcept {
+  thread_local const std::size_t slot =
+      g_shard_seq.fetch_add(1, std::memory_order_relaxed) % kCounterShards;
+  return slot;
+}
+
+}  // namespace detail
+
+std::uint64_t Counter::value() const noexcept {
+  if (s_ == nullptr) return 0;
+  std::uint64_t total = 0;
+  for (const auto& c : s_->cells) total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::reset() const noexcept {
+  if (s_ == nullptr) return;
+  for (auto& c : s_->cells) c.v.store(0, std::memory_order_relaxed);
+}
+
+void Gauge::add(double delta) const noexcept {
+  if (s_ == nullptr) return;
+  double cur = s_->v.load(std::memory_order_relaxed);
+  while (!s_->v.compare_exchange_weak(cur, cur + delta,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::record(double value) const {
+  if (s_ == nullptr) return;
+  detail::HistShard& sh =
+      *s_->shards[detail::shard_slot() % detail::kHistShards];
+  std::lock_guard<std::mutex> lk(sh.mu);
+  sh.cum.record(value);
+  sh.win.record(value);
+}
+
+void Histogram::reset() const {
+  if (s_ == nullptr) return;
+  for (const auto& sh : s_->shards) {
+    std::lock_guard<std::mutex> lk(sh->mu);
+    sh->cum.reset();
+    sh->win.reset();
+  }
+}
+
+HistogramRead HistogramRead::of(const Histogram& h, bool window) {
+  HistogramRead r;
+  if (h.s_ == nullptr) return r;
+  metrics::Histogram merged(h.s_->lo, h.s_->hi, h.s_->bpd);
+  for (const auto& sh : h.s_->shards) {
+    std::lock_guard<std::mutex> lk(sh->mu);
+    merged.merge(window ? sh->win : sh->cum);
+  }
+  r.count = merged.count();
+  r.mean = merged.mean();
+  r.sum = merged.mean() * static_cast<double>(merged.count());
+  r.min = merged.min();
+  r.max = merged.max();
+  r.p50 = merged.quantile(0.50);
+  r.p95 = merged.quantile(0.95);
+  r.p99 = merged.quantile(0.99);
+  return r;
+}
+
+namespace {
+
+bool valid_ident(const std::string& s) {
+  if (s.empty()) return false;
+  if (std::isalpha(static_cast<unsigned char>(s[0])) == 0 && s[0] != '_') {
+    return false;
+  }
+  return std::all_of(s.begin(), s.end(), [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+  });
+}
+
+Labels canonical(const Labels& labels) {
+  Labels out = labels;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string label_escape(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::string series_id_of(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string out = name + "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) out += ",";
+    out += labels[i].first + "=\"" + label_escape(labels[i].second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string MetricPoint::series_id() const {
+  return series_id_of(name, labels);
+}
+
+const MetricPoint* RegistrySnapshot::find(const std::string& name,
+                                          const Labels& labels) const {
+  const Labels want = canonical(labels);
+  for (const MetricPoint& p : points) {
+    if (p.name == name && p.labels == want) return &p;
+  }
+  return nullptr;
+}
+
+double RegistrySnapshot::value(const std::string& name,
+                               const Labels& labels) const {
+  const MetricPoint* p = find(name, labels);
+  return p == nullptr ? 0.0 : p->value;
+}
+
+double RegistrySnapshot::sum(const std::string& name) const {
+  double total = 0.0;
+  for (const MetricPoint& p : points) {
+    if (p.name == name) total += p.value;
+  }
+  return total;
+}
+
+// Handles share ownership of the instrument state, so destroying a
+// (test-local) registry or calling reset_for_tests() never invalidates a
+// handle some worker thread still writes through — the series just stops
+// being visible in snapshots.
+Registry::~Registry() = default;
+
+Registry& Registry::global() {
+  static Registry* r = new Registry();  // leaked: threads may outlive main
+  return *r;
+}
+
+Registry::Entry& Registry::find_or_create(const std::string& name,
+                                          const Labels& labels, Kind kind,
+                                          const std::string& help) {
+  if (!valid_ident(name)) {
+    throw std::invalid_argument("telemetry: invalid metric name \"" + name +
+                                "\" — want [A-Za-z_][A-Za-z0-9_]*");
+  }
+  const Labels canon = canonical(labels);
+  for (std::size_t i = 0; i < canon.size(); ++i) {
+    if (!valid_ident(canon[i].first)) {
+      throw std::invalid_argument("telemetry: invalid label key \"" +
+                                  canon[i].first + "\" on metric " + name);
+    }
+    if (i > 0 && canon[i].first == canon[i - 1].first) {
+      throw std::invalid_argument("telemetry: duplicate label key \"" +
+                                  canon[i].first + "\" on metric " + name);
+    }
+  }
+  const std::string key = series_id_of(name, canon);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    if (it->second.kind != kind) {
+      throw std::logic_error("telemetry: " + key + " already registered as " +
+                             kind_name(it->second.kind) +
+                             ", re-requested as " + kind_name(kind));
+    }
+    return it->second;
+  }
+  Entry e;
+  e.name = name;
+  e.labels = canon;
+  e.kind = kind;
+  e.help = help;
+  return entries_.emplace(key, std::move(e)).first->second;
+}
+
+Counter Registry::counter(const std::string& name, const Labels& labels,
+                          const std::string& help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry& e = find_or_create(name, labels, Kind::kCounter, help);
+  if (e.counter == nullptr) e.counter = std::make_shared<detail::CounterState>();
+  return Counter(e.counter);
+}
+
+Gauge Registry::gauge(const std::string& name, const Labels& labels,
+                      const std::string& help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry& e = find_or_create(name, labels, Kind::kGauge, help);
+  if (e.gauge == nullptr) e.gauge = std::make_shared<detail::GaugeState>();
+  return Gauge(e.gauge);
+}
+
+Histogram Registry::histogram(const std::string& name, const Labels& labels,
+                              const std::string& help, double lo, double hi,
+                              int buckets_per_decade) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry& e = find_or_create(name, labels, Kind::kHistogram, help);
+  if (e.hist == nullptr) {
+    e.hist =
+        std::make_shared<detail::HistogramState>(lo, hi, buckets_per_decade);
+  } else if (e.hist->lo != lo || e.hist->hi != hi ||
+             e.hist->bpd != buckets_per_decade) {
+    throw std::logic_error("telemetry: histogram " + name +
+                           " re-registered with different buckets");
+  }
+  return Histogram(e.hist);
+}
+
+RegistrySnapshot Registry::snapshot(bool rotate_windows) {
+  RegistrySnapshot snap;
+  snap.ts_ns = trace::now_ns();
+  std::lock_guard<std::mutex> lk(mu_);
+  snap.points.reserve(entries_.size());
+  for (auto& [key, e] : entries_) {
+    MetricPoint p;
+    p.name = e.name;
+    p.labels = e.labels;
+    p.kind = e.kind;
+    p.help = e.help;
+    switch (e.kind) {
+      case Kind::kCounter:
+        p.value = static_cast<double>(Counter(e.counter).value());
+        break;
+      case Kind::kGauge:
+        p.value = Gauge(e.gauge).value();
+        break;
+      case Kind::kHistogram: {
+        Histogram h(e.hist);
+        p.hist = HistogramRead::of(h, /*window=*/false);
+        p.window = HistogramRead::of(h, /*window=*/true);
+        p.value = static_cast<double>(p.hist.count);
+        if (rotate_windows) {
+          for (auto& sh : e.hist->shards) {
+            std::lock_guard<std::mutex> slk(sh->mu);
+            sh->win.reset();
+          }
+        }
+        break;
+      }
+    }
+    snap.points.push_back(std::move(p));
+  }
+  // std::map iteration is already key-ordered == (name, labels)-ordered.
+  return snap;
+}
+
+void Registry::reset_for_tests() {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Outstanding handles keep their state alive via shared ownership; only
+  // the *series* disappear from snapshots.
+  entries_.clear();
+}
+
+}  // namespace orbit::telemetry

@@ -1,0 +1,27 @@
+#include "telemetry/exporters.hpp"
+
+#include "kernels/kernels.hpp"
+
+namespace orbit::telemetry {
+
+// The kernels layer sits below telemetry in the link graph, so the active
+// dispatch level is published as a pull-style info gauge: every scrape()
+// refreshes a one-hot `kernels_active_isa{level=...}` family covering all
+// compiled levels, plus an `_ord` gauge carrying the raw enum for dashboards
+// that want a single numeric series.
+void refresh_runtime_info() {
+  static const char* kLevels[] = {"scalar", "avx2", "avx512"};
+  Registry& reg = Registry::global();
+  const kernels::Isa active = kernels::active_isa();
+  for (int i = 0; i <= static_cast<int>(kernels::Isa::kAvx512); ++i) {
+    const kernels::Isa isa = static_cast<kernels::Isa>(i);
+    reg.gauge("kernels_active_isa", {{"level", kLevels[i]}},
+              "1 on the currently dispatched kernel ISA level, 0 elsewhere")
+        .set(isa == active ? 1.0 : 0.0);
+  }
+  reg.gauge("kernels_active_isa_ord", {},
+            "Active kernel ISA as its enum ordinal (0=scalar,1=avx2,2=avx512)")
+      .set(static_cast<double>(static_cast<int>(active)));
+}
+
+}  // namespace orbit::telemetry

@@ -18,10 +18,36 @@ Trainer::Trainer(model::OrbitModel& m, TrainerConfig cfg)
   acfg.bf16_params = cfg_.mixed_precision;
   opt_ = std::make_unique<AdamW>(m.params(), acfg);
   lat_weights_ = metrics::latitude_weights(m.config().image_h);
+
+  telemetry::Registry& reg = telemetry::Registry::global();
+  steps_total_ =
+      reg.counter("train_steps_total", {}, "Completed optimizer steps");
+  samples_total_ = reg.counter("train_samples_total", {},
+                               "Samples consumed across training steps");
+  step_ms_ = reg.histogram("train_step_ms", {},
+                           "Wall time of one optimizer step, ms");
+  loss_gauge_ = reg.gauge("train_loss", {}, "Loss of the latest step (wMSE)");
+  samples_per_s_ = reg.gauge("train_samples_per_s", {},
+                             "Throughput of the latest step, samples/s");
+  ckpt_save_ms_ = reg.histogram("train_checkpoint_save_ms", {},
+                                "Duration of periodic checkpoint saves, ms");
+}
+
+void Trainer::note_step(double loss, std::int64_t samples,
+                        std::uint64_t t0_ns) {
+  const double ms = static_cast<double>(trace::now_ns() - t0_ns) / 1e6;
+  steps_total_.inc();
+  if (samples > 0) samples_total_.inc(static_cast<std::uint64_t>(samples));
+  step_ms_.record(ms);
+  loss_gauge_.set(loss);
+  if (ms > 0.0 && samples > 0) {
+    samples_per_s_.set(static_cast<double>(samples) * 1e3 / ms);
+  }
 }
 
 double Trainer::train_step(const Batch& batch) {
   ORBIT_TRACE_SPAN("train.step");
+  const std::uint64_t t0 = trace::now_ns();
   if (cfg_.schedule) opt_->set_lr(cfg_.schedule->at(step_));
   model_.zero_grad();
 
@@ -58,6 +84,7 @@ double Trainer::train_step(const Batch& batch) {
   }
   ++step_;
   history_.push_back(loss);
+  note_step(loss, batch.size(), t0);
   maybe_checkpoint();
   return loss;
 }
@@ -67,6 +94,7 @@ double Trainer::train_step_accumulated(const std::vector<Batch>& micro_batches) 
     throw std::invalid_argument("train_step_accumulated: no micro batches");
   }
   ORBIT_TRACE_SPAN("train.step");
+  const std::uint64_t t0 = trace::now_ns();
   if (cfg_.schedule) opt_->set_lr(cfg_.schedule->at(step_));
   model_.zero_grad();
 
@@ -109,6 +137,9 @@ double Trainer::train_step_accumulated(const std::vector<Batch>& micro_batches) 
   const double mean_loss =
       loss_sum / static_cast<double>(micro_batches.size());
   history_.push_back(mean_loss);
+  std::int64_t samples = 0;
+  for (const Batch& mb : micro_batches) samples += mb.size();
+  note_step(mean_loss, samples, t0);
   maybe_checkpoint();
   return mean_loss;
 }
@@ -158,7 +189,9 @@ void Trainer::maybe_checkpoint() const {
   if (cfg_.checkpoint_every <= 0 || cfg_.checkpoint_prefix.empty()) return;
   if (step_ % cfg_.checkpoint_every != 0) return;
   ORBIT_TRACE_SPAN("train.checkpoint");
+  const std::uint64_t t0 = trace::now_ns();
   save_checkpoint(cfg_.checkpoint_prefix + ".ckpt");
+  ckpt_save_ms_.record(static_cast<double>(trace::now_ns() - t0) / 1e6);
 }
 
 double Trainer::eval_loss(const Batch& batch) {

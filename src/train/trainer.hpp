@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "model/vit.hpp"
+#include "telemetry/registry.hpp"
 #include "train/grad_scaler.hpp"
 #include "train/optimizer.hpp"
 #include "train/schedule.hpp"
@@ -90,6 +91,8 @@ class Trainer {
  private:
   /// Periodic save when TrainerConfig::checkpoint_every divides step_.
   void maybe_checkpoint() const;
+  /// Publish per-step telemetry (step time, throughput, loss).
+  void note_step(double loss, std::int64_t samples, std::uint64_t t0_ns);
 
   model::OrbitModel& model_;
   TrainerConfig cfg_;
@@ -99,6 +102,15 @@ class Trainer {
   std::vector<double> history_;
   std::int64_t step_ = 0;
   Rng* rng_ = nullptr;
+
+  // Registry instruments (process-global series: several trainers in one
+  // process aggregate into the same step/sample totals).
+  telemetry::Counter steps_total_;
+  telemetry::Counter samples_total_;
+  telemetry::Histogram step_ms_;
+  telemetry::Gauge loss_gauge_;
+  telemetry::Gauge samples_per_s_;
+  telemetry::Histogram ckpt_save_ms_;
 };
 
 }  // namespace orbit::train

@@ -1,0 +1,10 @@
+// R8 firing fixture: ad-hoc std::atomic stats counters in the serve or
+// resilience planes — invisible to the exporters and postmortem bundles.
+#include <atomic>
+#include <cstdint>
+
+std::atomic<std::uint64_t> completed{0};  // line 6: finding
+struct Stats {
+  std::atomic<int> shed{0};      // line 8: finding
+  std::atomic<double> mean{0};   // line 9: finding (a gauge in disguise)
+};

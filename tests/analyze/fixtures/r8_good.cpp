@@ -1,0 +1,9 @@
+// R8 non-firing fixture: flags and pointers are state machines, not stats,
+// and plain integers are single-threaded bookkeeping — none belong in the
+// registry.
+#include <atomic>
+#include <cstdint>
+
+std::atomic<bool> stopping{false};       // flag, not a counter
+std::atomic<const char*> axis{"group"};  // pointer, not a counter
+int drained = 0;                         // not atomic: not R8's concern

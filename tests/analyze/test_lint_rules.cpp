@@ -9,7 +9,7 @@
 #include "lexer.hpp"
 #include "rules.hpp"
 
-/// orbit_lint self-test: every rule R1–R7 has a firing fixture (the rule
+/// orbit_lint self-test: every rule R1–R8 has a firing fixture (the rule
 /// reports exactly the planted violations), a non-firing fixture (no
 /// over-fire on near-misses), and a scope check (the same bad content is
 /// clean when analyzed under an allow-listed or out-of-scope path). The
@@ -146,6 +146,38 @@ TEST(R7Threads, DoesNotFireOnQueriesOrInTheSanctionedFiles) {
       analyze_fixture("r7_bad.cpp", "src/tensor/threadpool.cpp").empty());
   EXPECT_TRUE(analyze_fixture("r7_bad.cpp", "src/comm/world.cpp").empty());
   EXPECT_TRUE(analyze_fixture("r7_bad.cpp", "src/serve/server.cpp").empty());
+  EXPECT_TRUE(
+      analyze_fixture("r7_bad.cpp", "src/telemetry/exporters.cpp").empty());
+}
+
+// --- R8: ad-hoc atomic counters ---------------------------------------------
+
+TEST(R8AtomicCounters, FiresOnNumericAtomicsInServeAndResilience) {
+  const auto in_serve = analyze_fixture("r8_bad.cpp", "src/serve/foo.cpp");
+  EXPECT_EQ(lines_of(in_serve, "R8"), (std::vector<int>{6, 8, 9}));
+  EXPECT_EQ(in_serve.size(), 3u);
+  const auto in_res = analyze_fixture("r8_bad.cpp", "src/resilience/foo.cpp");
+  EXPECT_EQ(lines_of(in_res, "R8"), (std::vector<int>{6, 8, 9}));
+}
+
+TEST(R8AtomicCounters, DoesNotFireOnFlagsPointersOrOutsideItsPlanes) {
+  EXPECT_TRUE(analyze_fixture("r8_good.cpp", "src/serve/foo.cpp").empty());
+  // The comm plane keeps its group-local atomics (they back the traffic
+  // report); R8 binds the serve and resilience planes only.
+  EXPECT_TRUE(analyze_fixture("r8_bad.cpp", "src/comm/world.cpp").empty());
+  EXPECT_TRUE(analyze_fixture("r8_bad.cpp", "src/telemetry/foo.cpp").empty());
+}
+
+TEST(R8AtomicCounters, ReasonedTrailingSuppressionSilencesOnlyItsLine) {
+  const std::string code =
+      "#include <atomic>\n"
+      "std::atomic<int> next_id{1};  // orbit-lint: allow(R8) -- id "
+      "allocator, not a stat\n"
+      "std::atomic<int> naked{0};\n";
+  const auto fs = analyze_file(lex_string("src/serve/ids.cpp", code));
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "R8");
+  EXPECT_EQ(fs[0].line, 3);
 }
 
 // --- suppressions -----------------------------------------------------------
@@ -272,12 +304,12 @@ TEST(Cli, AbsentDefaultDirsAreSkippedButExplicitOnesAreNot) {
   fs::remove_all(tmp);
 }
 
-TEST(Cli, ListRulesNamesAllSeven) {
+TEST(Cli, ListRulesNamesEveryRule) {
   for (const auto& r : rule_catalog()) {
     EXPECT_FALSE(r.id.empty());
     EXPECT_FALSE(r.summary.empty());
   }
-  EXPECT_EQ(rule_catalog().size(), 7u);
+  EXPECT_EQ(rule_catalog().size(), 8u);
 }
 
 }  // namespace

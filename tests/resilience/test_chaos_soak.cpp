@@ -11,6 +11,7 @@
 #include "comm/world.hpp"
 #include "core/hs_checkpoint.hpp"
 #include "resilience/supervisor.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "tensor/ops.hpp"
 
 /// The resilience acceptance criterion end to end: a chaos schedule kills a
@@ -146,6 +147,7 @@ TEST_F(ChaosSoakTest, FiftyStepChaosSoakBitwiseIdenticalOn2x2x2) {
   SupervisorConfig scfg;
   scfg.world_size = 8;
   scfg.checkpoint_prefix = prefix;
+  scfg.postmortem_prefix = prefix;  // flight-recorder bundle per failure
   scfg.retry.max_attempts = 3;
   scfg.retry.base_backoff = std::chrono::milliseconds(1);
   scfg.retry.jitter = 0.0;
@@ -181,7 +183,15 @@ TEST_F(ChaosSoakTest, FiftyStepChaosSoakBitwiseIdenticalOn2x2x2) {
     EXPECT_EQ(a.failure, FailureKind::kRankKilled) << report.summary();
     EXPECT_TRUE(a.made_progress) << "attempt " << a.attempt << "\n"
                                  << report.summary();
+    // Every kill left a structurally valid flight-recorder bundle behind.
+    ASSERT_FALSE(a.postmortem.empty()) << "attempt " << a.attempt;
+    ASSERT_TRUE(std::filesystem::exists(a.postmortem)) << a.postmortem;
+    EXPECT_FALSE(telemetry::validate_bundle(a.postmortem).has_value())
+        << "attempt " << a.attempt << ": "
+        << telemetry::validate_bundle(a.postmortem).value_or("");
   }
+  // The job ultimately succeeded, so there is no terminal bundle.
+  EXPECT_TRUE(report.postmortem.empty());
   EXPECT_EQ(report.final_step, kTotalSteps);
   EXPECT_EQ(core::latest_checkpoint_step(prefix), kTotalSteps);
 

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/json_mini.hpp"
+#include "telemetry/registry.hpp"
+#include "trace/trace.hpp"
+
+/// Flight-recorder bundle contract: arm/disarm, the suffix splicing the
+/// supervisor uses for per-attempt dumps, the sticky root-cause note, and
+/// the `orbit.postmortem.v1` schema round-trip through validate_bundle and
+/// the json_mini reader.
+
+namespace orbit::telemetry {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream body;
+  body << f.rdbuf();
+  return body.str();
+}
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prefix_ = ::testing::TempDir() + "/fr_test";
+    cleanup();
+    Registry::global().reset_for_tests();
+    arm_flight_recorder(prefix_);
+  }
+  void TearDown() override {
+    arm_flight_recorder("");  // disarm
+    note_root_cause("");
+    cleanup();
+    Registry::global().reset_for_tests();
+  }
+  void cleanup() {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    for (const auto& e : fs::directory_iterator(::testing::TempDir(), ec)) {
+      const std::string name = e.path().filename().string();
+      if (name.rfind("fr_test", 0) == 0) fs::remove(e.path(), ec);
+    }
+  }
+  std::string prefix_;
+};
+
+TEST_F(FlightRecorderTest, DisarmedRecorderWritesNothing) {
+  arm_flight_recorder("");
+  EXPECT_FALSE(armed_prefix().has_value());
+  EXPECT_FALSE(dump_postmortem("manual", "boom").has_value());
+}
+
+TEST_F(FlightRecorderTest, ArmedDumpPassesValidationAndCarriesSections) {
+  ASSERT_EQ(armed_prefix().value_or(""), prefix_);
+  Registry::global().counter("fr_ops_total", {{"axis", "tp"}}).inc(11);
+  trace::ScopedTrace capture;
+  { ORBIT_TRACE_SPAN("handle", trace::Category::kServe); }
+  note_root_cause("run_spmd rank 3: simulated kill");
+
+  const auto path = dump_postmortem("manual", "boom happened");
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, prefix_ + ".postmortem.json");
+  EXPECT_FALSE(validate_bundle(*path).has_value())
+      << validate_bundle(*path).value_or("");
+
+  const json::Value b = json::parse(slurp(*path));
+  EXPECT_EQ(b.get("schema")->as_string(), "orbit.postmortem.v1");
+  EXPECT_EQ(b.get("reason")->as_string(), "manual");
+  EXPECT_EQ(b.get("error")->as_string(), "boom happened");
+  EXPECT_EQ(b.get("root_cause")->as_string(),
+            "run_spmd rank 3: simulated kill");
+  // Metrics section uses exporter series naming.
+  const json::Value* metrics = b.get("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_NE(metrics->get("fr_ops_total{axis=\"tp\"}"), nullptr);
+  EXPECT_EQ(metrics->get("fr_ops_total{axis=\"tp\"}")->as_number(), 11.0);
+  // Env section resolves every ORBIT_* knob (null when unset).
+  const json::Value* env_obj = b.get("env");
+  ASSERT_NE(env_obj, nullptr);
+  ASSERT_NE(env_obj->get("ORBIT_METRICS_OUT"), nullptr);
+  ASSERT_NE(env_obj->get("ORBIT_KERNELS"), nullptr);
+  // Trace tail captured the serve scope.
+  EXPECT_NE(slurp(*path).find("\"handle\""), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, SuffixSplicesBetweenPrefixAndExtension) {
+  const auto path = dump_postmortem("attempt_failed", "kill", ".attempt3");
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, prefix_ + ".attempt3.postmortem.json");
+  EXPECT_FALSE(validate_bundle(*path).has_value());
+}
+
+TEST_F(FlightRecorderTest, RootCauseNoteIsStickyAcrossDumps) {
+  note_root_cause("run_spmd rank 1: first failure");
+  const auto attempt = dump_postmortem("attempt_failed", "e", ".attempt1");
+  const auto terminal = dump_postmortem("supervisor_terminal", "e");
+  ASSERT_TRUE(attempt.has_value());
+  ASSERT_TRUE(terminal.has_value());
+  // Both bundles of the same failure agree on the root cause.
+  for (const auto& p : {*attempt, *terminal}) {
+    const json::Value b = json::parse(slurp(p));
+    EXPECT_EQ(b.get("root_cause")->as_string(),
+              "run_spmd rank 1: first failure")
+        << p;
+  }
+  // A new failure's note overwrites, not appends.
+  note_root_cause("run_spmd rank 5: second failure");
+  const auto next = dump_postmortem("supervisor_terminal", "e2");
+  const json::Value b = json::parse(slurp(*next));
+  EXPECT_EQ(b.get("root_cause")->as_string(),
+            "run_spmd rank 5: second failure");
+}
+
+TEST_F(FlightRecorderTest, ValidateRejectsStructurallyBrokenBundles) {
+  const std::string bad = prefix_ + ".bad.json";
+  std::ofstream(bad) << "not json at all";
+  EXPECT_TRUE(validate_bundle(bad).has_value());
+
+  std::ofstream(bad, std::ios::trunc) << "{\"schema\":\"wrong.v9\"}";
+  EXPECT_TRUE(validate_bundle(bad).has_value());
+
+  // A real bundle with a section stripped must fail too.
+  const auto path = dump_postmortem("manual", "x");
+  ASSERT_TRUE(path.has_value());
+  std::string body = slurp(*path);
+  const std::size_t at = body.find("\"env\"");
+  ASSERT_NE(at, std::string::npos);
+  body.replace(at, 5, "\"venv\"");
+  std::ofstream(bad, std::ios::trunc) << body;
+  EXPECT_TRUE(validate_bundle(bad).has_value());
+
+  EXPECT_TRUE(validate_bundle(prefix_ + ".does_not_exist.json").has_value());
+}
+
+TEST_F(FlightRecorderTest, InstallCrashHandlersIsIdempotent) {
+  install_crash_handlers();
+  install_crash_handlers();  // second call must be a no-op, not a loop
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace orbit::telemetry

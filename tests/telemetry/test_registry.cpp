@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "telemetry/registry.hpp"
+
+/// Registry semantics: series addressing (name + canonical label set),
+/// find-or-create identity, kind safety, handle lifetime across
+/// reset_for_tests, and — the reason the hot path is sharded — exact totals
+/// under concurrent writers with a snapshot reader racing them (the TSan
+/// leg of check_build.sh runs this file under -fsanitize=thread).
+
+namespace orbit::telemetry {
+namespace {
+
+TEST(RegistryAddressing, LabelsAreCanonicalizedBySortedKey) {
+  Registry reg;
+  const Counter a =
+      reg.counter("rx_total", {{"zone", "b"}, {"axis", "tp"}});
+  const Counter b =
+      reg.counter("rx_total", {{"axis", "tp"}, {"zone", "b"}});
+  a.inc(3);
+  b.inc(4);  // same series: label order must not matter
+  const RegistrySnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.points.size(), 1u);
+  EXPECT_EQ(snap.points[0].series_id(),
+            "rx_total{axis=\"tp\",zone=\"b\"}");
+  EXPECT_EQ(snap.points[0].value, 7.0);
+}
+
+TEST(RegistryAddressing, DistinctLabelValuesAreDistinctSeries) {
+  Registry reg;
+  reg.counter("ops", {{"axis", "tp"}}).inc(1);
+  reg.counter("ops", {{"axis", "fsdp"}}).inc(2);
+  const RegistrySnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.points.size(), 2u);
+  EXPECT_EQ(snap.value("ops", {{"axis", "tp"}}), 1.0);
+  EXPECT_EQ(snap.value("ops", {{"axis", "fsdp"}}), 2.0);
+  EXPECT_EQ(snap.sum("ops"), 3.0);
+}
+
+TEST(RegistryAddressing, KindMismatchThrowsLogicError) {
+  Registry reg;
+  reg.counter("serve_requests_total");
+  EXPECT_THROW(reg.gauge("serve_requests_total"), std::logic_error);
+  EXPECT_THROW(reg.histogram("serve_requests_total"), std::logic_error);
+  reg.histogram("latency_us");
+  // Same series re-registered with different bucketing is also a conflict.
+  EXPECT_THROW(reg.histogram("latency_us", {}, "", 1.0, 1e6, 16),
+               std::logic_error);
+}
+
+TEST(RegistryAddressing, InvalidNamesAndLabelKeysThrow) {
+  Registry reg;
+  EXPECT_THROW(reg.counter("9starts_with_digit"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("has-dash"), std::invalid_argument);
+  EXPECT_THROW(reg.counter(""), std::invalid_argument);
+  EXPECT_THROW(reg.counter("ok", {{"bad key", "v"}}), std::invalid_argument);
+  EXPECT_NO_THROW(reg.counter("ok_name_2", {{"ok_key", "any value!"}}));
+}
+
+TEST(RegistryHandles, DefaultConstructedHandlesAreNoopSinks) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  EXPECT_FALSE(c.valid());
+  c.inc();  // must not crash
+  g.set(5.0);
+  h.record(1.0);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(HistogramRead::of(h).count, 0u);
+}
+
+TEST(RegistryHandles, SurviveResetForTests) {
+  Registry reg;
+  const Counter c = reg.counter("zombie_total");
+  c.inc(5);
+  reg.reset_for_tests();
+  c.inc(1);  // handle still owns the state: legal, just unobserved
+  EXPECT_EQ(reg.snapshot().points.size(), 0u);
+  // Re-registration creates a fresh series starting from zero.
+  const Counter c2 = reg.counter("zombie_total");
+  EXPECT_EQ(c2.value(), 0u);
+  c2.inc(2);
+  EXPECT_EQ(reg.snapshot().value("zombie_total"), 2.0);
+}
+
+TEST(RegistryGauge, SetAndAddAreLastWriterWins) {
+  Registry reg;
+  const Gauge g = reg.gauge("depth");
+  g.set(10.0);
+  g.add(-3.0);
+  EXPECT_EQ(g.value(), 7.0);
+  EXPECT_EQ(reg.snapshot().value("depth"), 7.0);
+}
+
+TEST(RegistryHistogram, WindowRotatesIndependentlyOfCumulative) {
+  Registry reg;
+  const Histogram h = reg.histogram("lat_us");
+  for (int i = 0; i < 100; ++i) h.record(100.0);
+  RegistrySnapshot first = reg.snapshot(/*rotate_windows=*/true);
+  ASSERT_EQ(first.points.size(), 1u);
+  EXPECT_EQ(first.points[0].hist.count, 100u);
+  EXPECT_EQ(first.points[0].window.count, 100u);
+
+  for (int i = 0; i < 50; ++i) h.record(1000.0);
+  RegistrySnapshot second = reg.snapshot(/*rotate_windows=*/true);
+  // Cumulative keeps everything; the window saw only the second burst.
+  EXPECT_EQ(second.points[0].hist.count, 150u);
+  EXPECT_EQ(second.points[0].window.count, 50u);
+  EXPECT_NEAR(second.points[0].window.p50, 1000.0, 1000.0 * 0.08);
+
+  // Without rotation the window keeps accumulating.
+  h.record(1000.0);
+  RegistrySnapshot third = reg.snapshot();
+  RegistrySnapshot fourth = reg.snapshot();
+  EXPECT_EQ(third.points[0].window.count, 1u);
+  EXPECT_EQ(fourth.points[0].window.count, 1u);
+}
+
+TEST(RegistryHistogram, ReadReportsMomentsAndQuantiles) {
+  Registry reg;
+  const Histogram h = reg.histogram("lat_us");
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  const HistogramRead r = HistogramRead::of(h);
+  EXPECT_EQ(r.count, 1000u);
+  EXPECT_NEAR(r.sum, 500500.0, 1.0);
+  EXPECT_NEAR(r.mean, 500.5, 0.01);
+  EXPECT_NEAR(r.p50, 500.0, 500.0 * 0.08);   // log buckets: ~3%/bucket
+  EXPECT_NEAR(r.p95, 950.0, 950.0 * 0.08);
+  EXPECT_NEAR(r.p99, 990.0, 990.0 * 0.08);
+}
+
+TEST(RegistryConcurrency, CountersAreExactAtQuiescence) {
+  Registry reg;
+  const Counter c = reg.counter("mt_total");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 200'000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  EXPECT_EQ(reg.snapshot().value("mt_total"),
+            static_cast<double>(kThreads * kPerThread));
+}
+
+// The stress the TSan leg exists for: writers on every instrument kind race
+// a snapshot reader (rotating windows, so the reader also mutates histogram
+// shards) and a late registrar. Totals must still be exact once quiescent.
+TEST(RegistryConcurrency, SnapshotReaderRacesWritersCleanly) {
+  Registry reg;
+  const Counter c = reg.counter("stress_total", {{"path", "hot"}});
+  const Gauge g = reg.gauge("stress_depth");
+  const Histogram h = reg.histogram("stress_lat_us");
+  std::atomic<bool> stop{false};
+
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 100'000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        c.inc();
+        g.set(static_cast<double>(i));
+        if (i % 16 == 0) h.record(static_cast<double>(1 + (i & 1023)));
+      }
+      (void)t;
+    });
+  }
+  std::thread registrar([&] {
+    // Registration racing the writers exercises the registry mutex path.
+    for (int i = 0; i < 200 && !stop.load(); ++i) {
+      reg.counter("stress_total",
+                  {{"path", "cold" + std::to_string(i % 8)}});
+    }
+  });
+  std::uint64_t snaps = 0;
+  std::thread reader([&] {
+    // do-while: under machine load this thread can be scheduled after the
+    // writers already finished — it must still race at least one snapshot.
+    do {
+      const RegistrySnapshot s = reg.snapshot(/*rotate_windows=*/true);
+      // Monotonicity is all that is assertable mid-flight.
+      EXPECT_LE(s.value("stress_total", {{"path", "hot"}}),
+                static_cast<double>(kWriters * kPerWriter));
+      ++snaps;
+    } while (!stop.load(std::memory_order_relaxed));
+  });
+  for (auto& th : writers) th.join();
+  stop.store(true);
+  registrar.join();
+  reader.join();
+  EXPECT_GT(snaps, 0u);
+  EXPECT_EQ(c.value(), kWriters * kPerWriter);
+  const RegistrySnapshot final_snap = reg.snapshot();
+  EXPECT_EQ(final_snap.value("stress_total", {{"path", "hot"}}),
+            static_cast<double>(kWriters * kPerWriter));
+  // Window rotation mid-race lost nothing cumulatively.
+  const MetricPoint* hp = final_snap.find("stress_lat_us");
+  ASSERT_NE(hp, nullptr);
+  EXPECT_EQ(hp->hist.count, kWriters * (kPerWriter / 16));
+}
+
+TEST(RegistryGlobal, GlobalIsAProcessSingleton) {
+  auto& a = Registry::global();
+  auto& b = Registry::global();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace orbit::telemetry

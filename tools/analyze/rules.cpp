@@ -229,7 +229,9 @@ void rule_r6(const LexedFile& f, std::vector<Finding>* out) {
 void rule_r7(const LexedFile& f, std::vector<Finding>* out) {
   if (!starts_with(f.path, "src/")) return;
   if (in_any(f.path, {"src/tensor/threadpool.cpp", "src/comm/world.cpp",
-                      "src/serve/server.cpp", "src/serve/server.hpp"})) {
+                      "src/serve/server.cpp", "src/serve/server.hpp",
+                      "src/telemetry/exporters.cpp",
+                      "src/telemetry/exporters.hpp"})) {
     return;
   }
   for (std::size_t i = 0; i + 2 < f.tokens.size(); ++i) {
@@ -245,6 +247,54 @@ void rule_r7(const LexedFile& f, std::vector<Finding>* out) {
   }
 }
 
+/// R8 — serve/resilience statistics flow through the telemetry registry:
+/// an ad-hoc std::atomic counter is invisible to the Prometheus/JSONL
+/// exporters and the flight recorder, so overload accounting silently
+/// splits into two sources of truth. Flags (atomic<bool>) and pointers are
+/// not counters and stay legal.
+void rule_r8(const LexedFile& f, std::vector<Finding>* out) {
+  if (!starts_with(f.path, "src/serve/") &&
+      !starts_with(f.path, "src/resilience/")) {
+    return;
+  }
+  static const std::set<std::string> kNumeric = {
+      "int",      "unsigned", "long",     "short",    "size_t",
+      "ptrdiff_t", "int8_t",  "int16_t",  "int32_t",  "int64_t",
+      "uint8_t",  "uint16_t", "uint32_t", "uint64_t", "float",
+      "double"};
+  for (std::size_t i = 0; i + 3 < f.tokens.size(); ++i) {
+    if (f.tokens[i].text != "std" || f.tokens[i + 1].text != "::" ||
+        f.tokens[i + 2].text != "atomic") {
+      continue;
+    }
+    std::size_t j = i + 3;
+    if (!is(tok(f, j), "<")) continue;
+    int angle = 1;
+    ++j;
+    bool numeric = false;
+    bool flag_or_ptr = false;
+    while (j < f.tokens.size() && angle > 0) {
+      const std::string& t = f.tokens[j].text;
+      if (t == "<") {
+        ++angle;
+      } else if (t == ">") {
+        --angle;
+      } else if (kNumeric.count(t) != 0) {
+        numeric = true;
+      } else if (t == "bool" || t == "*") {
+        flag_or_ptr = true;
+      }
+      ++j;
+    }
+    if (numeric && !flag_or_ptr) {
+      add(out, f, f.tokens[i].line, "R8",
+          "ad-hoc std::atomic counter — serve/resilience stats must be "
+          "telemetry registry instruments (Counter/Gauge), or the exporters "
+          "and postmortem bundles never see them");
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rule_catalog() {
@@ -256,6 +306,7 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"R5", "no x86 intrinsics outside src/kernels gemm_avx*/q8 TUs"},
       {"R6", "no raw throw std::runtime_error in src/comm, src/resilience"},
       {"R7", "no naked std::thread outside threadpool/run_spmd/serve pool"},
+      {"R8", "no ad-hoc std::atomic counters in src/serve, src/resilience"},
   };
   return kCatalog;
 }
@@ -269,9 +320,10 @@ std::vector<Finding> analyze_file(const LexedFile& f) {
   rule_r5(f, &raw);
   rule_r6(f, &raw);
   rule_r7(f, &raw);
+  rule_r8(f, &raw);
 
   static const std::set<std::string> kKnown = {"R1", "R2", "R3", "R4",
-                                               "R5", "R6", "R7"};
+                                               "R5", "R6", "R7", "R8"};
   std::vector<Finding> out;
 
   // Directive hygiene first: a malformed / reason-less / unknown-rule

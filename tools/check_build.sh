@@ -22,7 +22,7 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 # --no-tests=error: a leg whose filter matches nothing (e.g. a half-built
 # tree after an earlier leg failure) must FAIL, not silently pass.
 CTEST_ARGS=(--output-on-failure --no-tests=error "-j${JOBS}")
-LEGS=(asan tsan trace checkpoint kernels resilience analyze tidy shellcheck)
+LEGS=(asan tsan trace checkpoint kernels resilience telemetry analyze tidy shellcheck)
 
 JSON_PATH=""
 while [ "$#" -gt 0 ]; do
@@ -166,8 +166,25 @@ else
   RESULT[resilience]="SKIP (TSan build unavailable)"
 fi
 
+echo "==== [telemetry] metrics registry + flight recorder (TSan) ===="
+# Observability check: the telemetry-labelled tests stress N registry
+# writers against a rotating snapshot reader, run the exporter thread's
+# start/append/final-flush lifecycle, and drive supervised chaos kills
+# through the flight recorder. Reuses the TSan build — the registry's whole
+# design claim is a lock-free hot path, so its races belong to TSan.
+if [ -d build-tsan ]; then
+  if (cd build-tsan && ctest --output-on-failure --no-tests=error "-j${JOBS}" -L telemetry); then
+    RESULT[telemetry]="PASS"
+  else
+    RESULT[telemetry]="FAIL"
+    overall=1
+  fi
+else
+  RESULT[telemetry]="SKIP (TSan build unavailable)"
+fi
+
 echo "==== [analyze] orbit_lint project invariants ===="
-# The project-invariant analyzer (tools/analyze, DESIGN.md §4g): R1-R7 over
+# The project-invariant analyzer (tools/analyze, DESIGN.md §4g): R1-R8 over
 # src/ tools/ bench/ tests/. Zero findings required — a finding here means
 # an ORBIT module boundary was crossed (raw getenv, collective under a
 # lock, unseeded randomness, ...) and fails the matrix. The analysis ctest

@@ -7,6 +7,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <exception>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -14,7 +17,52 @@
 #include "argparse.hpp"
 #include "model/config.hpp"
 #include "serve/server.hpp"
+#include "telemetry/exporters.hpp"
 #include "tensor/threadpool.hpp"
+
+namespace {
+
+/// Verify the overload-accounting invariant from the *exported* numbers
+/// alone: re-read the exposition file, sum `serve_requests_total` by
+/// `outcome` across all server labels, and require
+/// submitted == completed + shed + expired + rejected + error.
+/// Returns 0 on balance, 1 on imbalance or a scrape/parse failure — a
+/// metrics pipeline that drops requests is as broken as a server that does.
+int check_exported_accounting(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream body;
+  body << f.rdbuf();
+  if (!f && !f.eof()) {
+    std::fprintf(stderr, "metrics-out: cannot re-read %s\n", path.c_str());
+    return 1;
+  }
+  std::uint64_t submitted = 0, terminal = 0;
+  try {
+    for (const orbit::telemetry::PromSample& s :
+         orbit::telemetry::parse_prometheus(body.str())) {
+      if (s.name != "serve_requests_total") continue;
+      const auto outcome = s.label("outcome");
+      if (!outcome) continue;
+      const auto v = static_cast<std::uint64_t>(s.value);
+      if (*outcome == "submitted") {
+        submitted += v;
+      } else {
+        terminal += v;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "metrics-out: malformed exposition in %s: %s\n",
+                 path.c_str(), e.what());
+    return 1;
+  }
+  std::printf("metrics-out: %s submitted=%llu terminal=%llu -> %s\n",
+              path.c_str(), (unsigned long long)submitted,
+              (unsigned long long)terminal,
+              submitted == terminal ? "balanced" : "IMBALANCED");
+  return submitted == terminal ? 0 : 1;
+}
+
+}  // namespace
 
 using namespace orbit;
 using Clock = serve::Clock;
@@ -32,12 +80,19 @@ int main(int argc, char** argv) {
       {"reject", "1 = reject kBusy when full instead of blocking (default 0)"},
       {"config", "model config: test|small|medium|large (default test)"},
       {"threads", "kernel thread-pool size, 0 = hardware (default 0)"},
+      {"metrics-out", "write Prometheus exposition here at exit and fail "
+                      "unless the exported serve_requests_total outcomes "
+                      "balance (default off)"},
   });
   const int clients = args.get_int("clients", 8);
   const int steps = args.get_int("steps", 1);
   const double duration_s = args.get_double("duration-s", 3.0);
   const int deadline_ms = args.get_int("deadline-ms", 0);
+  const std::string metrics_out = args.get_str("metrics-out", "");
   if (args.has("threads")) set_num_threads(args.get_int("threads", 0));
+  // ORBIT_METRICS_OUT / ORBIT_METRICS_INTERVAL_MS: periodic JSONL appender
+  // for the run's lifetime (independent of --metrics-out's exit scrape).
+  const auto export_loop = telemetry::ExportLoop::from_env();
 
   const std::string cname = args.get_str("config", "test");
   model::VitConfig mcfg = cname == "small"    ? model::tiny_small()
@@ -130,5 +185,19 @@ int main(int argc, char** argv) {
          (unsigned long long)s.shed, (unsigned long long)s.expired,
          (unsigned long long)s.rejected, (unsigned long long)s.errors,
          accounted == s.submitted ? "balanced" : "IMBALANCED");
-  return accounted == s.submitted ? 0 : 1;
+  int rc = accounted == s.submitted ? 0 : 1;
+
+  if (!metrics_out.empty()) {
+    // Scrape AFTER shutdown so every in-flight request has reached a
+    // terminal counter, then re-verify the invariant from the file alone.
+    std::string err;
+    if (!telemetry::write_prometheus(telemetry::scrape(), metrics_out,
+                                     &err)) {
+      std::fprintf(stderr, "metrics-out: %s\n", err.c_str());
+      rc = 1;
+    } else if (check_exported_accounting(metrics_out) != 0) {
+      rc = 1;
+    }
+  }
+  return rc;
 }
