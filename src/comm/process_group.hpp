@@ -40,6 +40,78 @@ enum class ReduceOp { kSum, kAvg, kMax };
 
 struct GroupState;  // shared-state implementation detail (world.cpp)
 
+namespace async {
+
+/// `ORBIT_COMM_ASYNC` knob (strict parse via orbit::env, read once on first
+/// use). Default off: engines take the synchronous baseline path and the
+/// `*_async` machinery is exercised only where tests or benches opt in.
+/// `set_enabled` overrides the environment for the rest of the process.
+bool enabled();
+void set_enabled(bool on);
+
+/// RAII override for tests and benches: applies `on`, restores on exit.
+class ScopedAsync {
+ public:
+  explicit ScopedAsync(bool on);
+  ~ScopedAsync();
+  ScopedAsync(const ScopedAsync&) = delete;
+  ScopedAsync& operator=(const ScopedAsync&) = delete;
+
+ private:
+  bool old_;
+};
+
+}  // namespace async
+
+/// Completion handle of one in-flight asynchronous collective.
+///
+/// Issue (`ProcessGroup::*_async`) is nonblocking: it records the op's
+/// fingerprint in the group's in-flight table, publishes the staging
+/// pointer, and returns immediately so the caller can keep computing.
+/// `wait()` performs the data movement and the completion rendezvous; the
+/// op's outputs are defined only after `wait()` returns, and the inputs
+/// must not be mutated before then (the in-flight table keeps the input
+/// storage alive, but the *values* are read at wait time by every peer).
+///
+/// Lifetime rules (enforced, not documented-only):
+///  * destroying a pending handle outside of stack unwinding throws
+///    `std::logic_error` — a dropped handle is a lost completion, the async
+///    twin of ignoring a collective's error;
+///  * during unwinding (the owning rank is already dying) the destructor
+///    instead *abandons* the op: it marks this rank complete so peers
+///    blocked in `wait()` drain cleanly and the usual peer-exit detection
+///    reports the dying rank as the root cause;
+///  * `wait()` is idempotent — waiting a completed or moved-from handle is
+///    a no-op.
+class CommHandle {
+ public:
+  CommHandle();  // out-of-line: Impl is incomplete here
+  ~CommHandle() noexcept(false);
+  CommHandle(CommHandle&& other) noexcept;
+  CommHandle& operator=(CommHandle&& other);
+  CommHandle(const CommHandle&) = delete;
+  CommHandle& operator=(const CommHandle&) = delete;
+
+  /// True between issue and the first successful `wait()`.
+  bool pending() const;
+  /// Complete the op: rendezvous with every member's issue, move the data,
+  /// and synchronize completion. Throws the same typed errors as the
+  /// synchronous collectives (CollectiveMismatchError / CommDesyncError /
+  /// sticky group poison).
+  void wait();
+
+  struct Impl;  // world.cpp
+
+ private:
+  friend class ProcessGroup;
+  explicit CommHandle(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Wait every handle in issue order; `handles` is left empty. Equivalent to
+/// calling `wait()` on each, provided for the bucketed-engine idiom.
+void wait_all(std::vector<CommHandle>& handles);
+
 /// Per-rank handle onto one communicator group. Cheap to copy.
 ///
 /// A handle obtained by a non-member of the group is *invalid*
@@ -92,6 +164,43 @@ class ProcessGroup {
   void scatter(const Tensor& input, Tensor& out, int root,
                check::Site site = check::Site::current()) const;
 
+  // --- nonblocking issue + explicit completion -----------------------------
+  // Each `*_async` variant has the argument contract of its synchronous
+  // twin, validates the same preconditions at issue time, and produces a
+  // bitwise-identical result once `wait()` returns. p2p stays sync-only:
+  // `send` is already nonblocking (mailbox post) and `recv` is a completion
+  // by definition.
+
+  /// Nonblocking barrier: `wait()` returns once every member issued it.
+  CommHandle barrier_async(check::Site site = check::Site::current()) const;
+
+  /// Nonblocking all_reduce; `t` holds the reduction after `wait()`.
+  CommHandle all_reduce_async(Tensor& t, ReduceOp op = ReduceOp::kSum,
+                              check::Site site = check::Site::current()) const;
+
+  /// Nonblocking all_gather; `out` is filled after `wait()`.
+  CommHandle all_gather_async(const Tensor& shard, Tensor& out,
+                              check::Site site = check::Site::current()) const;
+
+  /// Nonblocking reduce_scatter; `out` holds segment `rank()` after `wait()`.
+  CommHandle reduce_scatter_async(
+      const Tensor& input, Tensor& out, ReduceOp op = ReduceOp::kSum,
+      check::Site site = check::Site::current()) const;
+
+  /// Nonblocking broadcast; non-root `t` holds root's data after `wait()`.
+  CommHandle broadcast_async(Tensor& t, int root,
+                             check::Site site = check::Site::current()) const;
+
+  /// Nonblocking gather; root's `out` is filled after `wait()`. Root's
+  /// output size is validated at issue (before any rendezvous), so a bad
+  /// `out` fails fast on the caller without stranding peers.
+  CommHandle gather_async(const Tensor& shard, Tensor& out, int root,
+                          check::Site site = check::Site::current()) const;
+
+  /// Nonblocking scatter; `out` holds segment `rank()` after `wait()`.
+  CommHandle scatter_async(const Tensor& input, Tensor& out, int root,
+                           check::Site site = check::Site::current()) const;
+
   /// Point-to-point: post `t` to `dst` (group rank) under `tag`.
   void send(const Tensor& t, int dst, int tag,
             check::Site site = check::Site::current()) const;
@@ -102,8 +211,15 @@ class ProcessGroup {
   Tensor recv(int src, int tag,
               check::Site site = check::Site::current()) const;
 
-  /// Total payload bytes moved through this group so far (sum over ops,
-  /// counted once per collective, not per rank).
+  /// Total traffic bytes recorded on this group so far, counted once per
+  /// collective (not per rank). Convention: a collective records the
+  /// *maximum per-rank interconnect traffic* it implies,
+  /// `(size() - 1) * per_rank_payload * sizeof(float)` — n for
+  /// all_reduce/broadcast, the shard for all_gather/gather, the segment
+  /// for reduce_scatter/scatter; a single-member group records 0. p2p
+  /// records `numel * sizeof(float)` at *both* endpoints (one send op +
+  /// one recv op). Applied identically to trace span byte args and the
+  /// `comm_bytes_total{axis=...}` registry counter; see DESIGN.md §4i.
   std::uint64_t bytes_moved() const;
   /// Number of collective operations issued on this group.
   std::uint64_t ops_issued() const;
@@ -119,6 +235,11 @@ class ProcessGroup {
   const char* axis() const;
 
  private:
+  /// Shared nonblocking-issue path: fingerprint + staging-pointer publish
+  /// into the group's in-flight table (world.cpp).
+  CommHandle issue_async_op(check::CollOp kind, const Tensor* fp_payload,
+                            const Tensor& in, const Tensor& out, int root,
+                            int reduce_op, check::Site site) const;
   /// Throws std::logic_error when this handle is invalid (non-member).
   void require_valid(const char* what) const;
   /// root must be a group rank in [0, size()).

@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <cstring>
 #include <deque>
+#include <exception>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -17,6 +18,7 @@
 #include "comm/check.hpp"
 #include "comm/fault.hpp"
 #include "comm/process_group.hpp"
+#include "env/env.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/registry.hpp"
 #include "trace/trace.hpp"
@@ -44,7 +46,96 @@ std::string group_desc_of(const std::vector<int>& members) {
   return os.str();
 }
 
+/// Traffic-accounting convention (see ProcessGroup::bytes_moved): every
+/// collective records the maximum per-rank interconnect traffic it implies,
+/// `(p - 1) * per_rank_payload * sizeof(float)`. A single-member group moves
+/// nothing between ranks and records 0. The same value labels the op's
+/// trace span and feeds `comm_bytes_total{axis=...}` via GroupState::record.
+std::uint64_t traffic_bytes(int group_size, std::int64_t per_rank_payload) {
+  if (group_size <= 1 || per_rank_payload <= 0) return 0;
+  return static_cast<std::uint64_t>(group_size - 1) *
+         static_cast<std::uint64_t>(per_rank_payload) * sizeof(float);
+}
+
+/// Wait-span names for CommHandle::wait, per op kind. String literals have
+/// static storage duration, satisfying the tracer's static-name contract.
+const char* wait_span_name(check::CollOp op) {
+  switch (op) {
+    case check::CollOp::kBarrier:
+      return "comm.barrier.wait";
+    case check::CollOp::kAllReduce:
+      return "comm.all_reduce.wait";
+    case check::CollOp::kAllGather:
+      return "comm.all_gather.wait";
+    case check::CollOp::kReduceScatter:
+      return "comm.reduce_scatter.wait";
+    case check::CollOp::kBroadcast:
+      return "comm.broadcast.wait";
+    case check::CollOp::kGather:
+      return "comm.gather.wait";
+    case check::CollOp::kScatter:
+      return "comm.scatter.wait";
+    default:
+      return "comm.async.wait";
+  }
+}
+
 }  // namespace
+
+namespace async {
+
+namespace {
+
+/// -1 unseeded, else 0/1. Seeded from ORBIT_COMM_ASYNC on first query via
+/// the strict env gateway; set_enabled overrides for the process lifetime.
+std::atomic<int>& async_flag() {
+  static std::atomic<int> flag{-1};
+  return flag;
+}
+
+}  // namespace
+
+bool enabled() {
+  std::atomic<int>& f = async_flag();
+  int v = f.load(std::memory_order_acquire);
+  if (v < 0) {
+    v = env::flag_or("ORBIT_COMM_ASYNC", false) ? 1 : 0;
+    f.store(v, std::memory_order_release);
+  }
+  return v == 1;
+}
+
+void set_enabled(bool on) {
+  async_flag().store(on ? 1 : 0, std::memory_order_release);
+}
+
+ScopedAsync::ScopedAsync(bool on) : old_(enabled()) { set_enabled(on); }
+
+ScopedAsync::~ScopedAsync() { set_enabled(old_); }
+
+}  // namespace async
+
+/// One in-flight asynchronous collective on a group, keyed by its issue
+/// ticket (the per-rank async issue count — every member must issue the
+/// same sequence, which is exactly what `comm::check` validates when the
+/// last member's issue arrives). The entry owns a keepalive copy of every
+/// rank's input tensor, so published staging pointers stay valid until all
+/// members completed (or abandoned) the op, even if a handle's owner is
+/// unwinding.
+struct AsyncOpState {
+  explicit AsyncOpState(std::size_t p)
+      : fps(p), issued(p, false), done_flag(p, false), srcs(p, nullptr),
+        inputs(p) {}
+
+  std::uint64_t ticket = 0;
+  std::vector<OpFingerprint> fps;   ///< per-rank fingerprints, issue order
+  std::vector<bool> issued;         ///< rank published fp + staging pointer
+  std::vector<bool> done_flag;      ///< rank finished (or abandoned) reads
+  std::vector<const float*> srcs;   ///< published per-rank source pointers
+  std::vector<Tensor> inputs;       ///< keepalive for the srcs storage
+  int issued_count = 0;
+  int done_count = 0;
+};
 
 /// Shared state of one communicator group. One instance per group, shared by
 /// all member ranks; per-rank `ProcessGroup` handles point here.
@@ -65,7 +156,8 @@ struct GroupState {
         arrived_flag(members.size(), false),
         has_fp(members.size(), false),
         fps(members.size()),
-        seq_counts(members.size(), 0) {}
+        seq_counts(members.size(), 0),
+        async_tickets(members.size(), 0) {}
 
   std::vector<int> members;       ///< global ranks, group-rank order
   std::string desc;               ///< "group {0,1,3}" for diagnostics
@@ -84,6 +176,19 @@ struct GroupState {
   std::string error;                  ///< sticky failure; poisons the group
   bool error_is_mismatch = false;     ///< mismatch vs desync classification
 
+  // --- in-flight async table (guarded by sync_mu, woken via sync_cv) ------
+  // Tickets are per-rank async issue counts: member ranks must issue the
+  // same async sequence, so ticket k on every rank names the same logical
+  // collective and keys one shared AsyncOpState. Validation happens in
+  // issue order — the last member to issue ticket k cross-validates all p
+  // fingerprints, exactly like the last arriver of a synchronous entry
+  // barrier. The async ticket space is independent of the synchronous
+  // `seq_counts`; mixing sync and async ops on one group is legal whenever
+  // the relative order is globally consistent (SPMD code paths guarantee
+  // this), and an inconsistent mix is caught by the watchdog wait-graph.
+  std::vector<std::uint64_t> async_tickets;
+  std::map<std::uint64_t, std::shared_ptr<AsyncOpState>> inflight;
+
   std::atomic<std::uint64_t> bytes{0};
   std::atomic<std::uint64_t> ops{0};
   /// Parallel-axis tag ("tp"/"fsdp"/"ddp"/...) labelling this group's trace
@@ -98,6 +203,9 @@ struct GroupState {
     const char* axis_tag;
     telemetry::Counter bytes_total;
     telemetry::Counter ops_total;
+    telemetry::Gauge async_inflight;
+    telemetry::Counter async_overlap_ns;
+    telemetry::Counter async_wait_ns;
   };
   std::mutex axis_mu;
   std::vector<std::unique_ptr<AxisCounters>> axis_owned;
@@ -117,9 +225,17 @@ struct GroupState {
     axis_owned.push_back(std::make_unique<AxisCounters>(AxisCounters{
         ax,
         reg.counter("comm_bytes_total", {{"axis", ax}},
-                    "Collective + p2p payload bytes per parallel axis"),
+                    "Collective + p2p traffic bytes per parallel axis "
+                    "((p-1) * per-rank payload per collective)"),
         reg.counter("comm_ops_total", {{"axis", ax}},
-                    "Collective + p2p operations per parallel axis")}));
+                    "Collective + p2p operations per parallel axis"),
+        reg.gauge("comm_async_inflight", {{"axis", ax}},
+                  "Issued-but-unwaited async collectives per parallel axis"),
+        reg.counter("comm_async_overlap_ns_total", {{"axis", ax}},
+                    "ns async collectives spent in flight before wait() was "
+                    "entered (overlapped with compute)"),
+        reg.counter("comm_async_wait_ns_total", {{"axis", ax}},
+                    "ns spent blocked inside CommHandle::wait")}));
     axis_cache.store(axis_owned.back().get(), std::memory_order_release);
     return *axis_owned.back();
   }
@@ -238,6 +354,36 @@ struct GroupState {
     }
     if (!error.empty()) throw_sticky();
   }
+
+  /// One poll step of an async waiter (sync_mu held via `lk`): surfaces the
+  /// sticky group poison, the watchdog verdict, and peer-exit — a member
+  /// that exited without reaching this op's `phase` (its `arrived_here`
+  /// slot still false) can never arrive, so every waiter fails now with the
+  /// same diagnostic shape as the synchronous barrier's detection.
+  void async_poll_checks(std::unique_lock<std::mutex>& lk, int grank,
+                         const std::vector<bool>& arrived_here,
+                         const OpFingerprint& fp, const char* phase) {
+    if (!error.empty()) throw_sticky();
+    if (wc == nullptr) return;
+    if (wc->failed()) throw check::CommDesyncError(wc->failure());
+    const int p = static_cast<int>(members.size());
+    for (int r = 0; r < p; ++r) {
+      if (r == grank || arrived_here[static_cast<std::size_t>(r)] ||
+          !wc->exited(members[static_cast<std::size_t>(r)])) {
+        continue;
+      }
+      std::ostringstream os;
+      os << "desync on " << desc << ": world rank "
+         << members[static_cast<std::size_t>(r)] << " (group rank " << r
+         << ") exited or threw without reaching " << fp.describe() << ' '
+         << phase << ", which its peers are blocked in";
+      error = os.str();
+      error_is_mismatch = false;
+      lk.unlock();
+      sync_cv.notify_all();
+      throw check::CommDesyncError(os.str());
+    }
+  }
 };
 
 namespace {
@@ -323,9 +469,10 @@ void ProcessGroup::all_reduce(Tensor& t, ReduceOp op, check::Site site) const {
   GroupState& g = *state_;
   const int p = size();
   const std::int64_t n = t.numel();
+  const std::uint64_t tb = traffic_bytes(p, n);
   ORBIT_TRACE_SPAN("comm.all_reduce", trace::Category::kComm,
                    g.axis.load(std::memory_order_relaxed),
-                   n * static_cast<std::int64_t>(sizeof(float)));
+                   static_cast<std::int64_t>(tb));
   OpFingerprint fp = make_fp(CollOp::kAllReduce, &t, site);
   fp.reduce_op = static_cast<int>(op);
   g.src[static_cast<std::size_t>(group_rank_)] = t.data();
@@ -343,7 +490,7 @@ void ProcessGroup::all_reduce(Tensor& t, ReduceOp op, check::Site site) const {
   reduce_finalise(op, acc.data(), n, p);
   // Recorded before the completion sync so the totals are visible to every
   // rank the moment its collective returns.
-  if (group_rank_ == 0) g.record(static_cast<std::uint64_t>(n) * sizeof(float));
+  if (group_rank_ == 0) g.record(tb);
   g.sync(group_rank_, fp, /*entry=*/false);
   std::memcpy(t.data(), acc.data(), static_cast<std::size_t>(n) * sizeof(float));
 }
@@ -361,9 +508,10 @@ void ProcessGroup::all_gather(const Tensor& shard, Tensor& out,
        << " on " << describe();
     throw std::invalid_argument(os.str());
   }
+  const std::uint64_t tb = traffic_bytes(p, n);
   ORBIT_TRACE_SPAN("comm.all_gather", trace::Category::kComm,
                    g.axis.load(std::memory_order_relaxed),
-                   n * p * static_cast<std::int64_t>(sizeof(float)));
+                   static_cast<std::int64_t>(tb));
   OpFingerprint fp = make_fp(CollOp::kAllGather, &shard, site);
   g.src[static_cast<std::size_t>(group_rank_)] = shard.data();
   g.sync(group_rank_, fp, /*entry=*/true);
@@ -373,7 +521,7 @@ void ProcessGroup::all_gather(const Tensor& shard, Tensor& out,
                 g.src[static_cast<std::size_t>(r)],
                 static_cast<std::size_t>(n) * sizeof(float));
   }
-  if (group_rank_ == 0) g.record(static_cast<std::uint64_t>(n) * sizeof(float) * static_cast<std::uint64_t>(p));
+  if (group_rank_ == 0) g.record(tb);
   g.sync(group_rank_, fp, /*entry=*/false);
 }
 
@@ -390,9 +538,10 @@ void ProcessGroup::reduce_scatter(const Tensor& input, Tensor& out,
        << seg * p << " on " << describe();
     throw std::invalid_argument(os.str());
   }
+  const std::uint64_t tb = traffic_bytes(p, seg);
   ORBIT_TRACE_SPAN("comm.reduce_scatter", trace::Category::kComm,
                    g.axis.load(std::memory_order_relaxed),
-                   seg * p * static_cast<std::int64_t>(sizeof(float)));
+                   static_cast<std::int64_t>(tb));
   OpFingerprint fp = make_fp(CollOp::kReduceScatter, &out, site);
   fp.reduce_op = static_cast<int>(op);
   g.src[static_cast<std::size_t>(group_rank_)] = input.data();
@@ -409,7 +558,7 @@ void ProcessGroup::reduce_scatter(const Tensor& input, Tensor& out,
     }
   }
   reduce_finalise(op, acc.data(), seg, p);
-  if (group_rank_ == 0) g.record(static_cast<std::uint64_t>(seg) * sizeof(float) * static_cast<std::uint64_t>(p));
+  if (group_rank_ == 0) g.record(tb);
   g.sync(group_rank_, fp, /*entry=*/false);
   std::memcpy(out.data(), acc.data(), static_cast<std::size_t>(seg) * sizeof(float));
 }
@@ -418,9 +567,10 @@ void ProcessGroup::broadcast(Tensor& t, int root, check::Site site) const {
   require_valid("broadcast");
   require_root("broadcast", root);
   GroupState& g = *state_;
+  const std::uint64_t tb = traffic_bytes(size(), t.numel());
   ORBIT_TRACE_SPAN("comm.broadcast", trace::Category::kComm,
                    g.axis.load(std::memory_order_relaxed),
-                   t.numel() * static_cast<std::int64_t>(sizeof(float)));
+                   static_cast<std::int64_t>(tb));
   OpFingerprint fp = make_fp(CollOp::kBroadcast, &t, site);
   fp.root = root;
   g.src[static_cast<std::size_t>(group_rank_)] = t.data();
@@ -429,7 +579,7 @@ void ProcessGroup::broadcast(Tensor& t, int root, check::Site site) const {
     std::memcpy(t.data(), g.src[static_cast<std::size_t>(root)],
                 static_cast<std::size_t>(t.numel()) * sizeof(float));
   }
-  if (group_rank_ == 0) g.record(static_cast<std::uint64_t>(t.numel()) * sizeof(float));
+  if (group_rank_ == 0) g.record(tb);
   g.sync(group_rank_, fp, /*entry=*/false);
 }
 
@@ -440,21 +590,27 @@ void ProcessGroup::gather(const Tensor& shard, Tensor& out, int root,
   GroupState& g = *state_;
   const int p = size();
   const std::int64_t n = shard.numel();
+  // Validated *before* the entry sync (like all_gather/reduce_scatter): a
+  // root that throws after taking its barrier slot would leave peers inside
+  // the collective, turning a local argument error into a group-wide
+  // desync. Failing here keeps the group state clean — the root can even
+  // catch the typed error and retry, and its peers complete normally.
+  if (group_rank_ == root && out.numel() != n * p) {
+    std::ostringstream os;
+    os << "gather: out.numel()=" << out.numel()
+       << " must equal size()*shard.numel()=" << p << '*' << n << '=' << n * p
+       << " on " << describe();
+    throw std::invalid_argument(os.str());
+  }
+  const std::uint64_t tb = traffic_bytes(p, n);
   ORBIT_TRACE_SPAN("comm.gather", trace::Category::kComm,
                    g.axis.load(std::memory_order_relaxed),
-                   n * p * static_cast<std::int64_t>(sizeof(float)));
+                   static_cast<std::int64_t>(tb));
   OpFingerprint fp = make_fp(CollOp::kGather, &shard, site);
   fp.root = root;
   g.src[static_cast<std::size_t>(group_rank_)] = shard.data();
   g.sync(group_rank_, fp, /*entry=*/true);
   if (group_rank_ == root) {
-    if (out.numel() != n * p) {
-      std::ostringstream os;
-      os << "gather: out.numel()=" << out.numel()
-         << " must equal size()*shard.numel()=" << p << '*' << n << '='
-         << n * p << " on " << describe();
-      throw std::invalid_argument(os.str());
-    }
     float* dst = out.data();
     for (int r = 0; r < p; ++r) {
       std::memcpy(dst + static_cast<std::int64_t>(r) * n,
@@ -462,7 +618,7 @@ void ProcessGroup::gather(const Tensor& shard, Tensor& out, int root,
                   static_cast<std::size_t>(n) * sizeof(float));
     }
   }
-  if (group_rank_ == 0) g.record(static_cast<std::uint64_t>(n) * sizeof(float) * static_cast<std::uint64_t>(p));
+  if (group_rank_ == 0) g.record(tb);
   g.sync(group_rank_, fp, /*entry=*/false);
 }
 
@@ -480,9 +636,10 @@ void ProcessGroup::scatter(const Tensor& input, Tensor& out, int root,
        << seg * p << " on " << describe();
     throw std::invalid_argument(os.str());
   }
+  const std::uint64_t tb = traffic_bytes(p, seg);
   ORBIT_TRACE_SPAN("comm.scatter", trace::Category::kComm,
                    g.axis.load(std::memory_order_relaxed),
-                   seg * p * static_cast<std::int64_t>(sizeof(float)));
+                   static_cast<std::int64_t>(tb));
   OpFingerprint fp = make_fp(CollOp::kScatter, &out, site);
   fp.root = root;
   g.src[static_cast<std::size_t>(group_rank_)] =
@@ -491,7 +648,7 @@ void ProcessGroup::scatter(const Tensor& input, Tensor& out, int root,
   const float* base = g.src[static_cast<std::size_t>(root)];
   std::memcpy(out.data(), base + static_cast<std::int64_t>(group_rank_) * seg,
               static_cast<std::size_t>(seg) * sizeof(float));
-  if (group_rank_ == 0) g.record(static_cast<std::uint64_t>(seg) * sizeof(float) * static_cast<std::uint64_t>(p));
+  if (group_rank_ == 0) g.record(tb);
   g.sync(group_rank_, fp, /*entry=*/false);
 }
 
@@ -551,6 +708,13 @@ Tensor ProcessGroup::recv(int src, int tag, check::Site site) const {
     if (it != g.mail.end() && !it->second.empty()) {
       Tensor t = std::move(it->second.front());
       it->second.pop_front();
+      lk.unlock();
+      // p2p convention: both endpoints record the payload, one send op plus
+      // one recv op, so received traffic is no longer invisible to
+      // bytes_moved()/comm_bytes_total. The payload size is unknown when
+      // the recv span opens, so it is recorded here at delivery (the
+      // "comm.bytes" counter series and the registry cover it).
+      g.record(static_cast<std::uint64_t>(t.numel()) * sizeof(float));
       return t;
     }
     if (g.wc != nullptr) {
@@ -578,6 +742,462 @@ Tensor ProcessGroup::recv(int src, int tag, check::Site site) const {
     }
     g.mail_cv.wait_for(lk, kWaitPoll);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Async engine: nonblocking issue + explicit completion.
+//
+// Issue publishes this rank's fingerprint and staging pointer into the
+// group's in-flight table and returns immediately; comm::check validates
+// each ticket in issue order, the moment its last member issues. wait()
+// rendezvouses with the peers' issues (phase 1), performs the data
+// movement, and synchronizes completion (phase 2) — the same two-phase
+// discipline as the synchronous staging barrier, so a waited async op is
+// bitwise-identical to its synchronous twin.
+
+struct CommHandle::Impl {
+  std::shared_ptr<GroupState> g;
+  std::shared_ptr<AsyncOpState> op;
+  int grank = -1;
+  CollOp kind = CollOp::kBarrier;
+  OpFingerprint fp;  ///< this rank's fingerprint, for diagnostics
+  Tensor in;         ///< aliases the caller's input storage
+  Tensor out;        ///< aliases the caller's output storage
+  int root = -1;
+  ReduceOp rop = ReduceOp::kSum;
+  std::uint64_t bytes = 0;     ///< traffic_bytes of this op
+  std::uint64_t issue_ns = 0;  ///< trace clock at issue return
+  bool done = false;
+
+  /// sync_mu held. The last member to finish drops the table entry (the
+  /// keepalive inputs die with it); waiters still hold the shared op.
+  void mark_done_locked() {
+    if (op->done_flag[static_cast<std::size_t>(grank)]) return;
+    op->done_flag[static_cast<std::size_t>(grank)] = true;
+    if (++op->done_count == static_cast<int>(g->members.size())) {
+      g->inflight.erase(op->ticket);
+    }
+  }
+
+  /// The owner is giving up without completing (stack unwinding, or a wait
+  /// that threw): release peers — they may still read this rank's published
+  /// input, which the op entry keeps alive — and never touch the outputs.
+  /// Peer-exit detection reports the dying rank as the root cause.
+  void abandon() noexcept {
+    if (done) return;
+    {
+      std::lock_guard<std::mutex> lk(g->sync_mu);
+      mark_done_locked();
+    }
+    g->sync_cv.notify_all();
+    g->axis_counters(g->axis.load(std::memory_order_relaxed))
+        .async_inflight.add(-1.0);
+    done = true;
+  }
+
+  void complete();
+  void run_completion();
+};
+
+void CommHandle::Impl::complete() {
+  try {
+    run_completion();
+  } catch (...) {
+    // The handle is no longer pending after a failed wait: the op is
+    // abandoned so peers drain, and re-destroying the handle in the
+    // caller's catch block stays silent.
+    abandon();
+    throw;
+  }
+}
+
+void CommHandle::Impl::run_completion() {
+  GroupState& gs = *g;
+  const int p = static_cast<int>(gs.members.size());
+  const char* ax = gs.axis.load(std::memory_order_relaxed);
+  const std::uint64_t wait_enter_ns = trace::now_ns();
+  const bool checking = gs.wc != nullptr && gs.wc->check_enabled();
+  const int world_rank = gs.members[static_cast<std::size_t>(grank)];
+  ORBIT_TRACE_SPAN(wait_span_name(kind), trace::Category::kComm, ax);
+
+  struct BlockedGuard {
+    check::WorldCheck* wc;
+    int rank;
+    ~BlockedGuard() {
+      if (wc != nullptr) wc->clear_blocked(rank);
+    }
+  };
+
+  // Phase 1: rendezvous with every member's *issue* of this ticket.
+  {
+    std::unique_lock<std::mutex> lk(gs.sync_mu);
+    if (checking) {
+      gs.wc->set_blocked(world_rank,
+                         fp.describe() + " [async issue phase] on " + gs.desc);
+    }
+    BlockedGuard guard{checking ? gs.wc : nullptr, world_rank};
+    while (op->issued_count < p) {
+      gs.async_poll_checks(lk, grank, op->issued, fp, "[async issue phase]");
+      gs.sync_cv.wait_for(lk, kWaitPoll);
+    }
+    if (!gs.error.empty()) gs.throw_sticky();
+  }
+
+  // Data movement. The published pointers are stable: every op->srcs write
+  // happened before issued_count reached p, which phase 1 observed under
+  // the mutex. Results a peer may still be reading (in-place all_reduce,
+  // reduce_scatter scratch) are staged locally and written only after the
+  // completion rendezvous — the exact discipline of the synchronous twins,
+  // which is what makes waited async ops bitwise-identical.
+  std::vector<float> acc;
+  switch (kind) {
+    case CollOp::kBarrier:
+      break;
+    case CollOp::kAllReduce: {
+      const std::int64_t n = in.numel();
+      const float* s0 = op->srcs[0];
+      acc.assign(s0, s0 + n);
+      for (int r = 1; r < p; ++r) {
+        const float* s = op->srcs[static_cast<std::size_t>(r)];
+        for (std::int64_t i = 0; i < n; ++i) {
+          acc[static_cast<std::size_t>(i)] =
+              reduce_combine(rop, acc[static_cast<std::size_t>(i)], s[i]);
+        }
+      }
+      reduce_finalise(rop, acc.data(), n, p);
+      break;
+    }
+    case CollOp::kAllGather: {
+      const std::int64_t n = in.numel();
+      float* dst = out.data();
+      for (int r = 0; r < p; ++r) {
+        std::memcpy(dst + static_cast<std::int64_t>(r) * n,
+                    op->srcs[static_cast<std::size_t>(r)],
+                    static_cast<std::size_t>(n) * sizeof(float));
+      }
+      break;
+    }
+    case CollOp::kReduceScatter: {
+      const std::int64_t seg = out.numel();
+      const std::int64_t off = static_cast<std::int64_t>(grank) * seg;
+      const float* s0 = op->srcs[0] + off;
+      acc.assign(s0, s0 + seg);
+      for (int r = 1; r < p; ++r) {
+        const float* s = op->srcs[static_cast<std::size_t>(r)] + off;
+        for (std::int64_t i = 0; i < seg; ++i) {
+          acc[static_cast<std::size_t>(i)] =
+              reduce_combine(rop, acc[static_cast<std::size_t>(i)], s[i]);
+        }
+      }
+      reduce_finalise(rop, acc.data(), seg, p);
+      break;
+    }
+    case CollOp::kBroadcast: {
+      if (grank != root) {
+        std::memcpy(out.data(), op->srcs[static_cast<std::size_t>(root)],
+                    static_cast<std::size_t>(out.numel()) * sizeof(float));
+      }
+      break;
+    }
+    case CollOp::kGather: {
+      if (grank == root) {
+        const std::int64_t n = in.numel();
+        float* dst = out.data();
+        for (int r = 0; r < p; ++r) {
+          std::memcpy(dst + static_cast<std::int64_t>(r) * n,
+                      op->srcs[static_cast<std::size_t>(r)],
+                      static_cast<std::size_t>(n) * sizeof(float));
+        }
+      }
+      break;
+    }
+    case CollOp::kScatter: {
+      const std::int64_t seg = out.numel();
+      std::memcpy(out.data(),
+                  op->srcs[static_cast<std::size_t>(root)] +
+                      static_cast<std::int64_t>(grank) * seg,
+                  static_cast<std::size_t>(seg) * sizeof(float));
+      break;
+    }
+    default:
+      break;
+  }
+  // Recorded by group rank 0 before it marks itself done, so every member
+  // sees the updated totals once its own wait() returns.
+  if (grank == 0) gs.record(bytes);
+
+  // Phase 2: completion rendezvous — the caller owns its buffers again only
+  // when every member finished (or abandoned) its reads.
+  {
+    std::unique_lock<std::mutex> lk(gs.sync_mu);
+    mark_done_locked();
+    lk.unlock();
+    gs.sync_cv.notify_all();
+    lk.lock();
+    if (checking) {
+      gs.wc->set_blocked(world_rank, fp.describe() +
+                                         " [async completion phase] on " +
+                                         gs.desc);
+    }
+    BlockedGuard guard{checking ? gs.wc : nullptr, world_rank};
+    while (op->done_count < p) {
+      gs.async_poll_checks(lk, grank, op->done_flag, fp,
+                           "[async completion phase]");
+      gs.sync_cv.wait_for(lk, kWaitPoll);
+    }
+    if (!gs.error.empty()) gs.throw_sticky();
+  }
+
+  // Deferred in-place results (all peers have finished reading our input).
+  if (kind == CollOp::kAllReduce || kind == CollOp::kReduceScatter) {
+    std::memcpy(out.data(), acc.data(), acc.size() * sizeof(float));
+  }
+
+  GroupState::AxisCounters& ac = gs.axis_counters(ax);
+  ac.async_overlap_ns.inc(wait_enter_ns - issue_ns);
+  ac.async_wait_ns.inc(trace::now_ns() - wait_enter_ns);
+  ac.async_inflight.add(-1.0);
+  done = true;
+}
+
+CommHandle::CommHandle() = default;
+
+CommHandle::CommHandle(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+
+CommHandle::CommHandle(CommHandle&& other) noexcept = default;
+
+CommHandle& CommHandle::operator=(CommHandle&& other) {
+  if (this != &other) {
+    if (pending()) {
+      throw std::logic_error(
+          "CommHandle: move-assignment would drop the pending " +
+          impl_->fp.describe() + " on " + impl_->g->desc + "; wait() it first");
+    }
+    impl_ = std::move(other.impl_);
+  }
+  return *this;
+}
+
+CommHandle::~CommHandle() noexcept(false) {
+  if (!pending()) return;
+  // Abandon first either way, so peers blocked in wait() drain (peer-exit
+  // detection names this rank) instead of hanging on a lost completion.
+  impl_->abandon();
+  if (std::uncaught_exceptions() == 0) {
+    throw std::logic_error("CommHandle destroyed without wait(): " +
+                           impl_->fp.describe() + " on " + impl_->g->desc +
+                           " was still in flight");
+  }
+}
+
+bool CommHandle::pending() const { return impl_ != nullptr && !impl_->done; }
+
+void CommHandle::wait() {
+  if (!pending()) return;
+  impl_->complete();
+}
+
+void wait_all(std::vector<CommHandle>& handles) {
+  for (CommHandle& h : handles) h.wait();
+  handles.clear();
+}
+
+CommHandle ProcessGroup::issue_async_op(CollOp kind, const Tensor* fp_payload,
+                                        const Tensor& in, const Tensor& out,
+                                        int root, int reduce_op,
+                                        check::Site site) const {
+  GroupState& g = *state_;
+  const int p = static_cast<int>(g.members.size());
+  // Same fault-injection point as the synchronous staging sync: a
+  // collective-triggered kill lands before this rank takes its in-flight
+  // slot, so the table stays clean and peers fail via peer-exit detection.
+  fault::on_collective(g.members[static_cast<std::size_t>(group_rank_)]);
+
+  OpFingerprint fp = make_fp(kind, fp_payload, site);
+  fp.root = root;
+  fp.reduce_op = reduce_op;
+
+  std::int64_t payload = 0;
+  switch (kind) {
+    case CollOp::kAllReduce:
+    case CollOp::kBroadcast:
+    case CollOp::kAllGather:
+    case CollOp::kGather:
+      payload = in.numel();
+      break;
+    case CollOp::kReduceScatter:
+    case CollOp::kScatter:
+      payload = out.numel();
+      break;
+    default:
+      break;
+  }
+
+  auto impl = std::make_unique<CommHandle::Impl>();
+  impl->g = state_;
+  impl->grank = group_rank_;
+  impl->kind = kind;
+  impl->in = in;
+  impl->out = out;
+  impl->root = root;
+  impl->rop =
+      reduce_op >= 0 ? static_cast<ReduceOp>(reduce_op) : ReduceOp::kSum;
+  impl->bytes = traffic_bytes(p, payload);
+
+  const bool checking = g.wc != nullptr && g.wc->check_enabled();
+  std::optional<std::string> mismatch;
+  {
+    std::unique_lock<std::mutex> lk(g.sync_mu);
+    if (!g.error.empty()) g.throw_sticky();
+    const std::uint64_t ticket =
+        g.async_tickets[static_cast<std::size_t>(group_rank_)]++;
+    auto it = g.inflight.find(ticket);
+    std::shared_ptr<AsyncOpState> op;
+    if (it == g.inflight.end()) {
+      op = std::make_shared<AsyncOpState>(static_cast<std::size_t>(p));
+      op->ticket = ticket;
+      g.inflight.emplace(ticket, op);
+    } else {
+      op = it->second;
+    }
+    fp.seq = ticket;
+    op->fps[static_cast<std::size_t>(group_rank_)] = fp;
+    op->issued[static_cast<std::size_t>(group_rank_)] = true;
+    op->srcs[static_cast<std::size_t>(group_rank_)] =
+        in.defined() ? in.data() : nullptr;
+    op->inputs[static_cast<std::size_t>(group_rank_)] = in;
+    ++op->issued_count;
+    // In-order validation: the last member to issue this ticket plays the
+    // "last arriver" of a synchronous entry barrier and cross-validates
+    // all p fingerprints; a divergence poisons the group so every waiter
+    // (and later issuer) fails with the same typed diagnostic.
+    if (checking && op->issued_count == p) {
+      mismatch =
+          check::validate_fingerprints(g.desc, g.members, op->fps, op->issued);
+      if (mismatch) {
+        g.error = *mismatch;
+        g.error_is_mismatch = true;
+      }
+    }
+    impl->fp = fp;
+    impl->op = std::move(op);
+  }
+  g.sync_cv.notify_all();
+  if (mismatch) throw check::CollectiveMismatchError(*mismatch);
+  g.axis_counters(g.axis.load(std::memory_order_relaxed))
+      .async_inflight.add(1.0);
+  impl->issue_ns = trace::now_ns();
+  return CommHandle(std::move(impl));
+}
+
+CommHandle ProcessGroup::barrier_async(check::Site site) const {
+  require_valid("barrier_async");
+  ORBIT_TRACE_SPAN("comm.barrier.issue", trace::Category::kComm,
+                   state_->axis.load(std::memory_order_relaxed));
+  return issue_async_op(CollOp::kBarrier, nullptr, Tensor(), Tensor(), -1, -1,
+                        site);
+}
+
+CommHandle ProcessGroup::all_reduce_async(Tensor& t, ReduceOp op,
+                                          check::Site site) const {
+  require_valid("all_reduce_async");
+  ORBIT_TRACE_SPAN(
+      "comm.all_reduce.issue", trace::Category::kComm,
+      state_->axis.load(std::memory_order_relaxed),
+      static_cast<std::int64_t>(traffic_bytes(size(), t.numel())));
+  return issue_async_op(CollOp::kAllReduce, &t, t, t, -1,
+                        static_cast<int>(op), site);
+}
+
+CommHandle ProcessGroup::all_gather_async(const Tensor& shard, Tensor& out,
+                                          check::Site site) const {
+  require_valid("all_gather_async");
+  const int p = size();
+  const std::int64_t n = shard.numel();
+  if (out.numel() != n * p) {
+    std::ostringstream os;
+    os << "all_gather_async: out.numel()=" << out.numel()
+       << " must equal size()*shard.numel()=" << p << '*' << n << '=' << n * p
+       << " on " << describe();
+    throw std::invalid_argument(os.str());
+  }
+  ORBIT_TRACE_SPAN("comm.all_gather.issue", trace::Category::kComm,
+                   state_->axis.load(std::memory_order_relaxed),
+                   static_cast<std::int64_t>(traffic_bytes(p, n)));
+  return issue_async_op(CollOp::kAllGather, &shard, shard, out, -1, -1, site);
+}
+
+CommHandle ProcessGroup::reduce_scatter_async(const Tensor& input, Tensor& out,
+                                              ReduceOp op,
+                                              check::Site site) const {
+  require_valid("reduce_scatter_async");
+  const int p = size();
+  const std::int64_t seg = out.numel();
+  if (input.numel() != seg * p) {
+    std::ostringstream os;
+    os << "reduce_scatter_async: input.numel()=" << input.numel()
+       << " must equal size()*out.numel()=" << p << '*' << seg << '='
+       << seg * p << " on " << describe();
+    throw std::invalid_argument(os.str());
+  }
+  ORBIT_TRACE_SPAN("comm.reduce_scatter.issue", trace::Category::kComm,
+                   state_->axis.load(std::memory_order_relaxed),
+                   static_cast<std::int64_t>(traffic_bytes(p, seg)));
+  return issue_async_op(CollOp::kReduceScatter, &out, input, out, -1,
+                        static_cast<int>(op), site);
+}
+
+CommHandle ProcessGroup::broadcast_async(Tensor& t, int root,
+                                         check::Site site) const {
+  require_valid("broadcast_async");
+  require_root("broadcast_async", root);
+  ORBIT_TRACE_SPAN(
+      "comm.broadcast.issue", trace::Category::kComm,
+      state_->axis.load(std::memory_order_relaxed),
+      static_cast<std::int64_t>(traffic_bytes(size(), t.numel())));
+  return issue_async_op(CollOp::kBroadcast, &t, t, t, root, -1, site);
+}
+
+CommHandle ProcessGroup::gather_async(const Tensor& shard, Tensor& out,
+                                      int root, check::Site site) const {
+  require_valid("gather_async");
+  require_root("gather_async", root);
+  const int p = size();
+  const std::int64_t n = shard.numel();
+  // Root output size is validated at issue — before any rendezvous state
+  // exists — mirroring the hoisted check of the synchronous gather.
+  if (group_rank_ == root && out.numel() != n * p) {
+    std::ostringstream os;
+    os << "gather_async: out.numel()=" << out.numel()
+       << " must equal size()*shard.numel()=" << p << '*' << n << '=' << n * p
+       << " on " << describe();
+    throw std::invalid_argument(os.str());
+  }
+  ORBIT_TRACE_SPAN("comm.gather.issue", trace::Category::kComm,
+                   state_->axis.load(std::memory_order_relaxed),
+                   static_cast<std::int64_t>(traffic_bytes(p, n)));
+  return issue_async_op(CollOp::kGather, &shard, shard, out, root, -1, site);
+}
+
+CommHandle ProcessGroup::scatter_async(const Tensor& input, Tensor& out,
+                                       int root, check::Site site) const {
+  require_valid("scatter_async");
+  require_root("scatter_async", root);
+  const int p = size();
+  const std::int64_t seg = out.numel();
+  if (group_rank_ == root && input.numel() != seg * p) {
+    std::ostringstream os;
+    os << "scatter_async: input.numel()=" << input.numel()
+       << " must equal size()*out.numel()=" << p << '*' << seg << '='
+       << seg * p << " on " << describe();
+    throw std::invalid_argument(os.str());
+  }
+  ORBIT_TRACE_SPAN("comm.scatter.issue", trace::Category::kComm,
+                   state_->axis.load(std::memory_order_relaxed),
+                   static_cast<std::int64_t>(traffic_bytes(p, seg)));
+  return issue_async_op(CollOp::kScatter, &out,
+                        group_rank_ == root ? input : Tensor(), out, root, -1,
+                        site);
 }
 
 std::uint64_t ProcessGroup::bytes_moved() const {

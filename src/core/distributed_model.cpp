@@ -64,16 +64,32 @@ void DistributedOrbitModel::backward(const Tensor& dy) {
 
 void DistributedOrbitModel::sync_grads() {
   ORBIT_TRACE_SPAN("hs.sync_grads");
+  // Async path mirrors HsEngine::sync_grads: issue every per-param
+  // all-reduce nonblocking, drain in issue order — bitwise identical to
+  // the synchronous loop.
+  const bool async = comm::async::enabled();
+  std::vector<comm::CommHandle> pending;
   if (mesh_.ddp_group.valid() && mesh_.ddp_group.size() > 1) {
     for (model::Param* p : hs_tower_->shard_params()) {
-      mesh_.ddp_group.all_reduce(p->grad, comm::ReduceOp::kAvg);
+      if (async) {
+        pending.push_back(
+            mesh_.ddp_group.all_reduce_async(p->grad, comm::ReduceOp::kAvg));
+      } else {
+        mesh_.ddp_group.all_reduce(p->grad, comm::ReduceOp::kAvg);
+      }
     }
   }
   if (mesh_.data_group.valid() && mesh_.data_group.size() > 1) {
     for (model::Param* p : replicated_params()) {
-      mesh_.data_group.all_reduce(p->grad, comm::ReduceOp::kAvg);
+      if (async) {
+        pending.push_back(
+            mesh_.data_group.all_reduce_async(p->grad, comm::ReduceOp::kAvg));
+      } else {
+        mesh_.data_group.all_reduce(p->grad, comm::ReduceOp::kAvg);
+      }
     }
   }
+  comm::wait_all(pending);
 }
 
 void DistributedOrbitModel::zero_grad() {

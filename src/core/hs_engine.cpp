@@ -32,20 +32,35 @@ Tensor HsEngine::backward(const Tensor& dy) { return tower_->backward(dy); }
 
 void HsEngine::sync_grads() {
   ORBIT_TRACE_SPAN("hs.sync_grads");
+  const bool async = comm::async::enabled();
+  std::vector<comm::CommHandle> pending;
   // Shard grads were already FSDP-averaged by the reduce-scatters inside
-  // backward; average over the DDP replicas.
+  // backward; average over the DDP replicas. Async path: issue every
+  // param's all-reduce up front, wait at the end — the per-param math and
+  // order are unchanged, so the result is bitwise identical.
   if (mesh_.ddp_group.valid() && mesh_.ddp_group.size() > 1) {
     for (model::Param* p : tower_->shard_params()) {
-      mesh_.ddp_group.all_reduce(p->grad, comm::ReduceOp::kAvg);
+      if (async) {
+        pending.push_back(
+            mesh_.ddp_group.all_reduce_async(p->grad, comm::ReduceOp::kAvg));
+      } else {
+        mesh_.ddp_group.all_reduce(p->grad, comm::ReduceOp::kAvg);
+      }
     }
   }
   // Replicated params saw only this rank's data shard: average over every
   // data shard (the f and d axes together).
   if (mesh_.data_group.valid() && mesh_.data_group.size() > 1) {
     for (model::Param* p : tower_->replicated_params()) {
-      mesh_.data_group.all_reduce(p->grad, comm::ReduceOp::kAvg);
+      if (async) {
+        pending.push_back(
+            mesh_.data_group.all_reduce_async(p->grad, comm::ReduceOp::kAvg));
+      } else {
+        mesh_.data_group.all_reduce(p->grad, comm::ReduceOp::kAvg);
+      }
     }
   }
+  comm::wait_all(pending);
 }
 
 void HsEngine::zero_grad() { tower_->zero_grad(); }

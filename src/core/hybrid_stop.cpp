@@ -90,11 +90,24 @@ void HsShardedSet::release() {
 
 void HsShardedSet::reduce_scatter_grads() {
   ORBIT_TRACE_SPAN("hs.reduce_scatter_grads");
+  // Defensive: a still-pending handle here means the caller skipped the
+  // wait boundary; complete it before reusing shard_.grad.
+  wait_grads();
   Tensor flat = set_.pack_grads();
   shard_.grad = Tensor::empty({set_.shard_size()});
-  fsdp_.reduce_scatter(flat, shard_.grad, comm::ReduceOp::kAvg);
+  if (comm::async::enabled()) {
+    // `flat` is a packed copy — zeroing the materialised grads below is
+    // safe with the collective in flight; the handle keeps the flat
+    // storage alive until every FSDP peer has read it at wait time.
+    pending_rs_ = fsdp_.reduce_scatter_async(flat, shard_.grad,
+                                             comm::ReduceOp::kAvg);
+  } else {
+    fsdp_.reduce_scatter(flat, shard_.grad, comm::ReduceOp::kAvg);
+  }
   for (model::Param* p : set_.params()) p->zero_grad();
 }
+
+void HsShardedSet::wait_grads() { pending_rs_.wait(); }
 
 HsLinearPair::HsLinearPair(std::string name, const Tensor& a_full_w,
                            const Tensor& a_full_b, const Tensor& b_full_w,
@@ -175,6 +188,12 @@ Tensor HsLinearPair::backward(const Tensor& dy) {
   set_a_->release();
   set_b_->release();
   return dx.reshape(cached_in_shape_);
+}
+
+void HsLinearPair::wait_grads() {
+  // Issue order within backward(): B's reduce-scatter first, then A's.
+  set_b_->wait_grads();
+  set_a_->wait_grads();
 }
 
 void HsLinearPair::collect_shard_params(std::vector<model::Param*>& out) {
@@ -331,6 +350,12 @@ Tensor HsAttention::backward(const Tensor& dy) {
   return dx.reshape({b_, s_, embed_});
 }
 
+void HsAttention::wait_grads() {
+  // Issue order within backward(): output projection first, then QKV.
+  set_o_->wait_grads();
+  set_qkv_->wait_grads();
+}
+
 void HsAttention::collect_shard_params(std::vector<model::Param*>& out) {
   out.push_back(&set_qkv_->shard());
   out.push_back(&set_o_->shard());
@@ -390,6 +415,12 @@ Tensor HsBlock::backward(const Tensor& dy) {
   return dx;
 }
 
+void HsBlock::wait_grads() {
+  // Issue order within backward(): the MLP pair unwinds first, then attn.
+  mlp_->wait_grads();
+  attn_->wait_grads();
+}
+
 void HsBlock::collect_shard_params(std::vector<model::Param*>& out) {
   attn_->collect_shard_params(out);
   mlp_->collect_shard_params(out);
@@ -438,6 +469,13 @@ Tensor HsTower::backward(const Tensor& dy) {
   Tensor d = dy;
   for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
     d = (*it)->backward(d);
+  }
+  // Optimizer boundary: drain every in-flight grad reduce-scatter in issue
+  // order (last block's sets first). Wait order must be identical on every
+  // FSDP rank — completion is itself a rendezvous — which holds because
+  // all ranks run this same loop. No-op on the sync path.
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+    (*it)->wait_grads();
   }
   return d;
 }

@@ -61,7 +61,14 @@ class HsShardedSet {
 
   void gather();
   void release();
+  /// Under `comm::async::enabled()` this *issues* the grad reduce-scatter
+  /// nonblocking (shard().grad is defined only after wait_grads()); the
+  /// sync path completes in place as before.
   void reduce_scatter_grads();
+  /// Complete a pending async reduce-scatter; no-op when none is in flight.
+  /// Callers must drain this before reading shard().grad — HsTower does it
+  /// at the end of backward(), in issue order.
+  void wait_grads();
   bool materialized() const { return materialized_; }
   model::Param& shard() { return shard_; }
   std::int64_t full_elems() const { return set_.flat_size(); }
@@ -71,6 +78,7 @@ class HsShardedSet {
   comm::ProcessGroup fsdp_;
   MemoryCounter* mem_;
   model::Param shard_;
+  comm::CommHandle pending_rs_;  ///< in-flight grad reduce-scatter (async)
   bool materialized_ = false;
 };
 
@@ -89,6 +97,8 @@ class HsLinearPair {
 
   Tensor forward(const Tensor& x);   // [..., in] replicated -> replicated
   Tensor backward(const Tensor& dy);
+  /// Drain this pair's pending grad reduce-scatters, in issue order.
+  void wait_grads();
 
   void collect_shard_params(std::vector<model::Param*>& out);
   void collect_replicated_params(std::vector<model::Param*>& out);
@@ -118,6 +128,8 @@ class HsAttention {
 
   Tensor forward(const Tensor& x);
   Tensor backward(const Tensor& dy);
+  /// Drain pending grad reduce-scatters, in issue order.
+  void wait_grads();
   void collect_shard_params(std::vector<model::Param*>& out);
   void collect_replicated_params(std::vector<model::Param*>& out);
 
@@ -149,6 +161,8 @@ class HsBlock {
 
   Tensor forward(const Tensor& x);
   Tensor backward(const Tensor& dy);
+  /// Drain pending grad reduce-scatters of both sub-layers, in issue order.
+  void wait_grads();
   void collect_shard_params(std::vector<model::Param*>& out);
   void collect_replicated_params(std::vector<model::Param*>& out);
 
@@ -177,6 +191,11 @@ class HsTower {
           comm::ProcessGroup tp, comm::ProcessGroup fsdp, HsOptions opts);
 
   Tensor forward(const Tensor& x);
+  /// Under `comm::async::enabled()` each sharded set's grad reduce-scatter
+  /// is issued nonblocking as soon as that set's gradients are final while
+  /// backward continues into earlier blocks; every pending collective is
+  /// drained (issue order) before this returns, so shard grads are always
+  /// final at the optimizer boundary.
   Tensor backward(const Tensor& dy);
 
   std::vector<model::Param*> shard_params();

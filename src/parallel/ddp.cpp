@@ -2,26 +2,35 @@
 
 #include <cstring>
 
+#include "parallel/flat_buffer.hpp"
 #include "trace/trace.hpp"
 
 namespace orbit::parallel {
 namespace {
 
-/// Group params into contiguous buckets of at most `bucket_elems` elements.
-/// A param larger than the bucket size gets its own bucket.
-std::vector<std::vector<model::Param*>> make_buckets(
-    const std::vector<model::Param*>& params, std::int64_t bucket_elems) {
-  std::vector<std::vector<model::Param*>> buckets;
-  std::int64_t in_bucket = 0;
-  for (model::Param* p : params) {
-    if (buckets.empty() || in_bucket + p->numel() > bucket_elems) {
-      buckets.emplace_back();
-      in_bucket = 0;
-    }
-    buckets.back().push_back(p);
-    in_bucket += p->numel();
+/// Coalesce one bucket's grads into a fresh flat tensor.
+Tensor pack_bucket(const std::vector<model::Param*>& bucket) {
+  std::int64_t total = 0;
+  for (const model::Param* p : bucket) total += p->numel();
+  Tensor flat = Tensor::empty({total});
+  std::int64_t off = 0;
+  for (const model::Param* p : bucket) {
+    std::memcpy(flat.data() + off, p->grad.data(),
+                static_cast<std::size_t>(p->numel()) * sizeof(float));
+    off += p->numel();
   }
-  return buckets;
+  return flat;
+}
+
+/// Scatter the reduced flat tensor back into the bucket's grads.
+void unpack_bucket(const std::vector<model::Param*>& bucket,
+                   const Tensor& flat) {
+  std::int64_t off = 0;
+  for (model::Param* p : bucket) {
+    std::memcpy(p->grad.data(), flat.data() + off,
+                static_cast<std::size_t>(p->numel()) * sizeof(float));
+    off += p->numel();
+  }
 }
 
 }  // namespace
@@ -34,23 +43,33 @@ void DdpEngine::sync_grads() {
   if (!group_.valid() || group_.size() == 1) return;
   ORBIT_TRACE_SPAN("ddp.sync_grads");
   buckets_used_ = 0;
-  for (const auto& bucket : make_buckets(params_, opts_.bucket_elems)) {
-    std::int64_t total = 0;
-    for (const model::Param* p : bucket) total += p->numel();
-    Tensor flat = Tensor::empty({total});
-    std::int64_t off = 0;
-    for (const model::Param* p : bucket) {
-      std::memcpy(flat.data() + off, p->grad.data(),
-                  static_cast<std::size_t>(p->numel()) * sizeof(float));
-      off += p->numel();
+  const auto buckets = bucket_params(params_, opts_.bucket_elems);
+  if (comm::async::enabled()) {
+    // Pipelined: pack and issue every bucket's all-reduce up front, then
+    // wait and unpack in issue order — bucket k+1's collective is in
+    // flight while bucket k is being waited/unpacked. Bucket boundaries
+    // and reduction math match the synchronous path exactly, so the
+    // resulting grads are bitwise identical.
+    std::vector<Tensor> flats;
+    std::vector<comm::CommHandle> handles;
+    flats.reserve(buckets.size());
+    handles.reserve(buckets.size());
+    for (const auto& bucket : buckets) {
+      flats.push_back(pack_bucket(bucket));
+      handles.push_back(
+          group_.all_reduce_async(flats.back(), comm::ReduceOp::kAvg));
+      ++buckets_used_;
     }
+    for (std::size_t b = 0; b < handles.size(); ++b) {
+      handles[b].wait();
+      unpack_bucket(buckets[b], flats[b]);
+    }
+    return;
+  }
+  for (const auto& bucket : buckets) {
+    Tensor flat = pack_bucket(bucket);
     group_.all_reduce(flat, comm::ReduceOp::kAvg);
-    off = 0;
-    for (model::Param* p : bucket) {
-      std::memcpy(p->grad.data(), flat.data() + off,
-                  static_cast<std::size_t>(p->numel()) * sizeof(float));
-      off += p->numel();
-    }
+    unpack_bucket(bucket, flat);
     ++buckets_used_;
   }
 }

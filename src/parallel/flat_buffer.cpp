@@ -5,6 +5,21 @@
 
 namespace orbit::parallel {
 
+std::vector<std::vector<model::Param*>> bucket_params(
+    const std::vector<model::Param*>& params, std::int64_t bucket_elems) {
+  std::vector<std::vector<model::Param*>> buckets;
+  std::int64_t in_bucket = 0;
+  for (model::Param* p : params) {
+    if (buckets.empty() || in_bucket + p->numel() > bucket_elems) {
+      buckets.emplace_back();
+      in_bucket = 0;
+    }
+    buckets.back().push_back(p);
+    in_bucket += p->numel();
+  }
+  return buckets;
+}
+
 FlatParamSet::FlatParamSet(std::vector<model::Param*> params, int num_shards)
     : params_(std::move(params)), num_shards_(num_shards) {
   if (num_shards_ < 1) {

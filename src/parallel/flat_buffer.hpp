@@ -11,6 +11,13 @@
 
 namespace orbit::parallel {
 
+/// Group params into contiguous buckets of at most `bucket_elems` elements
+/// each; a param larger than the bucket size gets its own bucket. This is
+/// the coalescing layout beneath DdpEngine's bucketed all-reduce (sync and
+/// async paths bucket identically, so their reductions are bitwise equal).
+std::vector<std::vector<model::Param*>> bucket_params(
+    const std::vector<model::Param*>& params, std::int64_t bucket_elems);
+
 /// Maps a parameter list onto a single padded flat vector.
 class FlatParamSet {
  public:

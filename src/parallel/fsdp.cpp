@@ -71,7 +71,15 @@ void FsdpTower::reduce_scatter_grads(Unit& u) {
   ORBIT_TRACE_SPAN("fsdp.reduce_scatter_grads");
   Tensor flat = u.set->pack_grads();
   u.shard.grad = Tensor::empty({u.set->shard_size()});
-  group_.reduce_scatter(flat, u.shard.grad, comm::ReduceOp::kAvg);
+  if (comm::async::enabled()) {
+    // `flat` is a packed copy, so zeroing the layer grads below is safe
+    // while the collective is in flight; the handle keeps the flat storage
+    // alive until every peer has read it at wait time.
+    pending_grads_.push_back(group_.reduce_scatter_async(
+        flat, u.shard.grad, comm::ReduceOp::kAvg));
+  } else {
+    group_.reduce_scatter(flat, u.shard.grad, comm::ReduceOp::kAvg);
+  }
   // Consumed: clear the layer grads so the next step starts clean.
   for (model::Param* p : u.set->params()) p->zero_grad();
 }
@@ -111,6 +119,9 @@ Tensor FsdpTower::backward(const Tensor& dy) {
     reduce_scatter_grads(units_[0]);
     release(units_[0]);
   }
+  // Optimizer boundary: drain every in-flight reduce-scatter (issue order)
+  // so shard grads are final when backward returns. No-op on the sync path.
+  comm::wait_all(pending_grads_);
   return d;
 }
 

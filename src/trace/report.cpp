@@ -4,6 +4,8 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <deque>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -571,11 +573,27 @@ bool is_step_span(const std::string& name) {
   return name.size() > 5 && name.compare(name.size() - 5, 5, ".step") == 0;
 }
 
+/// "comm.<op>.issue" / "comm.<op>.wait" -> "<op>"; empty when `name` is not
+/// an async collective span with the given suffix.
+std::string async_op_key(const std::string& name, const char* suffix) {
+  const std::size_t sn = std::strlen(suffix);
+  if (name.size() <= 5 + sn || name.compare(0, 5, "comm.") != 0 ||
+      name.compare(name.size() - sn, sn, suffix) != 0) {
+    return {};
+  }
+  return name.substr(5, name.size() - 5 - sn);
+}
+
 TrackBreakdown breakdown_track(const TraceTrack& t) {
   TrackBreakdown b;
   b.label = t.label;
   b.dropped = t.dropped;
   std::vector<OpenSpan> stack;
+  // End timestamps of async issue spans not yet matched to their wait span,
+  // FIFO per op kind (engines drain handles in issue order). The gap from
+  // issue end to wait begin is the op's in-flight window: comm that could
+  // progress concurrently with the compute recorded in between.
+  std::map<std::string, std::deque<std::uint64_t>> open_flights;
   for (const TraceEvent& e : t.events) {
     if (e.kind == EventKind::kBegin) {
       stack.push_back(OpenSpan{&e, stack.size()});
@@ -596,12 +614,34 @@ TrackBreakdown breakdown_track(const TraceTrack& t) {
         if (open.begin->value > 0) {
           b.comm_bytes += static_cast<std::uint64_t>(open.begin->value);
         }
+        const std::string issued = async_op_key(open.begin->name, ".issue");
+        if (!issued.empty()) {
+          open_flights[issued].push_back(e.ts_ns);
+        }
+        const std::string waited = async_op_key(open.begin->name, ".wait");
+        if (!waited.empty()) {
+          auto it = open_flights.find(waited);
+          if (it != open_flights.end() && !it->second.empty()) {
+            const std::uint64_t issue_end = it->second.front();
+            it->second.pop_front();
+            if (open.begin->ts_ns > issue_end) {
+              const double flight_ms =
+                  static_cast<double>(open.begin->ts_ns - issue_end) / 1e6;
+              // The in-flight window hides at most the op's own comm time.
+              b.comm_hidden_ms += std::min(flight_ms, ms);
+            }
+          }
+        }
       }
       if (is_step_span(open.begin->name)) b.step_ms.push_back(ms);
     }
   }
   b.compute_ms = std::max(0.0, b.busy_ms - b.comm_ms);
   b.comm_fraction = b.busy_ms > 0.0 ? b.comm_ms / b.busy_ms : 0.0;
+  b.exposed_comm_fraction =
+      b.busy_ms > 0.0
+          ? std::max(0.0, b.comm_ms - b.comm_hidden_ms) / b.busy_ms
+          : 0.0;
   return b;
 }
 
@@ -625,12 +665,14 @@ BreakdownReport summarize(const TraceSnapshot& snap) {
   for (const TrackBreakdown& t : r.tracks) any_rank |= is_rank_track(t.label);
 
   double frac_sum = 0.0;
+  double exposed_sum = 0.0;
   int frac_n = 0;
   std::vector<double> rank_mean_step;
   for (const TrackBreakdown& t : r.tracks) {
     if (any_rank && !is_rank_track(t.label)) continue;
     if (t.busy_ms > 0.0) {
       frac_sum += t.comm_fraction;
+      exposed_sum += t.exposed_comm_fraction;
       ++frac_n;
     }
     for (const AxisStat& a : t.axes) {
@@ -653,6 +695,7 @@ BreakdownReport summarize(const TraceSnapshot& snap) {
     }
   }
   r.mean_comm_fraction = frac_n > 0 ? frac_sum / frac_n : 0.0;
+  r.mean_exposed_comm_fraction = frac_n > 0 ? exposed_sum / frac_n : 0.0;
   if (!rank_mean_step.empty()) {
     r.step_min_ms =
         *std::min_element(rank_mean_step.begin(), rank_mean_step.end());
@@ -696,11 +739,13 @@ std::string BreakdownReport::text() const {
     os << buf;
   }
   std::snprintf(buf, sizeof(buf),
-                "\nmean comm fraction: %.1f%%\n"
+                "\nmean comm fraction: %.1f%% (exposed: %.1f%% — comm not "
+                "hidden by async in-flight windows)\n"
                 "straggler spread (per-rank mean step time): "
                 "min %.3f / median %.3f / max %.3f ms%s\n",
-                mean_comm_fraction * 100.0, step_min_ms, step_median_ms,
-                step_max_ms,
+                mean_comm_fraction * 100.0,
+                mean_exposed_comm_fraction * 100.0, step_min_ms,
+                step_median_ms, step_max_ms,
                 step_min_ms > 0.0
                     ? ("  (spread " +
                        [](double x) {
@@ -716,7 +761,7 @@ std::string BreakdownReport::text() const {
 
 std::string BreakdownReport::json() const {
   std::ostringstream os;
-  char buf[128];
+  char buf[256];
   os << "{\"tracks\":[";
   for (std::size_t i = 0; i < tracks.size(); ++i) {
     const TrackBreakdown& t = tracks[i];
@@ -724,9 +769,11 @@ std::string BreakdownReport::json() const {
     os << "{\"label\":\"" << json_escape(t.label) << '"';
     std::snprintf(buf, sizeof(buf),
                   ",\"busy_ms\":%.6f,\"comm_ms\":%.6f,\"compute_ms\":%.6f,"
-                  "\"comm_fraction\":%.6f,\"steps\":%zu,\"dropped\":%llu",
+                  "\"comm_fraction\":%.6f,\"comm_hidden_ms\":%.6f,"
+                  "\"exposed_comm_fraction\":%.6f,\"steps\":%zu,"
+                  "\"dropped\":%llu",
                   t.busy_ms, t.comm_ms, t.compute_ms, t.comm_fraction,
-                  t.step_ms.size(),
+                  t.comm_hidden_ms, t.exposed_comm_fraction, t.step_ms.size(),
                   static_cast<unsigned long long>(t.dropped));
     os << buf << '}';
   }
@@ -743,9 +790,12 @@ std::string BreakdownReport::json() const {
     os << buf;
   }
   std::snprintf(buf, sizeof(buf),
-                "],\"mean_comm_fraction\":%.6f,\"step_ms\":{\"min\":%.6f,"
+                "],\"mean_comm_fraction\":%.6f,"
+                "\"mean_exposed_comm_fraction\":%.6f,"
+                "\"step_ms\":{\"min\":%.6f,"
                 "\"median\":%.6f,\"max\":%.6f}}",
-                mean_comm_fraction, step_min_ms, step_median_ms, step_max_ms);
+                mean_comm_fraction, mean_exposed_comm_fraction, step_min_ms,
+                step_median_ms, step_max_ms);
   os << buf;
   return os.str();
 }

@@ -99,6 +99,13 @@ struct TrackBreakdown {
   double comm_ms = 0.0;       ///< sum of comm-category span durations
   double compute_ms = 0.0;    ///< busy - comm (clamped at 0)
   double comm_fraction = 0.0; ///< comm / busy; 0 when idle
+  /// Comm time covered by an async op's in-flight window: for each
+  /// "comm.X.wait" span, up to (wait begin - matching "comm.X.issue" end)
+  /// of its duration was concurrent with local compute and is counted
+  /// hidden; the remainder is exposed. Synchronous collectives have no
+  /// in-flight window and are fully exposed.
+  double comm_hidden_ms = 0.0;
+  double exposed_comm_fraction = 0.0;  ///< (comm - hidden) / busy
   std::uint64_t comm_bytes = 0;
   std::uint64_t dropped = 0;
   std::vector<AxisStat> axes;
@@ -111,6 +118,10 @@ struct TrackBreakdown {
 struct BreakdownReport {
   std::vector<TrackBreakdown> tracks;
   double mean_comm_fraction = 0.0;
+  /// Mean of exposed_comm_fraction over rank tracks: the comm share that
+  /// was NOT hidden behind compute by nonblocking issue (ORBIT_COMM_ASYNC).
+  /// Equals mean_comm_fraction when no async collectives were traced.
+  double mean_exposed_comm_fraction = 0.0;
   std::vector<AxisStat> axes_total;
   /// Straggler spread over per-rank mean step time; zeros when no steps.
   double step_min_ms = 0.0;

@@ -1,0 +1,339 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "comm/fault.hpp"
+#include "comm/world.hpp"
+#include "core/hs_engine.hpp"
+#include "model/vit.hpp"
+#include "tensor/ops.hpp"
+
+/// Tests for the nonblocking collective engine: issue/wait semantics, the
+/// handle lifetime contract, in-flight fingerprint validation, failure
+/// attribution for ranks killed mid-flight, and bitwise equivalence of
+/// async-overlapped training with the synchronous baseline.
+
+namespace orbit::comm {
+namespace {
+
+using check::CollectiveMismatchError;
+using check::CommCheckError;
+
+/// Run `fn` on `world` ranks, expecting an E; returns its message.
+template <typename E>
+std::string expect_comm_error(int world,
+                              const std::function<void(RankContext&)>& fn) {
+  try {
+    run_spmd(world, fn);
+  } catch (const E& e) {
+    return e.what();
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "wrong exception type: " << e.what();
+    return {};
+  }
+  ADD_FAILURE() << "expected a diagnostic, but the run completed";
+  return {};
+}
+
+TEST(AsyncCollectives, VariantsMatchSyncResults) {
+  constexpr int kP = 4;
+  constexpr std::int64_t kSeg = 3;
+  run_spmd(kP, [&](RankContext& ctx) {
+    auto g = ctx.world_group();
+    const float r = static_cast<float>(ctx.rank());
+
+    // all_reduce: sum of ranks.
+    Tensor ar = Tensor::full({kSeg}, r + 1.0f);
+    CommHandle h = g.all_reduce_async(ar, ReduceOp::kSum);
+    EXPECT_TRUE(h.pending());
+    h.wait();
+    EXPECT_FALSE(h.pending());
+    h.wait();  // idempotent
+    for (std::int64_t i = 0; i < kSeg; ++i) {
+      ASSERT_FLOAT_EQ(ar[i], static_cast<float>(kP * (kP + 1) / 2));
+    }
+
+    // all_gather: shard r holds value r.
+    Tensor shard = Tensor::full({kSeg}, r);
+    Tensor gathered = Tensor::empty({kSeg * kP});
+    CommHandle hg = g.all_gather_async(shard, gathered);
+    hg.wait();
+    for (int q = 0; q < kP; ++q) {
+      ASSERT_FLOAT_EQ(gathered[q * kSeg], static_cast<float>(q));
+    }
+
+    // reduce_scatter: segment s sums to p*(p-1)/2 + p*s.
+    Tensor rs_in = Tensor::empty({kSeg * kP});
+    for (int s = 0; s < kP; ++s) {
+      for (int i = 0; i < kSeg; ++i) {
+        rs_in[s * kSeg + i] = r + static_cast<float>(s);
+      }
+    }
+    Tensor rs_out = Tensor::empty({kSeg});
+    CommHandle hr = g.reduce_scatter_async(rs_in, rs_out);
+    hr.wait();
+    for (int i = 0; i < kSeg; ++i) {
+      ASSERT_FLOAT_EQ(rs_out[i], static_cast<float>(kP * (kP - 1) / 2 +
+                                                    kP * ctx.rank()));
+    }
+
+    // broadcast from the last rank.
+    Tensor bc = Tensor::full({kSeg}, ctx.rank() == kP - 1 ? 9.0f : -1.0f);
+    CommHandle hb = g.broadcast_async(bc, /*root=*/kP - 1);
+    hb.wait();
+    for (int i = 0; i < kSeg; ++i) ASSERT_FLOAT_EQ(bc[i], 9.0f);
+
+    // gather to root 0.
+    Tensor got;
+    if (ctx.rank() == 0) got = Tensor::empty({kSeg * kP});
+    CommHandle hga = g.gather_async(shard, got, /*root=*/0);
+    hga.wait();
+    if (ctx.rank() == 0) {
+      for (int q = 0; q < kP; ++q) {
+        ASSERT_FLOAT_EQ(got[q * kSeg], static_cast<float>(q));
+      }
+    }
+
+    // scatter from root 0.
+    Tensor sc_in;
+    if (ctx.rank() == 0) sc_in = Tensor::arange(kSeg * kP);
+    Tensor sc_out = Tensor::empty({kSeg});
+    CommHandle hs = g.scatter_async(sc_in, sc_out, /*root=*/0);
+    hs.wait();
+    ASSERT_FLOAT_EQ(sc_out[0], static_cast<float>(ctx.rank() * kSeg));
+
+    // barrier_async completes once every member issued it.
+    CommHandle hbar = g.barrier_async();
+    hbar.wait();
+  });
+}
+
+TEST(AsyncCollectives, ComputeOverlapsBetweenIssueAndWait) {
+  run_spmd(2, [&](RankContext& ctx) {
+    auto g = ctx.world_group();
+    Tensor t = Tensor::full({64}, static_cast<float>(ctx.rank() + 1));
+    CommHandle h = g.all_reduce_async(t, ReduceOp::kSum);
+    // Local compute while the collective is in flight: unrelated buffers
+    // may be freely mutated; `t` itself must stay untouched until wait().
+    Tensor local = Tensor::zeros({64});
+    for (int i = 0; i < 64; ++i) local[i] = static_cast<float>(i * i);
+    h.wait();
+    for (std::int64_t i = 0; i < t.numel(); ++i) ASSERT_FLOAT_EQ(t[i], 3.0f);
+    ASSERT_FLOAT_EQ(local[63], 63.0f * 63.0f);
+  });
+}
+
+TEST(AsyncCollectives, DroppedPendingHandleThrows) {
+  run_spmd(2, [&](RankContext& ctx) {
+    auto g = ctx.world_group();
+    Tensor t = Tensor::ones({4});
+    // Dropping a pending handle is a hard error: the lost completion is
+    // reported on the owner...
+    EXPECT_THROW({ CommHandle h = g.all_reduce_async(t); }, std::logic_error);
+    // ...and the abandoned op drains instead of wedging the group: once
+    // every rank abandoned it, the group is usable again.
+    Tensor u = Tensor::full({4}, 1.0f);
+    g.all_reduce(u, ReduceOp::kSum);
+    ASSERT_FLOAT_EQ(u[0], 2.0f);
+  });
+}
+
+TEST(AsyncCollectives, MoveTransfersPendingObligation) {
+  run_spmd(2, [&](RankContext& ctx) {
+    auto g = ctx.world_group();
+    Tensor t = Tensor::full({4}, static_cast<float>(ctx.rank()));
+    CommHandle a = g.all_reduce_async(t, ReduceOp::kSum);
+    CommHandle b = std::move(a);
+    EXPECT_FALSE(a.pending());  // moved-from: empty, destructible
+    EXPECT_TRUE(b.pending());
+    // Move-assigning over a pending handle would silently drop its
+    // completion; that is rejected, waiting first is fine.
+    EXPECT_THROW(b = CommHandle(), std::logic_error);
+    b.wait();
+    ASSERT_FLOAT_EQ(t[0], 1.0f);
+  });
+}
+
+TEST(AsyncCollectives, InterleavedInFlightOpsCompleteInIssueOrder) {
+  constexpr int kP = 3;
+  run_spmd(kP, [&](RankContext& ctx) {
+    auto g = ctx.world_group();
+    const float r = static_cast<float>(ctx.rank());
+
+    // Three different collectives in flight at once, plus a synchronous
+    // one issued while they are pending: sync and async ops on the same
+    // group use independent sequencing, so mixing is legal as long as all
+    // ranks follow the same order.
+    Tensor a = Tensor::full({8}, r);
+    Tensor shard = Tensor::full({2}, r + 10.0f);
+    Tensor gathered = Tensor::empty({2 * kP});
+    Tensor bc = Tensor::full({5}, ctx.rank() == 0 ? 4.0f : 0.0f);
+    CommHandle h1 = g.all_reduce_async(a, ReduceOp::kMax);
+    CommHandle h2 = g.all_gather_async(shard, gathered);
+    CommHandle h3 = g.broadcast_async(bc, /*root=*/0);
+
+    Tensor s = Tensor::full({3}, 1.0f);
+    g.all_reduce(s, ReduceOp::kSum);  // sync, with three async ops in flight
+    ASSERT_FLOAT_EQ(s[0], static_cast<float>(kP));
+
+    std::vector<CommHandle> handles;
+    handles.push_back(std::move(h1));
+    handles.push_back(std::move(h2));
+    handles.push_back(std::move(h3));
+    wait_all(handles);
+    EXPECT_TRUE(handles.empty());
+
+    ASSERT_FLOAT_EQ(a[0], static_cast<float>(kP - 1));
+    for (int q = 0; q < kP; ++q) {
+      ASSERT_FLOAT_EQ(gathered[q * 2], static_cast<float>(q) + 10.0f);
+    }
+    ASSERT_FLOAT_EQ(bc[0], 4.0f);
+  });
+}
+
+TEST(AsyncCheck, IssueOrderMismatchDetected) {
+  // Ranks disagree on the numel of their in-flight op: the last issuer
+  // validates all fingerprints of the ticket and reports the divergence;
+  // the first issuer sees the sticky poison at wait(). Both get the same
+  // typed error as the synchronous checker.
+  const std::string msg = expect_comm_error<CollectiveMismatchError>(
+      2, [](RankContext& ctx) {
+        auto g = ctx.world_group();
+        Tensor t = Tensor::ones({ctx.rank() == 0 ? 8 : 4});
+        CommHandle h = g.all_reduce_async(t);
+        h.wait();
+      });
+  EXPECT_NE(msg.find("collective mismatch"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("numel=8"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("numel=4"), std::string::npos) << msg;
+}
+
+TEST(AsyncCheck, KindMismatchAcrossAsyncOpsDetected) {
+  const std::string msg = expect_comm_error<CollectiveMismatchError>(
+      2, [](RankContext& ctx) {
+        auto g = ctx.world_group();
+        Tensor t = Tensor::ones({6});
+        if (ctx.rank() == 0) {
+          CommHandle h = g.all_reduce_async(t);
+          h.wait();
+        } else {
+          Tensor out = Tensor::empty({12});
+          CommHandle h = g.all_gather_async(t, out);
+          h.wait();
+        }
+      });
+  EXPECT_NE(msg.find("all_reduce"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("all_gather"), std::string::npos) << msg;
+}
+
+TEST(AsyncChaos, RankKilledMidFlightIsRootCause) {
+  // Rank 1 dies at its second collective (the async issue point counts
+  // exactly like the sync staging entry). Rank 0's wait on the never-fully-
+  // issued op must fail fast via peer-exit detection, and the run's root
+  // cause must be the kill, not the secondary desync.
+  fault::set_plan({/*rank=*/1, /*at_step=*/-1, /*at_collective=*/1});
+  EXPECT_THROW(
+      run_spmd(2,
+               [&](RankContext& ctx) {
+                 auto g = ctx.world_group();
+                 Tensor a = Tensor::ones({4});
+                 CommHandle h1 = g.all_reduce_async(a);   // collective 1
+                 Tensor b = Tensor::ones({4});
+                 CommHandle h2 = g.all_reduce_async(b);   // collective 2: boom
+                 h1.wait();
+                 h2.wait();
+               }),
+      fault::RankKilledError);
+  fault::clear_plan();
+}
+
+model::VitConfig async_tower_cfg() {
+  model::VitConfig c = model::tiny_test();
+  c.embed = 16;
+  c.layers = 2;
+  c.heads = 4;
+  return c;
+}
+
+/// Run `steps` training steps on a 2x2x2 Hybrid-STOP mesh and return each
+/// rank's final parameter bytes plus its probe output.
+void train_2x2x2(bool async_on, int steps, const Tensor& x_global,
+                 const Tensor& t_global, const Tensor& probe,
+                 std::vector<std::vector<float>>& param_state,
+                 std::vector<std::vector<float>>& probe_out) {
+  const int kWorld = 8;
+  model::VitConfig cfg = async_tower_cfg();
+  param_state.assign(kWorld, {});
+  probe_out.assign(kWorld, {});
+  async::ScopedAsync mode(async_on);
+  run_spmd(kWorld, [&](RankContext& ctx) {
+    core::HsEngineConfig ecfg;
+    ecfg.ddp = 2;
+    ecfg.fsdp = 2;
+    ecfg.tp = 2;
+    core::HsEngine engine(cfg, ctx, ecfg);
+    const int shard = engine.mesh().data_shard();
+    Tensor x = slice(x_global, 0, shard * 2, (shard + 1) * 2);
+    Tensor t = slice(t_global, 0, shard * 2, (shard + 1) * 2);
+    for (int i = 0; i < steps; ++i) engine.train_step_mse(x, t);
+    auto& ps = param_state[static_cast<std::size_t>(ctx.rank())];
+    for (model::Param* p : engine.all_params()) {
+      const float* d = p->value.data();
+      ps.insert(ps.end(), d, d + p->value.numel());
+    }
+    Tensor y = engine.forward(probe);
+    auto& po = probe_out[static_cast<std::size_t>(ctx.rank())];
+    po.assign(y.data(), y.data() + y.numel());
+  });
+}
+
+TEST(AsyncTraining, BitwiseIdenticalToSyncOn2x2x2) {
+  // The acceptance bar for comm/compute overlap: same bytes in, same bytes
+  // out. Bucketing, reduction order, and wait placement are identical to
+  // the synchronous engines, so the final model state must match to the
+  // last bit — not within a tolerance.
+  model::VitConfig cfg = async_tower_cfg();
+  Rng drng(77);
+  Tensor x_global = Tensor::randn({8, 4, cfg.embed}, drng);
+  Tensor t_global = Tensor::randn({8, 4, cfg.embed}, drng);
+  Tensor probe = Tensor::randn({1, 4, cfg.embed}, drng);
+
+  std::vector<std::vector<float>> sync_params, sync_probe;
+  std::vector<std::vector<float>> async_params, async_probe;
+  train_2x2x2(/*async_on=*/false, /*steps=*/3, x_global, t_global, probe,
+              sync_params, sync_probe);
+  train_2x2x2(/*async_on=*/true, /*steps=*/3, x_global, t_global, probe,
+              async_params, async_probe);
+
+  for (int r = 0; r < 8; ++r) {
+    const auto& sp = sync_params[static_cast<std::size_t>(r)];
+    const auto& ap = async_params[static_cast<std::size_t>(r)];
+    ASSERT_EQ(sp.size(), ap.size()) << "rank " << r;
+    ASSERT_FALSE(sp.empty()) << "rank " << r;
+    EXPECT_EQ(std::memcmp(sp.data(), ap.data(), sp.size() * sizeof(float)), 0)
+        << "rank " << r << ": async training diverged from sync bitwise";
+    const auto& so = sync_probe[static_cast<std::size_t>(r)];
+    const auto& ao = async_probe[static_cast<std::size_t>(r)];
+    ASSERT_EQ(so.size(), ao.size());
+    EXPECT_EQ(std::memcmp(so.data(), ao.data(), so.size() * sizeof(float)), 0)
+        << "rank " << r;
+  }
+}
+
+TEST(AsyncTraffic, AsyncOpsRecordSameBytesAsSync) {
+  run_spmd(4, [&](RankContext& ctx) {
+    auto g = ctx.world_group();
+    Tensor t = Tensor::zeros({100});
+    CommHandle h = g.all_reduce_async(t);
+    h.wait();
+    EXPECT_EQ(g.ops_issued(), 1u);
+    EXPECT_EQ(g.bytes_moved(), 1200u);  // (4-1) * 100 * 4, as for sync
+  });
+}
+
+}  // namespace
+}  // namespace orbit::comm

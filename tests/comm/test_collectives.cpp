@@ -180,7 +180,104 @@ TEST(CollectivesTraffic, BytesAndOpsRecorded) {
     g.all_reduce(t);
     g.barrier();
     EXPECT_EQ(g.ops_issued(), 1u);
-    EXPECT_EQ(g.bytes_moved(), 400u);
+    // Traffic convention (DESIGN.md §4i): max per-rank interconnect bytes,
+    // (p-1) * payload * sizeof(float) = 3 * 100 * 4. The old accounting
+    // recorded the payload only (400) for all_reduce but payload * p for
+    // all_gather-family ops — inconsistent across collectives.
+    EXPECT_EQ(g.bytes_moved(), 1200u);
+  });
+}
+
+TEST(CollectivesTraffic, ClosedFormPerCollective) {
+  // Cross-check every collective against the documented convention:
+  // bytes = (p - 1) * per_rank_payload * sizeof(float), where the payload
+  // is the full tensor for all_reduce/broadcast, the shard for
+  // all_gather/gather, and the segment for reduce_scatter/scatter.
+  constexpr int kP = 4;
+  constexpr std::int64_t kSeg = 6;
+  run_spmd(kP, [&](RankContext& ctx) {
+    auto g = ctx.world_group();
+    const std::uint64_t per_elem = (kP - 1) * sizeof(float);
+    std::uint64_t expect = 0;
+
+    Tensor full = Tensor::zeros({kSeg * kP});
+    g.all_reduce(full);
+    expect += per_elem * kSeg * kP;  // payload = full tensor
+    EXPECT_EQ(g.bytes_moved(), expect);
+
+    Tensor shard = Tensor::zeros({kSeg});
+    Tensor gathered = Tensor::empty({kSeg * kP});
+    g.all_gather(shard, gathered);
+    expect += per_elem * kSeg;  // payload = shard
+    EXPECT_EQ(g.bytes_moved(), expect);
+
+    Tensor seg_out = Tensor::empty({kSeg});
+    g.reduce_scatter(full, seg_out);
+    expect += per_elem * kSeg;  // payload = segment
+    EXPECT_EQ(g.bytes_moved(), expect);
+
+    g.broadcast(full, /*root=*/0);
+    expect += per_elem * kSeg * kP;  // payload = full tensor
+    EXPECT_EQ(g.bytes_moved(), expect);
+
+    Tensor root_out;
+    if (ctx.rank() == 0) root_out = Tensor::empty({kSeg * kP});
+    g.gather(shard, root_out, /*root=*/0);
+    expect += per_elem * kSeg;  // payload = shard
+    EXPECT_EQ(g.bytes_moved(), expect);
+
+    Tensor scatter_in;
+    if (ctx.rank() == 0) scatter_in = Tensor::zeros({kSeg * kP});
+    g.scatter(scatter_in, seg_out, /*root=*/0);
+    expect += per_elem * kSeg;  // payload = segment
+    EXPECT_EQ(g.bytes_moved(), expect);
+
+    g.barrier();  // barriers move no payload and record no op
+    EXPECT_EQ(g.bytes_moved(), expect);
+    EXPECT_EQ(g.ops_issued(), 6u);
+  });
+}
+
+TEST(CollectivesTraffic, P2pRecordsBothEndpoints) {
+  // Regression: recv used to record zero bytes while send recorded, so
+  // one-directional pipelines undercounted by half. The convention records
+  // numel * sizeof(float) at *both* endpoints (one send op + one recv op).
+  run_spmd(2, [&](RankContext& ctx) {
+    auto g = ctx.world_group();
+    if (ctx.rank() == 0) {
+      g.send(Tensor::zeros({10}), /*dst=*/1, /*tag=*/3);
+    } else {
+      (void)g.recv(/*src=*/0, /*tag=*/3);
+    }
+    g.barrier();
+    EXPECT_EQ(g.ops_issued(), 2u);   // send + recv (barrier records no op)
+    EXPECT_EQ(g.bytes_moved(), 80u); // 10 floats * 4 bytes * 2 endpoints
+  });
+}
+
+TEST(CollectivesTraffic, GatherBadRootOutFailsFastAndIsRetryable) {
+  // Regression for the pre-barrier validation bug: gather() used to check
+  // the root's output size only *after* the staging entry sync, so a bad
+  // `out` left the group desynced (peers had already matched fingerprints)
+  // and the typed error surfaced as a watchdog/mismatch mess. The check now
+  // runs before any group state is touched: the root catches the
+  // invalid_argument locally and can retry the same collective, while the
+  // peers' single gather() call completes against the retry.
+  run_spmd(3, [&](RankContext& ctx) {
+    auto g = ctx.world_group();
+    Tensor shard = Tensor::full({2}, static_cast<float>(ctx.rank()));
+    if (ctx.rank() == 0) {
+      Tensor bad = Tensor::empty({2});  // needs 3 * 2 elements
+      EXPECT_THROW(g.gather(shard, bad, /*root=*/0), std::invalid_argument);
+      Tensor good = Tensor::empty({6});
+      g.gather(shard, good, /*root=*/0);
+      for (int r = 0; r < 3; ++r) {
+        EXPECT_FLOAT_EQ(good[r * 2], static_cast<float>(r));
+      }
+    } else {
+      Tensor out;
+      g.gather(shard, out, /*root=*/0);
+    }
   });
 }
 

@@ -22,7 +22,7 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 # --no-tests=error: a leg whose filter matches nothing (e.g. a half-built
 # tree after an earlier leg failure) must FAIL, not silently pass.
 CTEST_ARGS=(--output-on-failure --no-tests=error "-j${JOBS}")
-LEGS=(asan tsan trace checkpoint kernels resilience telemetry analyze tidy shellcheck)
+LEGS=(asan tsan trace checkpoint kernels resilience telemetry comm-async analyze tidy shellcheck)
 
 JSON_PATH=""
 while [ "$#" -gt 0 ]; do
@@ -181,6 +181,25 @@ if [ -d build-tsan ]; then
   fi
 else
   RESULT[telemetry]="SKIP (TSan build unavailable)"
+fi
+
+echo "==== [comm-async] nonblocking collectives under ORBIT_COMM_ASYNC=1 (TSan) ===="
+# Overlap check: re-run the comm-labelled checker tests plus the comm_async
+# suite (handle lifetime, in-flight validation, chaos kill mid-flight, and
+# the 2x2x2 async-vs-sync bitwise-identity run) with the nonblocking engine
+# enabled. Reuses the TSan build — the whole point of the async path is
+# publishing staging pointers before the completion rendezvous, which is
+# exactly the ordering TSan audits.
+if [ -d build-tsan ]; then
+  if (cd build-tsan && ORBIT_COMM_ASYNC=1 ctest --output-on-failure \
+        --no-tests=error "-j${JOBS}" -L "comm|comm_async"); then
+    RESULT[comm-async]="PASS"
+  else
+    RESULT[comm-async]="FAIL"
+    overall=1
+  fi
+else
+  RESULT[comm-async]="SKIP (TSan build unavailable)"
 fi
 
 echo "==== [analyze] orbit_lint project invariants ===="
