@@ -56,6 +56,9 @@ void validate_chaos(const ChaosSchedule& s) {
     throw std::invalid_argument(
         "chaos schedule: max_kills must be -1 (unlimited) or >= 0");
   }
+  if (s.begin_step < 0) {
+    throw std::invalid_argument("chaos schedule: begin_step must be >= 0");
+  }
 }
 
 void publish_armed_locked() {
@@ -75,6 +78,7 @@ std::uint64_t mix(std::uint64_t x) {
 /// does not trigger. Pure in (schedule, step).
 std::optional<int> chaos_decision(const ChaosSchedule& s, std::int64_t step) {
   if (step <= 0) return std::nullopt;  // nothing to recover before step 1
+  if (step < s.begin_step) return std::nullopt;  // storm not started yet
   bool fire = s.every_steps > 0 && step % s.every_steps == 0;
   if (!fire && s.per_step_probability > 0.0) {
     const std::uint64_t h =
@@ -144,6 +148,10 @@ void seed_env_locked() {
     if (const std::optional<std::int64_t> v =
             env::maybe_i64("ORBIT_CHAOS_MAX_KILLS", 0, kI64Max)) {
       s.max_kills = *v;
+    }
+    if (const std::optional<std::int64_t> v =
+            env::maybe_i64("ORBIT_CHAOS_BEGIN", 0, kI64Max)) {
+      s.begin_step = *v;
     }
     if (s.victim_rank < 0 && s.world_size < 1) {
       throw env::EnvError(

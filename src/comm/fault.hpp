@@ -47,8 +47,9 @@
 ///  * `ORBIT_CHAOS_EVERY=<k>` and/or `ORBIT_CHAOS_PROB=<p>` arm a chaos
 ///    schedule; the victim is `ORBIT_CHAOS_RANK=<r>` or a uniform draw
 ///    over `ORBIT_CHAOS_WORLD=<n>` ranks (one of the two is required),
-///    seeded by `ORBIT_CHAOS_SEED=<s>` (default 0) and capped by
-///    `ORBIT_CHAOS_MAX_KILLS=<m>` (default unlimited).
+///    seeded by `ORBIT_CHAOS_SEED=<s>` (default 0), capped by
+///    `ORBIT_CHAOS_MAX_KILLS=<m>` (default unlimited), and optionally
+///    deferred by `ORBIT_CHAOS_BEGIN=<b>` (no firing before step b).
 /// All values are parsed strictly: non-numeric text, trailing garbage, or
 /// out-of-range values (negative ranks/steps, probabilities outside
 /// [0, 1]) raise a `std::runtime_error` naming the variable and the bad
@@ -86,6 +87,10 @@ struct ChaosSchedule {
   std::uint64_t seed = 0;
   /// Total kill budget across the schedule's lifetime; -1 = unlimited.
   std::int64_t max_kills = -1;
+  /// First step eligible to fire: steps < begin_step never trigger. Lets a
+  /// soak run cleanly to a known committed generation before the failure
+  /// storm starts (mid-soak capacity loss).
+  std::int64_t begin_step = 0;
 };
 
 /// Arm a one-shot plan (replaces any previous plan, resets the per-rank

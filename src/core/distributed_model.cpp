@@ -39,6 +39,16 @@ std::vector<model::Param*> DistributedOrbitModel::replicated_params() {
   return out;
 }
 
+parallel::ShardLayout DistributedOrbitModel::shard_layout() {
+  parallel::ShardLayout layout;
+  layout.sets = hs_tower_->set_descs();
+  for (model::Param* p : replicated_params()) {
+    layout.replicated.push_back(parallel::ReplicatedDesc{p->name,
+                                                         p->value.shape()});
+  }
+  return layout;
+}
+
 std::vector<model::Param*> DistributedOrbitModel::all_params() {
   std::vector<model::Param*> out = hs_tower_->shard_params();
   for (model::Param* p : replicated_params()) out.push_back(p);

@@ -100,6 +100,18 @@ class DistributedOrbitModel {
   /// All rank-local trainable state.
   std::vector<model::Param*> all_params();
 
+  /// Mesh-independent layout of this model's trainable state: the tower's
+  /// sharded-set descriptors (logical names, full shapes, TP slice axes,
+  /// pack order) plus every replicated param's name and shape. Identical
+  /// across all ranks and across all meshes built from the same VitConfig —
+  /// the contract the checkpoint manifest and the resharding loader
+  /// (core/reshard.hpp) are built on.
+  parallel::ShardLayout shard_layout();
+
+  /// Whether the optimizer runs with bf16 working weights + f32 masters
+  /// (adds `adamw.master:` records to checkpoints).
+  bool mixed_precision() const { return cfg_.engine.mixed_precision; }
+
  private:
   DistributedTrainerConfig cfg_;
   HybridMesh mesh_;

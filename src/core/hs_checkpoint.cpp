@@ -9,12 +9,17 @@
 #include <stdexcept>
 
 #include "comm/fault.hpp"
+#include "core/reshard.hpp"
 
 namespace orbit::core {
 namespace {
 
+std::string rank_file(const std::string& prefix, int rank) {
+  return prefix + ".rank" + std::to_string(rank) + ".bin";
+}
+
 std::string rank_file(const std::string& prefix, const HybridMesh& mesh) {
-  return prefix + ".rank" + std::to_string(mesh.global_rank()) + ".bin";
+  return rank_file(prefix, mesh.global_rank());
 }
 
 std::string meta_file(const std::string& prefix) { return prefix + ".meta"; }
@@ -58,9 +63,12 @@ void write_text_atomic(const std::string& path, const std::string& content) {
 }
 
 struct Meta {
-  int version = 0;  ///< 1 (param-only era) or 2 (full training state)
+  /// 1 (param-only era), 2 (full training state), or 3 (full manifest —
+  /// see core/reshard.hpp; the extra lines only the resharding loader
+  /// needs are parsed there, not here).
+  int version = 0;
   int ddp = 0, fsdp = 0, tp = 0;
-  std::int64_t step = -1;  ///< v2 only
+  std::int64_t step = -1;  ///< v2+
 };
 
 /// Expect a "<key> <integer>" line. Any deviation — missing line, wrong
@@ -105,6 +113,8 @@ Meta read_meta(const std::string& path) {
     meta.version = 1;
   } else if (header == "orbit-sharded-checkpoint v2") {
     meta.version = 2;
+  } else if (header == "orbit-sharded-checkpoint v3") {
+    meta.version = 3;
   } else {
     corrupt_meta(path, "bad header \"" + header + "\"");
   }
@@ -120,13 +130,37 @@ Meta read_meta(const std::string& path) {
   return meta;
 }
 
-void write_meta(const std::string& prefix, const HybridMesh& mesh,
-                std::int64_t step) {
-  std::ostringstream os;
-  os << "orbit-sharded-checkpoint v2\n"
-     << "ddp " << mesh.ddp_size << "\nfsdp " << mesh.fsdp_size << "\ntp "
-     << mesh.tp_size << "\nstep " << step << "\n";
-  write_text_atomic(meta_file(prefix), os.str());
+/// Delete `<prefix>.rank<R>.bin` files with R >= `world` — leftovers of a
+/// larger mesh that saved this generation prefix before a shrink. Without
+/// this a post-shrink re-save at the same step would strand stale files
+/// whose recorded step matches the fresh metadata, indistinguishable on
+/// disk from live ones. Returns the number removed.
+int remove_stale_rank_files(const std::string& prefix, int world) {
+  namespace fs = std::filesystem;
+  const fs::path p(prefix);
+  fs::path dir = p.parent_path();
+  if (dir.empty()) dir = ".";
+  const std::string stem = p.filename().string() + ".rank";
+  std::error_code ec;
+  // Collect first, delete after: unlinking during directory iteration can
+  // make the iterator skip entries (readdir semantics).
+  std::vector<fs::path> stale;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(stem, 0) != 0) continue;
+    std::size_t i = stem.size();
+    std::size_t digits = 0;
+    long r = 0;
+    while (i < name.size() && name[i] >= '0' && name[i] <= '9') {
+      r = r * 10 + (name[i] - '0');
+      ++i;
+      ++digits;
+    }
+    if (digits == 0 || name.substr(i) != ".bin") continue;
+    if (r >= world) stale.push_back(entry.path());
+  }
+  for (const fs::path& path : stale) fs::remove(path, ec);
+  return static_cast<int>(stale.size());
 }
 
 }  // namespace
@@ -160,7 +194,18 @@ void save_sharded_checkpoint(const std::string& prefix,
   model::write_checkpoint(rank_file(prefix, mesh), collect_train_state(m));
   // (3) all rank files are durable before the metadata commits them.
   m.world().barrier();
-  if (mesh.global_rank() == 0) write_meta(prefix, mesh, m.step());
+  if (mesh.global_rank() == 0) {
+    // v3 metadata is the full reshard manifest (core/reshard.hpp) — same
+    // leading lines as v2 plus the mesh-independent shard layout, so this
+    // generation can later be loaded on any compatible mesh.
+    write_text_atomic(meta_file(prefix),
+                      reshard::manifest_text(reshard::build_manifest(m)));
+    // Mixed-shape histories: if a larger mesh saved this prefix earlier
+    // (pre-shrink save at the same step), its extra rank files are now
+    // stale — drop them so the generation on disk is exactly this mesh's.
+    remove_stale_rank_files(prefix, mesh.ddp_size * mesh.fsdp_size *
+                                        mesh.tp_size);
+  }
   // (5) nobody returns (and nobody can start a resume) before the commit.
   m.world().barrier();
 }
@@ -171,11 +216,25 @@ void load_sharded_checkpoint(const std::string& prefix,
   const Meta meta = read_meta(meta_file(prefix));
   if (meta.ddp != mesh.ddp_size || meta.fsdp != mesh.fsdp_size ||
       meta.tp != mesh.tp_size) {
-    throw std::runtime_error(
+    // Cross-mesh resume: a v3 generation carries the full manifest, so the
+    // resharding loader can gather-by-name and re-slice for this mesh.
+    // Pre-manifest metadata records only the factorization — nothing to
+    // reshard from, and that is a metadata limitation, not a mesh one.
+    if (meta.version >= 3) {
+      reshard::load_resharded(prefix, m);
+      return;
+    }
+    throw reshard::ManifestIncompleteError(
         "sharded checkpoint: mesh mismatch — checkpoint was written with "
         "ddp=" + std::to_string(meta.ddp) +
         " fsdp=" + std::to_string(meta.fsdp) +
-        " tp=" + std::to_string(meta.tp));
+        " tp=" + std::to_string(meta.tp) + " but this run is ddp=" +
+        std::to_string(mesh.ddp_size) + " fsdp=" +
+        std::to_string(mesh.fsdp_size) + " tp=" +
+        std::to_string(mesh.tp_size) + ", and v" +
+        std::to_string(meta.version) +
+        " metadata carries no manifest to reshard from (re-save on the "
+        "original mesh to upgrade to v3)");
   }
   const std::string path = rank_file(prefix, mesh);
   const model::CheckpointData data = model::read_checkpoint(path);
@@ -264,13 +323,37 @@ std::vector<std::int64_t> list_checkpoint_steps(const std::string& prefix) {
   return {steps.begin(), steps.end()};
 }
 
+std::int64_t newest_intact_step(const std::string& prefix) {
+  namespace fs = std::filesystem;
+  const std::vector<std::int64_t> steps = list_checkpoint_steps(prefix);
+  for (auto it = steps.rbegin(); it != steps.rend(); ++it) {
+    const std::string gen = step_prefix(prefix, *it);
+    Meta meta;
+    try {
+      meta = read_meta(meta_file(gen));
+    } catch (const std::exception&) {
+      continue;  // missing or corrupt metadata: not a committed generation
+    }
+    if (meta.version >= 2 && meta.step != *it) continue;  // misfiled
+    bool intact = true;
+    std::error_code ec;
+    for (int r = 0; r < meta.ddp * meta.fsdp * meta.tp; ++r) {
+      if (!fs::exists(rank_file(gen, r), ec)) {
+        intact = false;
+        break;
+      }
+    }
+    if (intact) return *it;
+  }
+  return -1;
+}
+
 int prune_checkpoints(const std::string& prefix, int keep_last) {
   if (keep_last <= 0) {
     throw std::invalid_argument("prune_checkpoints: keep_last must be > 0");
   }
   namespace fs = std::filesystem;
   const std::vector<std::int64_t> steps = list_checkpoint_steps(prefix);
-  if (static_cast<int>(steps.size()) <= keep_last) return 0;
   // Committed generation: protected unconditionally, even when it is older
   // than every survivor (e.g. newer saves crashed before committing).
   std::int64_t committed = -1;
@@ -279,7 +362,12 @@ int prune_checkpoints(const std::string& prefix, int keep_last) {
   } catch (const std::runtime_error&) {
     committed = -1;  // corrupt pointer: prune by recency only
   }
-  const std::size_t keep_from = steps.size() - static_cast<std::size_t>(keep_last);
+  // When nothing is prunable every generation is a survivor — the
+  // mesh-aware repair below must still run over all of them.
+  const std::size_t keep_from =
+      static_cast<int>(steps.size()) <= keep_last
+          ? 0
+          : steps.size() - static_cast<std::size_t>(keep_last);
   int removed = 0;
   for (std::size_t i = 0; i < keep_from; ++i) {
     if (steps[i] == committed) continue;
@@ -287,14 +375,30 @@ int prune_checkpoints(const std::string& prefix, int keep_last) {
     const fs::path meta(meta_file(gen));
     std::error_code ec;
     fs::remove(meta, ec);
-    // Rank files: scan the directory rather than guessing the world size.
+    // Rank files: scan the directory rather than guessing the world size
+    // (collect first — unlinking mid-iteration can skip entries).
     const fs::path dir = meta.parent_path().empty() ? "." : meta.parent_path();
     const std::string stem = fs::path(gen).filename().string() + ".rank";
+    std::vector<fs::path> victims;
     for (const auto& entry : fs::directory_iterator(dir, ec)) {
       const std::string name = entry.path().filename().string();
-      if (name.rfind(stem, 0) == 0) fs::remove(entry.path(), ec);
+      if (name.rfind(stem, 0) == 0) victims.push_back(entry.path());
     }
+    for (const fs::path& path : victims) fs::remove(path, ec);
     ++removed;
+  }
+  // Mesh-aware repair of the survivors: a mixed-shape history (elastic
+  // shrink, then re-save) can leave a kept generation with rank files from
+  // a larger mesh than its metadata records. The save path cleans its own
+  // generation; this covers generations whose cleanup was interrupted.
+  for (std::size_t i = keep_from; i < steps.size(); ++i) {
+    const std::string gen = step_prefix(prefix, steps[i]);
+    try {
+      const Meta meta = read_meta(meta_file(gen));
+      remove_stale_rank_files(gen, meta.ddp * meta.fsdp * meta.tp);
+    } catch (const std::exception&) {
+      // Torn or corrupt survivor: leave its files for postmortem.
+    }
   }
   return removed;
 }

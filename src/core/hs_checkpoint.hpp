@@ -31,6 +31,14 @@
 /// torn generation (some ranks new, some old) is detected on load because
 /// every rank file's recorded step must equal the metadata's.
 ///
+/// Metadata versions: v3 (current) metadata is the full reshard manifest
+/// (core/reshard.hpp) — mesh factorization, step, masters/RNG flags, and
+/// the mesh-independent shard layout — so a committed generation can be
+/// loaded on a *different* mesh via the resharding loader; the same-mesh
+/// fast path parses only the leading lines. v2 metadata (factorization +
+/// step only) still loads on the identical mesh; a cross-mesh load of it
+/// raises `reshard::ManifestIncompleteError`.
+///
 /// Legacy: v1 checkpoints (param-only rank files, "v1" metadata header)
 /// still load read-only — weights restored, optimizer left cold.
 
@@ -52,7 +60,10 @@ void save_sharded_checkpoint(const std::string& prefix,
 /// against the model and optimizer *before* touching anything — a failed
 /// load of any kind leaves model, optimizer, scaler, step, and RNG
 /// bitwise unmodified. Full-state files restore everything; v1/param-only
-/// files restore weights read-only.
+/// files restore weights read-only. When the saved mesh differs from the
+/// model's and the metadata is a v3 manifest, the load transparently
+/// delegates to `reshard::load_resharded` (same transactional contract);
+/// pre-manifest metadata raises `reshard::ManifestIncompleteError`.
 void load_sharded_checkpoint(const std::string& prefix,
                              DistributedOrbitModel& m);
 
@@ -77,11 +88,20 @@ std::int64_t latest_checkpoint_step(const std::string& prefix);
 /// supervisor's progress introspection and the pruner's inventory.
 std::vector<std::int64_t> list_checkpoint_steps(const std::string& prefix);
 
+/// Newest generation that looks fully committed from disk alone: readable
+/// metadata whose recorded step matches the generation number, and a rank
+/// file for every rank of the recorded mesh. Returns -1 when none exists.
+/// The supervisor's fallback probe when the `<prefix>.latest` pointer is
+/// corrupt — torn and damaged generations are skipped, never thrown on.
+std::int64_t newest_intact_step(const std::string& prefix);
+
 /// Delete on-disk generations, keeping the newest `keep_last` plus —
 /// always — the generation `<prefix>.latest` points at (a committed
 /// checkpoint must stay loadable no matter how aggressive the retention).
-/// Returns the number of generations removed. Not collective: call from
-/// one rank (rank 0) only.
+/// Mesh-aware for elastic histories: surviving generations are also
+/// stripped of rank files beyond their metadata's recorded world size
+/// (stale leftovers of a pre-shrink mesh). Returns the number of
+/// generations removed. Not collective: call from one rank (rank 0) only.
 int prune_checkpoints(const std::string& prefix, int keep_last);
 
 /// Resume from the last committed generation: load

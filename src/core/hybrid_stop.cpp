@@ -130,6 +130,14 @@ HsLinearPair::HsLinearPair(std::string name, const Tensor& a_full_w,
       name + ".setA", std::vector<model::Param*>{&a_w_, &a_b_}, fsdp_, mem);
   set_b_ = std::make_unique<HsShardedSet>(
       name + ".setB", std::vector<model::Param*>{&b_w_}, fsdp_, mem);
+  // Captured from the *full* tensors — once sharded, the global shapes are
+  // no longer recoverable from the materialised params alone.
+  set_descs_.push_back(parallel::ShardedSetDesc{
+      name + ".setA",
+      {parallel::SliceDesc{name + ".A", a_full_w.shape(), 1},
+       parallel::SliceDesc{name + ".a", a_full_b.shape(), 0}}});
+  set_descs_.push_back(parallel::ShardedSetDesc{
+      name + ".setB", {parallel::SliceDesc{name + ".B", b_full_w.shape(), 0}}});
 }
 
 Tensor HsLinearPair::forward(const Tensor& x) {
@@ -205,6 +213,11 @@ void HsLinearPair::collect_replicated_params(std::vector<model::Param*>& out) {
   out.push_back(&b_b_);
 }
 
+void HsLinearPair::collect_set_descs(
+    std::vector<parallel::ShardedSetDesc>& out) const {
+  for (const parallel::ShardedSetDesc& d : set_descs_) out.push_back(d);
+}
+
 HsAttention::HsAttention(std::string name,
                          model::MultiHeadSelfAttention& reference,
                          const model::VitConfig& cfg, comm::ProcessGroup tp,
@@ -250,6 +263,24 @@ HsAttention::HsAttention(std::string name,
       mem);
   set_o_ = std::make_unique<HsShardedSet>(
       name + ".setO", std::vector<model::Param*>{&wo_}, fsdp_, mem);
+  set_descs_.push_back(parallel::ShardedSetDesc{
+      name + ".setQKV",
+      {parallel::SliceDesc{name + ".wq", reference.wq().weight().value.shape(),
+                           1},
+       parallel::SliceDesc{name + ".bq", reference.wq().bias().value.shape(),
+                           0},
+       parallel::SliceDesc{name + ".wk", reference.wk().weight().value.shape(),
+                           1},
+       parallel::SliceDesc{name + ".bk", reference.wk().bias().value.shape(),
+                           0},
+       parallel::SliceDesc{name + ".wv", reference.wv().weight().value.shape(),
+                           1},
+       parallel::SliceDesc{name + ".bv", reference.wv().bias().value.shape(),
+                           0}}});
+  set_descs_.push_back(parallel::ShardedSetDesc{
+      name + ".setO",
+      {parallel::SliceDesc{name + ".wo", reference.wo().weight().value.shape(),
+                           0}}});
 }
 
 Tensor HsAttention::split_local_heads(const Tensor& x) const {
@@ -369,6 +400,11 @@ void HsAttention::collect_replicated_params(std::vector<model::Param*>& out) {
   }
 }
 
+void HsAttention::collect_set_descs(
+    std::vector<parallel::ShardedSetDesc>& out) const {
+  for (const parallel::ShardedSetDesc& d : set_descs_) out.push_back(d);
+}
+
 HsBlock::HsBlock(std::string name, model::TransformerBlock& reference,
                  const model::VitConfig& cfg, comm::ProcessGroup tp,
                  comm::ProcessGroup fsdp, const HsOptions* opts,
@@ -433,6 +469,12 @@ void HsBlock::collect_replicated_params(std::vector<model::Param*>& out) {
   mlp_->collect_replicated_params(out);
 }
 
+void HsBlock::collect_set_descs(
+    std::vector<parallel::ShardedSetDesc>& out) const {
+  attn_->collect_set_descs(out);
+  mlp_->collect_set_descs(out);
+}
+
 HsTower::HsTower(const model::VitConfig& cfg, comm::ProcessGroup tp,
                  comm::ProcessGroup fsdp, HsOptions opts)
     : opts_(opts) {
@@ -483,6 +525,12 @@ Tensor HsTower::backward(const Tensor& dy) {
 std::vector<model::Param*> HsTower::shard_params() {
   std::vector<model::Param*> out;
   for (auto& b : blocks_) b->collect_shard_params(out);
+  return out;
+}
+
+std::vector<parallel::ShardedSetDesc> HsTower::set_descs() const {
+  std::vector<parallel::ShardedSetDesc> out;
+  for (const auto& b : blocks_) b->collect_set_descs(out);
   return out;
 }
 

@@ -8,6 +8,7 @@
 #include "model/config.hpp"
 #include "model/vit.hpp"
 #include "parallel/flat_buffer.hpp"
+#include "parallel/shard_desc.hpp"
 
 /// \file hybrid_stop.hpp
 /// Hybrid Sharded Tensor-Data Orthogonal Parallelism — the paper's core
@@ -102,11 +103,16 @@ class HsLinearPair {
 
   void collect_shard_params(std::vector<model::Param*>& out);
   void collect_replicated_params(std::vector<model::Param*>& out);
+  /// Mesh-independent descriptors of this pair's sharded sets (setA, setB),
+  /// captured from the full weights at construction — the resharding
+  /// loader's source of truth for logical shapes and slice axes.
+  void collect_set_descs(std::vector<parallel::ShardedSetDesc>& out) const;
 
  private:
   comm::ProcessGroup tp_, fsdp_;
   const HsOptions* opts_;
   Activation act_;
+  std::vector<parallel::ShardedSetDesc> set_descs_;
   model::Param a_w_, a_b_;  ///< materialised TP shards of A and its bias
   model::Param b_w_;        ///< materialised TP row shard of B
   model::Param b_b_;        ///< replicated output bias
@@ -132,10 +138,13 @@ class HsAttention {
   void wait_grads();
   void collect_shard_params(std::vector<model::Param*>& out);
   void collect_replicated_params(std::vector<model::Param*>& out);
+  /// Descriptors of setQKV and setO (see HsLinearPair::collect_set_descs).
+  void collect_set_descs(std::vector<parallel::ShardedSetDesc>& out) const;
 
  private:
   comm::ProcessGroup tp_, fsdp_;
   const HsOptions* opts_;
+  std::vector<parallel::ShardedSetDesc> set_descs_;
   std::int64_t embed_, heads_, local_heads_, head_dim_;
   float scale_;
   model::Param wq_, bq_, wk_, bk_, wv_, bv_;  ///< TP column shards
@@ -165,6 +174,8 @@ class HsBlock {
   void wait_grads();
   void collect_shard_params(std::vector<model::Param*>& out);
   void collect_replicated_params(std::vector<model::Param*>& out);
+  /// Sub-layer set descriptors in collect_shard_params order (attn, mlp).
+  void collect_set_descs(std::vector<parallel::ShardedSetDesc>& out) const;
 
  private:
   const HsOptions* opts_;
@@ -200,6 +211,12 @@ class HsTower {
 
   std::vector<model::Param*> shard_params();
   std::vector<model::Param*> replicated_params();
+  /// Mesh-independent sharded-set descriptors, in shard_params order: one
+  /// entry per HsShardedSet, each naming its members' logical tensors, full
+  /// shapes, TP slice axes, and pack order. Two towers built from the same
+  /// config report identical descriptors whatever their meshes — the
+  /// invariant the resharding checkpoint loader rests on.
+  std::vector<parallel::ShardedSetDesc> set_descs() const;
   void zero_grad();
 
   const MemoryCounter& memory() const { return mem_; }

@@ -1,0 +1,559 @@
+#include "core/reshard.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "core/distributed_model.hpp"
+#include "env/env.hpp"
+#include "model/checkpoint_io.hpp"
+#include "telemetry/registry.hpp"
+#include "tensor/ops.hpp"
+
+namespace orbit::core::reshard {
+namespace {
+
+constexpr const char* kHeaderV3 = "orbit-sharded-checkpoint v3";
+constexpr const char* kShapesVar = "ORBIT_ELASTIC_SHAPES";
+
+std::string rank_file(const std::string& prefix, int rank) {
+  return prefix + ".rank" + std::to_string(rank) + ".bin";
+}
+
+[[noreturn]] void corrupt(const std::string& path, const std::string& what) {
+  throw CheckpointCorruptionError("reshard: corrupt manifest " + path + ": " +
+                                  what);
+}
+
+/// Strict "<key> <non-negative integer>" line, mirroring the hs_checkpoint
+/// metadata parser but reporting through the typed corruption error.
+std::int64_t manifest_kv(std::istream& is, const std::string& path,
+                         const std::string& key) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    corrupt(path, "missing \"" + key + "\" line (truncated file)");
+  }
+  std::istringstream ls(line);
+  std::string k;
+  std::int64_t v = 0;
+  if (!(ls >> k) || k != key) {
+    corrupt(path, "expected key \"" + key + "\", got \"" + line + "\"");
+  }
+  if (!(ls >> v)) {
+    corrupt(path, "key \"" + key + "\" has a non-numeric value: \"" + line +
+                      "\"");
+  }
+  std::string rest;
+  if (ls >> rest) {
+    corrupt(path, "trailing garbage after \"" + key + "\": \"" + line + "\"");
+  }
+  return v;
+}
+
+/// Read a shape's "<ndims> <d0> <d1> ..." tail from a manifest line.
+std::vector<std::int64_t> read_dims(std::istringstream& ls,
+                                    const std::string& path,
+                                    const std::string& line) {
+  std::int64_t nd = -1;
+  if (!(ls >> nd) || nd < 1 || nd > 8) {
+    corrupt(path, "bad dimension count in \"" + line + "\"");
+  }
+  std::vector<std::int64_t> dims(static_cast<std::size_t>(nd));
+  for (auto& d : dims) {
+    if (!(ls >> d) || d <= 0) {
+      corrupt(path, "bad dimension in \"" + line + "\"");
+    }
+  }
+  return dims;
+}
+
+std::string shape_str(const std::vector<std::int64_t>& shape) {
+  std::string s = "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i != 0) s += ", ";
+    s += std::to_string(shape[i]);
+  }
+  return s + "]";
+}
+
+/// The three record-name families the gather/re-slice pass moves: parameter
+/// values, Adam first and second moments, and (bf16 mode) f32 masters. Each
+/// family's records shard identically, so one reassembly routine serves all.
+std::vector<std::string> record_families(bool masters) {
+  std::vector<std::string> fams = {"", "adamw.m:", "adamw.v:"};
+  if (masters) fams.push_back("adamw.master:");
+  return fams;
+}
+
+/// Lazily-read cache of source rank files, validated on first touch: CRC
+/// and structure via read_checkpoint, then generation consistency (the
+/// file's recorded step must equal the manifest's — a torn save) and the
+/// full-state marker.
+class SourceFiles {
+ public:
+  SourceFiles(std::string prefix, const Manifest& man)
+      : prefix_(std::move(prefix)), man_(man) {}
+
+  const model::CheckpointData& at(int rank) {
+    auto it = cache_.find(rank);
+    if (it != cache_.end()) return it->second;
+    const std::string path = rank_file(prefix_, rank);
+    model::CheckpointData data;
+    try {
+      data = model::read_checkpoint(path);
+    } catch (const ReshardError&) {
+      throw;
+    } catch (const std::runtime_error& e) {
+      throw CheckpointCorruptionError(std::string("reshard: ") + e.what());
+    }
+    if (!data.contains("adamw.t") || !data.contains("train.step")) {
+      throw CheckpointCorruptionError(
+          "reshard: " + path +
+          " is not a full-training-state rank file (missing adamw.t / "
+          "train.step records)");
+    }
+    const std::int64_t step = data.i64("train.step");
+    if (step != man_.step) {
+      throw CheckpointCorruptionError(
+          "reshard: torn generation — " + path + " is at step " +
+          std::to_string(step) + " but the manifest committed step " +
+          std::to_string(man_.step));
+    }
+    return cache_.emplace(rank, std::move(data)).first->second;
+  }
+
+ private:
+  std::string prefix_;
+  const Manifest& man_;
+  std::map<int, model::CheckpointData> cache_;
+};
+
+/// Fetch record `name` from `data` as a tensor with exactly `numel`
+/// elements, classifying every failure as corruption.
+Tensor record_tensor(const model::CheckpointData& data,
+                     const std::string& file_hint, const std::string& name,
+                     std::int64_t numel) {
+  if (!data.contains(name)) {
+    throw CheckpointCorruptionError("reshard: " + file_hint +
+                                    " is missing record \"" + name + "\"");
+  }
+  Tensor t;
+  try {
+    t = data.tensor(name);
+  } catch (const std::runtime_error& e) {
+    throw CheckpointCorruptionError(std::string("reshard: ") + e.what());
+  }
+  if (t.numel() != numel) {
+    throw CheckpointCorruptionError(
+        "reshard: record \"" + name + "\" in " + file_hint + " has " +
+        std::to_string(t.numel()) + " elements, manifest implies " +
+        std::to_string(numel));
+  }
+  return t;
+}
+
+/// Copy a scalar/bytes record verbatim from a source file into `out`,
+/// classifying absence as corruption.
+void copy_record(const model::CheckpointData& src, const std::string& hint,
+                 const std::string& name, model::CheckpointData& out) {
+  if (!src.contains(name)) {
+    throw CheckpointCorruptionError("reshard: " + hint +
+                                    " is missing record \"" + name + "\"");
+  }
+  out.add_record(src.at(name));
+}
+
+/// Reassemble one family's logical tensors for one sharded set from the
+/// source mesh's d=0 plane: concat the F FSDP shards per source TP rank
+/// into the flat buffer, unpack members by pack-order offset, concat the
+/// TP slices along each member's slice axis.
+std::vector<Tensor> gather_set(SourceFiles& files, const Manifest& man,
+                               const parallel::ShardedSetDesc& set,
+                               const std::string& family) {
+  const int S = man.mesh.tp;
+  const int F = man.mesh.fsdp;
+  const std::string rec = family + set.record_name();
+  const std::int64_t shard_n = set.shard_size(S, F);
+  // Per source TP rank: the member slices unpacked from that rank's flat.
+  std::vector<std::vector<Tensor>> slices(set.members.size());
+  for (int t = 0; t < S; ++t) {
+    std::vector<Tensor> shards;
+    shards.reserve(static_cast<std::size_t>(F));
+    for (int f = 0; f < F; ++f) {
+      const int rank = f * S + t;  // (d=0, f, t)
+      shards.push_back(record_tensor(files.at(rank),
+                                     rank_file("", rank).substr(1), rec,
+                                     shard_n));
+    }
+    const Tensor flat = concat(shards, 0);
+    for (std::size_t j = 0; j < set.members.size(); ++j) {
+      const parallel::SliceDesc& mem = set.members[j];
+      const std::int64_t off = set.member_offset(j, S);
+      Tensor piece = slice(flat, 0, off, off + mem.slice_numel(S));
+      std::vector<std::int64_t> sshape = mem.full_shape;
+      sshape[static_cast<std::size_t>(mem.axis)] /= S;
+      slices[j].push_back(piece.reshape(sshape));
+    }
+  }
+  std::vector<Tensor> logical;
+  logical.reserve(set.members.size());
+  for (std::size_t j = 0; j < set.members.size(); ++j) {
+    logical.push_back(S == 1 ? slices[j][0]
+                             : concat(slices[j], set.members[j].axis));
+  }
+  return logical;
+}
+
+/// Re-slice one family's logical tensors for the target rank: cut each
+/// member's TP slice, pack in order into a zero-padded flat buffer, and
+/// extract the target FSDP shard — byte-identical to what a native save on
+/// the target mesh would have written (the pad region is zero in values,
+/// moments, and masters alike; see hs_checkpoint.hpp).
+Tensor reslice_set(const parallel::ShardedSetDesc& set,
+                   const std::vector<Tensor>& logical, int t, int tp, int f,
+                   int fsdp) {
+  Tensor flat = Tensor::zeros({set.flat_size(tp, fsdp)});
+  for (std::size_t j = 0; j < set.members.size(); ++j) {
+    const parallel::SliceDesc& mem = set.members[j];
+    const auto [b, e] = mem.extent(t, tp);
+    const Tensor piece = slice(logical[j], mem.axis, b, e);
+    std::memcpy(flat.data() + set.member_offset(j, tp), piece.data(),
+                static_cast<std::size_t>(piece.numel()) * sizeof(float));
+  }
+  const std::int64_t shard_n = set.shard_size(tp, fsdp);
+  return slice(flat, 0, static_cast<std::int64_t>(f) * shard_n,
+               static_cast<std::int64_t>(f + 1) * shard_n);
+}
+
+}  // namespace
+
+std::string MeshShape::str() const {
+  return std::to_string(ddp) + "x" + std::to_string(fsdp) + "x" +
+         std::to_string(tp);
+}
+
+MeshShape parse_mesh_shape(const std::string& text) {
+  const auto bad = [&text]() -> int {
+    throw std::invalid_argument("parse_mesh_shape: bad mesh shape \"" + text +
+                                "\" (want DxFxT, e.g. \"2x2x1\")");
+  };
+  int out[3] = {0, 0, 0};
+  std::size_t i = 0;
+  for (int part = 0; part < 3; ++part) {
+    if (part > 0) {
+      if (i >= text.size() || text[i] != 'x') bad();
+      ++i;
+    }
+    std::size_t digits = 0;
+    long v = 0;
+    while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+      v = v * 10 + (text[i] - '0');
+      if (v > 1 << 20) bad();
+      ++i;
+      ++digits;
+    }
+    if (digits == 0 || v < 1) bad();
+    out[part] = static_cast<int>(v);
+  }
+  if (i != text.size()) bad();
+  return MeshShape{out[0], out[1], out[2]};
+}
+
+std::vector<MeshShape> elastic_shapes_from_env() {
+  const std::optional<std::string> value = env::raw(kShapesVar);
+  if (!value.has_value()) return {};
+  std::vector<MeshShape> shapes;
+  std::size_t start = 0;
+  const std::string& s = *value;
+  while (true) {
+    const std::size_t comma = s.find(',', start);
+    const std::string tok = s.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    try {
+      shapes.push_back(parse_mesh_shape(tok));
+    } catch (const std::invalid_argument&) {
+      env::fail(kShapesVar, s,
+                "bad mesh shape \"" + tok + "\" (want DxFxT, e.g. \"2x2x1\")");
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return shapes;
+}
+
+std::string manifest_text(const Manifest& m) {
+  std::ostringstream os;
+  // First five lines match the v2 layout exactly (header aside), so the
+  // same-mesh fast path's metadata parser needs no new knowledge.
+  os << kHeaderV3 << "\n"
+     << "ddp " << m.mesh.ddp << "\nfsdp " << m.mesh.fsdp << "\ntp "
+     << m.mesh.tp << "\nstep " << m.step << "\nmasters " << (m.masters ? 1 : 0)
+     << "\nrng " << (m.rng ? 1 : 0) << "\n";
+  os << "sets " << m.layout.sets.size() << "\n";
+  for (const parallel::ShardedSetDesc& set : m.layout.sets) {
+    os << "set " << set.name << " " << set.members.size() << "\n";
+    for (const parallel::SliceDesc& mem : set.members) {
+      os << "member " << mem.logical << " " << mem.axis << " "
+         << mem.full_shape.size();
+      for (std::int64_t d : mem.full_shape) os << " " << d;
+      os << "\n";
+    }
+  }
+  os << "replicated " << m.layout.replicated.size() << "\n";
+  for (const parallel::ReplicatedDesc& rep : m.layout.replicated) {
+    os << "param " << rep.name << " " << rep.shape.size();
+    for (std::int64_t d : rep.shape) os << " " << d;
+    os << "\n";
+  }
+  return os.str();
+}
+
+Manifest read_manifest(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("reshard: missing metadata file " + path);
+  }
+  std::string header;
+  if (!std::getline(is, header)) corrupt(path, "empty file");
+  if (header == "orbit-sharded-checkpoint v1" ||
+      header == "orbit-sharded-checkpoint v2") {
+    throw ManifestIncompleteError(
+        "reshard: " + path + " is a pre-manifest (" +
+        header.substr(header.size() - 2) +
+        ") sidecar — it records only the mesh factorization, not the "
+        "per-record layout a cross-mesh load needs; re-save on the source "
+        "mesh to upgrade");
+  }
+  if (header != kHeaderV3) corrupt(path, "bad header \"" + header + "\"");
+
+  Manifest m;
+  m.mesh.ddp = static_cast<int>(manifest_kv(is, path, "ddp"));
+  m.mesh.fsdp = static_cast<int>(manifest_kv(is, path, "fsdp"));
+  m.mesh.tp = static_cast<int>(manifest_kv(is, path, "tp"));
+  m.step = manifest_kv(is, path, "step");
+  if (m.mesh.ddp < 1 || m.mesh.fsdp < 1 || m.mesh.tp < 1) {
+    corrupt(path, "non-positive mesh size");
+  }
+  if (m.step < 0) corrupt(path, "negative step");
+  const std::int64_t masters = manifest_kv(is, path, "masters");
+  const std::int64_t rng = manifest_kv(is, path, "rng");
+  if ((masters != 0 && masters != 1) || (rng != 0 && rng != 1)) {
+    corrupt(path, "masters/rng flags must be 0 or 1");
+  }
+  m.masters = masters == 1;
+  m.rng = rng == 1;
+
+  const std::int64_t nsets = manifest_kv(is, path, "sets");
+  if (nsets < 0 || nsets > 100000) corrupt(path, "implausible set count");
+  for (std::int64_t i = 0; i < nsets; ++i) {
+    std::string line;
+    if (!std::getline(is, line)) corrupt(path, "truncated set list");
+    std::istringstream ls(line);
+    std::string kw;
+    parallel::ShardedSetDesc set;
+    std::int64_t nmem = -1;
+    if (!(ls >> kw >> set.name >> nmem) || kw != "set" || nmem < 1 ||
+        nmem > 64) {
+      corrupt(path, "bad set line \"" + line + "\"");
+    }
+    for (std::int64_t j = 0; j < nmem; ++j) {
+      if (!std::getline(is, line)) corrupt(path, "truncated member list");
+      std::istringstream ms(line);
+      parallel::SliceDesc mem;
+      if (!(ms >> kw >> mem.logical >> mem.axis) || kw != "member") {
+        corrupt(path, "bad member line \"" + line + "\"");
+      }
+      mem.full_shape = read_dims(ms, path, line);
+      if (mem.axis < 0 ||
+          mem.axis >= static_cast<int>(mem.full_shape.size())) {
+        corrupt(path, "slice axis out of range in \"" + line + "\"");
+      }
+      if (!mem.divisible_by(m.mesh.tp)) {
+        corrupt(path, "member \"" + mem.logical +
+                          "\" is not divisible by the recorded tp=" +
+                          std::to_string(m.mesh.tp));
+      }
+      set.members.push_back(std::move(mem));
+    }
+    m.layout.sets.push_back(std::move(set));
+  }
+
+  const std::int64_t nrep = manifest_kv(is, path, "replicated");
+  if (nrep < 0 || nrep > 100000) corrupt(path, "implausible replicated count");
+  for (std::int64_t i = 0; i < nrep; ++i) {
+    std::string line;
+    if (!std::getline(is, line)) corrupt(path, "truncated replicated list");
+    std::istringstream ps(line);
+    std::string kw;
+    parallel::ReplicatedDesc rep;
+    if (!(ps >> kw >> rep.name) || kw != "param") {
+      corrupt(path, "bad param line \"" + line + "\"");
+    }
+    rep.shape = read_dims(ps, path, line);
+    m.layout.replicated.push_back(std::move(rep));
+  }
+  std::string trailing;
+  while (std::getline(is, trailing)) {
+    if (!trailing.empty()) {
+      corrupt(path, "trailing garbage \"" + trailing + "\"");
+    }
+  }
+  return m;
+}
+
+Manifest build_manifest(DistributedOrbitModel& m) {
+  Manifest man;
+  man.mesh =
+      MeshShape{m.mesh().ddp_size, m.mesh().fsdp_size, m.mesh().tp_size};
+  man.step = m.step();
+  man.masters = m.mixed_precision();
+  // RNG attachment is uniform across ranks (every rank either feeds its
+  // shard's stream through attach_rng or none does), so rank 0's view
+  // speaks for the generation.
+  man.rng = m.attached_rng() != nullptr;
+  man.layout = m.shard_layout();
+  return man;
+}
+
+void load_resharded(const std::string& prefix, DistributedOrbitModel& m) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const Manifest man = read_manifest(prefix + ".meta");
+  const HybridMesh& mesh = m.mesh();
+  const MeshShape tgt{mesh.ddp_size, mesh.fsdp_size, mesh.tp_size};
+
+  // --- Plan validation: the whole cross-mesh mapping must be proven
+  // satisfiable before a single byte is read or written. ------------------
+  const parallel::ShardLayout want = m.shard_layout();
+  const auto unsat = [&](const std::string& what) {
+    throw MeshUnsatisfiableError(
+        "reshard: checkpoint (mesh " + man.mesh.str() +
+        ") cannot be loaded on mesh " + tgt.str() + ": " + what);
+  };
+  if (man.masters != m.mixed_precision()) {
+    unsat(man.masters
+              ? "checkpoint carries f32 masters but the target model is not "
+                "mixed-precision"
+              : "target model is mixed-precision but the checkpoint carries "
+                "no masters");
+  }
+  if (man.layout.sets.size() != want.sets.size()) {
+    unsat("checkpoint has " + std::to_string(man.layout.sets.size()) +
+          " sharded sets, target model has " +
+          std::to_string(want.sets.size()) + " (different architecture)");
+  }
+  for (std::size_t i = 0; i < want.sets.size(); ++i) {
+    const parallel::ShardedSetDesc& a = man.layout.sets[i];
+    const parallel::ShardedSetDesc& b = want.sets[i];
+    if (a.name != b.name || a.members.size() != b.members.size()) {
+      unsat("set " + std::to_string(i) + " is \"" + a.name +
+            "\" in the checkpoint but \"" + b.name + "\" in the target");
+    }
+    for (std::size_t j = 0; j < b.members.size(); ++j) {
+      const parallel::SliceDesc& ma = a.members[j];
+      const parallel::SliceDesc& mb = b.members[j];
+      if (ma.logical != mb.logical || ma.axis != mb.axis ||
+          ma.full_shape != mb.full_shape) {
+        unsat("member \"" + ma.logical + "\" of set \"" + a.name +
+              "\" disagrees with the target's \"" + mb.logical + "\" " +
+              shape_str(mb.full_shape));
+      }
+      if (!mb.divisible_by(tgt.tp)) {
+        unsat("member \"" + mb.logical + "\" " + shape_str(mb.full_shape) +
+              " does not divide along axis " + std::to_string(mb.axis) +
+              " into tp=" + std::to_string(tgt.tp) + " slices");
+      }
+    }
+  }
+  if (man.layout.replicated.size() != want.replicated.size()) {
+    unsat("checkpoint has " +
+          std::to_string(man.layout.replicated.size()) +
+          " replicated params, target model has " +
+          std::to_string(want.replicated.size()));
+  }
+  for (std::size_t i = 0; i < want.replicated.size(); ++i) {
+    const parallel::ReplicatedDesc& a = man.layout.replicated[i];
+    const parallel::ReplicatedDesc& b = want.replicated[i];
+    if (a.name != b.name || a.shape != b.shape) {
+      unsat("replicated param \"" + a.name + "\" " + shape_str(a.shape) +
+            " disagrees with the target's \"" + b.name + "\" " +
+            shape_str(b.shape));
+    }
+  }
+  if (m.attached_rng() != nullptr && !man.rng) {
+    throw ManifestIncompleteError(
+        "reshard: an RNG is attached but the " + man.mesh.str() +
+        " checkpoint under " + prefix +
+        " carries no rng.data lineage — it was saved without one");
+  }
+
+  // --- Gather + re-slice into a synthetic rank file. All reads validate
+  // (CRC, step consistency, record sizes) as they happen; the model stays
+  // untouched throughout. ------------------------------------------------
+  SourceFiles files(prefix, man);
+  const model::CheckpointData& rank0 = files.at(0);
+  model::CheckpointData synth;
+  const std::vector<std::string> families = record_families(man.masters);
+  for (const parallel::ShardedSetDesc& set : want.sets) {
+    for (const std::string& fam : families) {
+      const std::vector<Tensor> logical = gather_set(files, man, set, fam);
+      synth.add_tensor(fam + set.record_name(),
+                       reslice_set(set, logical, mesh.t, tgt.tp, mesh.f,
+                                   tgt.fsdp));
+    }
+  }
+  const std::string hint0 = rank_file(prefix, 0);
+  for (const parallel::ReplicatedDesc& rep : want.replicated) {
+    for (const std::string& fam : families) {
+      copy_record(rank0, hint0, fam + rep.name, synth);
+    }
+  }
+  for (const char* scalar : {"adamw.t", "train.step", "train.lr",
+                             "scaler.scale", "scaler.streak",
+                             "scaler.skipped"}) {
+    copy_record(rank0, hint0, scalar, synth);
+  }
+  if (m.attached_rng() != nullptr) {
+    // RNG lineage: this rank's data shard keeps the saved stream when that
+    // lineage existed under the source mesh (TP peers share a stream, so
+    // the source carrier is the shard's t=0 rank); a shard index beyond
+    // the source's data axis is a freshly-minted lineage and keeps the
+    // fresh stream it was constructed with.
+    const int shard = mesh.data_shard();
+    if (shard < man.mesh.ddp * man.mesh.fsdp) {
+      const int src = shard * man.mesh.tp;
+      copy_record(files.at(src), rank_file(prefix, src), "rng.data", synth);
+    }
+  }
+
+  // --- Transaction boundary: full validation of the synthetic state, then
+  // mutation. A throw above or here leaves everything bitwise intact. -----
+  const std::vector<model::Param*> params = m.all_params();
+  model::check_params(synth, params);
+  m.optimizer().check_state(synth);
+  const std::int64_t step = synth.i64("train.step");
+  const double lr = synth.f64("train.lr");
+  const double scale = synth.f64("scaler.scale");
+  const std::int64_t streak = synth.i64("scaler.streak");
+  const std::int64_t skipped = synth.i64("scaler.skipped");
+
+  model::apply_params(synth, params);
+  m.optimizer().import_state(synth);
+  m.optimizer().set_lr(static_cast<float>(lr));
+  m.scaler().set_state(static_cast<float>(scale), streak, skipped);
+  m.set_step(step);
+  if (m.attached_rng() != nullptr && synth.contains("rng.data")) {
+    model::read_rng_state(synth, "rng.data", *m.attached_rng());
+  }
+
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  telemetry::Registry::global()
+      .histogram("reshard_duration_ms", {},
+                 "wall time of cross-mesh checkpoint loads (per rank)")
+      .record(ms);
+}
+
+}  // namespace orbit::core::reshard

@@ -1,0 +1,66 @@
+#include "parallel/shard_desc.hpp"
+
+#include <stdexcept>
+
+namespace orbit::parallel {
+
+std::int64_t SliceDesc::full_numel() const {
+  std::int64_t n = 1;
+  for (std::int64_t d : full_shape) n *= d;
+  return n;
+}
+
+bool SliceDesc::divisible_by(int tp) const {
+  if (tp < 1 || axis < 0 || axis >= static_cast<int>(full_shape.size())) {
+    return false;
+  }
+  return full_shape[static_cast<std::size_t>(axis)] % tp == 0;
+}
+
+std::int64_t SliceDesc::slice_numel(int tp) const {
+  if (!divisible_by(tp)) {
+    throw std::invalid_argument("SliceDesc " + logical + ": axis dim " +
+                                (axis < static_cast<int>(full_shape.size())
+                                     ? std::to_string(full_shape[axis])
+                                     : std::string("?")) +
+                                " not divisible by tp=" + std::to_string(tp));
+  }
+  return full_numel() / tp;
+}
+
+std::pair<std::int64_t, std::int64_t> SliceDesc::extent(int t, int tp) const {
+  (void)slice_numel(tp);  // divisibility check
+  const std::int64_t per = full_shape[static_cast<std::size_t>(axis)] / tp;
+  return {static_cast<std::int64_t>(t) * per,
+          static_cast<std::int64_t>(t + 1) * per};
+}
+
+std::int64_t ShardedSetDesc::flat_size(int tp, int fsdp) const {
+  if (fsdp < 1) {
+    throw std::invalid_argument("ShardedSetDesc " + name + ": fsdp must be >= 1");
+  }
+  std::int64_t n = 0;
+  for (const SliceDesc& m : members) n += m.slice_numel(tp);
+  // Same padding rule as parallel::FlatParamSet: round up to a multiple of
+  // the shard count; the pad region is zero in every steady state (values,
+  // moments, and masters all stay zero there).
+  const std::int64_t rem = n % fsdp;
+  if (rem != 0) n += fsdp - rem;
+  return n;
+}
+
+std::int64_t ShardedSetDesc::shard_size(int tp, int fsdp) const {
+  return flat_size(tp, fsdp) / fsdp;
+}
+
+std::int64_t ShardedSetDesc::member_offset(std::size_t i, int tp) const {
+  if (i >= members.size()) {
+    throw std::invalid_argument("ShardedSetDesc " + name +
+                                ": member index out of range");
+  }
+  std::int64_t off = 0;
+  for (std::size_t j = 0; j < i; ++j) off += members[j].slice_numel(tp);
+  return off;
+}
+
+}  // namespace orbit::parallel

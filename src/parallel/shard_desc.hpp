@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file shard_desc.hpp
+/// Logical-to-physical shard descriptors — the vocabulary the resharding
+/// checkpoint loader (core/reshard.hpp) speaks.
+///
+/// A Hybrid-STOP parameter lives three transformations away from its
+/// logical (full, unsharded) tensor: a TP slice along one axis, a
+/// flattening of the set's TP slices into one padded buffer, and an FSDP
+/// shard of that buffer. Every one of those transformations is a
+/// deterministic equal division, so a `ShardedSetDesc` (member names, full
+/// shapes, slice axes, pack order) plus a target (tp, fsdp) factorization
+/// fully determines every rank's bytes. That is what makes checkpoints
+/// mesh-portable: the descriptors are mesh-INDEPENDENT, and any mesh's rank
+/// records can be reassembled into logical space and re-sliced for any
+/// other mesh.
+
+namespace orbit::parallel {
+
+/// How one logical tensor is cut along the TP axis inside a sharded set.
+struct SliceDesc {
+  std::string logical;  ///< logical tensor name, e.g. "tower.block0.attn.wq"
+  std::vector<std::int64_t> full_shape;  ///< global (unsharded) shape
+  int axis = 0;  ///< TP slice axis: 0 = rows/vector, 1 = columns
+
+  std::int64_t full_numel() const;
+  /// Element count of one TP slice (axis dim divided by `tp`).
+  std::int64_t slice_numel(int tp) const;
+  /// [begin, end) extent along `axis` owned by TP rank `t` of `tp`.
+  std::pair<std::int64_t, std::int64_t> extent(int t, int tp) const;
+  /// Whether the axis dimension divides evenly into `tp` slices.
+  bool divisible_by(int tp) const;
+};
+
+/// One Hybrid-STOP sharded set (hybrid_stop.hpp HsShardedSet): the members'
+/// TP slices are packed in order into a flat buffer, zero-padded up to a
+/// multiple of the FSDP size, and each FSDP rank stores one contiguous
+/// shard of it under the rank-file record name `<name>.shard`.
+struct ShardedSetDesc {
+  std::string name;  ///< e.g. "tower.block0.mlp.setA"
+  std::vector<SliceDesc> members;  ///< in pack order
+
+  std::string record_name() const { return name + ".shard"; }
+  /// Packed flat length at TP size `tp`, padded to a multiple of `fsdp`.
+  std::int64_t flat_size(int tp, int fsdp) const;
+  /// Per-FSDP-rank shard length at the given factorization.
+  std::int64_t shard_size(int tp, int fsdp) const;
+  /// Offset of member `i`'s slice inside the (unpadded) flat buffer.
+  std::int64_t member_offset(std::size_t i, int tp) const;
+};
+
+/// A replicated (unsharded, every-rank) parameter.
+struct ReplicatedDesc {
+  std::string name;
+  std::vector<std::int64_t> shape;
+};
+
+/// The complete mesh-independent layout of a distributed model's trainable
+/// state: what `DistributedOrbitModel::shard_layout()` reports and what the
+/// checkpoint manifest (DESIGN.md §4j) persists.
+struct ShardLayout {
+  std::vector<ShardedSetDesc> sets;
+  std::vector<ReplicatedDesc> replicated;
+};
+
+}  // namespace orbit::parallel

@@ -28,8 +28,14 @@ std::string RecoveryReport::summary() const {
   std::ostringstream os;
   os << "recovery " << outcome_name(outcome) << " after " << attempts.size()
      << " attempt(s), final committed step " << final_step << "\n";
+  for (const MeshTransition& t : transitions) {
+    os << "  shrink after attempt " << t.after_attempt << ": mesh " << t.from
+       << " -> " << t.to << "\n";
+  }
   for (const AttemptRecord& a : attempts) {
-    os << "  attempt " << a.attempt << ": steps [";
+    os << "  attempt " << a.attempt;
+    if (!a.shape.empty()) os << " @ " << a.shape;
+    os << ": steps [";
     if (a.start_step < 0) {
       os << "scratch";
     } else {
@@ -52,6 +58,7 @@ std::string RecoveryReport::summary() const {
         os << " [backoff " << a.backoff.count() << "ms]";
       }
     }
+    if (!a.probe_note.empty()) os << " [probe fell back: " << a.probe_note << "]";
     os << "\n";
   }
   return os.str();

@@ -43,6 +43,25 @@ struct AttemptRecord {
   /// (`<prefix>.attempt<k>.postmortem.json`); empty when the attempt
   /// succeeded or the recorder was not armed.
   std::string postmortem;
+  /// Mesh factorization ("DxFxT") this attempt launched on; empty for
+  /// non-elastic runs (fixed world, no shape tracking).
+  std::string shape;
+  /// Non-empty when the progress probe failed (e.g. a corrupt
+  /// `<prefix>.latest` pointer) and the supervisor fell back to scanning
+  /// for the newest intact generation — the failure's what().
+  std::string probe_note;
+};
+
+/// One supervised mesh shrink: after `after_attempt` exhausted the
+/// no-progress budget on `from`, the job relaunched on `to` via the
+/// resharding checkpoint loader (core/reshard.hpp).
+struct MeshTransition {
+  std::string from;       ///< "DxFxT" the budget was exhausted on
+  std::string to;         ///< "DxFxT" the job continued on
+  int after_attempt = 0;  ///< 1-based attempt whose failure triggered it
+  /// Path of the shrink's flight-recorder bundle
+  /// (`<prefix>.shrink<k>.postmortem.json`); empty when not armed.
+  std::string postmortem;
 };
 
 enum class Outcome : std::uint8_t {
@@ -56,6 +75,9 @@ const char* outcome_name(Outcome o);
 struct RecoveryReport {
   Outcome outcome = Outcome::kSucceeded;
   std::vector<AttemptRecord> attempts;
+  /// Every shrink the elastic supervisor performed, in order. Empty for
+  /// fixed-shape runs and for elastic runs that never exhausted a shape.
+  std::vector<MeshTransition> transitions;
   /// Latest committed checkpoint step when the supervisor returned
   /// (-1 when no checkpoint was ever committed).
   std::int64_t final_step = -1;

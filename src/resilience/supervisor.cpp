@@ -77,28 +77,79 @@ Supervisor::Supervisor(SupervisorConfig cfg) : cfg_(std::move(cfg)) {
       if (d.count() > 0) std::this_thread::sleep_for(d);
     };
   }
+  if (cfg_.shrink_on_failure.empty()) {
+    // ORBIT_ELASTIC_SHAPES="2x2x1,1x2x1": ordered fallback factorizations.
+    // Strict parse — a malformed value kills construction with an EnvError
+    // naming the variable, never runs silently without the policy.
+    cfg_.shrink_on_failure = core::reshard::elastic_shapes_from_env();
+  }
 }
 
-std::int64_t Supervisor::probe_progress() const {
-  if (cfg_.progress_fn) return cfg_.progress_fn();
-  if (cfg_.checkpoint_prefix.empty()) return -1;
-  return core::latest_checkpoint_step(cfg_.checkpoint_prefix);
+std::int64_t Supervisor::probe_progress(std::string* note) const {
+  try {
+    if (cfg_.progress_fn) return cfg_.progress_fn();
+    if (cfg_.checkpoint_prefix.empty()) return -1;
+    return core::latest_checkpoint_step(cfg_.checkpoint_prefix);
+  } catch (const std::exception& e) {
+    // A corrupt `<prefix>.latest` pointer (torn write, disk damage) used to
+    // escape here and crash the supervisor — the one component that must
+    // outlive every failure. It is a *reported* retryable condition: note
+    // it and let the newest intact generation on disk answer instead.
+    if (note != nullptr) *note = e.what();
+    if (cfg_.checkpoint_prefix.empty()) return -1;
+    try {
+      return core::newest_intact_step(cfg_.checkpoint_prefix);
+    } catch (const std::exception&) {
+      return -1;
+    }
+  }
 }
 
 RecoveryReport Supervisor::run(
     const std::function<void(comm::RankContext&)>& body) {
+  if (!cfg_.shrink_on_failure.empty()) {
+    throw std::logic_error(
+        "Supervisor::run: a shrink_on_failure policy is configured (directly "
+        "or via ORBIT_ELASTIC_SHAPES) but this body cannot react to a mesh "
+        "change — use run_elastic");
+  }
+  return run_impl(
+      [&body](comm::RankContext& ctx, const MeshShape&) { body(ctx); },
+      /*elastic=*/false);
+}
+
+RecoveryReport Supervisor::run_elastic(
+    const std::function<void(comm::RankContext&, const MeshShape&)>& body) {
+  if (cfg_.initial_shape.world() != cfg_.world_size) {
+    throw std::logic_error(
+        "Supervisor::run_elastic: initial_shape " + cfg_.initial_shape.str() +
+        " does not factor world_size " + std::to_string(cfg_.world_size));
+  }
+  return run_impl(body, /*elastic=*/true);
+}
+
+RecoveryReport Supervisor::run_impl(
+    const std::function<void(comm::RankContext&, const MeshShape&)>& body,
+    bool elastic) {
   RecoveryReport report;
   Rng backoff_rng(cfg_.backoff_seed);
   int failures_since_progress = 0;
+  MeshShape shape = cfg_.initial_shape;
+  std::size_t next_fallback = 0;
   ResilienceMetrics& rm = ResilienceMetrics::get();
+  const telemetry::Gauge world_gauge = telemetry::Registry::global().gauge(
+      "train_world_size", {}, "Ranks of the live supervised training world");
   if (!cfg_.postmortem_prefix.empty()) {
     telemetry::arm_flight_recorder(cfg_.postmortem_prefix);
   }
 
   for (int attempt = 1;; ++attempt) {
+    const int world = elastic ? shape.world() : cfg_.world_size;
+    world_gauge.set(static_cast<double>(world));
     AttemptRecord rec;
     rec.attempt = attempt;
-    rec.start_step = probe_progress();
+    if (elastic) rec.shape = shape.str();
+    rec.start_step = probe_progress(&rec.probe_note);
 
     // Per-rank collective counters restart with the fresh World; the fault
     // layer's fired-steps memory survives, so a resumed chaos schedule
@@ -111,7 +162,9 @@ RecoveryReport Supervisor::run(
     try {
       trace::Span span("resilience.attempt", trace::Category::kResilience,
                        nullptr, attempt);
-      comm::run_spmd(cfg_.world_size, body);
+      comm::run_spmd(world, [&body, &shape](comm::RankContext& ctx) {
+        body(ctx, shape);
+      });
       rm.attempt_ms.record(
           static_cast<double>(trace::now_ns() - attempt_start_ns) / 1e6);
       rec.succeeded = true;
@@ -158,6 +211,32 @@ RecoveryReport Supervisor::run(
         ++failures_since_progress;
       }
       if (failures_since_progress >= cfg_.retry.max_attempts) {
+        if (elastic && next_fallback < cfg_.shrink_on_failure.size()) {
+          // Shrink instead of giving up: the budget is exhausted on this
+          // shape, so relaunch on the next fallback factorization with a
+          // refilled budget. The body resumes from the last committed
+          // generation through the resharding loader.
+          MeshTransition tr;
+          tr.from = shape.str();
+          shape = cfg_.shrink_on_failure[next_fallback++];
+          tr.to = shape.str();
+          tr.after_attempt = attempt;
+          tr.postmortem =
+              telemetry::dump_postmortem(
+                  "supervisor_shrink", "mesh " + tr.from + " -> " + tr.to,
+                  ".shrink" + std::to_string(next_fallback))
+                  .value_or("");
+          trace::instant("resilience.shrink", trace::Category::kResilience,
+                         nullptr, static_cast<std::int64_t>(shape.world()));
+          failures_since_progress = 0;
+          rec.backoff = cfg_.retry.backoff_for(1, backoff_rng);
+          rm.backoff_ms.record(static_cast<double>(rec.backoff.count()));
+          rm.retries.inc();
+          report.attempts.push_back(rec);
+          report.transitions.push_back(tr);
+          cfg_.sleep_fn(rec.backoff);
+          continue;
+        }
         report.attempts.push_back(rec);
         report.outcome = Outcome::kRetriesExhausted;
         report.final_step = rec.end_step;

@@ -5,7 +5,10 @@
 #include <functional>
 #include <string>
 
+#include <vector>
+
 #include "comm/world.hpp"
+#include "core/reshard.hpp"
 #include "resilience/report.hpp"
 #include "resilience/retry_policy.hpp"
 
@@ -36,8 +39,23 @@
 /// every failure→relaunch hop is a `resilience.recover` flow; attempt and
 /// failure counters ride along — so a supervised chaos soak reads as a
 /// storyboard in the Perfetto trace.
+///
+/// **Elastic shrink-on-failure** (`run_elastic`): when the no-progress
+/// budget exhausts on the current mesh, instead of giving up the
+/// supervisor walks an ordered fallback list of smaller (ddp, fsdp, tp)
+/// factorizations — configured in `SupervisorConfig::shrink_on_failure` or
+/// via `ORBIT_ELASTIC_SHAPES` — and relaunches the body on the next viable
+/// shape with a refilled budget. The body resumes from the last committed
+/// generation through the mesh-resharding loader (core/reshard.hpp), so
+/// permanent capacity loss degrades throughput instead of killing the job.
+/// Every transition lands in the report (`RecoveryReport::transitions`)
+/// and in a `<prefix>.shrink<k>.postmortem.json` bundle naming both
+/// meshes; the `train_world_size` gauge tracks the live world.
 
 namespace orbit::resilience {
+
+/// The mesh factorization vocabulary of the elastic policy.
+using MeshShape = core::reshard::MeshShape;
 
 struct SupervisorConfig {
   /// Simulated ranks handed to `run_spmd` each attempt.
@@ -61,6 +79,15 @@ struct SupervisorConfig {
   /// writes `<prefix>.postmortem.json` (paths land in the report). Empty
   /// leaves the recorder as the process configured it.
   std::string postmortem_prefix;
+  /// Mesh factorization of the initial launch (`run_elastic` only; must
+  /// satisfy `initial_shape.world() == world_size`).
+  MeshShape initial_shape;
+  /// Ordered fallback factorizations for shrink-on-failure, largest first.
+  /// When empty the constructor fills it from `ORBIT_ELASTIC_SHAPES`
+  /// ("2x2x1,1x2x1"; strict parse — malformed values raise env::EnvError
+  /// naming the variable and value). A non-empty policy makes the run
+  /// elastic: use `run_elastic`, not `run`.
+  std::vector<MeshShape> shrink_on_failure;
 };
 
 class Supervisor {
@@ -75,12 +102,33 @@ class Supervisor {
   /// retries forever without progress. Non-exception contract: retryable
   /// and non-retryable std::exception failures end up in the report;
   /// non-std exceptions propagate.
+  /// Fixed-shape runs only: throws std::logic_error when a shrink policy
+  /// is configured (the body cannot react to a shape change).
   RecoveryReport run(const std::function<void(comm::RankContext&)>& body);
+
+  /// Elastic entry point: like `run`, but the body receives the mesh shape
+  /// of the current launch and must build its model on exactly that
+  /// factorization (resuming via `resume_latest`, which reshards across
+  /// shape changes). On budget exhaustion the supervisor advances to the
+  /// next fallback in `shrink_on_failure` with a refilled budget instead
+  /// of returning kRetriesExhausted; only exhausting the *last* shape ends
+  /// the run. Requires `initial_shape.world() == world_size`
+  /// (std::logic_error otherwise).
+  RecoveryReport run_elastic(
+      const std::function<void(comm::RankContext&, const MeshShape&)>& body);
 
   const SupervisorConfig& config() const { return cfg_; }
 
  private:
-  std::int64_t probe_progress() const;
+  /// Progress probe with the corrupt-pointer fallback: a throwing probe
+  /// (e.g. `latest_checkpoint_step` on a damaged `<prefix>.latest`) is a
+  /// reported condition, not a supervisor crash — the failure's what()
+  /// lands in `*note` and the newest intact generation on disk answers.
+  std::int64_t probe_progress(std::string* note = nullptr) const;
+
+  RecoveryReport run_impl(
+      const std::function<void(comm::RankContext&, const MeshShape&)>& body,
+      bool elastic);
 
   SupervisorConfig cfg_;
 };

@@ -1,0 +1,13 @@
+// R9 firing fixture: hard-coded (ddp, fsdp, tp) factorizations in src/ —
+// a literal mesh shape pins the job to one world size, so elastic shrink
+// (ORBIT_ELASTIC_SHAPES) cannot re-choose the factorization after a
+// capacity loss.
+struct MeshCfg {
+  int ddp = 2;   // line 6: finding
+  int fsdp = 4;  // line 7: finding
+  int tp = 1;
+};
+void configure(MeshCfg& cfg) {
+  cfg.tp = 8;       // line 11: finding
+  cfg.fsdp = 2;     // line 12: finding
+}

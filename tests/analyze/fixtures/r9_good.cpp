@@ -1,0 +1,15 @@
+// R9 non-firing fixture: singleton defaults, sentinels, comparisons, and
+// config-flow assignments are all legitimate — only literal factorizations
+// >= 2 pin the mesh.
+struct MeshCfg {
+  int ddp = 1;   // singleton default: any world satisfies it
+  int fsdp = 1;  // ditto
+  int tp = 0;    // sentinel ("unset"), resolved from config later
+};
+void configure(MeshCfg& cfg, int ranks_per_node, const MeshCfg& parsed) {
+  cfg.tp = ranks_per_node;  // flows from config, not a literal
+  cfg.fsdp = parsed.fsdp;   // ditto
+  if (cfg.ddp == 2) {       // comparison, not an assignment
+    cfg.tp = parsed.tp;
+  }
+}

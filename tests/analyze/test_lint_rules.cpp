@@ -9,7 +9,7 @@
 #include "lexer.hpp"
 #include "rules.hpp"
 
-/// orbit_lint self-test: every rule R1–R8 has a firing fixture (the rule
+/// orbit_lint self-test: every rule R1–R9 has a firing fixture (the rule
 /// reports exactly the planted violations), a non-firing fixture (no
 /// over-fire on near-misses), and a scope check (the same bad content is
 /// clean when analyzed under an allow-listed or out-of-scope path). The
@@ -180,6 +180,38 @@ TEST(R8AtomicCounters, ReasonedTrailingSuppressionSilencesOnlyItsLine) {
   EXPECT_EQ(fs[0].line, 3);
 }
 
+// --- R9: hard-coded mesh-shape literals --------------------------------------
+
+TEST(R9MeshLiterals, FiresOnFactorAssignmentsOfTwoOrMore) {
+  const auto fs = analyze_fixture("r9_bad.cpp", "src/core/foo.cpp");
+  EXPECT_EQ(lines_of(fs, "R9"), (std::vector<int>{6, 7, 11, 12}));
+  EXPECT_EQ(fs.size(), 4u);
+}
+
+TEST(R9MeshLiterals, DoesNotFireOnDefaultsSentinelsOrComparisons) {
+  EXPECT_TRUE(analyze_fixture("r9_good.cpp", "src/core/foo.cpp").empty());
+}
+
+TEST(R9MeshLiterals, ScopeIsSrcOnly) {
+  // Tests and benchmarks legitimately pin exact factorizations (a 2x2x2
+  // round-trip test *is* about that shape); only src/ must stay elastic.
+  EXPECT_TRUE(analyze_fixture("r9_bad.cpp", "tests/core/foo.cpp").empty());
+  EXPECT_TRUE(analyze_fixture("r9_bad.cpp", "bench/bench_foo.cpp").empty());
+}
+
+TEST(R9MeshLiterals, ReasonedSuppressionSilencesOnlyItsLine) {
+  const std::string code =
+      "struct C { int ddp = 1; };\n"
+      "void f(C& c) {\n"
+      "  c.ddp = 2;  // orbit-lint: allow(R9) -- doc example, not config\n"
+      "  c.ddp = 4;\n"
+      "}\n";
+  const auto fs = analyze_file(lex_string("src/core/doc.cpp", code));
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "R9");
+  EXPECT_EQ(fs[0].line, 4);
+}
+
 // --- suppressions -----------------------------------------------------------
 
 TEST(Suppression, WellFormedDirectivesSilenceTrailingAndNextLineTargets) {
@@ -309,7 +341,7 @@ TEST(Cli, ListRulesNamesEveryRule) {
     EXPECT_FALSE(r.id.empty());
     EXPECT_FALSE(r.summary.empty());
   }
-  EXPECT_EQ(rule_catalog().size(), 8u);
+  EXPECT_EQ(rule_catalog().size(), 9u);
 }
 
 }  // namespace

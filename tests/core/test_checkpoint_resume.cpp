@@ -163,21 +163,16 @@ TEST(CheckpointResume, MetaCorruptionReportedAsCorruptionNotMeshMismatch) {
     });
   }
 
-  // A genuine mismatch (intact metadata, different factorization) still
-  // reads as one.
+  // With intact v3 metadata a different factorization is no longer an
+  // error at all: the load transparently reshards (the cross-mesh matrix
+  // lives in test_reshard.cpp).
   spew(meta, good);
   comm::run_spmd(2, [&](comm::RankContext& ctx) {
     DistributedTrainerConfig other;
     other.engine.ddp = 2;  // checkpoint was fsdp=2
     DistributedOrbitModel m(cfg, ctx, other);
-    try {
-      load_sharded_checkpoint(prefix, m);
-      FAIL() << "mesh mismatch accepted";
-    } catch (const std::runtime_error& e) {
-      EXPECT_NE(std::string(e.what()).find("mesh mismatch"),
-                std::string::npos)
-          << e.what();
-    }
+    load_sharded_checkpoint(prefix, m);
+    EXPECT_EQ(m.step(), 1);
   });
   remove_generation(prefix, 2);
 }

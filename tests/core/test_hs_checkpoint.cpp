@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 
 #include "comm/world.hpp"
+#include "core/reshard.hpp"
 #include "tensor/ops.hpp"
 
 namespace orbit::core {
@@ -71,7 +73,11 @@ TEST(ShardedCheckpoint, ResumeReproducesOutputs) {
   remove_files(prefix, 4);
 }
 
-TEST(ShardedCheckpoint, MeshMismatchRejected) {
+TEST(ShardedCheckpoint, LegacyV2MetadataRefusesCrossMeshLoads) {
+  // v3 metadata carries the manifest the resharding loader needs, so a
+  // cross-mesh load now *succeeds* (test_reshard.cpp). Pre-manifest v2
+  // sidecars stay welded to their mesh: the same load must raise the typed
+  // "manifest incomplete" error, not attempt a blind reshard.
   const model::VitConfig cfg = micro();
   const std::string prefix = ::testing::TempDir() + "/hs_ckpt_mesh";
   comm::run_spmd(4, [&](comm::RankContext& ctx) {
@@ -80,13 +86,19 @@ TEST(ShardedCheckpoint, MeshMismatchRejected) {
     dtc.engine.tp = 2;
     DistributedOrbitModel m(cfg, ctx, dtc);
     save_sharded_checkpoint(prefix, m);
+    if (ctx.rank() == 0) {
+      // Rewind the sidecar to the v2 era: same mesh and step, no manifest.
+      std::ofstream(prefix + ".meta")
+          << "orbit-sharded-checkpoint v2\nddp 1\nfsdp 2\ntp 2\nstep 0\n";
+    }
   });
   comm::run_spmd(4, [&](comm::RankContext& ctx) {
     DistributedTrainerConfig dtc;
     dtc.engine.fsdp = 4;  // different factorization
     dtc.engine.tp = 1;
     DistributedOrbitModel m(cfg, ctx, dtc);
-    EXPECT_THROW(load_sharded_checkpoint(prefix, m), std::runtime_error);
+    EXPECT_THROW(load_sharded_checkpoint(prefix, m),
+                 reshard::ManifestIncompleteError);
   });
   remove_files(prefix, 4);
 }

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "comm/fault.hpp"
+#include "comm/world.hpp"
+#include "core/hs_checkpoint.hpp"
+#include "resilience/supervisor.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "tensor/ops.hpp"
+
+/// The elastic acceptance criterion: a 2x2x2 soak loses capacity mid-run —
+/// from step 9 a chaos storm kills a rank at *every* step, so same-shape
+/// retries can never get past the committed generation at step 8. After
+/// the no-progress budget exhausts, the supervisor shrinks to 2x2x1 and
+/// the job completes on 4 ranks, resuming the 8-rank checkpoint through
+/// the resharding loader. The post-shrink loss trajectory must match a
+/// clean 2x2x1 run continuing from the same committed generation within
+/// 1e-6, and the recovery report + shrink postmortem must name both
+/// meshes.
+
+namespace orbit::resilience {
+namespace {
+
+using core::DistributedOrbitModel;
+using core::DistributedTrainerConfig;
+
+constexpr int kTotalSteps = 16;
+
+model::VitConfig micro() {
+  model::VitConfig c = model::tiny_test();
+  c.image_h = 8;
+  c.image_w = 8;
+  c.patch = 4;
+  c.in_channels = 2;
+  c.out_channels = 2;
+  c.embed = 16;
+  c.layers = 2;
+  c.heads = 4;
+  return c;
+}
+
+train::Batch draw_batch(const model::VitConfig& cfg, Rng& rng) {
+  train::Batch b;
+  b.inputs = Tensor::randn({2, cfg.in_channels, cfg.image_h, cfg.image_w}, rng);
+  b.targets = scale(b.inputs, 0.5f);
+  b.lead_days = Tensor::full({2}, 1.0f);
+  return b;
+}
+
+DistributedTrainerConfig config_for(const MeshShape& s) {
+  DistributedTrainerConfig dtc;
+  dtc.engine.ddp = s.ddp;
+  dtc.engine.fsdp = s.fsdp;
+  dtc.engine.tp = s.tp;
+  dtc.engine.adamw.lr = 2e-3f;
+  dtc.schedule = train::LrSchedule(2e-3f, 4, 64);
+  dtc.clip_norm = 1.0;
+  return dtc;
+}
+
+void cleanup(const std::string& prefix) {
+  namespace fs = std::filesystem;
+  const fs::path p(prefix);
+  fs::path dir = p.parent_path();
+  if (dir.empty()) dir = ".";
+  const std::string stem = p.filename().string();
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(stem, 0) == 0) fs::remove(entry.path(), ec);
+  }
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(is)) << path;
+  return {std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>()};
+}
+
+class ElasticSoakTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    comm::fault::clear_plan();
+    comm::fault::clear_chaos();
+  }
+  void TearDown() override {
+    comm::fault::clear_plan();
+    comm::fault::clear_chaos();
+  }
+};
+
+TEST_F(ElasticSoakTest, MidSoakCapacityLossShrinksAndConverges) {
+  const model::VitConfig cfg = micro();
+  const std::string prefix = ::testing::TempDir() + "/elastic_soak";
+  cleanup(prefix);
+
+  // The storm: from step 9, every step kills rank 1 — a permanent loss of
+  // that node as far as the 8-rank mesh is concerned. Exactly 3 kills are
+  // budgeted so the post-shrink 4-rank world runs in calm weather.
+  comm::fault::ChaosSchedule storm;
+  storm.every_steps = 1;
+  storm.begin_step = 9;
+  storm.victim_rank = 1;
+  storm.max_kills = 3;
+  comm::fault::set_chaos(storm);
+
+  SupervisorConfig scfg;
+  scfg.world_size = 8;
+  scfg.checkpoint_prefix = prefix;
+  scfg.postmortem_prefix = prefix;
+  scfg.initial_shape = {2, 2, 2};
+  scfg.shrink_on_failure = {{2, 2, 1}};
+  scfg.retry.max_attempts = 2;
+  scfg.retry.base_backoff = std::chrono::milliseconds(1);
+  scfg.retry.jitter = 0.0;
+  scfg.sleep_fn = [](std::chrono::milliseconds) {};
+  Supervisor sup(scfg);
+
+  // Last-written loss per step across all attempts (rank 0's view; the
+  // returned loss is the global mean, identical on every rank).
+  std::vector<double> soak_loss(kTotalSteps, 0.0);
+  RecoveryReport report = sup.run_elastic(
+      [&](comm::RankContext& ctx, const MeshShape& shape) {
+        DistributedTrainerConfig dtc = config_for(shape);
+        dtc.checkpoint_every = 4;
+        dtc.checkpoint_prefix = prefix;
+        DistributedOrbitModel m(cfg, ctx, dtc);
+        // Both meshes factor the data axis into 4 shards, so the lineage
+        // seeds line up and survive every reshard.
+        Rng rng(100 + static_cast<std::uint64_t>(m.data_shard()));
+        m.attach_rng(&rng);
+        const std::int64_t at = m.resume_latest();
+        for (std::int64_t i = at; i < kTotalSteps; ++i) {
+          const double loss = m.train_step(draw_batch(cfg, rng));
+          if (ctx.rank() == 0) soak_loss[static_cast<std::size_t>(i)] = loss;
+        }
+      });
+
+  ASSERT_TRUE(report.succeeded()) << report.summary();
+  EXPECT_EQ(report.final_step, kTotalSteps);
+  EXPECT_EQ(comm::fault::chaos_kill_count(), 3);
+
+  // Attempt 1 commits steps 4 and 8 and dies at 9; attempts 2 and 3 die
+  // at steps 10 and 11 (the fired-step memory advances) without
+  // committing — budget exhausted — then attempt 4 finishes on 2x2x1.
+  ASSERT_EQ(report.total_attempts(), 4) << report.summary();
+  for (int i = 0; i < 3; ++i) {
+    const AttemptRecord& a = report.attempts[static_cast<std::size_t>(i)];
+    EXPECT_EQ(a.shape, "2x2x2") << report.summary();
+    EXPECT_EQ(a.failure, FailureKind::kRankKilled) << report.summary();
+  }
+  EXPECT_TRUE(report.attempts[0].made_progress);
+  EXPECT_FALSE(report.attempts[1].made_progress);
+  EXPECT_FALSE(report.attempts[2].made_progress);
+  EXPECT_EQ(report.attempts[3].shape, "2x2x1");
+  EXPECT_TRUE(report.attempts[3].succeeded);
+  EXPECT_EQ(report.attempts[3].start_step, 8);
+
+  // The transition is on record, named in the summary, and its postmortem
+  // bundle names both meshes.
+  ASSERT_EQ(report.transitions.size(), 1u) << report.summary();
+  const MeshTransition& tr = report.transitions[0];
+  EXPECT_EQ(tr.from, "2x2x2");
+  EXPECT_EQ(tr.to, "2x2x1");
+  EXPECT_EQ(tr.after_attempt, 3);
+  EXPECT_NE(report.summary().find("mesh 2x2x2 -> 2x2x1"), std::string::npos)
+      << report.summary();
+  ASSERT_FALSE(tr.postmortem.empty());
+  ASSERT_TRUE(std::filesystem::exists(tr.postmortem)) << tr.postmortem;
+  EXPECT_FALSE(telemetry::validate_bundle(tr.postmortem).has_value())
+      << telemetry::validate_bundle(tr.postmortem).value_or("");
+  const std::string bundle = slurp(tr.postmortem);
+  EXPECT_NE(bundle.find("2x2x2"), std::string::npos) << tr.postmortem;
+  EXPECT_NE(bundle.find("2x2x1"), std::string::npos) << tr.postmortem;
+  EXPECT_NE(bundle.find("supervisor_shrink"), std::string::npos)
+      << tr.postmortem;
+
+  // The job ran to the end on the smaller mesh and committed there.
+  EXPECT_EQ(core::latest_checkpoint_step(prefix), kTotalSteps);
+
+  // Clean arm: resume the same 8-rank generation at step 8 on a fresh
+  // 2x2x1 world (the identical reshard the shrunk attempt performed) and
+  // replay steps 8..15 without chaos or checkpoint writes. The soak's
+  // post-shrink trajectory must match within 1e-6.
+  comm::fault::clear_chaos();
+  std::vector<double> clean_loss(kTotalSteps, 0.0);
+  comm::run_spmd(4, [&](comm::RankContext& ctx) {
+    DistributedOrbitModel m(cfg, ctx, config_for({2, 2, 1}));
+    Rng rng(999);  // overwritten by the checkpoint's lineage
+    m.attach_rng(&rng);
+    core::load_sharded_checkpoint(prefix + ".step8", m);
+    ASSERT_EQ(m.step(), 8);
+    for (std::int64_t i = 8; i < kTotalSteps; ++i) {
+      const double loss = m.train_step(draw_batch(cfg, rng));
+      if (ctx.rank() == 0) clean_loss[static_cast<std::size_t>(i)] = loss;
+    }
+  });
+  for (int i = 8; i < kTotalSteps; ++i) {
+    EXPECT_NEAR(soak_loss[static_cast<std::size_t>(i)],
+                clean_loss[static_cast<std::size_t>(i)], 1e-6)
+        << "post-shrink loss diverged at step " << i;
+  }
+  cleanup(prefix);
+}
+
+TEST_F(ElasticSoakTest, ExhaustingTheLastShapeStillTerminates) {
+  // Unkillable storm (no max_kills): the fallback list is consumed and
+  // the run ends with kRetriesExhausted instead of looping forever —
+  // shrink defers defeat, it must not deny it.
+  const std::string prefix = ::testing::TempDir() + "/elastic_exhaust";
+  cleanup(prefix);
+  const model::VitConfig cfg = micro();
+
+  comm::fault::ChaosSchedule storm;
+  storm.every_steps = 1;
+  storm.victim_rank = 0;
+  comm::fault::set_chaos(storm);
+
+  SupervisorConfig scfg;
+  scfg.world_size = 8;
+  scfg.checkpoint_prefix = prefix;
+  scfg.initial_shape = {2, 2, 2};
+  scfg.shrink_on_failure = {{2, 2, 1}, {1, 2, 1}};
+  scfg.retry.max_attempts = 2;
+  scfg.sleep_fn = [](std::chrono::milliseconds) {};
+  Supervisor sup(scfg);
+
+  std::vector<std::string> shapes_seen;
+  RecoveryReport report = sup.run_elastic(
+      [&](comm::RankContext& ctx, const MeshShape& shape) {
+        if (ctx.rank() == 0) shapes_seen.push_back(shape.str());
+        DistributedTrainerConfig dtc = config_for(shape);
+        DistributedOrbitModel m(cfg, ctx, dtc);
+        Rng rng(7);
+        // 8 steps per attempt: the storm's fired-step memory consumes one
+        // step per kill, so every attempt must reach an unfired step.
+        for (std::int64_t i = 0; i < 8; ++i) {
+          m.train_step(draw_batch(cfg, rng));
+        }
+      });
+
+  EXPECT_EQ(report.outcome, Outcome::kRetriesExhausted);
+  // 2 attempts per shape, every shape tried in order, 2 transitions.
+  EXPECT_EQ(report.total_attempts(), 6) << report.summary();
+  ASSERT_EQ(report.transitions.size(), 2u);
+  EXPECT_EQ(report.transitions[0].from, "2x2x2");
+  EXPECT_EQ(report.transitions[0].to, "2x2x1");
+  EXPECT_EQ(report.transitions[1].from, "2x2x1");
+  EXPECT_EQ(report.transitions[1].to, "1x2x1");
+  ASSERT_EQ(shapes_seen.size(), 6u);
+  EXPECT_EQ(shapes_seen[1], "2x2x2");
+  EXPECT_EQ(shapes_seen[2], "2x2x1");
+  EXPECT_EQ(shapes_seen[5], "1x2x1");
+  cleanup(prefix);
+}
+
+TEST_F(ElasticSoakTest, RunRefusesAnElasticPolicyAndRunElasticChecksShape) {
+  SupervisorConfig scfg;
+  scfg.world_size = 8;
+  scfg.initial_shape = {2, 2, 2};
+  scfg.shrink_on_failure = {{2, 2, 1}};
+  Supervisor sup(scfg);
+  EXPECT_THROW(sup.run([](comm::RankContext&) {}), std::logic_error);
+
+  SupervisorConfig bad;
+  bad.world_size = 8;
+  bad.initial_shape = {2, 2, 1};  // world 4 != 8
+  bad.shrink_on_failure = {{1, 2, 1}};
+  Supervisor sup2(bad);
+  EXPECT_THROW(sup2.run_elastic([](comm::RankContext&, const MeshShape&) {}),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace orbit::resilience

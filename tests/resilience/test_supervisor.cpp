@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "comm/check.hpp"
@@ -254,6 +257,45 @@ TEST(Supervisor, ArbitraryExceptionsAreNonRetryable) {
   EXPECT_NE(r.attempts[0].error.find("NaN loss"), std::string::npos);
   EXPECT_TRUE(s.slept.empty());
   EXPECT_NE(r.summary().find("non-retryable"), std::string::npos);
+}
+
+TEST(Supervisor, CorruptLatestPointerFallsBackToNewestIntactGeneration) {
+  // Regression: a torn `<prefix>.latest` made the default progress probe
+  // throw out of run() and crash the supervisor — the one component that
+  // must outlive every failure. Now it is a reported condition: the probe
+  // notes the error and answers from the newest intact generation on disk.
+  namespace fs = std::filesystem;
+  const std::string prefix =
+      (fs::path(::testing::TempDir()) / "probe_hardening").string();
+  // One intact committed-looking generation at step 7 (v2 metadata whose
+  // step matches, rank files present for its 1x2x1 mesh)...
+  std::ofstream(prefix + ".step7.meta")
+      << "orbit-sharded-checkpoint v2\nddp 1\nfsdp 2\ntp 1\nstep 7\n";
+  std::ofstream(prefix + ".step7.rank0.bin") << "x";
+  std::ofstream(prefix + ".step7.rank1.bin") << "x";
+  // ...one torn one at step 9 (no rank files), and a garbage pointer.
+  std::ofstream(prefix + ".step9.meta")
+      << "orbit-sharded-checkpoint v2\nddp 1\nfsdp 2\ntp 1\nstep 9\n";
+  std::ofstream(prefix + ".latest") << "\x03garbage\xff";
+
+  Scripted s;
+  SupervisorConfig cfg = s.config(3);
+  cfg.progress_fn = nullptr;  // the real checkpoint-backed probe
+  cfg.checkpoint_prefix = prefix;
+  Supervisor sup(cfg);
+  RecoveryReport r = sup.run([](comm::RankContext&) {});  // must not throw
+  EXPECT_TRUE(r.succeeded());
+  EXPECT_EQ(r.final_step, 7);  // step9 is torn; step7 is the newest intact
+  ASSERT_EQ(r.total_attempts(), 1);
+  EXPECT_FALSE(r.attempts[0].probe_note.empty());
+  EXPECT_NE(r.summary().find("probe fell back"), std::string::npos)
+      << r.summary();
+
+  for (const char* f :
+       {".step7.meta", ".step7.rank0.bin", ".step7.rank1.bin", ".step9.meta",
+        ".latest"}) {
+    fs::remove(prefix + f);
+  }
 }
 
 TEST(Supervisor, SummaryNamesEveryAttemptAndStepRange) {

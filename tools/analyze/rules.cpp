@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cctype>
+#include <cstdlib>
 #include <initializer_list>
 #include <set>
 
@@ -295,6 +296,36 @@ void rule_r8(const LexedFile& f, std::vector<Finding>* out) {
   }
 }
 
+/// R9 — no hard-coded (ddp, fsdp, tp) mesh factorizations in src/: elastic
+/// training (core/reshard.hpp) re-chooses the factorization at relaunch,
+/// so production code must take mesh factors from config or environment
+/// (ORBIT_ELASTIC_SHAPES), never bake them in. `= 0` (sentinel) and `= 1`
+/// (the identity default) stay legal; literal factorizations belong in
+/// tests and bench drivers, which are out of scope.
+void rule_r9(const LexedFile& f, std::vector<Finding>* out) {
+  if (!starts_with(f.path, "src/")) return;
+  const auto int_literal_ge2 = [](const Token* t) -> long {
+    if (t == nullptr || t->text.empty()) return -1;
+    for (char c : t->text) {
+      if (c < '0' || c > '9') return -1;
+    }
+    const long v = std::strtol(t->text.c_str(), nullptr, 10);
+    return v >= 2 ? v : -1;
+  };
+  for (std::size_t i = 0; i + 2 < f.tokens.size(); ++i) {
+    const std::string& name = f.tokens[i].text;
+    if (name != "ddp" && name != "fsdp" && name != "tp") continue;
+    if (!is(tok(f, i + 1), "=")) continue;
+    const long v = int_literal_ge2(tok(f, i + 2));
+    if (v < 0) continue;
+    add(out, f, f.tokens[i].line, "R9",
+        "hard-coded mesh factor " + name + " = " + std::to_string(v) +
+            " — mesh shapes in src/ must flow from config or "
+            "ORBIT_ELASTIC_SHAPES so elastic shrink can re-choose them "
+            "(literal factorizations belong in tests/bench)");
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rule_catalog() {
@@ -307,6 +338,7 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"R6", "no raw throw std::runtime_error in src/comm, src/resilience"},
       {"R7", "no naked std::thread outside threadpool/run_spmd/serve pool"},
       {"R8", "no ad-hoc std::atomic counters in src/serve, src/resilience"},
+      {"R9", "no hard-coded (ddp, fsdp, tp) mesh literals in src/ (elastic)"},
   };
   return kCatalog;
 }
@@ -321,9 +353,10 @@ std::vector<Finding> analyze_file(const LexedFile& f) {
   rule_r6(f, &raw);
   rule_r7(f, &raw);
   rule_r8(f, &raw);
+  rule_r9(f, &raw);
 
-  static const std::set<std::string> kKnown = {"R1", "R2", "R3", "R4",
-                                               "R5", "R6", "R7", "R8"};
+  static const std::set<std::string> kKnown = {"R1", "R2", "R3", "R4", "R5",
+                                               "R6", "R7", "R8", "R9"};
   std::vector<Finding> out;
 
   // Directive hygiene first: a malformed / reason-less / unknown-rule

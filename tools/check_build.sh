@@ -22,7 +22,7 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 # --no-tests=error: a leg whose filter matches nothing (e.g. a half-built
 # tree after an earlier leg failure) must FAIL, not silently pass.
 CTEST_ARGS=(--output-on-failure --no-tests=error "-j${JOBS}")
-LEGS=(asan tsan trace checkpoint kernels resilience telemetry comm-async analyze tidy shellcheck)
+LEGS=(asan tsan trace checkpoint elastic kernels resilience telemetry comm-async analyze tidy shellcheck)
 
 JSON_PATH=""
 while [ "$#" -gt 0 ]; do
@@ -116,6 +116,24 @@ if [ -d build-asan ]; then
   fi
 else
   RESULT[checkpoint]="SKIP (ASan build unavailable)"
+fi
+
+echo "==== [elastic] mesh-resharding + shrink-on-failure soak (ASan) ===="
+# Elastic-training check: the elastic-labelled tests run the cross-mesh
+# checkpoint round-trip matrix (2x2x2 onto 2x2x1 / 1x2x2 / 1x1x2, bitwise),
+# the transactional failed-load contract, the ckpt_inspect offline verifier,
+# and the mid-soak capacity-loss shrink (2x2x2 -> 2x2x1 with matching loss
+# trajectory). Reuses the ASan build — the gather/re-slice path is raw
+# buffer arithmetic, exactly ASan's beat.
+if [ -d build-asan ]; then
+  if (cd build-asan && ctest --output-on-failure --no-tests=error "-j${JOBS}" -L elastic); then
+    RESULT[elastic]="PASS"
+  else
+    RESULT[elastic]="FAIL"
+    overall=1
+  fi
+else
+  RESULT[elastic]="SKIP (ASan build unavailable)"
 fi
 
 echo "==== [kernels] dispatch-level sweep (UBSan) ===="
